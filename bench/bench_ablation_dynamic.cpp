@@ -1,0 +1,122 @@
+// Ablation (beyond the paper, motivated by its §1/§3.1 online setting):
+// maintaining the equilibrium incrementally under a stream of check-ins
+// and event changes (DynamicGame) versus re-solving from scratch after
+// every update. Reports wall time and best-response examinations per
+// update.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "core/dynamic_game.h"
+#include "core/normalization.h"
+#include "core/solver.h"
+#include "data/datasets.h"
+#include "spatial/estimators.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+using namespace rmgp;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  GowallaLikeOptions gopt;
+  gopt.num_users = args.paper ? 12748 : 5000;
+  gopt.num_edges = static_cast<uint64_t>(gopt.num_users * 3.8);
+  gopt.num_events = 32;
+  GeoSocialDataset ds = MakeGowallaLike(gopt);
+  const ClassId k = 32;
+  std::printf("ablation_dynamic: |V|=%u, k=%u, update stream of check-ins\n",
+              ds.graph.num_nodes(), k);
+
+  std::vector<Point> events(ds.event_pool.begin(), ds.event_pool.begin() + k);
+  DistanceEstimates est = EstimateDistances(ds.user_locations, events);
+  auto costs =
+      std::make_shared<EuclideanCostProvider>(ds.user_locations, events);
+  auto inst = Instance::Create(&ds.graph, costs, 0.5);
+  if (!inst.ok()) return 1;
+  auto cn = Normalize(&inst.value(), NormalizationPolicy::kPessimistic,
+                      {est.dist_min, est.dist_med});
+  if (!cn.ok()) return 1;
+
+  SolverOptions sopt;
+  sopt.init = InitPolicy::kClosestClass;
+  sopt.order = OrderPolicy::kNodeId;
+  sopt.record_rounds = false;
+
+  auto game = DynamicGame::Create(&ds.graph, ds.user_locations, events,
+                                  0.5, *cn, sopt);
+  if (!game.ok()) return 1;
+
+  const int kUpdates = 200;
+  Rng rng(77);
+
+  // --- Incremental: apply kUpdates single-check-in updates.
+  Table tab({"strategy", "updates", "total_ms", "ms_per_update",
+             "examinations", "objective"});
+  std::vector<std::pair<NodeId, Point>> stream;
+  for (int i = 0; i < kUpdates; ++i) {
+    const NodeId v =
+        static_cast<NodeId>(rng.UniformInt(ds.graph.num_nodes()));
+    Point p = ds.user_locations[v];
+    p.x += rng.Gaussian(0.0, 8.0);
+    p.y += rng.Gaussian(0.0, 8.0);
+    stream.push_back({v, p});
+  }
+
+  {
+    Stopwatch sw;
+    const uint64_t exams_before = (*game)->total_examinations();
+    for (const auto& [v, p] : stream) {
+      if (!(*game)->UpdateUserLocation(v, p).ok()) return 1;
+    }
+    const double ms = sw.ElapsedMillis();
+    tab.AddRow({"incremental", Table::Int(kUpdates), Table::Num(ms, 2),
+                Table::Num(ms / kUpdates, 4),
+                Table::Int(static_cast<long long>(
+                    (*game)->total_examinations() - exams_before)),
+                Table::Num((*game)->Objective().total, 1)});
+  }
+
+  // --- Re-solve: after each update run RMGP_gt from a warm start (the
+  // §3.1 recommendation without incremental state).
+  {
+    std::vector<Point> locations = ds.user_locations;
+    auto resolve_costs =
+        std::make_shared<EuclideanCostProvider>(locations, events);
+    Assignment warm;
+    Stopwatch sw;
+    uint64_t examinations = 0;
+    double final_obj = 0.0;
+    for (const auto& [v, p] : stream) {
+      locations[v] = p;
+      resolve_costs =
+          std::make_shared<EuclideanCostProvider>(locations, events);
+      auto step_inst = Instance::Create(&ds.graph, resolve_costs, 0.5);
+      if (!step_inst.ok()) return 1;
+      step_inst->set_cost_scale(*cn);
+      SolverOptions wopt = sopt;
+      if (!warm.empty()) {
+        wopt.init = InitPolicy::kGiven;
+        wopt.warm_start = warm;
+      }
+      wopt.record_rounds = true;
+      auto res = SolveGlobalTable(*step_inst, wopt);
+      if (!res.ok()) return 1;
+      warm = res->assignment;
+      for (const RoundStats& rs : res->round_stats) {
+        examinations += rs.examined;
+      }
+      final_obj = res->objective.total;
+    }
+    const double ms = sw.ElapsedMillis();
+    tab.AddRow({"resolve_warm", Table::Int(kUpdates), Table::Num(ms, 2),
+                Table::Num(ms / kUpdates, 4),
+                Table::Int(static_cast<long long>(examinations)),
+                Table::Num(final_obj, 1)});
+  }
+
+  bench::Emit(args, "ablation_dynamic", tab);
+  return 0;
+}

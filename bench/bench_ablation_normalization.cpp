@@ -1,0 +1,82 @@
+// Ablation (extends Fig 9): how the CN estimators interact with α. §3.3
+// argues that after normalization "other values of α should indeed
+// reflect the input preferences"; this bench sweeps α × policy and
+// reports the realized cost ratio assignment/(assignment+social) — for a
+// faithful normalization it should track α itself.
+
+#include "bench/bench_common.h"
+#include "core/normalization.h"
+#include "core/solver.h"
+#include "data/datasets.h"
+#include "spatial/estimators.h"
+
+using namespace rmgp;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  GowallaLikeOptions gopt;
+  gopt.num_users = args.paper ? 12748 : 4000;
+  gopt.num_edges = static_cast<uint64_t>(gopt.num_users * 3.8);
+  GeoSocialDataset ds = MakeGowallaLike(gopt);
+  const ClassId k = 32;
+  auto costs = ds.MakeCosts(k);
+  DistanceEstimates est =
+      EstimateDistances(ds.user_locations, costs->events());
+  std::printf(
+      "ablation_normalization: |V|=%u, k=%u — assignment share of the\n"
+      "total cost vs alpha, per CN policy (ideal: share tracks alpha)\n",
+      ds.graph.num_nodes(), k);
+
+  Table tab({"alpha", "policy", "CN", "assignment_share", "reassigned"});
+
+  SolverOptions sopt;
+  sopt.init = InitPolicy::kClosestClass;
+  sopt.order = OrderPolicy::kDegreeDesc;
+  sopt.record_rounds = false;
+
+  // Closest-event yardstick for counting moved users.
+  Assignment closest(ds.graph.num_nodes());
+  {
+    std::vector<double> row(k);
+    for (NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+      costs->CostsFor(v, row.data());
+      ClassId best = 0;
+      for (ClassId p = 1; p < k; ++p) {
+        if (row[p] < row[best]) best = p;
+      }
+      closest[v] = best;
+    }
+  }
+
+  struct Policy {
+    const char* name;
+    NormalizationPolicy policy;
+  };
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    for (const Policy& policy :
+         {Policy{"none", NormalizationPolicy::kNone},
+          Policy{"optimistic", NormalizationPolicy::kOptimistic},
+          Policy{"pessimistic", NormalizationPolicy::kPessimistic}}) {
+      auto inst = Instance::Create(&ds.graph, costs, alpha);
+      if (!inst.ok()) return 1;
+      auto cn = Normalize(&inst.value(), policy.policy,
+                          {est.dist_min, est.dist_med});
+      if (!cn.ok()) return 1;
+      auto res = SolveGlobalTable(*inst, sopt);
+      if (!res.ok()) return 1;
+      const double share =
+          res->objective.total > 0
+              ? res->objective.assignment / res->objective.total
+              : 0.0;
+      tab.AddRow({Table::Num(alpha, 1), policy.name, Table::Num(*cn, 4),
+                  Table::Num(share, 3),
+                  Table::Int(static_cast<long long>(
+                      CountReassigned(closest, res->assignment)))});
+    }
+  }
+
+  bench::Emit(args, "ablation_normalization", tab);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation (beyond the paper): thread-count scaling of the parallel
+// variants RMGP_is and RMGP_all (the paper's parameter T, §4.2). Also
+// reports the number of color groups — the parallelism ceiling per round.
+
+#include "bench/bench_common.h"
+#include "core/normalization.h"
+#include "core/solver.h"
+#include "data/datasets.h"
+#include "graph/coloring.h"
+#include "spatial/estimators.h"
+
+using namespace rmgp;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  GowallaLikeOptions gopt;
+  gopt.num_users = args.paper ? 12748 : 6000;
+  gopt.num_edges = static_cast<uint64_t>(gopt.num_users * 3.8);
+  GeoSocialDataset ds = MakeGowallaLike(gopt);
+  const ClassId k = 64;
+  auto costs = ds.MakeCosts(k);
+  DistanceEstimates est =
+      EstimateDistances(ds.user_locations, costs->events());
+
+  const Coloring coloring = GreedyColoring(ds.graph);
+  std::printf("ablation_threads: |V|=%u, k=%u, %u color groups\n",
+              ds.graph.num_nodes(), k, coloring.num_colors());
+
+  Table tab({"threads", "RMGP_is_ms", "RMGP_all_ms"});
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    std::vector<std::string> row{Table::Int(threads)};
+    for (SolverKind kind :
+         {SolverKind::kIndependentSets, SolverKind::kAll}) {
+      auto inst = Instance::Create(&ds.graph, costs, 0.5);
+      if (!inst.ok()) return 1;
+      if (!Normalize(&inst.value(), NormalizationPolicy::kPessimistic,
+                     {est.dist_min, est.dist_med})
+               .ok()) {
+        return 1;
+      }
+      SolverOptions sopt;
+      sopt.init = InitPolicy::kClosestClass;
+      sopt.order = OrderPolicy::kDegreeDesc;
+      sopt.num_threads = threads;
+      sopt.seed = 7;
+      sopt.record_rounds = false;
+      auto res = Solve(kind, *inst, sopt);
+      if (!res.ok()) return 1;
+      row.push_back(Table::Num(res->total_millis, 2));
+    }
+    tab.AddRow(std::move(row));
+  }
+
+  bench::Emit(args, "ablation_threads", tab);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation (paper §3.1, last paragraph): repeated executions — e.g.
+// location-based advertisements sent every hour — can seed each run with
+// the previous solution. This bench perturbs a fraction of user locations
+// between runs and compares cold-start vs warm-start rounds and time.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/normalization.h"
+#include "core/solver.h"
+#include "data/datasets.h"
+#include "spatial/estimators.h"
+#include "util/rng.h"
+
+using namespace rmgp;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  GowallaLikeOptions gopt;
+  gopt.num_users = args.paper ? 12748 : 5000;
+  gopt.num_edges = static_cast<uint64_t>(gopt.num_users * 3.8);
+  GeoSocialDataset ds = MakeGowallaLike(gopt);
+  const ClassId k = 32;
+  std::printf("ablation_warmstart: |V|=%u, k=%u\n", ds.graph.num_nodes(),
+              k);
+
+  Table tab({"moved_frac", "cold_rounds", "cold_ms", "warm_rounds",
+             "warm_ms"});
+
+  for (double moved_frac : {0.01, 0.05, 0.2, 0.5}) {
+    // Hour 0: solve from scratch.
+    auto costs0 = ds.MakeCosts(k);
+    DistanceEstimates est0 =
+        EstimateDistances(ds.user_locations, costs0->events());
+    auto inst0 = Instance::Create(&ds.graph, costs0, 0.5);
+    if (!inst0.ok()) return 1;
+    if (!Normalize(&inst0.value(), NormalizationPolicy::kPessimistic,
+                   {est0.dist_min, est0.dist_med})
+             .ok()) {
+      return 1;
+    }
+    SolverOptions cold;
+    cold.init = InitPolicy::kClosestClass;
+    cold.order = OrderPolicy::kDegreeDesc;
+    cold.record_rounds = false;
+    auto hour0 = SolveGlobalTable(*inst0, cold);
+    if (!hour0.ok()) return 1;
+
+    // Hour 1: a fraction of users checked in somewhere new.
+    Rng rng(11);
+    std::vector<Point> moved = ds.user_locations;
+    for (NodeId v = 0; v < moved.size(); ++v) {
+      if (rng.Bernoulli(moved_frac)) {
+        moved[v].x += rng.Gaussian(0.0, 10.0);
+        moved[v].y += rng.Gaussian(0.0, 10.0);
+      }
+    }
+    std::vector<Point> events(ds.event_pool.begin(),
+                              ds.event_pool.begin() + k);
+    auto costs1 = std::make_shared<EuclideanCostProvider>(moved, events);
+    DistanceEstimates est1 = EstimateDistances(moved, events);
+    auto inst1 = Instance::Create(&ds.graph, costs1, 0.5);
+    if (!inst1.ok()) return 1;
+    if (!Normalize(&inst1.value(), NormalizationPolicy::kPessimistic,
+                   {est1.dist_min, est1.dist_med})
+             .ok()) {
+      return 1;
+    }
+
+    auto cold1 = SolveGlobalTable(*inst1, cold);
+    if (!cold1.ok()) return 1;
+    SolverOptions warm = cold;
+    warm.init = InitPolicy::kGiven;
+    warm.warm_start = hour0->assignment;
+    auto warm1 = SolveGlobalTable(*inst1, warm);
+    if (!warm1.ok()) return 1;
+
+    tab.AddRow({Table::Num(moved_frac, 2), Table::Int(cold1->rounds),
+                Table::Num(cold1->total_millis, 2),
+                Table::Int(warm1->rounds),
+                Table::Num(warm1->total_millis, 2)});
+  }
+
+  bench::Emit(args, "ablation_warmstart", tab);
+  return 0;
+}

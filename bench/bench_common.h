@@ -1,0 +1,58 @@
+#ifndef RMGP_BENCH_BENCH_COMMON_H_
+#define RMGP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "util/table.h"
+
+namespace rmgp {
+namespace bench {
+
+/// Shared command-line convention for the figure benches:
+///   --paper   run at the paper's full dataset scale (slow)
+///   --out DIR write CSVs into DIR (default ./bench_results)
+struct BenchArgs {
+  bool paper = false;
+  std::string out_dir = "bench_results";
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--paper") == 0) {
+        args.paper = true;
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        args.out_dir = argv[++i];
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--paper] [--out DIR]\n"
+                     "  --paper  full paper-scale datasets (slow)\n"
+                     "  --out    CSV output directory\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+/// Prints the table and writes it as CSV under args.out_dir.
+inline void Emit(const BenchArgs& args, const std::string& name,
+                 const Table& table) {
+  std::printf("\n== %s ==\n%s", name.c_str(), table.ToString().c_str());
+  std::error_code ec;
+  std::filesystem::create_directories(args.out_dir, ec);
+  const std::string path = args.out_dir + "/" + name + ".csv";
+  if (Status s = table.WriteCsv(path); !s.ok()) {
+    std::fprintf(stderr, "warning: %s\n", s.ToString().c_str());
+  } else {
+    std::printf("(csv: %s)\n", path.c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace rmgp
+
+#endif  // RMGP_BENCH_BENCH_COMMON_H_

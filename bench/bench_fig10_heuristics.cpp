@@ -1,0 +1,82 @@
+// Figure 10: the §3.1 heuristics on the Gowalla-like dataset with
+// pessimistic normalization, α = 0.5.
+//   RMGP_b      random init, random round order
+//   RMGP_b+i    closest-event init
+//   RMGP_b+i+o  closest-event init + decreasing-degree order
+// (a) CPU time vs k; (b) quality split into assignment/social components.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/normalization.h"
+#include "core/solver.h"
+#include "data/datasets.h"
+#include "spatial/estimators.h"
+
+using namespace rmgp;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  GowallaLikeOptions gopt;
+  if (!args.paper) {
+    gopt.num_users = 4000;
+    gopt.num_edges = 15200;
+  }
+  GeoSocialDataset ds = MakeGowallaLike(gopt);
+  const std::vector<ClassId> ks = args.paper
+                                      ? std::vector<ClassId>{8, 16, 32, 64, 128}
+                                      : std::vector<ClassId>{8, 16, 32, 64};
+  std::printf("fig10: %s |V|=%u, alpha=0.5, pessimistic RMGP_N\n",
+              ds.name.c_str(), ds.graph.num_nodes());
+
+  Table time_tab({"k", "RMGP_b_ms", "RMGP_b+i_ms", "RMGP_b+i+o_ms"});
+  Table qual_tab({"k", "variant", "assignment", "social", "total", "rounds"});
+
+  struct Variant {
+    const char* name;
+    InitPolicy init;
+    OrderPolicy order;
+  };
+  const Variant variants[] = {
+      {"RMGP_b", InitPolicy::kRandom, OrderPolicy::kRandom},
+      {"RMGP_b+i", InitPolicy::kClosestClass, OrderPolicy::kRandom},
+      {"RMGP_b+i+o", InitPolicy::kClosestClass, OrderPolicy::kDegreeDesc},
+  };
+
+  for (ClassId k : ks) {
+    auto costs = ds.MakeCosts(k);
+    DistanceEstimates est =
+        EstimateDistances(ds.user_locations, costs->events());
+    std::vector<std::string> time_row{Table::Int(k)};
+    for (const Variant& variant : variants) {
+      auto inst = Instance::Create(&ds.graph, costs, 0.5);
+      if (!inst.ok()) return 1;
+      if (auto cn = Normalize(&inst.value(),
+                              NormalizationPolicy::kPessimistic,
+                              {est.dist_min, est.dist_med});
+          !cn.ok()) {
+        return 1;
+      }
+      SolverOptions sopt;
+      sopt.init = variant.init;
+      sopt.order = variant.order;
+      sopt.seed = 7;
+      sopt.record_rounds = false;
+      auto res = SolveBaseline(*inst, sopt);
+      if (!res.ok()) return 1;
+      time_row.push_back(Table::Num(res->total_millis, 2));
+      qual_tab.AddRow({Table::Int(k), variant.name,
+                       Table::Num(res->objective.assignment, 1),
+                       Table::Num(res->objective.social, 1),
+                       Table::Num(res->objective.total, 1),
+                       Table::Int(res->rounds)});
+    }
+    time_tab.AddRow(std::move(time_row));
+  }
+
+  bench::Emit(args, "fig10a_time_vs_k", time_tab);
+  bench::Emit(args, "fig10b_quality_vs_k", qual_tab);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 11: effect of the preference parameter α (k = 32) on the
+// Gowalla-like dataset with pessimistic normalization.
+// (a) running time and rounds per variant (paper: heuristics 5-8 rounds,
+//     plain baseline 9-11);
+// (b) quality split — small α suppresses the social component; α = 0.9
+//     pins users to their closest events.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/normalization.h"
+#include "core/solver.h"
+#include "data/datasets.h"
+#include "spatial/estimators.h"
+
+using namespace rmgp;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  GowallaLikeOptions gopt;
+  if (!args.paper) {
+    gopt.num_users = 4000;
+    gopt.num_edges = 15200;
+  }
+  GeoSocialDataset ds = MakeGowallaLike(gopt);
+  const ClassId k = 32;
+  std::printf("fig11: %s |V|=%u, k=%u, pessimistic RMGP_N\n",
+              ds.name.c_str(), ds.graph.num_nodes(), k);
+
+  Table time_tab({"alpha", "RMGP_b_ms", "RMGP_b_rounds", "RMGP_b+i_ms",
+                  "RMGP_b+i_rounds", "RMGP_b+i+o_ms", "RMGP_b+i+o_rounds"});
+  Table qual_tab(
+      {"alpha", "variant", "assignment", "social", "total"});
+
+  struct Variant {
+    const char* name;
+    InitPolicy init;
+    OrderPolicy order;
+  };
+  const Variant variants[] = {
+      {"RMGP_b", InitPolicy::kRandom, OrderPolicy::kRandom},
+      {"RMGP_b+i", InitPolicy::kClosestClass, OrderPolicy::kRandom},
+      {"RMGP_b+i+o", InitPolicy::kClosestClass, OrderPolicy::kDegreeDesc},
+  };
+
+  auto costs = ds.MakeCosts(k);
+  DistanceEstimates est =
+      EstimateDistances(ds.user_locations, costs->events());
+
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    std::vector<std::string> time_row{Table::Num(alpha, 1)};
+    for (const Variant& variant : variants) {
+      auto inst = Instance::Create(&ds.graph, costs, alpha);
+      if (!inst.ok()) return 1;
+      if (auto cn = Normalize(&inst.value(),
+                              NormalizationPolicy::kPessimistic,
+                              {est.dist_min, est.dist_med});
+          !cn.ok()) {
+        return 1;
+      }
+      SolverOptions sopt;
+      sopt.init = variant.init;
+      sopt.order = variant.order;
+      sopt.seed = 7;
+      sopt.record_rounds = false;
+      auto res = SolveBaseline(*inst, sopt);
+      if (!res.ok()) return 1;
+      time_row.push_back(Table::Num(res->total_millis, 2));
+      time_row.push_back(Table::Int(res->rounds));
+      qual_tab.AddRow({Table::Num(alpha, 1), variant.name,
+                       Table::Num(res->objective.assignment, 1),
+                       Table::Num(res->objective.social, 1),
+                       Table::Num(res->objective.total, 1)});
+    }
+    time_tab.AddRow(std::move(time_row));
+  }
+
+  bench::Emit(args, "fig11a_time_vs_alpha", time_tab);
+  bench::Emit(args, "fig11b_quality_vs_alpha", qual_tab);
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Figure 12: the §4 optimizations on the Gowalla-like dataset with
+// pessimistic normalization. All variants use the b+i+o heuristics
+// (closest init, decreasing-degree order), as in the paper.
+//   (a) time vs k (α = 0.5): RMGP_gt is the best single optimization;
+//       RMGP_all the best overall;
+//   (b) time vs α (k = 32): RMGP_se gains as α grows (valid regions
+//       shrink);
+//   (c) per-round time for k = 32, α = 0.5: round 0 is dearer for se/gt
+//       (precomputation), RMGP_gt's rounds get cheaper over time.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/normalization.h"
+#include "core/solver.h"
+#include "data/datasets.h"
+#include "spatial/estimators.h"
+
+using namespace rmgp;
+using bench::BenchArgs;
+
+namespace {
+
+const SolverKind kKinds[] = {SolverKind::kBaseline,
+                             SolverKind::kStrategyElimination,
+                             SolverKind::kIndependentSets,
+                             SolverKind::kGlobalTable, SolverKind::kAll};
+
+SolverOptions MakeOptions(bool record_rounds) {
+  SolverOptions sopt;
+  sopt.init = InitPolicy::kClosestClass;
+  sopt.order = OrderPolicy::kDegreeDesc;
+  sopt.num_threads = 4;
+  sopt.seed = 7;
+  sopt.record_rounds = record_rounds;
+  return sopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  GowallaLikeOptions gopt;
+  if (!args.paper) {
+    gopt.num_users = 4000;
+    gopt.num_edges = 15200;
+  }
+  GeoSocialDataset ds = MakeGowallaLike(gopt);
+  std::printf("fig12: %s |V|=%u, pessimistic RMGP_N, b+i+o heuristics\n",
+              ds.name.c_str(), ds.graph.num_nodes());
+
+  const std::vector<ClassId> ks = args.paper
+                                      ? std::vector<ClassId>{8, 16, 32, 64, 128}
+                                      : std::vector<ClassId>{8, 16, 32, 64};
+
+  // ---- (a) time vs k, alpha = 0.5.
+  {
+    Table tab({"k", "RMGP_b_ms", "RMGP_se_ms", "RMGP_is_ms", "RMGP_gt_ms",
+               "RMGP_all_ms"});
+    for (ClassId k : ks) {
+      auto costs = ds.MakeCosts(k);
+      DistanceEstimates est =
+          EstimateDistances(ds.user_locations, costs->events());
+      std::vector<std::string> row{Table::Int(k)};
+      for (SolverKind kind : kKinds) {
+        auto inst = Instance::Create(&ds.graph, costs, 0.5);
+        if (!inst.ok()) return 1;
+        if (!Normalize(&inst.value(), NormalizationPolicy::kPessimistic,
+                       {est.dist_min, est.dist_med})
+                 .ok()) {
+          return 1;
+        }
+        auto res = Solve(kind, *inst, MakeOptions(false));
+        if (!res.ok()) return 1;
+        row.push_back(Table::Num(res->total_millis, 2));
+      }
+      tab.AddRow(std::move(row));
+    }
+    bench::Emit(args, "fig12a_time_vs_k", tab);
+  }
+
+  // ---- (b) time vs alpha, k = 32.
+  {
+    const ClassId k = 32;
+    auto costs = ds.MakeCosts(k);
+    DistanceEstimates est =
+        EstimateDistances(ds.user_locations, costs->events());
+    Table tab({"alpha", "RMGP_b_ms", "RMGP_se_ms", "RMGP_is_ms",
+               "RMGP_gt_ms", "RMGP_all_ms", "se_pruned_frac"});
+    for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      std::vector<std::string> row{Table::Num(alpha, 1)};
+      double pruned_frac = 0.0;
+      for (SolverKind kind : kKinds) {
+        auto inst = Instance::Create(&ds.graph, costs, alpha);
+        if (!inst.ok()) return 1;
+        if (!Normalize(&inst.value(), NormalizationPolicy::kPessimistic,
+                       {est.dist_min, est.dist_med})
+                 .ok()) {
+          return 1;
+        }
+        auto res = Solve(kind, *inst, MakeOptions(false));
+        if (!res.ok()) return 1;
+        row.push_back(Table::Num(res->total_millis, 2));
+        if (kind == SolverKind::kStrategyElimination) {
+          pruned_frac = static_cast<double>(res->pruned_strategies) /
+                        (static_cast<double>(ds.graph.num_nodes()) * k);
+        }
+      }
+      row.push_back(Table::Num(pruned_frac, 3));
+      tab.AddRow(std::move(row));
+    }
+    bench::Emit(args, "fig12b_time_vs_alpha", tab);
+  }
+
+  // ---- (c) per-round time, k = 32, alpha = 0.5.
+  {
+    const ClassId k = 32;
+    auto costs = ds.MakeCosts(k);
+    DistanceEstimates est =
+        EstimateDistances(ds.user_locations, costs->events());
+    Table tab({"round", "RMGP_b_ms", "RMGP_se_ms", "RMGP_is_ms",
+               "RMGP_gt_ms", "RMGP_all_ms"});
+    std::vector<std::vector<RoundStats>> per_kind;
+    size_t max_rounds = 0;
+    for (SolverKind kind : kKinds) {
+      auto inst = Instance::Create(&ds.graph, costs, 0.5);
+      if (!inst.ok()) return 1;
+      if (!Normalize(&inst.value(), NormalizationPolicy::kPessimistic,
+                     {est.dist_min, est.dist_med})
+               .ok()) {
+        return 1;
+      }
+      auto res = Solve(kind, *inst, MakeOptions(true));
+      if (!res.ok()) return 1;
+      max_rounds = std::max(max_rounds, res->round_stats.size());
+      per_kind.push_back(res->round_stats);
+    }
+    for (size_t r = 0; r < max_rounds; ++r) {
+      std::vector<std::string> row{Table::Int(static_cast<long long>(r))};
+      for (const auto& stats : per_kind) {
+        row.push_back(r < stats.size() ? Table::Num(stats[r].millis, 3)
+                                       : std::string());
+      }
+      tab.AddRow(std::move(row));
+    }
+    bench::Emit(args, "fig12c_time_per_round", tab);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 13: DG vs FaE on the Foursquare-like dataset (2 slaves + master
+// on a simulated 100 Mbps interconnect), total time vs k, α = 0.5,
+// RMGP_all underneath. FaE time stacks graph-transfer (query-independent)
+// on top of local execution; DG avoids the transfer and parallelizes
+// round-0 initialization across slaves.
+//
+// Default runs at 1/50 of the paper's dataset scale; --paper uses the
+// full 2.15M users / 27M edges (needs several GB of RAM).
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/normalization.h"
+#include "data/datasets.h"
+#include "dist/decentralized.h"
+#include "spatial/estimators.h"
+
+using namespace rmgp;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  FoursquareLikeOptions fopt;
+  fopt.scale = args.paper ? 1.0 : 0.02;
+  fopt.max_events = 1024;
+  std::printf("building foursquare-like dataset (scale %.3f)...\n",
+              fopt.scale);
+  GeoSocialDataset ds = MakeFoursquareLike(fopt);
+  std::printf("fig13: |V|=%u |E|=%llu, alpha=0.5, 2 slaves, 100 Mbps\n",
+              ds.graph.num_nodes(),
+              static_cast<unsigned long long>(ds.graph.num_edges()));
+
+  const std::vector<ClassId> ks =
+      args.paper ? std::vector<ClassId>{64, 128, 256, 512, 1024}
+                 : std::vector<ClassId>{64, 128, 256};
+
+  Table tab({"k", "FaE_transfer_s", "FaE_execute_s", "FaE_total_s",
+             "DG_total_s", "DG_data_MB", "FaE_data_MB"});
+
+  for (ClassId k : ks) {
+    auto costs = ds.MakeCosts(k);
+    DistanceEstimates est =
+        EstimateDistances(ds.user_locations, costs->events());
+    auto inst = Instance::Create(&ds.graph, costs, 0.5);
+    if (!inst.ok()) return 1;
+    if (!Normalize(&inst.value(), NormalizationPolicy::kPessimistic,
+                   {est.dist_min, est.dist_med})
+             .ok()) {
+      return 1;
+    }
+
+    DecentralizedOptions dopt;
+    dopt.num_slaves = 2;
+    dopt.network.bandwidth_mbps = 100.0;
+    dopt.network.latency_ms = 0.2;
+    dopt.solver.init = InitPolicy::kClosestClass;
+    dopt.solver.order = OrderPolicy::kDegreeDesc;
+    dopt.solver.num_threads = 4;
+    dopt.solver.record_rounds = false;
+
+    auto fae = RunFetchAndExecute(*inst, dopt);
+    if (!fae.ok()) return 1;
+    auto dg = RunDecentralizedGame(*inst, dopt);
+    if (!dg.ok()) return 1;
+
+    tab.AddRow({Table::Int(k), Table::Num(fae->transfer_seconds, 2),
+                Table::Num(fae->execute_seconds, 2),
+                Table::Num(fae->total_seconds, 2),
+                Table::Num(dg->simulated_seconds, 2),
+                Table::Num(dg->traffic.bytes / 1e6, 2),
+                Table::Num(fae->traffic.bytes / 1e6, 2)});
+  }
+
+  bench::Emit(args, "fig13_dg_vs_fae", tab);
+  return 0;
+}

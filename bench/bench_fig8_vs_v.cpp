@@ -1,0 +1,81 @@
+// Figure 8: RMGP_b vs MH vs UML_lp vs UML_gr as a function of node
+// cardinality |V| (paper: 100..300, k = 7). Same setup as Fig 7 with the
+// sweep over the Forest-Fire sample size instead of k.
+
+#include <memory>
+#include <vector>
+
+#include "baselines/mh.h"
+#include "baselines/uml_gr.h"
+#include "baselines/uml_lp.h"
+#include "bench/bench_common.h"
+#include "core/solver.h"
+#include "data/datasets.h"
+#include "graph/sampling.h"
+
+using namespace rmgp;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  GowallaLikeOptions gopt;
+  GeoSocialDataset ds = MakeGowallaLike(gopt);
+
+  const ClassId k = args.paper ? 7 : 4;
+  const std::vector<NodeId> vs =
+      args.paper ? std::vector<NodeId>{100, 150, 200, 250, 300}
+                 : std::vector<NodeId>{40, 60, 80, 100};
+  std::printf("fig8: k=%u, alpha=0.5, Forest-Fire samples of %s\n", k,
+              ds.name.c_str());
+
+  Table time_tab({"V", "RMGP_b_ms", "MH_ms", "UML_gr_ms", "UML_lp_ms"});
+  Table qual_tab({"V", "RMGP_b", "MH", "UML_gr", "UML_lp", "LP_bound"});
+
+  for (NodeId v : vs) {
+    ForestFireOptions ff;
+    ff.seed = 31;
+    std::vector<NodeId> nodes;
+    Graph sub = ForestFireSubgraph(ds.graph, v, ff, &nodes);
+    std::vector<Point> users;
+    users.reserve(nodes.size());
+    for (NodeId u : nodes) users.push_back(ds.user_locations[u]);
+    std::vector<Point> events(ds.event_pool.begin(),
+                              ds.event_pool.begin() + k);
+    auto costs = std::make_shared<EuclideanCostProvider>(users, events);
+    auto inst = Instance::Create(&sub, costs, 0.5);
+    if (!inst.ok()) return 1;
+
+    SolverOptions sopt;
+    sopt.init = InitPolicy::kRandom;
+    sopt.order = OrderPolicy::kRandom;
+    sopt.seed = 7;
+    sopt.record_rounds = false;
+    auto game = SolveBaseline(*inst, sopt);
+    if (!game.ok()) return 1;
+    auto mh = SolveMetisHungarian(*inst);
+    if (!mh.ok()) return 1;
+    auto gr = SolveUmlGreedy(*inst);
+    if (!gr.ok()) return 1;
+    auto lp = SolveUmlLp(*inst);
+    if (!lp.ok()) {
+      std::fprintf(stderr, "UML_lp failed at V=%u: %s\n", v,
+                   lp.status().ToString().c_str());
+      return 1;
+    }
+
+    time_tab.AddRow({Table::Int(v), Table::Num(game->total_millis, 3),
+                     Table::Num(mh->total_millis, 3),
+                     Table::Num(gr->total_millis, 3),
+                     Table::Num(lp->base.total_millis, 1)});
+    qual_tab.AddRow({Table::Int(v), Table::Num(game->objective.total, 2),
+                     Table::Num(mh->objective.total, 2),
+                     Table::Num(gr->objective.total, 2),
+                     Table::Num(lp->base.objective.total, 2),
+                     Table::Num(lp->lp_lower_bound, 2)});
+  }
+
+  bench::Emit(args, "fig8a_time_vs_v", time_tab);
+  bench::Emit(args, "fig8b_quality_vs_v", qual_tab);
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the library:
+// the per-user best response (Lemma 1's O(k + deg_v) inner loop),
+// objective/potential evaluation, graph construction, coloring, sampling
+// and the spatial index.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/objective.h"
+#include "core/solver.h"
+#include "core/solver_internal.h"
+#include "data/datasets.h"
+#include "graph/coloring.h"
+#include "graph/generators.h"
+#include "graph/sampling.h"
+#include "spatial/grid_index.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+struct Fixture {
+  GeoSocialDataset ds;
+  std::shared_ptr<EuclideanCostProvider> costs;
+  std::unique_ptr<Instance> inst;
+  Assignment assignment;
+
+  Fixture(NodeId users, ClassId k) {
+    GowallaLikeOptions opt;
+    opt.num_users = users;
+    opt.num_edges = static_cast<uint64_t>(users * 3.8);
+    opt.num_events = k;
+    ds = MakeGowallaLike(opt);
+    costs = ds.MakeCosts(k);
+    auto created = Instance::Create(&ds.graph, costs, 0.5);
+    inst = std::make_unique<Instance>(std::move(created).value());
+    Rng rng(1);
+    assignment.resize(users);
+    for (auto& a : assignment) a = static_cast<ClassId>(rng.UniformInt(k));
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture fixture(4000, 32);
+  return fixture;
+}
+
+void BM_BestResponse(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  const auto max_sc = internal::ComputeMaxSocialCosts(*f.inst);
+  std::vector<double> scratch(f.inst->num_classes());
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(internal::BestResponseScratch(
+        *f.inst, f.assignment, v, max_sc, scratch.data()));
+    v = (v + 1) % f.inst->num_users();
+  }
+}
+BENCHMARK(BM_BestResponse);
+
+void BM_EvaluateObjective(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateObjective(*f.inst, f.assignment));
+  }
+}
+BENCHMARK(BM_EvaluateObjective);
+
+void BM_VerifyEquilibrium(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  SolverOptions opt;
+  opt.record_rounds = false;
+  auto res = SolveGlobalTable(*f.inst, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VerifyEquilibrium(*f.inst, res->assignment));
+  }
+}
+BENCHMARK(BM_VerifyEquilibrium);
+
+void BM_SolveGlobalTable(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  opt.order = OrderPolicy::kDegreeDesc;
+  opt.record_rounds = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveGlobalTable(*f.inst, opt));
+  }
+}
+BENCHMARK(BM_SolveGlobalTable);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Graph src = BarabasiAlbert(n, 4, 3);
+  auto edges = src.CollectEdges();
+  for (auto _ : state) {
+    GraphBuilder b(n);
+    for (const Edge& e : edges) {
+      benchmark::DoNotOptimize(b.AddEdge(e.u, e.v, e.weight));
+    }
+    Graph g = std::move(b).Build();
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(edges.size()));
+}
+BENCHMARK(BM_GraphBuild)->Arg(1000)->Arg(10000);
+
+void BM_GreedyColoring(benchmark::State& state) {
+  Graph g = BarabasiAlbert(static_cast<NodeId>(state.range(0)), 4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyColoring(g));
+  }
+}
+BENCHMARK(BM_GreedyColoring)->Arg(1000)->Arg(10000);
+
+void BM_ForestFire(benchmark::State& state) {
+  Graph g = BarabasiAlbert(20000, 4, 3);
+  ForestFireOptions opt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ForestFireSample(g, static_cast<NodeId>(state.range(0)), opt));
+  }
+}
+BENCHMARK(BM_ForestFire)->Arg(200)->Arg(2000);
+
+void BM_GridNearest(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<Point> pts;
+  for (int i = 0; i < 1024; ++i) {
+    pts.push_back({rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)});
+  }
+  GridIndex idx(pts, 32);
+  for (auto _ : state) {
+    Point q{rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)};
+    benchmark::DoNotOptimize(idx.Nearest(q));
+  }
+}
+BENCHMARK(BM_GridNearest);
+
+}  // namespace
+}  // namespace rmgp
+
+BENCHMARK_MAIN();

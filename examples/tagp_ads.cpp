@@ -1,0 +1,102 @@
+// Topic-Aware Graph Partitioning (paper Example 2): an on-line forum
+// places one advertisement per user so that the ad matches both the
+// user's own interests (tf-idf-style dissimilarity) and the ads shown to
+// their frequent discussion partners ("word of mouth").
+//
+// TAGP inverts LAGP's scale problem: assignment costs live in [0,1] while
+// edge weights (common discussion threads) run into the tens — without
+// normalization the social term swallows the game (§3.3).
+//
+//   ./build/examples/tagp_ads
+
+#include <cstdio>
+
+#include "core/normalization.h"
+#include "core/solver.h"
+#include "data/tagp.h"
+
+using namespace rmgp;
+
+namespace {
+
+struct QueryOutcome {
+  double mean_dissimilarity;  // avg cost of the ad each user received
+  double same_ad_neighbor_frac;  // fraction of edges with matching ads
+};
+
+QueryOutcome Evaluate(const TagpDataset& ds, const Assignment& a) {
+  QueryOutcome out{0.0, 0.0};
+  for (NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+    out.mean_dissimilarity += ds.costs->Cost(v, a[v]);
+  }
+  out.mean_dissimilarity /= ds.graph.num_nodes();
+  uint64_t same = 0, total = 0;
+  for (const Edge& e : ds.graph.CollectEdges()) {
+    ++total;
+    if (a[e.u] == a[e.v]) ++same;
+  }
+  out.same_ad_neighbor_frac =
+      total > 0 ? static_cast<double>(same) / total : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  TagpOptions topt;
+  topt.num_users = 5000;
+  topt.num_ads = 16;
+  topt.num_topics = 30;
+  std::printf("building TAGP workload: %u users, %u ads, %u topics...\n",
+              topt.num_users, topt.num_ads, topt.num_topics);
+  TagpDataset ds = MakeTagp(topt);
+  std::printf("  discussion graph: %llu edges, avg common threads %.1f\n\n",
+              static_cast<unsigned long long>(ds.graph.num_edges()),
+              ds.graph.average_edge_weight());
+
+  SolverOptions sopt;
+  sopt.init = InitPolicy::kClosestClass;
+  sopt.order = OrderPolicy::kDegreeDesc;
+
+  auto inst = Instance::Create(&ds.graph, ds.costs, 0.5);
+  if (!inst.ok()) {
+    std::fprintf(stderr, "%s\n", inst.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- Raw game: edge weights (tens) dwarf costs ([0,1]) — users herd
+  // onto few ads regardless of interests.
+  auto raw = SolveGlobalTable(inst.value(), sopt);
+  if (!raw.ok()) return 1;
+  QueryOutcome raw_out = Evaluate(ds, raw->assignment);
+
+  // --- Normalized game (RMGP_N, pessimistic): both criteria matter.
+  auto cn = NormalizeExact(&inst.value(), NormalizationPolicy::kPessimistic);
+  if (!cn.ok()) return 1;
+  auto norm = SolveGlobalTable(inst.value(), sopt);
+  if (!norm.ok()) return 1;
+  QueryOutcome norm_out = Evaluate(ds, norm->assignment);
+
+  std::printf("%-22s %-22s %s\n", "", "mean ad dissimilarity",
+              "neighbors sharing an ad");
+  std::printf("%-22s %-22.3f %.1f%%\n", "raw RMGP",
+              raw_out.mean_dissimilarity,
+              100.0 * raw_out.same_ad_neighbor_frac);
+  std::printf("%-22s %-22.3f %.1f%%   (CN=%.2f)\n", "normalized RMGP_N",
+              norm_out.mean_dissimilarity,
+              100.0 * norm_out.same_ad_neighbor_frac, *cn);
+
+  std::printf(
+      "\nraw RMGP maximizes word-of-mouth but ignores interests;\n"
+      "RMGP_N balances both: users get relevant ads that their frequent\n"
+      "co-participants also see.\n");
+
+  // Show a few concrete placements.
+  std::printf("\nsample placements (normalized):\n");
+  for (NodeId v = 0; v < 5; ++v) {
+    std::printf("  user %u -> ad %u (dissimilarity %.3f, %u friends)\n", v,
+                norm->assignment[v], ds.costs->Cost(v, norm->assignment[v]),
+                ds.graph.degree(v));
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerates every figure of the paper's evaluation section.
+#
+#   scripts/run_figures.sh [--paper] [OUT_DIR]
+#
+# Default scale finishes in a few minutes; --paper uses the published
+# dataset sizes (the Fig 13/14 runs then need several GB of RAM and tens
+# of minutes, and the Fig 7/8 UML_lp sweeps can take hours — the LP is
+# the paper's point).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD=${BUILD_DIR:-build}
+PAPER=""
+OUT="bench_results"
+for arg in "$@"; do
+  case "$arg" in
+    --paper) PAPER="--paper" ;;
+    *) OUT="$arg" ;;
+  esac
+done
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+for fig in 7_vs_k 8_vs_v 9_normalization 10_heuristics 11_alpha \
+           12_optimizations 13_dg_vs_fae 14_dg_rounds; do
+  echo "=== fig${fig} ==="
+  "$BUILD/bench/bench_fig${fig}" $PAPER --out "$OUT"
+done
+
+for ab in order threads warmstart dynamic normalization multistart \
+          placement; do
+  echo "=== ablation_${ab} ==="
+  "$BUILD/bench/bench_ablation_${ab}" $PAPER --out "$OUT"
+done
+
+"$BUILD/bench/bench_micro"
+echo "CSVs in $OUT/"

@@ -1,0 +1,19 @@
+#ifndef RMGP_BASELINES_BASELINE_RESULT_H_
+#define RMGP_BASELINES_BASELINE_RESULT_H_
+
+#include "core/instance.h"
+#include "core/objective.h"
+
+namespace rmgp {
+
+/// Outcome shared by the benchmark baselines (§6.1): the assignment they
+/// produce, its Equation-1 objective, and the wall time spent.
+struct BaselineResult {
+  Assignment assignment;
+  CostBreakdown objective;
+  double total_millis = 0.0;
+};
+
+}  // namespace rmgp
+
+#endif  // RMGP_BASELINES_BASELINE_RESULT_H_

@@ -1,0 +1,81 @@
+#include "baselines/brute_force.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/stopwatch.h"
+
+namespace rmgp {
+namespace {
+
+constexpr double kMaxCombinations = 3e7;
+
+Status CheckSize(const Instance& inst) {
+  const double combos =
+      std::pow(static_cast<double>(inst.num_classes()),
+               static_cast<double>(inst.num_users()));
+  if (combos > kMaxCombinations) {
+    return Status::InvalidArgument(
+        "instance too large for brute force (k^n > 3e7)");
+  }
+  return Status::OK();
+}
+
+/// Calls fn for every assignment; fn may inspect but not keep the vector.
+template <typename Fn>
+void ForEachAssignment(NodeId n, ClassId k, Fn&& fn) {
+  Assignment a(n, 0);
+  for (;;) {
+    fn(a);
+    NodeId pos = 0;
+    while (pos < n) {
+      if (++a[pos] < k) break;
+      a[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) return;
+  }
+}
+
+}  // namespace
+
+Result<BaselineResult> SolveBruteForce(const Instance& inst) {
+  RMGP_RETURN_IF_ERROR(CheckSize(inst));
+  Stopwatch sw;
+  BaselineResult best;
+  double best_total = std::numeric_limits<double>::infinity();
+  ForEachAssignment(inst.num_users(), inst.num_classes(),
+                    [&](const Assignment& a) {
+                      const CostBreakdown obj = EvaluateObjective(inst, a);
+                      if (obj.total < best_total) {
+                        best_total = obj.total;
+                        best.assignment = a;
+                        best.objective = obj;
+                      }
+                    });
+  best.total_millis = sw.ElapsedMillis();
+  return best;
+}
+
+Result<EquilibriumSpectrum> EnumerateEquilibria(const Instance& inst) {
+  RMGP_RETURN_IF_ERROR(CheckSize(inst));
+  EquilibriumSpectrum spec;
+  spec.social_optimum = std::numeric_limits<double>::infinity();
+  spec.best_equilibrium = std::numeric_limits<double>::infinity();
+  spec.worst_equilibrium = -std::numeric_limits<double>::infinity();
+  ForEachAssignment(
+      inst.num_users(), inst.num_classes(), [&](const Assignment& a) {
+        const CostBreakdown obj = EvaluateObjective(inst, a);
+        spec.social_optimum = std::min(spec.social_optimum, obj.total);
+        if (VerifyEquilibrium(inst, a).ok()) {
+          ++spec.num_equilibria;
+          spec.best_equilibrium = std::min(spec.best_equilibrium, obj.total);
+          spec.worst_equilibrium =
+              std::max(spec.worst_equilibrium, obj.total);
+        }
+      });
+  return spec;
+}
+
+}  // namespace rmgp

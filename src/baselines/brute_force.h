@@ -1,0 +1,32 @@
+#ifndef RMGP_BASELINES_BRUTE_FORCE_H_
+#define RMGP_BASELINES_BRUTE_FORCE_H_
+
+#include "baselines/baseline_result.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Exhaustive search over all k^|V| assignments. Only for tiny instances
+/// (it refuses anything over ~30M combinations); the ground truth for the
+/// PoS/PoA property tests and for validating every other solver.
+Result<BaselineResult> SolveBruteForce(const Instance& inst);
+
+/// Enumerates all pure Nash equilibria of the instance by brute force and
+/// returns the best and worst equilibrium objective values, plus the
+/// social optimum — the ingredients of PoS and PoA (§2.2). Same size
+/// limits as SolveBruteForce.
+struct EquilibriumSpectrum {
+  double social_optimum = 0.0;
+  double best_equilibrium = 0.0;
+  double worst_equilibrium = 0.0;
+  uint64_t num_equilibria = 0;
+
+  double PriceOfStability() const { return best_equilibrium / social_optimum; }
+  double PriceOfAnarchy() const { return worst_equilibrium / social_optimum; }
+};
+
+Result<EquilibriumSpectrum> EnumerateEquilibria(const Instance& inst);
+
+}  // namespace rmgp
+
+#endif  // RMGP_BASELINES_BRUTE_FORCE_H_

@@ -1,0 +1,154 @@
+#include "baselines/label_propagation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "matching/hungarian.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace rmgp {
+
+LabelPropagationResult PropagateLabels(
+    const Graph& g, const LabelPropagationOptions& options) {
+  const NodeId n = g.num_nodes();
+  LabelPropagationResult res;
+  res.community.resize(n);
+  std::iota(res.community.begin(), res.community.end(), 0);
+  if (n == 0) {
+    res.converged = true;
+    return res;
+  }
+
+  Rng rng(options.seed);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+
+  std::unordered_map<uint32_t, double> weight_by_label;
+  for (uint32_t round = 1; round <= options.max_rounds; ++round) {
+    uint64_t changes = 0;
+    for (NodeId v : order) {
+      weight_by_label.clear();
+      for (const Neighbor& nb : g.neighbors(v)) {
+        weight_by_label[res.community[nb.node]] += nb.weight;
+      }
+      if (weight_by_label.empty()) continue;
+      const uint32_t current = res.community[v];
+      // Maximum incident weight; ties keep the current label if it is
+      // maximal, otherwise the smallest maximal label (deterministic).
+      double max_weight = 0.0;
+      for (const auto& [label, weight] : weight_by_label) {
+        (void)label;
+        max_weight = std::max(max_weight, weight);
+      }
+      const auto current_it = weight_by_label.find(current);
+      const double current_weight =
+          current_it != weight_by_label.end() ? current_it->second : 0.0;
+      if (current_weight >= max_weight - 1e-12) continue;  // keep label
+      uint32_t best_label = UINT32_MAX;
+      for (const auto& [label, weight] : weight_by_label) {
+        if (weight >= max_weight - 1e-12 && label < best_label) {
+          best_label = label;
+        }
+      }
+      res.community[v] = best_label;
+      ++changes;
+    }
+    res.rounds = round;
+    if (changes == 0) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  // Compact community ids.
+  std::unordered_map<uint32_t, uint32_t> remap;
+  for (uint32_t& c : res.community) {
+    auto [it, inserted] = remap.try_emplace(
+        c, static_cast<uint32_t>(remap.size()));
+    c = it->second;
+  }
+  res.num_communities = static_cast<uint32_t>(remap.size());
+  return res;
+}
+
+namespace {
+
+/// Merges communities until at most `k` remain: repeatedly fold the
+/// smallest community into the neighbor community it shares the most
+/// edge weight with (or the next smallest if isolated).
+std::vector<uint32_t> MergeToK(const Graph& g,
+                               std::vector<uint32_t> community,
+                               uint32_t num_communities, uint32_t k) {
+  while (num_communities > k) {
+    std::vector<uint32_t> size(num_communities, 0);
+    for (uint32_t c : community) ++size[c];
+    uint32_t smallest = 0;
+    for (uint32_t c = 1; c < num_communities; ++c) {
+      if (size[c] < size[smallest]) smallest = c;
+    }
+    // Strongest-connected other community.
+    std::vector<double> link(num_communities, 0.0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (community[v] != smallest) continue;
+      for (const Neighbor& nb : g.neighbors(v)) {
+        if (community[nb.node] != smallest) {
+          link[community[nb.node]] += nb.weight;
+        }
+      }
+    }
+    uint32_t target = smallest == 0 ? 1 : 0;
+    for (uint32_t c = 0; c < num_communities; ++c) {
+      if (c != smallest && link[c] > link[target]) target = c;
+    }
+    // Relabel: smallest -> target, last -> smallest's slot.
+    const uint32_t last = num_communities - 1;
+    for (uint32_t& c : community) {
+      if (c == smallest) c = target;
+      if (c == last && smallest != last) c = smallest;
+    }
+    --num_communities;
+  }
+  return community;
+}
+
+}  // namespace
+
+Result<BaselineResult> SolveLabelPropagationHungarian(
+    const Instance& inst, const LabelPropagationOptions& options) {
+  Stopwatch sw;
+  const ClassId k = inst.num_classes();
+  const NodeId n = inst.num_users();
+
+  LabelPropagationResult lp = PropagateLabels(inst.graph(), options);
+  std::vector<uint32_t> groups =
+      MergeToK(inst.graph(), std::move(lp.community), lp.num_communities,
+               k);
+  uint32_t num_groups = 0;
+  for (uint32_t c : groups) num_groups = std::max(num_groups, c + 1);
+
+  // Group -> class assignment cost, then Hungarian (groups <= k).
+  std::vector<double> agg(static_cast<size_t>(num_groups) * k, 0.0);
+  std::vector<double> row(k);
+  for (NodeId v = 0; v < n; ++v) {
+    inst.AssignmentCostsFor(v, row.data());
+    double* dst = agg.data() + static_cast<size_t>(groups[v]) * k;
+    for (ClassId p = 0; p < k; ++p) dst[p] += row[p];
+  }
+  auto matching = SolveAssignment(agg, num_groups, k);
+  if (!matching.ok()) return matching.status();
+
+  BaselineResult res;
+  res.assignment.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    res.assignment[v] = matching->col_of_row[groups[v]];
+  }
+  res.total_millis = sw.ElapsedMillis();
+  res.objective = EvaluateObjective(inst, res.assignment);
+  return res;
+}
+
+}  // namespace rmgp

@@ -1,0 +1,48 @@
+#ifndef RMGP_BASELINES_LABEL_PROPAGATION_H_
+#define RMGP_BASELINES_LABEL_PROPAGATION_H_
+
+#include <vector>
+
+#include "baselines/baseline_result.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Classic (weighted) label propagation community detection (Raghavan et
+/// al.): every node repeatedly adopts the label carrying the most
+/// incident weight among its neighbors. RMGP's best-response dynamics
+/// reduce to exactly this when α→0 and every class costs the same — the
+/// resemblance §2.1's community-detection related work hints at; this
+/// module makes the comparison concrete.
+struct LabelPropagationOptions {
+  uint32_t max_rounds = 100;
+  uint64_t seed = 5;
+};
+
+struct LabelPropagationResult {
+  /// Community id per node, compacted to [0, num_communities).
+  std::vector<uint32_t> community;
+  uint32_t num_communities = 0;
+  uint32_t rounds = 0;
+  bool converged = false;
+};
+
+/// Runs synchronous-order label propagation (each round visits nodes in a
+/// fixed random permutation; ties keep the current label, then prefer the
+/// smallest label for determinism).
+LabelPropagationResult PropagateLabels(
+    const Graph& g, const LabelPropagationOptions& options = {});
+
+/// The "LPH" benchmark: label-propagation communities, merged down to at
+/// most k groups (smallest communities merged into their most-connected
+/// neighbor community), then assigned to classes with the Hungarian
+/// method — the label-propagation analogue of the Metis–Hungarian
+/// baseline. Shows what pure community detection misses versus playing
+/// the multi-criteria game.
+Result<BaselineResult> SolveLabelPropagationHungarian(
+    const Instance& inst, const LabelPropagationOptions& options = {});
+
+}  // namespace rmgp
+
+#endif  // RMGP_BASELINES_LABEL_PROPAGATION_H_

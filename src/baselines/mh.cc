@@ -1,0 +1,42 @@
+#include "baselines/mh.h"
+
+#include "matching/hungarian.h"
+#include "util/stopwatch.h"
+
+namespace rmgp {
+
+Result<BaselineResult> SolveMetisHungarian(const Instance& inst,
+                                           const MhOptions& options) {
+  Stopwatch sw;
+  const ClassId k = inst.num_classes();
+  const NodeId n = inst.num_users();
+
+  PartitionOptions popt = options.partition;
+  popt.num_parts = k;
+  auto part_result = KWayPartition(inst.graph(), popt);
+  if (!part_result.ok()) return part_result.status();
+  const std::vector<uint32_t>& part = part_result->part;
+
+  // Cost of assigning partition i to class j = Σ_{v in part i} c(v, j).
+  std::vector<double> agg(static_cast<size_t>(k) * k, 0.0);
+  std::vector<double> row(k);
+  for (NodeId v = 0; v < n; ++v) {
+    inst.AssignmentCostsFor(v, row.data());
+    double* dst = agg.data() + static_cast<size_t>(part[v]) * k;
+    for (ClassId p = 0; p < k; ++p) dst[p] += row[p];
+  }
+
+  auto matching = SolveAssignment(agg, k, k);
+  if (!matching.ok()) return matching.status();
+
+  BaselineResult res;
+  res.assignment.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    res.assignment[v] = matching->col_of_row[part[v]];
+  }
+  res.total_millis = sw.ElapsedMillis();
+  res.objective = EvaluateObjective(inst, res.assignment);
+  return res;
+}
+
+}  // namespace rmgp

@@ -1,0 +1,25 @@
+#ifndef RMGP_BASELINES_MH_H_
+#define RMGP_BASELINES_MH_H_
+
+#include "baselines/baseline_result.h"
+#include "partition/kway.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// The Metis–Hungarian benchmark (§6.1): first compute a minimum
+/// (unbalanced) k-way social cut with the multilevel partitioner, then
+/// assign each partition to a distinct class with the Hungarian method so
+/// the total assignment cost is minimized. Minimizes the social cut first
+/// and the assignment cost only afterwards, so it lands at low social but
+/// high assignment cost — the behavior Fig 7(b) reports.
+struct MhOptions {
+  PartitionOptions partition;
+};
+
+Result<BaselineResult> SolveMetisHungarian(const Instance& inst,
+                                           const MhOptions& options = {});
+
+}  // namespace rmgp
+
+#endif  // RMGP_BASELINES_MH_H_

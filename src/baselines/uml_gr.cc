@@ -1,0 +1,109 @@
+#include "baselines/uml_gr.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "flow/max_flow.h"
+#include "util/stopwatch.h"
+
+namespace rmgp {
+
+Result<BaselineResult> SolveUmlGreedy(const Instance& inst) {
+  Stopwatch sw;
+  const NodeId n = inst.num_users();
+  const ClassId k = inst.num_classes();
+  const double alpha = inst.alpha();
+  const double social = 1.0 - alpha;
+
+  // Materialize costs once (the UML baselines take the cost matrix as
+  // input, §6.1).
+  std::vector<std::vector<double>> cost(n, std::vector<double>(k));
+  for (NodeId v = 0; v < n; ++v) inst.AssignmentCostsFor(v, cost[v].data());
+
+  // Classes ascending by total assignment cost: cheap classes get first
+  // pick of the nodes.
+  std::vector<ClassId> class_order(k);
+  std::iota(class_order.begin(), class_order.end(), 0);
+  std::vector<double> class_total(k, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (ClassId l = 0; l < k; ++l) class_total[l] += cost[v][l];
+  }
+  std::stable_sort(class_order.begin(), class_order.end(),
+                   [&](ClassId a, ClassId b) {
+                     return class_total[a] < class_total[b];
+                   });
+
+  Assignment assignment(n, UINT32_MAX);
+  std::vector<bool> remaining_class(k, true);
+  NodeId num_unassigned = n;
+
+  for (uint32_t step = 0; step < k && num_unassigned > 0; ++step) {
+    const ClassId l = class_order[step];
+    remaining_class[l] = false;
+    if (step + 1 == k) {
+      // Last class takes every leftover node.
+      for (NodeId v = 0; v < n; ++v) {
+        if (assignment[v] == UINT32_MAX) assignment[v] = l;
+      }
+      num_unassigned = 0;
+      break;
+    }
+
+    // Binary problem over unassigned nodes U: source side = "take l now",
+    // sink side = "defer to the remaining classes".
+    std::vector<NodeId> unassigned;
+    std::vector<uint32_t> flow_id(n, UINT32_MAX);
+    for (NodeId v = 0; v < n; ++v) {
+      if (assignment[v] == UINT32_MAX) {
+        flow_id[v] = static_cast<uint32_t>(unassigned.size());
+        unassigned.push_back(v);
+      }
+    }
+    MaxFlow flow(static_cast<uint32_t>(unassigned.size()) + 2);
+    const uint32_t s = static_cast<uint32_t>(unassigned.size());
+    const uint32_t t = s + 1;
+
+    for (uint32_t i = 0; i < unassigned.size(); ++i) {
+      const NodeId v = unassigned[i];
+      // Taking l pays α·c(v,l); deferring pays (at least) the best
+      // remaining alternative.
+      double take_cost = alpha * cost[v][l];
+      double defer_cost = std::numeric_limits<double>::infinity();
+      for (ClassId l2 = 0; l2 < k; ++l2) {
+        if (l2 != l && remaining_class[l2]) {
+          defer_cost = std::min(defer_cost, cost[v][l2]);
+        }
+      }
+      defer_cost *= alpha;
+      // Friends already fixed to l pull v towards l: deferring would cut
+      // those edges for sure.
+      for (const Neighbor& nb : inst.graph().neighbors(v)) {
+        if (assignment[nb.node] == l) defer_cost += social * nb.weight;
+      }
+      flow.AddEdge(s, i, defer_cost);  // cut => v on sink side => defer
+      flow.AddEdge(i, t, take_cost);   // cut => v on source side => take l
+      for (const Neighbor& nb : inst.graph().neighbors(v)) {
+        if (flow_id[nb.node] != UINT32_MAX && v < nb.node) {
+          flow.AddUndirectedEdge(i, flow_id[nb.node], social * nb.weight);
+        }
+      }
+    }
+    flow.Solve(s, t);
+    const std::vector<bool> source_side = flow.MinCutSourceSide(s);
+    for (uint32_t i = 0; i < unassigned.size(); ++i) {
+      if (source_side[i]) {
+        assignment[unassigned[i]] = l;
+        --num_unassigned;
+      }
+    }
+  }
+
+  BaselineResult res;
+  res.assignment = std::move(assignment);
+  res.total_millis = sw.ElapsedMillis();
+  res.objective = EvaluateObjective(inst, res.assignment);
+  return res;
+}
+
+}  // namespace rmgp

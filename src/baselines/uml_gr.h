@@ -1,0 +1,21 @@
+#ifndef RMGP_BASELINES_UML_GR_H_
+#define RMGP_BASELINES_UML_GR_H_
+
+#include "baselines/baseline_result.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// UML_gr — the greedy min-cut labeling baseline (§2.1 / §6.1, Bracht et
+/// al.'s O(k·|V|³) greedy with its per-class graph transformations). For
+/// every class, in ascending order of total assignment cost, the algorithm
+/// builds a transformed flow network over the still-unlabeled nodes
+/// ("assign this class now" vs "defer to the remaining classes") and takes
+/// the minimum cut; the source side receives the class. Guarantees are of
+/// the 8·log|V| kind — markedly looser than the LP's factor 2, which is
+/// exactly the quality gap Fig 7(b)/8(b) shows.
+Result<BaselineResult> SolveUmlGreedy(const Instance& inst);
+
+}  // namespace rmgp
+
+#endif  // RMGP_BASELINES_UML_GR_H_

@@ -1,0 +1,42 @@
+#ifndef RMGP_BASELINES_UML_LP_H_
+#define RMGP_BASELINES_UML_LP_H_
+
+#include "baselines/baseline_result.h"
+#include "lp/simplex.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Options for UML_lp, the Kleinberg–Tardos LP-relaxation 2-approximation
+/// (§2.1 / §6.1). The paper solved the LP with CVX; we solve it with the
+/// from-scratch simplex of src/lp (DESIGN.md §5).
+struct UmlLpOptions {
+  /// Randomized-rounding repetitions; the best-objective rounding is kept.
+  uint32_t rounding_trials = 5;
+  uint64_t rounding_seed = 33;
+  SimplexOptions simplex;
+};
+
+/// Result of UML_lp plus the LP's optimal value, which lower-bounds the
+/// integral optimum — the quality yardstick Fig 7(b)/8(b) lean on ("in
+/// most settings the linear relaxation gave integral solutions").
+struct UmlLpResult {
+  BaselineResult base;
+  double lp_lower_bound = 0.0;
+  bool lp_integral = false;   ///< LP solution was already integral
+  uint64_t lp_iterations = 0;
+};
+
+/// Solves the UML LP relaxation
+///   min Σ_v Σ_l α·c(v,l)·x_vl + Σ_e Σ_l (1-α)·(w_e/2)·z_el
+///   s.t. Σ_l x_vl = 1,  z_el >= ±(x_ul - x_vl),  x,z >= 0
+/// and rounds with the Kleinberg–Tardos randomized scheme (pick a label
+/// and a threshold; assign matching fractional mass) to an integral
+/// assignment. Exponential-size only in the simplex sense: intended for
+/// the few-hundred-node graphs UML methods target.
+Result<UmlLpResult> SolveUmlLp(const Instance& inst,
+                               const UmlLpOptions& options = {});
+
+}  // namespace rmgp
+
+#endif  // RMGP_BASELINES_UML_LP_H_

@@ -1,0 +1,82 @@
+#include <algorithm>
+#include <limits>
+
+#include "core/solver_internal.h"
+
+namespace rmgp {
+namespace internal {
+
+std::vector<double> ComputeMaxSocialCosts(const Instance& inst) {
+  const NodeId n = inst.num_users();
+  std::vector<double> max_sc(n);
+  const double factor = 1.0 - inst.alpha();
+  for (NodeId v = 0; v < n; ++v) {
+    max_sc[v] = factor * inst.HalfIncidentWeight(v);
+  }
+  return max_sc;
+}
+
+BestResponse BestResponseScratch(const Instance& inst, const Assignment& a,
+                                 NodeId v, const std::vector<double>& max_sc,
+                                 double* scratch) {
+  const ClassId k = inst.num_classes();
+  const double alpha = inst.alpha();
+  // Lines 7-8: cost_v[p] = α·c(v,p) + maxSC_v.
+  inst.AssignmentCostsFor(v, scratch);
+  const double msc = max_sc[v];
+  for (ClassId p = 0; p < k; ++p) scratch[p] = alpha * scratch[p] + msc;
+  // Lines 9-10: credit back friends' classes.
+  const double social_factor = 1.0 - alpha;
+  for (const Neighbor& nb : inst.graph().neighbors(v)) {
+    scratch[a[nb.node]] -= social_factor * 0.5 * nb.weight;
+  }
+  // Lines 11-13: pick the minimum (lowest class id on ties).
+  BestResponse br;
+  br.current_cost = scratch[a[v]];
+  br.best_class = 0;
+  br.best_cost = scratch[0];
+  for (ClassId p = 1; p < k; ++p) {
+    if (scratch[p] < br.best_cost) {
+      br.best_cost = scratch[p];
+      br.best_class = p;
+    }
+  }
+  return br;
+}
+
+BestResponse BestResponseReduced(const Instance& inst, const Assignment& a,
+                                 NodeId v, const std::vector<double>& max_sc,
+                                 const ReducedStrategies& rs,
+                                 double* scratch) {
+  const auto candidates = rs.StrategiesOf(v);
+  const double alpha = inst.alpha();
+  const double msc = max_sc[v];
+  for (ClassId p : candidates) {
+    scratch[p] = alpha * inst.AssignmentCost(v, p) + msc;
+  }
+  const double social_factor = 1.0 - alpha;
+  for (const Neighbor& nb : inst.graph().neighbors(v)) {
+    // Classes outside the candidate list receive garbage updates here, but
+    // they are never read below; avoiding the membership test keeps the
+    // inner loop at O(deg).
+    scratch[a[nb.node]] -= social_factor * 0.5 * nb.weight;
+  }
+  BestResponse br;
+  const bool current_valid =
+      std::binary_search(candidates.begin(), candidates.end(), a[v]);
+  br.current_cost = current_valid ? scratch[a[v]]
+                                  : std::numeric_limits<double>::infinity();
+  br.best_class = candidates[0];
+  br.best_cost = scratch[candidates[0]];
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    const ClassId p = candidates[i];
+    if (scratch[p] < br.best_cost) {
+      br.best_cost = scratch[p];
+      br.best_class = p;
+    }
+  }
+  return br;
+}
+
+}  // namespace internal
+}  // namespace rmgp

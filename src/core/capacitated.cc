@@ -1,0 +1,209 @@
+#include "core/capacitated.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <string>
+
+#include "core/solver_internal.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace rmgp {
+
+using internal::StrictlyBetter;
+
+namespace {
+
+/// Per-user total cost of class p given the current assignment, reusing
+/// the Fig 3 bookkeeping (scratch holds all k costs after the call).
+void FillCosts(const Instance& inst, const Assignment& a,
+               const std::vector<double>& max_sc, NodeId v,
+               double* scratch) {
+  const ClassId k = inst.num_classes();
+  inst.AssignmentCostsFor(v, scratch);
+  const double alpha = inst.alpha();
+  for (ClassId p = 0; p < k; ++p) {
+    scratch[p] = alpha * scratch[p] + max_sc[v];
+  }
+  for (const Neighbor& nb : inst.graph().neighbors(v)) {
+    scratch[a[nb.node]] -= (1.0 - alpha) * 0.5 * nb.weight;
+  }
+}
+
+uint64_t ActiveCapacity(const CapacityOptions& capacity,
+                        const std::vector<bool>& canceled) {
+  uint64_t total = 0;
+  for (ClassId p = 0; p < canceled.size(); ++p) {
+    if (canceled[p]) continue;
+    if (capacity.max_participants[p] == CapacityOptions::kUnbounded) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    total += capacity.max_participants[p];
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<CapacitatedResult> SolveCapacitated(const Instance& inst,
+                                           const CapacityOptions& capacity,
+                                           const SolverOptions& options) {
+  const NodeId n = inst.num_users();
+  const ClassId k = inst.num_classes();
+  if (capacity.max_participants.size() != k ||
+      capacity.min_participants.size() != k) {
+    return Status::InvalidArgument(
+        "capacity vectors must have one entry per class");
+  }
+  for (ClassId p = 0; p < k; ++p) {
+    if (capacity.max_participants[p] != CapacityOptions::kUnbounded &&
+        capacity.min_participants[p] > capacity.max_participants[p]) {
+      return Status::InvalidArgument("class " + std::to_string(p) +
+                                     " has min > max");
+    }
+  }
+  if (Status s = internal::ValidateOptions(inst, options); !s.ok()) return s;
+
+  CapacitatedResult res;
+  res.canceled.assign(k, false);
+  if (ActiveCapacity(capacity, res.canceled) < n) {
+    return Status::FailedPrecondition(
+        "total event capacity is below the number of users");
+  }
+
+  Rng rng(options.seed);
+  const std::vector<NodeId> order = internal::MakeOrder(inst, options, &rng);
+  const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
+  std::vector<double> scratch(k);
+
+  // Capacity-aware initialization: users (in play order) take the cheapest
+  // class that still has a free slot.
+  res.class_size.assign(k, 0);
+  res.assignment.assign(n, 0);
+  auto has_slot = [&](ClassId p) {
+    return !res.canceled[p] &&
+           res.class_size[p] < capacity.max_participants[p];
+  };
+  auto greedy_place = [&](NodeId v) {
+    inst.AssignmentCostsFor(v, scratch.data());
+    ClassId best = UINT32_MAX;
+    for (ClassId p = 0; p < k; ++p) {
+      if (has_slot(p) && (best == UINT32_MAX || scratch[p] < scratch[best])) {
+        best = p;
+      }
+    }
+    RMGP_CHECK_NE(best, UINT32_MAX);  // guaranteed by the capacity check
+    res.assignment[v] = best;
+    ++res.class_size[best];
+  };
+  for (NodeId v : order) greedy_place(v);
+
+  // Cancel-and-replay passes.
+  for (uint32_t pass = 0; pass < capacity.max_cancellation_passes; ++pass) {
+    // Constrained best-response dynamics: moves restricted to classes with
+    // free slots. Each accepted move strictly decreases Φ, so the loop
+    // terminates (same Lemma 2 argument with a smaller strategy set).
+    res.converged = false;
+    for (uint32_t round = 1; round <= options.max_rounds; ++round) {
+      uint64_t deviations = 0;
+      for (NodeId v : order) {
+        FillCosts(inst, res.assignment, max_sc, v, scratch.data());
+        const ClassId cur = res.assignment[v];
+        ClassId best = cur;
+        for (ClassId p = 0; p < k; ++p) {
+          if (p != cur && has_slot(p) && scratch[p] < scratch[best]) {
+            best = p;
+          }
+        }
+        if (best != cur && StrictlyBetter(scratch[best], scratch[cur])) {
+          --res.class_size[cur];
+          ++res.class_size[best];
+          res.assignment[v] = best;
+          ++deviations;
+        }
+      }
+      ++res.rounds;
+      if (deviations == 0) {
+        res.converged = true;
+        break;
+      }
+    }
+    if (!res.converged) break;
+
+    // Find the smallest active class below its minimum.
+    ClassId victim = UINT32_MAX;
+    for (ClassId p = 0; p < k; ++p) {
+      if (res.canceled[p] || res.class_size[p] >= capacity.min_participants[p]) {
+        continue;
+      }
+      if (victim == UINT32_MAX ||
+          res.class_size[p] < res.class_size[victim]) {
+        victim = p;
+      }
+    }
+    if (victim == UINT32_MAX) break;  // every active class meets its min
+
+    // Cancel it unless that would strand users without capacity.
+    std::vector<bool> after = res.canceled;
+    after[victim] = true;
+    if (ActiveCapacity(capacity, after) < n) {
+      res.min_infeasible = true;
+      break;
+    }
+    res.canceled[victim] = true;
+    std::vector<NodeId> displaced;
+    for (NodeId v : order) {
+      if (res.assignment[v] == victim) displaced.push_back(v);
+    }
+    res.class_size[victim] = 0;
+    for (NodeId v : displaced) greedy_place(v);
+  }
+
+  res.objective = EvaluateObjective(inst, res.assignment);
+  return res;
+}
+
+Status VerifyCapacitatedEquilibrium(const Instance& inst,
+                                    const CapacityOptions& capacity,
+                                    const CapacitatedResult& result,
+                                    double tolerance) {
+  RMGP_RETURN_IF_ERROR(ValidateAssignment(inst, result.assignment));
+  const ClassId k = inst.num_classes();
+  std::vector<uint32_t> size(k, 0);
+  for (ClassId p : result.assignment) ++size[p];
+  for (ClassId p = 0; p < k; ++p) {
+    if (size[p] != result.class_size[p]) {
+      return Status::FailedPrecondition("class_size bookkeeping mismatch");
+    }
+    if (result.canceled[p] && size[p] > 0) {
+      return Status::FailedPrecondition(
+          "canceled class " + std::to_string(p) + " still has users");
+    }
+    if (size[p] > capacity.max_participants[p]) {
+      return Status::FailedPrecondition("class " + std::to_string(p) +
+                                        " exceeds its capacity");
+    }
+  }
+  const std::vector<double> max_sc =
+      internal::ComputeMaxSocialCosts(inst);
+  std::vector<double> scratch(k);
+  for (NodeId v = 0; v < inst.num_users(); ++v) {
+    FillCosts(inst, result.assignment, max_sc, v, scratch.data());
+    const ClassId cur = result.assignment[v];
+    for (ClassId p = 0; p < k; ++p) {
+      if (p == cur || result.canceled[p] ||
+          size[p] >= capacity.max_participants[p]) {
+        continue;
+      }
+      if (scratch[p] < scratch[cur] - tolerance) {
+        return Status::FailedPrecondition(
+            "user " + std::to_string(v) + " can feasibly deviate to class " +
+            std::to_string(p));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rmgp

@@ -1,0 +1,60 @@
+#ifndef RMGP_CORE_CAPACITATED_H_
+#define RMGP_CORE_CAPACITATED_H_
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/solver.h"
+
+namespace rmgp {
+
+/// Extension beyond the core paper (its §2.1 cites the variant as [16]):
+/// LAGP where events carry minimum / maximum participation constraints.
+/// Events that cannot reach their minimum are canceled and their users
+/// re-enter the game.
+struct CapacityOptions {
+  /// Per-class maximum participants; kUnbounded lifts the cap.
+  static constexpr uint32_t kUnbounded = UINT32_MAX;
+  std::vector<uint32_t> max_participants;
+  /// Per-class minimum participants (0 = no minimum). Checked after the
+  /// dynamics converge; violators are canceled smallest-first.
+  std::vector<uint32_t> min_participants;
+  /// Safety bound on cancel-and-replay passes.
+  uint32_t max_cancellation_passes = 64;
+};
+
+struct CapacitatedResult {
+  Assignment assignment;
+  std::vector<bool> canceled;        ///< per class
+  std::vector<uint32_t> class_size;  ///< participants per class
+  bool converged = false;
+  /// True if some class stayed below its minimum because canceling it
+  /// would leave too little total capacity for all users.
+  bool min_infeasible = false;
+  uint32_t rounds = 0;  ///< best-response rounds across all passes
+  CostBreakdown objective;
+};
+
+/// Capacity-constrained best-response dynamics. Each user may move only to
+/// an active class with a free slot (or stay); every accepted move still
+/// strictly decreases the potential Φ, so each pass converges to a
+/// *constrained* Nash equilibrium — no user can improve by a feasible
+/// unilateral deviation. After convergence, active classes below their
+/// minimum are canceled smallest-first and their users re-enter.
+///
+/// Requires Σ max_participants >= |V| over non-canceled classes.
+Result<CapacitatedResult> SolveCapacitated(const Instance& inst,
+                                           const CapacityOptions& capacity,
+                                           const SolverOptions& options);
+
+/// Verifies a constrained equilibrium: no user can strictly improve by
+/// moving to an active class that has a free slot.
+Status VerifyCapacitatedEquilibrium(const Instance& inst,
+                                    const CapacityOptions& capacity,
+                                    const CapacitatedResult& result,
+                                    double tolerance = 1e-9);
+
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_CAPACITATED_H_

@@ -1,0 +1,57 @@
+#include "core/combined_cost.h"
+
+#include <string>
+
+namespace rmgp {
+
+Result<std::shared_ptr<CombinedCostProvider>> CombinedCostProvider::Create(
+    std::vector<Term> terms) {
+  if (terms.empty()) {
+    return Status::InvalidArgument("need at least one cost criterion");
+  }
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (terms[i].provider == nullptr) {
+      return Status::InvalidArgument("criterion " + std::to_string(i) +
+                                     " is null");
+    }
+    if (terms[i].weight <= 0.0) {
+      return Status::InvalidArgument("criterion " + std::to_string(i) +
+                                     " has non-positive weight");
+    }
+    if (terms[i].provider->num_users() != terms[0].provider->num_users() ||
+        terms[i].provider->num_classes() !=
+            terms[0].provider->num_classes()) {
+      return Status::InvalidArgument(
+          "criterion " + std::to_string(i) +
+          " disagrees on user/class counts with criterion 0");
+    }
+  }
+  return std::shared_ptr<CombinedCostProvider>(
+      new CombinedCostProvider(std::move(terms)));
+}
+
+CombinedCostProvider::CombinedCostProvider(std::vector<Term> terms)
+    : terms_(std::move(terms)),
+      num_users_(terms_[0].provider->num_users()),
+      num_classes_(terms_[0].provider->num_classes()) {}
+
+double CombinedCostProvider::Cost(NodeId v, ClassId p) const {
+  double total = 0.0;
+  for (const Term& term : terms_) {
+    total += term.weight * term.provider->Cost(v, p);
+  }
+  return total;
+}
+
+void CombinedCostProvider::CostsFor(NodeId v, double* out) const {
+  std::vector<double> scratch(num_classes_);
+  for (ClassId p = 0; p < num_classes_; ++p) out[p] = 0.0;
+  for (const Term& term : terms_) {
+    term.provider->CostsFor(v, scratch.data());
+    for (ClassId p = 0; p < num_classes_; ++p) {
+      out[p] += term.weight * scratch[p];
+    }
+  }
+}
+
+}  // namespace rmgp

@@ -1,0 +1,47 @@
+#ifndef RMGP_CORE_COMBINED_COST_H_
+#define RMGP_CORE_COMBINED_COST_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/cost_provider.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Multi-criteria assignment costs (§1 / §3.1): "the assignment cost could
+/// take into account both the distance of each user and his preference to
+/// an event … a linear combination (or any other scoring function)".
+///
+/// CombinedCostProvider computes c(v,p) = Σ_i weight_i · provider_i(v,p).
+/// Each criterion keeps its own scale; callers typically normalize each
+/// provider to a comparable range (or fold the difference into the
+/// weights) before combining — the same §3.3 concern, one level down.
+class CombinedCostProvider : public CostProvider {
+ public:
+  struct Term {
+    std::shared_ptr<const CostProvider> provider;
+    double weight = 1.0;
+  };
+
+  /// Validates that all terms agree on user/class counts and have positive
+  /// weights.
+  static Result<std::shared_ptr<CombinedCostProvider>> Create(
+      std::vector<Term> terms);
+
+  NodeId num_users() const override { return num_users_; }
+  ClassId num_classes() const override { return num_classes_; }
+  double Cost(NodeId v, ClassId p) const override;
+  void CostsFor(NodeId v, double* out) const override;
+
+ private:
+  explicit CombinedCostProvider(std::vector<Term> terms);
+
+  std::vector<Term> terms_;
+  NodeId num_users_ = 0;
+  ClassId num_classes_ = 0;
+};
+
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_COMBINED_COST_H_

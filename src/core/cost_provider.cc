@@ -1,0 +1,49 @@
+#include "core/cost_provider.h"
+
+#include "util/logging.h"
+
+namespace rmgp {
+
+void CostProvider::CostsFor(NodeId v, double* out) const {
+  const ClassId k = num_classes();
+  for (ClassId p = 0; p < k; ++p) out[p] = Cost(v, p);
+}
+
+DenseCostMatrix::DenseCostMatrix(NodeId num_users, ClassId num_classes,
+                                 std::vector<double> costs)
+    : num_users_(num_users),
+      num_classes_(num_classes),
+      costs_(std::move(costs)) {
+  RMGP_CHECK_EQ(costs_.size(),
+                static_cast<size_t>(num_users_) * num_classes_);
+}
+
+void DenseCostMatrix::CostsFor(NodeId v, double* out) const {
+  const double* row = costs_.data() + static_cast<size_t>(v) * num_classes_;
+  for (ClassId p = 0; p < num_classes_; ++p) out[p] = row[p];
+}
+
+EuclideanCostProvider::EuclideanCostProvider(std::vector<Point> users,
+                                             std::vector<Point> events)
+    : users_(std::move(users)), events_(std::move(events)) {
+  RMGP_CHECK(!events_.empty());
+}
+
+void EuclideanCostProvider::CostsFor(NodeId v, double* out) const {
+  const Point u = users_[v];
+  for (size_t p = 0; p < events_.size(); ++p) {
+    out[p] = Distance(u, events_[p]);
+  }
+}
+
+std::shared_ptr<DenseCostMatrix> Materialize(const CostProvider& provider) {
+  const NodeId n = provider.num_users();
+  const ClassId k = provider.num_classes();
+  std::vector<double> data(static_cast<size_t>(n) * k);
+  for (NodeId v = 0; v < n; ++v) {
+    provider.CostsFor(v, data.data() + static_cast<size_t>(v) * k);
+  }
+  return std::make_shared<DenseCostMatrix>(n, k, std::move(data));
+}
+
+}  // namespace rmgp

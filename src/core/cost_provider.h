@@ -1,0 +1,99 @@
+#ifndef RMGP_CORE_COST_PROVIDER_H_
+#define RMGP_CORE_COST_PROVIDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "spatial/point.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Identifier of a class (a partition target: an event in LAGP, an
+/// advertisement topic in TAGP). Classes are query-time input (the set P).
+using ClassId = uint32_t;
+
+/// Source of assignment costs c(v, p): the cost of assigning user v to
+/// class p (Equation 1). Implementations may precompute a dense matrix or
+/// compute costs on the fly; the paper's Foursquare runs (2.15M users ×
+/// 1024 events) make lazy evaluation mandatory at the large end.
+class CostProvider {
+ public:
+  virtual ~CostProvider() = default;
+
+  /// Number of users the provider covers (must equal |V| of the instance).
+  virtual NodeId num_users() const = 0;
+
+  /// Number of classes k = |P|.
+  virtual ClassId num_classes() const = 0;
+
+  /// Assignment cost c(v, p) >= 0.
+  virtual double Cost(NodeId v, ClassId p) const = 0;
+
+  /// Fills out[0..num_classes) with the costs of every class for user v.
+  /// Default implementation loops over Cost(); providers with cheaper bulk
+  /// access may override.
+  virtual void CostsFor(NodeId v, double* out) const;
+};
+
+/// Dense |V| × k cost matrix, row-major. The natural provider for small and
+/// mid-size instances, and the form the UML baselines require as input.
+class DenseCostMatrix : public CostProvider {
+ public:
+  /// Takes ownership of `costs` (size num_users * num_classes, row-major).
+  DenseCostMatrix(NodeId num_users, ClassId num_classes,
+                  std::vector<double> costs);
+
+  NodeId num_users() const override { return num_users_; }
+  ClassId num_classes() const override { return num_classes_; }
+  double Cost(NodeId v, ClassId p) const override {
+    return costs_[static_cast<size_t>(v) * num_classes_ + p];
+  }
+  void CostsFor(NodeId v, double* out) const override;
+
+  /// Mutable access for builders/tests.
+  double& At(NodeId v, ClassId p) {
+    return costs_[static_cast<size_t>(v) * num_classes_ + p];
+  }
+
+ private:
+  NodeId num_users_;
+  ClassId num_classes_;
+  std::vector<double> costs_;
+};
+
+/// Lazy Euclidean-distance costs for LAGP: c(v, p) = ||user_v, event_p||.
+/// Nothing is materialized, matching the paper's Foursquare-scale runs
+/// where round 0 performs billions of distance computations.
+class EuclideanCostProvider : public CostProvider {
+ public:
+  EuclideanCostProvider(std::vector<Point> users, std::vector<Point> events);
+
+  NodeId num_users() const override {
+    return static_cast<NodeId>(users_.size());
+  }
+  ClassId num_classes() const override {
+    return static_cast<ClassId>(events_.size());
+  }
+  double Cost(NodeId v, ClassId p) const override {
+    return Distance(users_[v], events_[p]);
+  }
+  void CostsFor(NodeId v, double* out) const override;
+
+  const std::vector<Point>& users() const { return users_; }
+  const std::vector<Point>& events() const { return events_; }
+
+ private:
+  std::vector<Point> users_;
+  std::vector<Point> events_;
+};
+
+/// Materializes any provider into a DenseCostMatrix (used to hand identical
+/// inputs to the UML baselines, which need the full matrix).
+std::shared_ptr<DenseCostMatrix> Materialize(const CostProvider& provider);
+
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_COST_PROVIDER_H_

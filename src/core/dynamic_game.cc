@@ -1,0 +1,306 @@
+#include "core/dynamic_game.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/solver_internal.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace rmgp {
+
+using internal::StrictlyBetter;
+
+DynamicGame::DynamicGame(const Graph* graph, std::vector<Point> users,
+                         std::vector<Point> events, double alpha,
+                         double cost_scale)
+    : graph_(graph),
+      users_(std::move(users)),
+      events_(std::move(events)),
+      alpha_(alpha),
+      cost_scale_(cost_scale) {}
+
+Result<std::unique_ptr<DynamicGame>> DynamicGame::Create(
+    const Graph* graph, std::vector<Point> user_locations,
+    std::vector<Point> events, double alpha, double cost_scale,
+    const SolverOptions& options) {
+  if (graph == nullptr) return Status::InvalidArgument("graph is null");
+  if (user_locations.size() != graph->num_nodes()) {
+    return Status::InvalidArgument("one location per user required");
+  }
+  if (events.empty()) {
+    return Status::InvalidArgument("need at least one event");
+  }
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0,1)");
+  }
+  if (cost_scale <= 0.0) {
+    return Status::InvalidArgument("cost_scale must be positive");
+  }
+
+  std::unique_ptr<DynamicGame> game(
+      new DynamicGame(graph, std::move(user_locations), std::move(events),
+                      alpha, cost_scale));
+  const NodeId n = graph->num_nodes();
+  const ClassId k = game->num_events();
+  game->capacity_ = std::max<size_t>(k, 8);
+  game->table_.assign(static_cast<size_t>(n) * game->capacity_, 0.0);
+  game->max_sc_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    game->max_sc_[v] = (1.0 - alpha) * 0.5 * graph->weighted_degree(v);
+  }
+  game->max_rounds_ = options.max_rounds;
+
+  // Initial strategies.
+  game->assignment_.resize(n);
+  Rng rng(options.seed);
+  for (NodeId v = 0; v < n; ++v) {
+    switch (options.init) {
+      case InitPolicy::kRandom:
+        game->assignment_[v] = static_cast<ClassId>(rng.UniformInt(k));
+        break;
+      case InitPolicy::kGiven:
+        if (options.warm_start.size() != n ||
+            options.warm_start[v] >= k) {
+          return Status::InvalidArgument("bad warm start");
+        }
+        game->assignment_[v] = options.warm_start[v];
+        break;
+      case InitPolicy::kClosestClass: {
+        ClassId best = 0;
+        double best_d = DistanceSquared(game->users_[v], game->events_[0]);
+        for (ClassId p = 1; p < k; ++p) {
+          const double d =
+              DistanceSquared(game->users_[v], game->events_[p]);
+          if (d < best_d) {
+            best_d = d;
+            best = p;
+          }
+        }
+        game->assignment_[v] = best;
+        break;
+      }
+    }
+  }
+
+  game->happy_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) game->RebuildRow(v);
+  for (NodeId v = 0; v < n; ++v) game->RefreshHappiness(v);
+  game->Settle();
+  return game;
+}
+
+double DynamicGame::UserClassCost(NodeId v, ClassId p) const {
+  return alpha_ * cost_scale_ * Distance(users_[v], events_[p]) +
+         max_sc_[v];
+}
+
+void DynamicGame::RebuildRow(NodeId v) {
+  double* row = table_.data() + static_cast<size_t>(v) * capacity_;
+  const ClassId k = num_events();
+  for (ClassId p = 0; p < k; ++p) row[p] = UserClassCost(v, p);
+  const double social = 1.0 - alpha_;
+  for (const Neighbor& nb : graph_->neighbors(v)) {
+    row[assignment_[nb.node]] -= social * 0.5 * nb.weight;
+  }
+}
+
+void DynamicGame::RefreshHappiness(NodeId v) {
+  const double* row = table_.data() + static_cast<size_t>(v) * capacity_;
+  const ClassId k = num_events();
+  double best = row[0];
+  for (ClassId p = 1; p < k; ++p) best = std::min(best, row[p]);
+  happy_[v] = !StrictlyBetter(best, row[assignment_[v]]);
+}
+
+void DynamicGame::ApplySwitch(NodeId v, ClassId to) {
+  const ClassId old = assignment_[v];
+  assignment_[v] = to;
+  const double social = 1.0 - alpha_;
+  for (const Neighbor& nb : graph_->neighbors(v)) {
+    const NodeId f = nb.node;
+    double* frow = table_.data() + static_cast<size_t>(f) * capacity_;
+    const double delta = social * 0.5 * nb.weight;
+    frow[to] -= delta;
+    frow[old] += delta;
+    if (assignment_[f] == old ||
+        StrictlyBetter(frow[to], frow[assignment_[f]])) {
+      happy_[f] = 0;
+    }
+  }
+}
+
+uint64_t DynamicGame::Settle() {
+  const NodeId n = graph_->num_nodes();
+  const ClassId k = num_events();
+  std::vector<ClassId> before = assignment_;
+  for (uint32_t round = 0; round < max_rounds_; ++round) {
+    uint64_t deviations = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (happy_[v]) continue;
+      ++total_examinations_;
+      const double* row = table_.data() + static_cast<size_t>(v) * capacity_;
+      ClassId best = 0;
+      for (ClassId p = 1; p < k; ++p) {
+        if (row[p] < row[best]) best = p;
+      }
+      happy_[v] = 1;
+      if (StrictlyBetter(row[best], row[assignment_[v]])) {
+        ApplySwitch(v, best);
+        ++deviations;
+      }
+    }
+    if (deviations == 0) break;
+  }
+  return CountReassigned(before, assignment_);
+}
+
+Result<uint64_t> DynamicGame::UpdateUserLocation(NodeId v,
+                                                 const Point& location) {
+  if (v >= graph_->num_nodes()) {
+    return Status::InvalidArgument("user out of range");
+  }
+  users_[v] = location;
+  // Only v's assignment costs change; the social credits in other rows
+  // depend on v's class, not its location.
+  RebuildRow(v);
+  RefreshHappiness(v);
+  return Settle();
+}
+
+Result<uint64_t> DynamicGame::AddEvent(const Point& location) {
+  const ClassId new_id = num_events();
+  events_.push_back(location);
+  const NodeId n = graph_->num_nodes();
+  if (static_cast<size_t>(new_id) + 1 > capacity_) {
+    // Grow the row capacity (amortized doubling) and re-pack rows.
+    const size_t new_capacity = capacity_ * 2;
+    std::vector<double> grown(static_cast<size_t>(n) * new_capacity, 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      std::copy_n(table_.data() + static_cast<size_t>(v) * capacity_,
+                  capacity_,
+                  grown.data() + static_cast<size_t>(v) * new_capacity);
+    }
+    table_ = std::move(grown);
+    capacity_ = new_capacity;
+  }
+  // Nobody attends the new event yet, so its column is pure assignment
+  // cost; users for whom it undercuts their current class become unhappy.
+  for (NodeId v = 0; v < n; ++v) {
+    double* row = table_.data() + static_cast<size_t>(v) * capacity_;
+    row[new_id] = UserClassCost(v, new_id);
+    if (StrictlyBetter(row[new_id], row[assignment_[v]])) happy_[v] = 0;
+  }
+  return Settle();
+}
+
+Result<uint64_t> DynamicGame::RemoveEvent(ClassId p) {
+  const ClassId k = num_events();
+  if (p >= k) return Status::InvalidArgument("event out of range");
+  if (k == 1) {
+    return Status::FailedPrecondition("cannot remove the only event");
+  }
+  const NodeId n = graph_->num_nodes();
+  const double social = 1.0 - alpha_;
+
+  // 1. Attendees of p, before any renumbering.
+  std::vector<NodeId> attendees;
+  for (NodeId v = 0; v < n; ++v) {
+    if (assignment_[v] == p) attendees.push_back(v);
+  }
+  // 2. Remove their social contribution from friends' rows (the credit
+  // for "my friend is at p" disappears with the event).
+  for (NodeId v : attendees) {
+    for (const Neighbor& nb : graph_->neighbors(v)) {
+      double* frow =
+          table_.data() + static_cast<size_t>(nb.node) * capacity_;
+      frow[p] += social * 0.5 * nb.weight;
+      if (assignment_[nb.node] == p) happy_[nb.node] = 0;
+    }
+  }
+  // 3. Swap-remove the column: the last event takes id p.
+  const ClassId last = k - 1;
+  events_[p] = events_[last];
+  events_.pop_back();
+  if (p != last) {
+    for (NodeId v = 0; v < n; ++v) {
+      double* row = table_.data() + static_cast<size_t>(v) * capacity_;
+      row[p] = row[last];
+      if (assignment_[v] == last) assignment_[v] = p;
+    }
+  }
+  // 4. Re-seed the displaced attendees at their best remaining class.
+  const ClassId new_k = num_events();
+  for (NodeId v : attendees) {
+    const double* row = table_.data() + static_cast<size_t>(v) * capacity_;
+    ClassId best = 0;
+    for (ClassId c = 1; c < new_k; ++c) {
+      if (row[c] < row[best]) best = c;
+    }
+    // assignment_[v] currently names a dead class; install `best` and
+    // credit friends (ApplySwitch would wrongly debit the dead class).
+    assignment_[v] = best;
+    for (const Neighbor& nb : graph_->neighbors(v)) {
+      double* frow =
+          table_.data() + static_cast<size_t>(nb.node) * capacity_;
+      const double delta = social * 0.5 * nb.weight;
+      frow[best] -= delta;
+      if (StrictlyBetter(frow[best], frow[assignment_[nb.node]])) {
+        happy_[nb.node] = 0;
+      }
+    }
+    happy_[v] = 1;
+  }
+  for (NodeId v : attendees) RefreshHappiness(v);
+  return Settle();
+}
+
+CostBreakdown DynamicGame::Objective() const {
+  CostBreakdown out;
+  const NodeId n = graph_->num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    out.raw_assignment +=
+        cost_scale_ * Distance(users_[v], events_[assignment_[v]]);
+    for (const Neighbor& nb : graph_->neighbors(v)) {
+      if (v < nb.node && assignment_[v] != assignment_[nb.node]) {
+        out.raw_social += nb.weight;
+      }
+    }
+  }
+  out.assignment = alpha_ * out.raw_assignment;
+  out.social = (1.0 - alpha_) * out.raw_social;
+  out.total = out.assignment + out.social;
+  return out;
+}
+
+Status DynamicGame::Verify() const {
+  const NodeId n = graph_->num_nodes();
+  const ClassId k = num_events();
+  const double social = 1.0 - alpha_;
+  for (NodeId v = 0; v < n; ++v) {
+    // Recompute the row from scratch and compare against the maintained
+    // table, then check the no-deviation condition.
+    std::vector<double> fresh(k);
+    for (ClassId p = 0; p < k; ++p) fresh[p] = UserClassCost(v, p);
+    for (const Neighbor& nb : graph_->neighbors(v)) {
+      fresh[assignment_[nb.node]] -= social * 0.5 * nb.weight;
+    }
+    const double* row = table_.data() + static_cast<size_t>(v) * capacity_;
+    for (ClassId p = 0; p < k; ++p) {
+      if (std::abs(fresh[p] - row[p]) > 1e-6 * (1.0 + std::abs(fresh[p]))) {
+        return Status::Internal("stale table row for user " +
+                                std::to_string(v));
+      }
+    }
+    for (ClassId p = 0; p < k; ++p) {
+      if (fresh[p] < fresh[assignment_[v]] - 1e-9) {
+        return Status::FailedPrecondition(
+            "user " + std::to_string(v) + " can deviate to class " +
+            std::to_string(p));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rmgp

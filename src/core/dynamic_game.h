@@ -1,0 +1,98 @@
+#ifndef RMGP_CORE_DYNAMIC_GAME_H_
+#define RMGP_CORE_DYNAMIC_GAME_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/solver.h"
+#include "spatial/point.h"
+
+namespace rmgp {
+
+/// Maintains an LAGP equilibrium under the online updates the paper
+/// motivates (§1/§3.1): "locations of users may be updated through
+/// check-ins, while new events may appear frequently … the solution of
+/// the last execution can be used as the seed of the next one."
+///
+/// Internally this is a persistent RMGP_gt state: the |V|×k global table
+/// and happiness flags survive across updates; each update patches only
+/// the affected rows and re-runs the unhappy-user loop, which typically
+/// touches a small neighborhood instead of the whole graph.
+///
+/// Not thread-safe; one game per query stream.
+class DynamicGame {
+ public:
+  /// Creates the game over `graph` (borrowed; must outlive the game) with
+  /// Euclidean costs, computes the initial equilibrium.
+  /// `alpha` and `cost_scale` as in Instance (apply normalization by
+  /// passing the CN you would have set on the instance).
+  static Result<std::unique_ptr<DynamicGame>> Create(
+      const Graph* graph, std::vector<Point> user_locations,
+      std::vector<Point> events, double alpha, double cost_scale,
+      const SolverOptions& options);
+
+  /// Moves user v to a new check-in location and restores equilibrium.
+  /// Returns the number of users that changed class.
+  Result<uint64_t> UpdateUserLocation(NodeId v, const Point& location);
+
+  /// Adds a new event (class) and restores equilibrium. Returns the
+  /// number of users that changed class. The new event's id is
+  /// num_events()-1 after the call.
+  Result<uint64_t> AddEvent(const Point& location);
+
+  /// Removes event p: its attendees are re-seeded to their best remaining
+  /// class and equilibrium is restored. The last event is renumbered to p
+  /// (swap-remove). Fails if it is the only event.
+  Result<uint64_t> RemoveEvent(ClassId p);
+
+  /// Current equilibrium assignment (size |V|).
+  const Assignment& assignment() const { return assignment_; }
+
+  /// Equation-1 objective of the current assignment.
+  CostBreakdown Objective() const;
+
+  /// Verifies the maintained state really is an equilibrium (testing aid).
+  Status Verify() const;
+
+  ClassId num_events() const {
+    return static_cast<ClassId>(events_.size());
+  }
+  const std::vector<Point>& events() const { return events_; }
+  const std::vector<Point>& user_locations() const { return users_; }
+
+  /// Total best-response examinations performed across all updates
+  /// (the work metric the dynamic-vs-resolve bench reports).
+  uint64_t total_examinations() const { return total_examinations_; }
+
+ private:
+  DynamicGame(const Graph* graph, std::vector<Point> users,
+              std::vector<Point> events, double alpha, double cost_scale);
+
+  double UserClassCost(NodeId v, ClassId p) const;
+  void RebuildRow(NodeId v);
+  void RefreshHappiness(NodeId v);
+  /// Runs unhappy-user best-response rounds to convergence; returns the
+  /// number of users whose class changed.
+  uint64_t Settle();
+  /// Applies a class switch of v (updates gsv + friends' rows/happiness).
+  void ApplySwitch(NodeId v, ClassId to);
+
+  const Graph* graph_;
+  std::vector<Point> users_;
+  std::vector<Point> events_;
+  double alpha_;
+  double cost_scale_;
+  std::vector<double> max_sc_;   // (1-α)·½·Σ w, per user
+  std::vector<double> table_;   // |V| rows × capacity_ columns
+  size_t capacity_ = 0;         // allocated columns per row (>= k)
+  Assignment assignment_;
+  std::vector<char> happy_;
+  uint32_t max_rounds_ = 100000;
+  uint64_t total_examinations_ = 0;
+};
+
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_DYNAMIC_GAME_H_

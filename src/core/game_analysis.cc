@@ -1,0 +1,49 @@
+#include "core/game_analysis.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace rmgp {
+
+Result<EquilibriumSample> SampleEquilibria(
+    const Instance& inst, const MultiStartOptions& options) {
+  if (options.num_starts == 0) {
+    return Status::InvalidArgument("num_starts must be positive");
+  }
+  Rng rng(options.seed);
+  EquilibriumSample sample;
+  sample.best = std::numeric_limits<double>::infinity();
+  sample.worst = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (uint32_t start = 0; start < options.num_starts; ++start) {
+    SolverOptions opt = options.solver;
+    opt.init = InitPolicy::kRandom;
+    opt.seed = rng.Next();
+    opt.record_rounds = false;
+    auto res = Solve(options.kind, inst, opt);
+    if (!res.ok()) return res.status();
+    if (!res->converged) {
+      return Status::Internal("dynamics failed to converge in a start");
+    }
+    const double total = res->objective.total;
+    sum += total;
+    if (total < sample.best) {
+      sample.best = total;
+      sample.best_assignment = std::move(res->assignment);
+    }
+    sample.worst = std::max(sample.worst, total);
+    ++sample.num_starts;
+  }
+  sample.mean = sum / sample.num_starts;
+  sample.spread = sample.best > 0 ? sample.worst / sample.best : 0.0;
+  return sample;
+}
+
+double EmpiricalPoA(const EquilibriumSample& sample, double lower_bound) {
+  if (lower_bound <= 0.0) return 0.0;
+  return sample.worst / lower_bound;
+}
+
+}  // namespace rmgp

@@ -1,0 +1,47 @@
+#ifndef RMGP_CORE_GAME_ANALYSIS_H_
+#define RMGP_CORE_GAME_ANALYSIS_H_
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/solver.h"
+
+namespace rmgp {
+
+/// Empirical study of an instance's equilibrium landscape (§2.2's quality
+/// measures, measured instead of bounded): run the dynamics from many
+/// random starts and record the spread of equilibria reached.
+struct EquilibriumSample {
+  uint32_t num_starts = 0;
+  double best = 0.0;    ///< lowest equilibrium objective seen
+  double worst = 0.0;   ///< highest equilibrium objective seen
+  double mean = 0.0;
+  /// worst/best — an empirical lower bound on the instance's PoA/PoS gap.
+  double spread = 0.0;
+  Assignment best_assignment;
+};
+
+struct MultiStartOptions {
+  uint32_t num_starts = 16;
+  uint64_t seed = 123;
+  SolverKind kind = SolverKind::kGlobalTable;
+  /// Per-start options; init is forced to kRandom, seed varied per start.
+  SolverOptions solver;
+};
+
+/// Runs `num_starts` random-initialization games and aggregates the
+/// equilibria. The best assignment doubles as a practical multi-start
+/// solver ("RMGP_ms"): the spread tells how much a single random start
+/// can lose.
+Result<EquilibriumSample> SampleEquilibria(const Instance& inst,
+                                           const MultiStartOptions& options);
+
+/// The empirical price-of-anarchy ratio of a sample against a known lower
+/// bound on the optimum (e.g. the UML LP relaxation value). Returns
+/// worst/lower_bound; 0 if lower_bound <= 0.
+double EmpiricalPoA(const EquilibriumSample& sample, double lower_bound);
+
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_GAME_ANALYSIS_H_

@@ -1,0 +1,26 @@
+#include "core/instance.h"
+
+#include <string>
+
+namespace rmgp {
+
+Result<Instance> Instance::Create(const Graph* graph,
+                                  std::shared_ptr<const CostProvider> costs,
+                                  double alpha) {
+  if (graph == nullptr) return Status::InvalidArgument("graph is null");
+  if (costs == nullptr) return Status::InvalidArgument("costs is null");
+  if (costs->num_users() != graph->num_nodes()) {
+    return Status::InvalidArgument(
+        "cost provider covers " + std::to_string(costs->num_users()) +
+        " users but the graph has " + std::to_string(graph->num_nodes()));
+  }
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0,1)");
+  }
+  if (costs->num_classes() == 0) {
+    return Status::InvalidArgument("need at least one class");
+  }
+  return Instance(graph, std::move(costs), alpha);
+}
+
+}  // namespace rmgp

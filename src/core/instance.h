@@ -1,0 +1,75 @@
+#ifndef RMGP_CORE_INSTANCE_H_
+#define RMGP_CORE_INSTANCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/cost_provider.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// A complete RMGP problem: the social graph G = (V, E, W), the query-time
+/// classes P (represented by their cost provider), the preference
+/// parameter α ∈ (0,1), and an optional normalization constant CN (§3.3)
+/// that scales every assignment cost.
+///
+/// An Instance does not own the graph (queries over the same graph are
+/// frequent — RMGP is an online task); it shares ownership of the cost
+/// provider. Instances are cheap to copy.
+class Instance {
+ public:
+  /// Validates and builds an instance. Fails if the provider's user count
+  /// differs from |V|, if α ∉ (0,1), or if k == 0.
+  static Result<Instance> Create(const Graph* graph,
+                                 std::shared_ptr<const CostProvider> costs,
+                                 double alpha);
+
+  const Graph& graph() const { return *graph_; }
+  const CostProvider& costs() const { return *costs_; }
+  double alpha() const { return alpha_; }
+  ClassId num_classes() const { return costs_->num_classes(); }
+  NodeId num_users() const { return graph_->num_nodes(); }
+
+  /// Normalization constant CN (1.0 when not normalized).
+  double cost_scale() const { return cost_scale_; }
+
+  /// Sets the normalization constant CN; assignment costs become
+  /// CN · c(v, p) everywhere (Equation 7).
+  void set_cost_scale(double scale) { cost_scale_ = scale; }
+
+  /// Normalized assignment cost CN · c(v, p).
+  double AssignmentCost(NodeId v, ClassId p) const {
+    return cost_scale_ * costs_->Cost(v, p);
+  }
+
+  /// Fills out[0..k) with normalized assignment costs for user v.
+  void AssignmentCostsFor(NodeId v, double* out) const {
+    costs_->CostsFor(v, out);
+    if (cost_scale_ != 1.0) {
+      const ClassId k = num_classes();
+      for (ClassId p = 0; p < k; ++p) out[p] *= cost_scale_;
+    }
+  }
+
+  /// Half the total weight of edges incident to v: W_v = ½·Σ_f w(v,f).
+  /// This is the maximum social cost maxSC_v of Fig 3 divided by (1-α).
+  double HalfIncidentWeight(NodeId v) const {
+    return 0.5 * graph_->weighted_degree(v);
+  }
+
+ private:
+  Instance(const Graph* graph, std::shared_ptr<const CostProvider> costs,
+           double alpha)
+      : graph_(graph), costs_(std::move(costs)), alpha_(alpha) {}
+
+  const Graph* graph_;
+  std::shared_ptr<const CostProvider> costs_;
+  double alpha_;
+  double cost_scale_ = 1.0;
+};
+
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_INSTANCE_H_

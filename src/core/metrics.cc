@@ -1,0 +1,75 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rmgp {
+
+double Modularity(const Graph& g, const std::vector<uint32_t>& part) {
+  RMGP_CHECK_EQ(part.size(), g.num_nodes());
+  const double total_weight = g.total_edge_weight();
+  if (total_weight <= 0.0) return 0.0;
+  uint32_t num_parts = 0;
+  for (uint32_t p : part) num_parts = std::max(num_parts, p + 1);
+  std::vector<double> internal(num_parts, 0.0);
+  std::vector<double> degree(num_parts, 0.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    degree[part[v]] += g.weighted_degree(v);
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (v < nb.node && part[v] == part[nb.node]) {
+        internal[part[v]] += nb.weight;
+      }
+    }
+  }
+  double q = 0.0;
+  for (uint32_t c = 0; c < num_parts; ++c) {
+    const double in_frac = internal[c] / total_weight;
+    const double deg_frac = degree[c] / (2.0 * total_weight);
+    q += in_frac - deg_frac * deg_frac;
+  }
+  return q;
+}
+
+SolutionMetrics ComputeSolutionMetrics(const Instance& inst,
+                                       const Assignment& assignment) {
+  RMGP_CHECK(ValidateAssignment(inst, assignment).ok());
+  const NodeId n = inst.num_users();
+  const ClassId k = inst.num_classes();
+
+  SolutionMetrics m;
+  m.class_sizes.assign(k, 0);
+  std::vector<double> row(k);
+  for (NodeId v = 0; v < n; ++v) {
+    ++m.class_sizes[assignment[v]];
+    inst.costs().CostsFor(v, row.data());
+    const double own = row[assignment[v]];
+    const double best = *std::min_element(row.begin(), row.end());
+    m.mean_assignment_cost += own;
+    m.mean_assignment_regret += own - best;
+    if (own <= best * (1.0 + 1e-12) + 1e-300) ++m.users_at_cheapest;
+  }
+  if (n > 0) {
+    m.mean_assignment_cost /= n;
+    m.mean_assignment_regret /= n;
+  }
+  for (uint32_t size : m.class_sizes) {
+    if (size > 0) ++m.classes_used;
+  }
+
+  const Graph& g = inst.graph();
+  double internal = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (v < nb.node && assignment[v] == assignment[nb.node]) {
+        internal += nb.weight;
+      }
+    }
+  }
+  m.internal_weight_fraction =
+      g.total_edge_weight() > 0 ? internal / g.total_edge_weight() : 0.0;
+  m.modularity = Modularity(g, assignment);
+  return m;
+}
+
+}  // namespace rmgp

@@ -1,0 +1,43 @@
+#ifndef RMGP_CORE_METRICS_H_
+#define RMGP_CORE_METRICS_H_
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/objective.h"
+
+namespace rmgp {
+
+/// Analysis of a solution beyond the raw objective — what a deployment
+/// would actually monitor (per-event attendance, how far users travel,
+/// how social the grouping is).
+struct SolutionMetrics {
+  /// Users per class.
+  std::vector<uint32_t> class_sizes;
+  /// Classes with at least one user.
+  uint32_t classes_used = 0;
+  /// Mean raw (unscaled) assignment cost over users.
+  double mean_assignment_cost = 0.0;
+  /// Mean over users of (cost of own class − min class cost): the "price"
+  /// each user pays for the social term.
+  double mean_assignment_regret = 0.0;
+  /// Users assigned to their individually cheapest class.
+  uint32_t users_at_cheapest = 0;
+  /// Fraction of edge weight inside classes (1 − cut fraction).
+  double internal_weight_fraction = 0.0;
+  /// Newman modularity of the class partition over the social graph:
+  /// Q = Σ_c (w_in_c/W − (deg_c/2W)²), with W the total edge weight.
+  double modularity = 0.0;
+};
+
+/// Computes all metrics for a valid assignment.
+SolutionMetrics ComputeSolutionMetrics(const Instance& inst,
+                                       const Assignment& assignment);
+
+/// Newman modularity of an arbitrary node partition (values in
+/// [-0.5, 1]); exposed separately for the community-recovery tests.
+double Modularity(const Graph& g, const std::vector<uint32_t>& part);
+
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_METRICS_H_

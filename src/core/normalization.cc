@@ -1,0 +1,81 @@
+#include "core/normalization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace rmgp {
+
+NormalizationEstimates ComputeEstimatesExact(const Instance& inst) {
+  const NodeId n = inst.num_users();
+  const ClassId k = inst.num_classes();
+  RunningStats min_stats, med_stats;
+  std::vector<double> row(k);
+  for (NodeId v = 0; v < n; ++v) {
+    // Raw (unscaled) costs: CN is estimated from the original measurements.
+    inst.costs().CostsFor(v, row.data());
+    min_stats.Add(*std::min_element(row.begin(), row.end()));
+    med_stats.Add(Median(row));
+  }
+  return {min_stats.mean(), med_stats.mean()};
+}
+
+double OptimisticConstant(const Graph& g, ClassId k,
+                          const NormalizationEstimates& est) {
+  return g.average_degree() * g.average_edge_weight() /
+         (2.0 * est.dist_min * std::sqrt(static_cast<double>(k)));
+}
+
+double PessimisticConstant(const Graph& g, ClassId k,
+                           const NormalizationEstimates& est) {
+  return g.average_degree() * (static_cast<double>(k) - 1.0) *
+         g.average_edge_weight() /
+         (2.0 * est.dist_med * static_cast<double>(k));
+}
+
+Result<double> Normalize(Instance* inst, NormalizationPolicy policy,
+                         const NormalizationEstimates& est) {
+  if (inst == nullptr) return Status::InvalidArgument("inst is null");
+  switch (policy) {
+    case NormalizationPolicy::kNone:
+      inst->set_cost_scale(1.0);
+      return 1.0;
+    case NormalizationPolicy::kOptimistic: {
+      if (est.dist_min <= 0.0) {
+        return Status::FailedPrecondition(
+            "optimistic normalization needs dist_min > 0");
+      }
+      const double cn =
+          OptimisticConstant(inst->graph(), inst->num_classes(), est);
+      inst->set_cost_scale(cn);
+      return cn;
+    }
+    case NormalizationPolicy::kPessimistic: {
+      if (est.dist_med <= 0.0) {
+        return Status::FailedPrecondition(
+            "pessimistic normalization needs dist_med > 0");
+      }
+      if (inst->num_classes() < 2) {
+        return Status::FailedPrecondition(
+            "pessimistic normalization needs k >= 2 (CN is 0 for k = 1)");
+      }
+      const double cn =
+          PessimisticConstant(inst->graph(), inst->num_classes(), est);
+      inst->set_cost_scale(cn);
+      return cn;
+    }
+  }
+  return Status::InvalidArgument("unknown normalization policy");
+}
+
+Result<double> NormalizeExact(Instance* inst, NormalizationPolicy policy) {
+  if (inst == nullptr) return Status::InvalidArgument("inst is null");
+  if (policy == NormalizationPolicy::kNone) {
+    inst->set_cost_scale(1.0);
+    return 1.0;
+  }
+  return Normalize(inst, policy, ComputeEstimatesExact(*inst));
+}
+
+}  // namespace rmgp

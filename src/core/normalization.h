@@ -1,0 +1,52 @@
+#ifndef RMGP_CORE_NORMALIZATION_H_
+#define RMGP_CORE_NORMALIZATION_H_
+
+#include "core/instance.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Which heuristic of §3.3 estimates the normalization constant CN.
+enum class NormalizationPolicy {
+  kNone,        ///< raw RMGP: CN = 1
+  kOptimistic,  ///< CN_opt  = (deg_avg · w_avg) / (2 · dist_min · √k)
+  kPessimistic, ///< CN_pess = (deg_avg · (k-1) · w_avg) / (2 · dist_med · k)
+};
+
+/// Application-dependent inputs to the CN estimators: the average minimum
+/// and average median assignment cost per user. For LAGP these are
+/// distances (see EstimateDistances); for TAGP, dissimilarities; for
+/// multi-criteria costs, whatever the combined score is.
+struct NormalizationEstimates {
+  double dist_min = 0.0;  ///< avg over users of min_p c(v, p)
+  double dist_med = 0.0;  ///< avg over users of median_p c(v, p)
+};
+
+/// Computes the estimates exactly from an instance's own cost provider
+/// (O(|V|·k)); convenient for small/medium instances and for TAGP costs
+/// where no spatial shortcut exists.
+NormalizationEstimates ComputeEstimatesExact(const Instance& inst);
+
+/// The §3.3 optimistic constant:
+///   AC ≈ dist_min, SC ≈ deg_avg·w_avg/√k  ⇒  CN = deg_avg·w_avg/(2·dist_min·√k).
+double OptimisticConstant(const Graph& g, ClassId k,
+                          const NormalizationEstimates& est);
+
+/// The §3.3 pessimistic constant:
+///   AC ≈ dist_med, SC ≈ deg_avg·w_avg·(k-1)/k ⇒
+///   CN = deg_avg·(k-1)·w_avg/(2·dist_med·k).
+double PessimisticConstant(const Graph& g, ClassId k,
+                           const NormalizationEstimates& est);
+
+/// Sets inst->cost_scale() to the chosen CN (kNone resets it to 1).
+/// Returns the constant applied. Fails if the relevant estimate is zero
+/// (normalization of an all-zero cost matrix is meaningless).
+Result<double> Normalize(Instance* inst, NormalizationPolicy policy,
+                         const NormalizationEstimates& est);
+
+/// Convenience: computes exact estimates and applies the policy.
+Result<double> NormalizeExact(Instance* inst, NormalizationPolicy policy);
+
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_NORMALIZATION_H_

@@ -1,0 +1,131 @@
+#include "core/objective.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "util/logging.h"
+
+namespace rmgp {
+
+Status ValidateAssignment(const Instance& inst, const Assignment& a) {
+  if (a.size() != inst.num_users()) {
+    return Status::InvalidArgument(
+        "assignment covers " + std::to_string(a.size()) + " users, expected " +
+        std::to_string(inst.num_users()));
+  }
+  for (NodeId v = 0; v < a.size(); ++v) {
+    if (a[v] >= inst.num_classes()) {
+      return Status::InvalidArgument("user " + std::to_string(v) +
+                                     " assigned to out-of-range class " +
+                                     std::to_string(a[v]));
+    }
+  }
+  return Status::OK();
+}
+
+CostBreakdown EvaluateObjective(const Instance& inst, const Assignment& a) {
+  RMGP_CHECK(ValidateAssignment(inst, a).ok());
+  const Graph& g = inst.graph();
+  CostBreakdown out;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out.raw_assignment += inst.AssignmentCost(v, a[v]);
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (v < nb.node && a[v] != a[nb.node]) out.raw_social += nb.weight;
+    }
+  }
+  out.assignment = inst.alpha() * out.raw_assignment;
+  out.social = (1.0 - inst.alpha()) * out.raw_social;
+  out.total = out.assignment + out.social;
+  return out;
+}
+
+double EvaluatePotential(const Instance& inst, const Assignment& a) {
+  const CostBreakdown b = EvaluateObjective(inst, a);
+  // Φ halves the social term relative to the objective (Equation 4).
+  return b.assignment + 0.5 * b.social;
+}
+
+double UserCost(const Instance& inst, const Assignment& a, NodeId v) {
+  return UserCostIfAssigned(inst, a, v, a[v]);
+}
+
+double UserCostIfAssigned(const Instance& inst, const Assignment& a, NodeId v,
+                          ClassId p) {
+  double social = 0.0;
+  for (const Neighbor& nb : inst.graph().neighbors(v)) {
+    if (a[nb.node] != p) social += 0.5 * nb.weight;
+  }
+  return inst.alpha() * inst.AssignmentCost(v, p) +
+         (1.0 - inst.alpha()) * social;
+}
+
+BestResponse ComputeBestResponse(const Instance& inst, const Assignment& a,
+                                 NodeId v) {
+  const ClassId k = inst.num_classes();
+  // Fig 3 lines 7-10: start every class at c(v,p)·α + maxSC_v, then credit
+  // back the weight of friends already in that class.
+  std::vector<double> cost(k);
+  inst.AssignmentCostsFor(v, cost.data());
+  const double alpha = inst.alpha();
+  const double max_sc = (1.0 - alpha) * inst.HalfIncidentWeight(v);
+  for (ClassId p = 0; p < k; ++p) cost[p] = alpha * cost[p] + max_sc;
+  for (const Neighbor& nb : inst.graph().neighbors(v)) {
+    cost[a[nb.node]] -= (1.0 - alpha) * 0.5 * nb.weight;
+  }
+  BestResponse br;
+  br.current_cost = cost[a[v]];
+  br.best_class = 0;
+  br.best_cost = cost[0];
+  for (ClassId p = 1; p < k; ++p) {
+    if (cost[p] < br.best_cost) {
+      br.best_cost = cost[p];
+      br.best_class = p;
+    }
+  }
+  return br;
+}
+
+Status VerifyEquilibrium(const Instance& inst, const Assignment& a,
+                         double tolerance) {
+  RMGP_RETURN_IF_ERROR(ValidateAssignment(inst, a));
+  for (NodeId v = 0; v < inst.num_users(); ++v) {
+    const BestResponse br = ComputeBestResponse(inst, a, v);
+    if (br.best_cost < br.current_cost - tolerance) {
+      return Status::FailedPrecondition(
+          "user " + std::to_string(v) + " can deviate from class " +
+          std::to_string(a[v]) + " (cost " + std::to_string(br.current_cost) +
+          ") to class " + std::to_string(br.best_class) + " (cost " +
+          std::to_string(br.best_cost) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+double PriceOfAnarchyBound(const Instance& inst) {
+  const Graph& g = inst.graph();
+  if (g.num_nodes() == 0) return 1.0;
+  const double deg_avg = g.average_degree();
+  const double w_avg = g.average_edge_weight();
+  double c_min_sum = 0.0;
+  std::vector<double> cost(inst.num_classes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    inst.AssignmentCostsFor(v, cost.data());
+    c_min_sum += *std::min_element(cost.begin(), cost.end());
+  }
+  const double c_avg = c_min_sum / g.num_nodes();
+  if (c_avg <= 0.0) return std::numeric_limits<double>::infinity();
+  const double alpha = inst.alpha();
+  return 1.0 + ((1.0 - alpha) / alpha) * (deg_avg * w_avg) / (2.0 * c_avg);
+}
+
+uint64_t CountReassigned(const Assignment& before, const Assignment& after) {
+  RMGP_CHECK_EQ(before.size(), after.size());
+  uint64_t count = 0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) ++count;
+  }
+  return count;
+}
+
+}  // namespace rmgp

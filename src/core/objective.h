@@ -1,0 +1,74 @@
+#ifndef RMGP_CORE_OBJECTIVE_H_
+#define RMGP_CORE_OBJECTIVE_H_
+
+#include <vector>
+
+#include "core/instance.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// An assignment maps every user v to a class s_v (the strategic vector).
+using Assignment = std::vector<ClassId>;
+
+/// Objective-function decomposition of Equation 1:
+///   total = α·Σ_v CN·c(v,s_v)  +  (1-α)·Σ_{cut edges} w_e
+struct CostBreakdown {
+  double assignment = 0.0;  ///< α·Σ_v CN·c(v, s_v)
+  double social = 0.0;      ///< (1-α)·Σ_{(u,v)∈E, s_u≠s_v} w_uv
+  double total = 0.0;       ///< assignment + social
+
+  /// Raw (un-α-weighted) sums, useful for the normalization figures that
+  /// plot assignment vs social cost directly.
+  double raw_assignment = 0.0;  ///< Σ_v CN·c(v, s_v)
+  double raw_social = 0.0;      ///< Σ_{cut edges} w_uv
+};
+
+/// Checks that `a` is a valid strategic vector for `inst` (right size, all
+/// classes in range).
+Status ValidateAssignment(const Instance& inst, const Assignment& a);
+
+/// Evaluates Equation 1 for the assignment (must be valid).
+CostBreakdown EvaluateObjective(const Instance& inst, const Assignment& a);
+
+/// Evaluates the potential function Φ of Equation 4: like the objective,
+/// but each cut edge contributes half its weight.
+double EvaluatePotential(const Instance& inst, const Assignment& a);
+
+/// Per-user cost C_v of Equation 3 for the current strategies.
+double UserCost(const Instance& inst, const Assignment& a, NodeId v);
+
+/// Per-user cost of user v if it deviated to class p, holding everyone
+/// else fixed.
+double UserCostIfAssigned(const Instance& inst, const Assignment& a, NodeId v,
+                          ClassId p);
+
+/// Best response of user v against `a`: the class minimizing C_v (lowest
+/// id on ties) and its cost.
+struct BestResponse {
+  ClassId best_class = 0;
+  double best_cost = 0.0;
+  double current_cost = 0.0;
+};
+BestResponse ComputeBestResponse(const Instance& inst, const Assignment& a,
+                                 NodeId v);
+
+/// Verifies that `a` is a pure Nash equilibrium: no user can strictly
+/// reduce C_v by a unilateral deviation (beyond a tolerance for
+/// floating-point noise). Returns FailedPrecondition naming the first
+/// profitable deviation otherwise.
+Status VerifyEquilibrium(const Instance& inst, const Assignment& a,
+                         double tolerance = 1e-9);
+
+/// The Theorem 2 upper bound on the price of anarchy:
+///   PoA <= 1 + ((1-α)/α) · (deg_avg · w_avg) / (2 · c_avg),
+/// where c_avg is the average minimum (normalized) per-user assignment cost.
+double PriceOfAnarchyBound(const Instance& inst);
+
+/// Number of users whose class differs between two assignments (the
+/// "users re-assigned" counts of Fig 9's discussion).
+uint64_t CountReassigned(const Assignment& before, const Assignment& after);
+
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_OBJECTIVE_H_

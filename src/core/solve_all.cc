@@ -1,0 +1,190 @@
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "core/solver.h"
+#include "core/solver_internal.h"
+#include "graph/coloring.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace rmgp {
+
+using internal::ReducedStrategies;
+using internal::StrictlyBetter;
+
+namespace {
+
+/// Index of class p within the sorted candidate list, or SIZE_MAX.
+size_t CandidateIndex(std::span<const ClassId> cands, ClassId p) {
+  auto it = std::lower_bound(cands.begin(), cands.end(), p);
+  if (it != cands.end() && *it == p) {
+    return static_cast<size_t>(it - cands.begin());
+  }
+  return SIZE_MAX;
+}
+
+constexpr size_t kNumShards = 1024;
+
+}  // namespace
+
+/// RMGP_all: the three optimizations of §4 combined —
+///   * strategy elimination (§4.1) shrinks each user's row to S'_v, which
+///     also bounds the global table's memory (the trade-off §4.3 calls out);
+///   * the global table (§4.3) is maintained over the reduced rows and only
+///     unhappy users are examined;
+///   * users are processed per color group (§4.2) across num_threads
+///     workers; friends' row updates are serialized by sharded locks.
+Result<SolveResult> SolveAll(const Instance& inst,
+                             const SolverOptions& options) {
+  Status st = internal::ValidateOptions(inst, options);
+  if (!st.ok()) return st;
+
+  Stopwatch total_sw;
+  Rng rng(options.seed);
+  SolveResult res;
+
+  const NodeId n = inst.num_users();
+  const double social_factor = 1.0 - inst.alpha();
+  ThreadPool pool(options.num_threads);
+
+  // ---- Round 0: elimination, coloring, initial strategies, reduced GT.
+  Stopwatch init_sw;
+  const ReducedStrategies rs = internal::ComputeReducedStrategies(inst);
+  res.eliminated_users = rs.eliminated_users;
+  res.pruned_strategies = rs.pruned_strategies;
+  res.assignment = internal::MakeReducedInitialAssignment(inst, options, rs,
+                                                          &rng);
+  const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
+
+  Coloring coloring = GreedyColoring(inst.graph());
+  {
+    const std::vector<NodeId> order = internal::MakeOrder(inst, options, &rng);
+    std::vector<uint32_t> rank(n);
+    for (uint32_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+    for (auto& group : coloring.groups) {
+      // Eliminated users never deviate; drop them from the schedule.
+      std::erase_if(group, [&](NodeId v) {
+        return rs.forced[v] != ReducedStrategies::kNoForced;
+      });
+      std::sort(group.begin(), group.end(),
+                [&](NodeId a, NodeId b) { return rank[a] < rank[b]; });
+    }
+  }
+
+  // Reduced global table: values[i] is the total cost of candidate
+  // rs.classes[i] for the user owning slot i.
+  std::vector<double> values(rs.classes.size());
+  std::vector<uint32_t> cur_idx(n);  // index of s_v within S'_v
+  std::vector<char> happy(n);
+  pool.ParallelFor(n, [&](size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    const auto cands = rs.StrategiesOf(v);
+    double* row = values.data() + rs.offsets[v];
+    for (size_t i = 0; i < cands.size(); ++i) {
+      row[i] = inst.alpha() * inst.AssignmentCost(v, cands[i]) + max_sc[v];
+    }
+    for (const Neighbor& nb : inst.graph().neighbors(v)) {
+      const size_t idx = CandidateIndex(cands, res.assignment[nb.node]);
+      if (idx != SIZE_MAX) row[idx] -= social_factor * 0.5 * nb.weight;
+    }
+    const size_t ci = CandidateIndex(cands, res.assignment[v]);
+    RMGP_CHECK_NE(ci, SIZE_MAX);
+    cur_idx[v] = static_cast<uint32_t>(ci);
+    const double best = *std::min_element(row, row + cands.size());
+    happy[v] = !StrictlyBetter(best, row[ci]);
+  });
+  res.init_millis = init_sw.ElapsedMillis();
+  if (options.record_rounds) {
+    RoundStats rs0;
+    rs0.round = 0;
+    rs0.millis = res.init_millis;
+    if (options.record_potential) {
+      rs0.potential = EvaluatePotential(inst, res.assignment);
+    }
+    res.round_stats.push_back(rs0);
+  }
+
+  std::vector<std::mutex> shards(kNumShards);
+
+  for (uint32_t round = 1; round <= options.max_rounds; ++round) {
+    Stopwatch round_sw;
+    std::atomic<uint64_t> deviations{0};
+    std::atomic<uint64_t> examined{0};
+    for (const std::vector<NodeId>& group : coloring.groups) {
+      const size_t chunks = std::min<size_t>(
+          pool.num_threads(), std::max<size_t>(group.size(), 1));
+      const size_t per_chunk = (group.size() + chunks - 1) / chunks;
+      for (size_t c = 0; c < chunks; ++c) {
+        const size_t begin = c * per_chunk;
+        const size_t end = std::min(group.size(), begin + per_chunk);
+        if (begin >= end) break;
+        pool.Submit([&, begin, end] {
+          uint64_t local_dev = 0, local_exam = 0;
+          for (size_t gi = begin; gi < end; ++gi) {
+            const NodeId v = group[gi];
+            if (happy[v]) continue;
+            ++local_exam;
+            const auto cands = rs.StrategiesOf(v);
+            double* row = values.data() + rs.offsets[v];
+            size_t best = 0;
+            for (size_t i = 1; i < cands.size(); ++i) {
+              if (row[i] < row[best]) best = i;
+            }
+            happy[v] = 1;
+            if (!StrictlyBetter(row[best], row[cur_idx[v]])) continue;
+            const ClassId old_class = res.assignment[v];
+            const ClassId new_class = cands[best];
+            res.assignment[v] = new_class;
+            cur_idx[v] = static_cast<uint32_t>(best);
+            ++local_dev;
+            for (const Neighbor& nb : inst.graph().neighbors(v)) {
+              const NodeId f = nb.node;
+              const auto fcands = rs.StrategiesOf(f);
+              const size_t idx_new = CandidateIndex(fcands, new_class);
+              const size_t idx_old = CandidateIndex(fcands, old_class);
+              if (idx_new == SIZE_MAX && idx_old == SIZE_MAX) continue;
+              const double delta = social_factor * 0.5 * nb.weight;
+              double* frow = values.data() + rs.offsets[f];
+              std::lock_guard<std::mutex> lock(shards[f % kNumShards]);
+              if (idx_new != SIZE_MAX) frow[idx_new] -= delta;
+              if (idx_old != SIZE_MAX) frow[idx_old] += delta;
+              if (res.assignment[f] == old_class ||
+                  (idx_new != SIZE_MAX &&
+                   StrictlyBetter(frow[idx_new], frow[cur_idx[f]]))) {
+                happy[f] = 0;
+              }
+            }
+          }
+          deviations.fetch_add(local_dev, std::memory_order_relaxed);
+          examined.fetch_add(local_exam, std::memory_order_relaxed);
+        });
+      }
+      pool.Wait();
+    }
+    res.rounds = round;
+    const uint64_t dev = deviations.load();
+    if (options.record_rounds) {
+      RoundStats stat;
+      stat.round = round;
+      stat.deviations = dev;
+      stat.examined = examined.load();
+      stat.millis = round_sw.ElapsedMillis();
+      if (options.record_potential) {
+        stat.potential = EvaluatePotential(inst, res.assignment);
+      }
+      res.round_stats.push_back(stat);
+    }
+    if (dev == 0) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  internal::FinalizeResult(inst, &res);
+  res.total_millis = total_sw.ElapsedMillis();
+  return res;
+}
+
+}  // namespace rmgp

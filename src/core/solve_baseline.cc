@@ -1,0 +1,74 @@
+#include "core/solver.h"
+
+#include "core/solver_internal.h"
+#include "util/stopwatch.h"
+
+namespace rmgp {
+
+using internal::BestResponseScratch;
+using internal::StrictlyBetter;
+
+/// RMGP_b (Fig 3): random (or heuristic) initialization followed by rounds
+/// of sequential best responses until no player deviates.
+Result<SolveResult> SolveBaseline(const Instance& inst,
+                                  const SolverOptions& options) {
+  Status s = internal::ValidateOptions(inst, options);
+  if (!s.ok()) return s;
+
+  Stopwatch total_sw;
+  Rng rng(options.seed);
+  SolveResult res;
+
+  // Round 0: initialization (Fig 3 lines 1-3).
+  Stopwatch init_sw;
+  res.assignment = internal::MakeInitialAssignment(inst, options, &rng);
+  const std::vector<NodeId> order = internal::MakeOrder(inst, options, &rng);
+  const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
+  res.init_millis = init_sw.ElapsedMillis();
+  if (options.record_rounds) {
+    RoundStats rs0;
+    rs0.round = 0;
+    rs0.millis = res.init_millis;
+    if (options.record_potential) {
+      rs0.potential = EvaluatePotential(inst, res.assignment);
+    }
+    res.round_stats.push_back(rs0);
+  }
+
+  // Best-response rounds (Fig 3 lines 4-14).
+  std::vector<double> scratch(inst.num_classes());
+  for (uint32_t round = 1; round <= options.max_rounds; ++round) {
+    Stopwatch round_sw;
+    uint64_t deviations = 0;
+    for (NodeId v : order) {
+      const BestResponse br =
+          BestResponseScratch(inst, res.assignment, v, max_sc, scratch.data());
+      if (StrictlyBetter(br.best_cost, br.current_cost)) {
+        res.assignment[v] = br.best_class;
+        ++deviations;
+      }
+    }
+    res.rounds = round;
+    if (options.record_rounds) {
+      RoundStats rs;
+      rs.round = round;
+      rs.deviations = deviations;
+      rs.examined = inst.num_users();
+      rs.millis = round_sw.ElapsedMillis();
+      if (options.record_potential) {
+        rs.potential = EvaluatePotential(inst, res.assignment);
+      }
+      res.round_stats.push_back(rs);
+    }
+    if (deviations == 0) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  internal::FinalizeResult(inst, &res);
+  res.total_millis = total_sw.ElapsedMillis();
+  return res;
+}
+
+}  // namespace rmgp

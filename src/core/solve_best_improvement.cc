@@ -1,0 +1,125 @@
+#include <algorithm>
+#include <queue>
+
+#include "core/solver.h"
+#include "core/solver_internal.h"
+#include "util/stopwatch.h"
+
+namespace rmgp {
+
+using internal::StrictlyBetter;
+
+/// RMGP_pq — best-improvement (steepest-descent) dynamics, an ablation
+/// beyond the paper's round-robin best response: a max-heap always plays
+/// the user with the largest available cost improvement. Each move still
+/// lowers the potential Φ by exactly the player's improvement (Theorem 1),
+/// so convergence is preserved; what changes is the *order* of moves and
+/// hence possibly the equilibrium reached and the number of moves needed.
+Result<SolveResult> SolveBestImprovement(const Instance& inst,
+                                         const SolverOptions& options) {
+  Status s = internal::ValidateOptions(inst, options);
+  if (!s.ok()) return s;
+
+  Stopwatch total_sw;
+  Rng rng(options.seed);
+  SolveResult res;
+
+  const NodeId n = inst.num_users();
+  const ClassId k = inst.num_classes();
+  const double social_factor = 1.0 - inst.alpha();
+
+  Stopwatch init_sw;
+  res.assignment = internal::MakeInitialAssignment(inst, options, &rng);
+  const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
+
+  // Global table as in RMGP_gt.
+  std::vector<double> gt(static_cast<size_t>(n) * k);
+  for (NodeId v = 0; v < n; ++v) {
+    double* row = gt.data() + static_cast<size_t>(v) * k;
+    inst.AssignmentCostsFor(v, row);
+    for (ClassId p = 0; p < k; ++p) {
+      row[p] = inst.alpha() * row[p] + max_sc[v];
+    }
+    for (const Neighbor& nb : inst.graph().neighbors(v)) {
+      row[res.assignment[nb.node]] -= social_factor * 0.5 * nb.weight;
+    }
+  }
+
+  // Max-heap of (improvement, user, stamp) with lazy invalidation.
+  struct Entry {
+    double improvement;
+    NodeId user;
+    uint64_t stamp;
+    bool operator<(const Entry& other) const {
+      return improvement < other.improvement;
+    }
+  };
+  std::vector<uint64_t> stamp(n, 0);
+  std::priority_queue<Entry> heap;
+  auto improvement_of = [&](NodeId v) {
+    const double* row = gt.data() + static_cast<size_t>(v) * k;
+    double best = row[0];
+    for (ClassId p = 1; p < k; ++p) best = std::min(best, row[p]);
+    return row[res.assignment[v]] - best;
+  };
+  auto push_if_unhappy = [&](NodeId v) {
+    const double imp = improvement_of(v);
+    const double cur =
+        gt[static_cast<size_t>(v) * k + res.assignment[v]];
+    if (StrictlyBetter(cur - imp, cur)) {
+      heap.push({imp, v, ++stamp[v]});
+    }
+  };
+  for (NodeId v = 0; v < n; ++v) push_if_unhappy(v);
+  res.init_millis = init_sw.ElapsedMillis();
+
+  uint64_t moves = 0;
+  uint64_t examined = 0;
+  // 2·n·k is a generous guard; in exact arithmetic the potential argument
+  // guarantees termination, and lazy heap entries only add O(log) factors.
+  while (!heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    ++examined;
+    if (top.stamp != stamp[top.user]) continue;  // stale
+    const NodeId v = top.user;
+    double* row = gt.data() + static_cast<size_t>(v) * k;
+    ClassId best = 0;
+    for (ClassId p = 1; p < k; ++p) {
+      if (row[p] < row[best]) best = p;
+    }
+    const ClassId old = res.assignment[v];
+    ++stamp[v];  // invalidate any other queued entry for v
+    if (!StrictlyBetter(row[best], row[old])) continue;
+    res.assignment[v] = best;
+    ++moves;
+    for (const Neighbor& nb : inst.graph().neighbors(v)) {
+      const NodeId f = nb.node;
+      double* frow = gt.data() + static_cast<size_t>(f) * k;
+      const double delta = social_factor * 0.5 * nb.weight;
+      frow[best] -= delta;
+      frow[old] += delta;
+      push_if_unhappy(f);
+    }
+    push_if_unhappy(v);  // v itself is happy now; push_if_unhappy no-ops
+  }
+
+  res.converged = true;
+  res.rounds = 1;  // single asynchronous sweep; `deviations` = moves
+  if (options.record_rounds) {
+    RoundStats st;
+    st.round = 1;
+    st.deviations = moves;
+    st.examined = examined;
+    st.millis = total_sw.ElapsedMillis() - res.init_millis;
+    if (options.record_potential) {
+      st.potential = EvaluatePotential(inst, res.assignment);
+    }
+    res.round_stats.push_back(st);
+  }
+  internal::FinalizeResult(inst, &res);
+  res.total_millis = total_sw.ElapsedMillis();
+  return res;
+}
+
+}  // namespace rmgp

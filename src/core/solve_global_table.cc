@@ -1,0 +1,118 @@
+#include <algorithm>
+
+#include "core/solver.h"
+#include "core/solver_internal.h"
+#include "util/stopwatch.h"
+
+namespace rmgp {
+
+using internal::StrictlyBetter;
+
+/// RMGP_gt (§4.3, Fig 5): the cost of every (user, class) pair is
+/// materialized once into a |V|×k global table and maintained
+/// incrementally as players switch. Only "unhappy" users — whose current
+/// strategy is no longer their minimum — are examined, so per-round cost
+/// shrinks as the game approaches the equilibrium.
+Result<SolveResult> SolveGlobalTable(const Instance& inst,
+                                     const SolverOptions& options) {
+  Status s = internal::ValidateOptions(inst, options);
+  if (!s.ok()) return s;
+
+  Stopwatch total_sw;
+  Rng rng(options.seed);
+  SolveResult res;
+
+  const NodeId n = inst.num_users();
+  const ClassId k = inst.num_classes();
+  const double social_factor = 1.0 - inst.alpha();
+
+  // Round 0 (Fig 5 lines 1-6): initial strategies, then GT[v][p] = C_v(p,π)
+  // and the happiness flags.
+  Stopwatch init_sw;
+  res.assignment = internal::MakeInitialAssignment(inst, options, &rng);
+  const std::vector<NodeId> order = internal::MakeOrder(inst, options, &rng);
+  const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
+
+  std::vector<double> gt(static_cast<size_t>(n) * k);
+  std::vector<char> happy(n);
+  for (NodeId v = 0; v < n; ++v) {
+    double* row = gt.data() + static_cast<size_t>(v) * k;
+    inst.AssignmentCostsFor(v, row);
+    for (ClassId p = 0; p < k; ++p) {
+      row[p] = inst.alpha() * row[p] + max_sc[v];
+    }
+    for (const Neighbor& nb : inst.graph().neighbors(v)) {
+      row[res.assignment[nb.node]] -= social_factor * 0.5 * nb.weight;
+    }
+    const double best = *std::min_element(row, row + k);
+    happy[v] = !StrictlyBetter(best, row[res.assignment[v]]);
+  }
+  res.init_millis = init_sw.ElapsedMillis();
+  if (options.record_rounds) {
+    RoundStats rs0;
+    rs0.round = 0;
+    rs0.millis = res.init_millis;
+    if (options.record_potential) {
+      rs0.potential = EvaluatePotential(inst, res.assignment);
+    }
+    res.round_stats.push_back(rs0);
+  }
+
+  // Fig 5 lines 7-16.
+  for (uint32_t round = 1; round <= options.max_rounds; ++round) {
+    Stopwatch round_sw;
+    uint64_t deviations = 0;
+    uint64_t examined = 0;
+    for (NodeId v : order) {
+      if (happy[v]) continue;
+      ++examined;
+      double* row = gt.data() + static_cast<size_t>(v) * k;
+      ClassId best = 0;
+      for (ClassId p = 1; p < k; ++p) {
+        if (row[p] < row[best]) best = p;
+      }
+      const ClassId old = res.assignment[v];
+      happy[v] = 1;
+      if (!StrictlyBetter(row[best], row[old])) continue;
+      res.assignment[v] = best;
+      ++deviations;
+      // Inform friends (Fig 5 lines 11-15): v joining `best` makes it
+      // cheaper for them, leaving `old` makes that dearer.
+      for (const Neighbor& nb : inst.graph().neighbors(v)) {
+        const NodeId f = nb.node;
+        double* frow = gt.data() + static_cast<size_t>(f) * k;
+        const double delta = social_factor * 0.5 * nb.weight;
+        frow[best] -= delta;
+        frow[old] += delta;
+        const ClassId sf = res.assignment[f];
+        if (sf == old || StrictlyBetter(frow[best], frow[sf])) {
+          // Conservative: the friend's current strategy either got dearer
+          // or `best` now undercuts it; re-examination will settle it.
+          happy[f] = 0;
+        }
+      }
+    }
+    res.rounds = round;
+    if (options.record_rounds) {
+      RoundStats st;
+      st.round = round;
+      st.deviations = deviations;
+      st.examined = examined;
+      st.millis = round_sw.ElapsedMillis();
+      if (options.record_potential) {
+        st.potential = EvaluatePotential(inst, res.assignment);
+      }
+      res.round_stats.push_back(st);
+    }
+    if (deviations == 0) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  internal::FinalizeResult(inst, &res);
+  res.total_millis = total_sw.ElapsedMillis();
+  return res;
+}
+
+}  // namespace rmgp

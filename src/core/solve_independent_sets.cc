@@ -1,0 +1,113 @@
+#include <algorithm>
+#include <atomic>
+
+#include "core/solver.h"
+#include "core/solver_internal.h"
+#include "graph/coloring.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace rmgp {
+
+using internal::BestResponseScratch;
+using internal::StrictlyBetter;
+
+/// RMGP_is (§4.2, Fig 4): users are grouped by a greedy graph coloring;
+/// nodes of one color form an independent set, so their best responses
+/// depend only on nodes outside the set and can be computed simultaneously.
+/// Groups are visited round-robin; a barrier separates groups.
+Result<SolveResult> SolveIndependentSets(const Instance& inst,
+                                         const SolverOptions& options) {
+  Status s = internal::ValidateOptions(inst, options);
+  if (!s.ok()) return s;
+
+  Stopwatch total_sw;
+  Rng rng(options.seed);
+  SolveResult res;
+
+  Stopwatch init_sw;
+  res.assignment = internal::MakeInitialAssignment(inst, options, &rng);
+  const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
+  // The paper computes the coloring offline; we fold it into round 0.
+  Coloring coloring = GreedyColoring(inst.graph());
+  // Order users *within* each group by the configured policy so that the
+  // "+o" heuristic stays meaningful under parallelism.
+  {
+    const std::vector<NodeId> order = internal::MakeOrder(inst, options, &rng);
+    std::vector<uint32_t> rank(inst.num_users());
+    for (uint32_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+    for (auto& group : coloring.groups) {
+      std::sort(group.begin(), group.end(),
+                [&](NodeId a, NodeId b) { return rank[a] < rank[b]; });
+    }
+  }
+  res.init_millis = init_sw.ElapsedMillis();
+  if (options.record_rounds) {
+    RoundStats rs0;
+    rs0.round = 0;
+    rs0.millis = res.init_millis;
+    if (options.record_potential) {
+      rs0.potential = EvaluatePotential(inst, res.assignment);
+    }
+    res.round_stats.push_back(rs0);
+  }
+
+  ThreadPool pool(options.num_threads);
+  const ClassId k = inst.num_classes();
+
+  for (uint32_t round = 1; round <= options.max_rounds; ++round) {
+    Stopwatch round_sw;
+    std::atomic<uint64_t> deviations{0};
+    for (const std::vector<NodeId>& group : coloring.groups) {
+      // Fig 4 lines 4-8: split the group across T threads; all writes go to
+      // strategies of group members, which no concurrent reader touches
+      // (their friends are outside the group by construction).
+      const size_t chunks = std::min<size_t>(pool.num_threads(),
+                                             std::max<size_t>(group.size(), 1));
+      const size_t per_chunk = (group.size() + chunks - 1) / chunks;
+      for (size_t c = 0; c < chunks; ++c) {
+        const size_t begin = c * per_chunk;
+        const size_t end = std::min(group.size(), begin + per_chunk);
+        if (begin >= end) break;
+        pool.Submit([&, begin, end] {
+          std::vector<double> scratch(k);
+          uint64_t local_dev = 0;
+          for (size_t i = begin; i < end; ++i) {
+            const NodeId v = group[i];
+            const BestResponse br = BestResponseScratch(
+                inst, res.assignment, v, max_sc, scratch.data());
+            if (StrictlyBetter(br.best_cost, br.current_cost)) {
+              res.assignment[v] = br.best_class;
+              ++local_dev;
+            }
+          }
+          deviations.fetch_add(local_dev, std::memory_order_relaxed);
+        });
+      }
+      pool.Wait();  // barrier before the next color group (Fig 4 line 8)
+    }
+    res.rounds = round;
+    const uint64_t dev = deviations.load();
+    if (options.record_rounds) {
+      RoundStats st;
+      st.round = round;
+      st.deviations = dev;
+      st.examined = inst.num_users();
+      st.millis = round_sw.ElapsedMillis();
+      if (options.record_potential) {
+        st.potential = EvaluatePotential(inst, res.assignment);
+      }
+      res.round_stats.push_back(st);
+    }
+    if (dev == 0) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  internal::FinalizeResult(inst, &res);
+  res.total_millis = total_sw.ElapsedMillis();
+  return res;
+}
+
+}  // namespace rmgp

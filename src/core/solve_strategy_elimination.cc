@@ -1,0 +1,117 @@
+#include "core/solver.h"
+
+#include <algorithm>
+
+#include "core/solver_internal.h"
+#include "util/stopwatch.h"
+
+namespace rmgp {
+
+using internal::BestResponseReduced;
+using internal::ReducedStrategies;
+using internal::StrictlyBetter;
+
+namespace internal {
+
+Assignment MakeReducedInitialAssignment(const Instance& inst,
+                                        const SolverOptions& options,
+                                        const ReducedStrategies& rs,
+                                        Rng* rng) {
+  Assignment a = MakeInitialAssignment(inst, options, rng);
+  std::vector<double> row(inst.num_classes());
+  for (NodeId v = 0; v < inst.num_users(); ++v) {
+    if (rs.forced[v] != ReducedStrategies::kNoForced) {
+      // §4.1: a user with a single valid strategy is assigned directly and
+      // removed from the game.
+      a[v] = rs.forced[v];
+    } else if (options.init == InitPolicy::kRandom) {
+      // Random initialization draws from the reduced space so that round 1
+      // does not start from strategies already proven impossible.
+      const auto cands = rs.StrategiesOf(v);
+      a[v] = cands[rng->UniformInt(cands.size())];
+    } else if (options.init == InitPolicy::kGiven) {
+      // A warm-start strategy outside the valid region would deviate in
+      // round 1 regardless; snap it to the cheapest class (always valid).
+      const auto cands = rs.StrategiesOf(v);
+      if (!std::binary_search(cands.begin(), cands.end(), a[v])) {
+        inst.AssignmentCostsFor(v, row.data());
+        a[v] = static_cast<ClassId>(
+            std::min_element(row.begin(), row.end()) - row.begin());
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace internal
+
+/// RMGP_se (§4.1): the baseline loop over the reduced strategy space S'_v;
+/// users whose space is a single class are fixed up-front and skipped.
+Result<SolveResult> SolveStrategyElimination(const Instance& inst,
+                                             const SolverOptions& options) {
+  Status s = internal::ValidateOptions(inst, options);
+  if (!s.ok()) return s;
+
+  Stopwatch total_sw;
+  Rng rng(options.seed);
+  SolveResult res;
+
+  Stopwatch init_sw;
+  const ReducedStrategies rs = internal::ComputeReducedStrategies(inst);
+  res.eliminated_users = rs.eliminated_users;
+  res.pruned_strategies = rs.pruned_strategies;
+  res.assignment =
+      internal::MakeReducedInitialAssignment(inst, options, rs, &rng);
+  std::vector<NodeId> order = internal::MakeOrder(inst, options, &rng);
+  // Remove eliminated users from the play order entirely.
+  std::erase_if(order, [&](NodeId v) {
+    return rs.forced[v] != ReducedStrategies::kNoForced;
+  });
+  const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
+  res.init_millis = init_sw.ElapsedMillis();
+  if (options.record_rounds) {
+    RoundStats rs0;
+    rs0.round = 0;
+    rs0.millis = res.init_millis;
+    if (options.record_potential) {
+      rs0.potential = EvaluatePotential(inst, res.assignment);
+    }
+    res.round_stats.push_back(rs0);
+  }
+
+  std::vector<double> scratch(inst.num_classes());
+  for (uint32_t round = 1; round <= options.max_rounds; ++round) {
+    Stopwatch round_sw;
+    uint64_t deviations = 0;
+    for (NodeId v : order) {
+      const BestResponse br = BestResponseReduced(inst, res.assignment, v,
+                                                  max_sc, rs, scratch.data());
+      if (StrictlyBetter(br.best_cost, br.current_cost)) {
+        res.assignment[v] = br.best_class;
+        ++deviations;
+      }
+    }
+    res.rounds = round;
+    if (options.record_rounds) {
+      RoundStats st;
+      st.round = round;
+      st.deviations = deviations;
+      st.examined = order.size();
+      st.millis = round_sw.ElapsedMillis();
+      if (options.record_potential) {
+        st.potential = EvaluatePotential(inst, res.assignment);
+      }
+      res.round_stats.push_back(st);
+    }
+    if (deviations == 0) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  internal::FinalizeResult(inst, &res);
+  res.total_millis = total_sw.ElapsedMillis();
+  return res;
+}
+
+}  // namespace rmgp

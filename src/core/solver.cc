@@ -1,0 +1,38 @@
+#include "core/solver.h"
+
+namespace rmgp {
+
+Result<SolveResult> Solve(SolverKind kind, const Instance& inst,
+                          const SolverOptions& options) {
+  switch (kind) {
+    case SolverKind::kBaseline:
+      return SolveBaseline(inst, options);
+    case SolverKind::kStrategyElimination:
+      return SolveStrategyElimination(inst, options);
+    case SolverKind::kIndependentSets:
+      return SolveIndependentSets(inst, options);
+    case SolverKind::kGlobalTable:
+      return SolveGlobalTable(inst, options);
+    case SolverKind::kAll:
+      return SolveAll(inst, options);
+  }
+  return Status::InvalidArgument("unknown solver kind");
+}
+
+const char* SolverKindName(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kBaseline:
+      return "RMGP_b";
+    case SolverKind::kStrategyElimination:
+      return "RMGP_se";
+    case SolverKind::kIndependentSets:
+      return "RMGP_is";
+    case SolverKind::kGlobalTable:
+      return "RMGP_gt";
+    case SolverKind::kAll:
+      return "RMGP_all";
+  }
+  return "?";
+}
+
+}  // namespace rmgp

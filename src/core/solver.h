@@ -1,0 +1,131 @@
+#ifndef RMGP_CORE_SOLVER_H_
+#define RMGP_CORE_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// How players' initial strategies are chosen (Fig 3 line 2 and the
+/// heuristics of §3.1).
+enum class InitPolicy {
+  kRandom,        ///< RMGP_b: uniform random class per user
+  kClosestClass,  ///< "+i": the class with minimum assignment cost
+  kGiven,         ///< warm start from SolverOptions::warm_start (§3.1: seed
+                  ///< repeated executions with the previous solution)
+};
+
+/// Order in which players are examined within a round (Fig 3 line 5 and
+/// the "+o" heuristic).
+enum class OrderPolicy {
+  kRandom,      ///< RMGP_b: random permutation (fixed per run)
+  kDegreeDesc,  ///< "+o": decreasing degree — community leaders first
+  kDegreeAsc,   ///< ablation: increasing degree
+  kNodeId,      ///< ablation: by node id
+};
+
+/// Options shared by all RMGP solvers.
+struct SolverOptions {
+  InitPolicy init = InitPolicy::kRandom;
+  OrderPolicy order = OrderPolicy::kRandom;
+  uint64_t seed = 1;
+
+  /// Safety valve; best-response dynamics on an exact potential game always
+  /// converge (Theorem 1 / Lemma 2), so hitting this limit indicates a bug
+  /// or a pathological epsilon.
+  uint32_t max_rounds = 100000;
+
+  /// Worker threads for RMGP_is / RMGP_all (the paper's parameter T).
+  uint32_t num_threads = 4;
+
+  /// Initial assignment for InitPolicy::kGiven.
+  Assignment warm_start;
+
+  /// Record per-round statistics (deviations, time). Cheap.
+  bool record_rounds = true;
+
+  /// Additionally record the potential Φ after every round. Costs one full
+  /// objective evaluation per round; enable only on small/medium instances.
+  bool record_potential = false;
+};
+
+/// Statistics for one round of best-response dynamics.
+struct RoundStats {
+  uint32_t round = 0;        ///< 0 = initialization round
+  uint64_t deviations = 0;   ///< players that switched strategy
+  uint64_t examined = 0;     ///< players whose best response was computed
+  double millis = 0.0;
+  double potential = 0.0;    ///< Φ after the round (if record_potential)
+};
+
+/// Outcome of a solver run.
+struct SolveResult {
+  Assignment assignment;
+  bool converged = false;     ///< reached a Nash equilibrium
+  uint32_t rounds = 0;        ///< best-response rounds (excl. round 0)
+  CostBreakdown objective;    ///< Equation 1 at the final assignment
+  double potential = 0.0;     ///< Φ (Equation 4) at the final assignment
+  double init_millis = 0.0;   ///< round 0: init assignment + precomputation
+  double total_millis = 0.0;  ///< wall clock incl. initialization
+  std::vector<RoundStats> round_stats;  ///< if record_rounds; [0] is round 0
+
+  /// Strategy-elimination effectiveness (RMGP_se / RMGP_all only).
+  uint64_t eliminated_users = 0;    ///< users fixed to their only strategy
+  uint64_t pruned_strategies = 0;   ///< (v,p) pairs removed from play
+};
+
+/// RMGP_b — the baseline best-response algorithm of Fig 3.
+Result<SolveResult> SolveBaseline(const Instance& inst,
+                                  const SolverOptions& options);
+
+/// RMGP_se — baseline plus strategy elimination (§4.1): a per-user valid
+/// region prunes classes that can never be a best response.
+Result<SolveResult> SolveStrategyElimination(const Instance& inst,
+                                             const SolverOptions& options);
+
+/// RMGP_is — coloring-based parallel best response (§4.2, Fig 4): nodes of
+/// one color form an independent set and respond simultaneously on
+/// `num_threads` threads.
+Result<SolveResult> SolveIndependentSets(const Instance& inst,
+                                         const SolverOptions& options);
+
+/// RMGP_gt — global-table scheduling (§4.3, Fig 5): every user's per-class
+/// costs are materialized once and incrementally maintained; only unhappy
+/// users are examined.
+Result<SolveResult> SolveGlobalTable(const Instance& inst,
+                                     const SolverOptions& options);
+
+/// RMGP_all — all three optimizations combined: strategy elimination
+/// builds reduced per-user strategy lists, the global table is kept over
+/// the reduced lists, and unhappy users are processed per color group in
+/// parallel.
+Result<SolveResult> SolveAll(const Instance& inst,
+                             const SolverOptions& options);
+
+/// RMGP_pq — best-improvement (steepest-descent) dynamics: an ablation
+/// beyond the paper that always plays the user with the largest available
+/// improvement (max-heap over the global table). Converges by the same
+/// potential argument; `rounds` is always 1 and round_stats[0].deviations
+/// counts the individual moves.
+Result<SolveResult> SolveBestImprovement(const Instance& inst,
+                                         const SolverOptions& options);
+
+/// Identifiers for the solver variants, used by benches and the
+/// decentralized framework to pick an algorithm by name.
+enum class SolverKind { kBaseline, kStrategyElimination, kIndependentSets,
+                        kGlobalTable, kAll };
+
+/// Dispatches to the solver selected by `kind`.
+Result<SolveResult> Solve(SolverKind kind, const Instance& inst,
+                          const SolverOptions& options);
+
+/// Human-readable solver name ("RMGP_b", "RMGP_se", ...).
+const char* SolverKindName(SolverKind kind);
+
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_SOLVER_H_

@@ -1,0 +1,120 @@
+#include "core/solver_internal.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace rmgp {
+namespace internal {
+
+Status ValidateOptions(const Instance& inst, const SolverOptions& options) {
+  if (options.init == InitPolicy::kGiven) {
+    RMGP_RETURN_IF_ERROR(ValidateAssignment(inst, options.warm_start));
+  }
+  if (options.max_rounds == 0) {
+    return Status::InvalidArgument("max_rounds must be positive");
+  }
+  return Status::OK();
+}
+
+Assignment MakeInitialAssignment(const Instance& inst,
+                                 const SolverOptions& options, Rng* rng) {
+  const NodeId n = inst.num_users();
+  const ClassId k = inst.num_classes();
+  Assignment a(n);
+  switch (options.init) {
+    case InitPolicy::kRandom:
+      for (NodeId v = 0; v < n; ++v) {
+        a[v] = static_cast<ClassId>(rng->UniformInt(k));
+      }
+      break;
+    case InitPolicy::kClosestClass: {
+      std::vector<double> cost(k);
+      for (NodeId v = 0; v < n; ++v) {
+        inst.AssignmentCostsFor(v, cost.data());
+        a[v] = static_cast<ClassId>(
+            std::min_element(cost.begin(), cost.end()) - cost.begin());
+      }
+      break;
+    }
+    case InitPolicy::kGiven:
+      a = options.warm_start;
+      break;
+  }
+  return a;
+}
+
+std::vector<NodeId> MakeOrder(const Instance& inst,
+                              const SolverOptions& options, Rng* rng) {
+  const NodeId n = inst.num_users();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  switch (options.order) {
+    case OrderPolicy::kRandom:
+      rng->Shuffle(&order);
+      break;
+    case OrderPolicy::kDegreeDesc:
+      std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return inst.graph().degree(a) > inst.graph().degree(b);
+      });
+      break;
+    case OrderPolicy::kDegreeAsc:
+      std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return inst.graph().degree(a) < inst.graph().degree(b);
+      });
+      break;
+    case OrderPolicy::kNodeId:
+      break;
+  }
+  return order;
+}
+
+void FinalizeResult(const Instance& inst, SolveResult* result) {
+  result->objective = EvaluateObjective(inst, result->assignment);
+  result->potential =
+      result->objective.assignment + 0.5 * result->objective.social;
+}
+
+ReducedStrategies ComputeReducedStrategies(const Instance& inst) {
+  Stopwatch sw;
+  const NodeId n = inst.num_users();
+  const ClassId k = inst.num_classes();
+  const double alpha = inst.alpha();
+
+  ReducedStrategies rs;
+  rs.offsets.assign(static_cast<size_t>(n) + 1, 0);
+  rs.forced.assign(n, ReducedStrategies::kNoForced);
+  rs.classes.reserve(n);  // at least one strategy per user
+
+  std::vector<double> cost(k);
+  for (NodeId v = 0; v < n; ++v) {
+    inst.AssignmentCostsFor(v, cost.data());
+    const double c_min = *std::min_element(cost.begin(), cost.end());
+    // VR_v = c(v, s_min) + ((1-α)/α)·W_v  (Equation in §4.1): strategies
+    // whose assignment cost exceeds VR_v can never beat s_min even if all
+    // friends adopt them.
+    const double vr =
+        c_min + (1.0 - alpha) / alpha * inst.HalfIncidentWeight(v);
+    uint32_t kept = 0;
+    for (ClassId p = 0; p < k; ++p) {
+      if (cost[p] <= vr + kImprovementEps * (1.0 + std::abs(vr))) {
+        rs.classes.push_back(p);
+        ++kept;
+      }
+    }
+    RMGP_CHECK_GE(kept, 1u);
+    rs.offsets[v + 1] = rs.offsets[v] + kept;
+    rs.pruned_strategies += k - kept;
+    if (kept == 1) {
+      rs.forced[v] = rs.classes[rs.offsets[v]];
+      ++rs.eliminated_users;
+    }
+  }
+  rs.build_millis = sw.ElapsedMillis();
+  return rs;
+}
+
+}  // namespace internal
+}  // namespace rmgp

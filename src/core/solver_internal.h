@@ -1,0 +1,90 @@
+#ifndef RMGP_CORE_SOLVER_INTERNAL_H_
+#define RMGP_CORE_SOLVER_INTERNAL_H_
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/solver.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace internal {
+
+/// A deviation must beat the current strategy by more than this relative
+/// margin; guards against floating-point noise causing infinite oscillation
+/// (the potential argument of Lemma 2 assumes strict improvement).
+inline constexpr double kImprovementEps = 1e-12;
+
+/// True iff `candidate` is strictly better than `current` beyond tolerance.
+inline bool StrictlyBetter(double candidate, double current) {
+  return candidate < current - kImprovementEps * (1.0 + std::abs(current));
+}
+
+/// Validates options (warm start shape etc.).
+Status ValidateOptions(const Instance& inst, const SolverOptions& options);
+
+/// Builds the initial strategic vector per options.init (Fig 3 line 2 or
+/// the "+i" closest-class heuristic).
+Assignment MakeInitialAssignment(const Instance& inst,
+                                 const SolverOptions& options, Rng* rng);
+
+/// Builds the player examination order per options.order.
+std::vector<NodeId> MakeOrder(const Instance& inst,
+                              const SolverOptions& options, Rng* rng);
+
+/// Fills the final SolveResult fields (objective, potential) from the
+/// assignment.
+void FinalizeResult(const Instance& inst, SolveResult* result);
+
+/// Per-user reduced strategy space from §4.1. Lists are stored flattened:
+/// strategies of user v are classes[offsets[v] .. offsets[v+1]).
+struct ReducedStrategies {
+  std::vector<uint64_t> offsets;   // |V|+1
+  std::vector<ClassId> classes;    // Σ|S'_v|
+  std::vector<ClassId> forced;     // forced[v] = only strategy, or kNoForced
+  uint64_t eliminated_users = 0;
+  uint64_t pruned_strategies = 0;  // (v,p) pairs pruned
+  double build_millis = 0.0;
+
+  static constexpr ClassId kNoForced = UINT32_MAX;
+
+  std::span<const ClassId> StrategiesOf(NodeId v) const {
+    return {classes.data() + offsets[v], classes.data() + offsets[v + 1]};
+  }
+};
+
+/// Computes valid regions VR_v = c(v, s_min) + ((1-α)/α)·W_v and keeps only
+/// strategies with assignment cost <= VR_v (§4.1). Never prunes a possible
+/// best response.
+ReducedStrategies ComputeReducedStrategies(const Instance& inst);
+
+/// Precomputed maxSC_v = (1-α)·½·Σ_f w(v,f) for every user (Fig 3 line 3).
+std::vector<double> ComputeMaxSocialCosts(const Instance& inst);
+
+/// Fig 3 lines 6-13 for one player: computes the per-class costs of user v
+/// into `scratch` (size k) and returns the best class/cost plus the cost of
+/// the current strategy. `max_sc` is the precomputed maxSC_v array.
+BestResponse BestResponseScratch(const Instance& inst, const Assignment& a,
+                                 NodeId v, const std::vector<double>& max_sc,
+                                 double* scratch);
+
+/// Same, but restricted to the reduced strategy list of v (§4.1).
+/// `scratch` must have size k; entries outside the list are untouched.
+BestResponse BestResponseReduced(const Instance& inst, const Assignment& a,
+                                 NodeId v, const std::vector<double>& max_sc,
+                                 const ReducedStrategies& rs, double* scratch);
+
+/// Initial assignment respecting a reduced strategy space: forced users get
+/// their only strategy; random initialization draws from S'_v.
+Assignment MakeReducedInitialAssignment(const Instance& inst,
+                                        const SolverOptions& options,
+                                        const ReducedStrategies& rs,
+                                        Rng* rng);
+
+}  // namespace internal
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_SOLVER_INTERNAL_H_

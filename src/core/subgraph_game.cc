@@ -1,0 +1,105 @@
+#include "core/subgraph_game.h"
+
+#include <algorithm>
+#include <string>
+
+#include "graph/traversal.h"
+
+namespace rmgp {
+namespace {
+
+/// Cost provider over a subset of users: user i of the sub-instance is
+/// `participants[i]` of the parent provider.
+class SubsetCostProvider : public CostProvider {
+ public:
+  SubsetCostProvider(const CostProvider* parent,
+                     std::vector<NodeId> participants)
+      : parent_(parent), participants_(std::move(participants)) {}
+
+  NodeId num_users() const override {
+    return static_cast<NodeId>(participants_.size());
+  }
+  ClassId num_classes() const override { return parent_->num_classes(); }
+  double Cost(NodeId v, ClassId p) const override {
+    return parent_->Cost(participants_[v], p);
+  }
+  void CostsFor(NodeId v, double* out) const override {
+    parent_->CostsFor(participants_[v], out);
+  }
+
+ private:
+  const CostProvider* parent_;
+  std::vector<NodeId> participants_;
+};
+
+}  // namespace
+
+std::shared_ptr<const CostProvider> MakeSubsetCostProvider(
+    const CostProvider* parent, std::vector<NodeId> participants) {
+  return std::make_shared<SubsetCostProvider>(parent,
+                                              std::move(participants));
+}
+
+Result<SubgraphSolveResult> SolveSubgraph(
+    const Instance& inst, const std::vector<NodeId>& participants,
+    SolverKind kind, const SolverOptions& options) {
+  if (participants.empty()) {
+    return Status::InvalidArgument("no participants in the area of interest");
+  }
+  std::vector<NodeId> sorted = participants;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] >= inst.num_users()) {
+      return Status::InvalidArgument("participant " +
+                                     std::to_string(sorted[i]) +
+                                     " out of range");
+    }
+    if (i > 0 && sorted[i] == sorted[i - 1]) {
+      return Status::InvalidArgument("duplicate participant " +
+                                     std::to_string(sorted[i]));
+    }
+  }
+
+  SubgraphSolveResult out;
+  out.participants = sorted;
+
+  const Graph sub = InducedSubgraph(inst.graph(), sorted);
+  auto costs = std::make_shared<SubsetCostProvider>(&inst.costs(), sorted);
+  auto sub_inst = Instance::Create(&sub, std::move(costs), inst.alpha());
+  if (!sub_inst.ok()) return sub_inst.status();
+  sub_inst->set_cost_scale(inst.cost_scale());
+
+  // Warm starts arrive in original-id space; project them down.
+  SolverOptions sub_options = options;
+  if (options.init == InitPolicy::kGiven) {
+    if (Status s = ValidateAssignment(inst, options.warm_start); !s.ok()) {
+      return s;
+    }
+    sub_options.warm_start.resize(sorted.size());
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      sub_options.warm_start[i] = options.warm_start[sorted[i]];
+    }
+  }
+
+  auto solved = Solve(kind, *sub_inst, sub_options);
+  if (!solved.ok()) return solved.status();
+  out.solve = std::move(solved).value();
+
+  out.full_assignment.assign(inst.num_users(),
+                             SubgraphSolveResult::kNotParticipating);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    out.full_assignment[sorted[i]] = out.solve.assignment[i];
+  }
+  return out;
+}
+
+std::vector<NodeId> SelectUsersInBox(const std::vector<Point>& locations,
+                                     const BoundingBox& box) {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < locations.size(); ++v) {
+    if (box.Contains(locations[v])) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace rmgp

@@ -1,0 +1,50 @@
+#ifndef RMGP_CORE_SUBGRAPH_GAME_H_
+#define RMGP_CORE_SUBGRAPH_GAME_H_
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/solver.h"
+#include "spatial/point.h"
+
+namespace rmgp {
+
+/// Result of an area-of-interest (subgraph) query: the equilibrium over
+/// the induced sub-game plus the mapping back to original user ids.
+struct SubgraphSolveResult {
+  /// The participants, ascending; index-aligned with `solve.assignment`.
+  std::vector<NodeId> participants;
+  /// Solver outcome over the induced instance.
+  SolveResult solve;
+
+  /// Class of original user `v`, or kNotParticipating.
+  static constexpr ClassId kNotParticipating = UINT32_MAX;
+  std::vector<ClassId> full_assignment;  ///< size = original |V|
+};
+
+/// Solves RMGP restricted to `participants` (§1: "for some tasks only a
+/// subset of the network, determined at query time, may participate" —
+/// e.g. users who recently checked in inside an area of interest). The
+/// induced subgraph keeps only edges between participants; costs and α are
+/// inherited from `inst` (including its normalization constant).
+///
+/// `participants` must be distinct, in range, and non-empty.
+Result<SubgraphSolveResult> SolveSubgraph(
+    const Instance& inst, const std::vector<NodeId>& participants,
+    SolverKind kind, const SolverOptions& options);
+
+/// Convenience for LAGP: the users whose check-in lies inside `box`,
+/// ascending. `locations` is indexed by user id.
+std::vector<NodeId> SelectUsersInBox(const std::vector<Point>& locations,
+                                     const BoundingBox& box);
+
+/// A cost provider restricted to a subset of users: user i of the view is
+/// `participants[i]` of `parent` (which must outlive the view). Used by
+/// the subgraph game and the decentralized area-of-interest queries.
+std::shared_ptr<const CostProvider> MakeSubsetCostProvider(
+    const CostProvider* parent, std::vector<NodeId> participants);
+
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_SUBGRAPH_GAME_H_

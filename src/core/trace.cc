@@ -1,0 +1,96 @@
+#include "core/trace.h"
+
+#include <cstdio>
+
+#include "core/solver_internal.h"
+#include "util/stopwatch.h"
+
+namespace rmgp {
+
+using internal::BestResponseScratch;
+using internal::StrictlyBetter;
+
+Result<GameTrace> TraceGame(const Instance& inst,
+                            const SolverOptions& options) {
+  if (Status s = internal::ValidateOptions(inst, options); !s.ok()) return s;
+
+  Stopwatch total_sw;
+  Rng rng(options.seed);
+  GameTrace trace;
+  SolveResult& res = trace.result;
+
+  res.assignment = internal::MakeInitialAssignment(inst, options, &rng);
+  trace.initial = res.assignment;
+  const std::vector<NodeId> order = internal::MakeOrder(inst, options, &rng);
+  const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
+
+  const ClassId k = inst.num_classes();
+  std::vector<double> scratch(k);
+  for (uint32_t round = 1; round <= options.max_rounds; ++round) {
+    uint64_t deviations = 0;
+    for (NodeId v : order) {
+      const BestResponse br =
+          BestResponseScratch(inst, res.assignment, v, max_sc,
+                              scratch.data());
+      TraceStep step;
+      step.round = round;
+      step.player = v;
+      step.class_costs.assign(scratch.begin(), scratch.end());
+      step.previous_class = res.assignment[v];
+      step.chosen_class = step.previous_class;
+      if (StrictlyBetter(br.best_cost, br.current_cost)) {
+        res.assignment[v] = br.best_class;
+        step.chosen_class = br.best_class;
+        step.deviated = true;
+        ++deviations;
+      }
+      trace.steps.push_back(std::move(step));
+    }
+    res.rounds = round;
+    if (deviations == 0) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  internal::FinalizeResult(inst, &res);
+  res.total_millis = total_sw.ElapsedMillis();
+  return trace;
+}
+
+std::string GameTrace::ToString() const {
+  std::string out;
+  char buf[64];
+  uint32_t current_round = 0;
+  for (const TraceStep& step : steps) {
+    if (step.round != current_round) {
+      current_round = step.round;
+      std::snprintf(buf, sizeof(buf), "--- round %u ---\n", current_round);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "v%-3u |", step.player);
+    out += buf;
+    // The minimum cost gets a '*' (the best response, Table 1's underline).
+    size_t best = 0;
+    for (size_t p = 1; p < step.class_costs.size(); ++p) {
+      if (step.class_costs[p] < step.class_costs[best]) best = p;
+    }
+    for (size_t p = 0; p < step.class_costs.size(); ++p) {
+      std::snprintf(buf, sizeof(buf), " %8.4f%c", step.class_costs[p],
+                    p == best ? '*' : ' ');
+      out += buf;
+    }
+    if (step.deviated) {
+      std::snprintf(buf, sizeof(buf), "  p%u <- p%u", step.chosen_class,
+                    step.previous_class);
+      out += buf;
+    }
+    out += '\n';
+  }
+  std::snprintf(buf, sizeof(buf), "equilibrium after %u rounds\n",
+                result.rounds);
+  out += buf;
+  return out;
+}
+
+}  // namespace rmgp

@@ -1,0 +1,46 @@
+#ifndef RMGP_CORE_TRACE_H_
+#define RMGP_CORE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/solver.h"
+
+namespace rmgp {
+
+/// One player's examination within a round of the traced game: the
+/// per-class costs at decision time (Table 1's columns), the chosen best
+/// response, and whether the player deviated.
+struct TraceStep {
+  uint32_t round = 0;
+  NodeId player = 0;
+  std::vector<double> class_costs;  ///< size k, at decision time
+  ClassId previous_class = 0;
+  ClassId chosen_class = 0;
+  bool deviated = false;
+};
+
+/// Full record of a baseline best-response game, mirroring the paper's
+/// Table 1. Intended for teaching/debugging on small instances — the
+/// trace stores |V|·k doubles per round.
+struct GameTrace {
+  Assignment initial;                   ///< the round-0 strategies
+  std::vector<TraceStep> steps;         ///< player examinations in order
+  SolveResult result;                   ///< the final outcome
+
+  /// Renders a Table-1-like text table: one block per round, one row per
+  /// player with the costs of all classes, the best response underlined
+  /// with '*', and deviations marked with '<-'.
+  std::string ToString() const;
+};
+
+/// Runs the baseline game (RMGP_b semantics, Fig 3) recording every
+/// examination. Identical dynamics to SolveBaseline with the same options.
+Result<GameTrace> TraceGame(const Instance& inst,
+                            const SolverOptions& options);
+
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_TRACE_H_

@@ -1,0 +1,65 @@
+#ifndef RMGP_DATA_DATASETS_H_
+#define RMGP_DATA_DATASETS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cost_provider.h"
+#include "graph/graph.h"
+#include "spatial/point.h"
+
+namespace rmgp {
+
+/// A geo-social workload: the friendship graph, the latest check-in
+/// location of every user, and a pool of event venues from which a query
+/// samples its k classes. Distances are in kilometers.
+struct GeoSocialDataset {
+  std::string name;
+  Graph graph;
+  std::vector<Point> user_locations;
+  std::vector<Point> event_pool;
+
+  /// Euclidean cost provider over the first k events of the pool.
+  std::shared_ptr<EuclideanCostProvider> MakeCosts(ClassId k) const;
+};
+
+/// Parameters for the synthetic Gowalla-like dataset. Defaults match the
+/// statistics the paper reports for Gowalla (§6): 12,748 users in the
+/// Dallas & Austin metro areas, 48,419 friendships (unit weights, avg
+/// degree 7.6), and 128 Eventbrite events. The real crawl is unavailable
+/// offline — see DESIGN.md §5 for why the substitution preserves behavior.
+struct GowallaLikeOptions {
+  NodeId num_users = 12748;
+  uint64_t num_edges = 48419;
+  ClassId num_events = 128;
+  uint64_t seed = 2009;
+};
+
+/// Builds the Gowalla-like dataset: a preferential-attachment friendship
+/// graph trimmed to the exact edge count, check-ins drawn from two
+/// Gaussian metro clusters ~290 km apart, and events placed near the two
+/// town centers.
+GeoSocialDataset MakeGowallaLike(const GowallaLikeOptions& options);
+
+/// Parameters for the synthetic Foursquare-like dataset. Full scale
+/// matches the paper (2,153,471 users, 27,098,490 edges, 1,143,092
+/// venues); `scale` shrinks users/edges/venues proportionally so the
+/// decentralized experiments also run on small machines.
+struct FoursquareLikeOptions {
+  double scale = 1.0;
+  ClassId max_events = 1024;  ///< size of the event pool actually generated
+  uint64_t seed = 2013;
+};
+
+GeoSocialDataset MakeFoursquareLike(const FoursquareLikeOptions& options);
+
+/// Generates a small LAGP instance in the unit square (used by unit tests
+/// and the quickstart example): `n` users on an Erdős–Rényi-ish social
+/// graph with random [0.1, 1) edge weights and `k` uniformly placed events.
+GeoSocialDataset MakeUnitSquareToy(NodeId n, ClassId k, double edge_prob,
+                                   uint64_t seed);
+
+}  // namespace rmgp
+
+#endif  // RMGP_DATA_DATASETS_H_

@@ -1,0 +1,107 @@
+#include "data/geo_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace rmgp {
+namespace {
+
+Status MalformedAt(const std::string& path, size_t line_no) {
+  return Status::IOError("malformed row at " + path + ":" +
+                         std::to_string(line_no));
+}
+
+}  // namespace
+
+Status WritePointsCsv(const std::vector<Point>& points,
+                      const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  f.precision(17);
+  f << "id,x,y\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    f << i << ',' << points[i].x << ',' << points[i].y << '\n';
+  }
+  if (!f) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Point>> ReadPointsCsv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::string line;
+  size_t line_no = 0;
+  std::vector<Point> points;
+  std::vector<bool> seen;
+  while (std::getline(f, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1 && line.rfind("id,", 0) == 0) continue;  // header
+    std::istringstream ls(line);
+    uint64_t id;
+    double x, y;
+    char c1, c2;
+    if (!(ls >> id >> c1 >> x >> c2 >> y) || c1 != ',' || c2 != ',') {
+      return MalformedAt(path, line_no);
+    }
+    if (id >= points.size()) {
+      points.resize(id + 1);
+      seen.resize(id + 1, false);
+    }
+    if (seen[id]) {
+      return Status::IOError("duplicate id " + std::to_string(id) + " in " +
+                             path);
+    }
+    points[id] = {x, y};
+    seen[id] = true;
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i]) {
+      return Status::IOError("missing id " + std::to_string(i) + " in " +
+                             path);
+    }
+  }
+  return points;
+}
+
+Status WriteAssignmentCsv(const Assignment& assignment,
+                          const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  f << "user,class\n";
+  for (size_t v = 0; v < assignment.size(); ++v) {
+    if (assignment[v] == UINT32_MAX) {
+      f << v << ",-1\n";
+    } else {
+      f << v << ',' << assignment[v] << '\n';
+    }
+  }
+  if (!f) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Assignment> ReadAssignmentCsv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::string line;
+  size_t line_no = 0;
+  Assignment out;
+  while (std::getline(f, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1 && line.rfind("user,", 0) == 0) continue;
+    std::istringstream ls(line);
+    uint64_t user;
+    int64_t cls;
+    char c1;
+    if (!(ls >> user >> c1 >> cls) || c1 != ',') {
+      return MalformedAt(path, line_no);
+    }
+    if (user >= out.size()) out.resize(user + 1, UINT32_MAX);
+    out[user] = cls < 0 ? UINT32_MAX : static_cast<ClassId>(cls);
+  }
+  return out;
+}
+
+}  // namespace rmgp

@@ -1,0 +1,32 @@
+#ifndef RMGP_DATA_GEO_IO_H_
+#define RMGP_DATA_GEO_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/objective.h"
+#include "spatial/point.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Writes points as CSV: header "id,x,y", one row per point (id = index).
+Status WritePointsCsv(const std::vector<Point>& points,
+                      const std::string& path);
+
+/// Reads points written by WritePointsCsv (or any "id,x,y" CSV with ids
+/// 0..n-1 in any order; missing ids are an error).
+Result<std::vector<Point>> ReadPointsCsv(const std::string& path);
+
+/// Writes an assignment as CSV: header "user,class", one row per user.
+/// SubgraphSolveResult::kNotParticipating entries are written as -1.
+Status WriteAssignmentCsv(const Assignment& assignment,
+                          const std::string& path);
+
+/// Reads an assignment written by WriteAssignmentCsv; -1 entries load as
+/// UINT32_MAX.
+Result<Assignment> ReadAssignmentCsv(const std::string& path);
+
+}  // namespace rmgp
+
+#endif  // RMGP_DATA_GEO_IO_H_

@@ -1,0 +1,85 @@
+#include "data/tagp.h"
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+void NormalizeL2(std::vector<double>* v) {
+  double norm = 0.0;
+  for (double x : *v) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (double& x : *v) x /= norm;
+  }
+}
+
+double Cosine(const std::vector<double>& a, const std::vector<double>& b) {
+  double dot = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+  return dot;
+}
+
+}  // namespace
+
+TagpDataset MakeTagp(const TagpOptions& options) {
+  RMGP_CHECK_GE(options.num_topics, 1u);
+  Rng rng(options.seed);
+  TagpDataset ds;
+
+  // Latent interest per ad: a direction in topic space.
+  ds.ad_topics.resize(options.num_ads);
+  for (auto& ad : ds.ad_topics) {
+    ad.assign(options.num_topics, 0.0);
+    for (double& x : ad) x = std::abs(rng.Gaussian()) * 0.15;
+    // A few dominant topics.
+    for (int d = 0; d < 3; ++d) {
+      ad[rng.UniformInt(options.num_topics)] += 1.0;
+    }
+    NormalizeL2(&ad);
+  }
+
+  // Users: each leans towards one latent interest plus noise.
+  ds.user_topics.resize(options.num_users);
+  for (auto& ut : ds.user_topics) {
+    const auto& lean = ds.ad_topics[rng.UniformInt(options.num_ads)];
+    ut.assign(options.num_topics, 0.0);
+    for (uint32_t t = 0; t < options.num_topics; ++t) {
+      ut[t] = 0.7 * lean[t] + 0.3 * std::abs(rng.Gaussian()) * 0.4;
+    }
+    NormalizeL2(&ut);
+  }
+
+  // Cost = 1 - cosine similarity (dissimilarity, ~[0, 1] for nonneg vecs).
+  std::vector<double> costs(static_cast<size_t>(options.num_users) *
+                            options.num_ads);
+  for (NodeId v = 0; v < options.num_users; ++v) {
+    for (ClassId p = 0; p < options.num_ads; ++p) {
+      costs[static_cast<size_t>(v) * options.num_ads + p] =
+          1.0 - Cosine(ds.user_topics[v], ds.ad_topics[p]);
+    }
+  }
+  ds.costs = std::make_shared<DenseCostMatrix>(options.num_users,
+                                               options.num_ads,
+                                               std::move(costs));
+
+  // Discussion graph with common-thread counts as weights.
+  Graph topo =
+      BarabasiAlbert(options.num_users, options.ba_edges_per_node,
+                     options.seed + 1);
+  GraphBuilder b(options.num_users);
+  const double p_geom =
+      1.0 / std::max(1.0, options.mean_common_discussions);
+  for (const Edge& e : topo.CollectEdges()) {
+    const double common = static_cast<double>(rng.Geometric(p_geom));
+    RMGP_CHECK(b.AddEdge(e.u, e.v, common).ok());
+  }
+  ds.graph = std::move(b).Build();
+  return ds;
+}
+
+}  // namespace rmgp

@@ -1,0 +1,43 @@
+#ifndef RMGP_DATA_TAGP_H_
+#define RMGP_DATA_TAGP_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/cost_provider.h"
+#include "graph/graph.h"
+
+namespace rmgp {
+
+/// A Topic-Aware Graph Partitioning workload (paper Example 2): users have
+/// topic-interest profiles, advertisements have topic vectors, the
+/// assignment cost is a tf-idf-style dissimilarity, and edge weights count
+/// common discussion threads (so they live on a very different scale from
+/// the costs — exactly the normalization problem of §3.3).
+struct TagpDataset {
+  Graph graph;                       ///< weights = #common discussions
+  std::vector<std::vector<double>> user_topics;  ///< unit-norm profiles
+  std::vector<std::vector<double>> ad_topics;    ///< unit-norm ad vectors
+  std::shared_ptr<DenseCostMatrix> costs;  ///< 1 - cosine(user, ad) ∈ [0,2]
+};
+
+struct TagpOptions {
+  NodeId num_users = 2000;
+  ClassId num_ads = 16;
+  uint32_t num_topics = 25;
+  /// Mean common-discussion count on an edge (weights are geometric with
+  /// this mean, giving the "order of thousands" totals §3.3 mentions for
+  /// heavy co-participants).
+  double mean_common_discussions = 40.0;
+  uint32_t ba_edges_per_node = 4;
+  uint64_t seed = 99;
+};
+
+/// Builds a TAGP workload: a preferential-attachment discussion graph with
+/// common-thread edge weights, sparse user topic profiles clustered around
+/// `num_ads` latent interests, and ads aligned with those interests.
+TagpDataset MakeTagp(const TagpOptions& options);
+
+}  // namespace rmgp
+
+#endif  // RMGP_DATA_TAGP_H_

@@ -1,0 +1,533 @@
+#include "dist/decentralized.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/solver_internal.h"
+#include "core/subgraph_game.h"
+#include "partition/kway.h"
+#include "graph/coloring.h"
+#include "graph/traversal.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace rmgp {
+namespace {
+
+using internal::StrictlyBetter;
+
+/// One strategy deviation shipped through the master.
+struct Change {
+  NodeId user;
+  ClassId old_class;
+  ClassId new_class;
+};
+
+/// A simulated slave processing node. It owns the adjacency rows, check-in
+/// data and game state of its local users only; everything it learns about
+/// remote users arrives as strategy changes through the master (Fig 6).
+class Slave {
+ public:
+  Slave(const Instance& inst, std::vector<NodeId> local_users,
+        const Coloring& coloring)
+      : inst_(inst), local_users_(std::move(local_users)),
+        coloring_(coloring) {
+    const NodeId n = inst_.num_users();
+    local_index_.assign(n, UINT32_MAX);
+    for (uint32_t i = 0; i < local_users_.size(); ++i) {
+      local_index_[local_users_[i]] = i;
+    }
+    // Reverse index: for any user u, the local users adjacent to u. Built
+    // from the local rows only (a slave never reads remote adjacency).
+    std::vector<uint64_t> count(n + 1, 0);
+    for (NodeId v : local_users_) {
+      for (const Neighbor& nb : inst_.graph().neighbors(v)) {
+        ++count[nb.node + 1];
+      }
+    }
+    for (NodeId u = 0; u < n; ++u) count[u + 1] += count[u];
+    rev_offsets_ = std::move(count);
+    rev_entries_.resize(rev_offsets_[n]);
+    std::vector<uint64_t> cursor(rev_offsets_.begin(),
+                                 rev_offsets_.end() - 1);
+    for (NodeId v : local_users_) {
+      for (const Neighbor& nb : inst_.graph().neighbors(v)) {
+        rev_entries_[cursor[nb.node]++] = {v, nb.weight};
+      }
+    }
+  }
+
+  /// Fig 6 steps 2-5: initialize local players' strategies. Returns the
+  /// local strategic vector to send to the master.
+  std::vector<Change> InitStrategies(const SolverOptions& options) {
+    const double alpha = inst_.alpha();
+    Rng rng(options.seed ^ (0x5151 + local_users_.size()));
+    const ClassId k = inst_.num_classes();
+
+    // Strategy elimination (§4.1) for local users.
+    offsets_.assign(local_users_.size() + 1, 0);
+    candidates_.clear();
+    max_sc_.resize(local_users_.size());
+    std::vector<double> row(k);
+    init_strategy_.resize(local_users_.size());
+    for (uint32_t i = 0; i < local_users_.size(); ++i) {
+      const NodeId v = local_users_[i];
+      inst_.AssignmentCostsFor(v, row.data());
+      const double c_min = *std::min_element(row.begin(), row.end());
+      const double vr =
+          c_min + (1.0 - alpha) / alpha * inst_.HalfIncidentWeight(v);
+      ClassId closest = 0;
+      for (ClassId p = 0; p < k; ++p) {
+        // Same tolerance as the centralized ComputeReducedStrategies so
+        // that DG candidate sets match the centralized ones exactly.
+        if (row[p] <=
+            vr + internal::kImprovementEps * (1.0 + std::abs(vr))) {
+          candidates_.push_back(p);
+        }
+        if (row[p] < row[closest]) closest = p;
+      }
+      offsets_[i + 1] = candidates_.size();
+      max_sc_[i] = (1.0 - alpha) * inst_.HalfIncidentWeight(v);
+      switch (options.init) {
+        case InitPolicy::kClosestClass:
+          init_strategy_[i] = closest;
+          break;
+        case InitPolicy::kGiven: {
+          const ClassId given = options.warm_start[v];
+          const ClassId* begin = candidates_.data() + offsets_[i];
+          const ClassId* end = candidates_.data() + offsets_[i + 1];
+          // A warm-start strategy outside the valid region would switch in
+          // round 1 anyway; snap it to the closest class up-front.
+          init_strategy_[i] =
+              std::binary_search(begin, end, given) ? given : closest;
+          break;
+        }
+        case InitPolicy::kRandom: {
+          const uint64_t span = offsets_[i + 1] - offsets_[i];
+          init_strategy_[i] =
+              candidates_[offsets_[i] + rng.UniformInt(span)];
+          break;
+        }
+      }
+    }
+    std::vector<Change> lsv;
+    lsv.reserve(local_users_.size());
+    for (uint32_t i = 0; i < local_users_.size(); ++i) {
+      lsv.push_back({local_users_[i], 0, init_strategy_[i]});
+    }
+    return lsv;
+  }
+
+  /// Fig 6 steps 10-13: store the GSV and build the reduced global table.
+  void BuildTables(const Assignment& gsv) {
+    gsv_ = gsv;
+    values_.assign(candidates_.size(), 0.0);
+    cur_idx_.assign(local_users_.size(), 0);
+    happy_.assign(local_users_.size(), 1);
+    const double alpha = inst_.alpha();
+    const double social = 1.0 - alpha;
+    for (uint32_t i = 0; i < local_users_.size(); ++i) {
+      const NodeId v = local_users_[i];
+      double* vals = values_.data() + offsets_[i];
+      const size_t count = offsets_[i + 1] - offsets_[i];
+      const ClassId* cands = candidates_.data() + offsets_[i];
+      for (size_t c = 0; c < count; ++c) {
+        vals[c] = alpha * inst_.AssignmentCost(v, cands[c]) + max_sc_[i];
+      }
+      for (const Neighbor& nb : inst_.graph().neighbors(v)) {
+        const size_t ci = FindCandidate(i, gsv_[nb.node]);
+        if (ci != SIZE_MAX) vals[ci] -= social * 0.5 * nb.weight;
+      }
+      const size_t mine = FindCandidate(i, gsv_[v]);
+      RMGP_CHECK_NE(mine, SIZE_MAX);
+      cur_idx_[i] = static_cast<uint32_t>(mine);
+      double best = vals[0];
+      for (size_t c = 1; c < count; ++c) best = std::min(best, vals[c]);
+      happy_[i] = !StrictlyBetter(best, vals[mine]);
+    }
+  }
+
+  /// Fig 6 steps 17-19: best responses of local unhappy users with the
+  /// given color; changes are applied locally (own GSV + local friends'
+  /// table rows) and returned for the master to redistribute.
+  std::vector<Change> ComputeColor(uint32_t color) {
+    std::vector<Change> changes;
+    for (uint32_t i = 0; i < local_users_.size(); ++i) {
+      const NodeId v = local_users_[i];
+      if (coloring_.color[v] != color || happy_[i]) continue;
+      const double* vals = values_.data() + offsets_[i];
+      const size_t count = offsets_[i + 1] - offsets_[i];
+      size_t best = 0;
+      for (size_t c = 1; c < count; ++c) {
+        if (vals[c] < vals[best]) best = c;
+      }
+      happy_[i] = 1;
+      if (!StrictlyBetter(vals[best], vals[cur_idx_[i]])) continue;
+      const ClassId old_class = gsv_[v];
+      const ClassId new_class = candidates_[offsets_[i] + best];
+      gsv_[v] = new_class;
+      cur_idx_[i] = static_cast<uint32_t>(best);
+      changes.push_back({v, old_class, new_class});
+      UpdateLocalFriends(v, old_class, new_class);
+    }
+    return changes;
+  }
+
+  /// Fig 6 steps 22-24: apply changes made on other slaves.
+  void ApplyRemoteChanges(const std::vector<Change>& changes) {
+    for (const Change& ch : changes) {
+      if (local_index_[ch.user] != UINT32_MAX) continue;  // own change
+      gsv_[ch.user] = ch.new_class;
+      UpdateLocalFriends(ch.user, ch.old_class, ch.new_class);
+    }
+  }
+
+  const std::vector<NodeId>& local_users() const { return local_users_; }
+  const Assignment& gsv() const { return gsv_; }
+
+ private:
+  size_t FindCandidate(uint32_t local_i, ClassId p) const {
+    const ClassId* begin = candidates_.data() + offsets_[local_i];
+    const ClassId* end = candidates_.data() + offsets_[local_i + 1];
+    const ClassId* it = std::lower_bound(begin, end, p);
+    if (it != end && *it == p) return static_cast<size_t>(it - begin);
+    return SIZE_MAX;
+  }
+
+  void UpdateLocalFriends(NodeId u, ClassId old_class, ClassId new_class) {
+    const double social = 1.0 - inst_.alpha();
+    for (uint64_t r = rev_offsets_[u]; r < rev_offsets_[u + 1]; ++r) {
+      const NodeId f = rev_entries_[r].node;
+      const uint32_t fi = local_index_[f];
+      const double delta = social * 0.5 * rev_entries_[r].weight;
+      const size_t idx_new = FindCandidate(fi, new_class);
+      const size_t idx_old = FindCandidate(fi, old_class);
+      double* frow = values_.data() + offsets_[fi];
+      if (idx_new != SIZE_MAX) frow[idx_new] -= delta;
+      if (idx_old != SIZE_MAX) frow[idx_old] += delta;
+      if (gsv_[f] == old_class ||
+          (idx_new != SIZE_MAX &&
+           StrictlyBetter(frow[idx_new], frow[cur_idx_[fi]]))) {
+        happy_[fi] = 0;
+      }
+    }
+  }
+
+  const Instance& inst_;
+  std::vector<NodeId> local_users_;
+  const Coloring& coloring_;
+  std::vector<uint32_t> local_index_;        // |V| -> local idx or UINT32_MAX
+  std::vector<uint64_t> rev_offsets_;        // |V|+1
+  std::vector<Neighbor> rev_entries_;        // local users adjacent to key
+  std::vector<uint64_t> offsets_;            // reduced lists, local indexing
+  std::vector<ClassId> candidates_;
+  std::vector<double> values_;               // reduced global table
+  std::vector<double> max_sc_;
+  std::vector<uint32_t> cur_idx_;
+  std::vector<char> happy_;
+  std::vector<ClassId> init_strategy_;
+  Assignment gsv_;
+};
+
+std::vector<std::vector<NodeId>> HashPartition(NodeId n, uint32_t slaves) {
+  std::vector<std::vector<NodeId>> parts(slaves);
+  for (NodeId v = 0; v < n; ++v) parts[v % slaves].push_back(v);
+  return parts;
+}
+
+}  // namespace
+
+Result<DgResult> RunDecentralizedGame(const Instance& inst,
+                                      const DecentralizedOptions& options) {
+  if (options.num_slaves == 0) {
+    return Status::InvalidArgument("need at least one slave");
+  }
+  if (options.interest_multicast && options.num_slaves > 64) {
+    return Status::InvalidArgument(
+        "interest_multicast supports at most 64 slaves");
+  }
+  if (options.solver.init == InitPolicy::kGiven) {
+    Status s = ValidateAssignment(inst, options.solver.warm_start);
+    if (!s.ok()) return s;
+  }
+
+  const NodeId n = inst.num_users();
+  const ClassId k = inst.num_classes();
+  const uint32_t S = options.num_slaves;
+
+  // Precondition per §5: the graph has been colored offline (the paper
+  // cites a distributed coloring technique; we use the same greedy
+  // coloring as the centralized algorithms).
+  const Coloring coloring = GreedyColoring(inst.graph());
+
+  // Placement of users onto slaves.
+  std::vector<std::vector<NodeId>> parts;
+  if (options.partition == PartitionScheme::kLocality && S > 1 && n > 0) {
+    PartitionOptions popt;
+    popt.num_parts = S;
+    popt.imbalance = 1.1;
+    auto part_result = KWayPartition(inst.graph(), popt);
+    if (!part_result.ok()) return part_result.status();
+    parts.resize(S);
+    for (NodeId v = 0; v < n; ++v) {
+      parts[part_result->part[v]].push_back(v);
+    }
+  } else {
+    parts = HashPartition(n, S);
+  }
+  std::vector<uint32_t> slave_of(n, 0);
+  for (uint32_t s = 0; s < S; ++s) {
+    for (NodeId v : parts[s]) slave_of[v] = s;
+  }
+  // Interest masks: which slaves host at least one friend of each user
+  // (only needed for multicast redistribution).
+  std::vector<uint64_t> interest;
+  if (options.interest_multicast) {
+    interest.assign(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      for (const Neighbor& nb : inst.graph().neighbors(v)) {
+        interest[v] |= uint64_t{1} << slave_of[nb.node];
+      }
+    }
+  }
+
+  std::vector<Slave> slaves;
+  slaves.reserve(S);
+  for (uint32_t s = 0; s < S; ++s) {
+    slaves.emplace_back(inst, std::move(parts[s]), coloring);
+  }
+
+  DgResult res;
+  double sim_seconds = 0.0;
+  // The master's authoritative global strategic vector (Fig 6 line 8).
+  Assignment master_gsv(n, 0);
+
+  // ---- Round 0: initialization handshake (Fig 6 lines 1-13).
+  DgRoundStats round0;
+  {
+    TrafficStats traffic;
+    // Master -> slaves: query (events, alpha, init policy).
+    traffic.Add((wire::kCommand + static_cast<uint64_t>(k) * wire::kPerEvent) *
+                    S,
+                S);
+    double max_slave = 0.0;
+    for (Slave& slave : slaves) {
+      Stopwatch sw;
+      const std::vector<Change> lsv = slave.InitStrategies(options.solver);
+      max_slave = std::max(max_slave, sw.ElapsedSeconds());
+      for (const Change& ch : lsv) master_gsv[ch.user] = ch.new_class;
+      // Slave -> master: LSV + its distinct colors.
+      traffic.Add(lsv.size() * wire::kPerStrategyChange +
+                  coloring.num_colors() * 4);
+    }
+    // Master -> slaves: the full GSV.
+    traffic.Add(static_cast<uint64_t>(n) * wire::kPerStrategyEntry * S, S);
+    for (Slave& slave : slaves) {
+      Stopwatch sw;
+      slave.BuildTables(master_gsv);
+      max_slave = std::max(max_slave, sw.ElapsedSeconds());
+      traffic.Add(wire::kAck);  // ACK
+    }
+    round0.round = 0;
+    round0.compute_seconds = max_slave;
+    round0.network_seconds = traffic.Seconds(options.network);
+    round0.seconds = round0.compute_seconds + round0.network_seconds;
+    round0.bytes = traffic.bytes;
+    round0.messages = traffic.messages;
+    res.traffic.Merge(traffic);
+    sim_seconds += round0.seconds;
+  }
+  res.round_stats.push_back(round0);
+
+  // ---- Game rounds (Fig 6 lines 14-25).
+  const uint32_t max_rounds = options.solver.max_rounds;
+  for (uint32_t round = 1; round <= max_rounds; ++round) {
+    DgRoundStats rs;
+    rs.round = round;
+    TrafficStats traffic;
+    double compute = 0.0;
+    uint64_t round_changes = 0;
+    for (uint32_t color = 0; color < coloring.num_colors(); ++color) {
+      // Master -> slaves: "compute color c".
+      traffic.Add(wire::kCommand * S, S);
+      std::vector<Change> all_changes;
+      std::vector<size_t> per_slave(S, 0);
+      double max_slave = 0.0;
+      for (uint32_t s = 0; s < S; ++s) {
+        Stopwatch sw;
+        std::vector<Change> changes = slaves[s].ComputeColor(color);
+        max_slave = std::max(max_slave, sw.ElapsedSeconds());
+        per_slave[s] = changes.size();
+        if (!options.direct_exchange) {
+          // Slave -> master: its strategy changes.
+          traffic.Add(changes.size() * wire::kPerStrategyChange);
+        }
+        all_changes.insert(all_changes.end(), changes.begin(),
+                           changes.end());
+      }
+      compute += max_slave;
+      round_changes += all_changes.size();
+      for (const Change& ch : all_changes) {
+        master_gsv[ch.user] = ch.new_class;
+      }
+      // Redistribute the changes, then ACKs. Master-mediated: each slave
+      // receives everyone else's changes from the master. Direct
+      // exchange (§5 extension): each slave ships its own changes
+      // straight to the S-1 peers, bypassing the master hop entirely.
+      // Interest multicast (extension): a change travels only to slaves
+      // hosting a friend of the changed user.
+      double max_apply = 0.0;
+      if (options.interest_multicast) {
+        std::vector<std::vector<Change>> bundles(S);
+        for (const Change& ch : all_changes) {
+          const uint64_t mask = interest[ch.user];
+          for (uint32_t s = 0; s < S; ++s) {
+            if (s != slave_of[ch.user] && ((mask >> s) & 1)) {
+              bundles[s].push_back(ch);
+            }
+          }
+        }
+        for (uint32_t s = 0; s < S; ++s) {
+          if (!bundles[s].empty()) {
+            traffic.Add(bundles[s].size() * wire::kPerStrategyChange, 1);
+          }
+          Stopwatch sw;
+          slaves[s].ApplyRemoteChanges(bundles[s]);
+          max_apply = std::max(max_apply, sw.ElapsedSeconds());
+          traffic.Add(wire::kAck);
+        }
+      } else {
+        if (options.direct_exchange) {
+          for (uint32_t s = 0; s < S; ++s) {
+            traffic.Add(per_slave[s] * wire::kPerStrategyChange * (S - 1),
+                        S - 1);
+          }
+        } else {
+          for (uint32_t s = 0; s < S; ++s) {
+            traffic.Add((all_changes.size() - per_slave[s]) *
+                            wire::kPerStrategyChange,
+                        1);
+          }
+        }
+        for (uint32_t s = 0; s < S; ++s) {
+          Stopwatch sw;
+          slaves[s].ApplyRemoteChanges(all_changes);
+          max_apply = std::max(max_apply, sw.ElapsedSeconds());
+          traffic.Add(wire::kAck);
+        }
+      }
+      compute += max_apply;
+    }
+    rs.deviations = round_changes;
+    rs.compute_seconds = compute;
+    rs.network_seconds = traffic.Seconds(options.network);
+    rs.seconds = rs.compute_seconds + rs.network_seconds;
+    rs.bytes = traffic.bytes;
+    rs.messages = traffic.messages;
+    res.traffic.Merge(traffic);
+    sim_seconds += rs.seconds;
+    res.round_stats.push_back(rs);
+    res.rounds = round;
+    if (round_changes == 0) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  res.assignment = master_gsv;
+  // Sanity: every slave's view of its own users matches the master; with
+  // broadcast redistribution the whole vectors must agree (multicast
+  // intentionally leaves entries of unrelated users stale).
+  for (uint32_t s = 0; s < S; ++s) {
+    if (options.interest_multicast) {
+      for (NodeId v : slaves[s].local_users()) {
+        RMGP_CHECK_EQ(slaves[s].gsv()[v], master_gsv[v]);
+      }
+    } else {
+      RMGP_CHECK(slaves[s].gsv() == master_gsv);
+    }
+  }
+  res.objective = EvaluateObjective(inst, res.assignment);
+  res.simulated_seconds = sim_seconds;
+  return res;
+}
+
+Result<DgAreaResult> RunDecentralizedGameInArea(
+    const Instance& inst, const std::vector<NodeId>& participants,
+    const DecentralizedOptions& options) {
+  if (participants.empty()) {
+    return Status::InvalidArgument("no participants in the area of interest");
+  }
+  std::vector<NodeId> sorted = participants;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] >= inst.num_users()) {
+      return Status::InvalidArgument("participant out of range");
+    }
+    if (i > 0 && sorted[i] == sorted[i - 1]) {
+      return Status::InvalidArgument("duplicate participant");
+    }
+  }
+
+  DgAreaResult out;
+  out.participants = sorted;
+  // Fig 6 lines 2-3 performed up-front: the induced sub-instance is what
+  // the participating slaves actually play over.
+  const Graph sub = InducedSubgraph(inst.graph(), sorted);
+  auto costs = MakeSubsetCostProvider(&inst.costs(), sorted);
+  auto sub_inst = Instance::Create(&sub, std::move(costs), inst.alpha());
+  if (!sub_inst.ok()) return sub_inst.status();
+  sub_inst->set_cost_scale(inst.cost_scale());
+
+  DecentralizedOptions sub_options = options;
+  if (options.solver.init == InitPolicy::kGiven) {
+    if (Status s = ValidateAssignment(inst, options.solver.warm_start);
+        !s.ok()) {
+      return s;
+    }
+    sub_options.solver.warm_start.resize(sorted.size());
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      sub_options.solver.warm_start[i] =
+          options.solver.warm_start[sorted[i]];
+    }
+  }
+
+  auto dg = RunDecentralizedGame(*sub_inst, sub_options);
+  if (!dg.ok()) return dg.status();
+  out.dg = std::move(dg).value();
+
+  out.full_assignment.assign(inst.num_users(),
+                             DgAreaResult::kNotParticipating);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    out.full_assignment[sorted[i]] = out.dg.assignment[i];
+  }
+  return out;
+}
+
+Result<FaeResult> RunFetchAndExecute(const Instance& inst,
+                                     const DecentralizedOptions& options) {
+  if (options.num_slaves == 0) {
+    return Status::InvalidArgument("need at least one slave");
+  }
+  FaeResult res;
+  // Transfer: every slave ships its adjacency rows (each undirected edge
+  // travels once from the slave owning its lower endpoint) and its users'
+  // check-in locations to the processing server.
+  const uint64_t edge_bytes = inst.graph().num_edges() * wire::kPerEdge;
+  const uint64_t loc_bytes =
+      static_cast<uint64_t>(inst.num_users()) * wire::kPerLocation;
+  res.traffic.Add(edge_bytes + loc_bytes, options.num_slaves);
+  res.transfer_seconds = res.traffic.Seconds(options.network);
+
+  auto solve = SolveAll(inst, options.solver);
+  if (!solve.ok()) return solve.status();
+  res.solve = std::move(solve).value();
+  res.execute_seconds = res.solve.total_millis / 1e3;
+  res.total_seconds = res.transfer_seconds + res.execute_seconds;
+  res.assignment = res.solve.assignment;
+  res.objective = res.solve.objective;
+  return res;
+}
+
+}  // namespace rmgp

@@ -1,0 +1,115 @@
+#ifndef RMGP_DIST_DECENTRALIZED_H_
+#define RMGP_DIST_DECENTRALIZED_H_
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/solver.h"
+#include "dist/network.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Options for the decentralized experiments (§5 / §6.4). The social graph
+/// is hash-partitioned over `num_slaves` processing nodes (the paper notes
+/// the partitioning scheme is orthogonal); slaves exchange data only
+/// through the master, whose traffic is charged to `network`.
+/// How users are assigned to slaves. The paper calls the scheme
+/// "orthogonal to our problem"; kLocality lets the ablation check that
+/// claim (it only pays off combined with interest_multicast below).
+enum class PartitionScheme {
+  kHash,      ///< user v lives on slave v mod S (the default)
+  kLocality,  ///< multilevel k-way partition: friends co-located
+};
+
+struct DecentralizedOptions {
+  uint32_t num_slaves = 2;
+  NetworkModel network;
+  /// Initialization for the underlying RMGP_all computation. Order policy
+  /// applies within each slave's local users.
+  SolverOptions solver;
+  /// §5: "DG can be easily extended to handle direct data exchange
+  /// between slaves." When true, strategy changes travel slave→slave
+  /// instead of slave→master→slaves, halving the per-round change traffic
+  /// (identical game outcome).
+  bool direct_exchange = false;
+  /// Placement of users onto slaves.
+  PartitionScheme partition = PartitionScheme::kHash;
+  /// Extension beyond the paper's broadcast: the master (or, with
+  /// direct_exchange, each slave) ships a strategy change only to slaves
+  /// hosting at least one friend of the changed user. Identical game
+  /// outcome; with kLocality placement most changes stay local and the
+  /// change traffic collapses. Requires num_slaves <= 64.
+  bool interest_multicast = false;
+};
+
+/// Per-round telemetry of the decentralized game — the series Fig 14
+/// plots: processing time and data transferred per round.
+struct DgRoundStats {
+  uint32_t round = 0;             ///< 0 = initialization round
+  double compute_seconds = 0.0;   ///< Σ over color steps of max-slave time
+  double network_seconds = 0.0;   ///< simulated transfer time
+  double seconds = 0.0;           ///< compute + network
+  uint64_t bytes = 0;
+  uint64_t messages = 0;
+  uint64_t deviations = 0;
+};
+
+/// Result of the decentralized game (DG, Fig 6).
+struct DgResult {
+  Assignment assignment;
+  bool converged = false;
+  uint32_t rounds = 0;
+  CostBreakdown objective;
+  double simulated_seconds = 0.0;  ///< end-to-end simulated wall time
+  TrafficStats traffic;
+  std::vector<DgRoundStats> round_stats;  ///< [0] is the init round
+};
+
+/// Runs the decentralized game: slaves initialize local players, exchange
+/// local strategic vectors through the master, then per round and per
+/// color compute best responses locally (RMGP_all-style reduced global
+/// tables) and ship only strategy changes. Deterministic: identical
+/// assignments to the centralized coloring-synchronous game.
+Result<DgResult> RunDecentralizedGame(const Instance& inst,
+                                      const DecentralizedOptions& options);
+
+/// Result of fetch-and-execute (FaE): ship the distributed graph to one
+/// server, then run RMGP_all locally — the stacked transfer/execute bars
+/// of Fig 13.
+struct FaeResult {
+  Assignment assignment;
+  CostBreakdown objective;
+  double transfer_seconds = 0.0;  ///< simulated: move graph + locations
+  double execute_seconds = 0.0;   ///< measured local RMGP_all time
+  double total_seconds = 0.0;
+  TrafficStats traffic;
+  SolveResult solve;
+};
+
+Result<FaeResult> RunFetchAndExecute(const Instance& inst,
+                                     const DecentralizedOptions& options);
+
+/// Result of an area-of-interest decentralized query (Fig 6 lines 2-3:
+/// each slave "determines the users who are stored locally and will
+/// participate in the game"; slaves without participants are excluded).
+struct DgAreaResult {
+  std::vector<NodeId> participants;  ///< ascending, original ids
+  DgResult dg;                       ///< over the induced sub-instance
+  /// Per original user: class, or kNotParticipating.
+  static constexpr ClassId kNotParticipating = UINT32_MAX;
+  std::vector<ClassId> full_assignment;
+};
+
+/// Runs the decentralized game restricted to `participants` (e.g. the
+/// users inside a query box, via SelectUsersInBox). The induced subgraph
+/// keeps only edges between participants; the GSV and all traffic
+/// accounting cover participants only.
+Result<DgAreaResult> RunDecentralizedGameInArea(
+    const Instance& inst, const std::vector<NodeId>& participants,
+    const DecentralizedOptions& options);
+
+}  // namespace rmgp
+
+#endif  // RMGP_DIST_DECENTRALIZED_H_

@@ -1,0 +1,55 @@
+#ifndef RMGP_DIST_NETWORK_H_
+#define RMGP_DIST_NETWORK_H_
+
+#include <cstdint>
+
+namespace rmgp {
+
+/// Cost model for the simulated cluster interconnect. The paper's testbed
+/// is three servers on 100 Mbps Ethernet (§6.4); the simulation charges
+/// bytes against bandwidth and a fixed per-message latency, and these two
+/// terms are exactly what separates DG from FaE in Fig 13/14.
+struct NetworkModel {
+  double bandwidth_mbps = 100.0;  ///< megabits per second
+  double latency_ms = 0.2;        ///< one-way per-message latency
+
+  /// Simulated seconds to move `bytes` in `messages` messages.
+  double TransferSeconds(uint64_t bytes, uint64_t messages) const {
+    const double bw_bytes_per_sec = bandwidth_mbps * 1e6 / 8.0;
+    return static_cast<double>(bytes) / bw_bytes_per_sec +
+           static_cast<double>(messages) * latency_ms / 1e3;
+  }
+};
+
+/// Running totals of simulated traffic.
+struct TrafficStats {
+  uint64_t bytes = 0;
+  uint64_t messages = 0;
+
+  void Add(uint64_t b, uint64_t m = 1) {
+    bytes += b;
+    messages += m;
+  }
+  void Merge(const TrafficStats& other) {
+    bytes += other.bytes;
+    messages += other.messages;
+  }
+  double Seconds(const NetworkModel& net) const {
+    return net.TransferSeconds(bytes, messages);
+  }
+};
+
+/// Wire-format sizes (bytes) shared by DG and FaE accounting.
+namespace wire {
+inline constexpr uint64_t kPerStrategyEntry = 4;   ///< class id in the GSV
+inline constexpr uint64_t kPerStrategyChange = 8;  ///< user id + new class
+inline constexpr uint64_t kPerEdge = 12;           ///< u, v, weight (f32)
+inline constexpr uint64_t kPerLocation = 12;       ///< user id + x, y (f32)
+inline constexpr uint64_t kPerEvent = 20;          ///< event id + coords
+inline constexpr uint64_t kCommand = 16;           ///< opcode + argument
+inline constexpr uint64_t kAck = 8;
+}  // namespace wire
+
+}  // namespace rmgp
+
+#endif  // RMGP_DIST_NETWORK_H_

@@ -1,0 +1,112 @@
+#include "flow/max_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace rmgp {
+
+MaxFlow::MaxFlow(uint32_t num_nodes) : head_(num_nodes) {}
+
+uint32_t MaxFlow::AddEdge(uint32_t u, uint32_t v, double capacity) {
+  RMGP_CHECK_LT(u, num_nodes());
+  RMGP_CHECK_LT(v, num_nodes());
+  RMGP_CHECK_GE(capacity, 0.0);
+  const uint32_t id = static_cast<uint32_t>(arcs_.size());
+  arcs_.push_back({v, capacity});
+  arcs_.push_back({u, 0.0});
+  initial_cap_.push_back(capacity);
+  initial_cap_.push_back(0.0);
+  head_[u].push_back(id);
+  head_[v].push_back(id + 1);
+  return id;
+}
+
+void MaxFlow::AddUndirectedEdge(uint32_t u, uint32_t v, double capacity) {
+  RMGP_CHECK_LT(u, num_nodes());
+  RMGP_CHECK_LT(v, num_nodes());
+  const uint32_t id = static_cast<uint32_t>(arcs_.size());
+  arcs_.push_back({v, capacity});
+  arcs_.push_back({u, capacity});
+  initial_cap_.push_back(capacity);
+  initial_cap_.push_back(capacity);
+  head_[u].push_back(id);
+  head_[v].push_back(id + 1);
+}
+
+bool MaxFlow::Bfs(uint32_t s, uint32_t t) {
+  level_.assign(num_nodes(), -1);
+  std::queue<uint32_t> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const uint32_t v = q.front();
+    q.pop();
+    for (uint32_t a : head_[v]) {
+      if (arcs_[a].cap > 1e-12 && level_[arcs_[a].to] < 0) {
+        level_[arcs_[a].to] = level_[v] + 1;
+        q.push(arcs_[a].to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+double MaxFlow::Dfs(uint32_t v, uint32_t t, double pushed) {
+  if (v == t) return pushed;
+  for (uint32_t& i = iter_[v]; i < head_[v].size(); ++i) {
+    const uint32_t a = head_[v][i];
+    Arc& arc = arcs_[a];
+    if (arc.cap > 1e-12 && level_[arc.to] == level_[v] + 1) {
+      const double got = Dfs(arc.to, t, std::min(pushed, arc.cap));
+      if (got > 0.0) {
+        arc.cap -= got;
+        arcs_[a ^ 1].cap += got;
+        return got;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::Solve(uint32_t s, uint32_t t) {
+  RMGP_CHECK_NE(s, t);
+  double flow = 0.0;
+  while (Bfs(s, t)) {
+    iter_.assign(num_nodes(), 0);
+    for (;;) {
+      const double got =
+          Dfs(s, t, std::numeric_limits<double>::infinity());
+      if (got <= 0.0) break;
+      flow += got;
+    }
+  }
+  return flow;
+}
+
+std::vector<bool> MaxFlow::MinCutSourceSide(uint32_t s) const {
+  std::vector<bool> side(num_nodes(), false);
+  std::queue<uint32_t> q;
+  side[s] = true;
+  q.push(s);
+  while (!q.empty()) {
+    const uint32_t v = q.front();
+    q.pop();
+    for (uint32_t a : head_[v]) {
+      if (arcs_[a].cap > 1e-12 && !side[arcs_[a].to]) {
+        side[arcs_[a].to] = true;
+        q.push(arcs_[a].to);
+      }
+    }
+  }
+  return side;
+}
+
+double MaxFlow::FlowOn(uint32_t edge_id) const {
+  RMGP_CHECK_LT(edge_id, initial_cap_.size());
+  return initial_cap_[edge_id] - arcs_[edge_id].cap;
+}
+
+}  // namespace rmgp

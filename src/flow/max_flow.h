@@ -1,0 +1,56 @@
+#ifndef RMGP_FLOW_MAX_FLOW_H_
+#define RMGP_FLOW_MAX_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Dinic max-flow / min-cut on a directed capacitated graph. Substrate for
+/// the UML_gr greedy baseline, which isolates one label at a time via
+/// minimum cuts on a transformed graph (DESIGN.md §5).
+class MaxFlow {
+ public:
+  /// Creates a flow network with `num_nodes` nodes.
+  explicit MaxFlow(uint32_t num_nodes);
+
+  /// Adds a directed arc u -> v with the given capacity (and implicit
+  /// residual arc of capacity 0). Returns the arc id.
+  /// For an undirected edge, call AddUndirectedEdge instead.
+  uint32_t AddEdge(uint32_t u, uint32_t v, double capacity);
+
+  /// Adds an undirected edge: capacity in both directions.
+  void AddUndirectedEdge(uint32_t u, uint32_t v, double capacity);
+
+  /// Computes the maximum s-t flow. May be called once per instance.
+  double Solve(uint32_t s, uint32_t t);
+
+  /// After Solve: nodes on the source side of a minimum cut.
+  std::vector<bool> MinCutSourceSide(uint32_t s) const;
+
+  /// Flow currently on arc `edge_id` (as returned by AddEdge).
+  double FlowOn(uint32_t edge_id) const;
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(head_.size()); }
+
+ private:
+  struct Arc {
+    uint32_t to;
+    double cap;  // residual capacity
+  };
+
+  bool Bfs(uint32_t s, uint32_t t);
+  double Dfs(uint32_t v, uint32_t t, double pushed);
+
+  std::vector<Arc> arcs_;                 // arc 2i and 2i+1 are a pair
+  std::vector<std::vector<uint32_t>> head_;  // adjacency: arc indices
+  std::vector<double> initial_cap_;       // for FlowOn
+  std::vector<int32_t> level_;
+  std::vector<uint32_t> iter_;
+};
+
+}  // namespace rmgp
+
+#endif  // RMGP_FLOW_MAX_FLOW_H_

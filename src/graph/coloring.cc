@@ -1,0 +1,74 @@
+#include "graph/coloring.h"
+
+#include <algorithm>
+#include <string>
+
+namespace rmgp {
+
+Coloring GreedyColoring(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return g.degree(a) > g.degree(b);
+  });
+
+  constexpr uint32_t kUncolored = UINT32_MAX;
+  Coloring result;
+  result.color.assign(n, kUncolored);
+
+  // forbidden[c] == v marks color c as used by a neighbor of v in this pass.
+  std::vector<NodeId> forbidden(static_cast<size_t>(g.max_degree()) + 2,
+                                UINT32_MAX);
+  uint32_t num_colors = 0;
+  for (NodeId v : order) {
+    for (const Neighbor& nb : g.neighbors(v)) {
+      uint32_t c = result.color[nb.node];
+      if (c != kUncolored && c < forbidden.size()) forbidden[c] = v;
+    }
+    uint32_t c = 0;
+    while (c < forbidden.size() && forbidden[c] == v) ++c;
+    result.color[v] = c;
+    num_colors = std::max(num_colors, c + 1);
+  }
+
+  result.groups.resize(num_colors);
+  for (NodeId v = 0; v < n; ++v) result.groups[result.color[v]].push_back(v);
+  return result;
+}
+
+Status ValidateColoring(const Graph& g, const Coloring& coloring) {
+  if (coloring.color.size() != g.num_nodes()) {
+    return Status::InvalidArgument("coloring size != |V|");
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (coloring.color[v] >= coloring.num_colors()) {
+      return Status::InvalidArgument("node " + std::to_string(v) +
+                                     " has out-of-range color");
+    }
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (coloring.color[v] == coloring.color[nb.node]) {
+        return Status::FailedPrecondition(
+            "adjacent nodes " + std::to_string(v) + " and " +
+            std::to_string(nb.node) + " share color " +
+            std::to_string(coloring.color[v]));
+      }
+    }
+  }
+  // Groups must partition V consistently with `color`.
+  size_t total = 0;
+  for (uint32_t c = 0; c < coloring.num_colors(); ++c) {
+    for (NodeId v : coloring.groups[c]) {
+      if (coloring.color[v] != c) {
+        return Status::FailedPrecondition("groups inconsistent with colors");
+      }
+    }
+    total += coloring.groups[c].size();
+  }
+  if (total != g.num_nodes()) {
+    return Status::FailedPrecondition("groups do not cover all nodes");
+  }
+  return Status::OK();
+}
+
+}  // namespace rmgp

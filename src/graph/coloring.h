@@ -1,0 +1,31 @@
+#ifndef RMGP_GRAPH_COLORING_H_
+#define RMGP_GRAPH_COLORING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rmgp {
+
+/// A proper node coloring: `color[v]` for every node, plus the nodes grouped
+/// by color. Nodes of the same color form an independent set, so their
+/// best responses can be computed in parallel (paper §4.2).
+struct Coloring {
+  std::vector<uint32_t> color;             // size |V|
+  std::vector<std::vector<NodeId>> groups;  // groups[c] = nodes with color c
+
+  uint32_t num_colors() const { return static_cast<uint32_t>(groups.size()); }
+};
+
+/// Greedy graph coloring in decreasing-degree (Welsh–Powell) order.
+/// Uses at most d_max + 1 colors, as referenced by the paper (§4.2).
+Coloring GreedyColoring(const Graph& g);
+
+/// Validates that `coloring` assigns different colors to adjacent nodes and
+/// covers all nodes.
+Status ValidateColoring(const Graph& g, const Coloring& coloring);
+
+}  // namespace rmgp
+
+#endif  // RMGP_GRAPH_COLORING_H_

@@ -1,0 +1,66 @@
+#include "graph/directed.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace rmgp {
+
+Result<Graph> SymmetrizeDirected(NodeId num_nodes,
+                                 const std::vector<DirectedEdge>& edges,
+                                 DirectedCombine combine) {
+  // Aggregate directed multiplicity first: key = (min,max), value =
+  // (weight low->high, weight high->low).
+  struct Pair {
+    double fwd = 0.0;  // min -> max
+    double rev = 0.0;  // max -> min
+  };
+  std::unordered_map<uint64_t, Pair> pairs;
+  pairs.reserve(edges.size());
+  for (const DirectedEdge& e : edges) {
+    if (e.from >= num_nodes || e.to >= num_nodes) {
+      return Status::InvalidArgument(
+          "directed edge endpoint out of range: " + std::to_string(e.from) +
+          "->" + std::to_string(e.to));
+    }
+    if (e.weight <= 0.0) {
+      return Status::InvalidArgument("directed edge weight must be positive");
+    }
+    if (e.from == e.to) continue;
+    const NodeId lo = std::min(e.from, e.to);
+    const NodeId hi = std::max(e.from, e.to);
+    Pair& p = pairs[(static_cast<uint64_t>(lo) << 32) | hi];
+    if (e.from == lo) {
+      p.fwd += e.weight;
+    } else {
+      p.rev += e.weight;
+    }
+  }
+
+  GraphBuilder b(num_nodes);
+  for (const auto& [key, p] : pairs) {
+    const NodeId lo = static_cast<NodeId>(key >> 32);
+    const NodeId hi = static_cast<NodeId>(key & 0xffffffffu);
+    double w = 0.0;
+    switch (combine) {
+      case DirectedCombine::kSum:
+        w = p.fwd + p.rev;
+        break;
+      case DirectedCombine::kMax:
+        w = std::max(p.fwd, p.rev);
+        break;
+      case DirectedCombine::kMin:
+        w = std::min(p.fwd, p.rev);
+        break;
+      case DirectedCombine::kAverage:
+        w = (p.fwd + p.rev) / 2.0;
+        break;
+    }
+    if (w > 0.0) {
+      RMGP_RETURN_IF_ERROR(b.AddEdge(lo, hi, w));
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace rmgp

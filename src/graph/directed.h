@@ -1,0 +1,40 @@
+#ifndef RMGP_GRAPH_DIRECTED_H_
+#define RMGP_GRAPH_DIRECTED_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// A directed social tie (e.g., the "follow" relationship in Twitter —
+/// paper §1 notes RMGP's edges "may be directed").
+struct DirectedEdge {
+  NodeId from;
+  NodeId to;
+  Weight weight;
+};
+
+/// How to fold a directed pair (u→v, v→u) into one undirected weight.
+/// The RMGP game analysis (§3.2) relies on symmetric social costs — a
+/// friend leaving affects both ends equally — so directed inputs are
+/// symmetrized up-front.
+enum class DirectedCombine {
+  kSum,      ///< w(u,v) = w(u→v) + w(v→u); one-sided ties count half
+  kMax,      ///< the stronger direction wins
+  kMin,      ///< mutual ties only (one-sided edges drop out)
+  kAverage,  ///< (w(u→v) + w(v→u)) / 2, missing direction counts as 0
+};
+
+/// Builds the undirected game graph from directed edges. Self-loops are
+/// dropped; duplicate directed edges have their weights summed before
+/// combining. Returns InvalidArgument for out-of-range endpoints or
+/// non-positive weights.
+Result<Graph> SymmetrizeDirected(NodeId num_nodes,
+                                 const std::vector<DirectedEdge>& edges,
+                                 DirectedCombine combine);
+
+}  // namespace rmgp
+
+#endif  // RMGP_GRAPH_DIRECTED_H_

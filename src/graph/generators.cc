@@ -1,0 +1,165 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace rmgp {
+namespace {
+
+uint64_t EdgeKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph ErdosRenyi(NodeId n, double p, uint64_t seed) {
+  RMGP_CHECK(p >= 0.0 && p <= 1.0);
+  Rng rng(seed);
+  GraphBuilder b(n);
+  if (p > 0.0) {
+    // Geometric skipping over the lexicographic edge sequence: O(|E|).
+    const uint64_t total = static_cast<uint64_t>(n) * (n - 1) / 2;
+    uint64_t idx = 0;
+    while (idx < total) {
+      uint64_t skip = (p >= 1.0) ? 1 : rng.Geometric(p);
+      idx += skip;
+      if (idx > total) break;
+      const uint64_t e = idx - 1;  // 0-based edge index
+      // Decode e -> (u, v), u < v, rows of the upper triangle.
+      NodeId u = 0;
+      uint64_t rem = e;
+      uint64_t row_len = n - 1;
+      while (rem >= row_len) {
+        rem -= row_len;
+        ++u;
+        --row_len;
+      }
+      NodeId v = static_cast<NodeId>(u + 1 + rem);
+      RMGP_CHECK(b.AddEdge(u, v, 1.0).ok());
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph ErdosRenyiM(NodeId n, uint64_t m, uint64_t seed) {
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  Rng rng(seed);
+  GraphBuilder b(n);
+  std::unordered_set<uint64_t> used;
+  used.reserve(m * 2);
+  while (used.size() < m) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    if (u == v) continue;
+    if (used.insert(EdgeKey(u, v)).second) {
+      RMGP_CHECK(b.AddEdge(u, v, 1.0).ok());
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph BarabasiAlbert(NodeId n, uint32_t edges_per_node, uint64_t seed) {
+  RMGP_CHECK_GE(edges_per_node, 1u);
+  Rng rng(seed);
+  GraphBuilder b(n);
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // implements preferential attachment.
+  std::vector<NodeId> endpoints;
+  const NodeId seed_nodes = std::min<NodeId>(n, edges_per_node + 1);
+  // Seed clique over the first m+1 nodes.
+  for (NodeId u = 0; u < seed_nodes; ++u) {
+    for (NodeId v = u + 1; v < seed_nodes; ++v) {
+      RMGP_CHECK(b.AddEdge(u, v, 1.0).ok());
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::unordered_set<NodeId> chosen;
+  for (NodeId v = seed_nodes; v < n; ++v) {
+    chosen.clear();
+    const uint32_t m = std::min<uint32_t>(edges_per_node, v);
+    while (chosen.size() < m) {
+      NodeId t = endpoints[rng.UniformInt(endpoints.size())];
+      chosen.insert(t);
+    }
+    for (NodeId t : chosen) {
+      RMGP_CHECK(b.AddEdge(v, t, 1.0).ok());
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph WattsStrogatz(NodeId n, uint32_t k, double beta, uint64_t seed) {
+  RMGP_CHECK(k % 2 == 0) << "WattsStrogatz requires even k";
+  RMGP_CHECK_GT(n, k);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k / 2; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % n);
+      edges.insert(EdgeKey(u, v));
+    }
+  }
+  // Rewire each lattice edge with probability beta.
+  std::vector<uint64_t> initial(edges.begin(), edges.end());
+  std::sort(initial.begin(), initial.end());
+  for (uint64_t key : initial) {
+    if (!rng.Bernoulli(beta)) continue;
+    NodeId u = static_cast<NodeId>(key >> 32);
+    NodeId w;
+    int attempts = 0;
+    do {
+      w = static_cast<NodeId>(rng.UniformInt(n));
+      if (++attempts > 64) break;  // dense corner case: keep original edge
+    } while (w == u || edges.count(EdgeKey(u, w)) > 0);
+    if (attempts > 64) continue;
+    edges.erase(key);
+    edges.insert(EdgeKey(u, w));
+  }
+  GraphBuilder b(n);
+  for (uint64_t key : edges) {
+    RMGP_CHECK(b.AddEdge(static_cast<NodeId>(key >> 32),
+                         static_cast<NodeId>(key & 0xffffffffu), 1.0)
+                   .ok());
+  }
+  return std::move(b).Build();
+}
+
+Graph PlantedPartition(NodeId n, uint32_t num_blocks, double p_in,
+                       double p_out, uint64_t seed,
+                       std::vector<uint32_t>* block_of) {
+  RMGP_CHECK_GE(num_blocks, 1u);
+  Rng rng(seed);
+  std::vector<uint32_t> block(n);
+  for (NodeId v = 0; v < n; ++v) block[v] = v % num_blocks;
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double p = (block[u] == block[v]) ? p_in : p_out;
+      if (rng.Bernoulli(p)) {
+        RMGP_CHECK(b.AddEdge(u, v, 1.0).ok());
+      }
+    }
+  }
+  if (block_of != nullptr) *block_of = std::move(block);
+  return std::move(b).Build();
+}
+
+Graph RandomizeWeights(const Graph& g, double lo, double hi, uint64_t seed) {
+  RMGP_CHECK(lo > 0.0 && hi > lo);
+  Rng rng(seed);
+  GraphBuilder b(g.num_nodes());
+  for (const Edge& e : g.CollectEdges()) {
+    RMGP_CHECK(b.AddEdge(e.u, e.v, rng.UniformDouble(lo, hi)).ok());
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace rmgp

@@ -1,0 +1,44 @@
+#ifndef RMGP_GRAPH_GENERATORS_H_
+#define RMGP_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace rmgp {
+
+/// G(n, p) Erdős–Rényi random graph with unit edge weights.
+Graph ErdosRenyi(NodeId n, double p, uint64_t seed);
+
+/// G(n, m) Erdős–Rényi: exactly m distinct random edges (m clamped to the
+/// number of possible edges), unit weights.
+Graph ErdosRenyiM(NodeId n, uint64_t m, uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new node attaches
+/// `edges_per_node` edges to existing nodes with probability proportional to
+/// their degree. Produces a power-law-ish degree distribution typical of
+/// social networks. Unit weights.
+Graph BarabasiAlbert(NodeId n, uint32_t edges_per_node, uint64_t seed);
+
+/// Watts–Strogatz small-world graph: ring lattice with `k` nearest
+/// neighbors per node (k even), each edge rewired with probability `beta`.
+/// Unit weights.
+Graph WattsStrogatz(NodeId n, uint32_t k, double beta, uint64_t seed);
+
+/// Planted-partition graph: `num_blocks` equal-size communities; nodes in
+/// the same block connect with probability p_in, across blocks with p_out.
+/// Useful for testing that the game recovers community structure. Unit
+/// weights. `block_of` (if non-null) receives the planted block per node.
+Graph PlantedPartition(NodeId n, uint32_t num_blocks, double p_in,
+                       double p_out, uint64_t seed,
+                       std::vector<uint32_t>* block_of = nullptr);
+
+/// Assigns each edge of `g` a weight drawn uniformly from [lo, hi),
+/// returning a new graph with identical topology. Used by tests that need
+/// non-unit weights (both Gowalla and Foursquare use unit weights).
+Graph RandomizeWeights(const Graph& g, double lo, double hi, uint64_t seed);
+
+}  // namespace rmgp
+
+#endif  // RMGP_GRAPH_GENERATORS_H_

@@ -1,0 +1,108 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <string>
+
+namespace rmgp {
+
+Weight Graph::weighted_degree(NodeId v) const {
+  Weight sum = 0.0;
+  for (const Neighbor& nb : neighbors(v)) sum += nb.weight;
+  return sum;
+}
+
+double Graph::average_degree() const {
+  if (num_nodes() == 0) return 0.0;
+  return static_cast<double>(adj_.size()) / num_nodes();
+}
+
+double Graph::average_edge_weight() const {
+  if (num_edges() == 0) return 0.0;
+  return total_edge_weight_ / static_cast<double>(num_edges());
+}
+
+uint32_t Graph::max_degree() const {
+  uint32_t best = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+Weight Graph::EdgeWeight(NodeId u, NodeId v) const {
+  auto nbrs = neighbors(u);
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const Neighbor& nb, NodeId id) { return nb.node < id; });
+  if (it != nbrs.end() && it->node == v) return it->weight;
+  return 0.0;
+}
+
+std::vector<Edge> Graph::CollectEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const Neighbor& nb : neighbors(u)) {
+      if (u < nb.node) edges.push_back({u, nb.node, nb.weight});
+    }
+  }
+  return edges;
+}
+
+Status GraphBuilder::AddEdge(NodeId u, NodeId v, Weight w) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    return Status::InvalidArgument(
+        "edge endpoint out of range: {" + std::to_string(u) + "," +
+        std::to_string(v) + "} with |V|=" + std::to_string(num_nodes_));
+  }
+  if (w <= 0.0) {
+    return Status::InvalidArgument("edge weight must be positive");
+  }
+  if (u == v) return Status::OK();  // self-loops carry no social cost
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v, w});
+  return Status::OK();
+}
+
+Graph GraphBuilder::Build() && {
+  // Canonicalize: sort by (u,v) and merge duplicates by summing weights.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  std::vector<Edge> merged;
+  merged.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    if (!merged.empty() && merged.back().u == e.u && merged.back().v == e.v) {
+      merged.back().weight += e.weight;
+    } else {
+      merged.push_back(e);
+    }
+  }
+
+  Graph g;
+  g.offsets_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  for (const Edge& e : merged) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+    g.total_edge_weight_ += e.weight;
+  }
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adj_.resize(merged.size() * 2);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : merged) {
+    g.adj_[cursor[e.u]++] = {e.v, e.weight};
+    g.adj_[cursor[e.v]++] = {e.u, e.weight};
+  }
+  // Per-node lists are already sorted for the lower endpoint ordering, but
+  // entries for the higher endpoint interleave; sort each list.
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    std::sort(g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]),
+              g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.node < b.node;
+              });
+  }
+  return g;
+}
+
+}  // namespace rmgp

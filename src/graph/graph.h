@@ -1,0 +1,128 @@
+#ifndef RMGP_GRAPH_GRAPH_H_
+#define RMGP_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Node identifier. Social graphs in the paper's scale (up to ~2.15M users)
+/// fit comfortably in 32 bits.
+using NodeId = uint32_t;
+
+/// Weight of a social connection (strength of the tie). Binary friendship
+/// graphs use weight 1.0.
+using Weight = double;
+
+/// One endpoint of an adjacency entry: the neighbor and the edge weight.
+struct Neighbor {
+  NodeId node;
+  Weight weight;
+
+  bool operator==(const Neighbor&) const = default;
+};
+
+/// An undirected weighted edge (u < v is not required at the builder level;
+/// the builder canonicalizes).
+struct Edge {
+  NodeId u;
+  NodeId v;
+  Weight weight;
+};
+
+class GraphBuilder;
+
+/// Immutable undirected weighted social graph in CSR (compressed sparse
+/// row) form. Each undirected edge {u,v} is stored twice, once in each
+/// adjacency list, so `degree(v)` and neighbor iteration are O(1)/O(deg).
+///
+/// Construction goes through GraphBuilder, which validates endpoints,
+/// merges duplicate edges and drops self-loops.
+class Graph {
+ public:
+  /// Empty graph with zero nodes.
+  Graph() = default;
+
+  /// Number of nodes |V|.
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+
+  /// Number of undirected edges |E|.
+  uint64_t num_edges() const { return adj_.size() / 2; }
+
+  /// Degree of node v.
+  uint32_t degree(NodeId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Neighbors of v with edge weights, sorted by neighbor id.
+  std::span<const Neighbor> neighbors(NodeId v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  /// Sum of weights of edges incident to v (the paper's 2·W_v).
+  Weight weighted_degree(NodeId v) const;
+
+  /// Total weight over all undirected edges: Σ_{e∈E} w_e.
+  Weight total_edge_weight() const { return total_edge_weight_; }
+
+  /// Average degree deg_avg = 2|E| / |V| (0 for the empty graph).
+  double average_degree() const;
+
+  /// Average edge weight w_avg = Σw_e / |E| (0 for the edgeless graph).
+  double average_edge_weight() const;
+
+  /// Maximum degree d_max.
+  uint32_t max_degree() const;
+
+  /// Weight of edge {u,v}, or 0 if absent. O(log deg(u)).
+  Weight EdgeWeight(NodeId u, NodeId v) const;
+
+  /// True iff {u,v} is an edge. O(log deg(u)).
+  bool HasEdge(NodeId u, NodeId v) const { return EdgeWeight(u, v) > 0.0; }
+
+  /// All undirected edges, each reported once with u < v, ordered by (u,v).
+  std::vector<Edge> CollectEdges() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint64_t> offsets_;  // size |V|+1
+  std::vector<Neighbor> adj_;      // size 2|E|, sorted per node
+  Weight total_edge_weight_ = 0.0;
+};
+
+/// Mutable accumulator of edges that produces an immutable CSR Graph.
+///
+///   GraphBuilder b(6);
+///   b.AddEdge(0, 1, 0.4);
+///   Graph g = std::move(b).Build();
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph over `num_nodes` nodes (ids 0..n-1).
+  explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds undirected edge {u,v} with weight w. Self-loops are ignored;
+  /// duplicate edges have their weights summed. Returns InvalidArgument for
+  /// out-of-range endpoints or non-positive weight.
+  Status AddEdge(NodeId u, NodeId v, Weight w = 1.0);
+
+  /// Number of nodes the builder was created with.
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Number of AddEdge calls accepted so far (before dedup).
+  size_t num_added_edges() const { return edges_.size(); }
+
+  /// Builds the CSR graph. The builder is consumed.
+  Graph Build() &&;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace rmgp
+
+#endif  // RMGP_GRAPH_GRAPH_H_

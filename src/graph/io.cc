@@ -1,0 +1,70 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace rmgp {
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  f.precision(17);  // round-trip exact for doubles
+  f << "# nodes " << g.num_nodes() << " edges " << g.num_edges() << "\n";
+  for (const Edge& e : g.CollectEdges()) {
+    f << e.u << ' ' << e.v << ' ' << e.weight << "\n";
+  }
+  if (!f) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Graph> ReadEdgeList(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::string line;
+  NodeId declared_nodes = 0;
+  bool have_declared = false;
+  struct RawEdge {
+    NodeId u, v;
+    Weight w;
+  };
+  std::vector<RawEdge> edges;
+  NodeId max_id = 0;
+  size_t line_no = 0;
+  while (std::getline(f, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#' || line[0] == '%') {
+      std::istringstream hs(line);
+      std::string hash, word;
+      uint64_t n = 0;
+      if (hs >> hash >> word >> n && word == "nodes") {
+        declared_nodes = static_cast<NodeId>(n);
+        have_declared = true;
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    uint64_t u, v;
+    double w = 1.0;
+    if (!(ls >> u >> v)) {
+      return Status::IOError("malformed edge at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    ls >> w;  // optional
+    if (u == v) continue;
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v), w});
+    max_id = std::max(max_id, static_cast<NodeId>(std::max(u, v)));
+  }
+  NodeId n = have_declared ? declared_nodes
+                           : (edges.empty() ? 0 : max_id + 1);
+  GraphBuilder b(n);
+  for (const RawEdge& e : edges) {
+    Status s = b.AddEdge(e.u, e.v, e.w);
+    if (!s.ok()) return s;
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace rmgp

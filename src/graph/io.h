@@ -1,0 +1,22 @@
+#ifndef RMGP_GRAPH_IO_H_
+#define RMGP_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Writes `g` as a whitespace-separated edge list: header line
+/// "# nodes <n> edges <m>" followed by "u v w" lines (u < v).
+Status WriteEdgeList(const Graph& g, const std::string& path);
+
+/// Reads an edge list produced by WriteEdgeList, or a plain "u v [w]" list
+/// (weight defaults to 1; node count defaults to 1 + max id). Lines starting
+/// with '#' or '%' other than the header are ignored.
+Result<Graph> ReadEdgeList(const std::string& path);
+
+}  // namespace rmgp
+
+#endif  // RMGP_GRAPH_IO_H_

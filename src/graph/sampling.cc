@@ -1,0 +1,69 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/traversal.h"
+#include "util/logging.h"
+
+namespace rmgp {
+
+std::vector<NodeId> ForestFireSample(const Graph& g, NodeId target_nodes,
+                                     const ForestFireOptions& options) {
+  const NodeId n = g.num_nodes();
+  target_nodes = std::min(target_nodes, n);
+  Rng rng(options.seed);
+
+  std::vector<bool> burned(n, false);
+  std::vector<NodeId> result;
+  result.reserve(target_nodes);
+  std::deque<NodeId> frontier;
+  std::vector<NodeId> candidates;
+
+  auto burn = [&](NodeId v) {
+    burned[v] = true;
+    result.push_back(v);
+    frontier.push_back(v);
+  };
+
+  while (result.size() < target_nodes) {
+    if (frontier.empty()) {
+      // Pick a fresh random unburned ambassador.
+      NodeId amb;
+      do {
+        amb = static_cast<NodeId>(rng.UniformInt(n));
+      } while (burned[amb]);
+      burn(amb);
+      continue;
+    }
+    NodeId v = frontier.front();
+    frontier.pop_front();
+    candidates.clear();
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (!burned[nb.node]) candidates.push_back(nb.node);
+    }
+    if (candidates.empty()) continue;
+    // Burn x ~ Geometric(mean p/(1-p)) of the unburned neighbors.
+    uint64_t x = rng.Geometric(1.0 - options.forward_prob) - 1;
+    x = std::min<uint64_t>(x, candidates.size());
+    if (x == 0) continue;
+    rng.Shuffle(&candidates);
+    for (uint64_t i = 0; i < x && result.size() < target_nodes; ++i) {
+      burn(candidates[i]);
+    }
+  }
+
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Graph ForestFireSubgraph(const Graph& g, NodeId target_nodes,
+                         const ForestFireOptions& options,
+                         std::vector<NodeId>* sampled_nodes) {
+  std::vector<NodeId> nodes = ForestFireSample(g, target_nodes, options);
+  Graph sub = InducedSubgraph(g, nodes);
+  if (sampled_nodes != nullptr) *sampled_nodes = std::move(nodes);
+  return sub;
+}
+
+}  // namespace rmgp

@@ -1,0 +1,37 @@
+#ifndef RMGP_GRAPH_SAMPLING_H_
+#define RMGP_GRAPH_SAMPLING_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace rmgp {
+
+/// Parameters of Forest Fire sampling (Leskovec & Faloutsos), the technique
+/// the paper uses to shrink Gowalla for the UML comparisons (§6).
+struct ForestFireOptions {
+  /// Forward-burning probability p_f; each burning node burns a
+  /// geometrically distributed number of its unvisited neighbors with mean
+  /// p_f / (1 - p_f). 0.7 is the value recommended in the original paper.
+  double forward_prob = 0.7;
+  uint64_t seed = 42;
+};
+
+/// Samples `target_nodes` nodes from `g` by Forest Fire: repeatedly pick a
+/// random unvisited ambassador and burn outward. Returns the sampled node
+/// ids (sorted). If the fire dies out, a fresh ambassador restarts it, so
+/// exactly min(target_nodes, |V|) nodes are returned.
+std::vector<NodeId> ForestFireSample(const Graph& g, NodeId target_nodes,
+                                     const ForestFireOptions& options);
+
+/// Convenience: Forest Fire sample plus induced subgraph. `sampled_nodes`
+/// (if non-null) receives the original ids of the kept nodes, index-aligned
+/// with the new graph's node ids.
+Graph ForestFireSubgraph(const Graph& g, NodeId target_nodes,
+                         const ForestFireOptions& options,
+                         std::vector<NodeId>* sampled_nodes = nullptr);
+
+}  // namespace rmgp
+
+#endif  // RMGP_GRAPH_SAMPLING_H_

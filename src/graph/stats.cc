@@ -1,0 +1,80 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+
+#include "graph/traversal.h"
+
+namespace rmgp {
+
+uint64_t CountTriangles(const Graph& g) {
+  // For each edge (u,v) with u < v, intersect the higher-id tails of the
+  // two (sorted) adjacency lists; each triangle is counted exactly once
+  // at its lowest-id vertex pair.
+  uint64_t triangles = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nu = g.neighbors(u);
+    for (const Neighbor& nb : nu) {
+      const NodeId v = nb.node;
+      if (v <= u) continue;
+      const auto nv = g.neighbors(v);
+      // Two-pointer intersection over neighbors greater than v.
+      auto iu = std::lower_bound(
+          nu.begin(), nu.end(), v + 1,
+          [](const Neighbor& n, NodeId id) { return n.node < id; });
+      auto iv = std::lower_bound(
+          nv.begin(), nv.end(), v + 1,
+          [](const Neighbor& n, NodeId id) { return n.node < id; });
+      while (iu != nu.end() && iv != nv.end()) {
+        if (iu->node < iv->node) {
+          ++iu;
+        } else if (iv->node < iu->node) {
+          ++iv;
+        } else {
+          ++triangles;
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+uint64_t CountWedges(const Graph& g) {
+  uint64_t wedges = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const uint64_t d = g.degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges;
+}
+
+std::vector<uint64_t> DegreeHistogram(const Graph& g) {
+  std::vector<uint64_t> hist(static_cast<size_t>(g.max_degree()) + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+GraphStats ComputeGraphStats(const Graph& g) {
+  GraphStats stats;
+  stats.num_nodes = g.num_nodes();
+  stats.num_edges = g.num_edges();
+  stats.average_degree = g.average_degree();
+  stats.max_degree = g.max_degree();
+  stats.average_edge_weight = g.average_edge_weight();
+  stats.num_triangles = CountTriangles(g);
+  const uint64_t wedges = CountWedges(g);
+  stats.global_clustering =
+      wedges > 0 ? 3.0 * static_cast<double>(stats.num_triangles) /
+                       static_cast<double>(wedges)
+                 : 0.0;
+  const Components comps = ConnectedComponents(g);
+  stats.num_components = comps.num_components;
+  if (comps.num_components > 0) {
+    const auto sizes = comps.Sizes();
+    stats.largest_component = *std::max_element(sizes.begin(), sizes.end());
+  }
+  return stats;
+}
+
+}  // namespace rmgp

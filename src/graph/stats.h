@@ -1,0 +1,43 @@
+#ifndef RMGP_GRAPH_STATS_H_
+#define RMGP_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rmgp {
+
+/// Summary statistics of a social graph, used to validate that the
+/// synthetic datasets match the published crawl statistics and by the
+/// CLI's `stats` subcommand.
+struct GraphStats {
+  NodeId num_nodes = 0;
+  uint64_t num_edges = 0;
+  double average_degree = 0.0;
+  uint32_t max_degree = 0;
+  double average_edge_weight = 0.0;
+  uint64_t num_triangles = 0;
+  /// Global clustering coefficient: 3·triangles / #wedges (0 if no wedge).
+  double global_clustering = 0.0;
+  uint32_t num_components = 0;
+  NodeId largest_component = 0;
+};
+
+/// Computes all statistics. Triangle counting is exact and runs in
+/// O(Σ_v deg(v)²) — fine for the datasets in this repo; prefer
+/// CountTrianglesSampled on graphs with very heavy hubs.
+GraphStats ComputeGraphStats(const Graph& g);
+
+/// Exact triangle count via neighbor-intersection on ordered adjacency.
+uint64_t CountTriangles(const Graph& g);
+
+/// Number of wedges (paths of length 2): Σ_v deg(v)·(deg(v)-1)/2.
+uint64_t CountWedges(const Graph& g);
+
+/// Degree histogram: hist[d] = number of nodes with degree d.
+std::vector<uint64_t> DegreeHistogram(const Graph& g);
+
+}  // namespace rmgp
+
+#endif  // RMGP_GRAPH_STATS_H_

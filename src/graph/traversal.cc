@@ -1,0 +1,95 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace rmgp {
+
+std::vector<uint32_t> Components::Sizes() const {
+  std::vector<uint32_t> sizes(num_components, 0);
+  for (uint32_t c : component) ++sizes[c];
+  return sizes;
+}
+
+Components ConnectedComponents(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  Components result;
+  result.component.assign(n, UINT32_MAX);
+  std::vector<NodeId> queue;
+  for (NodeId start = 0; start < n; ++start) {
+    if (result.component[start] != UINT32_MAX) continue;
+    const uint32_t c = result.num_components++;
+    result.component[start] = c;
+    queue.clear();
+    queue.push_back(start);
+    while (!queue.empty()) {
+      NodeId v = queue.back();
+      queue.pop_back();
+      for (const Neighbor& nb : g.neighbors(v)) {
+        if (result.component[nb.node] == UINT32_MAX) {
+          result.component[nb.node] = c;
+          queue.push_back(nb.node);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source) {
+  RMGP_CHECK_LT(source, g.num_nodes());
+  std::vector<uint32_t> dist(g.num_nodes(), UINT32_MAX);
+  dist[source] = 0;
+  std::queue<NodeId> q;
+  q.push(source);
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (dist[nb.node] == UINT32_MAX) {
+        dist[nb.node] = dist[v] + 1;
+        q.push(nb.node);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> LargestComponentNodes(const Graph& g) {
+  Components comps = ConnectedComponents(g);
+  if (comps.num_components == 0) return {};
+  std::vector<uint32_t> sizes = comps.Sizes();
+  uint32_t best =
+      static_cast<uint32_t>(std::max_element(sizes.begin(), sizes.end()) -
+                            sizes.begin());
+  std::vector<NodeId> nodes;
+  nodes.reserve(sizes[best]);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (comps.component[v] == best) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+Graph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes,
+                      std::vector<NodeId>* old_to_new) {
+  std::vector<NodeId> map(g.num_nodes(), UINT32_MAX);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    RMGP_CHECK_LT(nodes[i], g.num_nodes());
+    RMGP_CHECK_EQ(map[nodes[i]], UINT32_MAX);  // distinct
+    map[nodes[i]] = static_cast<NodeId>(i);
+  }
+  GraphBuilder b(static_cast<NodeId>(nodes.size()));
+  for (NodeId old_u : nodes) {
+    for (const Neighbor& nb : g.neighbors(old_u)) {
+      if (old_u < nb.node && map[nb.node] != UINT32_MAX) {
+        RMGP_CHECK(b.AddEdge(map[old_u], map[nb.node], nb.weight).ok());
+      }
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return std::move(b).Build();
+}
+
+}  // namespace rmgp

@@ -1,0 +1,37 @@
+#ifndef RMGP_GRAPH_TRAVERSAL_H_
+#define RMGP_GRAPH_TRAVERSAL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rmgp {
+
+/// Connected-component labeling. `component[v]` is a dense id in
+/// [0, num_components); components are numbered by smallest contained node.
+struct Components {
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+
+  /// Sizes indexed by component id.
+  std::vector<uint32_t> Sizes() const;
+};
+
+/// Labels connected components by BFS.
+Components ConnectedComponents(const Graph& g);
+
+/// BFS distances (in hops) from `source`; unreachable nodes get UINT32_MAX.
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source);
+
+/// Nodes of the largest connected component, ascending.
+std::vector<NodeId> LargestComponentNodes(const Graph& g);
+
+/// The subgraph induced by `nodes` (which must be distinct and in range).
+/// Node i of the result corresponds to nodes[i]. Also returns the mapping
+/// old->new in `old_to_new` if non-null (UINT32_MAX for dropped nodes).
+Graph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes,
+                      std::vector<NodeId>* old_to_new = nullptr);
+
+}  // namespace rmgp
+
+#endif  // RMGP_GRAPH_TRAVERSAL_H_

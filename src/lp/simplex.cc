@@ -1,0 +1,263 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace rmgp {
+namespace {
+
+/// Dense two-phase simplex working state. Column layout:
+///   [0, n_struct)                structural variables
+///   [n_struct, n_struct+n_slack) slack variables (one per <= row)
+///   [.., ..+n_art)               artificial variables
+/// plus one rhs column. The objective (reduced-cost) row is row `m`.
+class Tableau {
+ public:
+  Tableau(const LinearProgram& lp, const SimplexOptions& options)
+      : options_(options) {
+    n_struct_ = lp.num_vars;
+    n_slack_ = static_cast<uint32_t>(lp.ub.size());
+    m_ = static_cast<uint32_t>(lp.eq.size() + lp.ub.size());
+
+    // First pass: find rows that need artificials. A <= row with rhs >= 0
+    // can use its slack as the initial basic variable; everything else
+    // (equalities, and <= rows with negative rhs, which flip sign) needs an
+    // artificial.
+    needs_art_.assign(m_, true);
+    for (uint32_t r = 0; r < lp.ub.size(); ++r) {
+      if (lp.ub[r].rhs >= 0.0) needs_art_[lp.eq.size() + r] = false;
+    }
+    n_art_ = 0;
+    for (uint32_t r = 0; r < m_; ++r) {
+      if (needs_art_[r]) ++n_art_;
+    }
+    n_total_ = n_struct_ + n_slack_ + n_art_;
+    t_.assign(static_cast<size_t>(m_ + 1) * (n_total_ + 1), 0.0);
+    basis_.assign(m_, UINT32_MAX);
+
+    uint32_t art_cursor = n_struct_ + n_slack_;
+    // Equality rows.
+    for (uint32_t r = 0; r < lp.eq.size(); ++r) {
+      FillRow(r, lp.eq[r], /*slack_col=*/UINT32_MAX);
+      if (Rhs(r) < 0.0) NegateRow(r);
+      At(r, art_cursor) = 1.0;
+      basis_[r] = art_cursor++;
+    }
+    // <= rows: add slack.
+    for (uint32_t r = 0; r < lp.ub.size(); ++r) {
+      const uint32_t row = static_cast<uint32_t>(lp.eq.size()) + r;
+      FillRow(row, lp.ub[r], n_struct_ + r);
+      if (Rhs(row) < 0.0) {
+        NegateRow(row);  // slack coefficient becomes -1, not basic-feasible
+        At(row, art_cursor) = 1.0;
+        basis_[row] = art_cursor++;
+      } else {
+        basis_[row] = n_struct_ + r;
+      }
+    }
+    RMGP_CHECK_EQ(art_cursor, n_total_);
+  }
+
+  /// Runs both phases; returns the solve status.
+  LpStatus Solve(const std::vector<double>& objective) {
+    // Phase 1: minimize the sum of artificials.
+    if (n_art_ > 0) {
+      SetPhase1Objective();
+      const LpStatus st = Optimize(/*restrict_artificials=*/false);
+      if (st != LpStatus::kOptimal) return st;
+      if (-At(m_, n_total_) > 1e-7) return LpStatus::kInfeasible;
+      PivotOutArtificials();
+    }
+    SetObjective(objective);
+    return Optimize(/*restrict_artificials=*/true);
+  }
+
+  /// Extracts structural variable values.
+  std::vector<double> Extract() const {
+    std::vector<double> x(n_struct_, 0.0);
+    for (uint32_t r = 0; r < m_; ++r) {
+      if (basis_[r] < n_struct_) x[basis_[r]] = Rhs(r);
+    }
+    return x;
+  }
+
+  uint64_t iterations() const { return iterations_; }
+
+ private:
+  double& At(uint32_t row, uint32_t col) {
+    return t_[static_cast<size_t>(row) * (n_total_ + 1) + col];
+  }
+  double At(uint32_t row, uint32_t col) const {
+    return t_[static_cast<size_t>(row) * (n_total_ + 1) + col];
+  }
+  double Rhs(uint32_t row) const { return At(row, n_total_); }
+
+  void FillRow(uint32_t row, const LinearProgram::Row& src,
+               uint32_t slack_col) {
+    for (const auto& [var, coeff] : src.coeffs) {
+      RMGP_CHECK_LT(var, n_struct_);
+      At(row, var) += coeff;
+    }
+    if (slack_col != UINT32_MAX) At(row, slack_col) = 1.0;
+    At(row, n_total_) = src.rhs;
+  }
+
+  void NegateRow(uint32_t row) {
+    double* p = &At(row, 0);
+    for (uint32_t c = 0; c <= n_total_; ++c) p[c] = -p[c];
+  }
+
+  /// Phase-1 objective: minimize Σ artificials. Reduced costs start as
+  /// -Σ(rows with artificial basis), expressed in terms of the nonbasic
+  /// variables.
+  void SetPhase1Objective() {
+    double* z = &At(m_, 0);
+    std::fill(z, z + n_total_ + 1, 0.0);
+    for (uint32_t c = n_struct_ + n_slack_; c < n_total_; ++c) z[c] = 1.0;
+    for (uint32_t r = 0; r < m_; ++r) {
+      if (basis_[r] >= n_struct_ + n_slack_) {
+        for (uint32_t c = 0; c <= n_total_; ++c) z[c] -= At(r, c);
+      }
+    }
+  }
+
+  /// Installs the phase-2 objective, priced out against the current basis.
+  void SetObjective(const std::vector<double>& objective) {
+    double* z = &At(m_, 0);
+    std::fill(z, z + n_total_ + 1, 0.0);
+    for (uint32_t c = 0; c < n_struct_; ++c) z[c] = objective[c];
+    for (uint32_t r = 0; r < m_; ++r) {
+      const uint32_t b = basis_[r];
+      const double cb = (b < n_struct_) ? objective[b] : 0.0;
+      if (cb != 0.0) {
+        for (uint32_t c = 0; c <= n_total_; ++c) z[c] -= cb * At(r, c);
+      }
+    }
+  }
+
+  /// After phase 1: any artificial still basic sits at value 0; pivot it
+  /// out on any eligible column, or leave it (it can never re-enter).
+  void PivotOutArtificials() {
+    for (uint32_t r = 0; r < m_; ++r) {
+      if (basis_[r] < n_struct_ + n_slack_) continue;
+      for (uint32_t c = 0; c < n_struct_ + n_slack_; ++c) {
+        if (std::abs(At(r, c)) > options_.eps) {
+          Pivot(r, c);
+          break;
+        }
+      }
+    }
+  }
+
+  void Pivot(uint32_t prow, uint32_t pcol) {
+    const double pivot = At(prow, pcol);
+    const double inv = 1.0 / pivot;
+    double* prow_p = &At(prow, 0);
+    for (uint32_t c = 0; c <= n_total_; ++c) prow_p[c] *= inv;
+    prow_p[pcol] = 1.0;
+    for (uint32_t r = 0; r <= m_; ++r) {
+      if (r == prow) continue;
+      const double factor = At(r, pcol);
+      if (factor == 0.0) continue;
+      double* rp = &At(r, 0);
+      for (uint32_t c = 0; c <= n_total_; ++c) rp[c] -= factor * prow_p[c];
+      rp[pcol] = 0.0;
+    }
+    basis_[prow] = pcol;
+    ++iterations_;
+  }
+
+  LpStatus Optimize(bool restrict_artificials) {
+    const uint32_t limit_col =
+        restrict_artificials ? n_struct_ + n_slack_ : n_total_;
+    uint64_t stalled = 0;
+    double last_obj = -At(m_, n_total_);
+    while (iterations_ < options_.max_iterations) {
+      // Pricing: Dantzig (most negative reduced cost); Bland's rule when
+      // the objective has stalled, to break cycles.
+      const bool bland = stalled > 64;
+      uint32_t enter = UINT32_MAX;
+      double best = -options_.eps;
+      for (uint32_t c = 0; c < limit_col; ++c) {
+        const double rc = At(m_, c);
+        if (rc < best) {
+          enter = c;
+          if (bland) break;
+          best = rc;
+        }
+      }
+      if (enter == UINT32_MAX) return LpStatus::kOptimal;
+
+      // Ratio test (Bland tie-break on basic variable index).
+      uint32_t leave = UINT32_MAX;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (uint32_t r = 0; r < m_; ++r) {
+        const double a = At(r, enter);
+        if (a > options_.eps) {
+          const double ratio = Rhs(r) / a;
+          if (ratio < best_ratio - 1e-12 ||
+              (ratio < best_ratio + 1e-12 && leave != UINT32_MAX &&
+               basis_[r] < basis_[leave])) {
+            best_ratio = ratio;
+            leave = r;
+          }
+        }
+      }
+      if (leave == UINT32_MAX) return LpStatus::kUnbounded;
+      Pivot(leave, enter);
+
+      const double obj = -At(m_, n_total_);
+      if (obj < last_obj - 1e-12) {
+        stalled = 0;
+        last_obj = obj;
+      } else {
+        ++stalled;
+      }
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  SimplexOptions options_;
+  uint32_t n_struct_ = 0, n_slack_ = 0, n_art_ = 0, n_total_ = 0, m_ = 0;
+  std::vector<double> t_;
+  std::vector<uint32_t> basis_;
+  std::vector<bool> needs_art_;
+  uint64_t iterations_ = 0;
+};
+
+}  // namespace
+
+Result<LpSolution> SolveSimplex(const LinearProgram& lp,
+                                const SimplexOptions& options) {
+  if (lp.objective.size() != lp.num_vars) {
+    return Status::InvalidArgument("objective size != num_vars");
+  }
+  for (const auto* rows : {&lp.eq, &lp.ub}) {
+    for (const auto& row : *rows) {
+      for (const auto& [var, coeff] : row.coeffs) {
+        (void)coeff;
+        if (var >= lp.num_vars) {
+          return Status::InvalidArgument("constraint references bad variable");
+        }
+      }
+    }
+  }
+
+  Tableau tableau(lp, options);
+  LpSolution sol;
+  sol.status = tableau.Solve(lp.objective);
+  sol.iterations = tableau.iterations();
+  if (sol.status == LpStatus::kOptimal) {
+    sol.x = tableau.Extract();
+    sol.objective = 0.0;
+    for (uint32_t c = 0; c < lp.num_vars; ++c) {
+      sol.objective += lp.objective[c] * sol.x[c];
+    }
+  }
+  return sol;
+}
+
+}  // namespace rmgp

@@ -1,0 +1,59 @@
+#ifndef RMGP_LP_SIMPLEX_H_
+#define RMGP_LP_SIMPLEX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rmgp {
+
+/// A linear program in the form
+///   minimize    cᵀx
+///   subject to  A_eq·x  =  b_eq
+///               A_ub·x  <= b_ub
+///               x >= 0
+/// Rows are stored sparsely; the solver densifies internally.
+///
+/// This is the substrate for the UML_lp baseline (Kleinberg–Tardos LP
+/// relaxation); the paper used CVX, which is unavailable offline — see
+/// DESIGN.md §5.
+struct LinearProgram {
+  /// One sparse constraint row: Σ coeffs·x = / <= rhs.
+  struct Row {
+    std::vector<std::pair<uint32_t, double>> coeffs;  // (var index, value)
+    double rhs = 0.0;
+  };
+
+  uint32_t num_vars = 0;
+  std::vector<double> objective;  // size num_vars
+  std::vector<Row> eq;
+  std::vector<Row> ub;
+};
+
+/// Outcome of a simplex solve.
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  std::vector<double> x;   // size num_vars (valid when kOptimal)
+  double objective = 0.0;  // cᵀx (valid when kOptimal)
+  uint64_t iterations = 0;
+};
+
+struct SimplexOptions {
+  uint64_t max_iterations = 2'000'000;
+  /// Pivot tolerance.
+  double eps = 1e-9;
+};
+
+/// Two-phase dense tableau simplex. Dantzig pricing with a Bland's-rule
+/// fallback for anti-cycling. Intended for the small instances UML methods
+/// target (the paper evaluates them on graphs of a few hundred nodes).
+Result<LpSolution> SolveSimplex(const LinearProgram& lp,
+                                const SimplexOptions& options = {});
+
+}  // namespace rmgp
+
+#endif  // RMGP_LP_SIMPLEX_H_

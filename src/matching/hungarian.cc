@@ -1,0 +1,78 @@
+#include "matching/hungarian.h"
+
+#include <limits>
+
+namespace rmgp {
+
+Result<AssignmentSolution> SolveAssignment(const std::vector<double>& cost,
+                                           uint32_t rows, uint32_t cols) {
+  if (rows == 0) return AssignmentSolution{};
+  if (rows > cols) {
+    return Status::InvalidArgument("assignment requires rows <= cols");
+  }
+  if (cost.size() != static_cast<size_t>(rows) * cols) {
+    return Status::InvalidArgument("cost matrix size mismatch");
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // 1-based arrays per the classical formulation; p[j] is the row matched
+  // to column j (0 = none), u/v are the dual potentials.
+  std::vector<double> u(rows + 1, 0.0), v(cols + 1, 0.0);
+  std::vector<uint32_t> p(cols + 1, 0), way(cols + 1, 0);
+
+  auto c = [&](uint32_t i, uint32_t j) {  // 1-based accessor
+    return cost[static_cast<size_t>(i - 1) * cols + (j - 1)];
+  };
+
+  for (uint32_t i = 1; i <= rows; ++i) {
+    p[0] = i;
+    uint32_t j0 = 0;
+    std::vector<double> minv(cols + 1, kInf);
+    std::vector<bool> used(cols + 1, false);
+    do {
+      used[j0] = true;
+      const uint32_t i0 = p[j0];
+      double delta = kInf;
+      uint32_t j1 = 0;
+      for (uint32_t j = 1; j <= cols; ++j) {
+        if (used[j]) continue;
+        const double cur = c(i0, j) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (uint32_t j = 0; j <= cols; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const uint32_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentSolution sol;
+  sol.col_of_row.assign(rows, UINT32_MAX);
+  for (uint32_t j = 1; j <= cols; ++j) {
+    if (p[j] != 0) sol.col_of_row[p[j] - 1] = j - 1;
+  }
+  for (uint32_t i = 0; i < rows; ++i) {
+    sol.total_cost += cost[static_cast<size_t>(i) * cols + sol.col_of_row[i]];
+  }
+  return sol;
+}
+
+}  // namespace rmgp

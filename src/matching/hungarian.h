@@ -1,0 +1,30 @@
+#ifndef RMGP_MATCHING_HUNGARIAN_H_
+#define RMGP_MATCHING_HUNGARIAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Result of a rectangular assignment: row i is matched to column
+/// `col_of_row[i]`; `total_cost` is the sum of the matched entries.
+struct AssignmentSolution {
+  std::vector<uint32_t> col_of_row;
+  double total_cost = 0.0;
+};
+
+/// Hungarian algorithm (Jonker–Volgenant-style O(n²m) shortest augmenting
+/// paths with potentials) for the rectangular assignment problem:
+/// minimize Σ cost[i][col_of_row[i]] over injective row→column maps.
+///
+/// `cost` is row-major with `rows` rows and `cols` columns; requires
+/// rows <= cols. Substrate for the Metis–Hungarian baseline, which assigns
+/// each k-way partition to a distinct event (§6.1).
+Result<AssignmentSolution> SolveAssignment(const std::vector<double>& cost,
+                                           uint32_t rows, uint32_t cols);
+
+}  // namespace rmgp
+
+#endif  // RMGP_MATCHING_HUNGARIAN_H_

@@ -1,0 +1,278 @@
+#include "partition/kway.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+/// One level of the multilevel hierarchy.
+struct Level {
+  Graph graph;
+  std::vector<uint64_t> node_weight;   // merged fine-node count
+  std::vector<NodeId> fine_to_coarse;  // size of the finer level's |V|
+};
+
+/// Heavy-edge matching: each unmatched node pairs with its unmatched
+/// neighbor of maximum edge weight. Returns coarse node count and the
+/// fine→coarse map.
+NodeId HeavyEdgeMatching(const Graph& g, Rng* rng,
+                         std::vector<NodeId>* fine_to_coarse) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  constexpr NodeId kUnmatched = UINT32_MAX;
+  std::vector<NodeId> match(n, kUnmatched);
+  for (NodeId v : order) {
+    if (match[v] != kUnmatched) continue;
+    NodeId best = kUnmatched;
+    double best_w = -1.0;
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (match[nb.node] == kUnmatched && nb.node != v &&
+          nb.weight > best_w) {
+        best_w = nb.weight;
+        best = nb.node;
+      }
+    }
+    if (best != kUnmatched) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;  // stays single
+    }
+  }
+
+  fine_to_coarse->assign(n, UINT32_MAX);
+  NodeId next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if ((*fine_to_coarse)[v] != UINT32_MAX) continue;
+    (*fine_to_coarse)[v] = next;
+    const NodeId m = match[v];
+    if (m != v && m != kUnmatched) (*fine_to_coarse)[m] = next;
+    ++next;
+  }
+  return next;
+}
+
+Level Coarsen(const Graph& g, const std::vector<uint64_t>& node_weight,
+              Rng* rng) {
+  Level out;
+  const NodeId coarse_n = HeavyEdgeMatching(g, rng, &out.fine_to_coarse);
+  out.node_weight.assign(coarse_n, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out.node_weight[out.fine_to_coarse[v]] += node_weight[v];
+  }
+  GraphBuilder b(coarse_n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (v < nb.node) {
+        const NodeId cu = out.fine_to_coarse[v];
+        const NodeId cv = out.fine_to_coarse[nb.node];
+        if (cu != cv) {
+          RMGP_CHECK(b.AddEdge(cu, cv, nb.weight).ok());
+        }
+      }
+    }
+  }
+  out.graph = std::move(b).Build();
+  return out;
+}
+
+/// Greedy graph growing: k spread-out seeds, BFS frontier assignment with
+/// the lightest part expanding first.
+std::vector<uint32_t> InitialPartition(const Graph& g,
+                                       const std::vector<uint64_t>& nw,
+                                       uint32_t k, Rng* rng) {
+  const NodeId n = g.num_nodes();
+  std::vector<uint32_t> part(n, UINT32_MAX);
+  if (k >= n) {
+    for (NodeId v = 0; v < n; ++v) part[v] = v % k;
+    return part;
+  }
+  std::vector<uint64_t> weight(k, 0);
+  std::vector<std::queue<NodeId>> frontier(k);
+  // Seeds: random distinct nodes.
+  std::vector<uint32_t> seeds = rng->SampleWithoutReplacement(n, k);
+  for (uint32_t p = 0; p < k; ++p) {
+    part[seeds[p]] = p;
+    weight[p] += nw[seeds[p]];
+    frontier[p].push(seeds[p]);
+  }
+  NodeId assigned = k;
+  while (assigned < n) {
+    // The lightest part with a non-empty frontier grows next.
+    uint32_t best = UINT32_MAX;
+    for (uint32_t p = 0; p < k; ++p) {
+      if (!frontier[p].empty() &&
+          (best == UINT32_MAX || weight[p] < weight[best])) {
+        best = p;
+      }
+    }
+    if (best == UINT32_MAX) {
+      // Disconnected remainder: seed the lightest part somewhere fresh.
+      best = static_cast<uint32_t>(
+          std::min_element(weight.begin(), weight.end()) - weight.begin());
+      for (NodeId v = 0; v < n; ++v) {
+        if (part[v] == UINT32_MAX) {
+          part[v] = best;
+          weight[best] += nw[v];
+          frontier[best].push(v);
+          ++assigned;
+          break;
+        }
+      }
+      continue;
+    }
+    // Pop until we find a frontier node with an unassigned neighbor.
+    bool grew = false;
+    while (!frontier[best].empty() && !grew) {
+      const NodeId v = frontier[best].front();
+      bool exhausted = true;
+      for (const Neighbor& nb : g.neighbors(v)) {
+        if (part[nb.node] == UINT32_MAX) {
+          part[nb.node] = best;
+          weight[best] += nw[nb.node];
+          frontier[best].push(nb.node);
+          ++assigned;
+          grew = true;
+          exhausted = false;
+          break;
+        }
+      }
+      if (exhausted) frontier[best].pop();
+    }
+  }
+  return part;
+}
+
+/// Greedy boundary refinement: move nodes to the adjacent part with the
+/// highest positive gain, subject to the balance bound.
+void Refine(const Graph& g, const std::vector<uint64_t>& nw, uint32_t k,
+            double max_part_weight, uint32_t passes,
+            std::vector<uint32_t>* part) {
+  const NodeId n = g.num_nodes();
+  std::vector<uint64_t> weight(k, 0);
+  for (NodeId v = 0; v < n; ++v) weight[(*part)[v]] += nw[v];
+
+  std::vector<double> conn(k, 0.0);
+  std::vector<uint32_t> touched;
+  for (uint32_t pass = 0; pass < passes; ++pass) {
+    uint64_t moves = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const uint32_t from = (*part)[v];
+      touched.clear();
+      for (const Neighbor& nb : g.neighbors(v)) {
+        const uint32_t p = (*part)[nb.node];
+        if (conn[p] == 0.0) touched.push_back(p);
+        conn[p] += nb.weight;
+      }
+      double best_gain = 0.0;
+      uint32_t best_part = from;
+      for (uint32_t p : touched) {
+        if (p == from) continue;
+        const double gain = conn[p] - conn[from];
+        if (gain > best_gain + 1e-12 &&
+            static_cast<double>(weight[p] + nw[v]) <= max_part_weight) {
+          best_gain = gain;
+          best_part = p;
+        }
+      }
+      for (uint32_t p : touched) conn[p] = 0.0;
+      if (best_part != from) {
+        weight[from] -= nw[v];
+        weight[best_part] += nw[v];
+        (*part)[v] = best_part;
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+  }
+}
+
+}  // namespace
+
+double CutWeight(const Graph& g, const std::vector<uint32_t>& part) {
+  RMGP_CHECK_EQ(part.size(), g.num_nodes());
+  double cut = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (v < nb.node && part[v] != part[nb.node]) cut += nb.weight;
+    }
+  }
+  return cut;
+}
+
+Result<PartitionResult> KWayPartition(const Graph& g,
+                                      const PartitionOptions& options) {
+  const uint32_t k = options.num_parts;
+  if (k == 0) return Status::InvalidArgument("num_parts must be positive");
+  if (options.imbalance < 1.0) {
+    return Status::InvalidArgument("imbalance must be >= 1.0");
+  }
+  PartitionResult result;
+  if (g.num_nodes() == 0) return result;
+  if (k == 1) {
+    result.part.assign(g.num_nodes(), 0);
+    return result;
+  }
+
+  Rng rng(options.seed);
+
+  // ---- Coarsening phase.
+  std::vector<Level> levels;
+  {
+    Level base;
+    base.graph = g;  // copy of the CSR arrays
+    base.node_weight.assign(g.num_nodes(), 1);
+    levels.push_back(std::move(base));
+  }
+  const NodeId stop_at = std::max<NodeId>(
+      options.min_coarse_nodes,
+      static_cast<NodeId>(options.coarse_nodes_per_part) * k);
+  while (levels.back().graph.num_nodes() > stop_at) {
+    Level next =
+        Coarsen(levels.back().graph, levels.back().node_weight, &rng);
+    // Bail if matching stops shrinking the graph (e.g., star graphs).
+    if (next.graph.num_nodes() >
+        0.95 * static_cast<double>(levels.back().graph.num_nodes())) {
+      break;
+    }
+    levels.push_back(std::move(next));
+  }
+
+  // ---- Initial partition on the coarsest level.
+  const Level& coarsest = levels.back();
+  const uint64_t total_weight = g.num_nodes();
+  const double max_part_weight =
+      options.imbalance * static_cast<double>(total_weight) / k;
+  std::vector<uint32_t> part =
+      InitialPartition(coarsest.graph, coarsest.node_weight, k, &rng);
+  Refine(coarsest.graph, coarsest.node_weight, k, max_part_weight,
+         options.refine_passes, &part);
+
+  // ---- Uncoarsening with refinement.
+  for (size_t li = levels.size(); li-- > 1;) {
+    const Level& level = levels[li];
+    const Level& finer = levels[li - 1];
+    std::vector<uint32_t> fine_part(finer.graph.num_nodes());
+    for (NodeId v = 0; v < finer.graph.num_nodes(); ++v) {
+      fine_part[v] = part[level.fine_to_coarse[v]];
+    }
+    part = std::move(fine_part);
+    Refine(finer.graph, finer.node_weight, k, max_part_weight,
+           options.refine_passes, &part);
+  }
+
+  result.part = std::move(part);
+  result.cut_weight = CutWeight(g, result.part);
+  return result;
+}
+
+}  // namespace rmgp

@@ -1,0 +1,48 @@
+#ifndef RMGP_PARTITION_KWAY_H_
+#define RMGP_PARTITION_KWAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Options for the multilevel k-way partitioner ("mini-METIS"), the
+/// substrate of the Metis–Hungarian benchmark (§6.1). The paper computes a
+/// *minimum unbalanced* k-way social cut; a loose `imbalance` reproduces
+/// that behavior.
+struct PartitionOptions {
+  uint32_t num_parts = 2;
+  /// Maximum part weight as a multiple of the average (1.0 = perfectly
+  /// balanced). The MH benchmark uses a loose bound since RMGP classes have
+  /// no size constraints.
+  double imbalance = 1.5;
+  uint64_t seed = 17;
+  /// Coarsening stops once the graph has at most
+  /// max(min_coarse_nodes, coarse_nodes_per_part · k) nodes.
+  uint32_t min_coarse_nodes = 128;
+  uint32_t coarse_nodes_per_part = 30;
+  /// Boundary-refinement passes per level.
+  uint32_t refine_passes = 8;
+};
+
+/// A k-way node partition and its edge cut.
+struct PartitionResult {
+  std::vector<uint32_t> part;  // part id per node, in [0, num_parts)
+  double cut_weight = 0.0;     // Σ w_e over edges crossing parts
+};
+
+/// Total weight of edges whose endpoints lie in different parts.
+double CutWeight(const Graph& g, const std::vector<uint32_t>& part);
+
+/// Multilevel k-way partitioning: heavy-edge-matching coarsening, greedy
+/// region-growing initial partition on the coarsest graph, and greedy
+/// boundary Kernighan–Lin refinement during uncoarsening.
+Result<PartitionResult> KWayPartition(const Graph& g,
+                                      const PartitionOptions& options);
+
+}  // namespace rmgp
+
+#endif  // RMGP_PARTITION_KWAY_H_

@@ -1,0 +1,40 @@
+#include "spatial/estimators.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace rmgp {
+
+DistanceEstimates EstimateDistances(const std::vector<Point>& users,
+                                    const std::vector<Point>& events,
+                                    uint32_t max_sampled_users,
+                                    uint64_t seed) {
+  RMGP_CHECK(!users.empty());
+  RMGP_CHECK(!events.empty());
+
+  std::vector<uint32_t> sample;
+  if (users.size() > max_sampled_users) {
+    Rng rng(seed);
+    sample = rng.SampleWithoutReplacement(
+        static_cast<uint32_t>(users.size()), max_sampled_users);
+  } else {
+    sample.resize(users.size());
+    for (uint32_t i = 0; i < users.size(); ++i) sample[i] = i;
+  }
+
+  RunningStats min_stats, med_stats;
+  std::vector<double> dists(events.size());
+  for (uint32_t ui : sample) {
+    for (size_t j = 0; j < events.size(); ++j) {
+      dists[j] = Distance(users[ui], events[j]);
+    }
+    min_stats.Add(*std::min_element(dists.begin(), dists.end()));
+    med_stats.Add(Median(dists));
+  }
+  return {min_stats.mean(), med_stats.mean()};
+}
+
+}  // namespace rmgp

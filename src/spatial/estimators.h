@@ -1,0 +1,32 @@
+#ifndef RMGP_SPATIAL_ESTIMATORS_H_
+#define RMGP_SPATIAL_ESTIMATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/point.h"
+
+namespace rmgp {
+
+/// Estimates of the distance statistics the normalization constants of
+/// §3.3 need: dist_min (average over users of the minimum user-event
+/// distance) and dist_med (average over users of the median user-event
+/// distance).
+struct DistanceEstimates {
+  double dist_min = 0.0;
+  double dist_med = 0.0;
+};
+
+/// Computes dist_min / dist_med over `users` × `events`.
+/// When users.size() > max_sampled_users, a deterministic sample of
+/// `max_sampled_users` users (seeded by `seed`) stands in for the full set —
+/// the paper computes these "at an initialization phase" or via cost models;
+/// sampling keeps that phase cheap on the Foursquare scale.
+DistanceEstimates EstimateDistances(const std::vector<Point>& users,
+                                    const std::vector<Point>& events,
+                                    uint32_t max_sampled_users = 2000,
+                                    uint64_t seed = 7);
+
+}  // namespace rmgp
+
+#endif  // RMGP_SPATIAL_ESTIMATORS_H_

@@ -1,0 +1,58 @@
+#include "spatial/geo_generator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rmgp {
+
+GeoGenerator::GeoGenerator(std::vector<GeoCluster> clusters, uint64_t seed)
+    : clusters_(std::move(clusters)), rng_(seed) {
+  RMGP_CHECK(!clusters_.empty());
+  double total = 0.0;
+  cum_weight_.reserve(clusters_.size());
+  for (const GeoCluster& c : clusters_) {
+    RMGP_CHECK_GT(c.weight, 0.0);
+    total += c.weight;
+    cum_weight_.push_back(total);
+  }
+  for (double& w : cum_weight_) w /= total;
+}
+
+size_t GeoGenerator::PickCluster() {
+  const double u = rng_.UniformDouble();
+  auto it = std::upper_bound(cum_weight_.begin(), cum_weight_.end(), u);
+  size_t idx = static_cast<size_t>(it - cum_weight_.begin());
+  return std::min(idx, clusters_.size() - 1);
+}
+
+Point GeoGenerator::Sample() {
+  const GeoCluster& c = clusters_[PickCluster()];
+  return {rng_.Gaussian(c.center.x, c.stddev),
+          rng_.Gaussian(c.center.y, c.stddev)};
+}
+
+std::vector<Point> GeoGenerator::SampleMany(size_t n) {
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Sample());
+  return out;
+}
+
+Point GeoGenerator::SampleNearCenter(double center_concentration) {
+  const GeoCluster& c = clusters_[PickCluster()];
+  const double s = c.stddev * center_concentration;
+  return {rng_.Gaussian(c.center.x, s), rng_.Gaussian(c.center.y, s)};
+}
+
+std::vector<Point> GeoGenerator::SampleVenues(size_t n,
+                                              double center_concentration) {
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(SampleNearCenter(center_concentration));
+  }
+  return out;
+}
+
+}  // namespace rmgp

@@ -1,0 +1,53 @@
+#ifndef RMGP_SPATIAL_GEO_GENERATOR_H_
+#define RMGP_SPATIAL_GEO_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/point.h"
+#include "util/rng.h"
+
+namespace rmgp {
+
+/// One Gaussian population cluster (a "metro area"): check-ins concentrate
+/// around `center` with isotropic standard deviation `stddev`; `weight` is
+/// the relative share of users drawn from it.
+struct GeoCluster {
+  Point center;
+  double stddev = 1.0;
+  double weight = 1.0;
+};
+
+/// Gaussian-mixture generator for geo-social check-in locations. The
+/// Gowalla-like dataset uses two clusters ~300 km apart (Dallas & Austin);
+/// the Foursquare-like dataset uses many clusters.
+class GeoGenerator {
+ public:
+  /// `clusters` must be non-empty with positive weights.
+  GeoGenerator(std::vector<GeoCluster> clusters, uint64_t seed);
+
+  /// Draws one check-in location.
+  Point Sample();
+
+  /// Draws `n` check-in locations.
+  std::vector<Point> SampleMany(size_t n);
+
+  /// Draws a point near a cluster center (stddev scaled by
+  /// `center_concentration` < 1), modeling event venues that sit in town
+  /// centers rather than suburbs.
+  Point SampleNearCenter(double center_concentration = 0.3);
+
+  /// Draws `n` venue locations via SampleNearCenter.
+  std::vector<Point> SampleVenues(size_t n, double center_concentration = 0.3);
+
+ private:
+  size_t PickCluster();
+
+  std::vector<GeoCluster> clusters_;
+  std::vector<double> cum_weight_;
+  Rng rng_;
+};
+
+}  // namespace rmgp
+
+#endif  // RMGP_SPATIAL_GEO_GENERATOR_H_

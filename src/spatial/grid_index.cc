@@ -1,0 +1,100 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace rmgp {
+
+GridIndex::GridIndex(std::vector<Point> points, uint32_t cells_per_axis)
+    : points_(std::move(points)) {
+  RMGP_CHECK(!points_.empty());
+  box_ = ComputeBoundingBox(points_);
+  nx_ = std::max<uint32_t>(1, cells_per_axis);
+  ny_ = nx_;
+  cell_w_ = std::max(box_.width() / nx_, 1e-12);
+  cell_h_ = std::max(box_.height() / ny_, 1e-12);
+  cells_.resize(static_cast<size_t>(nx_) * ny_);
+  for (uint32_t i = 0; i < points_.size(); ++i) {
+    cells_[static_cast<size_t>(CellY(points_[i].y)) * nx_ +
+           CellX(points_[i].x)]
+        .push_back(i);
+  }
+}
+
+uint32_t GridIndex::CellX(double x) const {
+  double t = (x - box_.min.x) / cell_w_;
+  if (t < 0) t = 0;
+  uint32_t c = static_cast<uint32_t>(t);
+  return std::min(c, nx_ - 1);
+}
+
+uint32_t GridIndex::CellY(double y) const {
+  double t = (y - box_.min.y) / cell_h_;
+  if (t < 0) t = 0;
+  uint32_t c = static_cast<uint32_t>(t);
+  return std::min(c, ny_ - 1);
+}
+
+uint32_t GridIndex::Nearest(const Point& q) const {
+  const uint32_t qx = CellX(q.x);
+  const uint32_t qy = CellY(q.y);
+  uint32_t best = UINT32_MAX;
+  double best_d2 = std::numeric_limits<double>::infinity();
+
+  // Expand ring by ring around the query cell; stop once the closest
+  // possible point in the next ring cannot beat the current best.
+  const uint32_t max_ring = std::max(nx_, ny_);
+  for (uint32_t ring = 0; ring <= max_ring; ++ring) {
+    if (best != UINT32_MAX) {
+      // Minimum distance from q to the boundary of the ring-away cells.
+      const double ring_dist =
+          (ring > 0 ? (ring - 1) * std::min(cell_w_, cell_h_) : 0.0);
+      if (ring_dist * ring_dist > best_d2) break;
+    }
+    const int64_t lo_x = static_cast<int64_t>(qx) - ring;
+    const int64_t hi_x = static_cast<int64_t>(qx) + ring;
+    const int64_t lo_y = static_cast<int64_t>(qy) - ring;
+    const int64_t hi_y = static_cast<int64_t>(qy) + ring;
+    for (int64_t cy = lo_y; cy <= hi_y; ++cy) {
+      if (cy < 0 || cy >= ny_) continue;
+      for (int64_t cx = lo_x; cx <= hi_x; ++cx) {
+        if (cx < 0 || cx >= nx_) continue;
+        // Only the ring boundary is new.
+        if (ring > 0 && cx != lo_x && cx != hi_x && cy != lo_y && cy != hi_y) {
+          continue;
+        }
+        for (uint32_t idx :
+             Cell(static_cast<uint32_t>(cx), static_cast<uint32_t>(cy))) {
+          const double d2 = DistanceSquared(q, points_[idx]);
+          if (d2 < best_d2 || (d2 == best_d2 && idx < best)) {
+            best_d2 = d2;
+            best = idx;
+          }
+        }
+      }
+    }
+  }
+  RMGP_CHECK_NE(best, UINT32_MAX);
+  return best;
+}
+
+std::vector<uint32_t> GridIndex::Range(const BoundingBox& box) const {
+  std::vector<uint32_t> out;
+  const uint32_t lo_x = CellX(box.min.x);
+  const uint32_t hi_x = CellX(box.max.x);
+  const uint32_t lo_y = CellY(box.min.y);
+  const uint32_t hi_y = CellY(box.max.y);
+  for (uint32_t cy = lo_y; cy <= hi_y; ++cy) {
+    for (uint32_t cx = lo_x; cx <= hi_x; ++cx) {
+      for (uint32_t idx : Cell(cx, cy)) {
+        if (box.Contains(points_[idx])) out.push_back(idx);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rmgp

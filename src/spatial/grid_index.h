@@ -1,0 +1,52 @@
+#ifndef RMGP_SPATIAL_GRID_INDEX_H_
+#define RMGP_SPATIAL_GRID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/point.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Uniform-grid spatial index over a static set of points (the events of an
+/// LAGP task). Supports nearest-neighbor and axis-aligned range queries.
+/// Used for closest-event initialization and for restricting a game to an
+/// area of interest (§5's decentralized scenario) without scanning all
+/// events.
+class GridIndex {
+ public:
+  /// Builds an index over `points` with roughly `cells_per_axis`² cells.
+  /// `points` must be non-empty.
+  explicit GridIndex(std::vector<Point> points, uint32_t cells_per_axis = 32);
+
+  /// Index of the point nearest to `q` (ties broken by lower index).
+  uint32_t Nearest(const Point& q) const;
+
+  /// Indices of all points inside `box`, ascending.
+  std::vector<uint32_t> Range(const BoundingBox& box) const;
+
+  /// Number of indexed points.
+  size_t size() const { return points_.size(); }
+
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  uint32_t CellX(double x) const;
+  uint32_t CellY(double y) const;
+  const std::vector<uint32_t>& Cell(uint32_t cx, uint32_t cy) const {
+    return cells_[static_cast<size_t>(cy) * nx_ + cx];
+  }
+
+  std::vector<Point> points_;
+  BoundingBox box_;
+  uint32_t nx_ = 1;
+  uint32_t ny_ = 1;
+  double cell_w_ = 1.0;
+  double cell_h_ = 1.0;
+  std::vector<std::vector<uint32_t>> cells_;
+};
+
+}  // namespace rmgp
+
+#endif  // RMGP_SPATIAL_GRID_INDEX_H_

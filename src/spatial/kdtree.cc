@@ -1,0 +1,108 @@
+#include "spatial/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace rmgp {
+namespace {
+
+double Coord(const Point& p, uint8_t axis) { return axis == 0 ? p.x : p.y; }
+
+}  // namespace
+
+KdTree::KdTree(std::vector<Point> points) : points_(std::move(points)) {
+  RMGP_CHECK(!points_.empty());
+  nodes_.reserve(points_.size());
+  std::vector<uint32_t> indices(points_.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  root_ = BuildRecursive(indices.data(), indices.data() + indices.size(), 0);
+}
+
+uint32_t KdTree::BuildRecursive(uint32_t* begin, uint32_t* end, int depth) {
+  if (begin == end) return UINT32_MAX;
+  const uint8_t axis = static_cast<uint8_t>(depth % 2);
+  uint32_t* mid = begin + (end - begin) / 2;
+  std::nth_element(begin, mid, end, [&](uint32_t a, uint32_t b) {
+    const double ca = Coord(points_[a], axis);
+    const double cb = Coord(points_[b], axis);
+    return ca != cb ? ca < cb : a < b;
+  });
+  const uint32_t node_index = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back({*mid, UINT32_MAX, UINT32_MAX, axis});
+  const uint32_t left = BuildRecursive(begin, mid, depth + 1);
+  const uint32_t right = BuildRecursive(mid + 1, end, depth + 1);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+void KdTree::NearestRecursive(uint32_t node, const Point& q, uint32_t* best,
+                              double* best_d2) const {
+  if (node == UINT32_MAX) return;
+  const Node& n = nodes_[node];
+  const Point& p = points_[n.point_index];
+  const double d2 = DistanceSquared(q, p);
+  if (d2 < *best_d2 || (d2 == *best_d2 && n.point_index < *best)) {
+    *best_d2 = d2;
+    *best = n.point_index;
+  }
+  const double diff = Coord(q, n.axis) - Coord(p, n.axis);
+  const uint32_t near_child = diff <= 0 ? n.left : n.right;
+  const uint32_t far_child = diff <= 0 ? n.right : n.left;
+  NearestRecursive(near_child, q, best, best_d2);
+  if (diff * diff <= *best_d2) {
+    NearestRecursive(far_child, q, best, best_d2);
+  }
+}
+
+uint32_t KdTree::Nearest(const Point& q) const {
+  uint32_t best = UINT32_MAX;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  NearestRecursive(root_, q, &best, &best_d2);
+  return best;
+}
+
+void KdTree::KNearestRecursive(
+    uint32_t node, const Point& q, uint32_t count,
+    std::vector<std::pair<double, uint32_t>>* heap) const {
+  if (node == UINT32_MAX) return;
+  const Node& n = nodes_[node];
+  const Point& p = points_[n.point_index];
+  const double d2 = DistanceSquared(q, p);
+  if (heap->size() < count) {
+    heap->push_back({d2, n.point_index});
+    std::push_heap(heap->begin(), heap->end());
+  } else if (d2 < heap->front().first) {
+    std::pop_heap(heap->begin(), heap->end());
+    heap->back() = {d2, n.point_index};
+    std::push_heap(heap->begin(), heap->end());
+  }
+  const double diff = Coord(q, n.axis) - Coord(p, n.axis);
+  const uint32_t near_child = diff <= 0 ? n.left : n.right;
+  const uint32_t far_child = diff <= 0 ? n.right : n.left;
+  KNearestRecursive(near_child, q, count, heap);
+  if (heap->size() < count || diff * diff <= heap->front().first) {
+    KNearestRecursive(far_child, q, count, heap);
+  }
+}
+
+std::vector<uint32_t> KdTree::KNearest(const Point& q,
+                                       uint32_t count) const {
+  count = std::min<uint32_t>(count, static_cast<uint32_t>(points_.size()));
+  std::vector<std::pair<double, uint32_t>> heap;
+  heap.reserve(count);
+  KNearestRecursive(root_, q, count, &heap);
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<uint32_t> out;
+  out.reserve(heap.size());
+  for (const auto& [d2, idx] : heap) {
+    (void)d2;
+    out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace rmgp

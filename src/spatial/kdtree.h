@@ -1,0 +1,52 @@
+#ifndef RMGP_SPATIAL_KDTREE_H_
+#define RMGP_SPATIAL_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/point.h"
+
+namespace rmgp {
+
+/// Static 2-D k-d tree over a point set. Alternative to GridIndex for
+/// nearest-neighbor queries when the event distribution is highly skewed
+/// (grids degrade when most points share a cell). Build O(n log n),
+/// query O(log n) expected.
+class KdTree {
+ public:
+  /// Builds the tree; `points` must be non-empty.
+  explicit KdTree(std::vector<Point> points);
+
+  /// Index of the point nearest to `q` (ties broken by lower index).
+  uint32_t Nearest(const Point& q) const;
+
+  /// Indices of the `count` points nearest to `q`, closest first
+  /// (count clamped to size()).
+  std::vector<uint32_t> KNearest(const Point& q, uint32_t count) const;
+
+  size_t size() const { return points_.size(); }
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  struct Node {
+    uint32_t point_index;  // index into points_
+    uint32_t left = UINT32_MAX;
+    uint32_t right = UINT32_MAX;
+    uint8_t axis = 0;  // 0 = x, 1 = y
+  };
+
+  uint32_t BuildRecursive(uint32_t* begin, uint32_t* end, int depth);
+  void NearestRecursive(uint32_t node, const Point& q, uint32_t* best,
+                        double* best_d2) const;
+  void KNearestRecursive(uint32_t node, const Point& q, uint32_t count,
+                         std::vector<std::pair<double, uint32_t>>* heap)
+      const;
+
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = UINT32_MAX;
+};
+
+}  // namespace rmgp
+
+#endif  // RMGP_SPATIAL_KDTREE_H_

@@ -1,0 +1,14 @@
+#include "spatial/point.h"
+
+#include "util/logging.h"
+
+namespace rmgp {
+
+BoundingBox ComputeBoundingBox(const std::vector<Point>& points) {
+  RMGP_CHECK(!points.empty());
+  BoundingBox box{points[0], points[0]};
+  for (const Point& p : points) box.Extend(p);
+  return box;
+}
+
+}  // namespace rmgp

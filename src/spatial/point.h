@@ -1,0 +1,60 @@
+#ifndef RMGP_SPATIAL_POINT_H_
+#define RMGP_SPATIAL_POINT_H_
+
+#include <cmath>
+#include <vector>
+
+namespace rmgp {
+
+/// A 2-D location (e.g., a user check-in or an event venue). Units are
+/// whatever the dataset uses — kilometers for the Gowalla-like data, unit
+/// space for normalized workloads; the normalization machinery of §3.3
+/// exists precisely because RMGP must work for any unit.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point&) const = default;
+};
+
+/// Euclidean distance between two points.
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (cheaper comparator for nearest-neighbor).
+inline double DistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Axis-aligned bounding box.
+struct BoundingBox {
+  Point min;
+  Point max;
+
+  bool Contains(const Point& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  /// Grows the box to include p.
+  void Extend(const Point& p) {
+    if (p.x < min.x) min.x = p.x;
+    if (p.y < min.y) min.y = p.y;
+    if (p.x > max.x) max.x = p.x;
+    if (p.y > max.y) max.y = p.y;
+  }
+
+  double width() const { return max.x - min.x; }
+  double height() const { return max.y - min.y; }
+};
+
+/// Smallest box containing all of `points` (undefined for empty input).
+BoundingBox ComputeBoundingBox(const std::vector<Point>& points);
+
+}  // namespace rmgp
+
+#endif  // RMGP_SPATIAL_POINT_H_

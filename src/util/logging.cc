@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace rmgp {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mu;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg) {
+  if (static_cast<int>(level) <
+      g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line,
+               msg.c_str());
+}
+
+void FatalMessage(const char* file, int line, const std::string& msg) {
+  {
+    std::lock_guard<std::mutex> lock(g_log_mu);
+    std::fprintf(stderr, "[FATAL %s:%d] %s\n", file, line, msg.c_str());
+  }
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace rmgp

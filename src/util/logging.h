@@ -1,0 +1,85 @@
+#ifndef RMGP_UTIL_LOGGING_H_
+#define RMGP_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rmgp {
+
+/// Log severities; kFatal aborts the process after printing.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is printed (default kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+[[noreturn]] void FatalMessage(const char* file, int line,
+                               const std::string& msg);
+
+/// Stream-style message collector used by the RMGP_LOG/RMGP_CHECK macros.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream ss_;
+};
+
+class FatalStream {
+ public:
+  FatalStream(const char* file, int line) : file_(file), line_(line) {}
+  [[noreturn]] ~FatalStream() { FatalMessage(file_, line_, ss_.str()); }
+  template <typename T>
+  FatalStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream ss_;
+};
+
+}  // namespace internal
+}  // namespace rmgp
+
+/// Leveled logging: RMGP_LOG(kInfo) << "...";
+#define RMGP_LOG(level)                                             \
+  ::rmgp::internal::LogStream(::rmgp::LogLevel::level, __FILE__, __LINE__)
+
+/// Always-on invariant check (library-internal programming errors only;
+/// user-facing validation returns Status instead). Aborts on failure.
+#define RMGP_CHECK(cond)                                            \
+  if (cond) {                                                       \
+  } else                                                            \
+    ::rmgp::internal::FatalStream(__FILE__, __LINE__)               \
+        << "Check failed: " #cond " "
+
+#define RMGP_CHECK_EQ(a, b) RMGP_CHECK((a) == (b))
+#define RMGP_CHECK_NE(a, b) RMGP_CHECK((a) != (b))
+#define RMGP_CHECK_LT(a, b) RMGP_CHECK((a) < (b))
+#define RMGP_CHECK_LE(a, b) RMGP_CHECK((a) <= (b))
+#define RMGP_CHECK_GT(a, b) RMGP_CHECK((a) > (b))
+#define RMGP_CHECK_GE(a, b) RMGP_CHECK((a) >= (b))
+
+#endif  // RMGP_UTIL_LOGGING_H_

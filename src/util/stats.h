@@ -1,0 +1,44 @@
+#ifndef RMGP_UTIL_STATS_H_
+#define RMGP_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rmgp {
+
+/// Streaming mean/variance accumulator (Welford). Used for dataset
+/// statistics (average degree, average edge weight) and bench summaries.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 for fewer than 2 observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the p-th percentile (p in [0,100]) of `values` by linear
+/// interpolation between closest ranks. `values` is copied and sorted.
+double Percentile(std::vector<double> values, double p);
+
+/// Median distance helper: median of a copied, sorted vector.
+double Median(std::vector<double> values);
+
+}  // namespace rmgp
+
+#endif  // RMGP_UTIL_STATS_H_

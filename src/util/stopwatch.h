@@ -1,0 +1,35 @@
+#ifndef RMGP_UTIL_STOPWATCH_H_
+#define RMGP_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace rmgp {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses and the
+/// per-round timing instrumentation of the solvers.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed microseconds since construction or the last Restart().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rmgp
+
+#endif  // RMGP_UTIL_STOPWATCH_H_

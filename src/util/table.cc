@@ -1,0 +1,85 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace rmgp {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  RMGP_CHECK_LE(cells.size(), headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) f << ',';
+      // Cells produced by the benches never contain commas or quotes, but
+      // quote defensively anyway.
+      bool needs_quote = row[c].find_first_of(",\"\n") != std::string::npos;
+      if (needs_quote) {
+        f << '"';
+        for (char ch : row[c]) {
+          if (ch == '"') f << '"';
+          f << ch;
+        }
+        f << '"';
+      } else {
+        f << row[c];
+      }
+    }
+    f << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  if (!f) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace rmgp

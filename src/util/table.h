@@ -1,0 +1,44 @@
+#ifndef RMGP_UTIL_TABLE_H_
+#define RMGP_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Column-aligned text table used by the figure benchmarks to print the
+/// same rows/series the paper reports, plus CSV export so the numbers can
+/// be re-plotted.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are an error
+  /// (checked).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` significant decimal digits.
+  static std::string Num(double v, int precision = 3);
+
+  /// Formats an integer.
+  static std::string Int(long long v);
+
+  /// Renders the aligned table to a string (with header separator).
+  std::string ToString() const;
+
+  /// Writes the table as CSV to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rmgp
+
+#endif  // RMGP_UTIL_TABLE_H_

@@ -1,0 +1,60 @@
+#ifndef RMGP_UTIL_THREAD_POOL_H_
+#define RMGP_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rmgp {
+
+/// Fixed-size worker pool used by RMGP_is (coloring-based parallel
+/// best-response) and by the simulated decentralized slaves.
+///
+/// The pool intentionally exposes only the two primitives the paper's
+/// algorithms need: submit a task, and wait for *all* submitted tasks to
+/// drain (the barrier at the end of each color group, Fig 4 line 8).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Joins all workers. Pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Convenience: runs fn(i) for i in [0, n) across `num_threads` workers in
+  /// contiguous chunks and waits for completion. Static partitioning keeps
+  /// the per-item order within a chunk deterministic.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // queued + running
+  bool shutting_down_ = false;
+};
+
+}  // namespace rmgp
+
+#endif  // RMGP_UTIL_THREAD_POOL_H_

@@ -1,0 +1,75 @@
+#include "baselines/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+TEST(BruteForceTest, FindsKnownOptimum) {
+  // Two users, strong tie: optimum keeps them together in class 0.
+  auto owned =
+      testing::MakeInstance(2, 2, {{0, 1, 10.0}}, {1, 2, 1, 2}, 0.5);
+  auto res = SolveBruteForce(owned.get());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->assignment, (Assignment{0, 0}));
+  EXPECT_DOUBLE_EQ(res->objective.total, 1.0);
+}
+
+TEST(BruteForceTest, SingleUserPicksArgmin) {
+  auto owned = testing::MakeInstance(1, 4, {}, {3, 1, 2, 9}, 0.5);
+  auto res = SolveBruteForce(owned.get());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->assignment, (Assignment{1}));
+}
+
+TEST(BruteForceTest, RefusesHugeInstances) {
+  auto owned = testing::MakeRandomInstance(40, 8, 0.1, 0.5, 1);
+  EXPECT_EQ(SolveBruteForce(owned.get()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BruteForceTest, OptimumIsLowerBoundForSolvers) {
+  for (uint64_t seed : {11ull, 12ull, 13ull, 14ull}) {
+    auto owned = testing::MakeRandomInstance(8, 3, 0.3, 0.5, seed);
+    auto opt = SolveBruteForce(owned.get());
+    ASSERT_TRUE(opt.ok());
+    SolverOptions sopt;
+    sopt.seed = seed;
+    for (SolverKind kind : {SolverKind::kBaseline, SolverKind::kAll}) {
+      auto res = Solve(kind, owned.get(), sopt);
+      ASSERT_TRUE(res.ok());
+      EXPECT_GE(res->objective.total + 1e-9, opt->objective.total);
+    }
+  }
+}
+
+TEST(EnumerateEquilibriaTest, PotentialGameAlwaysHasEquilibrium) {
+  for (uint64_t seed : {21ull, 22ull, 23ull}) {
+    auto owned = testing::MakeRandomInstance(6, 3, 0.4, 0.5, seed);
+    auto spec = EnumerateEquilibria(owned.get());
+    ASSERT_TRUE(spec.ok());
+    EXPECT_GT(spec->num_equilibria, 0u);
+    EXPECT_LE(spec->social_optimum, spec->best_equilibrium + 1e-12);
+    EXPECT_LE(spec->best_equilibrium, spec->worst_equilibrium + 1e-12);
+  }
+}
+
+TEST(EnumerateEquilibriaTest, IndependentUsersHaveUniqueEquilibrium) {
+  // No edges, distinct argmins: exactly one equilibrium = the optimum.
+  auto owned = testing::MakeInstance(3, 2, {},
+                                     {1, 5,  //
+                                      6, 2,  //
+                                      3, 8},
+                                     0.5);
+  auto spec = EnumerateEquilibria(owned.get());
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->num_equilibria, 1u);
+  EXPECT_DOUBLE_EQ(spec->PriceOfStability(), 1.0);
+  EXPECT_DOUBLE_EQ(spec->PriceOfAnarchy(), 1.0);
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,114 @@
+#include "baselines/label_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/metrics.h"
+#include "core/solver.h"
+#include "graph/generators.h"
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+TEST(LabelPropagationTest, EmptyAndEdgelessGraphs) {
+  Graph empty;
+  auto res = PropagateLabels(empty);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.num_communities, 0u);
+
+  GraphBuilder b(4);
+  Graph edgeless = std::move(b).Build();
+  auto res2 = PropagateLabels(edgeless);
+  EXPECT_TRUE(res2.converged);
+  // Isolated nodes keep their own labels.
+  EXPECT_EQ(res2.num_communities, 4u);
+}
+
+TEST(LabelPropagationTest, CliqueCollapsesToOneCommunity) {
+  GraphBuilder b(6);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+  }
+  Graph g = std::move(b).Build();
+  auto res = PropagateLabels(g);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.num_communities, 1u);
+}
+
+TEST(LabelPropagationTest, RecoversPlantedCommunities) {
+  std::vector<uint32_t> block;
+  Graph g = PlantedPartition(150, 3, 0.5, 0.005, 1, &block);
+  auto res = PropagateLabels(g);
+  EXPECT_TRUE(res.converged);
+  // Strong planted structure: the detected partition should be highly
+  // modular (close to the planted labels' score).
+  EXPECT_GT(Modularity(g, res.community), 0.8 * Modularity(g, block));
+}
+
+TEST(LabelPropagationTest, CommunityIdsAreCompact) {
+  Graph g = BarabasiAlbert(200, 3, 2);
+  auto res = PropagateLabels(g);
+  std::set<uint32_t> distinct(res.community.begin(), res.community.end());
+  EXPECT_EQ(distinct.size(), res.num_communities);
+  for (uint32_t c : distinct) EXPECT_LT(c, res.num_communities);
+}
+
+TEST(LabelPropagationTest, DeterministicBySeed) {
+  Graph g = BarabasiAlbert(150, 3, 3);
+  LabelPropagationOptions opt;
+  opt.seed = 9;
+  auto a = PropagateLabels(g, opt);
+  auto b = PropagateLabels(g, opt);
+  EXPECT_EQ(a.community, b.community);
+}
+
+TEST(LphTest, ProducesValidAssignmentWithDistinctClasses) {
+  auto owned = testing::MakeRandomInstance(80, 4, 0.1, 0.5, 4);
+  auto res = SolveLabelPropagationHungarian(owned.get());
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(ValidateAssignment(owned.get(), res->assignment).ok());
+}
+
+TEST(LphTest, GroupsNeverExceedClassCount) {
+  // Dense community graph that LP collapses to few communities, and a
+  // sparse one that LP leaves fragmented: both must fit into k classes.
+  for (uint64_t seed : {5ull, 6ull}) {
+    std::vector<uint32_t> block;
+    Graph g = PlantedPartition(120, 6, 0.4, 0.01, seed, &block);
+    auto costs = std::make_shared<DenseCostMatrix>(
+        120, 3, std::vector<double>(360, 1.0));
+    auto inst = Instance::Create(&g, costs, 0.5);
+    ASSERT_TRUE(inst.ok());
+    auto res = SolveLabelPropagationHungarian(*inst);
+    ASSERT_TRUE(res.ok());
+    std::set<ClassId> used(res->assignment.begin(),
+                           res->assignment.end());
+    EXPECT_LE(used.size(), 3u);
+  }
+}
+
+TEST(LphTest, GameNeverFarBehindLph) {
+  // On unstructured uniform costs LPH and the game land in the same
+  // quality regime (different equilibria of the same landscape); on LAGP
+  // workloads the gap favors the game — the figure benches carry that
+  // claim. Here: the game aggregate stays within 10 % of LPH's.
+  double game_total = 0.0, lph_total = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto owned = testing::MakeRandomInstance(100, 5, 0.08, 0.5, seed + 60);
+    auto lph = SolveLabelPropagationHungarian(owned.get());
+    ASSERT_TRUE(lph.ok());
+    SolverOptions opt;
+    opt.init = InitPolicy::kClosestClass;
+    opt.order = OrderPolicy::kDegreeDesc;
+    auto game = SolveGlobalTable(owned.get(), opt);
+    ASSERT_TRUE(game.ok());
+    game_total += game->objective.total;
+    lph_total += lph->objective.total;
+  }
+  EXPECT_LT(game_total, 1.1 * lph_total);
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,73 @@
+#include "baselines/mh.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/solver.h"
+#include "graph/generators.h"
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+TEST(MhTest, ProducesValidAssignment) {
+  auto owned = testing::MakeRandomInstance(60, 4, 0.1, 0.5, 1);
+  auto res = SolveMetisHungarian(owned.get());
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(ValidateAssignment(owned.get(), res->assignment).ok());
+}
+
+TEST(MhTest, UsesEachClassForOnePartition) {
+  auto owned = testing::MakeRandomInstance(80, 4, 0.1, 0.5, 2);
+  auto res = SolveMetisHungarian(owned.get());
+  ASSERT_TRUE(res.ok());
+  std::set<ClassId> used(res->assignment.begin(), res->assignment.end());
+  EXPECT_EQ(used.size(), 4u);  // the Hungarian step is a bijection
+}
+
+TEST(MhTest, MinimizesSocialCutOnCommunityGraph) {
+  // On a planted-partition graph MH's social cost should be near the
+  // planted cut, far below what a random assignment pays — the Fig 7(b)
+  // "low social, high assignment" profile.
+  std::vector<uint32_t> block;
+  Graph g = PlantedPartition(120, 3, 0.4, 0.01, 3, &block);
+  auto costs = std::make_shared<DenseCostMatrix>(
+      120, 3, std::vector<double>(360, 1.0));
+  auto inst = Instance::Create(&g, costs, 0.5);
+  ASSERT_TRUE(inst.ok());
+  auto res = SolveMetisHungarian(*inst);
+  ASSERT_TRUE(res.ok());
+  const double planted_social =
+      EvaluateObjective(*inst, Assignment(block.begin(), block.end()))
+          .raw_social;
+  EXPECT_LE(res->objective.raw_social, 2.0 * planted_social + 10.0);
+}
+
+TEST(MhTest, GameBeatsMhOnCombinedObjective) {
+  // MH optimizes the cut first and assignment second; the game optimizes
+  // the combined objective and should win (or tie) on it.
+  auto owned = testing::MakeRandomInstance(100, 5, 0.08, 0.5, 4);
+  auto mh = SolveMetisHungarian(owned.get());
+  ASSERT_TRUE(mh.ok());
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  opt.order = OrderPolicy::kDegreeDesc;
+  auto game = SolveBaseline(owned.get(), opt);
+  ASSERT_TRUE(game.ok());
+  EXPECT_LE(game->objective.total, mh->objective.total * 1.05);
+}
+
+TEST(MhTest, WorksWhenPartsExceedComponents) {
+  Graph g = ErdosRenyi(30, 0.3, 5);
+  auto costs = std::make_shared<DenseCostMatrix>(
+      30, 8, std::vector<double>(240, 1.0));
+  auto inst = Instance::Create(&g, costs, 0.5);
+  ASSERT_TRUE(inst.ok());
+  auto res = SolveMetisHungarian(*inst);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(ValidateAssignment(*inst, res->assignment).ok());
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,86 @@
+#include "baselines/uml_gr.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "core/solver.h"
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+TEST(UmlGrTest, SingleUserPicksSomeValidClass) {
+  auto owned = testing::MakeInstance(1, 3, {}, {5, 1, 3}, 0.5);
+  auto res = SolveUmlGreedy(owned.get());
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(ValidateAssignment(owned.get(), res->assignment).ok());
+  // With no edges the greedy min-cut reduces to per-user argmin.
+  EXPECT_EQ(res->assignment, (Assignment{1}));
+}
+
+TEST(UmlGrTest, EdgelessGraphIsArgmin) {
+  auto owned = testing::MakeInstance(3, 3, {},
+                                     {5, 1, 9,  //
+                                      2, 8, 4,  //
+                                      6, 7, 3},
+                                     0.5);
+  auto res = SolveUmlGreedy(owned.get());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->assignment, (Assignment{1, 0, 2}));
+}
+
+TEST(UmlGrTest, StrongTieKeepsFriendsTogether) {
+  auto owned =
+      testing::MakeInstance(2, 2, {{0, 1, 50.0}}, {1, 2, 2, 1}, 0.5);
+  auto res = SolveUmlGreedy(owned.get());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->assignment[0], res->assignment[1]);
+}
+
+TEST(UmlGrTest, ValidOnRandomInstances) {
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    auto owned = testing::MakeRandomInstance(40, 5, 0.15, 0.5, seed);
+    auto res = SolveUmlGreedy(owned.get());
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(ValidateAssignment(owned.get(), res->assignment).ok());
+  }
+}
+
+TEST(UmlGrTest, QualityAtLeastAsGoodAsWorstCase) {
+  // The greedy's looser guarantee still keeps it within a small constant
+  // of the optimum on tiny instances (sanity, not the 8·log|V| bound).
+  for (uint64_t seed : {5ull, 6ull}) {
+    auto owned = testing::MakeRandomInstance(8, 3, 0.3, 0.5, seed);
+    auto res = SolveUmlGreedy(owned.get());
+    ASSERT_TRUE(res.ok());
+    auto opt = SolveBruteForce(owned.get());
+    ASSERT_TRUE(opt.ok());
+    EXPECT_GE(res->objective.total + 1e-9, opt->objective.total);
+    EXPECT_LE(res->objective.total, 8.0 * opt->objective.total + 1e-9);
+  }
+}
+
+TEST(UmlGrTest, GameQualityComparableToGreedyOnRandomCosts) {
+  // On unstructured uniform-random costs the two methods land close; the
+  // paper's Fig 7(b) gap (UML_gr clearly worse) appears on real LAGP
+  // workloads and is reproduced by bench_fig7_vs_k, not here. This test
+  // pins down that the game never falls behind by more than 10% in
+  // aggregate.
+  double game_total = 0.0, greedy_total = 0.0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    auto owned = testing::MakeRandomInstance(50, 4, 0.15, 0.5, seed + 40);
+    auto greedy = SolveUmlGreedy(owned.get());
+    ASSERT_TRUE(greedy.ok());
+    SolverOptions opt;
+    opt.init = InitPolicy::kClosestClass;
+    opt.order = OrderPolicy::kDegreeDesc;
+    auto game = SolveBaseline(owned.get(), opt);
+    ASSERT_TRUE(game.ok());
+    game_total += game->objective.total;
+    greedy_total += greedy->objective.total;
+  }
+  EXPECT_LE(game_total, 1.1 * greedy_total);
+}
+
+}  // namespace
+}  // namespace rmgp

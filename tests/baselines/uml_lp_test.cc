@@ -1,0 +1,88 @@
+#include "baselines/uml_lp.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "core/solver.h"
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+TEST(UmlLpTest, SingleUserPicksArgmin) {
+  auto owned = testing::MakeInstance(1, 3, {}, {5, 1, 3}, 0.5);
+  auto res = SolveUmlLp(owned.get());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res->base.assignment, (Assignment{1}));
+  EXPECT_TRUE(res->lp_integral);
+  EXPECT_NEAR(res->lp_lower_bound, 0.5, 1e-7);
+}
+
+TEST(UmlLpTest, StrongTieKeepsFriendsTogether) {
+  auto owned =
+      testing::MakeInstance(2, 2, {{0, 1, 10.0}}, {1, 2, 2, 1}, 0.5);
+  auto res = SolveUmlLp(owned.get());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->base.assignment[0], res->base.assignment[1]);
+}
+
+TEST(UmlLpTest, LowerBoundsTheOptimum) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    auto owned = testing::MakeRandomInstance(7, 3, 0.35, 0.5, seed);
+    auto lp = SolveUmlLp(owned.get());
+    ASSERT_TRUE(lp.ok());
+    auto opt = SolveBruteForce(owned.get());
+    ASSERT_TRUE(opt.ok());
+    // LP relaxation <= OPT <= rounded solution.
+    EXPECT_LE(lp->lp_lower_bound, opt->objective.total + 1e-6);
+    EXPECT_GE(lp->base.objective.total + 1e-9, opt->objective.total);
+  }
+}
+
+TEST(UmlLpTest, RoundingWithinTwiceTheLpBound) {
+  // The KT scheme guarantees E[cost] <= 2·LP; with best-of-trials the
+  // realized rounding should comfortably satisfy the factor-2 bound.
+  for (uint64_t seed : {4ull, 5ull, 6ull}) {
+    auto owned = testing::MakeRandomInstance(10, 3, 0.3, 0.5, seed);
+    auto lp = SolveUmlLp(owned.get());
+    ASSERT_TRUE(lp.ok());
+    EXPECT_LE(lp->base.objective.total, 2.0 * lp->lp_lower_bound + 1e-6);
+  }
+}
+
+TEST(UmlLpTest, NearOptimalQualityOnSmallInstances) {
+  // §6.1: "in most settings the linear relaxation gave integral
+  // solutions". On small instances the rounded result should be the
+  // optimum (or extremely close).
+  for (uint64_t seed : {7ull, 8ull}) {
+    auto owned = testing::MakeRandomInstance(8, 3, 0.3, 0.5, seed);
+    auto lp = SolveUmlLp(owned.get());
+    ASSERT_TRUE(lp.ok());
+    auto opt = SolveBruteForce(owned.get());
+    ASSERT_TRUE(opt.ok());
+    EXPECT_LE(lp->base.objective.total, opt->objective.total * 1.2 + 1e-9);
+  }
+}
+
+TEST(UmlLpTest, GameQualityIsCloseToLp) {
+  // The Fig 7(b)/8(b) claim: RMGP_b's quality is comparable to UML_lp.
+  auto owned = testing::MakeRandomInstance(12, 3, 0.25, 0.5, 9);
+  auto lp = SolveUmlLp(owned.get());
+  ASSERT_TRUE(lp.ok());
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  opt.order = OrderPolicy::kDegreeDesc;
+  auto game = SolveBaseline(owned.get(), opt);
+  ASSERT_TRUE(game.ok());
+  EXPECT_LE(game->objective.total, 2.0 * lp->base.objective.total + 1e-9);
+}
+
+TEST(UmlLpTest, AssignmentIsValid) {
+  auto owned = testing::MakeRandomInstance(9, 4, 0.3, 0.7, 10);
+  auto lp = SolveUmlLp(owned.get());
+  ASSERT_TRUE(lp.ok());
+  EXPECT_TRUE(ValidateAssignment(owned.get(), lp->base.assignment).ok());
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+TEST(BestImprovementTest, ConvergesToVerifiedEquilibrium) {
+  auto owned = testing::MakeRandomInstance(60, 5, 0.1, 0.5, 1);
+  SolverOptions opt;
+  opt.seed = 2;
+  auto res = SolveBestImprovement(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->converged);
+  EXPECT_TRUE(VerifyEquilibrium(owned.get(), res->assignment).ok());
+}
+
+TEST(BestImprovementTest, DeterministicBySeed) {
+  auto owned = testing::MakeRandomInstance(40, 4, 0.15, 0.5, 3);
+  SolverOptions opt;
+  opt.seed = 4;
+  auto a = SolveBestImprovement(owned.get(), opt);
+  auto b = SolveBestImprovement(owned.get(), opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(BestImprovementTest, QuietWhenStartedAtEquilibrium) {
+  auto owned = testing::MakeRandomInstance(30, 3, 0.2, 0.5, 5);
+  SolverOptions opt;
+  opt.seed = 6;
+  auto first = SolveBestImprovement(owned.get(), opt);
+  ASSERT_TRUE(first.ok());
+  SolverOptions warm = opt;
+  warm.init = InitPolicy::kGiven;
+  warm.warm_start = first->assignment;
+  warm.record_rounds = true;
+  auto second = SolveBestImprovement(owned.get(), warm);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->round_stats.size(), 1u);
+  EXPECT_EQ(second->round_stats[0].deviations, 0u);
+  EXPECT_EQ(second->assignment, first->assignment);
+}
+
+TEST(BestImprovementTest, MoveCountRecordedInRoundStats) {
+  auto owned = testing::MakeRandomInstance(50, 4, 0.15, 0.5, 7);
+  SolverOptions opt;
+  opt.seed = 8;
+  opt.record_rounds = true;
+  opt.record_potential = true;
+  auto res = SolveBestImprovement(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->round_stats.size(), 1u);
+  EXPECT_GT(res->round_stats[0].deviations, 0u);
+  EXPECT_GE(res->round_stats[0].examined,
+            res->round_stats[0].deviations);
+  EXPECT_NEAR(res->round_stats[0].potential, res->potential, 1e-9);
+}
+
+TEST(BestImprovementTest, AtLeastAsGoodAsRoundRobinInAggregate) {
+  // Steepest descent consistently lands in better equilibria than the
+  // round-robin order on these instances (observed ~25 % lower objective
+  // in aggregate — see bench_ablation_order's RMGP_pq row); assert the
+  // aggregate never regresses past round-robin.
+  double pq_total = 0.0, rr_total = 0.0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    auto owned = testing::MakeRandomInstance(60, 4, 0.12, 0.5, seed + 30);
+    SolverOptions opt;
+    opt.seed = seed;
+    opt.init = InitPolicy::kClosestClass;
+    auto pq = SolveBestImprovement(owned.get(), opt);
+    auto rr = SolveBaseline(owned.get(), opt);
+    ASSERT_TRUE(pq.ok());
+    ASSERT_TRUE(rr.ok());
+    pq_total += pq->objective.total;
+    rr_total += rr->objective.total;
+  }
+  EXPECT_LE(pq_total, 1.05 * rr_total);
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,175 @@
+#include "core/capacitated.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+CapacityOptions Unbounded(ClassId k) {
+  CapacityOptions cap;
+  cap.max_participants.assign(k, CapacityOptions::kUnbounded);
+  cap.min_participants.assign(k, 0);
+  return cap;
+}
+
+TEST(CapacitatedTest, RejectsBadVectors) {
+  auto owned = testing::MakeRandomInstance(10, 3, 0.3, 0.5, 1);
+  SolverOptions opt;
+  CapacityOptions cap;  // wrong sizes
+  EXPECT_FALSE(SolveCapacitated(owned.get(), cap, opt).ok());
+  cap = Unbounded(3);
+  cap.max_participants[1] = 2;
+  cap.min_participants[1] = 5;  // min > max
+  EXPECT_FALSE(SolveCapacitated(owned.get(), cap, opt).ok());
+}
+
+TEST(CapacitatedTest, RejectsInsufficientCapacity) {
+  auto owned = testing::MakeRandomInstance(10, 2, 0.3, 0.5, 2);
+  CapacityOptions cap = Unbounded(2);
+  cap.max_participants = {4, 4};  // 8 slots < 10 users
+  SolverOptions opt;
+  EXPECT_EQ(SolveCapacitated(owned.get(), cap, opt).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CapacitatedTest, UnboundedMatchesPlainEquilibrium) {
+  auto owned = testing::MakeRandomInstance(25, 3, 0.25, 0.5, 3);
+  SolverOptions opt;
+  opt.order = OrderPolicy::kNodeId;
+  opt.seed = 5;
+  auto cap_res = SolveCapacitated(owned.get(), Unbounded(3), opt);
+  ASSERT_TRUE(cap_res.ok());
+  EXPECT_TRUE(cap_res->converged);
+  // Without capacities the constrained equilibrium is a plain one.
+  EXPECT_TRUE(VerifyEquilibrium(owned.get(), cap_res->assignment).ok());
+}
+
+TEST(CapacitatedTest, CapacitiesAreRespected) {
+  auto owned = testing::MakeRandomInstance(30, 3, 0.2, 0.5, 4);
+  CapacityOptions cap = Unbounded(3);
+  cap.max_participants = {10, 10, 10};
+  SolverOptions opt;
+  auto res = SolveCapacitated(owned.get(), cap, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->converged);
+  for (ClassId p = 0; p < 3; ++p) {
+    EXPECT_LE(res->class_size[p], 10u);
+  }
+  EXPECT_TRUE(
+      VerifyCapacitatedEquilibrium(owned.get(), cap, *res).ok());
+}
+
+TEST(CapacitatedTest, TightCapacityForcesSpread) {
+  // All users prefer class 0, but it only holds 2 of 6.
+  std::vector<double> costs;
+  for (int v = 0; v < 6; ++v) {
+    costs.insert(costs.end(), {0.0, 5.0, 9.0});
+  }
+  auto owned = testing::MakeInstance(6, 3, {}, std::move(costs), 0.5);
+  CapacityOptions cap = Unbounded(3);
+  cap.max_participants = {2, 2, 2};
+  SolverOptions opt;
+  opt.order = OrderPolicy::kNodeId;
+  auto res = SolveCapacitated(owned.get(), cap, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->class_size[0], 2u);
+  EXPECT_EQ(res->class_size[1], 2u);
+  EXPECT_EQ(res->class_size[2], 2u);
+  EXPECT_TRUE(
+      VerifyCapacitatedEquilibrium(owned.get(), cap, *res).ok());
+}
+
+TEST(CapacitatedTest, MinimumCancelsUnderfilledEvent) {
+  // Class 2 is everyone's last choice; with min_participants it must be
+  // canceled and end up empty.
+  std::vector<double> costs;
+  for (int v = 0; v < 8; ++v) {
+    costs.insert(costs.end(), {1.0, 1.5, 50.0});
+  }
+  auto owned = testing::MakeInstance(8, 3, {}, std::move(costs), 0.5);
+  CapacityOptions cap = Unbounded(3);
+  cap.min_participants = {0, 0, 3};
+  SolverOptions opt;
+  auto res = SolveCapacitated(owned.get(), cap, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->canceled[2]);
+  EXPECT_EQ(res->class_size[2], 0u);
+  EXPECT_FALSE(res->min_infeasible);
+  EXPECT_TRUE(
+      VerifyCapacitatedEquilibrium(owned.get(), cap, *res).ok());
+}
+
+TEST(CapacitatedTest, InfeasibleMinimumIsReportedNotViolated) {
+  // Six users over two classes with max 4 each: sizes settle at {4, 2},
+  // so class 1 misses its minimum of 4 — but canceling it would leave
+  // only 4 slots for 6 users, so the solver reports min_infeasible
+  // instead of stranding users.
+  std::vector<double> costs;
+  for (int v = 0; v < 6; ++v) costs.insert(costs.end(), {1.0, 1.1});
+  auto owned = testing::MakeInstance(6, 2, {}, std::move(costs), 0.5);
+  CapacityOptions cap = Unbounded(2);
+  cap.max_participants = {4, 4};
+  cap.min_participants = {4, 4};  // class 1 will sit at 2 < 4
+  SolverOptions opt;
+  auto res = SolveCapacitated(owned.get(), cap, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->min_infeasible);
+  // Capacity constraints still hold.
+  EXPECT_LE(res->class_size[0], 4u);
+  EXPECT_LE(res->class_size[1], 4u);
+  EXPECT_EQ(res->class_size[0] + res->class_size[1], 6u);
+}
+
+TEST(CapacitatedTest, SocialTiesStillMatterUnderCapacities) {
+  // Two friends with a strong tie; the cheap class has one slot, so one
+  // friend takes the second-cheapest class — and the other follows to
+  // avoid the cut (its slot allows it).
+  auto owned = testing::MakeInstance(
+      2, 3, {{0, 1, 10.0}},
+      {1.0, 1.2, 9.0,  //
+       1.0, 1.2, 9.0},
+      0.5);
+  CapacityOptions cap = Unbounded(3);
+  cap.max_participants = {1, 2, 2};
+  SolverOptions opt;
+  opt.order = OrderPolicy::kNodeId;
+  auto res = SolveCapacitated(owned.get(), cap, opt);
+  ASSERT_TRUE(res.ok());
+  // They must end up together in class 1 (class 0 cannot hold both, and
+  // the tie of weight 10 dwarfs the 0.2 cost difference).
+  EXPECT_EQ(res->assignment[0], 1u);
+  EXPECT_EQ(res->assignment[1], 1u);
+  EXPECT_TRUE(
+      VerifyCapacitatedEquilibrium(owned.get(), cap, *res).ok());
+}
+
+class CapacitatedPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CapacitatedPropertyTest, AlwaysConvergesAndRespectsCaps) {
+  const uint64_t seed = GetParam();
+  auto owned = testing::MakeRandomInstance(40, 4, 0.15, 0.5, seed);
+  CapacityOptions cap = Unbounded(4);
+  cap.max_participants = {15, 15, 15, 15};
+  cap.min_participants = {2, 2, 2, 2};
+  SolverOptions opt;
+  opt.seed = seed;
+  auto res = SolveCapacitated(owned.get(), cap, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->converged);
+  uint32_t total = 0;
+  for (ClassId p = 0; p < 4; ++p) {
+    EXPECT_LE(res->class_size[p], 15u);
+    total += res->class_size[p];
+  }
+  EXPECT_EQ(total, 40u);
+  EXPECT_TRUE(
+      VerifyCapacitatedEquilibrium(owned.get(), cap, *res).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CapacitatedPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,73 @@
+#include "core/combined_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+std::shared_ptr<DenseCostMatrix> Matrix(std::vector<double> costs, NodeId n,
+                                        ClassId k) {
+  return std::make_shared<DenseCostMatrix>(n, k, std::move(costs));
+}
+
+TEST(CombinedCostTest, RejectsEmptyAndNullAndBadWeights) {
+  EXPECT_FALSE(CombinedCostProvider::Create({}).ok());
+  EXPECT_FALSE(
+      CombinedCostProvider::Create({{nullptr, 1.0}}).ok());
+  EXPECT_FALSE(
+      CombinedCostProvider::Create({{Matrix({1, 2}, 1, 2), 0.0}}).ok());
+  EXPECT_FALSE(
+      CombinedCostProvider::Create({{Matrix({1, 2}, 1, 2), -1.0}}).ok());
+}
+
+TEST(CombinedCostTest, RejectsShapeMismatch) {
+  auto a = Matrix({1, 2}, 1, 2);
+  auto b = Matrix({1, 2, 3}, 1, 3);
+  EXPECT_FALSE(CombinedCostProvider::Create({{a, 1.0}, {b, 1.0}}).ok());
+}
+
+TEST(CombinedCostTest, WeightedSum) {
+  // Distance criterion and preference criterion (paper §1: LAGP costs may
+  // combine distance and profile similarity).
+  auto dist = Matrix({10, 20, 30, 40}, 2, 2);
+  auto pref = Matrix({1, 0, 0, 1}, 2, 2);
+  auto combined =
+      CombinedCostProvider::Create({{dist, 0.1}, {pref, 5.0}});
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ((*combined)->num_users(), 2u);
+  EXPECT_EQ((*combined)->num_classes(), 2u);
+  EXPECT_DOUBLE_EQ((*combined)->Cost(0, 0), 0.1 * 10 + 5.0 * 1);
+  EXPECT_DOUBLE_EQ((*combined)->Cost(1, 1), 0.1 * 40 + 5.0 * 1);
+  double row[2];
+  (*combined)->CostsFor(1, row);
+  EXPECT_DOUBLE_EQ(row[0], 0.1 * 30);
+  EXPECT_DOUBLE_EQ(row[1], 0.1 * 40 + 5.0);
+}
+
+TEST(CombinedCostTest, SingleTermIsJustScaling) {
+  auto base = Matrix({2, 4, 6}, 1, 3);
+  auto combined = CombinedCostProvider::Create({{base, 2.5}});
+  ASSERT_TRUE(combined.ok());
+  for (ClassId p = 0; p < 3; ++p) {
+    EXPECT_DOUBLE_EQ((*combined)->Cost(0, p), 2.5 * base->Cost(0, p));
+  }
+}
+
+TEST(CombinedCostTest, WorksAsInstanceCostProvider) {
+  GraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  Graph g = std::move(b).Build();
+  auto dist = Matrix({1, 5, 4, 2}, 2, 2);
+  auto pref = Matrix({0, 1, 1, 0}, 2, 2);
+  auto combined =
+      CombinedCostProvider::Create({{dist, 1.0}, {pref, 1.0}});
+  ASSERT_TRUE(combined.ok());
+  auto inst = Instance::Create(&g, *combined, 0.5);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_DOUBLE_EQ(inst->AssignmentCost(0, 1), 6.0);
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,198 @@
+#include "core/dynamic_game.h"
+
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "data/datasets.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+struct World {
+  GeoSocialDataset ds;
+  std::unique_ptr<DynamicGame> game;
+};
+
+World MakeWorld(NodeId users = 300, ClassId events = 8,
+                uint64_t seed = 1) {
+  World w;
+  w.ds = MakeUnitSquareToy(users, events, 12.0 / users, seed);
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  auto game = DynamicGame::Create(&w.ds.graph, w.ds.user_locations,
+                                  w.ds.event_pool, 0.5, 1.0, opt);
+  EXPECT_TRUE(game.ok()) << game.status().ToString();
+  w.game = std::move(game).value();
+  return w;
+}
+
+TEST(DynamicGameTest, CreateValidatesInputs) {
+  GeoSocialDataset ds = MakeUnitSquareToy(10, 2, 0.3, 1);
+  SolverOptions opt;
+  EXPECT_FALSE(DynamicGame::Create(nullptr, ds.user_locations,
+                                   ds.event_pool, 0.5, 1.0, opt)
+                   .ok());
+  EXPECT_FALSE(DynamicGame::Create(&ds.graph, {}, ds.event_pool, 0.5, 1.0,
+                                   opt)
+                   .ok());
+  EXPECT_FALSE(DynamicGame::Create(&ds.graph, ds.user_locations, {}, 0.5,
+                                   1.0, opt)
+                   .ok());
+  EXPECT_FALSE(DynamicGame::Create(&ds.graph, ds.user_locations,
+                                   ds.event_pool, 1.5, 1.0, opt)
+                   .ok());
+  EXPECT_FALSE(DynamicGame::Create(&ds.graph, ds.user_locations,
+                                   ds.event_pool, 0.5, 0.0, opt)
+                   .ok());
+}
+
+TEST(DynamicGameTest, InitialStateIsEquilibrium) {
+  World w = MakeWorld();
+  EXPECT_TRUE(w.game->Verify().ok());
+}
+
+TEST(DynamicGameTest, InitialStateMatchesStaticSolver) {
+  GeoSocialDataset ds = MakeUnitSquareToy(200, 5, 0.05, 2);
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  auto game = DynamicGame::Create(&ds.graph, ds.user_locations,
+                                  ds.event_pool, 0.5, 1.0, opt);
+  ASSERT_TRUE(game.ok());
+  // The static gt solver with node-id order performs the same dynamics.
+  auto costs = ds.MakeCosts(5);
+  auto inst = Instance::Create(&ds.graph, costs, 0.5);
+  ASSERT_TRUE(inst.ok());
+  SolverOptions sopt;
+  sopt.init = InitPolicy::kClosestClass;
+  sopt.order = OrderPolicy::kNodeId;
+  auto static_res = SolveGlobalTable(*inst, sopt);
+  ASSERT_TRUE(static_res.ok());
+  EXPECT_EQ((*game)->assignment(), static_res->assignment);
+}
+
+TEST(DynamicGameTest, LocationUpdateRestoresEquilibrium) {
+  World w = MakeWorld();
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(300));
+    auto moved = w.game->UpdateUserLocation(
+        v, {rng.UniformDouble(), rng.UniformDouble()});
+    ASSERT_TRUE(moved.ok());
+    ASSERT_TRUE(w.game->Verify().ok()) << "after update " << i;
+  }
+}
+
+TEST(DynamicGameTest, LocalMoveCausesLocalChanges) {
+  World w = MakeWorld(500, 8, 3);
+  // Moving one user re-assigns only a small neighborhood, not the graph.
+  auto moved = w.game->UpdateUserLocation(7, {0.99, 0.99});
+  ASSERT_TRUE(moved.ok());
+  EXPECT_LE(*moved, 50u);
+}
+
+TEST(DynamicGameTest, AddEventKeepsEquilibrium) {
+  World w = MakeWorld(400, 4, 4);
+  const ClassId k_before = w.game->num_events();
+  auto moved = w.game->AddEvent({0.5, 0.5});
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(w.game->num_events(), k_before + 1);
+  EXPECT_TRUE(w.game->Verify().ok());
+}
+
+TEST(DynamicGameTest, DominantNewEventAttractsUsers) {
+  // With cost_scale ≫ social weights the game is distance-driven, so an
+  // event dropped onto a user's exact location must win that user.
+  GeoSocialDataset ds = MakeUnitSquareToy(200, 3, 0.05, 40);
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  auto game = DynamicGame::Create(&ds.graph, ds.user_locations,
+                                  ds.event_pool, 0.5, /*cost_scale=*/100.0,
+                                  opt);
+  ASSERT_TRUE(game.ok());
+  const ClassId new_id = (*game)->num_events();
+  auto moved = (*game)->AddEvent(ds.user_locations[17]);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_GT(*moved, 0u);
+  EXPECT_EQ((*game)->assignment()[17], new_id);
+  EXPECT_TRUE((*game)->Verify().ok());
+}
+
+TEST(DynamicGameTest, ManyAddedEventsGrowCapacity) {
+  World w = MakeWorld(100, 2, 5);
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {  // forces table reallocation (cap 8)
+    auto moved =
+        w.game->AddEvent({rng.UniformDouble(), rng.UniformDouble()});
+    ASSERT_TRUE(moved.ok());
+  }
+  EXPECT_EQ(w.game->num_events(), 22u);
+  EXPECT_TRUE(w.game->Verify().ok());
+}
+
+TEST(DynamicGameTest, RemoveEventEvictsAttendees) {
+  World w = MakeWorld(300, 6, 7);
+  const Assignment before = w.game->assignment();
+  auto moved = w.game->RemoveEvent(2);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(w.game->num_events(), 5u);
+  EXPECT_TRUE(w.game->Verify().ok());
+  for (ClassId c : w.game->assignment()) EXPECT_LT(c, 5u);
+}
+
+TEST(DynamicGameTest, RemoveLastIdEvent) {
+  World w = MakeWorld(200, 4, 8);
+  auto moved = w.game->RemoveEvent(3);  // p == last: no renumbering
+  ASSERT_TRUE(moved.ok());
+  EXPECT_TRUE(w.game->Verify().ok());
+}
+
+TEST(DynamicGameTest, CannotRemoveOnlyEvent) {
+  World w = MakeWorld(50, 1, 9);
+  EXPECT_EQ(w.game->RemoveEvent(0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(w.game->RemoveEvent(5).ok());
+}
+
+TEST(DynamicGameTest, MixedUpdateStreamStaysConsistent) {
+  World w = MakeWorld(400, 6, 10);
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    const int op = static_cast<int>(rng.UniformInt(3));
+    if (op == 0) {
+      ASSERT_TRUE(w.game
+                      ->UpdateUserLocation(
+                          static_cast<NodeId>(rng.UniformInt(400)),
+                          {rng.UniformDouble(), rng.UniformDouble()})
+                      .ok());
+    } else if (op == 1) {
+      ASSERT_TRUE(
+          w.game->AddEvent({rng.UniformDouble(), rng.UniformDouble()})
+              .ok());
+    } else if (w.game->num_events() > 1) {
+      ASSERT_TRUE(
+          w.game
+              ->RemoveEvent(static_cast<ClassId>(
+                  rng.UniformInt(w.game->num_events())))
+              .ok());
+    }
+  }
+  EXPECT_TRUE(w.game->Verify().ok());
+  EXPECT_GT(w.game->total_examinations(), 0u);
+}
+
+TEST(DynamicGameTest, ObjectiveMatchesManualEvaluation) {
+  World w = MakeWorld(150, 4, 12);
+  const CostBreakdown obj = w.game->Objective();
+  // Rebuild an Instance over the current state and compare.
+  auto costs = std::make_shared<EuclideanCostProvider>(
+      w.game->user_locations(), w.game->events());
+  auto inst = Instance::Create(&w.ds.graph, costs, 0.5);
+  ASSERT_TRUE(inst.ok());
+  const CostBreakdown check =
+      EvaluateObjective(*inst, w.game->assignment());
+  EXPECT_NEAR(obj.total, check.total, 1e-9);
+}
+
+}  // namespace
+}  // namespace rmgp

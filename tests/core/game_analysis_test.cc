@@ -1,0 +1,75 @@
+#include "core/game_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+TEST(GameAnalysisTest, RejectsZeroStarts) {
+  auto owned = testing::MakeRandomInstance(10, 3, 0.3, 0.5, 1);
+  MultiStartOptions opt;
+  opt.num_starts = 0;
+  EXPECT_FALSE(SampleEquilibria(owned.get(), opt).ok());
+}
+
+TEST(GameAnalysisTest, SampleInvariants) {
+  auto owned = testing::MakeRandomInstance(40, 4, 0.15, 0.5, 2);
+  MultiStartOptions opt;
+  opt.num_starts = 12;
+  auto sample = SampleEquilibria(owned.get(), opt);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->num_starts, 12u);
+  EXPECT_LE(sample->best, sample->mean + 1e-9);
+  EXPECT_LE(sample->mean, sample->worst + 1e-9);
+  EXPECT_GE(sample->spread, 1.0 - 1e-9);
+  // The best assignment really achieves the best objective.
+  EXPECT_NEAR(
+      EvaluateObjective(owned.get(), sample->best_assignment).total,
+      sample->best, 1e-9);
+  EXPECT_TRUE(
+      VerifyEquilibrium(owned.get(), sample->best_assignment).ok());
+}
+
+TEST(GameAnalysisTest, BestBoundedByOptimumAndWorstByEnumeration) {
+  auto owned = testing::MakeRandomInstance(8, 3, 0.35, 0.5, 3);
+  MultiStartOptions opt;
+  opt.num_starts = 24;
+  opt.kind = SolverKind::kBaseline;
+  auto sample = SampleEquilibria(owned.get(), opt);
+  ASSERT_TRUE(sample.ok());
+  auto spectrum = EnumerateEquilibria(owned.get());
+  ASSERT_TRUE(spectrum.ok());
+  // Sampled equilibria live inside the enumerated spectrum.
+  EXPECT_GE(sample->best + 1e-9, spectrum->best_equilibrium);
+  EXPECT_LE(sample->worst, spectrum->worst_equilibrium + 1e-9);
+  EXPECT_GE(sample->best + 1e-9, spectrum->social_optimum);
+}
+
+TEST(GameAnalysisTest, MoreStartsNeverWorseBest) {
+  auto owned = testing::MakeRandomInstance(30, 4, 0.2, 0.5, 4);
+  MultiStartOptions few;
+  few.num_starts = 2;
+  few.seed = 9;
+  MultiStartOptions many = few;
+  many.num_starts = 16;
+  auto a = SampleEquilibria(owned.get(), few);
+  auto b = SampleEquilibria(owned.get(), many);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Same seed stream: the first two starts repeat, so best can only
+  // improve with more starts.
+  EXPECT_LE(b->best, a->best + 1e-9);
+}
+
+TEST(GameAnalysisTest, EmpiricalPoA) {
+  EquilibriumSample sample;
+  sample.worst = 4.0;
+  EXPECT_DOUBLE_EQ(EmpiricalPoA(sample, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(EmpiricalPoA(sample, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/brute_force.h"
+#include "core/solver.h"
+#include "core/solver_internal.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+/// Property: RMGP is an exact potential game (Theorem 1). For random
+/// states and random unilateral deviations, the change in the deviator's
+/// cost equals the change in Φ.
+class ExactPotentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExactPotentialTest, DeviationCostEqualsPotentialDelta) {
+  const uint64_t seed = GetParam();
+  auto owned = testing::MakeRandomInstance(25, 4, 0.25,
+                                           0.2 + 0.15 * (seed % 5), seed);
+  Rng rng(seed * 31 + 7);
+  Assignment a(25);
+  for (auto& s : a) s = static_cast<ClassId>(rng.UniformInt(4));
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(25));
+    const ClassId p = static_cast<ClassId>(rng.UniformInt(4));
+    const double cost_before = UserCost(owned.get(), a, v);
+    const double phi_before = EvaluatePotential(owned.get(), a);
+    Assignment b = a;
+    b[v] = p;
+    const double cost_after = UserCost(owned.get(), b, v);
+    const double phi_after = EvaluatePotential(owned.get(), b);
+    EXPECT_NEAR(cost_before - cost_after, phi_before - phi_after, 1e-9);
+    a = std::move(b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactPotentialTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+/// Property: the potential function decreases (weakly) every round of
+/// best-response dynamics — the Lemma 2 convergence argument.
+class PotentialMonotoneTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PotentialMonotoneTest, PotentialNeverIncreasesAcrossRounds) {
+  auto owned =
+      testing::MakeRandomInstance(60, 5, 0.12, 0.5, GetParam() + 100);
+  SolverOptions opt;
+  opt.seed = GetParam();
+  opt.record_rounds = true;
+  opt.record_potential = true;
+  auto res = SolveBaseline(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  for (size_t i = 1; i < res->round_stats.size(); ++i) {
+    EXPECT_LE(res->round_stats[i].potential,
+              res->round_stats[i - 1].potential + 1e-9)
+        << "round " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PotentialMonotoneTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+/// Property: Φ sandwiches the objective, ½·C(S) <= Φ(S) <= C(S)
+/// (inequality (5) in the PoS proof).
+TEST(GamePropertiesTest, PotentialSandwichedByObjective) {
+  auto owned = testing::MakeRandomInstance(40, 4, 0.2, 0.4, 55);
+  Rng rng(56);
+  for (int trial = 0; trial < 30; ++trial) {
+    Assignment a(40);
+    for (auto& s : a) s = static_cast<ClassId>(rng.UniformInt(4));
+    const double total = EvaluateObjective(owned.get(), a).total;
+    const double phi = EvaluatePotential(owned.get(), a);
+    EXPECT_LE(0.5 * total, phi + 1e-9);
+    EXPECT_LE(phi, total + 1e-9);
+  }
+}
+
+/// Property (Theorem 2): every equilibrium of a tiny instance respects
+/// PoS <= 2 and the closed-form PoA bound.
+class EquilibriumBoundsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EquilibriumBoundsTest, PoSAndPoABoundsHold) {
+  const uint64_t seed = GetParam();
+  // Tiny instances so brute-force enumeration stays cheap: 3^7 states.
+  auto owned = testing::MakeRandomInstance(7, 3, 0.4, 0.5, seed + 500);
+  auto spec = EnumerateEquilibria(owned.get());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_GT(spec->num_equilibria, 0u);  // potential games always have one
+  EXPECT_LE(spec->PriceOfStability(), 2.0 + 1e-9);
+  EXPECT_LE(spec->PriceOfAnarchy(),
+            PriceOfAnarchyBound(owned.get()) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquilibriumBoundsTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+/// Property: the equilibrium any solver finds is within the PoA bound of
+/// the brute-force optimum.
+TEST(GamePropertiesTest, SolverEquilibriumWithinPoABoundOfOptimum) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    auto owned = testing::MakeRandomInstance(8, 3, 0.35, 0.5, seed + 900);
+    auto opt_res = SolveBruteForce(owned.get());
+    ASSERT_TRUE(opt_res.ok());
+    SolverOptions sopt;
+    sopt.seed = seed;
+    auto game = SolveBaseline(owned.get(), sopt);
+    ASSERT_TRUE(game.ok());
+    EXPECT_GE(game->objective.total, opt_res->objective.total - 1e-9);
+    EXPECT_LE(game->objective.total,
+              PriceOfAnarchyBound(owned.get()) * opt_res->objective.total +
+                  1e-9);
+  }
+}
+
+/// Property (§4.1): strategy elimination is safe — the class every user
+/// holds at any equilibrium lies inside the valid region, so pruning never
+/// removes an equilibrium strategy.
+class EliminationSafetyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EliminationSafetyTest, EquilibriumClassesSurvivePruning) {
+  auto owned =
+      testing::MakeRandomInstance(50, 6, 0.15, 0.5, GetParam() + 70);
+  SolverOptions opt;
+  opt.seed = GetParam();
+  auto res = SolveBaseline(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  const auto rs = internal::ComputeReducedStrategies(owned.get());
+  for (NodeId v = 0; v < 50; ++v) {
+    const auto cands = rs.StrategiesOf(v);
+    EXPECT_TRUE(std::binary_search(cands.begin(), cands.end(),
+                                   res->assignment[v]))
+        << "user " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EliminationSafetyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+/// Property: reduced strategy spaces always contain the cheapest class.
+TEST(GamePropertiesTest, ReducedSpaceContainsCheapestClass) {
+  auto owned = testing::MakeRandomInstance(60, 8, 0.1, 0.7, 77);
+  const auto rs = internal::ComputeReducedStrategies(owned.get());
+  std::vector<double> row(8);
+  for (NodeId v = 0; v < 60; ++v) {
+    owned.get().AssignmentCostsFor(v, row.data());
+    const ClassId cheapest = static_cast<ClassId>(
+        std::min_element(row.begin(), row.end()) - row.begin());
+    const auto cands = rs.StrategiesOf(v);
+    EXPECT_TRUE(std::binary_search(cands.begin(), cands.end(), cheapest));
+    EXPECT_GE(cands.size(), 1u);
+  }
+}
+
+/// Property: the number of deviations per round is non-increasing-ish in
+/// total — more precisely, the dynamics terminate and the last round is
+/// quiet for every α.
+class AlphaSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweepTest, ConvergesForAllAlphas) {
+  auto owned = testing::MakeRandomInstance(50, 4, 0.15, GetParam(), 88);
+  SolverOptions opt;
+  opt.seed = 13;
+  auto res = SolveBaseline(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->converged);
+  EXPECT_TRUE(VerifyEquilibrium(owned.get(), res->assignment).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweepTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+/// Property: with α→1 the game ignores the social cost: the equilibrium
+/// from closest-class init is exactly the per-user argmin.
+TEST(GamePropertiesTest, HighAlphaFreezesClosestAssignment) {
+  auto owned = testing::MakeRandomInstance(40, 5, 0.2, 0.999, 99);
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  auto res = SolveBaseline(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  std::vector<double> row(5);
+  for (NodeId v = 0; v < 40; ++v) {
+    owned.get().AssignmentCostsFor(v, row.data());
+    const ClassId cheapest = static_cast<ClassId>(
+        std::min_element(row.begin(), row.end()) - row.begin());
+    EXPECT_EQ(res->assignment[v], cheapest) << "user " << v;
+  }
+}
+
+/// Property: with α→0 on a star graph every leaf herds to the hub's
+/// class (the social pull of the single strong tie dwarfs any assignment
+/// cost difference).
+TEST(GamePropertiesTest, LowAlphaHerdsStarGraph) {
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v < 30; ++v) edges.push_back({0, v, 1.0});
+  Rng rng(101);
+  std::vector<double> costs(30 * 3);
+  for (double& c : costs) c = rng.UniformDouble();
+  auto owned = testing::MakeInstance(30, 3, edges, std::move(costs), 0.001);
+  SolverOptions opt;
+  opt.seed = 3;
+  opt.order = OrderPolicy::kDegreeDesc;  // hub settles first
+  auto res = SolveBaseline(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  for (NodeId v = 1; v < 30; ++v) {
+    EXPECT_EQ(res->assignment[v], res->assignment[0]);
+  }
+}
+
+}  // namespace
+}  // namespace rmgp

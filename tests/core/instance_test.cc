@@ -1,0 +1,106 @@
+#include "core/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+TEST(CostProviderTest, DenseMatrixLookups) {
+  DenseCostMatrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.num_users(), 2u);
+  EXPECT_EQ(m.num_classes(), 3u);
+  EXPECT_DOUBLE_EQ(m.Cost(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.Cost(1, 2), 6.0);
+  double row[3];
+  m.CostsFor(1, row);
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  EXPECT_DOUBLE_EQ(row[2], 6.0);
+}
+
+TEST(CostProviderTest, DenseMatrixMutableAccess) {
+  DenseCostMatrix m(1, 2, {0, 0});
+  m.At(0, 1) = 9.5;
+  EXPECT_DOUBLE_EQ(m.Cost(0, 1), 9.5);
+}
+
+TEST(CostProviderTest, EuclideanCosts) {
+  EuclideanCostProvider p({{0, 0}, {1, 1}}, {{3, 4}, {0, 0}});
+  EXPECT_EQ(p.num_users(), 2u);
+  EXPECT_EQ(p.num_classes(), 2u);
+  EXPECT_DOUBLE_EQ(p.Cost(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(p.Cost(0, 1), 0.0);
+  double row[2];
+  p.CostsFor(1, row);
+  EXPECT_NEAR(row[1], std::sqrt(2.0), 1e-12);
+}
+
+TEST(CostProviderTest, MaterializeMatchesSource) {
+  EuclideanCostProvider p({{0, 0}, {2, 0}, {5, 5}}, {{1, 0}, {4, 4}});
+  auto dense = Materialize(p);
+  for (NodeId v = 0; v < 3; ++v) {
+    for (ClassId c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(dense->Cost(v, c), p.Cost(v, c));
+    }
+  }
+}
+
+TEST(InstanceTest, CreateValidatesInputs) {
+  GraphBuilder b(2);
+  Graph g = std::move(b).Build();
+  auto costs = std::make_shared<DenseCostMatrix>(
+      2, 2, std::vector<double>{1, 2, 3, 4});
+
+  EXPECT_FALSE(Instance::Create(nullptr, costs, 0.5).ok());
+  EXPECT_FALSE(Instance::Create(&g, nullptr, 0.5).ok());
+  EXPECT_FALSE(Instance::Create(&g, costs, 0.0).ok());
+  EXPECT_FALSE(Instance::Create(&g, costs, 1.0).ok());
+  EXPECT_FALSE(Instance::Create(&g, costs, -0.3).ok());
+  EXPECT_TRUE(Instance::Create(&g, costs, 0.5).ok());
+
+  auto wrong_users = std::make_shared<DenseCostMatrix>(
+      3, 2, std::vector<double>(6, 0.0));
+  EXPECT_EQ(Instance::Create(&g, wrong_users, 0.5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(InstanceTest, CreateRejectsZeroClasses) {
+  GraphBuilder b(1);
+  Graph g = std::move(b).Build();
+  auto costs =
+      std::make_shared<DenseCostMatrix>(1, 0, std::vector<double>{});
+  EXPECT_FALSE(Instance::Create(&g, costs, 0.5).ok());
+}
+
+TEST(InstanceTest, CostScaleAppliesToAssignmentCosts) {
+  auto owned = testing::MakeInstance(1, 2, {}, {2.0, 4.0}, 0.5);
+  Instance* inst = owned.mutable_instance();
+  EXPECT_DOUBLE_EQ(inst->AssignmentCost(0, 0), 2.0);
+  inst->set_cost_scale(3.0);
+  EXPECT_DOUBLE_EQ(inst->AssignmentCost(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(inst->AssignmentCost(0, 1), 12.0);
+  double row[2];
+  inst->AssignmentCostsFor(0, row);
+  EXPECT_DOUBLE_EQ(row[0], 6.0);
+  EXPECT_DOUBLE_EQ(row[1], 12.0);
+}
+
+TEST(InstanceTest, HalfIncidentWeightIsHalfWeightedDegree) {
+  auto owned = testing::MakeInstance(
+      3, 2, {{0, 1, 0.4}, {0, 2, 0.6}}, std::vector<double>(6, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(owned.get().HalfIncidentWeight(0), 0.5);
+  EXPECT_DOUBLE_EQ(owned.get().HalfIncidentWeight(1), 0.2);
+  EXPECT_DOUBLE_EQ(owned.get().HalfIncidentWeight(2), 0.3);
+}
+
+TEST(InstanceTest, AccessorsReflectInputs) {
+  auto owned = testing::MakeRandomInstance(10, 4, 0.3, 0.7, 1);
+  EXPECT_EQ(owned.get().num_users(), 10u);
+  EXPECT_EQ(owned.get().num_classes(), 4u);
+  EXPECT_DOUBLE_EQ(owned.get().alpha(), 0.7);
+  EXPECT_DOUBLE_EQ(owned.get().cost_scale(), 1.0);
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,113 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "graph/generators.h"
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+TEST(ModularityTest, SingleCommunityIsZero) {
+  // All nodes in one part: Q = 1 - 1 = 0... specifically in_frac = 1 and
+  // deg_frac = 1 so Q = 0.
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  Graph g = std::move(b).Build();
+  EXPECT_NEAR(Modularity(g, {0, 0, 0, 0}), 0.0, 1e-12);
+}
+
+TEST(ModularityTest, PerfectSplitOfDisjointCliques) {
+  // Two disjoint triangles split into their own parts: Q = 1 - 2·(1/2)²
+  // = 0.5.
+  GraphBuilder b(6);
+  for (NodeId base : {0u, 3u}) {
+    ASSERT_TRUE(b.AddEdge(base, base + 1).ok());
+    ASSERT_TRUE(b.AddEdge(base + 1, base + 2).ok());
+    ASSERT_TRUE(b.AddEdge(base, base + 2).ok());
+  }
+  Graph g = std::move(b).Build();
+  EXPECT_NEAR(Modularity(g, {0, 0, 0, 1, 1, 1}), 0.5, 1e-12);
+}
+
+TEST(ModularityTest, BadSplitIsNegative) {
+  // A clique split in half has negative modularity.
+  GraphBuilder b(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+  }
+  Graph g = std::move(b).Build();
+  EXPECT_LT(Modularity(g, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(ModularityTest, EdgelessGraphIsZero) {
+  GraphBuilder b(3);
+  Graph g = std::move(b).Build();
+  EXPECT_DOUBLE_EQ(Modularity(g, {0, 1, 2}), 0.0);
+}
+
+TEST(ModularityTest, PlantedPartitionRecovery) {
+  // The planted labels of a strong community graph score high modularity.
+  std::vector<uint32_t> block;
+  Graph g = PlantedPartition(90, 3, 0.5, 0.01, 1, &block);
+  EXPECT_GT(Modularity(g, block), 0.5);
+}
+
+TEST(SolutionMetricsTest, HandComputedValues) {
+  // Two users, tie weight 2, costs {1,5} and {4,2}; equilibrium {0,1}.
+  auto owned =
+      testing::MakeInstance(2, 2, {{0, 1, 2.0}}, {1, 5, 4, 2}, 0.5);
+  SolutionMetrics m = ComputeSolutionMetrics(owned.get(), {0, 1});
+  EXPECT_EQ(m.class_sizes, (std::vector<uint32_t>{1, 1}));
+  EXPECT_EQ(m.classes_used, 2u);
+  EXPECT_DOUBLE_EQ(m.mean_assignment_cost, (1.0 + 2.0) / 2);
+  EXPECT_DOUBLE_EQ(m.mean_assignment_regret, 0.0);
+  EXPECT_EQ(m.users_at_cheapest, 2u);
+  EXPECT_DOUBLE_EQ(m.internal_weight_fraction, 0.0);  // the edge is cut
+}
+
+TEST(SolutionMetricsTest, RegretAccountsForSocialPull) {
+  auto owned =
+      testing::MakeInstance(2, 2, {{0, 1, 10.0}}, {1, 5, 4, 2}, 0.5);
+  // Herded into class 0: user 1 pays regret 4-2 = 2.
+  SolutionMetrics m = ComputeSolutionMetrics(owned.get(), {0, 0});
+  EXPECT_DOUBLE_EQ(m.mean_assignment_regret, 1.0);
+  EXPECT_EQ(m.users_at_cheapest, 1u);
+  EXPECT_DOUBLE_EQ(m.internal_weight_fraction, 1.0);
+  EXPECT_EQ(m.classes_used, 1u);
+}
+
+TEST(SolutionMetricsTest, GameImprovesModularityOverClosest) {
+  // On a community graph with weakly-informative costs, the game's social
+  // term produces a more modular partition than pure argmin assignment.
+  std::vector<uint32_t> block;
+  Graph g = PlantedPartition(120, 4, 0.35, 0.01, 2, &block);
+  Rng rng(3);
+  std::vector<double> costs(120 * 4);
+  for (double& c : costs) c = rng.UniformDouble();
+  auto provider = std::make_shared<DenseCostMatrix>(120, 4, costs);
+  auto inst = Instance::Create(&g, provider, 0.3);
+  ASSERT_TRUE(inst.ok());
+
+  Assignment closest(120);
+  for (NodeId v = 0; v < 120; ++v) {
+    ClassId best = 0;
+    for (ClassId p = 1; p < 4; ++p) {
+      if (provider->Cost(v, p) < provider->Cost(v, best)) best = p;
+    }
+    closest[v] = best;
+  }
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  opt.order = OrderPolicy::kDegreeDesc;
+  auto res = SolveGlobalTable(*inst, opt);
+  ASSERT_TRUE(res.ok());
+
+  EXPECT_GT(ComputeSolutionMetrics(*inst, res->assignment).modularity,
+            ComputeSolutionMetrics(*inst, closest).modularity);
+}
+
+}  // namespace
+}  // namespace rmgp

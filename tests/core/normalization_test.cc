@@ -1,0 +1,181 @@
+#include "core/normalization.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/solver.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+TEST(NormalizationTest, ExactEstimatesOnHandInstance) {
+  // Two users: costs {1, 2, 9} and {3, 5, 7}.
+  auto owned = testing::MakeInstance(2, 3, {}, {1, 2, 9, 3, 5, 7}, 0.5);
+  const NormalizationEstimates est = ComputeEstimatesExact(owned.get());
+  EXPECT_DOUBLE_EQ(est.dist_min, (1.0 + 3.0) / 2.0);
+  EXPECT_DOUBLE_EQ(est.dist_med, (2.0 + 5.0) / 2.0);
+}
+
+TEST(NormalizationTest, OptimisticConstantFormula) {
+  // CN_opt = deg_avg·w_avg / (2·dist_min·√k).
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 4.0).ok());
+  Graph g = std::move(b).Build();  // deg_avg = 1, w_avg = 3
+  NormalizationEstimates est{10.0, 25.0};
+  EXPECT_DOUBLE_EQ(OptimisticConstant(g, 4, est),
+                   1.0 * 3.0 / (2.0 * 10.0 * 2.0));
+}
+
+TEST(NormalizationTest, PessimisticConstantFormula) {
+  // CN_pess = deg_avg·(k-1)·w_avg / (2·dist_med·k).
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 4.0).ok());
+  Graph g = std::move(b).Build();
+  NormalizationEstimates est{10.0, 25.0};
+  EXPECT_DOUBLE_EQ(PessimisticConstant(g, 4, est),
+                   1.0 * 3.0 * 3.0 / (2.0 * 25.0 * 4.0));
+}
+
+TEST(NormalizationTest, NormalizeSetsAndResetsScale) {
+  auto owned = testing::MakeRandomInstance(20, 4, 0.2, 0.5, 1);
+  Instance* inst = owned.mutable_instance();
+  auto cn = NormalizeExact(inst, NormalizationPolicy::kPessimistic);
+  ASSERT_TRUE(cn.ok());
+  EXPECT_DOUBLE_EQ(inst->cost_scale(), *cn);
+  EXPECT_GT(*cn, 0.0);
+  auto reset = NormalizeExact(inst, NormalizationPolicy::kNone);
+  ASSERT_TRUE(reset.ok());
+  EXPECT_DOUBLE_EQ(inst->cost_scale(), 1.0);
+}
+
+TEST(NormalizationTest, FailsOnZeroEstimates) {
+  auto owned = testing::MakeRandomInstance(10, 3, 0.2, 0.5, 2);
+  Instance* inst = owned.mutable_instance();
+  EXPECT_FALSE(Normalize(inst, NormalizationPolicy::kOptimistic,
+                         {0.0, 5.0})
+                   .ok());
+  EXPECT_FALSE(Normalize(inst, NormalizationPolicy::kPessimistic,
+                         {5.0, 0.0})
+                   .ok());
+}
+
+TEST(NormalizationTest, PessimisticNeedsAtLeastTwoClasses) {
+  auto owned = testing::MakeRandomInstance(10, 1, 0.2, 0.5, 3);
+  Instance* inst = owned.mutable_instance();
+  EXPECT_FALSE(
+      Normalize(inst, NormalizationPolicy::kPessimistic, {1.0, 1.0}).ok());
+}
+
+TEST(NormalizationTest, NullInstanceRejected) {
+  EXPECT_FALSE(Normalize(nullptr, NormalizationPolicy::kNone, {}).ok());
+  EXPECT_FALSE(NormalizeExact(nullptr, NormalizationPolicy::kNone).ok());
+}
+
+/// The §3.3 motivation reproduced in miniature: with km-scale distances
+/// and unit edge weights, the raw game is dominated by the assignment
+/// cost and nobody leaves their closest event; after pessimistic
+/// normalization a substantial fraction of users is re-assigned toward
+/// their friends (the Fig 9 effect).
+TEST(NormalizationTest, NormalizationUnfreezesTheGame) {
+  const NodeId n = 300;
+  const ClassId k = 8;
+  Rng rng(4);
+  // Social graph: a chain of triangles for plenty of ties.
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 2 < n; v += 2) {
+    edges.push_back({v, v + 1, 1.0});
+    edges.push_back({v + 1, v + 2, 1.0});
+    edges.push_back({v, v + 2, 1.0});
+  }
+  // Distances in "kilometers": hundreds.
+  std::vector<double> costs(static_cast<size_t>(n) * k);
+  for (double& c : costs) c = rng.UniformDouble(50.0, 500.0);
+  auto owned = testing::MakeInstance(n, k, edges, std::move(costs), 0.5);
+  Instance* inst = owned.mutable_instance();
+
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  opt.order = OrderPolicy::kNodeId;
+
+  // Closest-event assignment as the yardstick.
+  std::vector<double> row(k);
+  Assignment closest(n);
+  for (NodeId v = 0; v < n; ++v) {
+    inst->AssignmentCostsFor(v, row.data());
+    closest[v] = static_cast<ClassId>(
+        std::min_element(row.begin(), row.end()) - row.begin());
+  }
+
+  auto raw = SolveBaseline(*inst, opt);
+  ASSERT_TRUE(raw.ok());
+  const uint64_t moved_raw = CountReassigned(closest, raw->assignment);
+
+  ASSERT_TRUE(
+      NormalizeExact(inst, NormalizationPolicy::kPessimistic).ok());
+  auto norm = SolveBaseline(*inst, opt);
+  ASSERT_TRUE(norm.ok());
+  const uint64_t moved_norm = CountReassigned(closest, norm->assignment);
+
+  EXPECT_GT(moved_norm, moved_raw);
+  EXPECT_GT(moved_norm, n / 10);  // a substantial fraction moves
+}
+
+/// After pessimistic normalization with α=0.5, the two raw cost sums land
+/// in the same ballpark instead of being orders of magnitude apart.
+TEST(NormalizationTest, BalancesCostComponents) {
+  const NodeId n = 400;
+  const ClassId k = 16;
+  Rng rng(5);
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    edges.push_back({v, v + 1, 1.0});
+    if (v + 7 < n && rng.Bernoulli(0.5)) edges.push_back({v, v + 7, 1.0});
+  }
+  std::vector<double> costs(static_cast<size_t>(n) * k);
+  for (double& c : costs) c = rng.UniformDouble(100.0, 1000.0);
+  auto owned = testing::MakeInstance(n, k, edges, std::move(costs), 0.5);
+  Instance* inst = owned.mutable_instance();
+
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+
+  auto raw = SolveBaseline(*inst, opt);
+  ASSERT_TRUE(raw.ok());
+  const double raw_ratio =
+      raw->objective.raw_assignment / (raw->objective.raw_social + 1e-9);
+
+  ASSERT_TRUE(
+      NormalizeExact(inst, NormalizationPolicy::kPessimistic).ok());
+  auto norm = SolveBaseline(*inst, opt);
+  ASSERT_TRUE(norm.ok());
+  const double norm_ratio =
+      norm->objective.raw_assignment / (norm->objective.raw_social + 1e-9);
+
+  // Raw: assignment dominates by orders of magnitude. Normalized: within
+  // one order of magnitude of parity.
+  EXPECT_GT(raw_ratio, 50.0);
+  EXPECT_LT(norm_ratio, 10.0);
+  EXPECT_GT(norm_ratio, 0.1);
+}
+
+TEST(NormalizationTest, NormalizationPreservesGameProperties) {
+  // RMGP_N preserves convergence and equilibrium verification (§3.3).
+  auto owned = testing::MakeRandomInstance(50, 5, 0.15, 0.5, 6);
+  Instance* inst = owned.mutable_instance();
+  ASSERT_TRUE(NormalizeExact(inst, NormalizationPolicy::kOptimistic).ok());
+  SolverOptions opt;
+  opt.seed = 7;
+  auto res = SolveAll(*inst, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->converged);
+  EXPECT_TRUE(VerifyEquilibrium(*inst, res->assignment).ok());
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,139 @@
+#include "core/objective.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testing/test_util.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+/// Two users connected by a weight-2 edge; k=2; costs:
+///   c(0,·) = {1, 5},  c(1,·) = {4, 2};  α = 0.5.
+testing::OwnedInstance MakePair(double alpha = 0.5) {
+  return testing::MakeInstance(2, 2, {{0, 1, 2.0}}, {1, 5, 4, 2}, alpha);
+}
+
+TEST(ObjectiveTest, HandComputedBreakdown) {
+  auto owned = MakePair();
+  // Both in class 0: assignment 1+4=5, no cut.
+  CostBreakdown same = EvaluateObjective(owned.get(), {0, 0});
+  EXPECT_DOUBLE_EQ(same.raw_assignment, 5.0);
+  EXPECT_DOUBLE_EQ(same.raw_social, 0.0);
+  EXPECT_DOUBLE_EQ(same.total, 2.5);
+  // Split: assignment 1+2=3, cut weight 2.
+  CostBreakdown split = EvaluateObjective(owned.get(), {0, 1});
+  EXPECT_DOUBLE_EQ(split.raw_assignment, 3.0);
+  EXPECT_DOUBLE_EQ(split.raw_social, 2.0);
+  EXPECT_DOUBLE_EQ(split.assignment, 1.5);
+  EXPECT_DOUBLE_EQ(split.social, 1.0);
+  EXPECT_DOUBLE_EQ(split.total, 2.5);
+}
+
+TEST(ObjectiveTest, AlphaWeighting) {
+  auto owned = MakePair(0.9);
+  CostBreakdown split = EvaluateObjective(owned.get(), {0, 1});
+  EXPECT_DOUBLE_EQ(split.assignment, 0.9 * 3.0);
+  EXPECT_NEAR(split.social, 0.1 * 2.0, 1e-12);
+}
+
+TEST(ObjectiveTest, PotentialHalvesSocialTerm) {
+  auto owned = MakePair();
+  const CostBreakdown split = EvaluateObjective(owned.get(), {0, 1});
+  EXPECT_DOUBLE_EQ(EvaluatePotential(owned.get(), {0, 1}),
+                   split.assignment + 0.5 * split.social);
+  // With no cut edges, potential equals the assignment part.
+  EXPECT_DOUBLE_EQ(EvaluatePotential(owned.get(), {0, 0}), 2.5);
+}
+
+TEST(ObjectiveTest, SumOfUserCostsEqualsObjective) {
+  // §3.1: RMGP(G,P,α) = Σ_v C_v — the decomposition motivating the game.
+  auto owned = testing::MakeRandomInstance(30, 4, 0.2, 0.6, 5);
+  Rng rng(6);
+  Assignment a(30);
+  for (auto& s : a) s = static_cast<ClassId>(rng.UniformInt(4));
+  double sum = 0.0;
+  for (NodeId v = 0; v < 30; ++v) sum += UserCost(owned.get(), a, v);
+  EXPECT_NEAR(sum, EvaluateObjective(owned.get(), a).total, 1e-9);
+}
+
+TEST(ObjectiveTest, UserCostIfAssignedMatchesEquation3) {
+  auto owned = MakePair();
+  const Assignment a{0, 1};
+  // User 0 in class 0, friend in class 1: C_0 = 0.5·1 + 0.5·(½·2) = 1.0.
+  EXPECT_DOUBLE_EQ(UserCost(owned.get(), a, 0), 1.0);
+  // If user 0 moved to class 1: C_0 = 0.5·5 + 0 = 2.5.
+  EXPECT_DOUBLE_EQ(UserCostIfAssigned(owned.get(), a, 0, 1), 2.5);
+}
+
+TEST(ObjectiveTest, BestResponsePicksMinimum) {
+  auto owned = MakePair();
+  const Assignment a{0, 1};
+  const BestResponse br0 = ComputeBestResponse(owned.get(), a, 0);
+  EXPECT_EQ(br0.best_class, 0u);
+  EXPECT_DOUBLE_EQ(br0.best_cost, 1.0);
+  EXPECT_DOUBLE_EQ(br0.current_cost, 1.0);
+  // User 1: staying in 1 costs 0.5·2 + 0.5 = 1.5; moving to 0 costs
+  // 0.5·4 = 2.0. Best response is to stay.
+  const BestResponse br1 = ComputeBestResponse(owned.get(), a, 1);
+  EXPECT_EQ(br1.best_class, 1u);
+  EXPECT_DOUBLE_EQ(br1.best_cost, 1.5);
+}
+
+TEST(ObjectiveTest, BestResponseMatchesUserCostIfAssigned) {
+  auto owned = testing::MakeRandomInstance(25, 5, 0.3, 0.4, 7);
+  Rng rng(8);
+  Assignment a(25);
+  for (auto& s : a) s = static_cast<ClassId>(rng.UniformInt(5));
+  for (NodeId v = 0; v < 25; ++v) {
+    const BestResponse br = ComputeBestResponse(owned.get(), a, v);
+    EXPECT_NEAR(br.current_cost, UserCost(owned.get(), a, v), 1e-9);
+    for (ClassId p = 0; p < 5; ++p) {
+      EXPECT_GE(UserCostIfAssigned(owned.get(), a, v, p) + 1e-9,
+                br.best_cost);
+    }
+    EXPECT_NEAR(br.best_cost,
+                UserCostIfAssigned(owned.get(), a, v, br.best_class), 1e-9);
+  }
+}
+
+TEST(ObjectiveTest, ValidateAssignmentErrors) {
+  auto owned = MakePair();
+  EXPECT_FALSE(ValidateAssignment(owned.get(), {0}).ok());
+  EXPECT_FALSE(ValidateAssignment(owned.get(), {0, 7}).ok());
+  EXPECT_TRUE(ValidateAssignment(owned.get(), {1, 1}).ok());
+}
+
+TEST(ObjectiveTest, VerifyEquilibriumAcceptsAndRejects) {
+  auto owned = MakePair();
+  // {0,1}: user 0 stays (1.0 vs 2.5), user 1 stays (1.5 vs 2.0) -> Nash.
+  EXPECT_TRUE(VerifyEquilibrium(owned.get(), {0, 1}).ok());
+  // {1,0}: user 0 pays 0.5·5+0.5 = 3.0, switching to 0 pays 0.5·1+0.5 =
+  // 1.0 -> profitable deviation.
+  EXPECT_EQ(VerifyEquilibrium(owned.get(), {1, 0}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ObjectiveTest, CountReassigned) {
+  EXPECT_EQ(CountReassigned({0, 1, 2}, {0, 1, 2}), 0u);
+  EXPECT_EQ(CountReassigned({0, 1, 2}, {1, 1, 0}), 2u);
+}
+
+TEST(ObjectiveTest, PoABoundFormula) {
+  // Theorem 2: PoA <= 1 + ((1-α)/α)·(deg_avg·w_avg)/(2·c_avg).
+  auto owned = MakePair();  // deg_avg=1, w_avg=2, c_min per user = {1,2}
+  const double c_avg = (1.0 + 2.0) / 2.0;
+  const double expected = 1.0 + (0.5 / 0.5) * (1.0 * 2.0) / (2.0 * c_avg);
+  EXPECT_DOUBLE_EQ(PriceOfAnarchyBound(owned.get()), expected);
+}
+
+TEST(ObjectiveTest, PoABoundInfiniteForZeroCosts) {
+  auto owned = testing::MakeInstance(2, 2, {{0, 1, 1.0}},
+                                     std::vector<double>(4, 0.0), 0.5);
+  EXPECT_TRUE(std::isinf(PriceOfAnarchyBound(owned.get())));
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "core/solver_internal.h"
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+/// A 6-user / 3-event LAGP instance in the spirit of the paper's running
+/// example (Fig 1): two social clusters {v0,v1} and {v2,v3,v5}, a bridge
+/// user v4, and per-user event distances such that one user (v3) is pulled
+/// away from its closest event by its friends — the behavior Example 1
+/// highlights.
+testing::OwnedInstance MakeRunningExample(double alpha = 0.5) {
+  const std::vector<Edge> edges = {
+      {0, 1, 0.8}, {2, 3, 0.9}, {3, 5, 0.8}, {2, 5, 0.7},
+      {1, 4, 0.3}, {4, 5, 0.2},
+  };
+  // Costs (distances) per user to events p0, p1, p2.
+  const std::vector<double> costs = {
+      0.10, 0.60, 0.90,  // v0: closest p0
+      0.20, 0.70, 0.80,  // v1: closest p0
+      0.90, 0.30, 0.80,  // v2: closest p1
+      0.80, 0.45, 0.40,  // v3: closest p2, but friends at p1
+      0.50, 0.55, 0.60,  // v4: bridge, closest p0
+      0.90, 0.25, 0.70,  // v5: closest p1
+  };
+  return testing::MakeInstance(6, 3, edges, costs, alpha);
+}
+
+TEST(PaperExampleTest, BaselineConvergesToEquilibrium) {
+  auto owned = MakeRunningExample();
+  SolverOptions opt;
+  opt.seed = 3;
+  auto res = SolveBaseline(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->converged);
+  EXPECT_TRUE(VerifyEquilibrium(owned.get(), res->assignment).ok());
+}
+
+TEST(PaperExampleTest, SocialPullOverridesClosestEvent) {
+  // v3's closest event is p2 (0.40 < 0.45), but both friends v2 and v5
+  // sit at p1; the equilibrium from closest-event init moves v3 to p1 —
+  // the Example 1 phenomenon ("v4 is assigned to p3, not the closest").
+  auto owned = MakeRunningExample();
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  opt.order = OrderPolicy::kNodeId;
+  auto res = SolveBaseline(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->assignment[2], 1u);
+  EXPECT_EQ(res->assignment[5], 1u);
+  EXPECT_EQ(res->assignment[3], 1u);  // moved away from its closest event
+  // The social cluster {v0, v1} stays at p0.
+  EXPECT_EQ(res->assignment[0], 0u);
+  EXPECT_EQ(res->assignment[1], 0u);
+}
+
+TEST(PaperExampleTest, Table1StyleTraceTerminatesWithQuietRound) {
+  // Table 1: the game ends with a round in which nobody deviates.
+  auto owned = MakeRunningExample();
+  SolverOptions opt;
+  opt.record_rounds = true;
+  opt.seed = 11;
+  auto res = SolveBaseline(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  ASSERT_GE(res->round_stats.size(), 2u);
+  EXPECT_EQ(res->round_stats.back().deviations, 0u);
+}
+
+TEST(PaperExampleTest, ValidRegionMatchesSection41Example) {
+  // §4.1 example numbers: α=0.5, c(v,·) = {0.48, 0.6, 0.27} and W_v = 0.1
+  // give VR_v = 0.27 + 0.1/0.5·0.5 = 0.37, so only p2 (cost 0.27)
+  // survives and the user is eliminated from the game.
+  auto owned = testing::MakeInstance(2, 3, {{0, 1, 0.2}},
+                                     {0.48, 0.60, 0.27,  //
+                                      0.10, 0.90, 0.90},
+                                     0.5);
+  const auto rs = internal::ComputeReducedStrategies(owned.get());
+  // VR_0 = 0.27 + (0.5/0.5)·0.1 = 0.37 -> only class 2 is valid.
+  ASSERT_EQ(rs.offsets[1] - rs.offsets[0], 1u);
+  EXPECT_EQ(rs.classes[rs.offsets[0]], 2u);
+  EXPECT_EQ(rs.forced[0], 2u);
+  EXPECT_EQ(rs.eliminated_users, 2u);  // user 1 is likewise forced to p0
+  EXPECT_EQ(rs.forced[1], 0u);
+  EXPECT_EQ(rs.pruned_strategies, 4u);
+}
+
+TEST(PaperExampleTest, AllSolversAgreeOnTheExample) {
+  auto owned = MakeRunningExample();
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  opt.order = OrderPolicy::kNodeId;
+  auto base = SolveBaseline(owned.get(), opt);
+  ASSERT_TRUE(base.ok());
+  for (SolverKind kind :
+       {SolverKind::kStrategyElimination, SolverKind::kIndependentSets,
+        SolverKind::kGlobalTable, SolverKind::kAll}) {
+    auto res = Solve(kind, owned.get(), opt);
+    ASSERT_TRUE(res.ok()) << SolverKindName(kind);
+    EXPECT_TRUE(res->converged) << SolverKindName(kind);
+    EXPECT_TRUE(VerifyEquilibrium(owned.get(), res->assignment).ok())
+        << SolverKindName(kind);
+    EXPECT_EQ(res->assignment, base->assignment) << SolverKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace rmgp

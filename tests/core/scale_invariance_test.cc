@@ -1,0 +1,137 @@
+// Scale-invariance properties of the game: the §3.3 normalization story
+// depends on the dynamics reacting only to the *product* CN·c(v,p), and
+// on equilibria being invariant under uniform rescaling of the whole
+// objective.
+
+#include <gtest/gtest.h>
+
+#include "core/normalization.h"
+#include "core/solver.h"
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+TEST(ScaleInvarianceTest, CostScaleTimesMatrixIsWhatMatters) {
+  // Instance A: costs c, scale s. Instance B: costs s·c, scale 1.
+  // Identical games -> identical dynamics and assignments.
+  const NodeId n = 40;
+  const ClassId k = 4;
+  const double s = 37.5;
+  Rng rng(1);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(0.15)) edges.push_back({u, v, rng.UniformDouble(0.1, 1.0)});
+    }
+  }
+  std::vector<double> costs(static_cast<size_t>(n) * k);
+  for (double& c : costs) c = rng.UniformDouble();
+  std::vector<double> scaled = costs;
+  for (double& c : scaled) c *= s;
+
+  auto a = testing::MakeInstance(n, k, edges, costs, 0.5);
+  a.mutable_instance()->set_cost_scale(s);
+  auto b = testing::MakeInstance(n, k, edges, scaled, 0.5);
+
+  SolverOptions opt;
+  opt.seed = 3;
+  auto ra = SolveBaseline(a.get(), opt);
+  auto rb = SolveBaseline(b.get(), opt);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->assignment, rb->assignment);
+  EXPECT_NEAR(ra->objective.total, rb->objective.total, 1e-6);
+}
+
+TEST(ScaleInvarianceTest, UniformRescalingPreservesEquilibria) {
+  // Multiplying all costs AND all edge weights by the same factor scales
+  // the objective but cannot change which assignments are equilibria.
+  const NodeId n = 25;
+  const ClassId k = 3;
+  const double factor = 12.0;
+  Rng rng(2);
+  std::vector<Edge> edges, scaled_edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(0.2)) {
+        const double w = rng.UniformDouble(0.1, 1.0);
+        edges.push_back({u, v, w});
+        scaled_edges.push_back({u, v, w * factor});
+      }
+    }
+  }
+  std::vector<double> costs(static_cast<size_t>(n) * k);
+  for (double& c : costs) c = rng.UniformDouble();
+  std::vector<double> scaled_costs = costs;
+  for (double& c : scaled_costs) c *= factor;
+
+  auto a = testing::MakeInstance(n, k, edges, costs, 0.4);
+  auto b = testing::MakeInstance(n, k, scaled_edges, scaled_costs, 0.4);
+  SolverOptions opt;
+  opt.seed = 5;
+  auto ra = SolveBaseline(a.get(), opt);
+  ASSERT_TRUE(ra.ok());
+  // The equilibrium of A is an equilibrium of B and vice versa.
+  EXPECT_TRUE(VerifyEquilibrium(b.get(), ra->assignment, 1e-6).ok());
+  auto rb = SolveBaseline(b.get(), opt);
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE(VerifyEquilibrium(a.get(), rb->assignment, 1e-6).ok());
+  EXPECT_NEAR(rb->objective.total, factor * ra->objective.total, 1e-5);
+}
+
+TEST(ScaleInvarianceTest, NormalizationConstantScalesInverselyWithCosts) {
+  // Doubling every distance halves CN (both estimators), leaving the
+  // normalized game unchanged.
+  auto a = testing::MakeRandomInstance(30, 4, 0.2, 0.5, 6);
+  const NormalizationEstimates est = ComputeEstimatesExact(a.get());
+  const double cn_opt =
+      OptimisticConstant(a.get().graph(), 4, est);
+  const double cn_pess =
+      PessimisticConstant(a.get().graph(), 4, est);
+  const NormalizationEstimates doubled{2.0 * est.dist_min,
+                                       2.0 * est.dist_med};
+  EXPECT_NEAR(OptimisticConstant(a.get().graph(), 4, doubled),
+              cn_opt / 2.0, 1e-12);
+  EXPECT_NEAR(PessimisticConstant(a.get().graph(), 4, doubled),
+              cn_pess / 2.0, 1e-12);
+}
+
+class NormalizedSolverSweep
+    : public ::testing::TestWithParam<std::tuple<double,
+                                                 NormalizationPolicy>> {};
+
+TEST_P(NormalizedSolverSweep, AllSolversReachEquilibriaUnderNormalization) {
+  const auto [alpha, policy] = GetParam();
+  auto owned = testing::MakeRandomInstance(50, 5, 0.12, alpha, 7);
+  Instance* inst = owned.mutable_instance();
+  auto cn = NormalizeExact(inst, policy);
+  ASSERT_TRUE(cn.ok());
+  for (SolverKind kind : {SolverKind::kBaseline, SolverKind::kGlobalTable,
+                          SolverKind::kAll}) {
+    SolverOptions opt;
+    opt.seed = 9;
+    auto res = Solve(kind, *inst, opt);
+    ASSERT_TRUE(res.ok()) << SolverKindName(kind);
+    EXPECT_TRUE(res->converged);
+    EXPECT_TRUE(VerifyEquilibrium(*inst, res->assignment).ok())
+        << SolverKindName(kind) << " alpha=" << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NormalizedSolverSweep,
+    ::testing::Combine(
+        ::testing::Values(0.2, 0.5, 0.8),
+        ::testing::Values(NormalizationPolicy::kNone,
+                          NormalizationPolicy::kOptimistic,
+                          NormalizationPolicy::kPessimistic)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<double, NormalizationPolicy>>& info) {
+      const int a = static_cast<int>(std::get<0>(info.param) * 10);
+      const int p = static_cast<int>(std::get<1>(info.param));
+      return "a" + std::to_string(a) + "_p" + std::to_string(p);
+    });
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,234 @@
+#include "core/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+SolverOptions BasicOptions() {
+  SolverOptions opt;
+  opt.seed = 4;
+  return opt;
+}
+
+class AllSolversTest : public ::testing::TestWithParam<SolverKind> {};
+
+TEST_P(AllSolversTest, ConvergesToVerifiedEquilibrium) {
+  auto owned = testing::MakeRandomInstance(60, 5, 0.1, 0.5, 21);
+  auto res = Solve(GetParam(), owned.get(), BasicOptions());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->converged);
+  EXPECT_TRUE(VerifyEquilibrium(owned.get(), res->assignment).ok());
+  EXPECT_GT(res->rounds, 0u);
+  EXPECT_EQ(res->assignment.size(), 60u);
+}
+
+TEST_P(AllSolversTest, DeterministicForSameSeed) {
+  auto owned = testing::MakeRandomInstance(40, 4, 0.15, 0.5, 22);
+  auto a = Solve(GetParam(), owned.get(), BasicOptions());
+  auto b = Solve(GetParam(), owned.get(), BasicOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->rounds, b->rounds);
+}
+
+TEST_P(AllSolversTest, ObjectiveMatchesIndependentEvaluation) {
+  auto owned = testing::MakeRandomInstance(50, 3, 0.1, 0.3, 23);
+  auto res = Solve(GetParam(), owned.get(), BasicOptions());
+  ASSERT_TRUE(res.ok());
+  const CostBreakdown check = EvaluateObjective(owned.get(), res->assignment);
+  EXPECT_NEAR(res->objective.total, check.total, 1e-9);
+  EXPECT_NEAR(res->potential, check.assignment + 0.5 * check.social, 1e-9);
+}
+
+TEST_P(AllSolversTest, ClosestClassInitReachesEquilibrium) {
+  auto owned = testing::MakeRandomInstance(50, 6, 0.1, 0.5, 24);
+  SolverOptions opt = BasicOptions();
+  opt.init = InitPolicy::kClosestClass;
+  opt.order = OrderPolicy::kDegreeDesc;
+  auto res = Solve(GetParam(), owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->converged);
+  EXPECT_TRUE(VerifyEquilibrium(owned.get(), res->assignment).ok());
+}
+
+TEST_P(AllSolversTest, WarmStartFromEquilibriumConvergesInstantly) {
+  // §3.1: seeding a repeated execution with the previous solution should
+  // terminate after a single quiet round.
+  auto owned = testing::MakeRandomInstance(40, 4, 0.12, 0.5, 25);
+  auto first = Solve(GetParam(), owned.get(), BasicOptions());
+  ASSERT_TRUE(first.ok());
+  SolverOptions warm = BasicOptions();
+  warm.init = InitPolicy::kGiven;
+  warm.warm_start = first->assignment;
+  auto second = Solve(GetParam(), owned.get(), warm);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->converged);
+  EXPECT_EQ(second->assignment, first->assignment);
+  EXPECT_EQ(second->rounds, 1u);
+}
+
+TEST_P(AllSolversTest, RejectsBadWarmStart) {
+  auto owned = testing::MakeRandomInstance(10, 2, 0.2, 0.5, 26);
+  SolverOptions opt = BasicOptions();
+  opt.init = InitPolicy::kGiven;
+  opt.warm_start = {0, 1};  // wrong size
+  EXPECT_FALSE(Solve(GetParam(), owned.get(), opt).ok());
+}
+
+TEST_P(AllSolversTest, RejectsZeroMaxRounds) {
+  auto owned = testing::MakeRandomInstance(10, 2, 0.2, 0.5, 27);
+  SolverOptions opt = BasicOptions();
+  opt.max_rounds = 0;
+  EXPECT_FALSE(Solve(GetParam(), owned.get(), opt).ok());
+}
+
+TEST_P(AllSolversTest, RoundStatsRecorded) {
+  auto owned = testing::MakeRandomInstance(30, 3, 0.15, 0.5, 28);
+  SolverOptions opt = BasicOptions();
+  opt.record_rounds = true;
+  opt.record_potential = true;
+  auto res = Solve(GetParam(), owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->round_stats.size(), res->rounds + 1);  // + round 0
+  EXPECT_EQ(res->round_stats.front().round, 0u);
+  EXPECT_EQ(res->round_stats.back().deviations, 0u);
+  // Final recorded potential equals the result potential.
+  EXPECT_NEAR(res->round_stats.back().potential, res->potential, 1e-9);
+}
+
+TEST_P(AllSolversTest, RecordRoundsOffLeavesStatsEmpty) {
+  auto owned = testing::MakeRandomInstance(20, 3, 0.15, 0.5, 29);
+  SolverOptions opt = BasicOptions();
+  opt.record_rounds = false;
+  auto res = Solve(GetParam(), owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->round_stats.empty());
+}
+
+TEST_P(AllSolversTest, SingleClassIsImmediateEquilibrium) {
+  auto owned = testing::MakeRandomInstance(15, 1, 0.2, 0.5, 30);
+  auto res = Solve(GetParam(), owned.get(), BasicOptions());
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->converged);
+  for (ClassId c : res->assignment) EXPECT_EQ(c, 0u);
+}
+
+TEST_P(AllSolversTest, EdgelessGraphAssignsEveryoneToCheapestClass) {
+  // Without social ties the game degenerates to per-user argmin.
+  auto owned = testing::MakeInstance(3, 3, {},
+                                     {5, 1, 9,  //
+                                      2, 8, 4,  //
+                                      6, 7, 3},
+                                     0.5);
+  auto res = Solve(GetParam(), owned.get(), BasicOptions());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->assignment, (Assignment{1, 0, 2}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllSolversTest,
+    ::testing::Values(SolverKind::kBaseline,
+                      SolverKind::kStrategyElimination,
+                      SolverKind::kIndependentSets, SolverKind::kGlobalTable,
+                      SolverKind::kAll),
+    [](const ::testing::TestParamInfo<SolverKind>& info) {
+      return std::string(SolverKindName(info.param)).substr(5);
+    });
+
+TEST(SolverTest, GlobalTableMatchesBaselineExactly) {
+  // With identical init and order, RMGP_gt performs the same deviation
+  // sequence as RMGP_b (it merely skips users that would not move), so
+  // the final assignments must be bit-identical.
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    auto owned = testing::MakeRandomInstance(80, 5, 0.08, 0.5, seed);
+    SolverOptions opt;
+    opt.seed = 7;
+    opt.init = InitPolicy::kClosestClass;
+    opt.order = OrderPolicy::kNodeId;
+    auto base = SolveBaseline(owned.get(), opt);
+    auto gt = SolveGlobalTable(owned.get(), opt);
+    ASSERT_TRUE(base.ok());
+    ASSERT_TRUE(gt.ok());
+    EXPECT_EQ(base->assignment, gt->assignment) << "seed " << seed;
+    EXPECT_EQ(base->rounds, gt->rounds) << "seed " << seed;
+  }
+}
+
+TEST(SolverTest, GlobalTableExaminesFewerUsersOverTime) {
+  auto owned = testing::MakeRandomInstance(200, 6, 0.05, 0.5, 31);
+  SolverOptions opt;
+  opt.seed = 9;
+  auto res = SolveGlobalTable(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  ASSERT_GE(res->round_stats.size(), 3u);
+  // Examined counts must be non-increasing towards convergence and far
+  // below |V| at the end (the Fig 12(c) behavior).
+  const auto& stats = res->round_stats;
+  EXPECT_LT(stats[stats.size() - 2].examined, stats[1].examined);
+}
+
+TEST(SolverTest, StrategyEliminationReportsPruning) {
+  // km-scale distances with small social weights prune aggressively.
+  auto owned = testing::MakeInstance(
+      3, 3, {{0, 1, 0.1}, {1, 2, 0.1}},
+      {1.0, 100.0, 200.0,  //
+       150.0, 2.0, 90.0,   //
+       80.0, 60.0, 3.0},
+      0.5);
+  SolverOptions opt;
+  auto res = SolveStrategyElimination(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->eliminated_users, 3u);
+  EXPECT_EQ(res->pruned_strategies, 6u);
+  EXPECT_EQ(res->assignment, (Assignment{0, 1, 2}));
+}
+
+TEST(SolverTest, IndependentSetsHonorsThreadCounts) {
+  auto owned = testing::MakeRandomInstance(100, 4, 0.08, 0.5, 32);
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    SolverOptions opt;
+    opt.seed = 5;
+    opt.num_threads = threads;
+    auto res = SolveIndependentSets(owned.get(), opt);
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res->converged);
+    EXPECT_TRUE(VerifyEquilibrium(owned.get(), res->assignment).ok());
+  }
+}
+
+TEST(SolverTest, IndependentSetsResultIndependentOfThreadCount) {
+  // Within a color group responses are computed against a snapshot, so
+  // the outcome must not depend on T.
+  auto owned = testing::MakeRandomInstance(120, 4, 0.06, 0.5, 33);
+  SolverOptions opt;
+  opt.seed = 6;
+  opt.init = InitPolicy::kClosestClass;
+  auto t1 = SolveIndependentSets(owned.get(), [&] {
+    SolverOptions o = opt;
+    o.num_threads = 1;
+    return o;
+  }());
+  auto t4 = SolveIndependentSets(owned.get(), [&] {
+    SolverOptions o = opt;
+    o.num_threads = 4;
+    return o;
+  }());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t4.ok());
+  EXPECT_EQ(t1->assignment, t4->assignment);
+}
+
+TEST(SolverTest, SolverKindNames) {
+  EXPECT_STREQ(SolverKindName(SolverKind::kBaseline), "RMGP_b");
+  EXPECT_STREQ(SolverKindName(SolverKind::kStrategyElimination), "RMGP_se");
+  EXPECT_STREQ(SolverKindName(SolverKind::kIndependentSets), "RMGP_is");
+  EXPECT_STREQ(SolverKindName(SolverKind::kGlobalTable), "RMGP_gt");
+  EXPECT_STREQ(SolverKindName(SolverKind::kAll), "RMGP_all");
+}
+
+}  // namespace
+}  // namespace rmgp

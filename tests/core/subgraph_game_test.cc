@@ -1,0 +1,127 @@
+#include "core/subgraph_game.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+TEST(SubgraphGameTest, RejectsBadParticipants) {
+  auto owned = testing::MakeRandomInstance(10, 3, 0.3, 0.5, 1);
+  SolverOptions opt;
+  EXPECT_FALSE(
+      SolveSubgraph(owned.get(), {}, SolverKind::kBaseline, opt).ok());
+  EXPECT_FALSE(
+      SolveSubgraph(owned.get(), {3, 99}, SolverKind::kBaseline, opt).ok());
+  EXPECT_FALSE(
+      SolveSubgraph(owned.get(), {3, 3}, SolverKind::kBaseline, opt).ok());
+}
+
+TEST(SubgraphGameTest, FullParticipationMatchesDirectSolve) {
+  auto owned = testing::MakeRandomInstance(30, 4, 0.2, 0.5, 2);
+  std::vector<NodeId> all(30);
+  for (NodeId v = 0; v < 30; ++v) all[v] = v;
+  SolverOptions opt;
+  opt.seed = 5;
+  auto sub = SolveSubgraph(owned.get(), all, SolverKind::kBaseline, opt);
+  ASSERT_TRUE(sub.ok());
+  auto direct = SolveBaseline(owned.get(), opt);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(sub->solve.assignment, direct->assignment);
+  EXPECT_EQ(sub->full_assignment, direct->assignment);
+}
+
+TEST(SubgraphGameTest, NonParticipantsAreMarked) {
+  auto owned = testing::MakeRandomInstance(20, 3, 0.3, 0.5, 3);
+  SolverOptions opt;
+  auto sub =
+      SolveSubgraph(owned.get(), {2, 5, 11}, SolverKind::kGlobalTable, opt);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->participants, (std::vector<NodeId>{2, 5, 11}));
+  int participating = 0;
+  for (NodeId v = 0; v < 20; ++v) {
+    if (sub->full_assignment[v] != SubgraphSolveResult::kNotParticipating) {
+      ++participating;
+    }
+  }
+  EXPECT_EQ(participating, 3);
+  EXPECT_NE(sub->full_assignment[5],
+            SubgraphSolveResult::kNotParticipating);
+  EXPECT_EQ(sub->full_assignment[0],
+            SubgraphSolveResult::kNotParticipating);
+}
+
+TEST(SubgraphGameTest, SubGameIsEquilibriumOfInducedInstance) {
+  // The sub-game equilibrium ignores edges to non-participants (they are
+  // outside the query); verify equilibrium on the induced instance by
+  // re-solving from the sub-result as warm start: nothing should move.
+  auto owned = testing::MakeRandomInstance(40, 4, 0.2, 0.5, 4);
+  std::vector<NodeId> participants;
+  for (NodeId v = 0; v < 40; v += 2) participants.push_back(v);
+  SolverOptions opt;
+  opt.seed = 9;
+  auto sub = SolveSubgraph(owned.get(), participants,
+                           SolverKind::kBaseline, opt);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_TRUE(sub->solve.converged);
+
+  SolverOptions warm = opt;
+  warm.init = InitPolicy::kGiven;
+  warm.warm_start = sub->full_assignment;
+  // Replace non-participating markers with class 0 to make a valid vector;
+  // participants keep their classes.
+  for (ClassId& c : warm.warm_start) {
+    if (c == SubgraphSolveResult::kNotParticipating) c = 0;
+  }
+  auto again = SolveSubgraph(owned.get(), participants,
+                             SolverKind::kBaseline, warm);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->solve.rounds, 1u);
+  EXPECT_EQ(again->solve.assignment, sub->solve.assignment);
+}
+
+TEST(SubgraphGameTest, UnorderedParticipantsAreSorted) {
+  auto owned = testing::MakeRandomInstance(15, 2, 0.3, 0.5, 5);
+  SolverOptions opt;
+  auto sub =
+      SolveSubgraph(owned.get(), {9, 1, 4}, SolverKind::kBaseline, opt);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->participants, (std::vector<NodeId>{1, 4, 9}));
+}
+
+TEST(SubgraphGameTest, InheritsNormalizationScale) {
+  auto owned = testing::MakeRandomInstance(20, 3, 0.3, 0.5, 6);
+  owned.mutable_instance()->set_cost_scale(100.0);
+  SolverOptions opt;
+  auto sub = SolveSubgraph(owned.get(), {0, 1, 2, 3, 4},
+                           SolverKind::kBaseline, opt);
+  ASSERT_TRUE(sub.ok());
+  // With scale 100 the assignment term dominates: everyone at argmin cost.
+  std::vector<double> row(3);
+  for (size_t i = 0; i < sub->participants.size(); ++i) {
+    owned.get().costs().CostsFor(sub->participants[i], row.data());
+    const ClassId cheapest = static_cast<ClassId>(
+        std::min_element(row.begin(), row.end()) - row.begin());
+    EXPECT_EQ(sub->solve.assignment[i], cheapest);
+  }
+}
+
+TEST(SelectUsersInBoxTest, FiltersByLocation) {
+  std::vector<Point> locations = {
+      {0, 0}, {5, 5}, {2, 2}, {9, 1}, {3, 3}};
+  BoundingBox box{{1, 1}, {4, 4}};
+  EXPECT_EQ(SelectUsersInBox(locations, box),
+            (std::vector<NodeId>{2, 4}));
+}
+
+TEST(SelectUsersInBoxTest, EmptyWhenNobodyInside) {
+  std::vector<Point> locations = {{10, 10}, {20, 20}};
+  BoundingBox box{{0, 0}, {1, 1}};
+  EXPECT_TRUE(SelectUsersInBox(locations, box).empty());
+}
+
+}  // namespace
+}  // namespace rmgp

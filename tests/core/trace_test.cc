@@ -1,0 +1,94 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+TEST(TraceTest, MatchesBaselineDynamicsExactly) {
+  auto owned = testing::MakeRandomInstance(20, 3, 0.25, 0.5, 1);
+  SolverOptions opt;
+  opt.seed = 4;
+  auto traced = TraceGame(owned.get(), opt);
+  ASSERT_TRUE(traced.ok());
+  auto plain = SolveBaseline(owned.get(), opt);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(traced->result.assignment, plain->assignment);
+  EXPECT_EQ(traced->result.rounds, plain->rounds);
+}
+
+TEST(TraceTest, RecordsEveryExaminationPerRound) {
+  auto owned = testing::MakeRandomInstance(12, 3, 0.3, 0.5, 2);
+  SolverOptions opt;
+  opt.seed = 5;
+  auto traced = TraceGame(owned.get(), opt);
+  ASSERT_TRUE(traced.ok());
+  // Baseline examines every player every round.
+  EXPECT_EQ(traced->steps.size(),
+            static_cast<size_t>(traced->result.rounds) * 12);
+  for (const TraceStep& step : traced->steps) {
+    EXPECT_EQ(step.class_costs.size(), 3u);
+    EXPECT_GE(step.round, 1u);
+    EXPECT_LE(step.round, traced->result.rounds);
+  }
+}
+
+TEST(TraceTest, DeviationsAreConsistentWithCosts) {
+  auto owned = testing::MakeRandomInstance(15, 4, 0.25, 0.5, 3);
+  SolverOptions opt;
+  opt.seed = 6;
+  auto traced = TraceGame(owned.get(), opt);
+  ASSERT_TRUE(traced.ok());
+  for (const TraceStep& step : traced->steps) {
+    if (step.deviated) {
+      // The chosen class must cost strictly less than the previous one.
+      EXPECT_LT(step.class_costs[step.chosen_class],
+                step.class_costs[step.previous_class]);
+    } else {
+      EXPECT_EQ(step.chosen_class, step.previous_class);
+    }
+  }
+}
+
+TEST(TraceTest, LastRoundIsQuiet) {
+  auto owned = testing::MakeRandomInstance(10, 3, 0.3, 0.5, 4);
+  SolverOptions opt;
+  auto traced = TraceGame(owned.get(), opt);
+  ASSERT_TRUE(traced.ok());
+  ASSERT_TRUE(traced->result.converged);
+  for (const TraceStep& step : traced->steps) {
+    if (step.round == traced->result.rounds) {
+      EXPECT_FALSE(step.deviated);
+    }
+  }
+}
+
+TEST(TraceTest, ToStringRendersRoundsAndDeviations) {
+  auto owned = testing::MakeInstance(2, 2, {{0, 1, 2.0}},
+                                     {1, 5, 4, 2}, 0.5);
+  SolverOptions opt;
+  opt.init = InitPolicy::kGiven;
+  opt.warm_start = {1, 0};  // both on their worst side: both will move
+  opt.order = OrderPolicy::kNodeId;
+  auto traced = TraceGame(owned.get(), opt);
+  ASSERT_TRUE(traced.ok());
+  const std::string rendered = traced->ToString();
+  EXPECT_NE(rendered.find("--- round 1 ---"), std::string::npos);
+  EXPECT_NE(rendered.find("<-"), std::string::npos);  // some deviation
+  EXPECT_NE(rendered.find("equilibrium after"), std::string::npos);
+}
+
+TEST(TraceTest, InitialAssignmentIsRecorded) {
+  auto owned = testing::MakeRandomInstance(8, 3, 0.3, 0.5, 5);
+  SolverOptions opt;
+  opt.init = InitPolicy::kGiven;
+  opt.warm_start = {0, 1, 2, 0, 1, 2, 0, 1};
+  auto traced = TraceGame(owned.get(), opt);
+  ASSERT_TRUE(traced.ok());
+  EXPECT_EQ(traced->initial, opt.warm_start);
+}
+
+}  // namespace
+}  // namespace rmgp

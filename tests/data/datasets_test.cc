@@ -1,0 +1,108 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "core/instance.h"
+#include "graph/traversal.h"
+#include "spatial/estimators.h"
+
+namespace rmgp {
+namespace {
+
+GowallaLikeOptions SmallGowalla() {
+  // A scaled-down configuration so the unit test stays fast; the full
+  // 12,748-user version is exercised by the figure benches.
+  GowallaLikeOptions opt;
+  opt.num_users = 2000;
+  opt.num_edges = 7600;  // preserves the paper's avg degree 7.6
+  opt.num_events = 32;
+  return opt;
+}
+
+TEST(GowallaLikeTest, MatchesRequestedStatistics) {
+  GeoSocialDataset ds = MakeGowallaLike(SmallGowalla());
+  EXPECT_EQ(ds.graph.num_nodes(), 2000u);
+  EXPECT_EQ(ds.graph.num_edges(), 7600u);
+  EXPECT_EQ(ds.user_locations.size(), 2000u);
+  EXPECT_EQ(ds.event_pool.size(), 32u);
+  EXPECT_NEAR(ds.graph.average_degree(), 7.6, 0.01);
+  // Unit edge weights like the real crawl.
+  EXPECT_DOUBLE_EQ(ds.graph.average_edge_weight(), 1.0);
+}
+
+TEST(GowallaLikeTest, PaperScaleDefaultsMatchPaper) {
+  GowallaLikeOptions opt;  // defaults
+  EXPECT_EQ(opt.num_users, 12748u);
+  EXPECT_EQ(opt.num_edges, 48419u);
+  EXPECT_EQ(opt.num_events, 128u);
+}
+
+TEST(GowallaLikeTest, TwoMetroClustersAreFarApart) {
+  GeoSocialDataset ds = MakeGowallaLike(SmallGowalla());
+  // Users split between two clusters ~290 km apart: the spread of user
+  // locations must far exceed a single metro stddev.
+  BoundingBox box = ComputeBoundingBox(ds.user_locations);
+  EXPECT_GT(box.height(), 200.0);
+}
+
+TEST(GowallaLikeTest, RawDistancesDominateUnitWeights) {
+  // The §3.3 premise: average min user-event distance is large relative
+  // to unit edge weights (the reason normalization matters).
+  GeoSocialDataset ds = MakeGowallaLike(SmallGowalla());
+  DistanceEstimates est =
+      EstimateDistances(ds.user_locations, ds.event_pool);
+  EXPECT_GT(est.dist_med, 20.0);  // tens of km at least
+}
+
+TEST(GowallaLikeTest, MakeCostsBuildsEuclideanProvider) {
+  GeoSocialDataset ds = MakeGowallaLike(SmallGowalla());
+  auto costs = ds.MakeCosts(8);
+  EXPECT_EQ(costs->num_users(), 2000u);
+  EXPECT_EQ(costs->num_classes(), 8u);
+  EXPECT_DOUBLE_EQ(costs->Cost(0, 0),
+                   Distance(ds.user_locations[0], ds.event_pool[0]));
+}
+
+TEST(GowallaLikeTest, DeterministicBySeed) {
+  GeoSocialDataset a = MakeGowallaLike(SmallGowalla());
+  GeoSocialDataset b = MakeGowallaLike(SmallGowalla());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.user_locations[17].x, b.user_locations[17].x);
+  EXPECT_EQ(a.event_pool[3].y, b.event_pool[3].y);
+}
+
+TEST(GowallaLikeTest, InstanceBuildsAndSolvable) {
+  GeoSocialDataset ds = MakeGowallaLike(SmallGowalla());
+  auto costs = ds.MakeCosts(8);
+  auto inst = Instance::Create(&ds.graph, costs, 0.5);
+  ASSERT_TRUE(inst.ok());
+}
+
+TEST(FoursquareLikeTest, ScaleShrinksProportionally) {
+  FoursquareLikeOptions opt;
+  opt.scale = 0.002;  // ~4300 users
+  opt.max_events = 64;
+  GeoSocialDataset ds = MakeFoursquareLike(opt);
+  EXPECT_NEAR(static_cast<double>(ds.graph.num_nodes()), 2153471 * 0.002,
+              1500.0);
+  EXPECT_NEAR(static_cast<double>(ds.graph.num_edges()),
+              27098490 * 0.002, 5000.0);
+  EXPECT_EQ(ds.event_pool.size(), 64u);
+  // Denser than Gowalla (paper avg degree ≈ 25).
+  EXPECT_GT(ds.graph.average_degree(), 15.0);
+}
+
+TEST(UnitSquareToyTest, GeneratesWithinUnitSquare) {
+  GeoSocialDataset ds = MakeUnitSquareToy(50, 5, 0.2, 1);
+  EXPECT_EQ(ds.graph.num_nodes(), 50u);
+  EXPECT_EQ(ds.event_pool.size(), 5u);
+  for (const Point& p : ds.user_locations) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,97 @@
+#include "data/geo_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace rmgp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GeoIoTest, PointsRoundTrip) {
+  std::vector<Point> pts{{1.5, -2.25}, {0.0, 0.0}, {1e6, -1e-6}};
+  const std::string path = TempPath("pts.csv");
+  ASSERT_TRUE(WritePointsCsv(pts, path).ok());
+  auto loaded = ReadPointsCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*loaded)[i].x, pts[i].x);
+    EXPECT_DOUBLE_EQ((*loaded)[i].y, pts[i].y);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GeoIoTest, PointsOutOfOrderIdsAccepted) {
+  const std::string path = TempPath("ooo.csv");
+  {
+    std::ofstream f(path);
+    f << "id,x,y\n2,2.0,2.0\n0,0.0,0.0\n1,1.0,1.0\n";
+  }
+  auto loaded = ReadPointsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ((*loaded)[2].x, 2.0);
+  EXPECT_DOUBLE_EQ((*loaded)[0].x, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(GeoIoTest, MissingIdRejected) {
+  const std::string path = TempPath("gap.csv");
+  {
+    std::ofstream f(path);
+    f << "id,x,y\n0,0,0\n2,2,2\n";
+  }
+  EXPECT_FALSE(ReadPointsCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GeoIoTest, DuplicateIdRejected) {
+  const std::string path = TempPath("dup.csv");
+  {
+    std::ofstream f(path);
+    f << "id,x,y\n0,0,0\n0,1,1\n";
+  }
+  EXPECT_FALSE(ReadPointsCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GeoIoTest, MalformedPointRowRejected) {
+  const std::string path = TempPath("bad.csv");
+  {
+    std::ofstream f(path);
+    f << "id,x,y\n0,hello,1\n";
+  }
+  EXPECT_FALSE(ReadPointsCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GeoIoTest, MissingFileRejected) {
+  EXPECT_FALSE(ReadPointsCsv("/nonexistent-xyz/p.csv").ok());
+  EXPECT_FALSE(ReadAssignmentCsv("/nonexistent-xyz/a.csv").ok());
+}
+
+TEST(GeoIoTest, AssignmentRoundTrip) {
+  Assignment a{0, 3, 1, UINT32_MAX, 2};
+  const std::string path = TempPath("assign.csv");
+  ASSERT_TRUE(WriteAssignmentCsv(a, path).ok());
+  auto loaded = ReadAssignmentCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, a);
+  std::remove(path.c_str());
+}
+
+TEST(GeoIoTest, EmptyAssignmentRoundTrip) {
+  const std::string path = TempPath("empty_assign.csv");
+  ASSERT_TRUE(WriteAssignmentCsv({}, path).ok());
+  auto loaded = ReadAssignmentCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,112 @@
+#include "data/tagp.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/normalization.h"
+#include "core/solver.h"
+
+namespace rmgp {
+namespace {
+
+TagpOptions SmallTagp() {
+  TagpOptions opt;
+  opt.num_users = 500;
+  opt.num_ads = 8;
+  opt.num_topics = 12;
+  return opt;
+}
+
+TEST(TagpTest, ShapesMatchOptions) {
+  TagpDataset ds = MakeTagp(SmallTagp());
+  EXPECT_EQ(ds.graph.num_nodes(), 500u);
+  EXPECT_EQ(ds.user_topics.size(), 500u);
+  EXPECT_EQ(ds.ad_topics.size(), 8u);
+  EXPECT_EQ(ds.costs->num_users(), 500u);
+  EXPECT_EQ(ds.costs->num_classes(), 8u);
+}
+
+TEST(TagpTest, TopicVectorsAreUnitNorm) {
+  TagpDataset ds = MakeTagp(SmallTagp());
+  for (const auto& v : ds.ad_topics) {
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    EXPECT_NEAR(norm, 1.0, 1e-9);
+  }
+}
+
+TEST(TagpTest, CostsAreDissimilaritiesInRange) {
+  TagpDataset ds = MakeTagp(SmallTagp());
+  for (NodeId v = 0; v < 100; ++v) {
+    for (ClassId p = 0; p < 8; ++p) {
+      const double c = ds.costs->Cost(v, p);
+      EXPECT_GE(c, -1e-9);
+      EXPECT_LE(c, 1.0 + 1e-9);  // nonnegative vectors: cosine >= 0
+    }
+  }
+}
+
+TEST(TagpTest, UsersLeanTowardsSomeAd) {
+  // Each user is generated around a latent ad interest, so min cost is
+  // clearly below the mean cost.
+  TagpDataset ds = MakeTagp(SmallTagp());
+  double min_sum = 0.0, mean_sum = 0.0;
+  for (NodeId v = 0; v < 500; ++v) {
+    double mn = 1e9, total = 0.0;
+    for (ClassId p = 0; p < 8; ++p) {
+      const double c = ds.costs->Cost(v, p);
+      mn = std::min(mn, c);
+      total += c;
+    }
+    min_sum += mn;
+    mean_sum += total / 8;
+  }
+  EXPECT_LT(min_sum, 0.6 * mean_sum);
+}
+
+TEST(TagpTest, EdgeWeightsAreCommonDiscussionCounts) {
+  // Weights are positive integers with the configured mean (§3.3: "order
+  // of thousands" totals for heavy users).
+  TagpOptions opt = SmallTagp();
+  opt.mean_common_discussions = 25.0;
+  TagpDataset ds = MakeTagp(opt);
+  double sum = 0.0;
+  uint64_t count = 0;
+  for (const Edge& e : ds.graph.CollectEdges()) {
+    EXPECT_GE(e.weight, 1.0);
+    EXPECT_DOUBLE_EQ(e.weight, std::floor(e.weight));
+    sum += e.weight;
+    ++count;
+  }
+  EXPECT_NEAR(sum / count, 25.0, 5.0);
+}
+
+TEST(TagpTest, OppositeNormalizationDirectionFromLagp) {
+  // TAGP inverts LAGP's imbalance: costs in [0,1], social weights huge.
+  // The pessimistic CN must scale costs UP (CN > 1).
+  TagpDataset ds = MakeTagp(SmallTagp());
+  auto inst = Instance::Create(&ds.graph, ds.costs, 0.5);
+  ASSERT_TRUE(inst.ok());
+  auto cn = NormalizeExact(&inst.value(), NormalizationPolicy::kPessimistic);
+  ASSERT_TRUE(cn.ok());
+  EXPECT_GT(*cn, 1.0);
+}
+
+TEST(TagpTest, GameSolvesNormalizedTagp) {
+  TagpDataset ds = MakeTagp(SmallTagp());
+  auto inst = Instance::Create(&ds.graph, ds.costs, 0.5);
+  ASSERT_TRUE(inst.ok());
+  ASSERT_TRUE(
+      NormalizeExact(&inst.value(), NormalizationPolicy::kPessimistic).ok());
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  auto res = SolveAll(inst.value(), opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->converged);
+  EXPECT_TRUE(VerifyEquilibrium(inst.value(), res->assignment).ok());
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,276 @@
+#include "dist/decentralized.h"
+
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "core/subgraph_game.h"
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+DecentralizedOptions TwoSlaves() {
+  DecentralizedOptions opt;
+  opt.num_slaves = 2;
+  opt.solver.init = InitPolicy::kClosestClass;
+  opt.solver.order = OrderPolicy::kNodeId;
+  return opt;
+}
+
+TEST(NetworkModelTest, TransferSecondsFormula) {
+  NetworkModel net;
+  net.bandwidth_mbps = 100.0;
+  net.latency_ms = 1.0;
+  // 100 Mbps = 12.5 MB/s; 12.5 MB in 1 message = 1 s + 1 ms.
+  EXPECT_NEAR(net.TransferSeconds(12'500'000, 1), 1.001, 1e-9);
+  EXPECT_NEAR(net.TransferSeconds(0, 10), 0.010, 1e-12);
+}
+
+TEST(TrafficStatsTest, AccumulatesAndMerges) {
+  TrafficStats a;
+  a.Add(100, 2);
+  a.Add(50);
+  TrafficStats b;
+  b.Add(25, 3);
+  a.Merge(b);
+  EXPECT_EQ(a.bytes, 175u);
+  EXPECT_EQ(a.messages, 6u);
+}
+
+TEST(DgTest, RejectsZeroSlaves) {
+  auto owned = testing::MakeRandomInstance(10, 2, 0.2, 0.5, 1);
+  DecentralizedOptions opt;
+  opt.num_slaves = 0;
+  EXPECT_FALSE(RunDecentralizedGame(owned.get(), opt).ok());
+  EXPECT_FALSE(RunFetchAndExecute(owned.get(), opt).ok());
+}
+
+TEST(DgTest, ConvergesToVerifiedEquilibrium) {
+  auto owned = testing::MakeRandomInstance(80, 5, 0.08, 0.5, 2);
+  auto res = RunDecentralizedGame(owned.get(), TwoSlaves());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->converged);
+  EXPECT_TRUE(VerifyEquilibrium(owned.get(), res->assignment).ok());
+}
+
+TEST(DgTest, MatchesCentralizedColorSynchronousGame) {
+  // DG with closest-class init performs exactly the coloring-synchronous
+  // dynamics of RMGP_is/RMGP_all; assignments must agree bit-for-bit.
+  for (uint64_t seed : {3ull, 4ull, 5ull}) {
+    auto owned = testing::MakeRandomInstance(60, 4, 0.1, 0.5, seed);
+    auto dg = RunDecentralizedGame(owned.get(), TwoSlaves());
+    ASSERT_TRUE(dg.ok());
+    SolverOptions central = TwoSlaves().solver;
+    auto all = SolveAll(owned.get(), central);
+    ASSERT_TRUE(all.ok());
+    EXPECT_EQ(dg->assignment, all->assignment) << "seed " << seed;
+  }
+}
+
+TEST(DgTest, ResultIndependentOfSlaveCount) {
+  auto owned = testing::MakeRandomInstance(70, 4, 0.1, 0.5, 6);
+  DecentralizedOptions two = TwoSlaves();
+  DecentralizedOptions four = TwoSlaves();
+  four.num_slaves = 4;
+  auto a = RunDecentralizedGame(owned.get(), two);
+  auto b = RunDecentralizedGame(owned.get(), four);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(DgTest, RoundZeroDominatesTraffic) {
+  // Fig 14: the GSV broadcast makes round 0 the traffic peak; later
+  // rounds ship only deltas.
+  auto owned = testing::MakeRandomInstance(200, 6, 0.05, 0.5, 7);
+  auto res = RunDecentralizedGame(owned.get(), TwoSlaves());
+  ASSERT_TRUE(res.ok());
+  ASSERT_GE(res->round_stats.size(), 2u);
+  const auto& stats = res->round_stats;
+  for (size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_LT(stats[i].bytes, stats[0].bytes) << "round " << i;
+  }
+}
+
+TEST(DgTest, TrafficDecaysAcrossRounds) {
+  auto owned = testing::MakeRandomInstance(300, 6, 0.04, 0.5, 8);
+  DecentralizedOptions opt = TwoSlaves();
+  opt.solver.init = InitPolicy::kRandom;  // more rounds to observe decay
+  auto res = RunDecentralizedGame(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  ASSERT_GE(res->round_stats.size(), 3u);
+  // Deviations (and hence shipped bytes) shrink towards convergence.
+  const auto& stats = res->round_stats;
+  EXPECT_GT(stats[1].deviations, stats[stats.size() - 1].deviations);
+  EXPECT_EQ(stats.back().deviations, 0u);
+}
+
+TEST(DgTest, TotalsAggregateRoundStats) {
+  auto owned = testing::MakeRandomInstance(50, 3, 0.1, 0.5, 9);
+  auto res = RunDecentralizedGame(owned.get(), TwoSlaves());
+  ASSERT_TRUE(res.ok());
+  uint64_t bytes = 0;
+  double seconds = 0.0;
+  for (const auto& rs : res->round_stats) {
+    bytes += rs.bytes;
+    seconds += rs.seconds;
+  }
+  EXPECT_EQ(res->traffic.bytes, bytes);
+  EXPECT_NEAR(res->simulated_seconds, seconds, 1e-9);
+}
+
+TEST(FaeTest, TransfersWholeGraphOnce) {
+  auto owned = testing::MakeRandomInstance(100, 4, 0.1, 0.5, 10);
+  auto res = RunFetchAndExecute(owned.get(), TwoSlaves());
+  ASSERT_TRUE(res.ok());
+  const uint64_t expected_bytes =
+      owned.get().graph().num_edges() * wire::kPerEdge +
+      100ull * wire::kPerLocation;
+  EXPECT_EQ(res->traffic.bytes, expected_bytes);
+  EXPECT_GT(res->transfer_seconds, 0.0);
+  EXPECT_NEAR(res->total_seconds,
+              res->transfer_seconds + res->execute_seconds, 1e-12);
+}
+
+TEST(FaeTest, ProducesVerifiedEquilibrium) {
+  auto owned = testing::MakeRandomInstance(60, 4, 0.1, 0.5, 11);
+  auto res = RunFetchAndExecute(owned.get(), TwoSlaves());
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(VerifyEquilibrium(owned.get(), res->assignment).ok());
+}
+
+TEST(DgVsFaeTest, DgShipsFarFewerBytesOnLargeGraphs) {
+  // The Fig 13 story: FaE pays for the whole graph, DG only for the GSV
+  // and deltas — on edge-heavy graphs DG's traffic is far smaller.
+  auto owned = testing::MakeRandomInstance(300, 4, 0.2, 0.5, 12);
+  auto dg = RunDecentralizedGame(owned.get(), TwoSlaves());
+  auto fae = RunFetchAndExecute(owned.get(), TwoSlaves());
+  ASSERT_TRUE(dg.ok());
+  ASSERT_TRUE(fae.ok());
+  EXPECT_LT(dg->traffic.bytes, fae->traffic.bytes);
+}
+
+TEST(DirectExchangeTest, SameGameLessTraffic) {
+  // §5: direct slave-to-slave exchange bypasses the master hop; the game
+  // outcome is identical and the change traffic shrinks.
+  auto owned = testing::MakeRandomInstance(200, 5, 0.06, 0.5, 20);
+  DecentralizedOptions relay = TwoSlaves();
+  relay.solver.init = InitPolicy::kRandom;
+  DecentralizedOptions direct = relay;
+  direct.direct_exchange = true;
+  auto a = RunDecentralizedGame(owned.get(), relay);
+  auto b = RunDecentralizedGame(owned.get(), direct);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->rounds, b->rounds);
+  EXPECT_LT(b->traffic.bytes, a->traffic.bytes);
+}
+
+TEST(MulticastTest, SameGameFarLessTrafficWithLocality) {
+  // Interest multicast + locality placement: changes of users whose
+  // friends are co-located never cross the network; the game outcome is
+  // unchanged.
+  auto owned = testing::MakeRandomInstance(200, 5, 0.06, 0.5, 30);
+  DecentralizedOptions broadcast = TwoSlaves();
+  broadcast.solver.init = InitPolicy::kRandom;
+  DecentralizedOptions multicast = broadcast;
+  multicast.interest_multicast = true;
+  multicast.partition = PartitionScheme::kLocality;
+
+  auto a = RunDecentralizedGame(owned.get(), broadcast);
+  auto b = RunDecentralizedGame(owned.get(), multicast);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Placement differs, so equilibria may differ — but both must verify.
+  EXPECT_TRUE(VerifyEquilibrium(owned.get(), a->assignment).ok());
+  EXPECT_TRUE(VerifyEquilibrium(owned.get(), b->assignment).ok());
+  EXPECT_LT(b->traffic.bytes, a->traffic.bytes);
+}
+
+TEST(MulticastTest, SamePlacementSameAssignment) {
+  // With identical (hash) placement, multicast only filters traffic; the
+  // assignment must be bit-identical to broadcast.
+  auto owned = testing::MakeRandomInstance(150, 4, 0.08, 0.5, 31);
+  DecentralizedOptions broadcast = TwoSlaves();
+  DecentralizedOptions multicast = TwoSlaves();
+  multicast.interest_multicast = true;
+  auto a = RunDecentralizedGame(owned.get(), broadcast);
+  auto b = RunDecentralizedGame(owned.get(), multicast);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_LE(b->traffic.bytes, a->traffic.bytes);
+}
+
+TEST(MulticastTest, RejectsTooManySlaves) {
+  auto owned = testing::MakeRandomInstance(10, 2, 0.2, 0.5, 32);
+  DecentralizedOptions opt = TwoSlaves();
+  opt.num_slaves = 65;
+  opt.interest_multicast = true;
+  EXPECT_FALSE(RunDecentralizedGame(owned.get(), opt).ok());
+}
+
+TEST(LocalityPartitionTest, ConvergesAndVerifies) {
+  auto owned = testing::MakeRandomInstance(120, 4, 0.08, 0.5, 33);
+  DecentralizedOptions opt = TwoSlaves();
+  opt.num_slaves = 3;
+  opt.partition = PartitionScheme::kLocality;
+  auto res = RunDecentralizedGame(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->converged);
+  EXPECT_TRUE(VerifyEquilibrium(owned.get(), res->assignment).ok());
+}
+
+TEST(DgAreaTest, RejectsBadParticipants) {
+  auto owned = testing::MakeRandomInstance(20, 3, 0.2, 0.5, 21);
+  DecentralizedOptions opt = TwoSlaves();
+  EXPECT_FALSE(RunDecentralizedGameInArea(owned.get(), {}, opt).ok());
+  EXPECT_FALSE(
+      RunDecentralizedGameInArea(owned.get(), {1, 99}, opt).ok());
+  EXPECT_FALSE(RunDecentralizedGameInArea(owned.get(), {1, 1}, opt).ok());
+}
+
+TEST(DgAreaTest, MatchesCentralizedSubgraphGame) {
+  auto owned = testing::MakeRandomInstance(80, 4, 0.1, 0.5, 22);
+  std::vector<NodeId> participants;
+  for (NodeId v = 0; v < 80; v += 3) participants.push_back(v);
+  DecentralizedOptions opt = TwoSlaves();
+  auto dg = RunDecentralizedGameInArea(owned.get(), participants, opt);
+  ASSERT_TRUE(dg.ok()) << dg.status().ToString();
+  auto central = SolveSubgraph(owned.get(), participants,
+                               SolverKind::kAll, opt.solver);
+  ASSERT_TRUE(central.ok());
+  EXPECT_EQ(dg->dg.assignment, central->solve.assignment);
+  EXPECT_EQ(dg->full_assignment, central->full_assignment);
+}
+
+TEST(DgAreaTest, TrafficScalesWithAreaNotGraph) {
+  // The GSV covers participants only: a small area ships far fewer bytes
+  // than the full game (round 0 is GSV-dominated).
+  auto owned = testing::MakeRandomInstance(400, 4, 0.03, 0.5, 23);
+  DecentralizedOptions opt = TwoSlaves();
+  std::vector<NodeId> small_area;
+  for (NodeId v = 0; v < 40; ++v) small_area.push_back(v);
+  auto small = RunDecentralizedGameInArea(owned.get(), small_area, opt);
+  ASSERT_TRUE(small.ok());
+  auto full = RunDecentralizedGame(owned.get(), opt);
+  ASSERT_TRUE(full.ok());
+  EXPECT_LT(small->dg.traffic.bytes, full->traffic.bytes / 4);
+}
+
+TEST(DgTest, WarmStartConvergesInOneRound) {
+  auto owned = testing::MakeRandomInstance(50, 4, 0.1, 0.5, 13);
+  auto first = RunDecentralizedGame(owned.get(), TwoSlaves());
+  ASSERT_TRUE(first.ok());
+  DecentralizedOptions warm = TwoSlaves();
+  warm.solver.init = InitPolicy::kGiven;
+  warm.solver.warm_start = first->assignment;
+  auto second = RunDecentralizedGame(owned.get(), warm);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->rounds, 1u);
+  EXPECT_EQ(second->assignment, first->assignment);
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/subgraph_game.h"
+#include "data/datasets.h"
+#include "dist/decentralized.h"
+#include "spatial/estimators.h"
+
+namespace rmgp {
+namespace {
+
+TEST(NetworkSensitivityTest, SlowerLinksOnlyStretchSimulatedTime) {
+  GeoSocialDataset ds = MakeUnitSquareToy(150, 6, 0.05, 1);
+  auto costs = ds.MakeCosts(6);
+  auto inst = Instance::Create(&ds.graph, costs, 0.5);
+  ASSERT_TRUE(inst.ok());
+
+  DecentralizedOptions fast;
+  fast.num_slaves = 2;
+  fast.solver.init = InitPolicy::kClosestClass;
+  fast.network.bandwidth_mbps = 1000.0;
+  fast.network.latency_ms = 0.05;
+  DecentralizedOptions slow = fast;
+  slow.network.bandwidth_mbps = 10.0;
+  slow.network.latency_ms = 5.0;
+
+  auto a = RunDecentralizedGame(*inst, fast);
+  auto b = RunDecentralizedGame(*inst, slow);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // The network model never affects the game itself.
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->rounds, b->rounds);
+  EXPECT_EQ(a->traffic.bytes, b->traffic.bytes);
+  EXPECT_EQ(a->traffic.messages, b->traffic.messages);
+  // Only the simulated clock stretches.
+  EXPECT_GT(b->simulated_seconds, a->simulated_seconds);
+}
+
+TEST(NetworkSensitivityTest, FaeTransferScalesWithBandwidth) {
+  GeoSocialDataset ds = MakeUnitSquareToy(200, 4, 0.1, 2);
+  auto costs = ds.MakeCosts(4);
+  auto inst = Instance::Create(&ds.graph, costs, 0.5);
+  ASSERT_TRUE(inst.ok());
+  DecentralizedOptions opt;
+  opt.num_slaves = 2;
+  opt.network.latency_ms = 0.0;
+  opt.network.bandwidth_mbps = 100.0;
+  auto at100 = RunFetchAndExecute(*inst, opt);
+  ASSERT_TRUE(at100.ok());
+  opt.network.bandwidth_mbps = 50.0;
+  auto at50 = RunFetchAndExecute(*inst, opt);
+  ASSERT_TRUE(at50.ok());
+  EXPECT_NEAR(at50->transfer_seconds, 2.0 * at100->transfer_seconds,
+              1e-9);
+}
+
+TEST(DgAreaGeoTest, BoxQueryOverGeoDataset) {
+  // End-to-end area query: select a spatial box of users, run DG over
+  // the induced game, verify everyone outside stays unassigned.
+  GeoSocialDataset ds = MakeUnitSquareToy(300, 8, 0.04, 3);
+  auto costs = ds.MakeCosts(8);
+  auto inst = Instance::Create(&ds.graph, costs, 0.5);
+  ASSERT_TRUE(inst.ok());
+  const BoundingBox box{{0.0, 0.0}, {0.5, 0.5}};
+  const std::vector<NodeId> participants =
+      SelectUsersInBox(ds.user_locations, box);
+  ASSERT_FALSE(participants.empty());
+  ASSERT_LT(participants.size(), 300u);
+
+  DecentralizedOptions opt;
+  opt.num_slaves = 2;
+  opt.solver.init = InitPolicy::kClosestClass;
+  auto res = RunDecentralizedGameInArea(*inst, participants, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->dg.converged);
+  for (NodeId v = 0; v < 300; ++v) {
+    const bool inside = box.Contains(ds.user_locations[v]);
+    EXPECT_EQ(res->full_assignment[v] != DgAreaResult::kNotParticipating,
+              inside)
+        << "user " << v;
+  }
+}
+
+}  // namespace
+}  // namespace rmgp

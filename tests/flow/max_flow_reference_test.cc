@@ -1,0 +1,95 @@
+// Differential test: Dinic against a simple Edmonds–Karp reference
+// implementation on random capacitated graphs.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "flow/max_flow.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+/// Textbook Edmonds–Karp on an adjacency matrix — slow but obviously
+/// correct; the oracle for the Dinic implementation.
+double EdmondsKarp(std::vector<std::vector<double>> cap, uint32_t s,
+                   uint32_t t) {
+  const uint32_t n = static_cast<uint32_t>(cap.size());
+  double flow = 0.0;
+  for (;;) {
+    std::vector<int32_t> parent(n, -1);
+    parent[s] = static_cast<int32_t>(s);
+    std::queue<uint32_t> q;
+    q.push(s);
+    while (!q.empty() && parent[t] < 0) {
+      const uint32_t v = q.front();
+      q.pop();
+      for (uint32_t u = 0; u < n; ++u) {
+        if (parent[u] < 0 && cap[v][u] > 1e-12) {
+          parent[u] = static_cast<int32_t>(v);
+          q.push(u);
+        }
+      }
+    }
+    if (parent[t] < 0) return flow;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (uint32_t v = t; v != s; v = static_cast<uint32_t>(parent[v])) {
+      bottleneck = std::min(bottleneck,
+                            cap[static_cast<uint32_t>(parent[v])][v]);
+    }
+    for (uint32_t v = t; v != s; v = static_cast<uint32_t>(parent[v])) {
+      const uint32_t p = static_cast<uint32_t>(parent[v]);
+      cap[p][v] -= bottleneck;
+      cap[v][p] += bottleneck;
+    }
+    flow += bottleneck;
+  }
+}
+
+class FlowReferenceTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, double,
+                                                 uint64_t>> {};
+
+TEST_P(FlowReferenceTest, DinicMatchesEdmondsKarp) {
+  const auto [n, density, seed] = GetParam();
+  Rng rng(seed);
+  MaxFlow dinic(n);
+  std::vector<std::vector<double>> cap(n, std::vector<double>(n, 0.0));
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = 0; v < n; ++v) {
+      if (u != v && rng.Bernoulli(density)) {
+        const double c = rng.UniformDouble(0.5, 10.0);
+        dinic.AddEdge(u, v, c);
+        cap[u][v] += c;
+      }
+    }
+  }
+  const uint32_t s = 0, t = n - 1;
+  const double got = dinic.Solve(s, t);
+  const double want = EdmondsKarp(cap, s, t);
+  EXPECT_NEAR(got, want, 1e-7 * (1.0 + want));
+
+  // Min-cut capacity check (max-flow min-cut duality).
+  const auto side = dinic.MinCutSourceSide(s);
+  EXPECT_TRUE(side[s]);
+  EXPECT_FALSE(side[t]);
+  double cut = 0.0;
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = 0; v < n; ++v) {
+      if (side[u] && !side[v]) cut += cap[u][v];
+    }
+  }
+  EXPECT_NEAR(cut, want, 1e-7 * (1.0 + want));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomNetworks, FlowReferenceTest,
+    ::testing::Combine(::testing::Values(6u, 12u, 25u),
+                       ::testing::Values(0.15, 0.35, 0.7),
+                       ::testing::Values(1ull, 2ull, 3ull, 4ull)));
+
+}  // namespace
+}  // namespace rmgp

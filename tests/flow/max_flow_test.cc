@@ -1,0 +1,117 @@
+#include "flow/max_flow.h"
+
+#include <gtest/gtest.h>
+
+namespace rmgp {
+namespace {
+
+TEST(MaxFlowTest, SingleEdge) {
+  MaxFlow f(2);
+  f.AddEdge(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 1), 5.0);
+}
+
+TEST(MaxFlowTest, NoPathGivesZero) {
+  MaxFlow f(3);
+  f.AddEdge(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 2), 0.0);
+}
+
+TEST(MaxFlowTest, SeriesBottleneck) {
+  MaxFlow f(3);
+  f.AddEdge(0, 1, 10.0);
+  f.AddEdge(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 2), 3.0);
+}
+
+TEST(MaxFlowTest, ParallelPathsAdd) {
+  MaxFlow f(4);
+  f.AddEdge(0, 1, 2.0);
+  f.AddEdge(1, 3, 2.0);
+  f.AddEdge(0, 2, 3.0);
+  f.AddEdge(2, 3, 3.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 3), 5.0);
+}
+
+TEST(MaxFlowTest, ClassicCrossNetwork) {
+  // The textbook 6-node network with max flow 23 (CLRS Fig. 26.1).
+  MaxFlow f(6);
+  f.AddEdge(0, 1, 16.0);
+  f.AddEdge(0, 2, 13.0);
+  f.AddEdge(1, 2, 10.0);
+  f.AddEdge(2, 1, 4.0);
+  f.AddEdge(1, 3, 12.0);
+  f.AddEdge(3, 2, 9.0);
+  f.AddEdge(2, 4, 14.0);
+  f.AddEdge(4, 3, 7.0);
+  f.AddEdge(3, 5, 20.0);
+  f.AddEdge(4, 5, 4.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 5), 23.0);
+}
+
+TEST(MaxFlowTest, UndirectedEdgeCarriesEitherDirection) {
+  MaxFlow f(3);
+  f.AddUndirectedEdge(0, 1, 4.0);
+  f.AddUndirectedEdge(1, 2, 4.0);
+  EXPECT_DOUBLE_EQ(f.Solve(2, 0), 4.0);
+}
+
+TEST(MaxFlowTest, MinCutSeparatesSourceFromSink) {
+  MaxFlow f(4);
+  f.AddEdge(0, 1, 1.0);
+  f.AddEdge(1, 2, 10.0);
+  f.AddEdge(2, 3, 10.0);
+  f.Solve(0, 3);
+  auto side = f.MinCutSourceSide(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[1]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(MaxFlowTest, MinCutValueEqualsMaxFlow) {
+  // Max-flow min-cut duality on a small diamond.
+  MaxFlow f(4);
+  uint32_t e01 = f.AddEdge(0, 1, 3.0);
+  uint32_t e02 = f.AddEdge(0, 2, 2.0);
+  uint32_t e13 = f.AddEdge(1, 3, 2.0);
+  uint32_t e23 = f.AddEdge(2, 3, 3.0);
+  (void)e01;
+  (void)e02;
+  (void)e13;
+  (void)e23;
+  const double flow = f.Solve(0, 3);
+  EXPECT_DOUBLE_EQ(flow, 4.0);
+  auto side = f.MinCutSourceSide(0);
+  // Cut capacity across the partition equals the flow.
+  double cut = 0.0;
+  struct E {
+    uint32_t u, v;
+    double cap;
+  };
+  for (E e : {E{0, 1, 3.0}, E{0, 2, 2.0}, E{1, 3, 2.0}, E{2, 3, 3.0}}) {
+    if (side[e.u] && !side[e.v]) cut += e.cap;
+  }
+  EXPECT_DOUBLE_EQ(cut, flow);
+}
+
+TEST(MaxFlowTest, FlowConservationOnEdges) {
+  MaxFlow f(4);
+  uint32_t a = f.AddEdge(0, 1, 5.0);
+  uint32_t b = f.AddEdge(1, 2, 3.0);
+  uint32_t c = f.AddEdge(1, 3, 9.0);
+  uint32_t d = f.AddEdge(2, 3, 9.0);
+  const double flow = f.Solve(0, 3);
+  EXPECT_DOUBLE_EQ(flow, 5.0);
+  EXPECT_DOUBLE_EQ(f.FlowOn(a), 5.0);
+  EXPECT_DOUBLE_EQ(f.FlowOn(b) + f.FlowOn(c), 5.0);
+  EXPECT_DOUBLE_EQ(f.FlowOn(d), f.FlowOn(b));
+}
+
+TEST(MaxFlowTest, ZeroCapacityEdge) {
+  MaxFlow f(2);
+  f.AddEdge(0, 1, 0.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace rmgp

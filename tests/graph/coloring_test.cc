@@ -1,0 +1,96 @@
+#include "graph/coloring.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace rmgp {
+namespace {
+
+TEST(ColoringTest, EdgelessGraphUsesOneColor) {
+  GraphBuilder b(4);
+  Graph g = std::move(b).Build();
+  Coloring c = GreedyColoring(g);
+  EXPECT_EQ(c.num_colors(), 1u);
+  EXPECT_TRUE(ValidateColoring(g, c).ok());
+}
+
+TEST(ColoringTest, TriangleNeedsThreeColors) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2).ok());
+  Graph g = std::move(b).Build();
+  Coloring c = GreedyColoring(g);
+  EXPECT_EQ(c.num_colors(), 3u);
+  EXPECT_TRUE(ValidateColoring(g, c).ok());
+}
+
+TEST(ColoringTest, StarUsesTwoColors) {
+  GraphBuilder b(10);
+  for (NodeId v = 1; v < 10; ++v) ASSERT_TRUE(b.AddEdge(0, v).ok());
+  Graph g = std::move(b).Build();
+  Coloring c = GreedyColoring(g);
+  EXPECT_EQ(c.num_colors(), 2u);
+  EXPECT_TRUE(ValidateColoring(g, c).ok());
+}
+
+TEST(ColoringTest, PathUsesTwoColors) {
+  GraphBuilder b(6);
+  for (NodeId v = 0; v + 1 < 6; ++v) ASSERT_TRUE(b.AddEdge(v, v + 1).ok());
+  Graph g = std::move(b).Build();
+  Coloring c = GreedyColoring(g);
+  EXPECT_EQ(c.num_colors(), 2u);
+  EXPECT_TRUE(ValidateColoring(g, c).ok());
+}
+
+TEST(ColoringTest, GroupsPartitionNodes) {
+  Graph g = ErdosRenyi(50, 0.2, 7);
+  Coloring c = GreedyColoring(g);
+  EXPECT_TRUE(ValidateColoring(g, c).ok());
+  size_t total = 0;
+  for (const auto& group : c.groups) total += group.size();
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+TEST(ColoringTest, ValidateRejectsBadColoring) {
+  GraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = std::move(b).Build();
+  Coloring bad;
+  bad.color = {0, 0};
+  bad.groups = {{0, 1}};
+  EXPECT_EQ(ValidateColoring(g, bad).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ColoringTest, ValidateRejectsWrongSize) {
+  GraphBuilder b(3);
+  Graph g = std::move(b).Build();
+  Coloring bad;
+  bad.color = {0};
+  EXPECT_EQ(ValidateColoring(g, bad).code(), StatusCode::kInvalidArgument);
+}
+
+/// Property sweep: greedy coloring is proper and uses at most d_max + 1
+/// colors (the §4.2 guarantee) on a variety of random graphs.
+class ColoringPropertyTest
+    : public ::testing::TestWithParam<std::tuple<NodeId, double, uint64_t>> {
+};
+
+TEST_P(ColoringPropertyTest, ProperAndBounded) {
+  const auto [n, p, seed] = GetParam();
+  Graph g = ErdosRenyi(n, p, seed);
+  Coloring c = GreedyColoring(g);
+  EXPECT_TRUE(ValidateColoring(g, c).ok());
+  EXPECT_LE(c.num_colors(), g.max_degree() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, ColoringPropertyTest,
+    ::testing::Combine(::testing::Values(10, 60, 200),
+                       ::testing::Values(0.05, 0.2, 0.6),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace rmgp

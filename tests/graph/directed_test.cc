@@ -1,0 +1,72 @@
+#include "graph/directed.h"
+
+#include <gtest/gtest.h>
+
+namespace rmgp {
+namespace {
+
+TEST(DirectedTest, RejectsBadEdges) {
+  EXPECT_FALSE(
+      SymmetrizeDirected(2, {{0, 5, 1.0}}, DirectedCombine::kSum).ok());
+  EXPECT_FALSE(
+      SymmetrizeDirected(2, {{0, 1, 0.0}}, DirectedCombine::kSum).ok());
+  EXPECT_FALSE(
+      SymmetrizeDirected(2, {{0, 1, -2.0}}, DirectedCombine::kSum).ok());
+}
+
+TEST(DirectedTest, SumCombinesBothDirections) {
+  auto g = SymmetrizeDirected(2, {{0, 1, 2.0}, {1, 0, 3.0}},
+                              DirectedCombine::kSum);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 5.0);
+}
+
+TEST(DirectedTest, MaxTakesStrongerDirection) {
+  auto g = SymmetrizeDirected(2, {{0, 1, 2.0}, {1, 0, 3.0}},
+                              DirectedCombine::kMax);
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 3.0);
+}
+
+TEST(DirectedTest, MinKeepsMutualTiesOnly) {
+  // 0->1 one-sided, 1<->2 mutual: only {1,2} survives under kMin.
+  auto g = SymmetrizeDirected(
+      3, {{0, 1, 2.0}, {1, 2, 1.0}, {2, 1, 4.0}}, DirectedCombine::kMin);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+  EXPECT_FALSE(g->HasEdge(0, 1));
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(1, 2), 1.0);
+}
+
+TEST(DirectedTest, AverageHalvesOneSidedTies) {
+  auto g =
+      SymmetrizeDirected(2, {{0, 1, 4.0}}, DirectedCombine::kAverage);
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 2.0);
+}
+
+TEST(DirectedTest, DuplicateDirectedEdgesAccumulate) {
+  // Two follows 0->1 (e.g., re-follow events) sum before combining.
+  auto g = SymmetrizeDirected(2, {{0, 1, 1.0}, {0, 1, 1.0}},
+                              DirectedCombine::kMax);
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 2.0);
+}
+
+TEST(DirectedTest, SelfLoopsDropped) {
+  auto g = SymmetrizeDirected(2, {{1, 1, 3.0}, {0, 1, 1.0}},
+                              DirectedCombine::kSum);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(DirectedTest, EmptyInput) {
+  auto g = SymmetrizeDirected(4, {}, DirectedCombine::kSum);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 4u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace rmgp

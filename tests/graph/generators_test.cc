@@ -1,0 +1,111 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/traversal.h"
+
+namespace rmgp {
+namespace {
+
+TEST(ErdosRenyiTest, ZeroProbabilityIsEdgeless) {
+  Graph g = ErdosRenyi(50, 0.0, 1);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(ErdosRenyiTest, FullProbabilityIsComplete) {
+  Graph g = ErdosRenyi(20, 1.0, 1);
+  EXPECT_EQ(g.num_edges(), 20u * 19 / 2);
+}
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  const NodeId n = 300;
+  const double p = 0.1;
+  Graph g = ErdosRenyi(n, p, 42);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              0.1 * expected);
+}
+
+TEST(ErdosRenyiTest, DeterministicBySeed) {
+  Graph a = ErdosRenyi(100, 0.1, 5);
+  Graph b = ErdosRenyi(100, 0.1, 5);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.CollectEdges().size(), b.CollectEdges().size());
+}
+
+TEST(ErdosRenyiMTest, ExactEdgeCount) {
+  Graph g = ErdosRenyiM(100, 421, 3);
+  EXPECT_EQ(g.num_edges(), 421u);
+}
+
+TEST(ErdosRenyiMTest, ClampsToMaxEdges) {
+  Graph g = ErdosRenyiM(5, 1000, 3);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(BarabasiAlbertTest, EdgeCountFormula) {
+  const NodeId n = 500;
+  const uint32_t m = 3;
+  Graph g = BarabasiAlbert(n, m, 7);
+  // Seed clique of m+1 nodes plus m edges per subsequent node.
+  const uint64_t expected =
+      static_cast<uint64_t>(m + 1) * m / 2 + static_cast<uint64_t>(n - m - 1) * m;
+  EXPECT_EQ(g.num_edges(), expected);
+}
+
+TEST(BarabasiAlbertTest, IsConnected) {
+  Graph g = BarabasiAlbert(300, 2, 8);
+  EXPECT_EQ(ConnectedComponents(g).num_components, 1u);
+}
+
+TEST(BarabasiAlbertTest, HasHubs) {
+  // Preferential attachment produces hubs far above the mean degree.
+  Graph g = BarabasiAlbert(2000, 3, 9);
+  EXPECT_GT(g.max_degree(), 5 * g.average_degree());
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  Graph g = WattsStrogatz(20, 4, 0.0, 1);
+  EXPECT_EQ(g.num_edges(), 40u);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(WattsStrogatzTest, RewiringKeepsEdgeCount) {
+  Graph g = WattsStrogatz(100, 6, 0.3, 2);
+  EXPECT_EQ(g.num_edges(), 300u);
+}
+
+TEST(PlantedPartitionTest, BlocksAreDenserInside) {
+  std::vector<uint32_t> block;
+  Graph g = PlantedPartition(120, 4, 0.5, 0.02, 3, &block);
+  ASSERT_EQ(block.size(), 120u);
+  uint64_t internal = 0, external = 0;
+  for (const Edge& e : g.CollectEdges()) {
+    if (block[e.u] == block[e.v]) {
+      ++internal;
+    } else {
+      ++external;
+    }
+  }
+  EXPECT_GT(internal, 3 * external);
+}
+
+TEST(PlantedPartitionTest, SingleBlockMatchesErdosRenyi) {
+  Graph g = PlantedPartition(60, 1, 0.2, 0.9, 4);
+  const double expected = 0.2 * 60 * 59 / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 0.35 * expected);
+}
+
+TEST(RandomizeWeightsTest, PreservesTopologyChangesWeights) {
+  Graph g = ErdosRenyi(80, 0.1, 5);
+  Graph w = RandomizeWeights(g, 0.2, 0.9, 6);
+  EXPECT_EQ(w.num_edges(), g.num_edges());
+  for (const Edge& e : w.CollectEdges()) {
+    EXPECT_TRUE(g.HasEdge(e.u, e.v));
+    EXPECT_GE(e.weight, 0.2);
+    EXPECT_LT(e.weight, 0.9);
+  }
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,147 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace rmgp {
+namespace {
+
+Graph MakeTriangle() {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2, 2.0).ok());
+  EXPECT_TRUE(b.AddEdge(2, 0, 3.0).ok());
+  return std::move(b).Build();
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.average_degree(), 0.0);
+  EXPECT_EQ(g.average_edge_weight(), 0.0);
+}
+
+TEST(GraphBuilderTest, EdgelessGraph) {
+  GraphBuilder b(5);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoints) {
+  GraphBuilder b(3);
+  EXPECT_EQ(b.AddEdge(0, 3, 1.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.AddEdge(7, 1, 1.0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsNonPositiveWeight) {
+  GraphBuilder b(3);
+  EXPECT_FALSE(b.AddEdge(0, 1, 0.0).ok());
+  EXPECT_FALSE(b.AddEdge(0, 1, -1.0).ok());
+}
+
+TEST(GraphBuilderTest, IgnoresSelfLoops) {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(1, 1, 1.0).ok());
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, MergesDuplicateEdgesBySummingWeights) {
+  GraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.5).ok());
+  ASSERT_TRUE(b.AddEdge(1, 0, 2.5).ok());  // same undirected edge
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 4.0);
+}
+
+TEST(GraphTest, TriangleBasics) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 6.0);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+  EXPECT_DOUBLE_EQ(g.average_edge_weight(), 2.0);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(GraphTest, NeighborsAreSortedWithWeights) {
+  Graph g = MakeTriangle();
+  auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].node, 0u);
+  EXPECT_DOUBLE_EQ(nbrs[0].weight, 3.0);
+  EXPECT_EQ(nbrs[1].node, 1u);
+  EXPECT_DOUBLE_EQ(nbrs[1].weight, 2.0);
+}
+
+TEST(GraphTest, EdgeWeightAndHasEdge) {
+  Graph g = MakeTriangle();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 2), 2.0);
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  Graph g2 = std::move(b).Build();
+  EXPECT_FALSE(g2.HasEdge(2, 3));
+  EXPECT_EQ(g2.EdgeWeight(2, 3), 0.0);
+}
+
+TEST(GraphTest, WeightedDegree) {
+  Graph g = MakeTriangle();
+  EXPECT_DOUBLE_EQ(g.weighted_degree(0), 4.0);  // 1 + 3
+  EXPECT_DOUBLE_EQ(g.weighted_degree(1), 3.0);  // 1 + 2
+  EXPECT_DOUBLE_EQ(g.weighted_degree(2), 5.0);  // 2 + 3
+}
+
+TEST(GraphTest, CollectEdgesCanonical) {
+  Graph g = MakeTriangle();
+  auto edges = g.CollectEdges();
+  ASSERT_EQ(edges.size(), 3u);
+  for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+  EXPECT_EQ(edges[0].u, 0u);
+  EXPECT_EQ(edges[0].v, 1u);
+  EXPECT_EQ(edges[1].u, 0u);
+  EXPECT_EQ(edges[1].v, 2u);
+  EXPECT_EQ(edges[2].u, 1u);
+  EXPECT_EQ(edges[2].v, 2u);
+}
+
+TEST(GraphTest, RebuildFromCollectEdgesIsIdentical) {
+  Graph g = MakeTriangle();
+  GraphBuilder b(g.num_nodes());
+  for (const Edge& e : g.CollectEdges()) {
+    ASSERT_TRUE(b.AddEdge(e.u, e.v, e.weight).ok());
+  }
+  Graph h = std::move(b).Build();
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(h.weighted_degree(v), g.weighted_degree(v));
+  }
+}
+
+class GraphSizeTest : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(GraphSizeTest, StarGraphDegreeInvariants) {
+  const NodeId n = GetParam();
+  GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) ASSERT_TRUE(b.AddEdge(0, v, 1.0).ok());
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), static_cast<uint64_t>(n - 1));
+  EXPECT_EQ(g.degree(0), n - 1);
+  EXPECT_EQ(g.max_degree(), n - 1);
+  for (NodeId v = 1; v < n; ++v) EXPECT_EQ(g.degree(v), 1u);
+  // Handshake lemma: Σ degrees = 2|E|.
+  uint64_t total = 0;
+  for (NodeId v = 0; v < n; ++v) total += g.degree(v);
+  EXPECT_EQ(total, 2 * g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GraphSizeTest,
+                         ::testing::Values(2, 5, 17, 64, 257));
+
+}  // namespace
+}  // namespace rmgp

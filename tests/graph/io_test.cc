@@ -1,0 +1,104 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/generators.h"
+
+namespace rmgp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, RoundTripPreservesGraph) {
+  Graph g = RandomizeWeights(ErdosRenyi(60, 0.15, 1), 0.1, 1.0, 2);
+  const std::string path = TempPath("roundtrip.edges");
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  for (const Edge& e : g.CollectEdges()) {
+    EXPECT_NEAR(loaded->EdgeWeight(e.u, e.v), e.weight, 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, HeaderPreservesIsolatedTrailingNodes) {
+  GraphBuilder b(10);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = std::move(b).Build();  // nodes 2..9 are isolated
+  const std::string path = TempPath("isolated.edges");
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, ReadsPlainListWithoutHeaderOrWeights) {
+  const std::string path = TempPath("plain.edges");
+  {
+    std::ofstream f(path);
+    f << "% a comment\n0 1\n1 2\n";
+  }
+  auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), 3u);
+  EXPECT_EQ(loaded->num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->EdgeWeight(0, 1), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, SkipsSelfLoops) {
+  const std::string path = TempPath("loops.edges");
+  {
+    std::ofstream f(path);
+    f << "0 0\n0 1\n";
+  }
+  auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_edges(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  auto loaded = ReadEdgeList("/nonexistent-xyz/none.edges");
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(GraphIoTest, MalformedLineFails) {
+  const std::string path = TempPath("bad.edges");
+  {
+    std::ofstream f(path);
+    f << "0 1\nnot numbers\n";
+  }
+  auto loaded = ReadEdgeList(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, WriteToBadPathFails) {
+  GraphBuilder b(2);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(WriteEdgeList(g, "/nonexistent-xyz/g.edges").code(),
+            StatusCode::kIOError);
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrips) {
+  GraphBuilder b(0);
+  Graph g = std::move(b).Build();
+  const std::string path = TempPath("empty.edges");
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rmgp

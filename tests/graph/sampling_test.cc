@@ -1,0 +1,89 @@
+#include "graph/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+TEST(ForestFireTest, ReturnsExactCount) {
+  Graph g = BarabasiAlbert(500, 3, 1);
+  ForestFireOptions opt;
+  auto nodes = ForestFireSample(g, 120, opt);
+  EXPECT_EQ(nodes.size(), 120u);
+}
+
+TEST(ForestFireTest, NodesAreDistinctSortedAndInRange) {
+  Graph g = BarabasiAlbert(300, 3, 2);
+  ForestFireOptions opt;
+  auto nodes = ForestFireSample(g, 80, opt);
+  std::set<NodeId> s(nodes.begin(), nodes.end());
+  EXPECT_EQ(s.size(), nodes.size());
+  EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+  for (NodeId v : nodes) EXPECT_LT(v, 300u);
+}
+
+TEST(ForestFireTest, TargetLargerThanGraphClamps) {
+  Graph g = ErdosRenyi(20, 0.3, 3);
+  ForestFireOptions opt;
+  auto nodes = ForestFireSample(g, 100, opt);
+  EXPECT_EQ(nodes.size(), 20u);
+}
+
+TEST(ForestFireTest, DeterministicForSeed) {
+  Graph g = BarabasiAlbert(400, 3, 4);
+  ForestFireOptions opt;
+  opt.seed = 77;
+  auto a = ForestFireSample(g, 60, opt);
+  auto b = ForestFireSample(g, 60, opt);
+  EXPECT_EQ(a, b);
+  opt.seed = 78;
+  auto c = ForestFireSample(g, 60, opt);
+  EXPECT_NE(a, c);
+}
+
+TEST(ForestFireTest, SurvivesDisconnectedGraphs) {
+  // 10 isolated nodes: the fire must restart from fresh ambassadors.
+  GraphBuilder b(10);
+  Graph g = std::move(b).Build();
+  ForestFireOptions opt;
+  auto nodes = ForestFireSample(g, 10, opt);
+  EXPECT_EQ(nodes.size(), 10u);
+}
+
+TEST(ForestFireTest, SampleIsBetterConnectedThanUniform) {
+  // Forest Fire burns neighborhoods, so the induced subgraph keeps far
+  // more edges than a uniform node sample of the same size.
+  Graph g = BarabasiAlbert(2000, 4, 5);
+  ForestFireOptions opt;
+  opt.seed = 9;
+  Graph ff = ForestFireSubgraph(g, 200, opt);
+  Rng rng(10);
+  auto uniform = rng.SampleWithoutReplacement(2000, 200);
+  std::vector<NodeId> uniform_nodes(uniform.begin(), uniform.end());
+  std::sort(uniform_nodes.begin(), uniform_nodes.end());
+  Graph un = InducedSubgraph(g, uniform_nodes);
+  EXPECT_GT(ff.num_edges(), 2 * un.num_edges());
+}
+
+TEST(ForestFireSubgraphTest, MappingAlignsWithNodes) {
+  Graph g = BarabasiAlbert(100, 2, 6);
+  ForestFireOptions opt;
+  std::vector<NodeId> sampled;
+  Graph sub = ForestFireSubgraph(g, 30, opt, &sampled);
+  EXPECT_EQ(sub.num_nodes(), 30u);
+  EXPECT_EQ(sampled.size(), 30u);
+  // Edge weights of the subgraph must match the original pairs.
+  for (const Edge& e : sub.CollectEdges()) {
+    EXPECT_DOUBLE_EQ(e.weight, g.EdgeWeight(sampled[e.u], sampled[e.v]));
+  }
+}
+
+}  // namespace
+}  // namespace rmgp

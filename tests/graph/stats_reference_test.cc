@@ -1,0 +1,52 @@
+// Differential test: the sorted-intersection triangle counter against a
+// naive O(n³) reference on random graphs.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+namespace rmgp {
+namespace {
+
+uint64_t NaiveTriangles(const Graph& g) {
+  uint64_t count = 0;
+  const NodeId n = g.num_nodes();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (!g.HasEdge(a, b)) continue;
+      for (NodeId c = b + 1; c < n; ++c) {
+        if (g.HasEdge(a, c) && g.HasEdge(b, c)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+class TriangleReferenceTest
+    : public ::testing::TestWithParam<std::tuple<NodeId, double, uint64_t>> {
+};
+
+TEST_P(TriangleReferenceTest, MatchesNaiveCount) {
+  const auto [n, p, seed] = GetParam();
+  Graph g = ErdosRenyi(n, p, seed);
+  EXPECT_EQ(CountTriangles(g), NaiveTriangles(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, TriangleReferenceTest,
+    ::testing::Combine(::testing::Values(15, 40, 80),
+                       ::testing::Values(0.1, 0.3, 0.6),
+                       ::testing::Values(1ull, 2ull, 3ull)));
+
+TEST(TriangleReferenceTest, MatchesOnStructuredGraphs) {
+  for (uint64_t seed : {4ull, 5ull}) {
+    Graph ba = BarabasiAlbert(60, 3, seed);
+    EXPECT_EQ(CountTriangles(ba), NaiveTriangles(ba));
+    Graph ws = WattsStrogatz(60, 6, 0.3, seed);
+    EXPECT_EQ(CountTriangles(ws), NaiveTriangles(ws));
+  }
+}
+
+}  // namespace
+}  // namespace rmgp

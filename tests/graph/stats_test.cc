@@ -1,0 +1,95 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace rmgp {
+namespace {
+
+Graph Triangle() {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(0, 2).ok());
+  return std::move(b).Build();
+}
+
+TEST(GraphStatsTest, TriangleCounts) {
+  Graph g = Triangle();
+  EXPECT_EQ(CountTriangles(g), 1u);
+  EXPECT_EQ(CountWedges(g), 3u);
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_DOUBLE_EQ(s.global_clustering, 1.0);  // 3·1/3
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_EQ(s.largest_component, 3u);
+}
+
+TEST(GraphStatsTest, PathHasNoTriangles) {
+  GraphBuilder b(4);
+  for (NodeId v = 0; v + 1 < 4; ++v) ASSERT_TRUE(b.AddEdge(v, v + 1).ok());
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(CountTriangles(g), 0u);
+  EXPECT_EQ(CountWedges(g), 2u);
+  EXPECT_DOUBLE_EQ(ComputeGraphStats(g).global_clustering, 0.0);
+}
+
+TEST(GraphStatsTest, CompleteGraphCounts) {
+  // K5: C(5,3) = 10 triangles, clustering 1.
+  GraphBuilder b(5);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+  }
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(CountTriangles(g), 10u);
+  EXPECT_DOUBLE_EQ(ComputeGraphStats(g).global_clustering, 1.0);
+}
+
+TEST(GraphStatsTest, TwoDisjointTriangles) {
+  GraphBuilder b(6);
+  for (NodeId base : {0u, 3u}) {
+    ASSERT_TRUE(b.AddEdge(base, base + 1).ok());
+    ASSERT_TRUE(b.AddEdge(base + 1, base + 2).ok());
+    ASSERT_TRUE(b.AddEdge(base, base + 2).ok());
+  }
+  Graph g = std::move(b).Build();
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.num_triangles, 2u);
+  EXPECT_EQ(s.num_components, 2u);
+  EXPECT_EQ(s.largest_component, 3u);
+}
+
+TEST(GraphStatsTest, DegreeHistogramSumsToNodeCount) {
+  Graph g = BarabasiAlbert(500, 3, 1);
+  auto hist = DegreeHistogram(g);
+  uint64_t total = 0;
+  for (uint64_t h : hist) total += h;
+  EXPECT_EQ(total, 500u);
+  EXPECT_EQ(hist.size(), static_cast<size_t>(g.max_degree()) + 1);
+}
+
+TEST(GraphStatsTest, EmptyAndEdgelessGraphs) {
+  Graph empty;
+  GraphStats s = ComputeGraphStats(empty);
+  EXPECT_EQ(s.num_nodes, 0u);
+  EXPECT_EQ(s.num_triangles, 0u);
+
+  GraphBuilder b(3);
+  Graph edgeless = std::move(b).Build();
+  GraphStats s2 = ComputeGraphStats(edgeless);
+  EXPECT_EQ(s2.num_components, 3u);
+  EXPECT_EQ(s2.num_triangles, 0u);
+  EXPECT_DOUBLE_EQ(s2.global_clustering, 0.0);
+}
+
+TEST(GraphStatsTest, SocialGraphsHaveHigherClusteringThanRandom) {
+  // Watts–Strogatz at low rewiring keeps lattice clustering; ER of the
+  // same density has clustering ≈ p.
+  Graph ws = WattsStrogatz(500, 8, 0.05, 2);
+  Graph er = ErdosRenyiM(500, ws.num_edges(), 3);
+  EXPECT_GT(ComputeGraphStats(ws).global_clustering,
+            5.0 * ComputeGraphStats(er).global_clustering);
+}
+
+}  // namespace
+}  // namespace rmgp

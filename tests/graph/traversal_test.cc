@@ -1,0 +1,111 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace rmgp {
+namespace {
+
+Graph TwoTrianglesAndIsolate() {
+  // {0,1,2} triangle, {3,4,5} triangle, 6 isolated.
+  GraphBuilder b(7);
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(0, 2).ok());
+  EXPECT_TRUE(b.AddEdge(3, 4).ok());
+  EXPECT_TRUE(b.AddEdge(4, 5).ok());
+  EXPECT_TRUE(b.AddEdge(3, 5).ok());
+  return std::move(b).Build();
+}
+
+TEST(ComponentsTest, CountsComponents) {
+  Graph g = TwoTrianglesAndIsolate();
+  Components c = ConnectedComponents(g);
+  EXPECT_EQ(c.num_components, 3u);
+  EXPECT_EQ(c.component[0], c.component[1]);
+  EXPECT_EQ(c.component[1], c.component[2]);
+  EXPECT_EQ(c.component[3], c.component[4]);
+  EXPECT_NE(c.component[0], c.component[3]);
+  EXPECT_NE(c.component[6], c.component[0]);
+  EXPECT_NE(c.component[6], c.component[3]);
+}
+
+TEST(ComponentsTest, SizesMatch) {
+  Graph g = TwoTrianglesAndIsolate();
+  Components c = ConnectedComponents(g);
+  auto sizes = c.Sizes();
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[c.component[0]], 3u);
+  EXPECT_EQ(sizes[c.component[3]], 3u);
+  EXPECT_EQ(sizes[c.component[6]], 1u);
+}
+
+TEST(ComponentsTest, EmptyGraph) {
+  Graph g;
+  Components c = ConnectedComponents(g);
+  EXPECT_EQ(c.num_components, 0u);
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  GraphBuilder b(5);
+  for (NodeId v = 0; v + 1 < 5; ++v) ASSERT_TRUE(b.AddEdge(v, v + 1).ok());
+  Graph g = std::move(b).Build();
+  auto dist = BfsDistances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsTest, UnreachableNodesAreMarked) {
+  Graph g = TwoTrianglesAndIsolate();
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[3], UINT32_MAX);
+  EXPECT_EQ(dist[6], UINT32_MAX);
+}
+
+TEST(LargestComponentTest, PicksBiggest) {
+  GraphBuilder b(6);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  ASSERT_TRUE(b.AddEdge(3, 4).ok());
+  Graph g = std::move(b).Build();
+  auto nodes = LargestComponentNodes(g);
+  EXPECT_EQ(nodes, (std::vector<NodeId>{2, 3, 4}));
+}
+
+TEST(InducedSubgraphTest, KeepsInternalEdgesOnly) {
+  Graph g = TwoTrianglesAndIsolate();
+  std::vector<NodeId> keep{0, 1, 3, 4, 5};
+  std::vector<NodeId> old_to_new;
+  Graph sub = InducedSubgraph(g, keep, &old_to_new);
+  EXPECT_EQ(sub.num_nodes(), 5u);
+  // Edge {0,1} survives; {0,2} and {1,2} are dropped; the 3-4-5 triangle
+  // survives whole.
+  EXPECT_EQ(sub.num_edges(), 4u);
+  EXPECT_TRUE(sub.HasEdge(old_to_new[0], old_to_new[1]));
+  EXPECT_TRUE(sub.HasEdge(old_to_new[3], old_to_new[4]));
+  EXPECT_TRUE(sub.HasEdge(old_to_new[4], old_to_new[5]));
+  EXPECT_TRUE(sub.HasEdge(old_to_new[3], old_to_new[5]));
+  EXPECT_EQ(old_to_new[2], UINT32_MAX);
+  EXPECT_EQ(old_to_new[6], UINT32_MAX);
+}
+
+TEST(InducedSubgraphTest, PreservesWeights) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 2.5).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 1.5).ok());
+  Graph g = std::move(b).Build();
+  Graph sub = InducedSubgraph(g, {0, 1});
+  EXPECT_DOUBLE_EQ(sub.EdgeWeight(0, 1), 2.5);
+}
+
+TEST(InducedSubgraphTest, EmptySelection) {
+  Graph g = TwoTrianglesAndIsolate();
+  Graph sub = InducedSubgraph(g, {});
+  EXPECT_EQ(sub.num_nodes(), 0u);
+  EXPECT_EQ(sub.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "baselines/mh.h"
+#include "baselines/uml_gr.h"
+#include "baselines/uml_lp.h"
+#include "core/normalization.h"
+#include "core/solver.h"
+#include "data/datasets.h"
+#include "dist/decentralized.h"
+#include "graph/sampling.h"
+#include "graph/traversal.h"
+#include "spatial/estimators.h"
+
+namespace rmgp {
+namespace {
+
+/// End-to-end: the full Fig 7-style pipeline on a small Gowalla-like
+/// sample — Forest Fire the graph down, materialize Euclidean costs,
+/// run the game and all three baselines, compare quality ordering.
+TEST(EndToEndTest, Figure7PipelineOrdering) {
+  GowallaLikeOptions gopt;
+  gopt.num_users = 1500;
+  gopt.num_edges = 5700;
+  gopt.num_events = 16;
+  GeoSocialDataset ds = MakeGowallaLike(gopt);
+
+  // Forest Fire down to 60 users (the paper uses 200-300; 60 keeps the
+  // LP affordable in a unit test).
+  ForestFireOptions ffopt;
+  ffopt.seed = 5;
+  std::vector<NodeId> sampled;
+  Graph sub = ForestFireSubgraph(ds.graph, 60, ffopt, &sampled);
+  std::vector<Point> users;
+  users.reserve(sampled.size());
+  for (NodeId v : sampled) users.push_back(ds.user_locations[v]);
+  std::vector<Point> events(ds.event_pool.begin(), ds.event_pool.begin() + 4);
+  auto costs = std::make_shared<EuclideanCostProvider>(users, events);
+
+  auto inst_or = Instance::Create(&sub, costs, 0.5);
+  ASSERT_TRUE(inst_or.ok());
+  Instance inst = std::move(inst_or).value();
+  ASSERT_TRUE(
+      NormalizeExact(&inst, NormalizationPolicy::kPessimistic).ok());
+
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  opt.order = OrderPolicy::kDegreeDesc;
+  auto game = SolveBaseline(inst, opt);
+  ASSERT_TRUE(game.ok());
+  EXPECT_TRUE(game->converged);
+
+  auto lp = SolveUmlLp(inst);
+  ASSERT_TRUE(lp.ok()) << lp.status().ToString();
+  auto gr = SolveUmlGreedy(inst);
+  ASSERT_TRUE(gr.ok());
+  auto mh = SolveMetisHungarian(inst);
+  ASSERT_TRUE(mh.ok());
+
+  // Quality ordering of Fig 7(b): LP best; game close (within factor 2 of
+  // the LP lower bound); MH and the greedy materially worse than LP.
+  EXPECT_LE(lp->base.objective.total, game->objective.total * 1.05 + 1e-9);
+  EXPECT_LE(game->objective.total, 2.0 * lp->lp_lower_bound + 1e-6);
+  EXPECT_GE(mh->objective.total, lp->base.objective.total - 1e-9);
+
+  // Efficiency ordering of Fig 7(a): the game is much faster than the LP.
+  EXPECT_LT(game->total_millis, lp->base.total_millis);
+}
+
+/// End-to-end: normalized LAGP query answered by RMGP_all, then the same
+/// query warm-started — the online usage pattern of §3.1.
+TEST(EndToEndTest, OnlineQueryWithWarmStart) {
+  GowallaLikeOptions gopt;
+  gopt.num_users = 3000;
+  gopt.num_edges = 11400;
+  gopt.num_events = 32;
+  GeoSocialDataset ds = MakeGowallaLike(gopt);
+  auto costs = ds.MakeCosts(16);
+  auto inst_or = Instance::Create(&ds.graph, costs, 0.5);
+  ASSERT_TRUE(inst_or.ok());
+  Instance inst = std::move(inst_or).value();
+  DistanceEstimates est = EstimateDistances(ds.user_locations,
+                                            costs->events());
+  ASSERT_TRUE(Normalize(&inst, NormalizationPolicy::kPessimistic,
+                        {est.dist_min, est.dist_med})
+                  .ok());
+
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  opt.order = OrderPolicy::kDegreeDesc;
+  opt.num_threads = 4;
+  auto first = SolveAll(inst, opt);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->converged);
+  EXPECT_TRUE(VerifyEquilibrium(inst, first->assignment).ok());
+
+  SolverOptions warm = opt;
+  warm.init = InitPolicy::kGiven;
+  warm.warm_start = first->assignment;
+  auto second = SolveAll(inst, warm);
+  ASSERT_TRUE(second.ok());
+  EXPECT_LE(second->rounds, first->rounds);
+}
+
+/// End-to-end: the decentralized pipeline on a Foursquare-like graph —
+/// DG vs FaE traffic shape (Fig 13) at miniature scale.
+TEST(EndToEndTest, DecentralizedPipeline) {
+  FoursquareLikeOptions fopt;
+  fopt.scale = 0.001;  // ~2150 users, ~27k edges
+  fopt.max_events = 32;
+  GeoSocialDataset ds = MakeFoursquareLike(fopt);
+  auto costs = ds.MakeCosts(32);
+  auto inst_or = Instance::Create(&ds.graph, costs, 0.5);
+  ASSERT_TRUE(inst_or.ok());
+  Instance inst = std::move(inst_or).value();
+  ASSERT_TRUE(
+      NormalizeExact(&inst, NormalizationPolicy::kPessimistic).ok());
+
+  DecentralizedOptions dopt;
+  dopt.num_slaves = 2;
+  dopt.solver.init = InitPolicy::kClosestClass;
+  auto dg = RunDecentralizedGame(inst, dopt);
+  ASSERT_TRUE(dg.ok());
+  auto fae = RunFetchAndExecute(inst, dopt);
+  ASSERT_TRUE(fae.ok());
+
+  EXPECT_TRUE(dg->converged);
+  EXPECT_TRUE(VerifyEquilibrium(inst, dg->assignment).ok());
+  EXPECT_TRUE(VerifyEquilibrium(inst, fae->assignment).ok());
+  // The edge payload dwarfs the strategic-vector traffic.
+  EXPECT_LT(dg->traffic.bytes, fae->traffic.bytes);
+}
+
+/// End-to-end determinism: the whole pipeline produces identical results
+/// across repeated runs.
+TEST(EndToEndTest, FullPipelineDeterminism) {
+  auto run = [] {
+    GowallaLikeOptions gopt;
+    gopt.num_users = 1000;
+    gopt.num_edges = 3800;
+    gopt.num_events = 8;
+    GeoSocialDataset ds = MakeGowallaLike(gopt);
+    auto costs = ds.MakeCosts(8);
+    auto inst_or = Instance::Create(&ds.graph, costs, 0.5);
+    EXPECT_TRUE(inst_or.ok());
+    Instance inst = std::move(inst_or).value();
+    EXPECT_TRUE(
+        NormalizeExact(&inst, NormalizationPolicy::kPessimistic).ok());
+    SolverOptions opt;
+    opt.seed = 42;
+    auto res = SolveGlobalTable(inst, opt);
+    EXPECT_TRUE(res.ok());
+    return res->assignment;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace rmgp

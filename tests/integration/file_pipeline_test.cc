@@ -1,0 +1,116 @@
+// Integration: the full file-based pipeline the CLI tool drives —
+// generate a dataset, persist it (edge list + CSVs), load everything
+// back, solve, persist the assignment, reload and verify. Exercises the
+// composition of graph/io, data/geo_io, Instance and the solvers exactly
+// as an external user would.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "core/normalization.h"
+#include "core/solver.h"
+#include "data/datasets.h"
+#include "data/geo_io.h"
+#include "graph/io.h"
+#include "spatial/estimators.h"
+
+namespace rmgp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(FilePipelineTest, GenerateSaveLoadSolveVerify) {
+  // 1. Generate.
+  GowallaLikeOptions gopt;
+  gopt.num_users = 800;
+  gopt.num_edges = 3040;
+  gopt.num_events = 16;
+  GeoSocialDataset ds = MakeGowallaLike(gopt);
+
+  // 2. Persist.
+  const std::string edges = TempPath("pipe.edges");
+  const std::string users = TempPath("pipe.users.csv");
+  const std::string events = TempPath("pipe.events.csv");
+  const std::string assignment_path = TempPath("pipe.assignment.csv");
+  ASSERT_TRUE(WriteEdgeList(ds.graph, edges).ok());
+  ASSERT_TRUE(WritePointsCsv(ds.user_locations, users).ok());
+  ASSERT_TRUE(WritePointsCsv(ds.event_pool, events).ok());
+
+  // 3. Load back.
+  auto graph = ReadEdgeList(edges);
+  ASSERT_TRUE(graph.ok());
+  auto user_pts = ReadPointsCsv(users);
+  ASSERT_TRUE(user_pts.ok());
+  auto event_pts = ReadPointsCsv(events);
+  ASSERT_TRUE(event_pts.ok());
+  EXPECT_EQ(graph->num_nodes(), ds.graph.num_nodes());
+  EXPECT_EQ(graph->num_edges(), ds.graph.num_edges());
+  EXPECT_EQ(user_pts->size(), ds.user_locations.size());
+  EXPECT_EQ(event_pts->size(), ds.event_pool.size());
+
+  // 4. Solve on the loaded copy.
+  auto costs =
+      std::make_shared<EuclideanCostProvider>(*user_pts, *event_pts);
+  auto inst = Instance::Create(&graph.value(), costs, 0.5);
+  ASSERT_TRUE(inst.ok());
+  DistanceEstimates est = EstimateDistances(*user_pts, *event_pts);
+  ASSERT_TRUE(Normalize(&inst.value(), NormalizationPolicy::kPessimistic,
+                        {est.dist_min, est.dist_med})
+                  .ok());
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  auto res = SolveAll(inst.value(), opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->converged);
+
+  // 5. Persist the assignment, reload, verify equilibrium.
+  ASSERT_TRUE(WriteAssignmentCsv(res->assignment, assignment_path).ok());
+  auto loaded_assignment = ReadAssignmentCsv(assignment_path);
+  ASSERT_TRUE(loaded_assignment.ok());
+  EXPECT_EQ(*loaded_assignment, res->assignment);
+  EXPECT_TRUE(VerifyEquilibrium(inst.value(), *loaded_assignment).ok());
+
+  // 6. The loaded instance's equilibrium holds on the original dataset
+  // too (the round-trip lost nothing).
+  auto orig_costs = ds.MakeCosts(16);
+  auto orig_inst = Instance::Create(&ds.graph, orig_costs, 0.5);
+  ASSERT_TRUE(orig_inst.ok());
+  orig_inst->set_cost_scale(inst->cost_scale());
+  EXPECT_TRUE(
+      VerifyEquilibrium(orig_inst.value(), *loaded_assignment, 1e-6).ok());
+
+  for (const std::string& p : {edges, users, events, assignment_path}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(FilePipelineTest, SolveFromForeignEdgeListWithDefaults) {
+  // A hand-written plain edge list (no header, no weights) plus ad-hoc
+  // coordinates: the minimal external-user path.
+  const std::string edges = TempPath("foreign.edges");
+  {
+    std::ofstream f(edges);
+    f << "0 1\n1 2\n2 3\n3 0\n0 2\n";
+  }
+  auto graph = ReadEdgeList(edges);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_EQ(graph->num_nodes(), 4u);
+  std::vector<Point> users{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  std::vector<Point> events{{0, 0.5}, {1, 0.5}};
+  auto costs = std::make_shared<EuclideanCostProvider>(users, events);
+  auto inst = Instance::Create(&graph.value(), costs, 0.5);
+  ASSERT_TRUE(inst.ok());
+  SolverOptions opt;
+  auto res = SolveGlobalTable(inst.value(), opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(VerifyEquilibrium(inst.value(), res->assignment).ok());
+  std::remove(edges.c_str());
+}
+
+}  // namespace
+}  // namespace rmgp

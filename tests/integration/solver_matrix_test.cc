@@ -1,0 +1,140 @@
+// Differential stress matrix: every solver (centralized and decentralized)
+// against every topology × α × k combination, checking the invariants
+// that must hold regardless of which equilibrium is reached:
+//   * the dynamics converge and VerifyEquilibrium passes;
+//   * the objective is within the Theorem-2 PoA bound of the brute-force
+//     optimum (tiny instances only);
+//   * solvers sharing identical dynamics agree bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/brute_force.h"
+#include "core/solver.h"
+#include "dist/decentralized.h"
+#include "graph/generators.h"
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+enum class Topology { kErdosRenyi, kBarabasiAlbert, kWattsStrogatz, kStar };
+
+const char* TopologyName(Topology t) {
+  switch (t) {
+    case Topology::kErdosRenyi:
+      return "ER";
+    case Topology::kBarabasiAlbert:
+      return "BA";
+    case Topology::kWattsStrogatz:
+      return "WS";
+    case Topology::kStar:
+      return "Star";
+  }
+  return "?";
+}
+
+Graph MakeTopology(Topology t, NodeId n, uint64_t seed) {
+  switch (t) {
+    case Topology::kErdosRenyi:
+      return RandomizeWeights(ErdosRenyi(n, 8.0 / n, seed), 0.1, 1.0,
+                              seed + 1);
+    case Topology::kBarabasiAlbert:
+      return BarabasiAlbert(n, 3, seed);
+    case Topology::kWattsStrogatz:
+      return WattsStrogatz(n, 6, 0.2, seed);
+    case Topology::kStar: {
+      GraphBuilder b(n);
+      for (NodeId v = 1; v < n; ++v) {
+        EXPECT_TRUE(b.AddEdge(0, v, 0.5).ok());
+      }
+      return std::move(b).Build();
+    }
+  }
+  return Graph();
+}
+
+using MatrixParam = std::tuple<Topology, double, ClassId>;
+
+class SolverMatrixTest : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  testing::OwnedInstance MakeCase(NodeId n, uint64_t seed) const {
+    const auto [topology, alpha, k] = GetParam();
+    testing::OwnedInstance owned;
+    owned.graph =
+        std::make_unique<Graph>(MakeTopology(topology, n, seed));
+    Rng rng(seed + 7);
+    std::vector<double> costs(static_cast<size_t>(n) * k);
+    for (double& c : costs) c = rng.UniformDouble(0.0, 2.0);
+    owned.costs = std::make_shared<DenseCostMatrix>(n, k, std::move(costs));
+    auto inst = Instance::Create(owned.graph.get(), owned.costs, alpha);
+    EXPECT_TRUE(inst.ok());
+    owned.instance = std::make_unique<Instance>(std::move(inst).value());
+    return owned;
+  }
+};
+
+TEST_P(SolverMatrixTest, AllSolversReachVerifiedEquilibria) {
+  auto owned = MakeCase(60, 11);
+  for (SolverKind kind :
+       {SolverKind::kBaseline, SolverKind::kStrategyElimination,
+        SolverKind::kIndependentSets, SolverKind::kGlobalTable,
+        SolverKind::kAll}) {
+    SolverOptions opt;
+    opt.seed = 3;
+    opt.num_threads = 2;
+    auto res = Solve(kind, owned.get(), opt);
+    ASSERT_TRUE(res.ok()) << SolverKindName(kind);
+    EXPECT_TRUE(res->converged) << SolverKindName(kind);
+    EXPECT_TRUE(VerifyEquilibrium(owned.get(), res->assignment).ok())
+        << SolverKindName(kind) << " on "
+        << TopologyName(std::get<0>(GetParam()));
+  }
+}
+
+TEST_P(SolverMatrixTest, DecentralizedMatchesCentralizedAll) {
+  auto owned = MakeCase(50, 13);
+  DecentralizedOptions dopt;
+  dopt.num_slaves = 3;
+  dopt.solver.init = InitPolicy::kClosestClass;
+  auto dg = RunDecentralizedGame(owned.get(), dopt);
+  ASSERT_TRUE(dg.ok());
+  auto central = SolveAll(owned.get(), dopt.solver);
+  ASSERT_TRUE(central.ok());
+  EXPECT_EQ(dg->assignment, central->assignment);
+}
+
+TEST_P(SolverMatrixTest, WithinPoABoundOfBruteForceOptimum) {
+  const auto [topology, alpha, k] = GetParam();
+  if (k > 3) GTEST_SKIP() << "brute force too large";
+  auto owned = MakeCase(9, 17);
+  auto optimum = SolveBruteForce(owned.get());
+  ASSERT_TRUE(optimum.ok());
+  SolverOptions opt;
+  opt.seed = 19;
+  auto res = SolveBaseline(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GE(res->objective.total + 1e-9, optimum->objective.total);
+  const double bound = PriceOfAnarchyBound(owned.get());
+  EXPECT_LE(res->objective.total,
+            bound * optimum->objective.total + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SolverMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(Topology::kErdosRenyi, Topology::kBarabasiAlbert,
+                          Topology::kWattsStrogatz, Topology::kStar),
+        ::testing::Values(0.2, 0.5, 0.8),
+        ::testing::Values(ClassId{2}, ClassId{3}, ClassId{6})),
+    [](const ::testing::TestParamInfo<MatrixParam>& info) {
+      // Plain std::get<> here: a structured binding's bracket list would
+      // be split by the INSTANTIATE_TEST_SUITE_P macro expansion.
+      return std::string(TopologyName(std::get<0>(info.param))) + "_a" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10)) +
+             "_k" + std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,170 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+TEST(SimplexTest, TrivialUnconstrainedMinimumAtZero) {
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 2.0};  // min x+2y, x,y >= 0
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective, 0.0, 1e-9);
+}
+
+TEST(SimplexTest, ClassicTwoVariableMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (min of negation).
+  // Known optimum: x=2, y=6, objective 36.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {-3.0, -5.0};
+  lp.ub.push_back({{{0, 1.0}}, 4.0});
+  lp.ub.push_back({{{1, 2.0}}, 12.0});
+  lp.ub.push_back({{{0, 3.0}, {1, 2.0}}, 18.0});
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective, -36.0, 1e-8);
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-8);
+  EXPECT_NEAR(sol->x[1], 6.0, 1e-8);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + y s.t. x + y = 5  -> objective 5.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.eq.push_back({{{0, 1.0}, {1, 1.0}}, 5.0});
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective, 5.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  // x <= 1, x = 3.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.ub.push_back({{{0, 1.0}}, 1.0});
+  lp.eq.push_back({{{0, 1.0}}, 3.0});
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  // min -x, x >= 0, no upper bound.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {-1.0};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsUpperBound) {
+  // min x s.t. -x <= -3  (i.e. x >= 3): optimum 3.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.ub.push_back({{{0, -1.0}}, -3.0});
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective, 3.0, 1e-9);
+}
+
+TEST(SimplexTest, RejectsBadVariableIndex) {
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.ub.push_back({{{5, 1.0}}, 1.0});
+  auto sol = SolveSimplex(lp);
+  EXPECT_EQ(sol.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimplexTest, RejectsObjectiveSizeMismatch) {
+  LinearProgram lp;
+  lp.num_vars = 3;
+  lp.objective = {1.0};
+  auto sol = SolveSimplex(lp);
+  EXPECT_EQ(sol.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {-1.0, -1.0};
+  lp.ub.push_back({{{0, 1.0}, {1, 1.0}}, 1.0});
+  lp.ub.push_back({{{0, 2.0}, {1, 2.0}}, 2.0});
+  lp.ub.push_back({{{0, 1.0}}, 1.0});
+  lp.ub.push_back({{{1, 1.0}}, 1.0});
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective, -1.0, 1e-8);
+}
+
+TEST(SimplexTest, TransportationProblem) {
+  // 2 supplies (10, 20), 2 demands (15, 15); costs [[1,3],[2,1]].
+  // Variables x_ij, min Σ c_ij x_ij, row sums = supply, col sums = demand.
+  // Optimum: x00=10, x10=5, x11=15 -> 10 + 10 + 15 = 35.
+  LinearProgram lp;
+  lp.num_vars = 4;  // x00 x01 x10 x11
+  lp.objective = {1.0, 3.0, 2.0, 1.0};
+  lp.eq.push_back({{{0, 1.0}, {1, 1.0}}, 10.0});
+  lp.eq.push_back({{{2, 1.0}, {3, 1.0}}, 20.0});
+  lp.eq.push_back({{{0, 1.0}, {2, 1.0}}, 15.0});
+  lp.eq.push_back({{{1, 1.0}, {3, 1.0}}, 15.0});
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective, 35.0, 1e-8);
+}
+
+/// Property sweep: random feasible-by-construction LPs must solve to
+/// optimality and satisfy all constraints.
+class SimplexRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexRandomTest, SolutionSatisfiesConstraints) {
+  Rng rng(GetParam());
+  LinearProgram lp;
+  lp.num_vars = 6;
+  lp.objective.resize(lp.num_vars);
+  for (double& c : lp.objective) c = rng.UniformDouble(0.1, 2.0);
+  // Random <= constraints with positive rhs: origin feasible, costs
+  // positive, so optimum exists (it is the origin, but the solver must not
+  // crash or violate constraints getting there).
+  for (int r = 0; r < 8; ++r) {
+    LinearProgram::Row row;
+    for (uint32_t v = 0; v < lp.num_vars; ++v) {
+      if (rng.Bernoulli(0.5)) {
+        row.coeffs.push_back({v, rng.UniformDouble(-1.0, 1.0)});
+      }
+    }
+    row.rhs = rng.UniformDouble(0.5, 3.0);
+    lp.ub.push_back(std::move(row));
+  }
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  for (const auto& row : lp.ub) {
+    double lhs = 0.0;
+    for (const auto& [v, c] : row.coeffs) lhs += c * sol->x[v];
+    EXPECT_LE(lhs, row.rhs + 1e-7);
+  }
+  for (double x : sol->x) EXPECT_GE(x, -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace rmgp

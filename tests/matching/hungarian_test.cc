@@ -1,0 +1,120 @@
+#include "matching/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+double BruteForceAssignment(const std::vector<double>& cost, uint32_t rows,
+                            uint32_t cols) {
+  std::vector<uint32_t> perm(cols);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double total = 0.0;
+    for (uint32_t i = 0; i < rows; ++i) {
+      total += cost[static_cast<size_t>(i) * cols + perm[i]];
+    }
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(HungarianTest, OneByOne) {
+  auto sol = SolveAssignment({7.0}, 1, 1);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->col_of_row[0], 0u);
+  EXPECT_DOUBLE_EQ(sol->total_cost, 7.0);
+}
+
+TEST(HungarianTest, KnownThreeByThree) {
+  // Classic example: optimum is 5 (1+3+1 on the anti-diagonal-ish).
+  std::vector<double> cost = {
+      1.0, 2.0, 3.0,   //
+      2.0, 4.0, 6.0,   //
+      3.0, 6.0, 9.0};
+  auto sol = SolveAssignment(cost, 3, 3);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->total_cost, BruteForceAssignment(cost, 3, 3));
+}
+
+TEST(HungarianTest, ColumnsAreDistinct) {
+  std::vector<double> cost(16, 1.0);
+  auto sol = SolveAssignment(cost, 4, 4);
+  ASSERT_TRUE(sol.ok());
+  std::set<uint32_t> cols(sol->col_of_row.begin(), sol->col_of_row.end());
+  EXPECT_EQ(cols.size(), 4u);
+}
+
+TEST(HungarianTest, RectangularPicksCheapColumns) {
+  // 2 rows, 4 cols: row 0 cheap at col 2, row 1 cheap at col 0.
+  std::vector<double> cost = {
+      9.0, 9.0, 1.0, 9.0,  //
+      2.0, 9.0, 9.0, 9.0};
+  auto sol = SolveAssignment(cost, 2, 4);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->col_of_row[0], 2u);
+  EXPECT_EQ(sol->col_of_row[1], 0u);
+  EXPECT_DOUBLE_EQ(sol->total_cost, 3.0);
+}
+
+TEST(HungarianTest, RejectsMoreRowsThanCols) {
+  auto sol = SolveAssignment(std::vector<double>(6, 1.0), 3, 2);
+  EXPECT_EQ(sol.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HungarianTest, RejectsSizeMismatch) {
+  auto sol = SolveAssignment({1.0, 2.0, 3.0}, 2, 2);
+  EXPECT_EQ(sol.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HungarianTest, ZeroRows) {
+  auto sol = SolveAssignment({}, 0, 0);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->col_of_row.empty());
+  EXPECT_DOUBLE_EQ(sol->total_cost, 0.0);
+}
+
+TEST(HungarianTest, NegativeCostsHandled) {
+  std::vector<double> cost = {
+      -5.0, 0.0,  //
+      0.0, -5.0};
+  auto sol = SolveAssignment(cost, 2, 2);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->total_cost, -10.0);
+}
+
+/// Property sweep: Hungarian equals brute force on random square and
+/// rectangular matrices.
+class HungarianRandomTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t,
+                                                 uint64_t>> {};
+
+TEST_P(HungarianRandomTest, MatchesBruteForce) {
+  const auto [rows, cols, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<double> cost(static_cast<size_t>(rows) * cols);
+  for (double& c : cost) c = rng.UniformDouble(0.0, 10.0);
+  auto sol = SolveAssignment(cost, rows, cols);
+  ASSERT_TRUE(sol.ok());
+  std::set<uint32_t> distinct(sol->col_of_row.begin(),
+                              sol->col_of_row.end());
+  EXPECT_EQ(distinct.size(), rows);
+  EXPECT_NEAR(sol->total_cost, BruteForceAssignment(cost, rows, cols),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HungarianRandomTest,
+    ::testing::Combine(::testing::Values(2, 4, 6), ::testing::Values(6, 7),
+                       ::testing::Values(1, 2, 3, 4)));
+
+}  // namespace
+}  // namespace rmgp

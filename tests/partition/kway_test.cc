@@ -1,0 +1,143 @@
+#include "partition/kway.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.h"
+
+namespace rmgp {
+namespace {
+
+TEST(KWayPartitionTest, RejectsZeroParts) {
+  Graph g = ErdosRenyi(10, 0.3, 1);
+  PartitionOptions opt;
+  opt.num_parts = 0;
+  EXPECT_FALSE(KWayPartition(g, opt).ok());
+}
+
+TEST(KWayPartitionTest, RejectsBadImbalance) {
+  Graph g = ErdosRenyi(10, 0.3, 1);
+  PartitionOptions opt;
+  opt.num_parts = 2;
+  opt.imbalance = 0.5;
+  EXPECT_FALSE(KWayPartition(g, opt).ok());
+}
+
+TEST(KWayPartitionTest, SinglePartIsTrivial) {
+  Graph g = ErdosRenyi(20, 0.3, 1);
+  PartitionOptions opt;
+  opt.num_parts = 1;
+  auto res = KWayPartition(g, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_DOUBLE_EQ(res->cut_weight, 0.0);
+  for (uint32_t p : res->part) EXPECT_EQ(p, 0u);
+}
+
+TEST(KWayPartitionTest, EmptyGraph) {
+  Graph g;
+  PartitionOptions opt;
+  opt.num_parts = 3;
+  auto res = KWayPartition(g, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->part.empty());
+}
+
+TEST(KWayPartitionTest, PartIdsInRangeAndAllUsed) {
+  Graph g = BarabasiAlbert(500, 3, 2);
+  PartitionOptions opt;
+  opt.num_parts = 4;
+  auto res = KWayPartition(g, opt);
+  ASSERT_TRUE(res.ok());
+  std::set<uint32_t> used(res->part.begin(), res->part.end());
+  for (uint32_t p : used) EXPECT_LT(p, 4u);
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(KWayPartitionTest, CutWeightMatchesReported) {
+  Graph g = ErdosRenyi(100, 0.1, 3);
+  PartitionOptions opt;
+  opt.num_parts = 3;
+  auto res = KWayPartition(g, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_DOUBLE_EQ(res->cut_weight, CutWeight(g, res->part));
+}
+
+TEST(KWayPartitionTest, RecoversPlantedCommunities) {
+  // Two dense blocks weakly connected: the bisection cut must be far
+  // below a random split's expected cut.
+  std::vector<uint32_t> block;
+  Graph g = PlantedPartition(120, 2, 0.4, 0.01, 4, &block);
+  PartitionOptions opt;
+  opt.num_parts = 2;
+  auto res = KWayPartition(g, opt);
+  ASSERT_TRUE(res.ok());
+  // Count planted cross-block edges (the "ideal" cut) and compare.
+  double planted_cut = CutWeight(g, block);
+  EXPECT_LE(res->cut_weight, 2.0 * planted_cut + 10.0);
+}
+
+TEST(KWayPartitionTest, RespectsBalanceBound) {
+  Graph g = BarabasiAlbert(400, 3, 5);
+  PartitionOptions opt;
+  opt.num_parts = 4;
+  opt.imbalance = 1.5;
+  auto res = KWayPartition(g, opt);
+  ASSERT_TRUE(res.ok());
+  std::vector<uint32_t> sizes(opt.num_parts, 0);
+  for (uint32_t p : res->part) ++sizes[p];
+  const double limit = opt.imbalance * 400.0 / opt.num_parts;
+  for (uint32_t s : sizes) EXPECT_LE(static_cast<double>(s), limit + 1.0);
+}
+
+TEST(KWayPartitionTest, DisconnectedGraphCovered) {
+  // Two components, partition into 4: every node must get a part.
+  GraphBuilder b(40);
+  for (NodeId v = 0; v + 1 < 20; ++v) ASSERT_TRUE(b.AddEdge(v, v + 1).ok());
+  for (NodeId v = 20; v + 1 < 40; ++v) ASSERT_TRUE(b.AddEdge(v, v + 1).ok());
+  Graph g = std::move(b).Build();
+  PartitionOptions opt;
+  opt.num_parts = 4;
+  auto res = KWayPartition(g, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->part.size(), 40u);
+  for (uint32_t p : res->part) EXPECT_LT(p, 4u);
+}
+
+TEST(KWayPartitionTest, MorePartsThanNodes) {
+  Graph g = ErdosRenyi(3, 0.5, 6);
+  PartitionOptions opt;
+  opt.num_parts = 8;
+  auto res = KWayPartition(g, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->part.size(), 3u);
+  for (uint32_t p : res->part) EXPECT_LT(p, 8u);
+}
+
+/// Property sweep: the multilevel partitioner beats a node-id-stripe
+/// partition of the same arity on community-structured graphs.
+class KWayQualityTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(KWayQualityTest, BeatsNaiveStripePartition) {
+  const uint32_t k = GetParam();
+  std::vector<uint32_t> block;
+  Graph g = PlantedPartition(40 * k, k, 0.35, 0.01, 7 + k, &block);
+  PartitionOptions opt;
+  opt.num_parts = k;
+  auto res = KWayPartition(g, opt);
+  ASSERT_TRUE(res.ok());
+  // Stripe partition v -> v / (n/k) splits every planted block.
+  std::vector<uint32_t> stripe(g.num_nodes());
+  const uint32_t span = g.num_nodes() / k;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    stripe[v] = std::min(v / span, k - 1);
+  }
+  EXPECT_LT(res->cut_weight, CutWeight(g, stripe));
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, KWayQualityTest,
+                         ::testing::Values(2, 3, 4, 6));
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,63 @@
+#include "spatial/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+TEST(EstimatorsTest, SingleUserSingleEvent) {
+  DistanceEstimates est = EstimateDistances({{0, 0}}, {{3, 4}});
+  EXPECT_DOUBLE_EQ(est.dist_min, 5.0);
+  EXPECT_DOUBLE_EQ(est.dist_med, 5.0);
+}
+
+TEST(EstimatorsTest, MinAndMedianDiffer) {
+  // User at origin; events at distances 1, 2, 9.
+  DistanceEstimates est =
+      EstimateDistances({{0, 0}}, {{1, 0}, {2, 0}, {9, 0}});
+  EXPECT_DOUBLE_EQ(est.dist_min, 1.0);
+  EXPECT_DOUBLE_EQ(est.dist_med, 2.0);
+}
+
+TEST(EstimatorsTest, AveragesOverUsers) {
+  // Two users, one event: distances 1 and 3 -> mean 2.
+  DistanceEstimates est = EstimateDistances({{1, 0}, {3, 0}}, {{0, 0}});
+  EXPECT_DOUBLE_EQ(est.dist_min, 2.0);
+  EXPECT_DOUBLE_EQ(est.dist_med, 2.0);
+}
+
+TEST(EstimatorsTest, MinNeverExceedsMedian) {
+  Rng rng(1);
+  std::vector<Point> users, events;
+  for (int i = 0; i < 200; ++i) {
+    users.push_back({rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)});
+  }
+  for (int i = 0; i < 16; ++i) {
+    events.push_back({rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)});
+  }
+  DistanceEstimates est = EstimateDistances(users, events);
+  EXPECT_LE(est.dist_min, est.dist_med);
+  EXPECT_GT(est.dist_min, 0.0);
+}
+
+TEST(EstimatorsTest, SamplingApproximatesExact) {
+  Rng rng(2);
+  std::vector<Point> users, events;
+  for (int i = 0; i < 5000; ++i) {
+    users.push_back({rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)});
+  }
+  for (int i = 0; i < 8; ++i) {
+    events.push_back({rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)});
+  }
+  DistanceEstimates exact =
+      EstimateDistances(users, events, /*max_sampled_users=*/100000);
+  DistanceEstimates sampled =
+      EstimateDistances(users, events, /*max_sampled_users=*/500);
+  EXPECT_NEAR(sampled.dist_min, exact.dist_min, 0.15 * exact.dist_min);
+  EXPECT_NEAR(sampled.dist_med, exact.dist_med, 0.15 * exact.dist_med);
+}
+
+}  // namespace
+}  // namespace rmgp

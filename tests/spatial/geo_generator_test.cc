@@ -1,0 +1,66 @@
+#include "spatial/geo_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rmgp {
+namespace {
+
+TEST(GeoGeneratorTest, SingleClusterMomentsMatch) {
+  GeoGenerator gen({{{10.0, -5.0}, 2.0, 1.0}}, 1);
+  double sx = 0, sy = 0, sxx = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    Point p = gen.Sample();
+    sx += p.x;
+    sy += p.y;
+    sxx += (p.x - 10.0) * (p.x - 10.0);
+  }
+  EXPECT_NEAR(sx / n, 10.0, 0.1);
+  EXPECT_NEAR(sy / n, -5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sxx / n), 2.0, 0.1);
+}
+
+TEST(GeoGeneratorTest, WeightsControlClusterShares) {
+  GeoGenerator gen({{{0.0, 0.0}, 0.1, 3.0}, {{100.0, 0.0}, 0.1, 1.0}}, 2);
+  int near_a = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Sample().x < 50.0) ++near_a;
+  }
+  EXPECT_NEAR(static_cast<double>(near_a) / n, 0.75, 0.02);
+}
+
+TEST(GeoGeneratorTest, SampleManyCount) {
+  GeoGenerator gen({{{0, 0}, 1.0, 1.0}}, 3);
+  EXPECT_EQ(gen.SampleMany(137).size(), 137u);
+}
+
+TEST(GeoGeneratorTest, VenuesConcentrateNearCenters) {
+  GeoGenerator users({{{0, 0}, 10.0, 1.0}}, 4);
+  GeoGenerator venues({{{0, 0}, 10.0, 1.0}}, 4);
+  double user_spread = 0, venue_spread = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    Point u = users.Sample();
+    Point v = venues.SampleNearCenter(0.2);
+    user_spread += u.x * u.x + u.y * u.y;
+    venue_spread += v.x * v.x + v.y * v.y;
+  }
+  // Venue concentration 0.2 shrinks variance by 0.04.
+  EXPECT_LT(venue_spread, 0.1 * user_spread);
+}
+
+TEST(GeoGeneratorTest, DeterministicBySeed) {
+  GeoGenerator a({{{0, 0}, 1.0, 1.0}}, 5);
+  GeoGenerator b({{{0, 0}, 1.0, 1.0}}, 5);
+  for (int i = 0; i < 10; ++i) {
+    Point pa = a.Sample(), pb = b.Sample();
+    EXPECT_DOUBLE_EQ(pa.x, pb.x);
+    EXPECT_DOUBLE_EQ(pa.y, pb.y);
+  }
+}
+
+}  // namespace
+}  // namespace rmgp

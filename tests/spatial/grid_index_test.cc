@@ -1,0 +1,104 @@
+#include "spatial/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+uint32_t BruteNearest(const std::vector<Point>& pts, const Point& q) {
+  uint32_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (uint32_t i = 0; i < pts.size(); ++i) {
+    const double d = DistanceSquared(q, pts[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(GridIndexTest, SinglePoint) {
+  GridIndex idx({{1, 1}});
+  EXPECT_EQ(idx.Nearest({100, -50}), 0u);
+}
+
+TEST(GridIndexTest, NearestMatchesBruteForceOnRandomPoints) {
+  Rng rng(1);
+  std::vector<Point> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.UniformDouble(-10, 10), rng.UniformDouble(-10, 10)});
+  }
+  GridIndex idx(pts, 16);
+  for (int q = 0; q < 300; ++q) {
+    Point query{rng.UniformDouble(-12, 12), rng.UniformDouble(-12, 12)};
+    const uint32_t got = idx.Nearest(query);
+    const uint32_t want = BruteNearest(pts, query);
+    EXPECT_DOUBLE_EQ(DistanceSquared(query, pts[got]),
+                     DistanceSquared(query, pts[want]));
+  }
+}
+
+TEST(GridIndexTest, NearestHandlesClusteredPoints) {
+  // All points in one cell except one outlier; queries near the outlier
+  // must still find it.
+  std::vector<Point> pts;
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({rng.UniformDouble(0, 0.1), rng.UniformDouble(0, 0.1)});
+  }
+  pts.push_back({100, 100});
+  GridIndex idx(pts, 8);
+  EXPECT_EQ(idx.Nearest({99, 101}), 50u);
+}
+
+TEST(GridIndexTest, QueriesOutsideBoundingBox) {
+  std::vector<Point> pts{{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  GridIndex idx(pts, 4);
+  EXPECT_EQ(idx.Nearest({-5, -5}), 0u);
+  EXPECT_EQ(idx.Nearest({6, -5}), 1u);
+  EXPECT_EQ(idx.Nearest({6, 6}), 3u);
+}
+
+TEST(GridIndexTest, DegenerateCollinearPoints) {
+  // Zero-height bounding box.
+  std::vector<Point> pts{{0, 5}, {1, 5}, {2, 5}, {3, 5}};
+  GridIndex idx(pts, 4);
+  EXPECT_EQ(idx.Nearest({2.2, 9}), 2u);
+}
+
+TEST(GridIndexTest, IdenticalPointsTieBreakLowestIndex) {
+  std::vector<Point> pts{{1, 1}, {1, 1}, {1, 1}};
+  GridIndex idx(pts, 2);
+  EXPECT_EQ(idx.Nearest({1, 1}), 0u);
+}
+
+TEST(GridIndexTest, RangeQueryFindsExactlyContainedPoints) {
+  Rng rng(3);
+  std::vector<Point> pts;
+  for (int i = 0; i < 400; ++i) {
+    pts.push_back({rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)});
+  }
+  GridIndex idx(pts, 10);
+  BoundingBox box{{2, 3}, {6, 7}};
+  auto got = idx.Range(box);
+  std::vector<uint32_t> want;
+  for (uint32_t i = 0; i < pts.size(); ++i) {
+    if (box.Contains(pts[i])) want.push_back(i);
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(GridIndexTest, RangeQueryEmptyBox) {
+  std::vector<Point> pts{{0, 0}, {5, 5}};
+  GridIndex idx(pts, 4);
+  auto got = idx.Range({{2, 2}, {3, 3}});
+  EXPECT_TRUE(got.empty());
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,128 @@
+#include "spatial/kdtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "spatial/grid_index.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+std::vector<Point> RandomPoints(int n, uint64_t seed, double extent) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(
+        {rng.UniformDouble(-extent, extent), rng.UniformDouble(-extent, extent)});
+  }
+  return pts;
+}
+
+uint32_t BruteNearest(const std::vector<Point>& pts, const Point& q) {
+  uint32_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (uint32_t i = 0; i < pts.size(); ++i) {
+    const double d = DistanceSquared(q, pts[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  KdTree tree({{3, 4}});
+  EXPECT_EQ(tree.Nearest({0, 0}), 0u);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(KdTreeTest, NearestMatchesBruteForce) {
+  auto pts = RandomPoints(600, 1, 50.0);
+  KdTree tree(pts);
+  Rng rng(2);
+  for (int q = 0; q < 400; ++q) {
+    Point query{rng.UniformDouble(-60, 60), rng.UniformDouble(-60, 60)};
+    const uint32_t got = tree.Nearest(query);
+    const uint32_t want = BruteNearest(pts, query);
+    EXPECT_DOUBLE_EQ(DistanceSquared(query, pts[got]),
+                     DistanceSquared(query, pts[want]));
+  }
+}
+
+TEST(KdTreeTest, AgreesWithGridIndex) {
+  auto pts = RandomPoints(300, 3, 10.0);
+  KdTree tree(pts);
+  GridIndex grid(pts, 16);
+  Rng rng(4);
+  for (int q = 0; q < 200; ++q) {
+    Point query{rng.UniformDouble(-12, 12), rng.UniformDouble(-12, 12)};
+    const uint32_t a = tree.Nearest(query);
+    const uint32_t b = grid.Nearest(query);
+    EXPECT_DOUBLE_EQ(DistanceSquared(query, pts[a]),
+                     DistanceSquared(query, pts[b]));
+  }
+}
+
+TEST(KdTreeTest, DuplicatePointsHandled) {
+  KdTree tree({{1, 1}, {1, 1}, {2, 2}});
+  const uint32_t got = tree.Nearest({1, 1});
+  EXPECT_TRUE(got == 0u || got == 1u);
+  EXPECT_DOUBLE_EQ(DistanceSquared({1, 1}, tree.points()[got]), 0.0);
+}
+
+TEST(KdTreeTest, CollinearPoints) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({static_cast<double>(i), 7.0});
+  KdTree tree(pts);
+  EXPECT_EQ(tree.Nearest({23.4, 0.0}), 23u);
+  EXPECT_EQ(tree.Nearest({-5.0, 7.0}), 0u);
+}
+
+TEST(KdTreeTest, KNearestOrderedByDistance) {
+  auto pts = RandomPoints(200, 5, 20.0);
+  KdTree tree(pts);
+  Rng rng(6);
+  for (int q = 0; q < 50; ++q) {
+    Point query{rng.UniformDouble(-20, 20), rng.UniformDouble(-20, 20)};
+    auto knn = tree.KNearest(query, 10);
+    ASSERT_EQ(knn.size(), 10u);
+    // Distances are non-decreasing.
+    for (size_t i = 1; i < knn.size(); ++i) {
+      EXPECT_LE(DistanceSquared(query, pts[knn[i - 1]]),
+                DistanceSquared(query, pts[knn[i]]) + 1e-12);
+    }
+    // First element equals the 1-NN.
+    EXPECT_DOUBLE_EQ(DistanceSquared(query, pts[knn[0]]),
+                     DistanceSquared(query, pts[BruteNearest(pts, query)]));
+  }
+}
+
+TEST(KdTreeTest, KNearestMatchesBruteForceSet) {
+  auto pts = RandomPoints(100, 7, 5.0);
+  KdTree tree(pts);
+  const Point query{0.5, -0.5};
+  auto knn = tree.KNearest(query, 5);
+  // Brute-force top-5 by distance.
+  std::vector<uint32_t> all(pts.size());
+  for (uint32_t i = 0; i < pts.size(); ++i) all[i] = i;
+  std::sort(all.begin(), all.end(), [&](uint32_t a, uint32_t b) {
+    return DistanceSquared(query, pts[a]) < DistanceSquared(query, pts[b]);
+  });
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(DistanceSquared(query, pts[knn[i]]),
+                     DistanceSquared(query, pts[all[i]]));
+  }
+}
+
+TEST(KdTreeTest, KNearestClampsToSize) {
+  KdTree tree({{0, 0}, {1, 1}});
+  EXPECT_EQ(tree.KNearest({0, 0}, 10).size(), 2u);
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,57 @@
+#include "spatial/point.h"
+
+#include <gtest/gtest.h>
+
+namespace rmgp {
+namespace {
+
+TEST(PointTest, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(Distance({-1, 0}, {1, 0}), 2.0);
+}
+
+TEST(PointTest, DistanceIsSymmetric) {
+  Point a{1.5, -2.0}, b{-0.5, 4.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(PointTest, DistanceSquaredConsistent) {
+  Point a{2, 3}, b{5, 7};
+  EXPECT_DOUBLE_EQ(DistanceSquared(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b) * Distance(a, b), DistanceSquared(a, b));
+}
+
+TEST(PointTest, TriangleInequality) {
+  Point a{0, 0}, b{3, 1}, c{5, 5};
+  EXPECT_LE(Distance(a, c), Distance(a, b) + Distance(b, c) + 1e-12);
+}
+
+TEST(BoundingBoxTest, ContainsAndExtend) {
+  BoundingBox box{{0, 0}, {1, 1}};
+  EXPECT_TRUE(box.Contains({0.5, 0.5}));
+  EXPECT_TRUE(box.Contains({0, 1}));  // boundary inclusive
+  EXPECT_FALSE(box.Contains({1.5, 0.5}));
+  box.Extend({2, -1});
+  EXPECT_TRUE(box.Contains({1.5, -0.5}));
+  EXPECT_DOUBLE_EQ(box.width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.height(), 2.0);
+}
+
+TEST(BoundingBoxTest, ComputeBoundingBox) {
+  std::vector<Point> pts{{1, 2}, {-3, 5}, {0, -1}};
+  BoundingBox box = ComputeBoundingBox(pts);
+  EXPECT_DOUBLE_EQ(box.min.x, -3.0);
+  EXPECT_DOUBLE_EQ(box.min.y, -1.0);
+  EXPECT_DOUBLE_EQ(box.max.x, 1.0);
+  EXPECT_DOUBLE_EQ(box.max.y, 5.0);
+}
+
+TEST(BoundingBoxTest, SinglePointBox) {
+  BoundingBox box = ComputeBoundingBox({{2, 3}});
+  EXPECT_TRUE(box.Contains({2, 3}));
+  EXPECT_DOUBLE_EQ(box.width(), 0.0);
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,72 @@
+#ifndef RMGP_TESTS_TESTING_TEST_UTIL_H_
+#define RMGP_TESTS_TESTING_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "graph/graph.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace testing {
+
+/// Holds an Instance together with the graph and provider it references,
+/// so test fixtures can pass instances around by value safely.
+struct OwnedInstance {
+  std::unique_ptr<Graph> graph;
+  std::shared_ptr<const CostProvider> costs;
+  std::unique_ptr<Instance> instance;
+
+  const Instance& get() const { return *instance; }
+  Instance* mutable_instance() { return instance.get(); }
+};
+
+/// Builds an instance from explicit edges and a dense cost matrix
+/// (row-major, n × k).
+inline OwnedInstance MakeInstance(NodeId n, ClassId k,
+                                  const std::vector<Edge>& edges,
+                                  std::vector<double> costs, double alpha) {
+  OwnedInstance owned;
+  GraphBuilder b(n);
+  for (const Edge& e : edges) {
+    RMGP_CHECK(b.AddEdge(e.u, e.v, e.weight).ok());
+  }
+  owned.graph = std::make_unique<Graph>(std::move(b).Build());
+  owned.costs = std::make_shared<DenseCostMatrix>(n, k, std::move(costs));
+  auto inst = Instance::Create(owned.graph.get(), owned.costs, alpha);
+  RMGP_CHECK(inst.ok()) << inst.status().ToString();
+  owned.instance = std::make_unique<Instance>(std::move(inst).value());
+  return owned;
+}
+
+/// A random instance on an Erdős–Rényi graph with random weights and
+/// random costs in [0, 1); the workhorse of the property tests.
+inline OwnedInstance MakeRandomInstance(NodeId n, ClassId k, double edge_prob,
+                                        double alpha, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(edge_prob)) {
+        RMGP_CHECK(b.AddEdge(u, v, rng.UniformDouble(0.1, 1.0)).ok());
+      }
+    }
+  }
+  OwnedInstance owned;
+  owned.graph = std::make_unique<Graph>(std::move(b).Build());
+  std::vector<double> costs(static_cast<size_t>(n) * k);
+  for (double& c : costs) c = rng.UniformDouble();
+  owned.costs = std::make_shared<DenseCostMatrix>(n, k, std::move(costs));
+  auto inst = Instance::Create(owned.graph.get(), owned.costs, alpha);
+  RMGP_CHECK(inst.ok()) << inst.status().ToString();
+  owned.instance = std::make_unique<Instance>(std::move(inst).value());
+  return owned;
+}
+
+}  // namespace testing
+}  // namespace rmgp
+
+#endif  // RMGP_TESTS_TESTING_TEST_UTIL_H_

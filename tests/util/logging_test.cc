@@ -1,0 +1,45 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace rmgp {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, LogStreamDoesNotCrash) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // silence output during the test
+  RMGP_LOG(kInfo) << "suppressed " << 42;
+  RMGP_LOG(kError) << "emitted to stderr " << 3.14;
+  SetLogLevel(before);
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ RMGP_CHECK(1 == 2) << "impossible"; },
+               "Check failed: 1 == 2");
+  EXPECT_DEATH({ RMGP_CHECK_EQ(3, 4); }, "Check failed");
+  EXPECT_DEATH({ RMGP_CHECK_LT(5, 5); }, "Check failed");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  RMGP_CHECK(true);
+  RMGP_CHECK_EQ(1, 1);
+  RMGP_CHECK_NE(1, 2);
+  RMGP_CHECK_LE(1, 1);
+  RMGP_CHECK_GE(2, 1);
+  RMGP_CHECK_GT(2, 1);
+  RMGP_CHECK_LT(1, 2);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,56 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rmgp {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"k", "time_ms"});
+  t.AddRow({"2", "10.5"});
+  t.AddRow({"128", "3.25"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("k    time_ms"), std::string::npos);
+  EXPECT_NE(s.find("128  3.25"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsPadEmptyCells) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.ToString().find("1"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(1.0, 0), "1");
+  EXPECT_EQ(Table::Int(-42), "-42");
+}
+
+TEST(TableTest, WriteCsvRoundTrips) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "0.5"});
+  t.AddRow({"with,comma", "1"});
+  const std::string path = ::testing::TempDir() + "/rmgp_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("name,value"), std::string::npos);
+  EXPECT_NE(content.find("alpha,0.5"), std::string::npos);
+  EXPECT_NE(content.find("\"with,comma\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvFailsForBadPath) {
+  Table t({"a"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent-dir-xyz/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,300 @@
+// rmgp — command-line driver for the RMGP library.
+//
+//   rmgp generate --dataset gowalla --users 5000 --events 64 --out data/g
+//       writes data/g.edges, data/g.users.csv, data/g.events.csv
+//
+//   rmgp solve --graph data/g.edges --users data/g.users.csv
+//              --events data/g.events.csv [--alpha 0.5] [--solver all]
+//              [--normalize pess] [--init closest] [--threads 4]
+//              [--out assignment.csv]
+//       runs an LAGP query and writes/prints the equilibrium
+//
+//   rmgp verify --graph ... --users ... --events ... --assignment a.csv
+//              [--alpha 0.5] [--normalize pess]
+//       checks that an assignment is a Nash equilibrium
+//
+//   rmgp stats --graph data/g.edges
+//       prints social-graph statistics (degrees, triangles, clustering)
+//
+// All files are plain text (edge list / CSV), so the tool composes with
+// external datasets: bring your own check-ins, get assignments back.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/normalization.h"
+#include "core/solver.h"
+#include "data/datasets.h"
+#include "data/geo_io.h"
+#include "data/tagp.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "spatial/estimators.h"
+
+using namespace rmgp;
+
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  const char* Get(const std::string& key, const char* def) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : it->second.c_str();
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : std::atof(it->second.c_str());
+  }
+  long GetInt(const std::string& key, long def) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : std::atol(it->second.c_str());
+  }
+  bool Require(const std::string& key) const {
+    if (values.count(key)) return true;
+    std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+    return false;
+  }
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
+      flags.values[argv[i] + 2] = argv[i + 1];
+      ++i;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const Flags& flags) {
+  if (!flags.Require("out")) return 2;
+  const std::string out = flags.Get("out", "");
+  const std::string dataset = flags.Get("dataset", "gowalla");
+  GeoSocialDataset ds;
+  if (dataset == "gowalla") {
+    GowallaLikeOptions opt;
+    opt.num_users = static_cast<NodeId>(flags.GetInt("users", 12748));
+    opt.num_edges = static_cast<uint64_t>(
+        flags.GetInt("edges", static_cast<long>(opt.num_users * 3.8)));
+    opt.num_events = static_cast<ClassId>(flags.GetInt("events", 128));
+    opt.seed = static_cast<uint64_t>(flags.GetInt("seed", 2009));
+    ds = MakeGowallaLike(opt);
+  } else if (dataset == "foursquare") {
+    FoursquareLikeOptions opt;
+    opt.scale = flags.GetDouble("scale", 0.01);
+    opt.max_events = static_cast<ClassId>(flags.GetInt("events", 1024));
+    opt.seed = static_cast<uint64_t>(flags.GetInt("seed", 2013));
+    ds = MakeFoursquareLike(opt);
+  } else {
+    std::fprintf(stderr, "unknown --dataset %s (gowalla|foursquare)\n",
+                 dataset.c_str());
+    return 2;
+  }
+  if (Status s = WriteEdgeList(ds.graph, out + ".edges"); !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = WritePointsCsv(ds.user_locations, out + ".users.csv");
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = WritePointsCsv(ds.event_pool, out + ".events.csv");
+      !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("wrote %s.edges (%u users, %llu edges), %s.users.csv, "
+              "%s.events.csv (%zu events)\n",
+              out.c_str(), ds.graph.num_nodes(),
+              static_cast<unsigned long long>(ds.graph.num_edges()),
+              out.c_str(), out.c_str(), ds.event_pool.size());
+  return 0;
+}
+
+struct LoadedProblem {
+  // The graph lives behind a unique_ptr so its address stays stable when
+  // LoadedProblem is moved out of LoadProblem (Instance keeps a pointer).
+  std::unique_ptr<Graph> graph;
+  std::shared_ptr<EuclideanCostProvider> costs;
+  std::unique_ptr<Instance> instance;
+  std::vector<Point> users;
+  std::vector<Point> events;
+};
+
+Result<LoadedProblem> LoadProblem(const Flags& flags) {
+  LoadedProblem prob;
+  auto graph = ReadEdgeList(flags.Get("graph", ""));
+  if (!graph.ok()) return graph.status();
+  prob.graph = std::make_unique<Graph>(std::move(graph).value());
+  auto users = ReadPointsCsv(flags.Get("users", ""));
+  if (!users.ok()) return users.status();
+  prob.users = std::move(users).value();
+  auto events = ReadPointsCsv(flags.Get("events", ""));
+  if (!events.ok()) return events.status();
+  prob.events = std::move(events).value();
+  if (prob.users.size() < prob.graph->num_nodes()) {
+    return Status::InvalidArgument("users CSV has fewer rows than |V|");
+  }
+  prob.users.resize(prob.graph->num_nodes());
+  const long k = flags.GetInt("k", static_cast<long>(prob.events.size()));
+  if (k <= 0 || static_cast<size_t>(k) > prob.events.size()) {
+    return Status::InvalidArgument("--k out of range for the events file");
+  }
+  prob.events.resize(static_cast<size_t>(k));
+  prob.costs = std::make_shared<EuclideanCostProvider>(prob.users,
+                                                       prob.events);
+  auto inst = Instance::Create(prob.graph.get(), prob.costs,
+                               flags.GetDouble("alpha", 0.5));
+  if (!inst.ok()) return inst.status();
+  prob.instance = std::make_unique<Instance>(std::move(inst).value());
+
+  const std::string normalize = flags.Get("normalize", "pess");
+  NormalizationPolicy policy;
+  if (normalize == "none") {
+    policy = NormalizationPolicy::kNone;
+  } else if (normalize == "opt") {
+    policy = NormalizationPolicy::kOptimistic;
+  } else if (normalize == "pess") {
+    policy = NormalizationPolicy::kPessimistic;
+  } else {
+    return Status::InvalidArgument("--normalize must be none|opt|pess");
+  }
+  if (policy != NormalizationPolicy::kNone) {
+    DistanceEstimates est = EstimateDistances(prob.users, prob.events);
+    auto cn = Normalize(prob.instance.get(), policy,
+                        {est.dist_min, est.dist_med});
+    if (!cn.ok()) return cn.status();
+    std::printf("normalization constant CN = %.6f\n", *cn);
+  }
+  return prob;
+}
+
+int CmdSolve(const Flags& flags) {
+  for (const char* key : {"graph", "users", "events"}) {
+    if (!flags.Require(key)) return 2;
+  }
+  auto prob = LoadProblem(flags);
+  if (!prob.ok()) return Fail(prob.status());
+
+  const std::string solver = flags.Get("solver", "all");
+  SolverKind kind;
+  if (solver == "b") {
+    kind = SolverKind::kBaseline;
+  } else if (solver == "se") {
+    kind = SolverKind::kStrategyElimination;
+  } else if (solver == "is") {
+    kind = SolverKind::kIndependentSets;
+  } else if (solver == "gt") {
+    kind = SolverKind::kGlobalTable;
+  } else if (solver == "all") {
+    kind = SolverKind::kAll;
+  } else {
+    std::fprintf(stderr, "--solver must be b|se|is|gt|all\n");
+    return 2;
+  }
+
+  SolverOptions opt;
+  const std::string init = flags.Get("init", "closest");
+  if (init == "closest") {
+    opt.init = InitPolicy::kClosestClass;
+  } else if (init == "random") {
+    opt.init = InitPolicy::kRandom;
+  } else {
+    std::fprintf(stderr, "--init must be closest|random\n");
+    return 2;
+  }
+  opt.order = OrderPolicy::kDegreeDesc;
+  opt.num_threads = static_cast<uint32_t>(flags.GetInt("threads", 4));
+  opt.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  opt.record_rounds = false;
+
+  auto res = Solve(kind, *prob->instance, opt);
+  if (!res.ok()) return Fail(res.status());
+  std::printf(
+      "%s: %s after %u rounds in %.1f ms\n"
+      "objective total=%.3f assignment=%.3f social=%.3f potential=%.3f\n",
+      SolverKindName(kind), res->converged ? "equilibrium" : "round limit",
+      res->rounds, res->total_millis, res->objective.total,
+      res->objective.assignment, res->objective.social, res->potential);
+
+  const std::string out = flags.Get("out", "");
+  if (!out.empty()) {
+    if (Status s = WriteAssignmentCsv(res->assignment, out); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("assignment written to %s\n", out.c_str());
+  }
+  return res->converged ? 0 : 3;
+}
+
+int CmdVerify(const Flags& flags) {
+  for (const char* key : {"graph", "users", "events", "assignment"}) {
+    if (!flags.Require(key)) return 2;
+  }
+  auto prob = LoadProblem(flags);
+  if (!prob.ok()) return Fail(prob.status());
+  auto assignment = ReadAssignmentCsv(flags.Get("assignment", ""));
+  if (!assignment.ok()) return Fail(assignment.status());
+  Status s = VerifyEquilibrium(*prob->instance, *assignment);
+  if (!s.ok()) {
+    std::printf("NOT an equilibrium: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const CostBreakdown obj = EvaluateObjective(*prob->instance, *assignment);
+  std::printf("valid Nash equilibrium; objective total=%.3f\n", obj.total);
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  if (!flags.Require("graph")) return 2;
+  auto graph = ReadEdgeList(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+  const GraphStats s = ComputeGraphStats(*graph);
+  std::printf("nodes             %u\n", s.num_nodes);
+  std::printf("edges             %llu\n",
+              static_cast<unsigned long long>(s.num_edges));
+  std::printf("avg degree        %.3f\n", s.average_degree);
+  std::printf("max degree        %u\n", s.max_degree);
+  std::printf("avg edge weight   %.3f\n", s.average_edge_weight);
+  std::printf("triangles         %llu\n",
+              static_cast<unsigned long long>(s.num_triangles));
+  std::printf("global clustering %.4f\n", s.global_clustering);
+  std::printf("components        %u (largest %u)\n", s.num_components,
+              s.largest_component);
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: rmgp <generate|solve|verify|stats> [--flag value]...\n"
+               "see the header of tools/rmgp_cli.cc for details\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Flags flags = ParseFlags(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "solve") return CmdSolve(flags);
+  if (cmd == "verify") return CmdVerify(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  Usage();
+  return 2;
+}
