@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <string>
 
+#include "util/json.h"
 #include "util/table.h"
 
 namespace rmgp {
@@ -14,8 +15,10 @@ namespace bench {
 /// Shared command-line convention for the figure benches:
 ///   --paper   run at the paper's full dataset scale (slow)
 ///   --out DIR write CSVs into DIR (default ./bench_results)
+///   --json    additionally write each table as <name>.json
 struct BenchArgs {
   bool paper = false;
+  bool json = false;
   std::string out_dir = "bench_results";
 
   static BenchArgs Parse(int argc, char** argv) {
@@ -23,13 +26,16 @@ struct BenchArgs {
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--paper") == 0) {
         args.paper = true;
+      } else if (std::strcmp(argv[i], "--json") == 0) {
+        args.json = true;
       } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
         args.out_dir = argv[++i];
       } else {
         std::fprintf(stderr,
-                     "usage: %s [--paper] [--out DIR]\n"
+                     "usage: %s [--paper] [--json] [--out DIR]\n"
                      "  --paper  full paper-scale datasets (slow)\n"
-                     "  --out    CSV output directory\n",
+                     "  --json   also write machine-readable JSON\n"
+                     "  --out    output directory\n",
                      argv[0]);
         std::exit(2);
       }
@@ -38,7 +44,21 @@ struct BenchArgs {
   }
 };
 
-/// Prints the table and writes it as CSV under args.out_dir.
+/// A Table as a JSON array of one object per row, keyed by header.
+inline Json TableToJson(const Table& table) {
+  Json rows = Json::Array();
+  for (const auto& row : table.rows()) {
+    Json obj = Json::Object();
+    for (size_t c = 0; c < table.headers().size(); ++c) {
+      obj.Set(table.headers()[c], row[c]);
+    }
+    rows.Append(std::move(obj));
+  }
+  return rows;
+}
+
+/// Prints the table and writes it as CSV (and JSON with --json) under
+/// args.out_dir.
 inline void Emit(const BenchArgs& args, const std::string& name,
                  const Table& table) {
   std::printf("\n== %s ==\n%s", name.c_str(), table.ToString().c_str());
@@ -49,6 +69,14 @@ inline void Emit(const BenchArgs& args, const std::string& name,
     std::fprintf(stderr, "warning: %s\n", s.ToString().c_str());
   } else {
     std::printf("(csv: %s)\n", path.c_str());
+  }
+  if (args.json) {
+    const std::string jpath = args.out_dir + "/" + name + ".json";
+    if (Status s = TableToJson(table).WriteFile(jpath); !s.ok()) {
+      std::fprintf(stderr, "warning: %s\n", s.ToString().c_str());
+    } else {
+      std::printf("(json: %s)\n", jpath.c_str());
+    }
   }
 }
 

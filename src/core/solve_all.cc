@@ -54,6 +54,8 @@ Result<SolveResult> SolveAll(const Instance& inst,
   const ReducedStrategies rs = internal::ComputeReducedStrategies(inst);
   res.eliminated_users = rs.eliminated_users;
   res.pruned_strategies = rs.pruned_strategies;
+  res.counters.eliminated_users = rs.eliminated_users;
+  res.counters.pruned_strategies = rs.pruned_strategies;
   res.assignment = internal::MakeReducedInitialAssignment(inst, options, rs,
                                                           &rng);
   const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
@@ -96,6 +98,11 @@ Result<SolveResult> SolveAll(const Instance& inst,
     happy[v] = !StrictlyBetter(best, row[ci]);
   });
   res.init_millis = init_sw.ElapsedMillis();
+  res.counters.gt_cells_built = rs.classes.size();
+  res.counters.gt_rebuilds = 1;
+  for (const std::vector<NodeId>& group : coloring.groups) {
+    res.counters.color_group_sizes.push_back(group.size());
+  }
   if (options.record_rounds) {
     RoundStats rs0;
     rs0.round = 0;
@@ -112,6 +119,7 @@ Result<SolveResult> SolveAll(const Instance& inst,
     Stopwatch round_sw;
     std::atomic<uint64_t> deviations{0};
     std::atomic<uint64_t> examined{0};
+    std::atomic<uint64_t> cell_updates{0};
     for (const std::vector<NodeId>& group : coloring.groups) {
       const size_t chunks = std::min<size_t>(
           pool.num_threads(), std::max<size_t>(group.size(), 1));
@@ -121,7 +129,7 @@ Result<SolveResult> SolveAll(const Instance& inst,
         const size_t end = std::min(group.size(), begin + per_chunk);
         if (begin >= end) break;
         pool.Submit([&, begin, end] {
-          uint64_t local_dev = 0, local_exam = 0;
+          uint64_t local_dev = 0, local_exam = 0, local_upd = 0;
           for (size_t gi = begin; gi < end; ++gi) {
             const NodeId v = group[gi];
             if (happy[v]) continue;
@@ -147,6 +155,7 @@ Result<SolveResult> SolveAll(const Instance& inst,
               if (idx_new == SIZE_MAX && idx_old == SIZE_MAX) continue;
               const double delta = social_factor * 0.5 * nb.weight;
               double* frow = values.data() + rs.offsets[f];
+              local_upd += (idx_new != SIZE_MAX) + (idx_old != SIZE_MAX);
               std::lock_guard<std::mutex> lock(shards[f % kNumShards]);
               if (idx_new != SIZE_MAX) frow[idx_new] -= delta;
               if (idx_old != SIZE_MAX) frow[idx_old] += delta;
@@ -159,11 +168,14 @@ Result<SolveResult> SolveAll(const Instance& inst,
           }
           deviations.fetch_add(local_dev, std::memory_order_relaxed);
           examined.fetch_add(local_exam, std::memory_order_relaxed);
+          cell_updates.fetch_add(local_upd, std::memory_order_relaxed);
         });
       }
       pool.Wait();
     }
     res.rounds = round;
+    res.counters.best_response_evals += examined.load();
+    res.counters.gt_incremental_updates += cell_updates.load();
     const uint64_t dev = deviations.load();
     if (options.record_rounds) {
       RoundStats stat;
@@ -182,6 +194,7 @@ Result<SolveResult> SolveAll(const Instance& inst,
     }
   }
 
+  res.counters.thread_busy_millis = pool.BusyMillis();
   internal::FinalizeResult(inst, &res);
   res.total_millis = total_sw.ElapsedMillis();
   return res;

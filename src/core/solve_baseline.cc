@@ -49,6 +49,7 @@ Result<SolveResult> SolveBaseline(const Instance& inst,
       }
     }
     res.rounds = round;
+    res.counters.best_response_evals += inst.num_users();
     if (options.record_rounds) {
       RoundStats rs;
       rs.round = round;

@@ -34,6 +34,8 @@ Result<SolveResult> SolveBestImprovement(const Instance& inst,
 
   // Global table as in RMGP_gt.
   std::vector<double> gt(static_cast<size_t>(n) * k);
+  res.counters.gt_cells_built = static_cast<uint64_t>(n) * k;
+  res.counters.gt_rebuilds = 1;
   for (NodeId v = 0; v < n; ++v) {
     double* row = gt.data() + static_cast<size_t>(v) * k;
     inst.AssignmentCostsFor(v, row);
@@ -99,6 +101,7 @@ Result<SolveResult> SolveBestImprovement(const Instance& inst,
       const double delta = social_factor * 0.5 * nb.weight;
       frow[best] -= delta;
       frow[old] += delta;
+      res.counters.gt_incremental_updates += 2;
       push_if_unhappy(f);
     }
     push_if_unhappy(v);  // v itself is happy now; push_if_unhappy no-ops
@@ -106,6 +109,7 @@ Result<SolveResult> SolveBestImprovement(const Instance& inst,
 
   res.converged = true;
   res.rounds = 1;  // single asynchronous sweep; `deviations` = moves
+  res.counters.best_response_evals = examined;
   if (options.record_rounds) {
     RoundStats st;
     st.round = 1;

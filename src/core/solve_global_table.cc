@@ -35,6 +35,8 @@ Result<SolveResult> SolveGlobalTable(const Instance& inst,
 
   std::vector<double> gt(static_cast<size_t>(n) * k);
   std::vector<char> happy(n);
+  res.counters.gt_cells_built = static_cast<uint64_t>(n) * k;
+  res.counters.gt_rebuilds = 1;
   for (NodeId v = 0; v < n; ++v) {
     double* row = gt.data() + static_cast<size_t>(v) * k;
     inst.AssignmentCostsFor(v, row);
@@ -84,6 +86,7 @@ Result<SolveResult> SolveGlobalTable(const Instance& inst,
         const double delta = social_factor * 0.5 * nb.weight;
         frow[best] -= delta;
         frow[old] += delta;
+        res.counters.gt_incremental_updates += 2;
         const ClassId sf = res.assignment[f];
         if (sf == old || StrictlyBetter(frow[best], frow[sf])) {
           // Conservative: the friend's current strategy either got dearer
@@ -93,6 +96,7 @@ Result<SolveResult> SolveGlobalTable(const Instance& inst,
       }
     }
     res.rounds = round;
+    res.counters.best_response_evals += examined;
     if (options.record_rounds) {
       RoundStats st;
       st.round = round;

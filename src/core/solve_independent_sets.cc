@@ -42,6 +42,9 @@ Result<SolveResult> SolveIndependentSets(const Instance& inst,
     }
   }
   res.init_millis = init_sw.ElapsedMillis();
+  for (const std::vector<NodeId>& group : coloring.groups) {
+    res.counters.color_group_sizes.push_back(group.size());
+  }
   if (options.record_rounds) {
     RoundStats rs0;
     rs0.round = 0;
@@ -87,6 +90,7 @@ Result<SolveResult> SolveIndependentSets(const Instance& inst,
       pool.Wait();  // barrier before the next color group (Fig 4 line 8)
     }
     res.rounds = round;
+    res.counters.best_response_evals += inst.num_users();
     const uint64_t dev = deviations.load();
     if (options.record_rounds) {
       RoundStats st;
@@ -105,6 +109,7 @@ Result<SolveResult> SolveIndependentSets(const Instance& inst,
     }
   }
 
+  res.counters.thread_busy_millis = pool.BusyMillis();
   internal::FinalizeResult(inst, &res);
   res.total_millis = total_sw.ElapsedMillis();
   return res;

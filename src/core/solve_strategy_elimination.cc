@@ -60,6 +60,8 @@ Result<SolveResult> SolveStrategyElimination(const Instance& inst,
   const ReducedStrategies rs = internal::ComputeReducedStrategies(inst);
   res.eliminated_users = rs.eliminated_users;
   res.pruned_strategies = rs.pruned_strategies;
+  res.counters.eliminated_users = rs.eliminated_users;
+  res.counters.pruned_strategies = rs.pruned_strategies;
   res.assignment =
       internal::MakeReducedInitialAssignment(inst, options, rs, &rng);
   std::vector<NodeId> order = internal::MakeOrder(inst, options, &rng);
@@ -92,6 +94,7 @@ Result<SolveResult> SolveStrategyElimination(const Instance& inst,
       }
     }
     res.rounds = round;
+    res.counters.best_response_evals += order.size();
     if (options.record_rounds) {
       RoundStats st;
       st.round = round;

@@ -53,6 +53,43 @@ struct SolverOptions {
   bool record_potential = false;
 };
 
+/// Lightweight per-run observability counters. Maintained unconditionally
+/// by every solver (the increments are cheap relative to a best-response
+/// evaluation) and serialized by tools/bench_runner into BENCH_solvers.json
+/// so regressions in *work done* are visible even when wall time is noisy.
+struct SolverCounters {
+  /// Best-response evaluations: one per (user, round) examination, whether
+  /// computed from scratch (RMGP_b/se/is) or read off a global-table row
+  /// (RMGP_gt/all/pq).
+  uint64_t best_response_evals = 0;
+
+  /// Cells materialized by full global-table builds (round 0 of
+  /// RMGP_gt/all/pq); 0 for solvers without a table.
+  uint64_t gt_cells_built = 0;
+
+  /// Full global-table builds (currently always 0 or 1; rebuilds would
+  /// appear here if a future dynamic variant invalidates the table).
+  uint64_t gt_rebuilds = 0;
+
+  /// Incremental per-cell table updates applied when a friend switched
+  /// class (Fig 5 lines 11-15) — the quantity §4.3 trades against full
+  /// re-evaluation.
+  uint64_t gt_incremental_updates = 0;
+
+  /// §4.1 strategy-elimination effectiveness (mirrors the SolveResult
+  /// fields of the same name).
+  uint64_t eliminated_users = 0;
+  uint64_t pruned_strategies = 0;
+
+  /// Sizes of the greedy-coloring groups actually scheduled (RMGP_is/all;
+  /// RMGP_all drops eliminated users first); empty for sequential solvers.
+  std::vector<uint64_t> color_group_sizes;
+
+  /// Per-worker wall time spent inside solver tasks, from
+  /// ThreadPool::BusyMillis (RMGP_is/all); empty for sequential solvers.
+  std::vector<double> thread_busy_millis;
+};
+
 /// Statistics for one round of best-response dynamics.
 struct RoundStats {
   uint32_t round = 0;        ///< 0 = initialization round
@@ -73,7 +110,11 @@ struct SolveResult {
   double total_millis = 0.0;  ///< wall clock incl. initialization
   std::vector<RoundStats> round_stats;  ///< if record_rounds; [0] is round 0
 
+  /// Work counters for observability; see SolverCounters.
+  SolverCounters counters;
+
   /// Strategy-elimination effectiveness (RMGP_se / RMGP_all only).
+  /// Mirrors counters.eliminated_users / counters.pruned_strategies.
   uint64_t eliminated_users = 0;    ///< users fixed to their only strategy
   uint64_t pruned_strategies = 0;   ///< (v,p) pairs removed from play
 };

@@ -1,0 +1,36 @@
+#include "util/build_info.h"
+
+#include <thread>
+
+// The RMGP_* macros below are injected by src/util/CMakeLists.txt; the
+// fallbacks keep non-CMake builds (e.g. IDE single-file checks) compiling.
+#ifndef RMGP_GIT_SHA
+#define RMGP_GIT_SHA "unknown"
+#endif
+#ifndef RMGP_COMPILER_ID
+#define RMGP_COMPILER_ID "unknown"
+#endif
+#ifndef RMGP_CXX_FLAGS
+#define RMGP_CXX_FLAGS ""
+#endif
+#ifndef RMGP_BUILD_TYPE
+#define RMGP_BUILD_TYPE ""
+#endif
+#ifndef RMGP_SANITIZE_VALUE
+#define RMGP_SANITIZE_VALUE ""
+#endif
+
+namespace rmgp {
+
+BuildInfo GetBuildInfo() {
+  BuildInfo info;
+  info.git_sha = RMGP_GIT_SHA;
+  info.compiler = RMGP_COMPILER_ID;
+  info.compiler_flags = RMGP_CXX_FLAGS;
+  info.build_type = RMGP_BUILD_TYPE;
+  info.sanitize = RMGP_SANITIZE_VALUE;
+  info.hardware_threads = std::thread::hardware_concurrency();
+  return info;
+}
+
+}  // namespace rmgp

@@ -1,0 +1,25 @@
+#ifndef RMGP_UTIL_BUILD_INFO_H_
+#define RMGP_UTIL_BUILD_INFO_H_
+
+#include <string>
+
+namespace rmgp {
+
+/// Environment metadata stamped into every BENCH_*.json so a recorded perf
+/// trajectory is attributable: two runs are only comparable if the sha,
+/// compiler, and flags say they measured the same code the same way.
+struct BuildInfo {
+  std::string git_sha;         ///< configure-time `git rev-parse`, or "unknown"
+  std::string compiler;        ///< e.g. "GNU 12.2.0"
+  std::string compiler_flags;  ///< CMAKE_CXX_FLAGS + active build-type flags
+  std::string build_type;      ///< e.g. "Release"
+  std::string sanitize;        ///< RMGP_SANITIZE value, usually empty
+  unsigned hardware_threads;   ///< std::thread::hardware_concurrency()
+};
+
+/// Returns the metadata baked in at configure time plus runtime nproc.
+BuildInfo GetBuildInfo();
+
+}  // namespace rmgp
+
+#endif  // RMGP_UTIL_BUILD_INFO_H_

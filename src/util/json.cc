@@ -1,0 +1,454 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace rmgp {
+
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+void AppendUtf8(std::string* out, uint32_t cp) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+/// Formats a double the shortest way that still round-trips: try
+/// increasing precision until strtod gives back the same bits.
+void AppendNumber(std::string* out, double v) {
+  RMGP_CHECK(std::isfinite(v)) << "JSON cannot represent non-finite numbers";
+  char buf[32];
+  // Integral values (counters, sizes, seeds) print as plain integers rather
+  // than the "3e+02" a minimal %g would produce.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out->append(buf);
+    return;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  out->append(buf);
+}
+
+/// Strict single-pass parser over a string_view with explicit position.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> ParseDocument() {
+    Json value;
+    Status s = ParseValue(&value, 0);
+    if (!s.ok()) return s;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Status ParseValue(Json* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error("invalid literal");
+        *out = Json();
+        return Status::OK();
+      case 't':
+        if (!ConsumeLiteral("true")) return Error("invalid literal");
+        *out = Json(true);
+        return Status::OK();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error("invalid literal");
+        *out = Json(false);
+        return Status::OK();
+      case '"':
+        return ParseString(out);
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseNumber(Json* out) {
+    const size_t start = pos_;
+    Consume('-');
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("malformed number");
+    *out = Json(v);
+    return Status::OK();
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ParseString(Json* out) {
+    std::string s;
+    Status st = ParseRawString(&s);
+    if (!st.ok()) return st;
+    *out = Json(std::move(s));
+    return Status::OK();
+  }
+
+  Status ParseRawString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          Status hs = ParseHex4(&cp);
+          if (!hs.ok()) return hs;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00-\uDFFF.
+            if (!ConsumeLiteral("\\u")) return Error("lone high surrogate");
+            uint32_t lo = 0;
+            hs = ParseHex4(&lo);
+            if (!hs.ok()) return hs;
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("lone low surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseArray(Json* out, int depth) {
+    RMGP_CHECK(Consume('['));
+    *out = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      Json element;
+      Status s = ParseValue(&element, depth + 1);
+      if (!s.ok()) return s;
+      out->Append(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(Json* out, int depth) {
+    RMGP_CHECK(Consume('{'));
+    *out = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      Status s = ParseRawString(&key);
+      if (!s.ok()) return s;
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      Json value;
+      s = ParseValue(&value, depth + 1);
+      if (!s.ok()) return s;
+      out->Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::AsBool() const {
+  RMGP_CHECK(is_bool());
+  return bool_;
+}
+
+double Json::AsDouble() const {
+  RMGP_CHECK(is_number());
+  return number_;
+}
+
+const std::string& Json::AsString() const {
+  RMGP_CHECK(is_string());
+  return string_;
+}
+
+size_t Json::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  return 0;
+}
+
+const Json& Json::operator[](size_t i) const {
+  RMGP_CHECK(is_array());
+  RMGP_CHECK_LT(i, array_.size());
+  return array_[i];
+}
+
+void Json::Append(Json value) {
+  RMGP_CHECK(is_array());
+  array_.push_back(std::move(value));
+}
+
+void Json::Set(std::string key, Json value) {
+  RMGP_CHECK(is_object());
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+const Json* Json::Find(std::string_view key) const {
+  RMGP_CHECK(is_object());
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::At(std::string_view key) const {
+  const Json* found = Find(key);
+  RMGP_CHECK(found != nullptr) << "missing JSON key: " << key;
+  return *found;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::items() const {
+  RMGP_CHECK(is_object());
+  return object_;
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? "\n" + std::string(static_cast<size_t>(indent) * (depth + 1), ' ')
+                 : "";
+  const std::string close_pad =
+      indent > 0 ? "\n" + std::string(static_cast<size_t>(indent) * depth, ' ') : "";
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Type::kNumber:
+      AppendNumber(out, number_);
+      break;
+    case Type::kString:
+      out->append(JsonEscape(string_));
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out->append("[]");
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        out->append(pad);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      out->append(close_pad);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out->append("{}");
+        break;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->append(pad);
+        out->append(JsonEscape(k));
+        out->push_back(':');
+        if (indent > 0) out->push_back(' ');
+        v.DumpTo(out, indent, depth + 1);
+      }
+      out->append(close_pad);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+Result<Json> Json::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+Status Json::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open for writing: " + path);
+  f << Dump(2) << "\n";
+  f.flush();
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Json> Json::ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return Parse(buf.str());
+}
+
+}  // namespace rmgp

@@ -1,0 +1,101 @@
+#ifndef RMGP_UTIL_JSON_H_
+#define RMGP_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Minimal JSON document — the machine-readable sibling of the CSV writer
+/// in util/table.h. Covers exactly what the BENCH_*.json trajectory files
+/// need: null, bool, double, string, array, and object (with
+/// insertion-ordered keys so emitted schemas are stable), plus a strict
+/// recursive-descent parser so bench_compare and round-trip tests can read
+/// the files back without an external dependency.
+///
+/// Numbers are stored as double; integers up to 2^53 round-trip exactly,
+/// which comfortably covers every solver counter.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Null by default.
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Json(double v) : type_(Type::kNumber), number_(v) {}  // NOLINT
+  Json(int v) : Json(static_cast<double>(v)) {}  // NOLINT
+  Json(int64_t v) : Json(static_cast<double>(v)) {}  // NOLINT
+  Json(uint32_t v) : Json(static_cast<double>(v)) {}  // NOLINT
+  Json(uint64_t v) : Json(static_cast<double>(v)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+
+  /// Empty array / object factories (a default Json is null, not {}).
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; the value must have the matching type (checked).
+  bool AsBool() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Number of array elements or object members; 0 for scalars.
+  size_t size() const;
+
+  /// Array access (checked bounds) and append.
+  const Json& operator[](size_t i) const;
+  void Append(Json value);
+
+  /// Object access. Set overwrites an existing key in place (its position
+  /// in the emitted output is preserved). Find returns nullptr when the
+  /// key is absent; At checks that it is present.
+  void Set(std::string key, Json value);
+  const Json* Find(std::string_view key) const;
+  const Json& At(std::string_view key) const;
+  const std::vector<std::pair<std::string, Json>>& items() const;
+
+  /// Serializes the document. indent == 0 is compact single-line output;
+  /// indent > 0 pretty-prints with that many spaces per level. Strings are
+  /// escaped per RFC 8259; doubles print with up to 17 significant digits
+  /// so that Parse(Dump(x)) reproduces x bit-for-bit.
+  std::string Dump(int indent = 0) const;
+
+  /// Strict parser: one JSON value followed only by whitespace. Rejects
+  /// trailing commas, comments, and documents nested deeper than 256
+  /// levels.
+  static Result<Json> Parse(std::string_view text);
+
+  /// Dump(2) to `path` with a trailing newline.
+  Status WriteFile(const std::string& path) const;
+  static Result<Json> ReadFile(const std::string& path);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Escapes `s` as a JSON string literal, including the surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace rmgp
+
+#endif  // RMGP_UTIL_JSON_H_

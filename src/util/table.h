@@ -34,6 +34,10 @@ class Table {
 
   size_t num_rows() const { return rows_.size(); }
 
+  /// Raw access for alternative serializers (bench JSON export).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,14 +1,19 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace rmgp {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
+  busy_nanos_ = std::make_unique<std::atomic<uint64_t>[]>(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    busy_nanos_[i].store(0, std::memory_order_relaxed);
+  }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -50,7 +55,16 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   Wait();
 }
 
-void ThreadPool::WorkerLoop() {
+std::vector<double> ThreadPool::BusyMillis() const {
+  std::vector<double> out(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    const uint64_t nanos = busy_nanos_[i].load(std::memory_order_relaxed);
+    out[i] = static_cast<double>(nanos) * 1e-6;
+  }
+  return out;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
@@ -64,7 +78,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    const auto start = std::chrono::steady_clock::now();
     task();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const auto nanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    busy_nanos_[worker_index].fetch_add(static_cast<uint64_t>(nanos),
+                                        std::memory_order_relaxed);
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -38,15 +40,23 @@ class ThreadPool {
   /// Number of worker threads.
   size_t num_threads() const { return workers_.size(); }
 
+  /// Cumulative wall time each worker has spent *inside* tasks, in
+  /// milliseconds, indexed by worker. The complement of busy time over a
+  /// solver's runtime is scheduling imbalance — surfaced per run in
+  /// SolverCounters::thread_busy_millis. Safe to call concurrently with
+  /// Submit/Wait; a task still running is not counted until it finishes.
+  std::vector<double> BusyMillis() const;
+
   /// Convenience: runs fn(i) for i in [0, n) across `num_threads` workers in
   /// contiguous chunks and waits for completion. Static partitioning keeps
   /// the per-item order within a chunk deterministic.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> workers_;
+  std::unique_ptr<std::atomic<uint64_t>[]> busy_nanos_;  // one per worker
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable task_available_;

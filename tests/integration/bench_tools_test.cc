@@ -1,0 +1,235 @@
+// Schema and gating tests for tools/bench_runner + tools/bench_compare:
+// the suite must emit schema-stable, self-describing records for all five
+// solvers, and the comparator must reject injected time and objective
+// regressions (the contract the CI perf-smoke job relies on).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "tools/bench_suite.h"
+#include "util/json.h"
+
+namespace rmgp {
+namespace bench {
+namespace {
+
+/// A tiny but complete suite configuration: one rep per cell keeps the
+/// whole 4 × 5 × 2 sweep in test-friendly time.
+SuiteConfig TinyConfig() {
+  SuiteConfig config = QuickConfig();
+  config.num_users = 120;
+  config.num_classes = 4;
+  config.reps = 2;
+  config.warmup = 0;
+  config.num_threads = 2;
+  config.alphas = {0.2, 0.8};
+  return config;
+}
+
+class BenchSuiteTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new SuiteConfig(TinyConfig());
+    doc_ = new Json(SuiteToJson(*config_, RunSuite(*config_)));
+  }
+  static void TearDownTestSuite() {
+    delete doc_;
+    delete config_;
+    doc_ = nullptr;
+    config_ = nullptr;
+  }
+
+  static SuiteConfig* config_;
+  static Json* doc_;
+};
+
+SuiteConfig* BenchSuiteTest::config_ = nullptr;
+Json* BenchSuiteTest::doc_ = nullptr;
+
+TEST_F(BenchSuiteTest, TopLevelSchemaIsStable) {
+  const Json& doc = *doc_;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.At("schema").AsString(), kBenchSchema);
+  ASSERT_TRUE(doc.At("config").is_object());
+  ASSERT_TRUE(doc.At("environment").is_object());
+  ASSERT_TRUE(doc.At("records").is_array());
+  // 4 topologies × 5 solvers × 2 alphas.
+  EXPECT_EQ(doc.At("records").size(), 40u);
+}
+
+TEST_F(BenchSuiteTest, EnvironmentMetadataPresent) {
+  const Json& env = doc_->At("environment");
+  for (const char* key : {"git_sha", "compiler", "compiler_flags",
+                          "build_type", "sanitize"}) {
+    ASSERT_NE(env.Find(key), nullptr) << key;
+    EXPECT_TRUE(env.At(key).is_string()) << key;
+  }
+  EXPECT_FALSE(env.At("compiler").AsString().empty());
+  EXPECT_GE(env.At("hardware_threads").AsDouble(), 0.0);
+}
+
+TEST_F(BenchSuiteTest, EveryRecordCarriesCountersAndStats) {
+  const Json& records = doc_->At("records");
+  std::set<std::string> solvers;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Json& r = records[i];
+    solvers.insert(r.At("solver").AsString());
+    for (const char* key :
+         {"graph", "solver", "alpha", "num_users", "num_edges", "num_classes",
+          "converged", "rounds", "objective_total", "objective_assignment",
+          "objective_social", "potential", "time_ms_mean", "time_ms_min",
+          "time_ms_max", "time_ms_stddev", "init_ms_mean", "counters"}) {
+      ASSERT_NE(r.Find(key), nullptr)
+          << "record " << i << " missing key " << key;
+    }
+    EXPECT_TRUE(r.At("converged").AsBool());
+    EXPECT_GT(r.At("time_ms_mean").AsDouble(), 0.0);
+    EXPECT_LE(r.At("time_ms_min").AsDouble(), r.At("time_ms_mean").AsDouble());
+
+    const Json& c = r.At("counters");
+    for (const char* key :
+         {"best_response_evals", "gt_cells_built", "gt_rebuilds",
+          "gt_incremental_updates", "eliminated_users", "pruned_strategies",
+          "color_group_sizes", "thread_busy_millis"}) {
+      ASSERT_NE(c.Find(key), nullptr)
+          << "counters of record " << i << " missing " << key;
+    }
+    EXPECT_GT(c.At("best_response_evals").AsDouble(), 0.0);
+
+    const std::string solver = r.At("solver").AsString();
+    if (solver == "RMGP_gt" || solver == "RMGP_all") {
+      EXPECT_GT(c.At("gt_cells_built").AsDouble(), 0.0) << solver;
+      EXPECT_EQ(c.At("gt_rebuilds").AsDouble(), 1.0) << solver;
+    }
+    if (solver == "RMGP_is" || solver == "RMGP_all") {
+      EXPECT_GT(c.At("color_group_sizes").size(), 0u) << solver;
+      EXPECT_EQ(c.At("thread_busy_millis").size(), 2u) << solver;
+    }
+  }
+  EXPECT_EQ(solvers, (std::set<std::string>{"RMGP_b", "RMGP_se", "RMGP_is",
+                                            "RMGP_gt", "RMGP_all"}));
+}
+
+TEST_F(BenchSuiteTest, JsonSurvivesDumpParseRoundTrip) {
+  auto parsed = Json::Parse(doc_->Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Dump(), doc_->Dump());
+}
+
+TEST_F(BenchSuiteTest, CompareIdenticalRunsIsClean) {
+  const CompareReport report = CompareBench(*doc_, *doc_, CompareOptions());
+  EXPECT_TRUE(report.ok) << report.summary;
+  EXPECT_TRUE(report.regressions.empty());
+}
+
+/// Returns a copy of `doc` with every record's `field` scaled by `factor`.
+Json WithScaledField(const Json& doc, const std::string& field,
+                     double factor) {
+  auto mutated = Json::Parse(doc.Dump());
+  EXPECT_TRUE(mutated.ok());
+  Json out = Json::Object();
+  for (const auto& [key, value] : mutated.value().items()) {
+    if (key != "records") {
+      out.Set(key, value);
+      continue;
+    }
+    Json records = Json::Array();
+    for (size_t i = 0; i < value.size(); ++i) {
+      Json rec = Json::Object();
+      for (const auto& [rkey, rvalue] : value[i].items()) {
+        if (rkey == field) {
+          rec.Set(rkey, rvalue.AsDouble() * factor);
+        } else {
+          rec.Set(rkey, rvalue);
+        }
+      }
+      records.Append(std::move(rec));
+    }
+    out.Set(key, std::move(records));
+  }
+  return out;
+}
+
+TEST_F(BenchSuiteTest, DetectsInjectedTimeRegression) {
+  // Candidate 20% slower everywhere; the default 10% gate must trip.
+  const Json slower = WithScaledField(*doc_, "time_ms_min", 1.20);
+  const CompareReport report = CompareBench(*doc_, slower, CompareOptions());
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.regressions.empty());
+  EXPECT_EQ(report.regressions[0].kind, "time");
+  EXPECT_EQ(report.regressions.size(), doc_->At("records").size());
+}
+
+TEST_F(BenchSuiteTest, DetectsInjectedObjectiveRegression) {
+  const Json worse = WithScaledField(*doc_, "objective_total", 1.10);
+  const CompareReport report = CompareBench(*doc_, worse, CompareOptions());
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.regressions.empty());
+  EXPECT_EQ(report.regressions[0].kind, "quality");
+}
+
+TEST_F(BenchSuiteTest, IgnoreTimeStillCatchesQuality) {
+  CompareOptions options;
+  options.time_threshold = -1.0;  // --ignore-time
+  const Json slower = WithScaledField(*doc_, "time_ms_min", 5.0);
+  EXPECT_TRUE(CompareBench(*doc_, slower, options).ok);
+  const Json worse = WithScaledField(*doc_, "objective_total", 1.10);
+  EXPECT_FALSE(CompareBench(*doc_, worse, options).ok);
+}
+
+TEST_F(BenchSuiteTest, MissingRecordIsARegression) {
+  auto mutated = Json::Parse(doc_->Dump());
+  ASSERT_TRUE(mutated.ok());
+  Json pruned = Json::Object();
+  for (const auto& [key, value] : mutated.value().items()) {
+    if (key != "records") {
+      pruned.Set(key, value);
+      continue;
+    }
+    Json records = Json::Array();
+    for (size_t i = 1; i < value.size(); ++i) records.Append(value[i]);
+    pruned.Set(key, std::move(records));
+  }
+  const CompareReport report = CompareBench(*doc_, pruned, CompareOptions());
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.regressions.size(), 1u);
+  EXPECT_EQ(report.regressions[0].kind, "missing");
+}
+
+TEST_F(BenchSuiteTest, SchemaMismatchIsRejected) {
+  Json other = Json::Object();
+  other.Set("schema", "rmgp-bench-solvers/999");
+  const CompareReport report = CompareBench(*doc_, other, CompareOptions());
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(BenchSuiteDeterminismTest, SameConfigSameObjectives) {
+  SuiteConfig config = TinyConfig();
+  config.alphas = {0.5};
+  config.reps = 1;
+  const std::vector<BenchRecord> a = RunSuite(config);
+  const std::vector<BenchRecord> b = RunSuite(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].graph, b[i].graph);
+    EXPECT_EQ(a[i].solver, b[i].solver);
+    EXPECT_EQ(a[i].num_edges, b[i].num_edges);
+    if (a[i].solver == "RMGP_b" || a[i].solver == "RMGP_se" ||
+        a[i].solver == "RMGP_gt") {
+      // Sequential solvers are bit-for-bit deterministic.
+      EXPECT_EQ(a[i].objective_total, b[i].objective_total) << a[i].solver;
+    } else {
+      // Parallel solvers may differ in float round-off and hence settle in
+      // a slightly different equilibrium; never materially.
+      EXPECT_NEAR(a[i].objective_total, b[i].objective_total,
+                  0.05 * a[i].objective_total)
+          << a[i].solver;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rmgp

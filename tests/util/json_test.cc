@@ -1,0 +1,159 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+namespace rmgp {
+namespace {
+
+TEST(JsonTest, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.Dump(), "null");
+}
+
+TEST(JsonTest, Scalars) {
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(-7).Dump(), "-7");
+  EXPECT_EQ(Json(2.5).Dump(), "2.5");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, LargeCountersRoundTripExactly) {
+  const uint64_t big = (uint64_t{1} << 53) - 1;  // largest exact integer
+  const Json j(big);
+  auto parsed = Json::Parse(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(static_cast<uint64_t>(parsed.value().AsDouble()), big);
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").Dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("back\\slash").Dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json("line\nbreak\ttab").Dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(Json(std::string("nul\x01")).Dump(), "\"nul\\u0001\"");
+  // UTF-8 passes through unescaped.
+  EXPECT_EQ(Json("αβγ").Dump(), "\"αβγ\"");
+}
+
+TEST(JsonTest, EscapedStringsParseBack) {
+  const std::string nasty = "quote\" back\\ slash/ \n\r\t\f\b ctrl\x02 末尾";
+  auto parsed = Json::Parse(Json(nasty).Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsString(), nasty);
+}
+
+TEST(JsonTest, ParseUnicodeEscapes) {
+  auto parsed = Json::Parse("\"\\u0041\\u00e9\\u4e2d\\ud83d\\ude00\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsString(), "Aé中😀");
+}
+
+TEST(JsonTest, RejectsLoneSurrogate) {
+  EXPECT_FALSE(Json::Parse("\"\\ud800\"").ok());
+  EXPECT_FALSE(Json::Parse("\"\\udc00\"").ok());
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json obj = Json::Object();
+  obj.Set("zebra", 1);
+  obj.Set("apple", 2);
+  obj.Set("mango", 3);
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+  obj.Set("zebra", 9);  // overwrite keeps position
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":9,\"apple\":2,\"mango\":3}");
+}
+
+TEST(JsonTest, ObjectLookup) {
+  Json obj = Json::Object();
+  obj.Set("k", "v");
+  ASSERT_NE(obj.Find("k"), nullptr);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+  EXPECT_EQ(obj.At("k").AsString(), "v");
+}
+
+TEST(JsonTest, NestedDumpParseRoundTrip) {
+  Json root = Json::Object();
+  root.Set("name", "suite");
+  root.Set("ok", true);
+  root.Set("count", 764);
+  Json arr = Json::Array();
+  arr.Append(1.5);
+  arr.Append(Json());
+  Json inner = Json::Object();
+  inner.Set("alpha", 0.2);
+  arr.Append(std::move(inner));
+  root.Set("values", std::move(arr));
+
+  for (const int indent : {0, 2}) {
+    auto parsed = Json::Parse(root.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const Json& p = parsed.value();
+    EXPECT_EQ(p.At("name").AsString(), "suite");
+    EXPECT_TRUE(p.At("ok").AsBool());
+    EXPECT_EQ(p.At("count").AsDouble(), 764.0);
+    ASSERT_EQ(p.At("values").size(), 3u);
+    EXPECT_EQ(p.At("values")[0].AsDouble(), 1.5);
+    EXPECT_TRUE(p.At("values")[1].is_null());
+    EXPECT_EQ(p.At("values")[2].At("alpha").AsDouble(), 0.2);
+  }
+}
+
+TEST(JsonTest, DoubleRoundTripIsExact) {
+  for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, -2.5e-10, 1e308}) {
+    auto parsed = Json::Parse(Json(v).Dump());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().AsDouble(), v) << Json(v).Dump();
+  }
+}
+
+TEST(JsonTest, ParseWhitespaceAndNesting) {
+  auto parsed = Json::Parse("  { \"a\" : [ 1 , 2 ,\n\t3 ] }  ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().At("a").size(), 3u);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(Json::Parse("nul").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("{'a':1}").ok());
+  EXPECT_FALSE(Json::Parse("1.2.3").ok());
+}
+
+TEST(JsonTest, ParseRejectsTooDeepNesting) {
+  std::string deep(400, '[');
+  deep += std::string(400, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, FileRoundTrip) {
+  Json doc = Json::Object();
+  doc.Set("schema", "test/1");
+  doc.Set("value", 3.25);
+  const std::string path =
+      ::testing::TempDir() + "/rmgp_json_roundtrip_test.json";
+  ASSERT_TRUE(doc.WriteFile(path).ok());
+  auto back = Json::ReadFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().At("schema").AsString(), "test/1");
+  EXPECT_EQ(back.value().At("value").AsDouble(), 3.25);
+  std::remove(path.c_str());
+}
+
+TEST(JsonTest, ReadFileMissingIsError) {
+  EXPECT_FALSE(Json::ReadFile("/nonexistent/rmgp.json").ok());
+}
+
+}  // namespace
+}  // namespace rmgp

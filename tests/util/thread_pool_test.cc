@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace rmgp {
@@ -73,6 +75,83 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
     // No Wait: destructor must still run all 50 tasks before joining.
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ShutdownUnderHeavyPendingBacklog) {
+  // A single worker with a long backlog: shutdown must neither drop queued
+  // tasks nor deadlock while they drain.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    pool.Submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    for (int i = 0; i < 1000; ++i) {
+      pool.Submit([&] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, TasksSubmittedFromTasksDrainBeforeShutdown) {
+  // Fan-out from inside a task, as the decentralized slaves do; all
+  // transitively submitted work must finish before the destructor returns.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    ThreadPool* pool_ptr = &pool;
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&, pool_ptr] {
+        for (int j = 0; j < 5; ++j) {
+          pool_ptr->Submit([&] { counter.fetch_add(1); });
+        }
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, BusyMillisStartsAtZero) {
+  ThreadPool pool(3);
+  const std::vector<double> busy = pool.BusyMillis();
+  ASSERT_EQ(busy.size(), 3u);
+  for (double ms : busy) EXPECT_EQ(ms, 0.0);
+}
+
+TEST(ThreadPoolTest, BusyMillisAccumulatesTaskTime) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    });
+  }
+  pool.Wait();
+  const std::vector<double> busy = pool.BusyMillis();
+  ASSERT_EQ(busy.size(), 2u);
+  double total = 0.0;
+  for (double ms : busy) {
+    EXPECT_GE(ms, 0.0);
+    total += ms;
+  }
+  // 4 × 10 ms of work happened somewhere; allow generous scheduling slack.
+  EXPECT_GE(total, 20.0);
+}
+
+TEST(ThreadPoolTest, BusyMillisMonotoneAcrossBatches) {
+  ThreadPool pool(2);
+  pool.ParallelFor(64, [](size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  });
+  const std::vector<double> first = pool.BusyMillis();
+  pool.ParallelFor(64, [](size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  });
+  const std::vector<double> second = pool.BusyMillis();
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_GE(second[i], first[i]);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,101 @@
+// bench_compare — diffs two BENCH_solvers.json files (see bench_runner)
+// and exits non-zero when the candidate regresses: any cell slower than
+// baseline by more than --time-threshold, any objective-quality increase
+// beyond --quality-threshold, or any baseline cell missing entirely.
+//
+// Usage: bench_compare BASELINE.json CANDIDATE.json
+//                      [--time-threshold F] [--quality-threshold F]
+//                      [--ignore-time]
+//
+// Exit codes: 0 no regression, 1 regression detected, 2 usage/IO error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tools/bench_suite.h"
+
+namespace rmgp {
+namespace bench {
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE.json CANDIDATE.json"
+               " [--time-threshold F] [--quality-threshold F]"
+               " [--ignore-time]\n"
+               "  --time-threshold     allowed relative slowdown"
+               " (default 0.10 = 10%%)\n"
+               "  --quality-threshold  allowed relative objective increase"
+               " (default 0.01)\n"
+               "  --ignore-time        skip the wall-time gate"
+               " (cross-machine diffs)\n",
+               argv0);
+  std::exit(2);
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  CompareOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next_double = [&]() -> double {
+      if (i + 1 >= argc) Usage(argv[0]);
+      char* end = nullptr;
+      const double v = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0') Usage(argv[0]);
+      return v;
+    };
+    if (std::strcmp(argv[i], "--time-threshold") == 0) {
+      options.time_threshold = next_double();
+    } else if (std::strcmp(argv[i], "--quality-threshold") == 0) {
+      options.quality_threshold = next_double();
+    } else if (std::strcmp(argv[i], "--ignore-time") == 0) {
+      options.time_threshold = -1.0;
+    } else if (argv[i][0] == '-') {
+      Usage(argv[0]);
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) Usage(argv[0]);
+
+  auto baseline = Json::ReadFile(paths[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "error reading %s: %s\n", paths[0].c_str(),
+                 baseline.status().ToString().c_str());
+    return 2;
+  }
+  auto candidate = Json::ReadFile(paths[1]);
+  if (!candidate.ok()) {
+    std::fprintf(stderr, "error reading %s: %s\n", paths[1].c_str(),
+                 candidate.status().ToString().c_str());
+    return 2;
+  }
+
+  const CompareReport report =
+      CompareBench(baseline.value(), candidate.value(), options);
+  std::printf("%s", report.summary.c_str());
+  if (report.ok) {
+    std::printf("OK: no regressions (%s vs %s)\n", paths[0].c_str(),
+                paths[1].c_str());
+    return 0;
+  }
+  std::printf("FAIL: %zu regression(s)\n", report.regressions.size());
+  for (const Regression& r : report.regressions) {
+    std::printf("  %-10s %s", r.kind.c_str(), r.key.c_str());
+    if (r.kind != "missing") {
+      std::printf("  baseline=%g candidate=%g", r.baseline, r.candidate);
+    }
+    std::printf("\n");
+  }
+  return 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rmgp
+
+int main(int argc, char** argv) { return rmgp::bench::Main(argc, argv); }

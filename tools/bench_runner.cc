@@ -1,0 +1,97 @@
+// bench_runner — runs the fixed-seed solver suite (four topologies × five
+// solvers × three alphas) and writes the machine-readable perf trajectory
+// BENCH_solvers.json: objective/potential, rounds, wall-time statistics,
+// the SolverCounters of every run, and environment metadata. This is the
+// file every perf-sensitive PR measures itself against via bench_compare.
+//
+// Usage: bench_runner [--quick] [--out FILE] [--reps N] [--warmup N]
+//                     [--threads N] [--seed N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tools/bench_suite.h"
+#include "util/table.h"
+
+namespace rmgp {
+namespace bench {
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--quick] [--out FILE] [--reps N] [--warmup N]"
+               " [--threads N] [--seed N]\n"
+               "  --quick    small suite (n=300, k=8, 3 reps) for CI smoke\n"
+               "  --out      output path (default BENCH_solvers.json)\n"
+               "  --reps     timed repetitions per configuration\n"
+               "  --warmup   untimed warm-up runs per configuration\n"
+               "  --threads  worker threads for RMGP_is / RMGP_all\n"
+               "  --seed     base seed of the whole suite\n",
+               argv0);
+  std::exit(2);
+}
+
+int Main(int argc, char** argv) {
+  SuiteConfig config;
+  std::string out_path = "BENCH_solvers.json";
+  bool reps_given = false, warmup_given = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      const uint32_t reps = config.reps, warmup = config.warmup;
+      config = QuickConfig();
+      if (reps_given) config.reps = reps;
+      if (warmup_given) config.warmup = warmup;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = next();
+    } else if (std::strcmp(argv[i], "--reps") == 0) {
+      config.reps = static_cast<uint32_t>(std::atoi(next()));
+      reps_given = true;
+    } else if (std::strcmp(argv[i], "--warmup") == 0) {
+      config.warmup = static_cast<uint32_t>(std::atoi(next()));
+      warmup_given = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      config.num_threads = static_cast<uint32_t>(std::atoi(next()));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      config.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (config.reps == 0) Usage(argv[0]);
+
+  const std::vector<BenchRecord> records = RunSuite(config);
+
+  Table table({"graph", "solver", "alpha", "rounds", "time ms (mean)",
+               "time ms (min)", "objective", "BR evals", "GT updates"});
+  for (const BenchRecord& r : records) {
+    table.AddRow({r.graph, r.solver, Table::Num(r.alpha, 2),
+                  Table::Int(r.rounds), Table::Num(r.time_ms_mean),
+                  Table::Num(r.time_ms_min), Table::Num(r.objective_total, 6),
+                  Table::Int(static_cast<long long>(
+                      r.counters.best_response_evals)),
+                  Table::Int(static_cast<long long>(
+                      r.counters.gt_incremental_updates))});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  const Json doc = SuiteToJson(config, records);
+  if (Status s = doc.WriteFile(out_path); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("(json: %s, %zu records)\n", out_path.c_str(), records.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rmgp
+
+int main(int argc, char** argv) { return rmgp::bench::Main(argc, argv); }

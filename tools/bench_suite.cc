@@ -1,0 +1,285 @@
+#include "tools/bench_suite.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "core/cost_provider.h"
+#include "core/instance.h"
+#include "graph/generators.h"
+#include "util/build_info.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace rmgp {
+namespace bench {
+
+namespace {
+
+struct SuiteGraph {
+  std::string name;
+  Graph graph;
+};
+
+/// The four topology families of the suite, weight-randomized so the
+/// social term exercises non-unit edges. Seeds derive from the config so
+/// two runs of the same config measure byte-identical instances.
+std::vector<SuiteGraph> MakeGraphs(const SuiteConfig& config) {
+  const NodeId n = config.num_users;
+  const uint64_t s = config.seed;
+  std::vector<SuiteGraph> graphs;
+  graphs.push_back(
+      {"ba", RandomizeWeights(BarabasiAlbert(n, 3, s + 1), 0.1, 1.0, s + 2)});
+  graphs.push_back(
+      {"ws", RandomizeWeights(WattsStrogatz(n, 6, 0.1, s + 3), 0.1, 1.0, s + 4)});
+  graphs.push_back(
+      {"er", RandomizeWeights(ErdosRenyi(n, 8.0 / n, s + 5), 0.1, 1.0, s + 6)});
+  graphs.push_back({"pp", RandomizeWeights(
+                              PlantedPartition(n, 4, 16.0 / n, 2.0 / n, s + 7),
+                              0.1, 1.0, s + 8)});
+  return graphs;
+}
+
+std::shared_ptr<const CostProvider> MakeCosts(const SuiteConfig& config) {
+  Rng rng(config.seed + 100);
+  std::vector<double> costs(static_cast<size_t>(config.num_users) *
+                            config.num_classes);
+  for (double& c : costs) c = rng.UniformDouble();
+  return std::make_shared<DenseCostMatrix>(config.num_users,
+                                           config.num_classes,
+                                           std::move(costs));
+}
+
+Json CountersToJson(const SolverCounters& c) {
+  Json j = Json::Object();
+  j.Set("best_response_evals", c.best_response_evals);
+  j.Set("gt_cells_built", c.gt_cells_built);
+  j.Set("gt_rebuilds", c.gt_rebuilds);
+  j.Set("gt_incremental_updates", c.gt_incremental_updates);
+  j.Set("eliminated_users", c.eliminated_users);
+  j.Set("pruned_strategies", c.pruned_strategies);
+  Json groups = Json::Array();
+  for (uint64_t size : c.color_group_sizes) groups.Append(size);
+  j.Set("color_group_sizes", std::move(groups));
+  Json busy = Json::Array();
+  for (double ms : c.thread_busy_millis) busy.Append(ms);
+  j.Set("thread_busy_millis", std::move(busy));
+  return j;
+}
+
+Json RecordToJson(const BenchRecord& r) {
+  Json j = Json::Object();
+  j.Set("graph", r.graph);
+  j.Set("solver", r.solver);
+  j.Set("alpha", r.alpha);
+  j.Set("num_users", r.num_users);
+  j.Set("num_edges", r.num_edges);
+  j.Set("num_classes", r.num_classes);
+  j.Set("converged", r.converged);
+  j.Set("rounds", r.rounds);
+  j.Set("objective_total", r.objective_total);
+  j.Set("objective_assignment", r.objective_assignment);
+  j.Set("objective_social", r.objective_social);
+  j.Set("potential", r.potential);
+  j.Set("time_ms_mean", r.time_ms_mean);
+  j.Set("time_ms_min", r.time_ms_min);
+  j.Set("time_ms_max", r.time_ms_max);
+  j.Set("time_ms_stddev", r.time_ms_stddev);
+  j.Set("init_ms_mean", r.init_ms_mean);
+  j.Set("counters", CountersToJson(r.counters));
+  return j;
+}
+
+std::string RecordKey(const std::string& graph, const std::string& solver,
+                      double alpha) {
+  return graph + "/" + solver + "/" + Table::Num(alpha, 3);
+}
+
+}  // namespace
+
+SuiteConfig QuickConfig() {
+  SuiteConfig config;
+  config.quick = true;
+  config.reps = 3;
+  config.warmup = 1;
+  config.num_users = 300;
+  config.num_classes = 8;
+  return config;
+}
+
+std::vector<BenchRecord> RunSuite(const SuiteConfig& config) {
+  static constexpr SolverKind kKinds[] = {
+      SolverKind::kBaseline, SolverKind::kStrategyElimination,
+      SolverKind::kIndependentSets, SolverKind::kGlobalTable,
+      SolverKind::kAll};
+
+  const std::vector<SuiteGraph> graphs = MakeGraphs(config);
+  const std::shared_ptr<const CostProvider> costs = MakeCosts(config);
+
+  std::vector<BenchRecord> records;
+  for (const SuiteGraph& sg : graphs) {
+    for (const double alpha : config.alphas) {
+      auto inst = Instance::Create(&sg.graph, costs, alpha);
+      RMGP_CHECK(inst.ok()) << inst.status().ToString();
+      for (const SolverKind kind : kKinds) {
+        SolverOptions opt;
+        opt.seed = config.seed;
+        opt.num_threads = config.num_threads;
+
+        for (uint32_t w = 0; w < config.warmup; ++w) {
+          RMGP_CHECK(Solve(kind, inst.value(), opt).ok());
+        }
+
+        BenchRecord rec;
+        rec.graph = sg.name;
+        rec.solver = SolverKindName(kind);
+        rec.alpha = alpha;
+        rec.num_users = sg.graph.num_nodes();
+        rec.num_edges = sg.graph.num_edges();
+        rec.num_classes = config.num_classes;
+
+        RunningStats time_ms;
+        RunningStats init_ms;
+        for (uint32_t rep = 0; rep < config.reps; ++rep) {
+          auto res = Solve(kind, inst.value(), opt);
+          RMGP_CHECK(res.ok()) << res.status().ToString();
+          const SolveResult& r = res.value();
+          time_ms.Add(r.total_millis);
+          init_ms.Add(r.init_millis);
+          if (rep + 1 == config.reps) {
+            rec.converged = r.converged;
+            rec.rounds = r.rounds;
+            rec.objective_total = r.objective.total;
+            rec.objective_assignment = r.objective.assignment;
+            rec.objective_social = r.objective.social;
+            rec.potential = r.potential;
+            rec.counters = r.counters;
+          }
+        }
+        rec.time_ms_mean = time_ms.mean();
+        rec.time_ms_min = time_ms.min();
+        rec.time_ms_max = time_ms.max();
+        rec.time_ms_stddev = time_ms.stddev();
+        rec.init_ms_mean = init_ms.mean();
+        records.push_back(std::move(rec));
+      }
+    }
+  }
+  return records;
+}
+
+Json SuiteToJson(const SuiteConfig& config,
+                 const std::vector<BenchRecord>& records) {
+  Json root = Json::Object();
+  root.Set("schema", kBenchSchema);
+
+  Json cfg = Json::Object();
+  cfg.Set("quick", config.quick);
+  cfg.Set("reps", config.reps);
+  cfg.Set("warmup", config.warmup);
+  cfg.Set("num_threads", config.num_threads);
+  cfg.Set("seed", config.seed);
+  cfg.Set("num_users", config.num_users);
+  cfg.Set("num_classes", config.num_classes);
+  Json alphas = Json::Array();
+  for (double a : config.alphas) alphas.Append(a);
+  cfg.Set("alphas", std::move(alphas));
+  root.Set("config", std::move(cfg));
+
+  const BuildInfo info = GetBuildInfo();
+  Json env = Json::Object();
+  env.Set("git_sha", info.git_sha);
+  env.Set("compiler", info.compiler);
+  env.Set("compiler_flags", info.compiler_flags);
+  env.Set("build_type", info.build_type);
+  env.Set("sanitize", info.sanitize);
+  env.Set("hardware_threads", static_cast<uint64_t>(info.hardware_threads));
+  root.Set("environment", std::move(env));
+
+  Json recs = Json::Array();
+  for (const BenchRecord& r : records) recs.Append(RecordToJson(r));
+  root.Set("records", std::move(recs));
+  return root;
+}
+
+CompareReport CompareBench(const Json& baseline, const Json& candidate,
+                           const CompareOptions& options) {
+  CompareReport report;
+  report.ok = true;
+
+  const auto schema_of = [](const Json& doc) -> std::string {
+    if (!doc.is_object()) return "";
+    const Json* s = doc.Find("schema");
+    return (s != nullptr && s->is_string()) ? s->AsString() : "";
+  };
+  if (schema_of(baseline) != kBenchSchema ||
+      schema_of(candidate) != kBenchSchema) {
+    report.ok = false;
+    report.summary = "schema mismatch: expected " + std::string(kBenchSchema) +
+                     ", got baseline '" + schema_of(baseline) +
+                     "' / candidate '" + schema_of(candidate) + "'\n";
+    return report;
+  }
+
+  // Index the candidate records by (graph, solver, alpha).
+  const Json& cand_records = candidate.At("records");
+  std::vector<std::pair<std::string, const Json*>> cand_index;
+  for (size_t i = 0; i < cand_records.size(); ++i) {
+    const Json& r = cand_records[i];
+    cand_index.emplace_back(RecordKey(r.At("graph").AsString(),
+                                      r.At("solver").AsString(),
+                                      r.At("alpha").AsDouble()),
+                            &r);
+  }
+  const auto find_candidate = [&](const std::string& key) -> const Json* {
+    for (const auto& [k, r] : cand_index) {
+      if (k == key) return r;
+    }
+    return nullptr;
+  };
+
+  Table table({"config", "time base", "time cand", "ratio", "obj base",
+               "obj cand", "verdict"});
+  const Json& base_records = baseline.At("records");
+  for (size_t i = 0; i < base_records.size(); ++i) {
+    const Json& b = base_records[i];
+    const std::string key =
+        RecordKey(b.At("graph").AsString(), b.At("solver").AsString(),
+                  b.At("alpha").AsDouble());
+    const Json* c = find_candidate(key);
+    if (c == nullptr) {
+      report.ok = false;
+      report.regressions.push_back({key, "missing", 0.0, 0.0});
+      table.AddRow({key, "", "", "", "", "", "MISSING"});
+      continue;
+    }
+    const double bt = b.At("time_ms_min").AsDouble();
+    const double ct = c->At("time_ms_min").AsDouble();
+    const double bo = b.At("objective_total").AsDouble();
+    const double co = c->At("objective_total").AsDouble();
+
+    std::string verdict = "ok";
+    if (options.time_threshold >= 0.0 &&
+        ct > bt * (1.0 + options.time_threshold)) {
+      report.ok = false;
+      report.regressions.push_back({key, "time", bt, ct});
+      verdict = "TIME REGRESSION";
+    }
+    if (co > bo * (1.0 + options.quality_threshold)) {
+      report.ok = false;
+      report.regressions.push_back({key, "quality", bo, co});
+      verdict = verdict == "ok" ? "QUALITY REGRESSION"
+                                : verdict + " + QUALITY";
+    }
+    table.AddRow({key, Table::Num(bt), Table::Num(ct),
+                  bt > 0.0 ? Table::Num(ct / bt) : "",
+                  Table::Num(bo), Table::Num(co), verdict});
+  }
+  report.summary = table.ToString();
+  return report;
+}
+
+}  // namespace bench
+}  // namespace rmgp

@@ -1,0 +1,112 @@
+#ifndef RMGP_TOOLS_BENCH_SUITE_H_
+#define RMGP_TOOLS_BENCH_SUITE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace rmgp {
+namespace bench {
+
+/// Version tag of the BENCH_solvers.json layout. Bump only on breaking
+/// schema changes; bench_compare refuses to diff files with different
+/// schema tags.
+inline constexpr const char* kBenchSchema = "rmgp-bench-solvers/1";
+
+/// Configuration of the fixed-seed solver suite run by tools/bench_runner:
+/// {BA, WS, ER, planted-partition} × the five SolverKind variants × alphas,
+/// each measured over `reps` repetitions after `warmup` untimed runs.
+struct SuiteConfig {
+  bool quick = false;        ///< reduced scale for the CI perf-smoke job
+  uint32_t reps = 5;         ///< timed repetitions per configuration
+  uint32_t warmup = 1;       ///< untimed warm-up runs per configuration
+  uint32_t num_threads = 4;  ///< the paper's T, for RMGP_is / RMGP_all
+  uint64_t seed = 42;        ///< base seed; everything else derives from it
+  NodeId num_users = 2000;
+  ClassId num_classes = 16;
+  std::vector<double> alphas = {0.2, 0.5, 0.8};
+};
+
+/// The --quick preset: n=300, k=8, reps=3 — finishes in seconds.
+SuiteConfig QuickConfig();
+
+/// One (graph, solver, alpha) cell of the suite: wall-time statistics over
+/// the repetitions plus objective/potential and the SolverCounters of the
+/// last repetition (identical seeds make repetitions redundant for
+/// counters).
+struct BenchRecord {
+  std::string graph;   ///< "ba" | "ws" | "er" | "pp"
+  std::string solver;  ///< SolverKindName, e.g. "RMGP_gt"
+  double alpha = 0.0;
+  NodeId num_users = 0;
+  uint64_t num_edges = 0;
+  ClassId num_classes = 0;
+  bool converged = false;
+  uint32_t rounds = 0;
+  double objective_total = 0.0;
+  double objective_assignment = 0.0;
+  double objective_social = 0.0;
+  double potential = 0.0;
+  double time_ms_mean = 0.0;
+  double time_ms_min = 0.0;
+  double time_ms_max = 0.0;
+  double time_ms_stddev = 0.0;
+  double init_ms_mean = 0.0;
+  SolverCounters counters;
+};
+
+/// Runs the whole suite. Deterministic given the config (fixed seeds; the
+/// parallel solvers may differ in float round-off across runs, which the
+/// compare tolerances absorb).
+std::vector<BenchRecord> RunSuite(const SuiteConfig& config);
+
+/// Serializes a suite run into the schema-stable layout:
+///   {"schema": ..., "config": {...}, "environment": {...},
+///    "records": [...]}.
+/// `environment` carries util/build_info.h metadata (git sha, compiler,
+/// flags, build type, hardware threads).
+Json SuiteToJson(const SuiteConfig& config,
+                 const std::vector<BenchRecord>& records);
+
+/// Thresholds for CompareBench.
+struct CompareOptions {
+  /// A cell regresses on time when candidate.time_ms_min exceeds
+  /// baseline.time_ms_min * (1 + time_threshold). Negative disables the
+  /// time gate (cross-machine comparisons).
+  double time_threshold = 0.10;
+
+  /// A cell regresses on quality when candidate.objective_total exceeds
+  /// baseline.objective_total * (1 + quality_threshold). The small default
+  /// absorbs run-to-run float jitter of the parallel solvers while still
+  /// rejecting any real objective regression.
+  double quality_threshold = 0.01;
+};
+
+/// One detected regression (or missing record).
+struct Regression {
+  std::string key;   ///< "graph/solver/alpha"
+  std::string kind;  ///< "time" | "quality" | "missing"
+  double baseline = 0.0;
+  double candidate = 0.0;
+};
+
+struct CompareReport {
+  bool ok = false;
+  std::vector<Regression> regressions;
+  std::string summary;  ///< printable per-cell diff table
+};
+
+/// Diffs two SuiteToJson documents. Fails (ok == false) on schema
+/// mismatch, on any baseline cell missing from the candidate, and on any
+/// time/quality regression beyond the thresholds.
+CompareReport CompareBench(const Json& baseline, const Json& candidate,
+                           const CompareOptions& options);
+
+}  // namespace bench
+}  // namespace rmgp
+
+#endif  // RMGP_TOOLS_BENCH_SUITE_H_
