@@ -1,6 +1,5 @@
 #include <algorithm>
-#include <atomic>
-#include <mutex>
+#include <cstdint>
 
 #include "core/solver.h"
 #include "core/solver_internal.h"
@@ -16,26 +15,55 @@ using internal::StrictlyBetter;
 
 namespace {
 
-/// Index of class p within the sorted candidate list, or SIZE_MAX.
-size_t CandidateIndex(std::span<const ClassId> cands, ClassId p) {
+/// Index of class p within the sorted candidate list, or UINT32_MAX.
+constexpr uint32_t kNoIdx = UINT32_MAX;
+
+uint32_t CandidateIndex(std::span<const ClassId> cands, ClassId p) {
   auto it = std::lower_bound(cands.begin(), cands.end(), p);
   if (it != cands.end() && *it == p) {
-    return static_cast<size_t>(it - cands.begin());
+    return static_cast<uint32_t>(it - cands.begin());
   }
-  return SIZE_MAX;
+  return kNoIdx;
 }
 
-constexpr size_t kNumShards = 1024;
+/// One accepted deviation of Phase A, to be applied to friends' rows.
+struct Move {
+  NodeId user;
+  ClassId old_class;
+  ClassId new_class;
+};
+
+/// One pending row delta gathered by Phase B1: friend f's cells at
+/// idx_new / idx_old (kNoIdx = class not in S'_f) change by ∓delta.
+struct RowUpdate {
+  NodeId f;
+  uint32_t idx_new;
+  uint32_t idx_old;
+  double delta;
+};
 
 }  // namespace
 
 /// RMGP_all: the three optimizations of §4 combined —
 ///   * strategy elimination (§4.1) shrinks each user's row to S'_v, which
 ///     also bounds the global table's memory (the trade-off §4.3 calls out);
-///   * the global table (§4.3) is maintained over the reduced rows and only
-///     unhappy users are examined;
-///   * users are processed per color group (§4.2) across num_threads
-///     workers; friends' row updates are serialized by sharded locks.
+///   * the global table (§4.3) is maintained over the reduced rows, with a
+///     per-row cached lowest-index argmin so examinations are O(1), and an
+///     explicit per-color unhappy worklist instead of a flag scan;
+///   * users are processed per color group (§4.2): within a group no user
+///     is a friend of another, so decisions read only rows the group never
+///     writes.
+///
+/// Each color group runs in three phases. Phase A decides all deviations
+/// sequentially (O(1) per user off the argmin cache — decisions are
+/// order-independent within a group, so sequencing them loses nothing but
+/// fixes the order). Phase B1 gathers the friend-row deltas of all accepted
+/// moves in parallel chunks (pure reads plus chunk-local buffers). Phase B2
+/// applies the deltas sequentially in (move, neighbor) order — a canonical
+/// order independent of both chunking and thread count, which makes the
+/// floating-point state and hence the full trajectory invariant to
+/// `num_threads` (the sharded-lock scheme this replaces applied deltas in
+/// scheduling order).
 Result<SolveResult> SolveAll(const Instance& inst,
                              const SolverOptions& options) {
   Status st = internal::ValidateOptions(inst, options);
@@ -51,7 +79,7 @@ Result<SolveResult> SolveAll(const Instance& inst,
 
   // ---- Round 0: elimination, coloring, initial strategies, reduced GT.
   Stopwatch init_sw;
-  const ReducedStrategies rs = internal::ComputeReducedStrategies(inst);
+  const ReducedStrategies rs = internal::ComputeReducedStrategies(inst, &pool);
   res.eliminated_users = rs.eliminated_users;
   res.pruned_strategies = rs.pruned_strategies;
   res.counters.eliminated_users = rs.eliminated_users;
@@ -61,9 +89,9 @@ Result<SolveResult> SolveAll(const Instance& inst,
   const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
 
   Coloring coloring = GreedyColoring(inst.graph());
+  std::vector<uint32_t> rank(n);
   {
     const std::vector<NodeId> order = internal::MakeOrder(inst, options, &rng);
-    std::vector<uint32_t> rank(n);
     for (uint32_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
     for (auto& group : coloring.groups) {
       // Eliminated users never deviate; drop them from the schedule.
@@ -76,27 +104,56 @@ Result<SolveResult> SolveAll(const Instance& inst,
   }
 
   // Reduced global table: values[i] is the total cost of candidate
-  // rs.classes[i] for the user owning slot i.
+  // rs.classes[i] for the user owning slot i; best_idx caches each row's
+  // lowest-index argmin. Rows only read the initial assignment, so the
+  // build is embarrassingly parallel.
   std::vector<double> values(rs.classes.size());
-  std::vector<uint32_t> cur_idx(n);  // index of s_v within S'_v
-  std::vector<char> happy(n);
-  pool.ParallelFor(n, [&](size_t vi) {
-    const NodeId v = static_cast<NodeId>(vi);
-    const auto cands = rs.StrategiesOf(v);
-    double* row = values.data() + rs.offsets[v];
-    for (size_t i = 0; i < cands.size(); ++i) {
-      row[i] = inst.alpha() * inst.AssignmentCost(v, cands[i]) + max_sc[v];
+  std::vector<uint32_t> cur_idx(n);   // index of s_v within S'_v
+  std::vector<uint32_t> best_idx(n);  // cached lowest-index argmin of row
+  {
+    const size_t grain =
+        std::max<size_t>(64, n / (pool.num_threads() * 8 + 1));
+    pool.ParallelFor(0, n, grain, [&](size_t begin, size_t end, size_t) {
+      for (size_t vi = begin; vi < end; ++vi) {
+        const NodeId v = static_cast<NodeId>(vi);
+        const auto cands = rs.StrategiesOf(v);
+        double* row = values.data() + rs.offsets[v];
+        for (size_t i = 0; i < cands.size(); ++i) {
+          row[i] = inst.alpha() * inst.AssignmentCost(v, cands[i]) + max_sc[v];
+        }
+        for (const Neighbor& nb : inst.graph().neighbors(v)) {
+          const uint32_t idx = CandidateIndex(cands, res.assignment[nb.node]);
+          if (idx != kNoIdx) row[idx] -= social_factor * 0.5 * nb.weight;
+        }
+        const uint32_t ci = CandidateIndex(cands, res.assignment[v]);
+        RMGP_CHECK_NE(ci, kNoIdx);
+        cur_idx[v] = ci;
+        uint32_t b = 0;
+        for (uint32_t i = 1; i < cands.size(); ++i) {
+          if (row[i] < row[b]) b = i;
+        }
+        best_idx[v] = b;
+      }
+    });
+  }
+
+  // Per-color unhappy worklists. queued: 0 = not queued, 1 = scheduled for
+  // the current round, 2 = for the next round. Seeding scans groups in
+  // schedule order, so the initial lists are already rank-sorted.
+  const size_t num_colors = coloring.groups.size();
+  std::vector<std::vector<NodeId>> active_cur(num_colors);
+  std::vector<std::vector<NodeId>> active_next(num_colors);
+  std::vector<uint8_t> queued(n, 0);
+  for (size_t c = 0; c < num_colors; ++c) {
+    for (const NodeId v : coloring.groups[c]) {
+      const double* row = values.data() + rs.offsets[v];
+      if (StrictlyBetter(row[best_idx[v]], row[cur_idx[v]])) {
+        active_cur[c].push_back(v);
+        queued[v] = 1;
+        ++res.counters.worklist_pushes;
+      }
     }
-    for (const Neighbor& nb : inst.graph().neighbors(v)) {
-      const size_t idx = CandidateIndex(cands, res.assignment[nb.node]);
-      if (idx != SIZE_MAX) row[idx] -= social_factor * 0.5 * nb.weight;
-    }
-    const size_t ci = CandidateIndex(cands, res.assignment[v]);
-    RMGP_CHECK_NE(ci, SIZE_MAX);
-    cur_idx[v] = static_cast<uint32_t>(ci);
-    const double best = *std::min_element(row, row + cands.size());
-    happy[v] = !StrictlyBetter(best, row[ci]);
-  });
+  }
   res.init_millis = init_sw.ElapsedMillis();
   res.counters.gt_cells_built = rs.classes.size();
   res.counters.gt_rebuilds = 1;
@@ -113,84 +170,127 @@ Result<SolveResult> SolveAll(const Instance& inst,
     res.round_stats.push_back(rs0);
   }
 
-  std::vector<std::mutex> shards(kNumShards);
+  std::vector<Move> moves;
+  std::vector<std::vector<RowUpdate>> update_chunks;
 
   for (uint32_t round = 1; round <= options.max_rounds; ++round) {
     Stopwatch round_sw;
-    std::atomic<uint64_t> deviations{0};
-    std::atomic<uint64_t> examined{0};
-    std::atomic<uint64_t> cell_updates{0};
-    for (const std::vector<NodeId>& group : coloring.groups) {
-      const size_t chunks = std::min<size_t>(
-          pool.num_threads(), std::max<size_t>(group.size(), 1));
-      const size_t per_chunk = (group.size() + chunks - 1) / chunks;
-      for (size_t c = 0; c < chunks; ++c) {
-        const size_t begin = c * per_chunk;
-        const size_t end = std::min(group.size(), begin + per_chunk);
-        if (begin >= end) break;
-        pool.Submit([&, begin, end] {
-          uint64_t local_dev = 0, local_exam = 0, local_upd = 0;
-          for (size_t gi = begin; gi < end; ++gi) {
-            const NodeId v = group[gi];
-            if (happy[v]) continue;
-            ++local_exam;
-            const auto cands = rs.StrategiesOf(v);
-            double* row = values.data() + rs.offsets[v];
-            size_t best = 0;
-            for (size_t i = 1; i < cands.size(); ++i) {
-              if (row[i] < row[best]) best = i;
-            }
-            happy[v] = 1;
-            if (!StrictlyBetter(row[best], row[cur_idx[v]])) continue;
-            const ClassId old_class = res.assignment[v];
-            const ClassId new_class = cands[best];
-            res.assignment[v] = new_class;
-            cur_idx[v] = static_cast<uint32_t>(best);
-            ++local_dev;
-            for (const Neighbor& nb : inst.graph().neighbors(v)) {
-              const NodeId f = nb.node;
-              const auto fcands = rs.StrategiesOf(f);
-              const size_t idx_new = CandidateIndex(fcands, new_class);
-              const size_t idx_old = CandidateIndex(fcands, old_class);
-              if (idx_new == SIZE_MAX && idx_old == SIZE_MAX) continue;
-              const double delta = social_factor * 0.5 * nb.weight;
-              double* frow = values.data() + rs.offsets[f];
-              local_upd += (idx_new != SIZE_MAX) + (idx_old != SIZE_MAX);
-              std::lock_guard<std::mutex> lock(shards[f % kNumShards]);
-              if (idx_new != SIZE_MAX) frow[idx_new] -= delta;
-              if (idx_old != SIZE_MAX) frow[idx_old] += delta;
-              if (res.assignment[f] == old_class ||
-                  (idx_new != SIZE_MAX &&
-                   StrictlyBetter(frow[idx_new], frow[cur_idx[f]]))) {
-                happy[f] = 0;
+    uint64_t deviations = 0;
+    uint64_t examined = 0;
+    for (size_t c = 0; c < num_colors; ++c) {
+      std::vector<NodeId>& active = active_cur[c];
+      if (active.empty()) continue;
+      std::sort(active.begin(), active.end(),
+                [&](NodeId a, NodeId b) { return rank[a] < rank[b]; });
+
+      // Phase A: decide every deviation of this group. In-group rows are
+      // not written until Phase B2, so each decision sees exactly the
+      // state a simultaneous (Fig 4) evaluation would.
+      moves.clear();
+      for (const NodeId v : active) {
+        queued[v] = 0;
+        ++examined;
+        const double* row = values.data() + rs.offsets[v];
+        const uint32_t bv = best_idx[v];
+        // May have turned happy again since it was enqueued.
+        if (!StrictlyBetter(row[bv], row[cur_idx[v]])) continue;
+        const auto cands = rs.StrategiesOf(v);
+        const ClassId old_class = res.assignment[v];
+        const ClassId new_class = cands[bv];
+        res.assignment[v] = new_class;
+        cur_idx[v] = bv;
+        moves.push_back({v, old_class, new_class});
+        ++deviations;
+      }
+      active.clear();
+      if (moves.empty()) continue;
+
+      // Phase B1: gather friend-row deltas in parallel. Chunk id
+      // (= begin/grain) is a pure function of the range, so concatenating
+      // buffers in chunk order yields (move, neighbor) order no matter
+      // which worker ran which chunk or how many threads exist.
+      const size_t grain = std::max<size_t>(
+          32, moves.size() / (pool.num_threads() * 4 + 1));
+      const size_t num_chunks = (moves.size() + grain - 1) / grain;
+      update_chunks.assign(num_chunks, {});
+      pool.ParallelFor(
+          0, moves.size(), grain, [&](size_t begin, size_t end, size_t) {
+            std::vector<RowUpdate>& out = update_chunks[begin / grain];
+            for (size_t mi = begin; mi < end; ++mi) {
+              const Move& m = moves[mi];
+              for (const Neighbor& nb : inst.graph().neighbors(m.user)) {
+                const NodeId f = nb.node;
+                // Forced users never deviate and nobody reads their rows.
+                if (rs.forced[f] != ReducedStrategies::kNoForced) continue;
+                const auto fcands = rs.StrategiesOf(f);
+                const uint32_t idx_new = CandidateIndex(fcands, m.new_class);
+                const uint32_t idx_old = CandidateIndex(fcands, m.old_class);
+                if (idx_new == kNoIdx && idx_old == kNoIdx) continue;
+                out.push_back(
+                    {f, idx_new, idx_old, social_factor * 0.5 * nb.weight});
               }
             }
+          });
+
+      // Phase B2: apply deltas sequentially in canonical order, maintain
+      // the argmin caches, and enqueue friends that turned unhappy: a
+      // friend in a later group of this round joins the current round,
+      // anyone else waits for the next one (exactly when a flag scan
+      // would next examine them).
+      for (const std::vector<RowUpdate>& chunk : update_chunks) {
+        for (const RowUpdate& u : chunk) {
+          double* frow = values.data() + rs.offsets[u.f];
+          const ClassId flen =
+              static_cast<ClassId>(rs.offsets[u.f + 1] - rs.offsets[u.f]);
+          if (u.idx_new != kNoIdx) {
+            frow[u.idx_new] -= u.delta;
+            internal::ArgminOnDecrease(frow, u.idx_new, &best_idx[u.f]);
+            ++res.counters.gt_incremental_updates;
           }
-          deviations.fetch_add(local_dev, std::memory_order_relaxed);
-          examined.fetch_add(local_exam, std::memory_order_relaxed);
-          cell_updates.fetch_add(local_upd, std::memory_order_relaxed);
-        });
+          if (u.idx_old != kNoIdx) {
+            frow[u.idx_old] += u.delta;
+            if (internal::ArgminOnIncrease(frow, flen, u.idx_old,
+                                           &best_idx[u.f])) {
+              ++res.counters.argmin_cache_repairs;
+            }
+            ++res.counters.gt_incremental_updates;
+          }
+          if (queued[u.f] == 0 &&
+              StrictlyBetter(frow[best_idx[u.f]], frow[cur_idx[u.f]])) {
+            ++res.counters.worklist_pushes;
+            const size_t fc = coloring.color[u.f];
+            if (fc > c) {
+              queued[u.f] = 1;
+              active_cur[fc].push_back(u.f);
+            } else {
+              queued[u.f] = 2;
+              active_next[fc].push_back(u.f);
+            }
+          }
+        }
       }
-      pool.Wait();
     }
     res.rounds = round;
-    res.counters.best_response_evals += examined.load();
-    res.counters.gt_incremental_updates += cell_updates.load();
-    const uint64_t dev = deviations.load();
+    res.counters.best_response_evals += examined;
     if (options.record_rounds) {
       RoundStats stat;
       stat.round = round;
-      stat.deviations = dev;
-      stat.examined = examined.load();
+      stat.deviations = deviations;
+      stat.examined = examined;
       stat.millis = round_sw.ElapsedMillis();
       if (options.record_potential) {
         stat.potential = EvaluatePotential(inst, res.assignment);
       }
       res.round_stats.push_back(stat);
     }
-    if (dev == 0) {
+    if (deviations == 0) {
       res.converged = true;
       break;
+    }
+    for (size_t c = 0; c < num_colors; ++c) {
+      active_cur[c].swap(active_next[c]);
+      active_next[c].clear();
+      for (const NodeId v : active_cur[c]) queued[v] = 1;
     }
   }
 

@@ -1,9 +1,11 @@
 #include <algorithm>
+#include <memory>
 #include <queue>
 
 #include "core/solver.h"
 #include "core/solver_internal.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace rmgp {
 
@@ -15,6 +17,12 @@ using internal::StrictlyBetter;
 /// lowers the potential Φ by exactly the player's improvement (Theorem 1),
 /// so convergence is preserved; what changes is the *order* of moves and
 /// hence possibly the equilibrium reached and the number of moves needed.
+///
+/// Shares RMGP_gt's hot-path engineering: parallel round-0 table build and
+/// a per-row cached lowest-index argmin, so computing a user's improvement
+/// is O(1) instead of O(k). The cache holds the exact argmin at all times,
+/// so every heap entry carries the same improvement value as a full scan
+/// would produce — the move trajectory is bit-identical.
 Result<SolveResult> SolveBestImprovement(const Instance& inst,
                                          const SolverOptions& options) {
   Status s = internal::ValidateOptions(inst, options);
@@ -32,19 +40,20 @@ Result<SolveResult> SolveBestImprovement(const Instance& inst,
   res.assignment = internal::MakeInitialAssignment(inst, options, &rng);
   const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
 
-  // Global table as in RMGP_gt.
+  // Global table as in RMGP_gt, with the per-row argmin cache.
   std::vector<double> gt(static_cast<size_t>(n) * k);
+  std::vector<ClassId> best(n);
   res.counters.gt_cells_built = static_cast<uint64_t>(n) * k;
   res.counters.gt_rebuilds = 1;
-  for (NodeId v = 0; v < n; ++v) {
-    double* row = gt.data() + static_cast<size_t>(v) * k;
-    inst.AssignmentCostsFor(v, row);
-    for (ClassId p = 0; p < k; ++p) {
-      row[p] = inst.alpha() * row[p] + max_sc[v];
+  {
+    std::unique_ptr<ThreadPool> pool;
+    if (options.num_threads > 1 &&
+        static_cast<size_t>(n) * k >= internal::kMinCellsForParallelInit) {
+      pool = std::make_unique<ThreadPool>(options.num_threads);
     }
-    for (const Neighbor& nb : inst.graph().neighbors(v)) {
-      row[res.assignment[nb.node]] -= social_factor * 0.5 * nb.weight;
-    }
+    internal::BuildDenseGlobalTable(inst, res.assignment, max_sc, pool.get(),
+                                    gt.data(), best.data());
+    if (pool != nullptr) res.counters.thread_busy_millis = pool->BusyMillis();
   }
 
   // Max-heap of (improvement, user, stamp) with lazy invalidation.
@@ -58,18 +67,13 @@ Result<SolveResult> SolveBestImprovement(const Instance& inst,
   };
   std::vector<uint64_t> stamp(n, 0);
   std::priority_queue<Entry> heap;
-  auto improvement_of = [&](NodeId v) {
-    const double* row = gt.data() + static_cast<size_t>(v) * k;
-    double best = row[0];
-    for (ClassId p = 1; p < k; ++p) best = std::min(best, row[p]);
-    return row[res.assignment[v]] - best;
-  };
   auto push_if_unhappy = [&](NodeId v) {
-    const double imp = improvement_of(v);
-    const double cur =
-        gt[static_cast<size_t>(v) * k + res.assignment[v]];
-    if (StrictlyBetter(cur - imp, cur)) {
-      heap.push({imp, v, ++stamp[v]});
+    const double* row = gt.data() + static_cast<size_t>(v) * k;
+    const double cur = row[res.assignment[v]];
+    const double best_cost = row[best[v]];
+    if (StrictlyBetter(best_cost, cur)) {
+      heap.push({cur - best_cost, v, ++stamp[v]});
+      ++res.counters.worklist_pushes;
     }
   };
   for (NodeId v = 0; v < n; ++v) push_if_unhappy(v);
@@ -77,8 +81,6 @@ Result<SolveResult> SolveBestImprovement(const Instance& inst,
 
   uint64_t moves = 0;
   uint64_t examined = 0;
-  // 2·n·k is a generous guard; in exact arithmetic the potential argument
-  // guarantees termination, and lazy heap entries only add O(log) factors.
   while (!heap.empty()) {
     const Entry top = heap.top();
     heap.pop();
@@ -86,21 +88,22 @@ Result<SolveResult> SolveBestImprovement(const Instance& inst,
     if (top.stamp != stamp[top.user]) continue;  // stale
     const NodeId v = top.user;
     double* row = gt.data() + static_cast<size_t>(v) * k;
-    ClassId best = 0;
-    for (ClassId p = 1; p < k; ++p) {
-      if (row[p] < row[best]) best = p;
-    }
+    const ClassId bv = best[v];
     const ClassId old = res.assignment[v];
     ++stamp[v];  // invalidate any other queued entry for v
-    if (!StrictlyBetter(row[best], row[old])) continue;
-    res.assignment[v] = best;
+    if (!StrictlyBetter(row[bv], row[old])) continue;
+    res.assignment[v] = bv;
     ++moves;
     for (const Neighbor& nb : inst.graph().neighbors(v)) {
       const NodeId f = nb.node;
       double* frow = gt.data() + static_cast<size_t>(f) * k;
       const double delta = social_factor * 0.5 * nb.weight;
-      frow[best] -= delta;
+      frow[bv] -= delta;
+      internal::ArgminOnDecrease(frow, bv, &best[f]);
       frow[old] += delta;
+      if (internal::ArgminOnIncrease(frow, k, old, &best[f])) {
+        ++res.counters.argmin_cache_repairs;
+      }
       res.counters.gt_incremental_updates += 2;
       push_if_unhappy(f);
     }

@@ -1,8 +1,10 @@
 #include <algorithm>
+#include <memory>
 
 #include "core/solver.h"
 #include "core/solver_internal.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace rmgp {
 
@@ -13,6 +15,19 @@ using internal::StrictlyBetter;
 /// incrementally as players switch. Only "unhappy" users — whose current
 /// strategy is no longer their minimum — are examined, so per-round cost
 /// shrinks as the game approaches the equilibrium.
+///
+/// Engineering on top of the paper's scheme (results are bit-identical to
+/// the plain Fig 5 loop for a fixed seed):
+///   * round 0 builds table rows in parallel (rows only read the initial
+///     assignment);
+///   * each row caches its lowest-index argmin, updated in O(1) per
+///     incremental delta (full rescan only when the best cell itself gets
+///     dearer), so examining an unhappy user is O(1) instead of O(k);
+///   * instead of rescanning all of `order` every round for unhappy flags,
+///     an explicit worklist keyed by rank(v) = position of v in `order`
+///     yields exactly the users a flag scan would have examined: a user
+///     made unhappy at rank r joins the current round if its own rank is
+///     still ahead (> r), else the next round.
 Result<SolveResult> SolveGlobalTable(const Instance& inst,
                                      const SolverOptions& options) {
   Status s = internal::ValidateOptions(inst, options);
@@ -27,27 +42,51 @@ Result<SolveResult> SolveGlobalTable(const Instance& inst,
   const double social_factor = 1.0 - inst.alpha();
 
   // Round 0 (Fig 5 lines 1-6): initial strategies, then GT[v][p] = C_v(p,π)
-  // and the happiness flags.
+  // with per-row cached argmin, and the initial unhappy worklist.
   Stopwatch init_sw;
   res.assignment = internal::MakeInitialAssignment(inst, options, &rng);
   const std::vector<NodeId> order = internal::MakeOrder(inst, options, &rng);
   const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
 
   std::vector<double> gt(static_cast<size_t>(n) * k);
-  std::vector<char> happy(n);
+  std::vector<ClassId> best(n);
   res.counters.gt_cells_built = static_cast<uint64_t>(n) * k;
   res.counters.gt_rebuilds = 1;
-  for (NodeId v = 0; v < n; ++v) {
-    double* row = gt.data() + static_cast<size_t>(v) * k;
-    inst.AssignmentCostsFor(v, row);
-    for (ClassId p = 0; p < k; ++p) {
-      row[p] = inst.alpha() * row[p] + max_sc[v];
+  {
+    std::unique_ptr<ThreadPool> pool;
+    if (options.num_threads > 1 &&
+        static_cast<size_t>(n) * k >= internal::kMinCellsForParallelInit) {
+      pool = std::make_unique<ThreadPool>(options.num_threads);
     }
-    for (const Neighbor& nb : inst.graph().neighbors(v)) {
-      row[res.assignment[nb.node]] -= social_factor * 0.5 * nb.weight;
+    internal::BuildDenseGlobalTable(inst, res.assignment, max_sc, pool.get(),
+                                    gt.data(), best.data());
+    if (pool != nullptr) res.counters.thread_busy_millis = pool->BusyMillis();
+    // Workers join here; the best-response rounds are sequential.
+  }
+
+  std::vector<uint32_t> rank(n);
+  for (size_t i = 0; i < order.size(); ++i) {
+    rank[order[i]] = static_cast<uint32_t>(i);
+  }
+  // Worklist state: 0 = not queued, 1 = current-round heap, 2 = next-round
+  // buffer. The current round is a min-heap on rank (lowest rank pops
+  // first), reproducing the seed's left-to-right scan of `order`.
+  std::vector<uint8_t> queued(n, 0);
+  std::vector<NodeId> heap;
+  std::vector<NodeId> next_round;
+  const auto rank_gt = [&rank](NodeId a, NodeId b) {
+    return rank[a] > rank[b];
+  };
+  heap.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    // Seeding in rank order makes the ascending array a valid min-heap.
+    const NodeId v = order[i];
+    const double* row = gt.data() + static_cast<size_t>(v) * k;
+    if (StrictlyBetter(row[best[v]], row[res.assignment[v]])) {
+      heap.push_back(v);
+      queued[v] = 1;
+      ++res.counters.worklist_pushes;
     }
-    const double best = *std::min_element(row, row + k);
-    happy[v] = !StrictlyBetter(best, row[res.assignment[v]]);
   }
   res.init_millis = init_sw.ElapsedMillis();
   if (options.record_rounds) {
@@ -60,38 +99,52 @@ Result<SolveResult> SolveGlobalTable(const Instance& inst,
     res.round_stats.push_back(rs0);
   }
 
-  // Fig 5 lines 7-16.
+  // Fig 5 lines 7-16. Each iteration is one best-response round; a round
+  // always executes (even onto an empty worklist) so the round count — and
+  // the terminal deviation-free round — match the flag-scan loop exactly.
   for (uint32_t round = 1; round <= options.max_rounds; ++round) {
     Stopwatch round_sw;
     uint64_t deviations = 0;
     uint64_t examined = 0;
-    for (NodeId v : order) {
-      if (happy[v]) continue;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), rank_gt);
+      const NodeId v = heap.back();
+      heap.pop_back();
+      queued[v] = 0;
       ++examined;
       double* row = gt.data() + static_cast<size_t>(v) * k;
-      ClassId best = 0;
-      for (ClassId p = 1; p < k; ++p) {
-        if (row[p] < row[best]) best = p;
-      }
+      const ClassId bv = best[v];
       const ClassId old = res.assignment[v];
-      happy[v] = 1;
-      if (!StrictlyBetter(row[best], row[old])) continue;
-      res.assignment[v] = best;
+      // May have turned happy again since it was enqueued.
+      if (!StrictlyBetter(row[bv], row[old])) continue;
+      res.assignment[v] = bv;
       ++deviations;
-      // Inform friends (Fig 5 lines 11-15): v joining `best` makes it
+      const uint32_t vrank = rank[v];
+      // Inform friends (Fig 5 lines 11-15): v joining `bv` makes it
       // cheaper for them, leaving `old` makes that dearer.
       for (const Neighbor& nb : inst.graph().neighbors(v)) {
         const NodeId f = nb.node;
         double* frow = gt.data() + static_cast<size_t>(f) * k;
         const double delta = social_factor * 0.5 * nb.weight;
-        frow[best] -= delta;
+        frow[bv] -= delta;
+        internal::ArgminOnDecrease(frow, bv, &best[f]);
         frow[old] += delta;
+        if (internal::ArgminOnIncrease(frow, k, old, &best[f])) {
+          ++res.counters.argmin_cache_repairs;
+        }
         res.counters.gt_incremental_updates += 2;
-        const ClassId sf = res.assignment[f];
-        if (sf == old || StrictlyBetter(frow[best], frow[sf])) {
-          // Conservative: the friend's current strategy either got dearer
-          // or `best` now undercuts it; re-examination will settle it.
-          happy[f] = 0;
+        if (queued[f] == 0 &&
+            StrictlyBetter(frow[best[f]], frow[res.assignment[f]])) {
+          ++res.counters.worklist_pushes;
+          if (rank[f] > vrank) {
+            // Still ahead of the scan position: examined this round.
+            queued[f] = 1;
+            heap.push_back(f);
+            std::push_heap(heap.begin(), heap.end(), rank_gt);
+          } else {
+            queued[f] = 2;
+            next_round.push_back(f);
+          }
         }
       }
     }
@@ -112,6 +165,11 @@ Result<SolveResult> SolveGlobalTable(const Instance& inst,
       res.converged = true;
       break;
     }
+    std::sort(next_round.begin(), next_round.end(),
+              [&rank](NodeId a, NodeId b) { return rank[a] < rank[b]; });
+    heap.swap(next_round);
+    next_round.clear();
+    for (NodeId u : heap) queued[u] = 1;
   }
 
   internal::FinalizeResult(inst, &res);

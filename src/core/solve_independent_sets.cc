@@ -1,5 +1,4 @@
 #include <algorithm>
-#include <atomic>
 
 #include "core/solver.h"
 #include "core/solver_internal.h"
@@ -15,7 +14,11 @@ using internal::StrictlyBetter;
 /// RMGP_is (§4.2, Fig 4): users are grouped by a greedy graph coloring;
 /// nodes of one color form an independent set, so their best responses
 /// depend only on nodes outside the set and can be computed simultaneously.
-/// Groups are visited round-robin; a barrier separates groups.
+/// Groups are visited round-robin; ParallelFor's completion latch is the
+/// barrier between groups (Fig 4 line 8). Per-worker scratch lives in the
+/// pool's persistent arenas, so steady-state rounds allocate nothing; each
+/// user's best response reads only out-of-group strategies, so results are
+/// independent of the number of threads and of chunk scheduling.
 Result<SolveResult> SolveIndependentSets(const Instance& inst,
                                          const SolverOptions& options) {
   Status s = internal::ValidateOptions(inst, options);
@@ -57,41 +60,41 @@ Result<SolveResult> SolveIndependentSets(const Instance& inst,
 
   ThreadPool pool(options.num_threads);
   const ClassId k = inst.num_classes();
+  // Per-slot deviation tallies, padded to a cache line each: a worker's
+  // counter bump must not ping-pong the line holding a neighbor slot's
+  // counter (or anything else) while `assignment` writes are in flight.
+  std::vector<CacheAligned<uint64_t>> dev_slots(pool.num_slots());
 
   for (uint32_t round = 1; round <= options.max_rounds; ++round) {
     Stopwatch round_sw;
-    std::atomic<uint64_t> deviations{0};
+    for (CacheAligned<uint64_t>& slot : dev_slots) slot.value = 0;
     for (const std::vector<NodeId>& group : coloring.groups) {
-      // Fig 4 lines 4-8: split the group across T threads; all writes go to
-      // strategies of group members, which no concurrent reader touches
-      // (their friends are outside the group by construction).
-      const size_t chunks = std::min<size_t>(pool.num_threads(),
-                                             std::max<size_t>(group.size(), 1));
-      const size_t per_chunk = (group.size() + chunks - 1) / chunks;
-      for (size_t c = 0; c < chunks; ++c) {
-        const size_t begin = c * per_chunk;
-        const size_t end = std::min(group.size(), begin + per_chunk);
-        if (begin >= end) break;
-        pool.Submit([&, begin, end] {
-          std::vector<double> scratch(k);
-          uint64_t local_dev = 0;
-          for (size_t i = begin; i < end; ++i) {
-            const NodeId v = group[i];
-            const BestResponse br = BestResponseScratch(
-                inst, res.assignment, v, max_sc, scratch.data());
-            if (StrictlyBetter(br.best_cost, br.current_cost)) {
-              res.assignment[v] = br.best_class;
-              ++local_dev;
+      // Fig 4 lines 4-8: all writes go to strategies of group members,
+      // which no concurrent reader touches (their friends are outside the
+      // group by construction), so chunking is free to be dynamic.
+      const size_t grain = std::max<size_t>(
+          1, group.size() / (pool.num_threads() * 4));
+      pool.ParallelFor(
+          0, group.size(), grain,
+          [&](size_t begin, size_t end, size_t slot) {
+            double* scratch = pool.ScratchDoubles(slot, k);
+            uint64_t local_dev = 0;
+            for (size_t i = begin; i < end; ++i) {
+              const NodeId v = group[i];
+              const BestResponse br = BestResponseScratch(
+                  inst, res.assignment, v, max_sc, scratch);
+              if (StrictlyBetter(br.best_cost, br.current_cost)) {
+                res.assignment[v] = br.best_class;
+                ++local_dev;
+              }
             }
-          }
-          deviations.fetch_add(local_dev, std::memory_order_relaxed);
-        });
-      }
-      pool.Wait();  // barrier before the next color group (Fig 4 line 8)
+            dev_slots[slot].value += local_dev;
+          });
     }
     res.rounds = round;
     res.counters.best_response_evals += inst.num_users();
-    const uint64_t dev = deviations.load();
+    uint64_t dev = 0;
+    for (const CacheAligned<uint64_t>& slot : dev_slots) dev += slot.value;
     if (options.record_rounds) {
       RoundStats st;
       st.round = round;

@@ -1,9 +1,11 @@
 #include "core/solver.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "core/solver_internal.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace rmgp {
 
@@ -57,7 +59,21 @@ Result<SolveResult> SolveStrategyElimination(const Instance& inst,
   SolveResult res;
 
   Stopwatch init_sw;
-  const ReducedStrategies rs = internal::ComputeReducedStrategies(inst);
+  ReducedStrategies rs;
+  {
+    // The valid-region build is the only parallelizable phase here; the
+    // best-response rounds stay sequential, so the pool's scope ends with
+    // round 0. The reduced space is stitched in node order, so results are
+    // identical with or without the pool.
+    std::unique_ptr<ThreadPool> pool;
+    if (options.num_threads > 1 &&
+        static_cast<size_t>(inst.num_users()) * inst.num_classes() >=
+            internal::kMinCellsForParallelInit) {
+      pool = std::make_unique<ThreadPool>(options.num_threads);
+    }
+    rs = internal::ComputeReducedStrategies(inst, pool.get());
+    if (pool != nullptr) res.counters.thread_busy_millis = pool->BusyMillis();
+  }
   res.eliminated_users = rs.eliminated_users;
   res.pruned_strategies = rs.pruned_strategies;
   res.counters.eliminated_users = rs.eliminated_users;

@@ -39,7 +39,10 @@ struct SolverOptions {
   /// or a pathological epsilon.
   uint32_t max_rounds = 100000;
 
-  /// Worker threads for RMGP_is / RMGP_all (the paper's parameter T).
+  /// Worker threads for RMGP_is / RMGP_all (the paper's parameter T). Also
+  /// drives the parallel round-0 builds (global table, §4.1 valid regions)
+  /// of RMGP_se / RMGP_gt / RMGP_pq on large-enough instances; solver
+  /// *results* never depend on this value — only wall time does.
   uint32_t num_threads = 4;
 
   /// Initial assignment for InitPolicy::kGiven.
@@ -75,6 +78,19 @@ struct SolverCounters {
   /// class (Fig 5 lines 11-15) — the quantity §4.3 trades against full
   /// re-evaluation.
   uint64_t gt_incremental_updates = 0;
+
+  /// Full argmin repair scans of a table row (RMGP_gt/all/pq): the cached
+  /// per-row best class is updated in O(1) when a cell decreases, but when
+  /// the best cell itself gets dearer the row must be rescanned. The ratio
+  /// of repairs to gt_incremental_updates is the cache's effectiveness —
+  /// near 0 means unhappy-user examinations cost O(1) instead of O(k).
+  uint64_t argmin_cache_repairs = 0;
+
+  /// Enqueues onto the explicit unhappy worklist (RMGP_gt/all: the
+  /// structure replacing the per-round rescan of the happy flags; RMGP_pq:
+  /// heap pushes). Counts initial seeding and re-enqueues alike; an
+  /// in-queue flag deduplicates, so this also bounds examinations.
+  uint64_t worklist_pushes = 0;
 
   /// §4.1 strategy-elimination effectiveness (mirrors the SolveResult
   /// fields of the same name).

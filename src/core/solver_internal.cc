@@ -77,43 +77,134 @@ void FinalizeResult(const Instance& inst, SolveResult* result) {
       result->objective.assignment + 0.5 * result->objective.social;
 }
 
-ReducedStrategies ComputeReducedStrategies(const Instance& inst) {
+namespace {
+
+/// §4.1 valid region of one user: appends the surviving strategies of v to
+/// `out` and returns their count. `cost` is caller-provided scratch (size k).
+uint32_t ReduceUserStrategies(const Instance& inst, NodeId v, double* cost,
+                              std::vector<ClassId>* out) {
+  const ClassId k = inst.num_classes();
+  const double alpha = inst.alpha();
+  inst.AssignmentCostsFor(v, cost);
+  const double c_min = *std::min_element(cost, cost + k);
+  // VR_v = c(v, s_min) + ((1-α)/α)·W_v  (Equation in §4.1): strategies
+  // whose assignment cost exceeds VR_v can never beat s_min even if all
+  // friends adopt them.
+  const double vr = c_min + (1.0 - alpha) / alpha * inst.HalfIncidentWeight(v);
+  uint32_t kept = 0;
+  for (ClassId p = 0; p < k; ++p) {
+    if (cost[p] <= vr + kImprovementEps * (1.0 + std::abs(vr))) {
+      out->push_back(p);
+      ++kept;
+    }
+  }
+  RMGP_CHECK_GE(kept, 1u);
+  return kept;
+}
+
+/// Chunk size aiming at ~8 chunks per worker: fine enough for dynamic load
+/// balance, coarse enough that the claiming fetch_add is noise.
+size_t BuildGrain(size_t n, const ThreadPool& pool) {
+  const size_t target_chunks = pool.num_threads() * 8;
+  return std::max<size_t>(1, (n + target_chunks - 1) / target_chunks);
+}
+
+}  // namespace
+
+ReducedStrategies ComputeReducedStrategies(const Instance& inst,
+                                           ThreadPool* pool) {
   Stopwatch sw;
   const NodeId n = inst.num_users();
   const ClassId k = inst.num_classes();
-  const double alpha = inst.alpha();
 
   ReducedStrategies rs;
   rs.offsets.assign(static_cast<size_t>(n) + 1, 0);
   rs.forced.assign(n, ReducedStrategies::kNoForced);
-  rs.classes.reserve(n);  // at least one strategy per user
 
-  std::vector<double> cost(k);
-  for (NodeId v = 0; v < n; ++v) {
-    inst.AssignmentCostsFor(v, cost.data());
-    const double c_min = *std::min_element(cost.begin(), cost.end());
-    // VR_v = c(v, s_min) + ((1-α)/α)·W_v  (Equation in §4.1): strategies
-    // whose assignment cost exceeds VR_v can never beat s_min even if all
-    // friends adopt them.
-    const double vr =
-        c_min + (1.0 - alpha) / alpha * inst.HalfIncidentWeight(v);
-    uint32_t kept = 0;
-    for (ClassId p = 0; p < k; ++p) {
-      if (cost[p] <= vr + kImprovementEps * (1.0 + std::abs(vr))) {
-        rs.classes.push_back(p);
-        ++kept;
+  const size_t cells = static_cast<size_t>(n) * k;
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      cells < kMinCellsForParallelInit) {
+    rs.classes.reserve(n);  // at least one strategy per user
+    std::vector<double> cost(k);
+    for (NodeId v = 0; v < n; ++v) {
+      const uint32_t kept = ReduceUserStrategies(inst, v, cost.data(),
+                                                 &rs.classes);
+      rs.offsets[v + 1] = rs.offsets[v] + kept;
+      rs.pruned_strategies += k - kept;
+      if (kept == 1) {
+        rs.forced[v] = rs.classes[rs.offsets[v]];
+        ++rs.eliminated_users;
       }
     }
-    RMGP_CHECK_GE(kept, 1u);
-    rs.offsets[v + 1] = rs.offsets[v] + kept;
-    rs.pruned_strategies += k - kept;
-    if (kept == 1) {
-      rs.forced[v] = rs.classes[rs.offsets[v]];
-      ++rs.eliminated_users;
+    rs.build_millis = sw.ElapsedMillis();
+    return rs;
+  }
+
+  // Parallel build: each chunk appends its users' surviving strategies to a
+  // chunk-local buffer (chunk id = begin/grain is a pure function of the
+  // range, so buffers line up in node order regardless of which worker ran
+  // them); the sequential stitch below concatenates buffers and derives
+  // offsets/forced — byte-identical to the sequential path.
+  const size_t grain = BuildGrain(n, *pool);
+  const size_t num_chunks = (static_cast<size_t>(n) + grain - 1) / grain;
+  std::vector<std::vector<ClassId>> chunk_classes(num_chunks);
+  std::vector<uint32_t> kept(n, 0);
+  pool->ParallelFor(0, n, grain, [&](size_t begin, size_t end, size_t slot) {
+    double* cost = pool->ScratchDoubles(slot, k);
+    std::vector<ClassId>& out = chunk_classes[begin / grain];
+    out.reserve(end - begin);
+    for (size_t v = begin; v < end; ++v) {
+      kept[v] = ReduceUserStrategies(inst, static_cast<NodeId>(v), cost, &out);
     }
+  });
+  for (NodeId v = 0; v < n; ++v) {
+    rs.offsets[v + 1] = rs.offsets[v] + kept[v];
+    rs.pruned_strategies += k - kept[v];
+    if (kept[v] == 1) ++rs.eliminated_users;
+  }
+  rs.classes.resize(rs.offsets[n]);
+  size_t pos = 0;
+  for (const std::vector<ClassId>& chunk : chunk_classes) {
+    std::copy(chunk.begin(), chunk.end(), rs.classes.begin() + pos);
+    pos += chunk.size();
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (kept[v] == 1) rs.forced[v] = rs.classes[rs.offsets[v]];
   }
   rs.build_millis = sw.ElapsedMillis();
   return rs;
+}
+
+void BuildDenseGlobalTable(const Instance& inst, const Assignment& a,
+                           const std::vector<double>& max_sc,
+                           ThreadPool* pool, double* table, ClassId* best) {
+  const NodeId n = inst.num_users();
+  const ClassId k = inst.num_classes();
+  const double alpha = inst.alpha();
+  const double social_factor = 1.0 - alpha;
+  const auto build_rows = [&](size_t row_begin, size_t row_end, size_t) {
+    for (size_t v = row_begin; v < row_end; ++v) {
+      double* row = table + v * k;
+      inst.AssignmentCostsFor(static_cast<NodeId>(v), row);
+      for (ClassId p = 0; p < k; ++p) {
+        row[p] = alpha * row[p] + max_sc[v];
+      }
+      for (const Neighbor& nb :
+           inst.graph().neighbors(static_cast<NodeId>(v))) {
+        row[a[nb.node]] -= social_factor * 0.5 * nb.weight;
+      }
+      ClassId b = 0;
+      for (ClassId p = 1; p < k; ++p) {
+        if (row[p] < row[b]) b = p;
+      }
+      best[v] = b;
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(0, n, BuildGrain(n, *pool), build_rows);
+  } else {
+    build_rows(0, n, 0);
+  }
 }
 
 }  // namespace internal

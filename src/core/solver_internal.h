@@ -9,6 +9,7 @@
 #include "core/objective.h"
 #include "core/solver.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace rmgp {
 namespace internal {
@@ -21,6 +22,36 @@ inline constexpr double kImprovementEps = 1e-12;
 /// True iff `candidate` is strictly better than `current` beyond tolerance.
 inline bool StrictlyBetter(double candidate, double current) {
   return candidate < current - kImprovementEps * (1.0 + std::abs(current));
+}
+
+/// Below this many table cells (|V|·k, or Σ|S'_v| for reduced tables) the
+/// round-0 builds of RMGP_gt/all/pq stay sequential: spinning up a pool
+/// costs more than the build itself.
+inline constexpr size_t kMinCellsForParallelInit = size_t{1} << 16;
+
+/// Maintains the lowest-index-argmin cache of a global-table row after the
+/// cell at index `i` *decreased* (a friend joined class i). O(1): the new
+/// minimum is either the old one or cell i; on an exact tie the lower index
+/// wins, matching the strict `<` left-to-right scan the cache replaces.
+inline void ArgminOnDecrease(const double* row, ClassId i, ClassId* best) {
+  if (row[i] < row[*best] || (row[i] == row[*best] && i < *best)) {
+    *best = i;
+  }
+}
+
+/// Same, after the cell at `i` *increased* (a friend left class i). O(1)
+/// unless the cached best itself got dearer, in which case the row must be
+/// rescanned. Returns true iff a repair scan ran (SolverCounters::
+/// argmin_cache_repairs); `len` is the row length.
+inline bool ArgminOnIncrease(const double* row, ClassId len, ClassId i,
+                             ClassId* best) {
+  if (i != *best) return false;
+  ClassId b = 0;
+  for (ClassId p = 1; p < len; ++p) {
+    if (row[p] < row[b]) b = p;
+  }
+  *best = b;
+  return true;
 }
 
 /// Validates options (warm start shape etc.).
@@ -58,8 +89,20 @@ struct ReducedStrategies {
 
 /// Computes valid regions VR_v = c(v, s_min) + ((1-α)/α)·W_v and keeps only
 /// strategies with assignment cost <= VR_v (§4.1). Never prunes a possible
-/// best response.
-ReducedStrategies ComputeReducedStrategies(const Instance& inst);
+/// best response. With a pool, per-user regions are computed in parallel
+/// chunks and stitched in node order — output is identical to the
+/// sequential build.
+ReducedStrategies ComputeReducedStrategies(const Instance& inst,
+                                           ThreadPool* pool = nullptr);
+
+/// Round 0 of RMGP_gt/pq (Fig 5 lines 1-6): materializes the dense |V|×k
+/// global table GT[v][p] = C_v(p, π) into `table` and the lowest-index
+/// argmin of each row into `best`. Rows only read `a`, so with a pool they
+/// are built in parallel chunks; per-row arithmetic order is fixed, making
+/// the result bit-identical to the sequential build.
+void BuildDenseGlobalTable(const Instance& inst, const Assignment& a,
+                           const std::vector<double>& max_sc,
+                           ThreadPool* pool, double* table, ClassId* best);
 
 /// Precomputed maxSC_v = (1-α)·½·Σ_f w(v,f) for every user (Fig 3 line 3).
 std::vector<double> ComputeMaxSocialCosts(const Instance& inst);

@@ -11,6 +11,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   for (size_t i = 0; i < num_threads; ++i) {
     busy_nanos_[i].store(0, std::memory_order_relaxed);
   }
+  arenas_.resize(num_threads + 1);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -40,19 +41,68 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
-  const size_t chunks = std::min(n, workers_.size());
-  const size_t per_chunk = (n + chunks - 1) / chunks;
-  for (size_t c = 0; c < chunks; ++c) {
-    const size_t begin = c * per_chunk;
-    const size_t end = std::min(n, begin + per_chunk);
-    if (begin >= end) break;
-    Submit([begin, end, &fn] {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    });
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const RangeFn& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const size_t items = end - begin;
+  const size_t chunks = (items + grain - 1) / grain;
+  if (chunks == 1) {
+    fn(begin, end, 0);
+    return;
   }
-  Wait();
+  auto op = std::make_shared<ParallelOp>();
+  op->fn = &fn;
+  op->end = end;
+  op->grain = grain;
+  op->chunks_total = chunks;
+  op->next.store(begin, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    op_ = op;
+  }
+  task_available_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  op_done_.wait(lock, [&] {
+    return op->chunks_done.load(std::memory_order_acquire) ==
+           op->chunks_total;
+  });
+  op_.reset();
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t grain = (n + workers_.size() - 1) / workers_.size();
+  ParallelFor(0, n, grain, [&fn](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::RunOpChunks(ParallelOp* op, size_t slot) {
+  for (;;) {
+    const size_t begin = op->next.fetch_add(op->grain,
+                                            std::memory_order_relaxed);
+    if (begin >= op->end) return;
+    const size_t end = std::min(op->end, begin + op->grain);
+    (*op->fn)(begin, end, slot);
+    if (op->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        op->chunks_total) {
+      // Last chunk: wake the caller blocked in ParallelFor. Taking the
+      // lock orders the notify after the caller entered its wait.
+      std::lock_guard<std::mutex> lock(mu_);
+      op_done_.notify_all();
+    }
+  }
+}
+
+double* ThreadPool::ScratchDoubles(size_t slot, size_t count) {
+  ScratchArena& arena = arenas_[slot];
+  if (arena.capacity < count) {
+    arena.data = std::make_unique<double[]>(count);
+    arena.capacity = count;
+  }
+  return arena.data.get();
 }
 
 std::vector<double> ThreadPool::BusyMillis() const {
@@ -66,26 +116,39 @@ std::vector<double> ThreadPool::BusyMillis() const {
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
+    std::shared_ptr<ParallelOp> op;
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutting_down_) return;
+      task_available_.wait(lock, [this] {
+        return shutting_down_ || !tasks_.empty() ||
+               (op_ != nullptr &&
+                op_->next.load(std::memory_order_relaxed) < op_->end);
+      });
+      if (op_ != nullptr &&
+          op_->next.load(std::memory_order_relaxed) < op_->end) {
+        op = op_;  // keep the op alive past the caller's return
+      } else if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      } else if (shutting_down_) {
+        return;
+      } else {
         continue;
       }
-      task = std::move(tasks_.front());
-      tasks_.pop();
     }
     const auto start = std::chrono::steady_clock::now();
-    task();
+    if (op != nullptr) {
+      RunOpChunks(op.get(), worker_index + 1);
+    } else {
+      task();
+    }
     const auto elapsed = std::chrono::steady_clock::now() - start;
     const auto nanos =
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
     busy_nanos_[worker_index].fetch_add(static_cast<uint64_t>(nanos),
                                         std::memory_order_relaxed);
-    {
+    if (op == nullptr) {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();
     }

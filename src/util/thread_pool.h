@@ -14,14 +14,40 @@
 
 namespace rmgp {
 
-/// Fixed-size worker pool used by RMGP_is (coloring-based parallel
-/// best-response) and by the simulated decentralized slaves.
+/// Size all per-thread state is padded to so that two threads never share a
+/// cache line. 64 bytes covers x86-64 and most AArch64 parts; the cost of
+/// over-padding on 128-byte-line hardware is a few wasted bytes.
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// A value padded to a full cache line. Use for per-worker counters that
+/// are written concurrently with neighboring slots (e.g. per-slot deviation
+/// tallies accumulated inside ParallelFor chunks) to avoid false sharing.
+template <typename T>
+struct alignas(kCacheLineBytes) CacheAligned {
+  T value{};
+};
+
+/// Fixed-size worker pool used by the parallel solvers (RMGP_is / RMGP_all),
+/// the round-0 global-table builds of RMGP_gt / RMGP_pq, and the simulated
+/// decentralized slaves.
 ///
-/// The pool intentionally exposes only the two primitives the paper's
-/// algorithms need: submit a task, and wait for *all* submitted tasks to
-/// drain (the barrier at the end of each color group, Fig 4 line 8).
+/// Two execution primitives are exposed:
+///   * Submit / Wait — the general task queue (the barrier at the end of
+///     each color group, Fig 4 line 8);
+///   * ParallelFor — a chunked parallel loop with a dedicated completion
+///     latch that bypasses the task queue entirely: no per-chunk
+///     std::function allocation, no queue mutex traffic per chunk, and
+///     dynamic chunk claiming for load balance. Chunk *boundaries* are a
+///     pure function of (begin, end, grain), so which worker runs a chunk
+///     never changes what is computed — callers relying on determinism only
+///     need their per-item work to be independent.
 class ThreadPool {
  public:
+  /// Chunk body for ParallelFor: processes items [begin, end). `slot` is a
+  /// stable scratch index in [0, num_slots()): each slot is used by at most
+  /// one thread at a time, so ScratchDoubles(slot, ...) needs no locking.
+  using RangeFn = std::function<void(size_t begin, size_t end, size_t slot)>;
+
   /// Spawns `num_threads` workers (at least 1).
   explicit ThreadPool(size_t num_threads);
 
@@ -35,33 +61,81 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   /// Blocks until every task submitted so far has finished executing.
+  /// (Covers Submit only; ParallelFor has its own completion latch.)
   void Wait();
+
+  /// Runs fn over [begin, end) in chunks of `grain` items and blocks until
+  /// all chunks completed. Chunks are claimed dynamically by the workers
+  /// (good load balance under skewed per-item cost) but their boundaries
+  /// are fixed, so per-item results are independent of both the number of
+  /// workers and the claiming order. Degenerate cases (empty range, a
+  /// single chunk) run inline on the caller with slot 0.
+  ///
+  /// Must be called from the pool's owner thread, never from inside a
+  /// task; at most one ParallelFor may be in flight per pool.
+  void ParallelFor(size_t begin, size_t end, size_t grain, const RangeFn& fn);
+
+  /// Convenience: runs fn(i) for i in [0, n) with one contiguous chunk per
+  /// worker (the legacy static partition).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Number of worker threads.
   size_t num_threads() const { return workers_.size(); }
 
-  /// Cumulative wall time each worker has spent *inside* tasks, in
-  /// milliseconds, indexed by worker. The complement of busy time over a
-  /// solver's runtime is scheduling imbalance — surfaced per run in
-  /// SolverCounters::thread_busy_millis. Safe to call concurrently with
-  /// Submit/Wait; a task still running is not counted until it finishes.
+  /// Number of scratch slots: one per worker plus slot 0 for the caller
+  /// (used by ParallelFor's inline fallback).
+  size_t num_slots() const { return workers_.size() + 1; }
+
+  /// Persistent per-slot scratch arena: returns at least `count` doubles.
+  /// Grow-only and reused across ParallelFor calls, so steady-state solver
+  /// rounds allocate nothing. Contents are unspecified on entry. Safe
+  /// without locking because a slot is only ever used by one thread at a
+  /// time; arenas are cache-line aligned so neighboring slots never share
+  /// a line.
+  double* ScratchDoubles(size_t slot, size_t count);
+
+  /// Cumulative wall time each worker has spent *inside* tasks or
+  /// ParallelFor chunks, in milliseconds, indexed by worker. The
+  /// complement of busy time over a solver's runtime is scheduling
+  /// imbalance — surfaced per run in SolverCounters::thread_busy_millis.
+  /// Safe to call concurrently with Submit/Wait; a task still running is
+  /// not counted until it finishes.
   std::vector<double> BusyMillis() const;
 
-  /// Convenience: runs fn(i) for i in [0, n) across `num_threads` workers in
-  /// contiguous chunks and waits for completion. Static partitioning keeps
-  /// the per-item order within a chunk deterministic.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
-
  private:
+  /// State of one in-flight ParallelFor. `next` is the claiming cursor:
+  /// a worker owns chunk [next, next+grain) after a successful fetch_add.
+  /// The op outlives the call through shared_ptr copies held by late
+  /// workers whose claim raced past `end`.
+  struct ParallelOp {
+    const RangeFn* fn = nullptr;
+    size_t end = 0;
+    size_t grain = 1;
+    size_t chunks_total = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> chunks_done{0};
+  };
+
+  struct alignas(kCacheLineBytes) ScratchArena {
+    std::unique_ptr<double[]> data;
+    size_t capacity = 0;
+  };
+
   void WorkerLoop(size_t worker_index);
 
+  /// Claims and runs chunks of `op` until the range is exhausted.
+  void RunOpChunks(ParallelOp* op, size_t slot);
+
   std::vector<std::thread> workers_;
+  std::vector<ScratchArena> arenas_;  // num_slots() entries, never resized
   std::unique_ptr<std::atomic<uint64_t>[]> busy_nanos_;  // one per worker
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
-  size_t in_flight_ = 0;  // queued + running
+  std::condition_variable op_done_;
+  std::shared_ptr<ParallelOp> op_;  // non-null while a ParallelFor runs
+  size_t in_flight_ = 0;            // queued + running Submit tasks
   bool shutting_down_ = false;
 };
 

@@ -1,0 +1,207 @@
+// Determinism guarantees of the hot-path engineering (PR 2):
+//   * RMGP_is / RMGP_all results are invariant to num_threads — parallelism
+//     decides only who computes, never what is computed;
+//   * RMGP_all is bit-for-bit reproducible across repeated runs even with
+//     many threads (Phase B2 applies row deltas in canonical order);
+//   * RMGP_gt with the argmin cache + unhappy worklist reproduces the
+//     plain Fig 5 flag-scan loop — same assignments, same round count,
+//     same equilibrium potential — on a battery of planted-partition
+//     instances (the reference implementation lives in this test).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/solver.h"
+#include "core/solver_internal.h"
+#include "graph/generators.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+using internal::StrictlyBetter;
+
+testing::OwnedInstance MakePlantedPartition(NodeId n, ClassId k, double alpha,
+                                            uint64_t seed) {
+  testing::OwnedInstance owned;
+  owned.graph = std::make_unique<Graph>(RandomizeWeights(
+      PlantedPartition(n, 4, 16.0 / n, 2.0 / n, seed), 0.1, 1.0, seed + 1));
+  Rng rng(seed + 2);
+  std::vector<double> costs(static_cast<size_t>(n) * k);
+  for (double& c : costs) c = rng.UniformDouble();
+  owned.costs = std::make_shared<DenseCostMatrix>(n, k, std::move(costs));
+  auto inst = Instance::Create(owned.graph.get(), owned.costs, alpha);
+  RMGP_CHECK(inst.ok()) << inst.status().ToString();
+  owned.instance = std::make_unique<Instance>(std::move(inst).value());
+  return owned;
+}
+
+/// Reference RMGP_gt: a direct port of the paper's Fig 5 loop with full
+/// argmin scans and conservative per-friend unhappy flags — the
+/// implementation the worklist + argmin-cache production solver replaced.
+struct ReferenceResult {
+  Assignment assignment;
+  uint32_t rounds = 0;
+  bool converged = false;
+  double potential = 0.0;
+};
+
+ReferenceResult ReferenceGlobalTable(const Instance& inst,
+                                     const SolverOptions& options) {
+  Rng rng(options.seed);
+  const NodeId n = inst.num_users();
+  const ClassId k = inst.num_classes();
+  const double social_factor = 1.0 - inst.alpha();
+
+  ReferenceResult res;
+  res.assignment = internal::MakeInitialAssignment(inst, options, &rng);
+  const std::vector<NodeId> order = internal::MakeOrder(inst, options, &rng);
+  const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
+
+  std::vector<double> gt(static_cast<size_t>(n) * k);
+  std::vector<char> happy(n);
+  for (NodeId v = 0; v < n; ++v) {
+    double* row = gt.data() + static_cast<size_t>(v) * k;
+    inst.AssignmentCostsFor(v, row);
+    for (ClassId p = 0; p < k; ++p) {
+      row[p] = inst.alpha() * row[p] + max_sc[v];
+    }
+    for (const Neighbor& nb : inst.graph().neighbors(v)) {
+      row[res.assignment[nb.node]] -= social_factor * 0.5 * nb.weight;
+    }
+    const double best = *std::min_element(row, row + k);
+    happy[v] = !StrictlyBetter(best, row[res.assignment[v]]);
+  }
+
+  for (uint32_t round = 1; round <= options.max_rounds; ++round) {
+    uint64_t deviations = 0;
+    for (NodeId v : order) {
+      if (happy[v]) continue;
+      double* row = gt.data() + static_cast<size_t>(v) * k;
+      ClassId best = 0;
+      for (ClassId p = 1; p < k; ++p) {
+        if (row[p] < row[best]) best = p;
+      }
+      const ClassId old = res.assignment[v];
+      happy[v] = 1;
+      if (!StrictlyBetter(row[best], row[old])) continue;
+      res.assignment[v] = best;
+      ++deviations;
+      for (const Neighbor& nb : inst.graph().neighbors(v)) {
+        const NodeId f = nb.node;
+        double* frow = gt.data() + static_cast<size_t>(f) * k;
+        const double delta = social_factor * 0.5 * nb.weight;
+        frow[best] -= delta;
+        frow[old] += delta;
+        const ClassId sf = res.assignment[f];
+        if (sf == old || StrictlyBetter(frow[best], frow[sf])) {
+          happy[f] = 0;
+        }
+      }
+    }
+    res.rounds = round;
+    if (deviations == 0) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  const CostBreakdown obj = EvaluateObjective(inst, res.assignment);
+  res.potential = obj.assignment + 0.5 * obj.social;
+  return res;
+}
+
+TEST(SolverDeterminismTest, IndependentSetsInvariantToThreadCount) {
+  const auto owned = testing::MakeRandomInstance(300, 8, 0.04, 0.3, 77);
+  SolverOptions opt;
+  opt.seed = 9;
+  opt.num_threads = 1;
+  const auto base = SolveIndependentSets(owned.get(), opt);
+  ASSERT_TRUE(base.ok());
+  for (const uint32_t threads : {2u, 8u}) {
+    opt.num_threads = threads;
+    const auto res = SolveIndependentSets(owned.get(), opt);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.value().assignment, base.value().assignment) << threads;
+    EXPECT_EQ(res.value().rounds, base.value().rounds) << threads;
+    EXPECT_EQ(res.value().potential, base.value().potential) << threads;
+  }
+}
+
+TEST(SolverDeterminismTest, AllInvariantToThreadCount) {
+  // Large enough (n·k cells, hundreds of moves per round) that the
+  // parallel build and Phase B1 gather actually split into several chunks,
+  // whose count differs per thread count — the stitch order must not.
+  const auto owned = MakePlantedPartition(600, 16, 0.5, 1234);
+  SolverOptions opt;
+  opt.seed = 5;
+  opt.num_threads = 1;
+  const auto base = SolveAll(owned.get(), opt);
+  ASSERT_TRUE(base.ok());
+  for (const uint32_t threads : {2u, 8u}) {
+    opt.num_threads = threads;
+    const auto res = SolveAll(owned.get(), opt);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.value().assignment, base.value().assignment) << threads;
+    EXPECT_EQ(res.value().rounds, base.value().rounds) << threads;
+    EXPECT_EQ(res.value().potential, base.value().potential) << threads;
+  }
+}
+
+TEST(SolverDeterminismTest, AllRepeatedRunsBitIdentical) {
+  const auto owned = MakePlantedPartition(400, 12, 0.2, 4321);
+  SolverOptions opt;
+  opt.seed = 11;
+  opt.num_threads = 8;
+  const auto a = SolveAll(owned.get(), opt);
+  const auto b = SolveAll(owned.get(), opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().assignment, b.value().assignment);
+  EXPECT_EQ(a.value().rounds, b.value().rounds);
+  EXPECT_EQ(a.value().potential, b.value().potential);
+}
+
+TEST(SolverDeterminismTest, GlobalTableMatchesFlagScanReferenceOnPlanted) {
+  for (int i = 0; i < 20; ++i) {
+    const double alpha = (i % 3 == 0) ? 0.2 : (i % 3 == 1) ? 0.5 : 0.8;
+    const auto owned =
+        MakePlantedPartition(130, 6, alpha, 1000 + 17 * i);
+    SolverOptions opt;
+    opt.seed = 50 + i;
+    const ReferenceResult ref = ReferenceGlobalTable(owned.get(), opt);
+    const auto res = SolveGlobalTable(owned.get(), opt);
+    ASSERT_TRUE(res.ok()) << i;
+    EXPECT_TRUE(res.value().converged) << i;
+    EXPECT_EQ(res.value().converged, ref.converged) << i;
+    EXPECT_EQ(res.value().assignment, ref.assignment) << "instance " << i;
+    EXPECT_EQ(res.value().rounds, ref.rounds) << "instance " << i;
+    EXPECT_EQ(res.value().potential, ref.potential) << "instance " << i;
+  }
+}
+
+TEST(SolverDeterminismTest, GlobalTableBuildInvariantToThreadCount) {
+  // 300 × 256 = 76.8k cells clears kMinCellsForParallelInit, so the
+  // num_threads > 1 runs exercise the parallel table build; the trajectory
+  // afterwards is sequential either way and must not notice.
+  const auto owned = MakePlantedPartition(300, 256, 0.5, 99);
+  SolverOptions opt;
+  opt.seed = 3;
+  opt.num_threads = 1;
+  const auto base = SolveGlobalTable(owned.get(), opt);
+  ASSERT_TRUE(base.ok());
+  for (const uint32_t threads : {2u, 8u}) {
+    opt.num_threads = threads;
+    const auto res = SolveGlobalTable(owned.get(), opt);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.value().assignment, base.value().assignment) << threads;
+    EXPECT_EQ(res.value().potential, base.value().potential) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace rmgp

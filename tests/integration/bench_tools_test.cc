@@ -91,8 +91,9 @@ TEST_F(BenchSuiteTest, EveryRecordCarriesCountersAndStats) {
     const Json& c = r.At("counters");
     for (const char* key :
          {"best_response_evals", "gt_cells_built", "gt_rebuilds",
-          "gt_incremental_updates", "eliminated_users", "pruned_strategies",
-          "color_group_sizes", "thread_busy_millis"}) {
+          "gt_incremental_updates", "argmin_cache_repairs", "worklist_pushes",
+          "eliminated_users", "pruned_strategies", "color_group_sizes",
+          "thread_busy_millis"}) {
       ASSERT_NE(c.Find(key), nullptr)
           << "counters of record " << i << " missing " << key;
     }
@@ -102,6 +103,8 @@ TEST_F(BenchSuiteTest, EveryRecordCarriesCountersAndStats) {
     if (solver == "RMGP_gt" || solver == "RMGP_all") {
       EXPECT_GT(c.At("gt_cells_built").AsDouble(), 0.0) << solver;
       EXPECT_EQ(c.At("gt_rebuilds").AsDouble(), 1.0) << solver;
+      // Something was unhappy at init, so the worklist saw traffic.
+      EXPECT_GT(c.At("worklist_pushes").AsDouble(), 0.0) << solver;
     }
     if (solver == "RMGP_is" || solver == "RMGP_all") {
       EXPECT_GT(c.At("color_group_sizes").size(), 0u) << solver;
@@ -205,6 +208,44 @@ TEST_F(BenchSuiteTest, SchemaMismatchIsRejected) {
   EXPECT_FALSE(report.ok);
 }
 
+TEST(BenchMicrobenchTest, RecordsRoundZeroBuildTimings) {
+  SuiteConfig config = TinyConfig();
+  config.micro_users = 300;
+  config.micro_classes = 8;
+  const std::vector<MicroRecord> micro = RunMicrobench(config);
+  ASSERT_EQ(micro.size(), 2u);
+  EXPECT_EQ(micro[0].name, "gt_build");
+  EXPECT_EQ(micro[1].name, "all_build");
+  for (const MicroRecord& m : micro) {
+    EXPECT_EQ(m.num_users, 300u);
+    EXPECT_EQ(m.num_classes, 8u);
+    EXPECT_EQ(m.num_threads, config.num_threads);
+    EXPECT_GT(m.seq_init_ms, 0.0) << m.name;
+    EXPECT_GT(m.par_init_ms, 0.0) << m.name;
+    EXPECT_GT(m.speedup, 0.0) << m.name;
+  }
+
+  const Json doc = SuiteToJson(config, {}, micro);
+  const Json& section = doc.At("microbench");
+  ASSERT_TRUE(section.is_array());
+  ASSERT_EQ(section.size(), 2u);
+  for (size_t i = 0; i < section.size(); ++i) {
+    for (const char* key : {"name", "num_users", "num_classes", "num_threads",
+                            "seq_init_ms", "par_init_ms", "speedup"}) {
+      ASSERT_NE(section[i].Find(key), nullptr) << key;
+    }
+  }
+}
+
+TEST(BenchMicrobenchTest, ZeroUsersDisablesMicrobench) {
+  SuiteConfig config = TinyConfig();
+  config.micro_users = 0;
+  EXPECT_TRUE(RunMicrobench(config).empty());
+  const Json doc = SuiteToJson(config, {}, {});
+  ASSERT_TRUE(doc.At("microbench").is_array());
+  EXPECT_EQ(doc.At("microbench").size(), 0u);
+}
+
 TEST(BenchSuiteDeterminismTest, SameConfigSameObjectives) {
   SuiteConfig config = TinyConfig();
   config.alphas = {0.5};
@@ -216,17 +257,11 @@ TEST(BenchSuiteDeterminismTest, SameConfigSameObjectives) {
     EXPECT_EQ(a[i].graph, b[i].graph);
     EXPECT_EQ(a[i].solver, b[i].solver);
     EXPECT_EQ(a[i].num_edges, b[i].num_edges);
-    if (a[i].solver == "RMGP_b" || a[i].solver == "RMGP_se" ||
-        a[i].solver == "RMGP_gt") {
-      // Sequential solvers are bit-for-bit deterministic.
-      EXPECT_EQ(a[i].objective_total, b[i].objective_total) << a[i].solver;
-    } else {
-      // Parallel solvers may differ in float round-off and hence settle in
-      // a slightly different equilibrium; never materially.
-      EXPECT_NEAR(a[i].objective_total, b[i].objective_total,
-                  0.05 * a[i].objective_total)
-          << a[i].solver;
-    }
+    // All five solvers are bit-for-bit deterministic: the sequential ones
+    // trivially, RMGP_is because group members write disjoint strategies,
+    // and RMGP_all because row deltas are applied in canonical (move,
+    // neighbor) order regardless of scheduling (PR 2).
+    EXPECT_EQ(a[i].objective_total, b[i].objective_total) << a[i].solver;
   }
 }
 

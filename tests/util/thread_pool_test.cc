@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -136,6 +138,132 @@ TEST(ThreadPoolTest, BusyMillisAccumulatesTaskTime) {
   }
   // 4 × 10 ms of work happened somewhere; allow generous scheduling slack.
   EXPECT_GE(total, 20.0);
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForCoversRangeOnChunkBoundaries) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(105);
+  pool.ParallelFor(5, 105, 10, [&](size_t begin, size_t end, size_t) {
+    // Chunk boundaries are a pure function of (begin, end, grain).
+    EXPECT_EQ((begin - 5) % 10, 0u);
+    EXPECT_EQ(end, std::min<size_t>(105, begin + 10));
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(hits[i].load(), 0) << i;
+  for (size_t i = 5; i < 105; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForRaggedLastChunk) {
+  ThreadPool pool(3);
+  std::atomic<size_t> items{0};
+  pool.ParallelFor(0, 17, 5, [&](size_t begin, size_t end, size_t) {
+    items.fetch_add(end - begin);
+  });
+  EXPECT_EQ(items.load(), 17u);
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForSingleChunkRunsInlineOnSlotZero) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool ran = false;
+  pool.ParallelFor(0, 7, 100, [&](size_t begin, size_t end, size_t slot) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 7u);
+    EXPECT_EQ(slot, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ran = true;  // inline: no synchronization needed
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForEmptyRange) {
+  ThreadPool pool(2);
+  pool.ParallelFor(10, 10, 4, [&](size_t, size_t, size_t) {
+    FAIL() << "must not be called";
+  });
+  pool.ParallelFor(12, 10, 4, [&](size_t, size_t, size_t) {
+    FAIL() << "must not be called";
+  });
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForZeroGrainIsClamped) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(0, 9, 0, [&](size_t begin, size_t end, size_t) {
+    counter.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(counter.load(), 9);
+}
+
+TEST(ThreadPoolTest, ScratchSlotsAreExclusivePerChunk) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.num_slots(), 5u);
+  // A slot may only ever be used by one thread at a time: entering a chunk
+  // with an already-claimed slot would mean two threads sharing scratch.
+  std::vector<std::atomic<int>> in_use(pool.num_slots());
+  std::atomic<bool> overlap{false};
+  pool.ParallelFor(0, 256, 1, [&](size_t, size_t, size_t slot) {
+    if (in_use[slot].exchange(1) != 0) overlap.store(true);
+    double* scratch = pool.ScratchDoubles(slot, 64);
+    scratch[0] = static_cast<double>(slot);  // must not race
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    in_use[slot].store(0);
+  });
+  EXPECT_FALSE(overlap.load());
+}
+
+TEST(ThreadPoolTest, ScratchDoublesPersistsAndGrows) {
+  ThreadPool pool(2);
+  double* small = pool.ScratchDoubles(0, 16);
+  ASSERT_NE(small, nullptr);
+  small[15] = 3.5;
+  // Same or smaller request: the arena must be reused, not reallocated.
+  EXPECT_EQ(pool.ScratchDoubles(0, 16), small);
+  EXPECT_EQ(pool.ScratchDoubles(0, 8), small);
+  EXPECT_EQ(small[15], 3.5);
+  // Growth reallocates; the new arena must serve the larger request.
+  double* big = pool.ScratchDoubles(0, 1024);
+  ASSERT_NE(big, nullptr);
+  big[1023] = 7.0;
+  EXPECT_EQ(pool.ScratchDoubles(0, 1024), big);
+}
+
+TEST(ThreadPoolTest, CacheAlignedPadsToALine) {
+  static_assert(sizeof(CacheAligned<uint64_t>) == kCacheLineBytes);
+  static_assert(alignof(CacheAligned<uint64_t>) == kCacheLineBytes);
+  std::vector<CacheAligned<uint64_t>> counters(4);
+  const auto gap = reinterpret_cast<char*>(&counters[1].value) -
+                   reinterpret_cast<char*>(&counters[0].value);
+  EXPECT_EQ(gap, static_cast<ptrdiff_t>(kCacheLineBytes));
+}
+
+TEST(ThreadPoolTest, RepeatedChunkedParallelForsReuseThePool) {
+  ThreadPool pool(3);
+  uint64_t total = 0;
+  std::vector<CacheAligned<uint64_t>> partial(pool.num_slots());
+  for (int batch = 0; batch < 200; ++batch) {
+    for (auto& p : partial) p.value = 0;
+    pool.ParallelFor(0, 97, 8, [&](size_t begin, size_t end, size_t slot) {
+      for (size_t i = begin; i < end; ++i) partial[slot].value += i;
+    });
+    for (const auto& p : partial) total += p.value;
+  }
+  EXPECT_EQ(total, 200u * (96u * 97u / 2u));
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForInterleavesWithSubmit) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.ParallelFor(0, 40, 4,
+                   [&](size_t begin, size_t end, size_t) {
+                     counter.fetch_add(static_cast<int>(end - begin));
+                   });
+  for (int i = 0; i < 20; ++i) pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 80);
 }
 
 TEST(ThreadPoolTest, BusyMillisMonotoneAcrossBatches) {

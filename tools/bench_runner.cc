@@ -69,7 +69,8 @@ int Main(int argc, char** argv) {
   const std::vector<BenchRecord> records = RunSuite(config);
 
   Table table({"graph", "solver", "alpha", "rounds", "time ms (mean)",
-               "time ms (min)", "objective", "BR evals", "GT updates"});
+               "time ms (min)", "objective", "BR evals", "GT updates",
+               "argmin repairs", "WL pushes"});
   for (const BenchRecord& r : records) {
     table.AddRow({r.graph, r.solver, Table::Num(r.alpha, 2),
                   Table::Int(r.rounds), Table::Num(r.time_ms_mean),
@@ -77,11 +78,28 @@ int Main(int argc, char** argv) {
                   Table::Int(static_cast<long long>(
                       r.counters.best_response_evals)),
                   Table::Int(static_cast<long long>(
-                      r.counters.gt_incremental_updates))});
+                      r.counters.gt_incremental_updates)),
+                  Table::Int(static_cast<long long>(
+                      r.counters.argmin_cache_repairs)),
+                  Table::Int(static_cast<long long>(
+                      r.counters.worklist_pushes))});
   }
   std::printf("%s", table.ToString().c_str());
 
-  const Json doc = SuiteToJson(config, records);
+  const std::vector<MicroRecord> micro = RunMicrobench(config);
+  if (!micro.empty()) {
+    Table mtable({"microbench", "n", "k", "threads", "init ms (1 thr)",
+                  "init ms (T thr)", "speedup"});
+    for (const MicroRecord& m : micro) {
+      mtable.AddRow({m.name, Table::Int(m.num_users),
+                     Table::Int(m.num_classes), Table::Int(m.num_threads),
+                     Table::Num(m.seq_init_ms), Table::Num(m.par_init_ms),
+                     Table::Num(m.speedup, 2)});
+    }
+    std::printf("%s", mtable.ToString().c_str());
+  }
+
+  const Json doc = SuiteToJson(config, records, micro);
   if (Status s = doc.WriteFile(out_path); !s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 1;

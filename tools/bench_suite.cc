@@ -1,5 +1,6 @@
 #include "tools/bench_suite.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <utility>
@@ -58,6 +59,8 @@ Json CountersToJson(const SolverCounters& c) {
   j.Set("gt_cells_built", c.gt_cells_built);
   j.Set("gt_rebuilds", c.gt_rebuilds);
   j.Set("gt_incremental_updates", c.gt_incremental_updates);
+  j.Set("argmin_cache_repairs", c.argmin_cache_repairs);
+  j.Set("worklist_pushes", c.worklist_pushes);
   j.Set("eliminated_users", c.eliminated_users);
   j.Set("pruned_strategies", c.pruned_strategies);
   Json groups = Json::Array();
@@ -106,6 +109,9 @@ SuiteConfig QuickConfig() {
   config.warmup = 1;
   config.num_users = 300;
   config.num_classes = 8;
+  // Small enough for the CI perf-smoke job, large enough (n·k = 128k
+  // cells) that the parallel build path actually engages.
+  config.micro_users = 2000;
   return config;
 }
 
@@ -170,8 +176,68 @@ std::vector<BenchRecord> RunSuite(const SuiteConfig& config) {
   return records;
 }
 
+std::vector<MicroRecord> RunMicrobench(const SuiteConfig& config) {
+  std::vector<MicroRecord> micro;
+  if (config.micro_users == 0 || config.micro_classes == 0) return micro;
+
+  const NodeId n = config.micro_users;
+  const ClassId k = config.micro_classes;
+  const uint64_t s = config.seed;
+  const Graph graph = RandomizeWeights(
+      PlantedPartition(n, 4, 16.0 / n, 2.0 / n, s + 200), 0.1, 1.0, s + 201);
+  Rng rng(s + 202);
+  std::vector<double> cost_values(static_cast<size_t>(n) * k);
+  for (double& c : cost_values) c = rng.UniformDouble();
+  const auto costs =
+      std::make_shared<DenseCostMatrix>(n, k, std::move(cost_values));
+  auto inst = Instance::Create(&graph, costs, 0.5);
+  RMGP_CHECK(inst.ok()) << inst.status().ToString();
+
+  struct Variant {
+    const char* name;
+    SolverKind kind;
+  };
+  static constexpr Variant kVariants[] = {
+      {"gt_build", SolverKind::kGlobalTable},
+      {"all_build", SolverKind::kAll},
+  };
+  // One round is the cheapest a solver run gets (max_rounds = 0 is
+  // rejected); only init_millis — the round-0 build — is recorded.
+  constexpr uint32_t kMicroReps = 3;
+  for (const Variant& variant : kVariants) {
+    MicroRecord rec;
+    rec.name = variant.name;
+    rec.num_users = n;
+    rec.num_classes = k;
+    rec.num_threads = config.num_threads;
+    double seq = 0.0, par = 0.0;
+    for (uint32_t rep = 0; rep < kMicroReps; ++rep) {
+      SolverOptions opt;
+      opt.seed = config.seed;
+      opt.max_rounds = 1;
+      opt.record_rounds = false;
+      opt.num_threads = 1;
+      auto res_seq = Solve(variant.kind, inst.value(), opt);
+      RMGP_CHECK(res_seq.ok()) << res_seq.status().ToString();
+      opt.num_threads = config.num_threads;
+      auto res_par = Solve(variant.kind, inst.value(), opt);
+      RMGP_CHECK(res_par.ok()) << res_par.status().ToString();
+      const double si = res_seq.value().init_millis;
+      const double pi = res_par.value().init_millis;
+      seq = rep == 0 ? si : std::min(seq, si);
+      par = rep == 0 ? pi : std::min(par, pi);
+    }
+    rec.seq_init_ms = seq;
+    rec.par_init_ms = par;
+    rec.speedup = par > 0.0 ? seq / par : 0.0;
+    micro.push_back(std::move(rec));
+  }
+  return micro;
+}
+
 Json SuiteToJson(const SuiteConfig& config,
-                 const std::vector<BenchRecord>& records) {
+                 const std::vector<BenchRecord>& records,
+                 const std::vector<MicroRecord>& micro) {
   Json root = Json::Object();
   root.Set("schema", kBenchSchema);
 
@@ -183,6 +249,8 @@ Json SuiteToJson(const SuiteConfig& config,
   cfg.Set("seed", config.seed);
   cfg.Set("num_users", config.num_users);
   cfg.Set("num_classes", config.num_classes);
+  cfg.Set("micro_users", config.micro_users);
+  cfg.Set("micro_classes", config.micro_classes);
   Json alphas = Json::Array();
   for (double a : config.alphas) alphas.Append(a);
   cfg.Set("alphas", std::move(alphas));
@@ -201,6 +269,20 @@ Json SuiteToJson(const SuiteConfig& config,
   Json recs = Json::Array();
   for (const BenchRecord& r : records) recs.Append(RecordToJson(r));
   root.Set("records", std::move(recs));
+
+  Json micros = Json::Array();
+  for (const MicroRecord& m : micro) {
+    Json j = Json::Object();
+    j.Set("name", m.name);
+    j.Set("num_users", m.num_users);
+    j.Set("num_classes", m.num_classes);
+    j.Set("num_threads", m.num_threads);
+    j.Set("seq_init_ms", m.seq_init_ms);
+    j.Set("par_init_ms", m.par_init_ms);
+    j.Set("speedup", m.speedup);
+    micros.Append(std::move(j));
+  }
+  root.Set("microbench", std::move(micros));
   return root;
 }
 
@@ -214,12 +296,19 @@ CompareReport CompareBench(const Json& baseline, const Json& candidate,
     const Json* s = doc.Find("schema");
     return (s != nullptr && s->is_string()) ? s->AsString() : "";
   };
-  if (schema_of(baseline) != kBenchSchema ||
-      schema_of(candidate) != kBenchSchema) {
+  // /1 files predate the argmin/worklist counters and the microbench
+  // section; everything the comparator reads is present in both, so old
+  // baselines stay comparable.
+  const auto known_schema = [](const std::string& schema) {
+    return schema == kBenchSchema || schema == kBenchSchemaV1;
+  };
+  if (!known_schema(schema_of(baseline)) ||
+      !known_schema(schema_of(candidate))) {
     report.ok = false;
     report.summary = "schema mismatch: expected " + std::string(kBenchSchema) +
-                     ", got baseline '" + schema_of(baseline) +
-                     "' / candidate '" + schema_of(candidate) + "'\n";
+                     " or " + kBenchSchemaV1 + ", got baseline '" +
+                     schema_of(baseline) + "' / candidate '" +
+                     schema_of(candidate) + "'\n";
     return report;
   }
 

@@ -13,9 +13,13 @@ namespace rmgp {
 namespace bench {
 
 /// Version tag of the BENCH_solvers.json layout. Bump only on breaking
-/// schema changes; bench_compare refuses to diff files with different
-/// schema tags.
-inline constexpr const char* kBenchSchema = "rmgp-bench-solvers/1";
+/// schema changes; bench_compare refuses to diff files whose schema tags
+/// it does not understand. /2 added the argmin_cache_repairs and
+/// worklist_pushes counters plus the "microbench" section; /1 files are
+/// still accepted by CompareBench (the comparator only reads fields both
+/// versions share).
+inline constexpr const char* kBenchSchema = "rmgp-bench-solvers/2";
+inline constexpr const char* kBenchSchemaV1 = "rmgp-bench-solvers/1";
 
 /// Configuration of the fixed-seed solver suite run by tools/bench_runner:
 /// {BA, WS, ER, planted-partition} × the five SolverKind variants × alphas,
@@ -29,6 +33,13 @@ struct SuiteConfig {
   NodeId num_users = 2000;
   ClassId num_classes = 16;
   std::vector<double> alphas = {0.2, 0.5, 0.8};
+
+  /// Scale of the round-0 microbench (RunMicrobench): the global-table /
+  /// reduced-table build timed sequentially vs. with `num_threads`.
+  /// Deliberately larger and wider (k = 64) than the sweep above — the
+  /// build is O(|V|·k) and only dominates at high k. 0 disables.
+  NodeId micro_users = 20000;
+  ClassId micro_classes = 64;
 };
 
 /// The --quick preset: n=300, k=8, reps=3 — finishes in seconds.
@@ -64,13 +75,34 @@ struct BenchRecord {
 /// compare tolerances absorb).
 std::vector<BenchRecord> RunSuite(const SuiteConfig& config);
 
+/// One row of the round-0 build microbench: the same solver's
+/// initialization timed with one thread and with config.num_threads.
+/// init_ms values are the min over 3 repetitions (min is the
+/// noise-robust statistic for a fixed workload).
+struct MicroRecord {
+  std::string name;  ///< "gt_build" | "all_build"
+  NodeId num_users = 0;
+  ClassId num_classes = 0;
+  uint32_t num_threads = 0;   ///< threads of the parallel measurement
+  double seq_init_ms = 0.0;   ///< num_threads = 1
+  double par_init_ms = 0.0;   ///< num_threads = config.num_threads
+  double speedup = 0.0;       ///< seq_init_ms / par_init_ms
+};
+
+/// Times the parallel round-0 builds (RMGP_gt dense table, RMGP_all
+/// reduced table incl. §4.1 elimination) on a planted-partition instance
+/// of config.micro_users × config.micro_classes. Returns empty when the
+/// microbench is disabled (micro_users or micro_classes of 0).
+std::vector<MicroRecord> RunMicrobench(const SuiteConfig& config);
+
 /// Serializes a suite run into the schema-stable layout:
 ///   {"schema": ..., "config": {...}, "environment": {...},
-///    "records": [...]}.
+///    "records": [...], "microbench": [...]}.
 /// `environment` carries util/build_info.h metadata (git sha, compiler,
 /// flags, build type, hardware threads).
 Json SuiteToJson(const SuiteConfig& config,
-                 const std::vector<BenchRecord>& records);
+                 const std::vector<BenchRecord>& records,
+                 const std::vector<MicroRecord>& micro = {});
 
 /// Thresholds for CompareBench.
 struct CompareOptions {
