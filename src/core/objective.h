@@ -29,14 +29,17 @@ struct CostBreakdown {
 Status ValidateAssignment(const Instance& inst, const Assignment& a);
 
 /// Evaluates Equation 1 for the assignment (must be valid).
-CostBreakdown EvaluateObjective(const Instance& inst, const Assignment& a);
+[[nodiscard]] CostBreakdown EvaluateObjective(const Instance& inst,
+                                              const Assignment& a);
 
 /// Evaluates the potential function Φ of Equation 4: like the objective,
 /// but each cut edge contributes half its weight.
-double EvaluatePotential(const Instance& inst, const Assignment& a);
+[[nodiscard]] double EvaluatePotential(const Instance& inst,
+                                       const Assignment& a);
 
 /// Per-user cost C_v of Equation 3 for the current strategies.
-double UserCost(const Instance& inst, const Assignment& a, NodeId v);
+[[nodiscard]] double UserCost(const Instance& inst, const Assignment& a,
+                              NodeId v);
 
 /// Per-user cost of user v if it deviated to class p, holding everyone
 /// else fixed.
@@ -63,11 +66,12 @@ Status VerifyEquilibrium(const Instance& inst, const Assignment& a,
 /// The Theorem 2 upper bound on the price of anarchy:
 ///   PoA <= 1 + ((1-α)/α) · (deg_avg · w_avg) / (2 · c_avg),
 /// where c_avg is the average minimum (normalized) per-user assignment cost.
-double PriceOfAnarchyBound(const Instance& inst);
+[[nodiscard]] double PriceOfAnarchyBound(const Instance& inst);
 
 /// Number of users whose class differs between two assignments (the
 /// "users re-assigned" counts of Fig 9's discussion).
-uint64_t CountReassigned(const Assignment& before, const Assignment& after);
+[[nodiscard]] uint64_t CountReassigned(const Assignment& before,
+                                       const Assignment& after);
 
 }  // namespace rmgp
 

@@ -2,8 +2,10 @@
 #include <cstdint>
 
 #include "core/solver.h"
+#include "core/solver_audit.h"
 #include "core/solver_internal.h"
 #include "graph/coloring.h"
+#include "util/dcheck.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -170,6 +172,12 @@ Result<SolveResult> SolveAll(const Instance& inst,
     res.round_stats.push_back(rs0);
   }
 
+  if (kDChecksEnabled) {
+    RMGP_DCHECK_OK(audit::CheckColorGroupsIndependent(inst.graph(), coloring));
+  }
+  double audit_phi =
+      kDChecksEnabled ? EvaluatePotential(inst, res.assignment) : 0.0;
+
   std::vector<Move> moves;
   std::vector<std::vector<RowUpdate>> update_chunks;
 
@@ -282,6 +290,20 @@ Result<SolveResult> SolveAll(const Instance& inst,
         stat.potential = EvaluatePotential(inst, res.assignment);
       }
       res.round_stats.push_back(stat);
+    }
+    if (kDChecksEnabled) {
+      // All current-round lists are drained, so queued ∈ {0, 2}: anything
+      // unhappy must be waiting in an active_next bucket.
+      RMGP_DCHECK_OK(audit::CheckForcedRespected(rs, res.assignment));
+      RMGP_DCHECK_OK(audit::CheckReducedTable(inst, res.assignment, max_sc, rs,
+                                              values, cur_idx, best_idx,
+                                              audit::SampleStride(n)));
+      RMGP_DCHECK_OK(audit::CheckReducedWorklistComplete(
+          inst, res.assignment, rs, values, cur_idx, best_idx, queued));
+      if (deviations > 0) {
+        RMGP_DCHECK_OK(audit::CheckPotentialDecreased(inst, res.assignment,
+                                                      audit_phi, &audit_phi));
+      }
     }
     if (deviations == 0) {
       res.converged = true;

@@ -1,6 +1,8 @@
 #include "core/solver.h"
 
+#include "core/solver_audit.h"
 #include "core/solver_internal.h"
+#include "util/dcheck.h"
 #include "util/stopwatch.h"
 
 namespace rmgp {
@@ -36,6 +38,8 @@ Result<SolveResult> SolveBaseline(const Instance& inst,
   }
 
   // Best-response rounds (Fig 3 lines 4-14).
+  double audit_phi =
+      kDChecksEnabled ? EvaluatePotential(inst, res.assignment) : 0.0;
   std::vector<double> scratch(inst.num_classes());
   for (uint32_t round = 1; round <= options.max_rounds; ++round) {
     Stopwatch round_sw;
@@ -60,6 +64,10 @@ Result<SolveResult> SolveBaseline(const Instance& inst,
         rs.potential = EvaluatePotential(inst, res.assignment);
       }
       res.round_stats.push_back(rs);
+    }
+    if (kDChecksEnabled && deviations > 0) {
+      RMGP_DCHECK_OK(audit::CheckPotentialDecreased(inst, res.assignment,
+                                                    audit_phi, &audit_phi));
     }
     if (deviations == 0) {
       res.converged = true;

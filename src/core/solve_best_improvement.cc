@@ -3,7 +3,9 @@
 #include <queue>
 
 #include "core/solver.h"
+#include "core/solver_audit.h"
 #include "core/solver_internal.h"
+#include "util/dcheck.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -79,6 +81,9 @@ Result<SolveResult> SolveBestImprovement(const Instance& inst,
   for (NodeId v = 0; v < n; ++v) push_if_unhappy(v);
   res.init_millis = init_sw.ElapsedMillis();
 
+  double audit_phi =
+      kDChecksEnabled ? EvaluatePotential(inst, res.assignment) : 0.0;
+
   uint64_t moves = 0;
   uint64_t examined = 0;
   while (!heap.empty()) {
@@ -108,6 +113,20 @@ Result<SolveResult> SolveBestImprovement(const Instance& inst,
       push_if_unhappy(f);
     }
     push_if_unhappy(v);  // v itself is happy now; push_if_unhappy no-ops
+  }
+
+  if (kDChecksEnabled) {
+    // The heap is empty, so no user may be unhappy (empty queued = nothing
+    // is enqueued anywhere) and the table must still match a fresh build.
+    RMGP_DCHECK_OK(audit::CheckDenseTable(inst, res.assignment, max_sc,
+                                          gt.data(), best.data(),
+                                          audit::SampleStride(n)));
+    RMGP_DCHECK_OK(audit::CheckDenseWorklistComplete(
+        inst, res.assignment, gt.data(), best.data(), {}));
+    if (moves > 0) {
+      RMGP_DCHECK_OK(audit::CheckPotentialDecreased(inst, res.assignment,
+                                                    audit_phi, nullptr));
+    }
   }
 
   res.converged = true;

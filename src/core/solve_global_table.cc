@@ -2,7 +2,9 @@
 #include <memory>
 
 #include "core/solver.h"
+#include "core/solver_audit.h"
 #include "core/solver_internal.h"
+#include "util/dcheck.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -99,6 +101,9 @@ Result<SolveResult> SolveGlobalTable(const Instance& inst,
     res.round_stats.push_back(rs0);
   }
 
+  double audit_phi =
+      kDChecksEnabled ? EvaluatePotential(inst, res.assignment) : 0.0;
+
   // Fig 5 lines 7-16. Each iteration is one best-response round; a round
   // always executes (even onto an empty worklist) so the round count — and
   // the terminal deviation-free round — match the flag-scan loop exactly.
@@ -160,6 +165,19 @@ Result<SolveResult> SolveGlobalTable(const Instance& inst,
         st.potential = EvaluatePotential(inst, res.assignment);
       }
       res.round_stats.push_back(st);
+    }
+    if (kDChecksEnabled) {
+      // The heap is drained here, so queued ∈ {0, 2}: anything unhappy must
+      // be waiting in next_round.
+      RMGP_DCHECK_OK(audit::CheckDenseTable(inst, res.assignment, max_sc,
+                                            gt.data(), best.data(),
+                                            audit::SampleStride(n)));
+      RMGP_DCHECK_OK(audit::CheckDenseWorklistComplete(
+          inst, res.assignment, gt.data(), best.data(), queued));
+      if (deviations > 0) {
+        RMGP_DCHECK_OK(audit::CheckPotentialDecreased(inst, res.assignment,
+                                                      audit_phi, &audit_phi));
+      }
     }
     if (deviations == 0) {
       res.converged = true;

@@ -1,8 +1,10 @@
 #include <algorithm>
 
 #include "core/solver.h"
+#include "core/solver_audit.h"
 #include "core/solver_internal.h"
 #include "graph/coloring.h"
+#include "util/dcheck.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -58,6 +60,14 @@ Result<SolveResult> SolveIndependentSets(const Instance& inst,
     res.round_stats.push_back(rs0);
   }
 
+  if (kDChecksEnabled) {
+    // A color class that is not an independent set would let two friends
+    // respond simultaneously — a data race on their mutual social cost.
+    RMGP_DCHECK_OK(audit::CheckColorGroupsIndependent(inst.graph(), coloring));
+  }
+  double audit_phi =
+      kDChecksEnabled ? EvaluatePotential(inst, res.assignment) : 0.0;
+
   ThreadPool pool(options.num_threads);
   const ClassId k = inst.num_classes();
   // Per-slot deviation tallies, padded to a cache line each: a worker's
@@ -105,6 +115,10 @@ Result<SolveResult> SolveIndependentSets(const Instance& inst,
         st.potential = EvaluatePotential(inst, res.assignment);
       }
       res.round_stats.push_back(st);
+    }
+    if (kDChecksEnabled && dev > 0) {
+      RMGP_DCHECK_OK(audit::CheckPotentialDecreased(inst, res.assignment,
+                                                    audit_phi, &audit_phi));
     }
     if (dev == 0) {
       res.converged = true;

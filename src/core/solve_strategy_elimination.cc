@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <memory>
 
+#include "core/solver_audit.h"
 #include "core/solver_internal.h"
+#include "util/dcheck.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -97,6 +99,8 @@ Result<SolveResult> SolveStrategyElimination(const Instance& inst,
     res.round_stats.push_back(rs0);
   }
 
+  double audit_phi =
+      kDChecksEnabled ? EvaluatePotential(inst, res.assignment) : 0.0;
   std::vector<double> scratch(inst.num_classes());
   for (uint32_t round = 1; round <= options.max_rounds; ++round) {
     Stopwatch round_sw;
@@ -121,6 +125,13 @@ Result<SolveResult> SolveStrategyElimination(const Instance& inst,
         st.potential = EvaluatePotential(inst, res.assignment);
       }
       res.round_stats.push_back(st);
+    }
+    if (kDChecksEnabled) {
+      RMGP_DCHECK_OK(audit::CheckForcedRespected(rs, res.assignment));
+      if (deviations > 0) {
+        RMGP_DCHECK_OK(audit::CheckPotentialDecreased(inst, res.assignment,
+                                                      audit_phi, &audit_phi));
+      }
     }
     if (deviations == 0) {
       res.converged = true;

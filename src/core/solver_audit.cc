@@ -1,0 +1,252 @@
+#include "core/solver_audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace rmgp {
+namespace audit {
+
+namespace {
+
+/// Incremental table maintenance applies the same ± deltas a fresh build
+/// sums, but in chronological rather than neighbor order, so cells agree
+/// only up to rounding drift. 1e-7 relative is ~9 decimal orders above
+/// double rounding yet far below any kImprovementEps-accepted move.
+constexpr double kCellTol = 1e-7;
+
+bool CellsMatch(double stored, double fresh) {
+  return std::abs(stored - fresh) <= kCellTol * (1.0 + std::abs(fresh));
+}
+
+std::string UserStr(NodeId v) { return "user " + std::to_string(v); }
+
+/// Lowest-index argmin of row[0..len), the invariant the caches maintain.
+template <typename T>
+uint32_t ScanArgmin(const T* row, uint32_t len) {
+  uint32_t b = 0;
+  for (uint32_t i = 1; i < len; ++i) {
+    if (row[i] < row[b]) b = i;
+  }
+  return b;
+}
+
+}  // namespace
+
+Status CheckPotentialDecreased(const Instance& inst, const Assignment& a,
+                               double prev_phi, double* phi_out) {
+  RMGP_RETURN_IF_ERROR(ValidateAssignment(inst, a));
+  const double phi = EvaluatePotential(inst, a);
+  if (!(phi < prev_phi)) {
+    return Status::FailedPrecondition(
+        "potential did not strictly decrease across a round with accepted "
+        "deviations: before=" +
+        std::to_string(prev_phi) + " after=" + std::to_string(phi));
+  }
+  if (phi_out != nullptr) *phi_out = phi;
+  return Status::OK();
+}
+
+Status CheckDenseTable(const Instance& inst, const Assignment& a,
+                       const std::vector<double>& max_sc, const double* table,
+                       const ClassId* best, NodeId stride) {
+  RMGP_RETURN_IF_ERROR(ValidateAssignment(inst, a));
+  const NodeId n = inst.num_users();
+  const ClassId k = inst.num_classes();
+  if (stride == 0) stride = 1;
+
+  // Sampled rows: fresh recomputation + exact argmin-cache verification.
+  std::vector<double> fresh(k);
+  for (NodeId v = 0; v < n; v += stride) {
+    const double* row = table + static_cast<size_t>(v) * k;
+    (void)internal::BestResponseScratch(inst, a, v, max_sc, fresh.data());
+    for (ClassId p = 0; p < k; ++p) {
+      if (!CellsMatch(row[p], fresh[p])) {
+        return Status::FailedPrecondition(
+            "global-table cell drifted from fresh value: " + UserStr(v) +
+            " class " + std::to_string(p) + " stored=" +
+            std::to_string(row[p]) + " fresh=" + std::to_string(fresh[p]));
+      }
+    }
+    const ClassId scan = ScanArgmin(row, k);
+    if (best[v] >= k || row[best[v]] != row[scan] || best[v] > scan) {
+      return Status::FailedPrecondition(
+          "stale argmin cache: " + UserStr(v) + " cached=" +
+          std::to_string(best[v]) + " fresh scan=" + std::to_string(scan));
+    }
+  }
+
+  // Identity check over all users: the sum of current-strategy cells is the
+  // objective — Σ_v GT[v][s_v] = α·Σ CN·c + (1-α)·Σ_cut w (Equations 1/3).
+  double incremental_total = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    incremental_total += table[static_cast<size_t>(v) * k + a[v]];
+  }
+  const CostBreakdown obj = EvaluateObjective(inst, a);
+  if (std::abs(incremental_total - obj.total) >
+      1e-6 * (1.0 + std::abs(obj.total))) {
+    return Status::FailedPrecondition(
+        "incremental objective diverged from scratch evaluation: "
+        "Σ table[v][s_v]=" +
+        std::to_string(incremental_total) +
+        " objective=" + std::to_string(obj.total));
+  }
+  return Status::OK();
+}
+
+Status CheckDenseWorklistComplete(const Instance& inst, const Assignment& a,
+                                  const double* table, const ClassId* best,
+                                  const std::vector<uint8_t>& queued) {
+  const NodeId n = inst.num_users();
+  const ClassId k = inst.num_classes();
+  for (NodeId v = 0; v < n; ++v) {
+    const double* row = table + static_cast<size_t>(v) * k;
+    if (internal::StrictlyBetter(row[best[v]], row[a[v]]) &&
+        (queued.empty() || queued[v] == 0)) {
+      return Status::FailedPrecondition(
+          "unhappy user outside the worklist: " + UserStr(v) + " current=" +
+          std::to_string(row[a[v]]) + " best=" + std::to_string(row[best[v]]));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckReducedTable(const Instance& inst, const Assignment& a,
+                         const std::vector<double>& max_sc,
+                         const internal::ReducedStrategies& rs,
+                         const std::vector<double>& values,
+                         const std::vector<uint32_t>& cur_idx,
+                         const std::vector<uint32_t>& best_idx,
+                         NodeId stride) {
+  RMGP_RETURN_IF_ERROR(ValidateAssignment(inst, a));
+  const NodeId n = inst.num_users();
+  if (stride == 0) stride = 1;
+  const double alpha = inst.alpha();
+  const double social_factor = 1.0 - alpha;
+
+  for (NodeId v = 0; v < n; v += stride) {
+    if (rs.forced[v] != internal::ReducedStrategies::kNoForced) continue;
+    const auto cands = rs.StrategiesOf(v);
+    const double* row = values.data() + rs.offsets[v];
+    const auto len = static_cast<uint32_t>(cands.size());
+
+    // Fresh per-candidate costs, restricted to S'_v (mirror of the round-0
+    // build rather than BestResponseReduced, whose scratch is k-indexed).
+    std::vector<double> fresh(len);
+    for (uint32_t i = 0; i < len; ++i) {
+      fresh[i] = alpha * inst.AssignmentCost(v, cands[i]) + max_sc[v];
+    }
+    for (const Neighbor& nb : inst.graph().neighbors(v)) {
+      const ClassId fc = a[nb.node];
+      const auto it = std::lower_bound(cands.begin(), cands.end(), fc);
+      if (it != cands.end() && *it == fc) {
+        fresh[static_cast<uint32_t>(it - cands.begin())] -=
+            social_factor * 0.5 * nb.weight;
+      }
+    }
+    for (uint32_t i = 0; i < len; ++i) {
+      if (!CellsMatch(row[i], fresh[i])) {
+        return Status::FailedPrecondition(
+            "reduced-table cell drifted from fresh value: " + UserStr(v) +
+            " candidate " + std::to_string(cands[i]) + " stored=" +
+            std::to_string(row[i]) + " fresh=" + std::to_string(fresh[i]));
+      }
+    }
+    if (cur_idx[v] >= len || cands[cur_idx[v]] != a[v]) {
+      return Status::FailedPrecondition(
+          "cur_idx out of sync with assignment: " + UserStr(v));
+    }
+    const uint32_t scan = ScanArgmin(row, len);
+    if (best_idx[v] >= len || row[best_idx[v]] != row[scan] ||
+        best_idx[v] > scan) {
+      return Status::FailedPrecondition(
+          "stale reduced argmin cache: " + UserStr(v) + " cached=" +
+          std::to_string(best_idx[v]) + " fresh scan=" + std::to_string(scan));
+    }
+  }
+
+  // Incremental-objective identity over the non-forced users, with the
+  // forced users' (α·c + maxSC − credit) contribution recomputed directly.
+  double incremental_total = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (rs.forced[v] == internal::ReducedStrategies::kNoForced) {
+      incremental_total += values[rs.offsets[v] + cur_idx[v]];
+    } else {
+      double cell = alpha * inst.AssignmentCost(v, a[v]) + max_sc[v];
+      for (const Neighbor& nb : inst.graph().neighbors(v)) {
+        if (a[nb.node] == a[v]) cell -= social_factor * 0.5 * nb.weight;
+      }
+      incremental_total += cell;
+    }
+  }
+  const CostBreakdown obj = EvaluateObjective(inst, a);
+  if (std::abs(incremental_total - obj.total) >
+      1e-6 * (1.0 + std::abs(obj.total))) {
+    return Status::FailedPrecondition(
+        "incremental objective diverged from scratch evaluation: "
+        "Σ values[v][cur]=" +
+        std::to_string(incremental_total) +
+        " objective=" + std::to_string(obj.total));
+  }
+  return Status::OK();
+}
+
+Status CheckReducedWorklistComplete(const Instance& inst, const Assignment& a,
+                                    const internal::ReducedStrategies& rs,
+                                    const std::vector<double>& values,
+                                    const std::vector<uint32_t>& cur_idx,
+                                    const std::vector<uint32_t>& best_idx,
+                                    const std::vector<uint8_t>& queued) {
+  (void)a;
+  const NodeId n = inst.num_users();
+  for (NodeId v = 0; v < n; ++v) {
+    if (rs.forced[v] != internal::ReducedStrategies::kNoForced) continue;
+    const double* row = values.data() + rs.offsets[v];
+    if (internal::StrictlyBetter(row[best_idx[v]], row[cur_idx[v]]) &&
+        (queued.empty() || queued[v] == 0)) {
+      return Status::FailedPrecondition(
+          "unhappy user outside the worklist: " + UserStr(v) + " current=" +
+          std::to_string(row[cur_idx[v]]) +
+          " best=" + std::to_string(row[best_idx[v]]));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckColorGroupsIndependent(const Graph& g, const Coloring& coloring) {
+  std::vector<uint8_t> in_group(g.num_nodes(), 0);
+  for (size_t c = 0; c < coloring.groups.size(); ++c) {
+    const std::vector<NodeId>& group = coloring.groups[c];
+    for (const NodeId v : group) in_group[v] = 1;
+    for (const NodeId v : group) {
+      for (const Neighbor& nb : g.neighbors(v)) {
+        if (in_group[nb.node]) {
+          return Status::FailedPrecondition(
+              "color class " + std::to_string(c) +
+              " is not an independent set: edge {" + std::to_string(v) + "," +
+              std::to_string(nb.node) + "} inside the class");
+        }
+      }
+    }
+    for (const NodeId v : group) in_group[v] = 0;
+  }
+  return Status::OK();
+}
+
+Status CheckForcedRespected(const internal::ReducedStrategies& rs,
+                            const Assignment& a) {
+  for (NodeId v = 0; v < a.size(); ++v) {
+    if (rs.forced[v] != internal::ReducedStrategies::kNoForced &&
+        a[v] != rs.forced[v]) {
+      return Status::FailedPrecondition(
+          "eliminated user deviated from its forced strategy: " + UserStr(v) +
+          " forced=" + std::to_string(rs.forced[v]) +
+          " assigned=" + std::to_string(a[v]));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace audit
+}  // namespace rmgp

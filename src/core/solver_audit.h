@@ -1,0 +1,101 @@
+#ifndef RMGP_CORE_SOLVER_AUDIT_H_
+#define RMGP_CORE_SOLVER_AUDIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/solver_internal.h"
+#include "graph/coloring.h"
+#include "util/status.h"
+
+namespace rmgp {
+namespace audit {
+
+/// Debug-build audits of the solver invariants that PR 2's incremental hot
+/// paths rely on. Each function recomputes some quantity from scratch and
+/// compares it against the solver's incrementally-maintained state,
+/// returning FailedPrecondition naming the first mismatch. They are wired
+/// into the solvers behind RMGP_DCHECK_OK (util/dcheck.h), so a build
+/// without -DRMGP_DCHECKS=ON never evaluates them:
+///
+///   * Φ strictly decreases across every round that accepted a deviation
+///     (Lemma 2 — the convergence argument itself);
+///   * global-table rows match a fresh best-response computation and each
+///     cached per-row argmin is exact for its stored row (a stale cache
+///     compiles into a plausible but non-Nash "equilibrium");
+///   * worklist completeness: no unhappy user outside a worklist (a lost
+///     wakeup makes the solver converge early with profitable deviations
+///     left on the table);
+///   * RMGP_is/RMGP_all color classes are independent sets (a violated
+///     coloring races parallel best responses).
+///
+/// All audits are O(n·k / stride + n + Σdeg) — affordable every round on
+/// test instances, and free when RMGP_DCHECKS is off.
+
+/// Default row-sampling stride for the table audits: audit every row on
+/// small instances, ~256 evenly-spaced rows on large ones.
+inline NodeId SampleStride(NodeId n) {
+  return n <= 256 ? 1 : n / 256;
+}
+
+/// Recomputes Φ (Equation 4) from scratch and checks it strictly decreased
+/// from `prev_phi`. Call only after a round that accepted at least one
+/// deviation. On success `*phi_out` holds the recomputed value for the next
+/// round's comparison. Also validates the assignment shape/range.
+Status CheckPotentialDecreased(const Instance& inst, const Assignment& a,
+                               double prev_phi, double* phi_out);
+
+/// Audits the dense |V|×k global table of RMGP_gt / RMGP_pq:
+///   * rows v = 0, stride, 2·stride, ... are recomputed from scratch and
+///     compared cell-by-cell (tolerance absorbs incremental-update rounding
+///     drift);
+///   * each sampled row's cached argmin `best[v]` must be the lowest-index
+///     argmin of the *stored* row (exact — the cache maintains this);
+///   * Σ_v table[v][a[v]] over all users must match the freshly evaluated
+///     objective (Equation 1) — the "incremental objective" identity.
+Status CheckDenseTable(const Instance& inst, const Assignment& a,
+                       const std::vector<double>& max_sc, const double* table,
+                       const ClassId* best, NodeId stride);
+
+/// Checks that every unhappy user (stored row strictly prefers best[v] over
+/// a[v]) is on a worklist: queued[v] != 0. An empty `queued` means "nothing
+/// is queued" (RMGP_pq's drained heap) — then no user may be unhappy.
+Status CheckDenseWorklistComplete(const Instance& inst, const Assignment& a,
+                                  const double* table, const ClassId* best,
+                                  const std::vector<uint8_t>& queued);
+
+/// Same audits for RMGP_all's reduced table (values/cur_idx/best_idx over
+/// rs.StrategiesOf(v)). Rows of forced users are skipped: the solver
+/// neither maintains nor reads them after round 0.
+Status CheckReducedTable(const Instance& inst, const Assignment& a,
+                         const std::vector<double>& max_sc,
+                         const internal::ReducedStrategies& rs,
+                         const std::vector<double>& values,
+                         const std::vector<uint32_t>& cur_idx,
+                         const std::vector<uint32_t>& best_idx, NodeId stride);
+
+/// Worklist completeness over the reduced table (forced users skipped).
+Status CheckReducedWorklistComplete(const Instance& inst, const Assignment& a,
+                                    const internal::ReducedStrategies& rs,
+                                    const std::vector<double>& values,
+                                    const std::vector<uint32_t>& cur_idx,
+                                    const std::vector<uint32_t>& best_idx,
+                                    const std::vector<uint8_t>& queued);
+
+/// Every scheduled color group must be an independent set of `g`. Operates
+/// on the groups actually scheduled (RMGP_all erases eliminated users
+/// first), so it intentionally does not require the groups to cover V —
+/// use ValidateColoring (graph/coloring.h) for full colorings.
+Status CheckColorGroupsIndependent(const Graph& g, const Coloring& coloring);
+
+/// §4.1 contract: every user with a forced strategy holds exactly that
+/// strategy (RMGP_se / RMGP_all).
+Status CheckForcedRespected(const internal::ReducedStrategies& rs,
+                            const Assignment& a);
+
+}  // namespace audit
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_SOLVER_AUDIT_H_

@@ -20,7 +20,7 @@ struct Coloring {
 
 /// Greedy graph coloring in decreasing-degree (Welsh–Powell) order.
 /// Uses at most d_max + 1 colors, as referenced by the paper (§4.2).
-Coloring GreedyColoring(const Graph& g);
+[[nodiscard]] Coloring GreedyColoring(const Graph& g);
 
 /// Validates that `coloring` assigns different colors to adjacent nodes and
 /// covers all nodes.

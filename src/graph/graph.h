@@ -78,10 +78,10 @@ class Graph {
   uint32_t max_degree() const;
 
   /// Weight of edge {u,v}, or 0 if absent. O(log deg(u)).
-  Weight EdgeWeight(NodeId u, NodeId v) const;
+  [[nodiscard]] Weight EdgeWeight(NodeId u, NodeId v) const;
 
   /// True iff {u,v} is an edge. O(log deg(u)).
-  bool HasEdge(NodeId u, NodeId v) const { return EdgeWeight(u, v) > 0.0; }
+  [[nodiscard]] bool HasEdge(NodeId u, NodeId v) const { return EdgeWeight(u, v) > 0.0; }
 
   /// All undirected edges, each reported once with u < v, ordered by (u,v).
   std::vector<Edge> CollectEdges() const;
@@ -116,7 +116,7 @@ class GraphBuilder {
   size_t num_added_edges() const { return edges_.size(); }
 
   /// Builds the CSR graph. The builder is consumed.
-  Graph Build() &&;
+  [[nodiscard]] Graph Build() &&;
 
  private:
   NodeId num_nodes_;

@@ -21,7 +21,7 @@ class GridIndex {
   explicit GridIndex(std::vector<Point> points, uint32_t cells_per_axis = 32);
 
   /// Index of the point nearest to `q` (ties broken by lower index).
-  uint32_t Nearest(const Point& q) const;
+  [[nodiscard]] uint32_t Nearest(const Point& q) const;
 
   /// Indices of all points inside `box`, ascending.
   std::vector<uint32_t> Range(const BoundingBox& box) const;

@@ -18,11 +18,12 @@ class KdTree {
   explicit KdTree(std::vector<Point> points);
 
   /// Index of the point nearest to `q` (ties broken by lower index).
-  uint32_t Nearest(const Point& q) const;
+  [[nodiscard]] uint32_t Nearest(const Point& q) const;
 
   /// Indices of the `count` points nearest to `q`, closest first
   /// (count clamped to size()).
-  std::vector<uint32_t> KNearest(const Point& q, uint32_t count) const;
+  [[nodiscard]] std::vector<uint32_t> KNearest(const Point& q,
+                                               uint32_t count) const;
 
   size_t size() const { return points_.size(); }
   const std::vector<Point>& points() const { return points_; }

@@ -1,0 +1,80 @@
+#ifndef RMGP_UTIL_DCHECK_H_
+#define RMGP_UTIL_DCHECK_H_
+
+#include "util/logging.h"
+
+/// Debug invariant checks, gated on the RMGP_DCHECKS CMake option.
+///
+/// RMGP_CHECK (util/logging.h) is for cheap, always-on programmer-error
+/// checks. RMGP_DCHECK is for invariants that are too expensive for release
+/// builds — O(row) argmin verifications, full-potential recomputations, audit
+/// sweeps — or for preconditions on hot paths (util/rng.h bounds). When the
+/// build does not define RMGP_DCHECKS_ENABLED the condition is *compiled but
+/// never evaluated* (it sits in a dead branch), so:
+///   * disabled builds pay zero runtime cost,
+///   * the expression still type-checks and its variables count as used,
+///   * bit-rot in rarely-enabled audit code is caught by every build.
+///
+/// Usage mirrors RMGP_CHECK:
+///   RMGP_DCHECK(bound > 0) << "UniformInt bound must be positive";
+///   RMGP_DCHECK_LE(lo, hi);
+///   RMGP_DCHECK_OK(audit::CheckDenseTable(...));   // expr returns Status
+///
+/// RMGP_DCHECK_OK requires util/status.h to be included by the caller.
+#ifdef RMGP_DCHECKS_ENABLED
+
+#define RMGP_DCHECK(cond)                             \
+  if (cond) {                                         \
+  } else                                              \
+    ::rmgp::internal::FatalStream(__FILE__, __LINE__) \
+        << "DCheck failed: " #cond " "
+
+/// Fatals with the Status message when a (typically expensive) audit
+/// expression returns non-OK. The expression is not evaluated at all in
+/// builds without RMGP_DCHECKS.
+#define RMGP_DCHECK_OK(expr)                                   \
+  if (const ::rmgp::Status _rmgp_dcheck_st = (expr);           \
+      _rmgp_dcheck_st.ok()) {                                  \
+  } else                                                       \
+    ::rmgp::internal::FatalStream(__FILE__, __LINE__)          \
+        << "DCheck failed: (" #expr ") is not OK: "            \
+        << _rmgp_dcheck_st.ToString() << " "
+
+#else  // !RMGP_DCHECKS_ENABLED
+
+// `if (true) {} else <check>` keeps the condition (and any streamed
+// message) fully compiled yet unreachable; the optimizer deletes it.
+#define RMGP_DCHECK(cond)                             \
+  if (true) {                                         \
+  } else if (cond) {                                  \
+  } else                                              \
+    ::rmgp::internal::FatalStream(__FILE__, __LINE__)
+
+#define RMGP_DCHECK_OK(expr)                          \
+  if (true) {                                         \
+  } else if ((expr).ok()) {                           \
+  } else                                              \
+    ::rmgp::internal::FatalStream(__FILE__, __LINE__)
+
+#endif  // RMGP_DCHECKS_ENABLED
+
+#define RMGP_DCHECK_EQ(a, b) RMGP_DCHECK((a) == (b))
+#define RMGP_DCHECK_NE(a, b) RMGP_DCHECK((a) != (b))
+#define RMGP_DCHECK_LT(a, b) RMGP_DCHECK((a) < (b))
+#define RMGP_DCHECK_LE(a, b) RMGP_DCHECK((a) <= (b))
+#define RMGP_DCHECK_GT(a, b) RMGP_DCHECK((a) > (b))
+#define RMGP_DCHECK_GE(a, b) RMGP_DCHECK((a) >= (b))
+
+namespace rmgp {
+
+/// True in builds configured with -DRMGP_DCHECKS=ON. Lets code branch on
+/// the audit level (`if constexpr (kDChecksEnabled)`) without macros.
+#ifdef RMGP_DCHECKS_ENABLED
+inline constexpr bool kDChecksEnabled = true;
+#else
+inline constexpr bool kDChecksEnabled = false;
+#endif
+
+}  // namespace rmgp
+
+#endif  // RMGP_UTIL_DCHECK_H_

@@ -222,7 +222,7 @@ class Parser {
   }
 
   Status ParseArray(Json* out, int depth) {
-    RMGP_CHECK(Consume('['));
+    if (!Consume('[')) return Error("expected '['");
     *out = Json::Array();
     SkipWhitespace();
     if (Consume(']')) return Status::OK();
@@ -238,7 +238,7 @@ class Parser {
   }
 
   Status ParseObject(Json* out, int depth) {
-    RMGP_CHECK(Consume('{'));
+    if (!Consume('{')) return Error("expected '{'");
     *out = Json::Object();
     SkipWhitespace();
     if (Consume('}')) return Status::OK();
@@ -368,11 +368,16 @@ const std::vector<std::pair<std::string, Json>>& Json::items() const {
 }
 
 void Json::DumpTo(std::string* out, int indent, int depth) const {
-  const std::string pad =
-      indent > 0 ? "\n" + std::string(static_cast<size_t>(indent) * (depth + 1), ' ')
-                 : "";
-  const std::string close_pad =
-      indent > 0 ? "\n" + std::string(static_cast<size_t>(indent) * depth, ' ') : "";
+  // Built via append rather than `"\n" + std::string(...)`: the operator+
+  // form trips a gcc 12 -O2 -Wrestrict false positive (PR105651).
+  std::string pad;
+  std::string close_pad;
+  if (indent > 0) {
+    pad.append(1, '\n');
+    pad.append(static_cast<size_t>(indent) * (depth + 1), ' ');
+    close_pad.append(1, '\n');
+    close_pad.append(static_cast<size_t>(indent) * depth, ' ');
+  }
   switch (type_) {
     case Type::kNull:
       out->append("null");

@@ -48,9 +48,9 @@ class Json {
   bool is_object() const { return type_ == Type::kObject; }
 
   /// Typed accessors; the value must have the matching type (checked).
-  bool AsBool() const;
-  double AsDouble() const;
-  const std::string& AsString() const;
+  [[nodiscard]] bool AsBool() const;
+  [[nodiscard]] double AsDouble() const;
+  [[nodiscard]] const std::string& AsString() const;
 
   /// Number of array elements or object members; 0 for scalars.
   size_t size() const;
@@ -63,7 +63,7 @@ class Json {
   /// in the emitted output is preserved). Find returns nullptr when the
   /// key is absent; At checks that it is present.
   void Set(std::string key, Json value);
-  const Json* Find(std::string_view key) const;
+  [[nodiscard]] const Json* Find(std::string_view key) const;
   const Json& At(std::string_view key) const;
   const std::vector<std::pair<std::string, Json>>& items() const;
 
@@ -71,7 +71,7 @@ class Json {
   /// indent > 0 pretty-prints with that many spaces per level. Strings are
   /// escaped per RFC 8259; doubles print with up to 17 significant digits
   /// so that Parse(Dump(x)) reproduces x bit-for-bit.
-  std::string Dump(int indent = 0) const;
+  [[nodiscard]] std::string Dump(int indent = 0) const;
 
   /// Strict parser: one JSON value followed only by whitespace. Rejects
   /// trailing commas, comments, and documents nested deeper than 256

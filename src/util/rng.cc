@@ -1,7 +1,8 @@
 #include "util/rng.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/dcheck.h"
 
 namespace rmgp {
 namespace {
@@ -35,7 +36,8 @@ uint64_t Rng::Next() {
 }
 
 uint64_t Rng::UniformInt(uint64_t bound) {
-  assert(bound > 0);
+  RMGP_DCHECK(bound > 0)
+      << "UniformInt(0) is ill-defined: an empty range has no uniform sample";
   // Rejection sampling to avoid modulo bias.
   const uint64_t threshold = -bound % bound;
   for (;;) {
@@ -45,7 +47,8 @@ uint64_t Rng::UniformInt(uint64_t bound) {
 }
 
 int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  RMGP_DCHECK(lo <= hi) << "UniformRange requires lo <= hi, got ["
+                        << lo << ", " << hi << "]";
   return lo + static_cast<int64_t>(
                   UniformInt(static_cast<uint64_t>(hi - lo) + 1));
 }
@@ -80,10 +83,16 @@ double Rng::Gaussian(double mean, double stddev) {
   return mean + stddev * Gaussian();
 }
 
-bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+bool Rng::Bernoulli(double p) {
+  RMGP_DCHECK(p >= 0.0 && p <= 1.0)
+      << "Bernoulli probability must be in [0, 1], got " << p;
+  return UniformDouble() < p;
+}
 
 uint64_t Rng::Geometric(double p) {
-  assert(p > 0.0 && p <= 1.0);
+  RMGP_DCHECK(p > 0.0 && p <= 1.0)
+      << "Geometric success probability must be in (0, 1], got " << p
+      << "; out-of-range p silently biases the sample";
   if (p >= 1.0) return 1;
   // Inverse transform: ceil(log(U) / log(1-p)).
   double u = UniformDouble();
@@ -93,7 +102,9 @@ uint64_t Rng::Geometric(double p) {
 
 std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n,
                                                     uint32_t count) {
-  assert(count <= n);
+  RMGP_DCHECK(count <= n)
+      << "cannot sample " << count << " distinct indices from [0, " << n
+      << ")";
   // Partial Fisher–Yates over an index array.
   std::vector<uint32_t> idx(n);
   for (uint32_t i = 0; i < n; ++i) idx[i] = i;

@@ -19,34 +19,36 @@ class Rng {
   /// splitmix64, so nearby seeds still produce independent streams.
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-  /// Next raw 64-bit value.
-  uint64_t Next();
+  /// Next raw 64-bit value. Sampling methods are [[nodiscard]]:
+  /// discarding a draw silently advances the stream and desynchronizes
+  /// seeded experiments.
+  [[nodiscard]] uint64_t Next();
 
   /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
   /// sampling, so the result is exactly uniform.
-  uint64_t UniformInt(uint64_t bound);
+  [[nodiscard]] uint64_t UniformInt(uint64_t bound);
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  int64_t UniformRange(int64_t lo, int64_t hi);
+  [[nodiscard]] int64_t UniformRange(int64_t lo, int64_t hi);
 
   /// Uniform double in [0, 1).
-  double UniformDouble();
+  [[nodiscard]] double UniformDouble();
 
   /// Uniform double in [lo, hi).
-  double UniformDouble(double lo, double hi);
+  [[nodiscard]] double UniformDouble(double lo, double hi);
 
   /// Standard normal via Box–Muller (mean 0, stddev 1).
-  double Gaussian();
+  [[nodiscard]] double Gaussian();
 
   /// Normal with the given mean and standard deviation.
-  double Gaussian(double mean, double stddev);
+  [[nodiscard]] double Gaussian(double mean, double stddev);
 
   /// Bernoulli trial that succeeds with probability p.
-  bool Bernoulli(double p);
+  [[nodiscard]] bool Bernoulli(double p);
 
   /// Geometric number of trials until first success for probability p
   /// (support {1, 2, ...}); used by Forest Fire sampling.
-  uint64_t Geometric(double p);
+  [[nodiscard]] uint64_t Geometric(double p);
 
   /// Fisher–Yates shuffle.
   template <typename T>
@@ -60,11 +62,12 @@ class Rng {
 
   /// Samples `count` distinct indices from [0, n) (count <= n), in
   /// random order.
-  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t count);
+  [[nodiscard]] std::vector<uint32_t> SampleWithoutReplacement(uint32_t n,
+                                                               uint32_t count);
 
   /// Forks an independent generator; the child stream does not overlap the
   /// parent's for any practical output length.
-  Rng Fork();
+  [[nodiscard]] Rng Fork();
 
  private:
   uint64_t s_[4];

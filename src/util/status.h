@@ -1,10 +1,11 @@
 #ifndef RMGP_UTIL_STATUS_H_
 #define RMGP_UTIL_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "util/dcheck.h"
 
 namespace rmgp {
 
@@ -30,7 +31,12 @@ const char* StatusCodeToString(StatusCode code);
 /// Typical use:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// The class itself is [[nodiscard]]: any call that returns a Status (or a
+/// Result<T>) and ignores it fails to compile under -Werror. Genuine
+/// fire-and-forget sites must say so with RMGP_IGNORE_STATUS(expr), which is
+/// greppable and visible in review.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -63,7 +69,7 @@ class Status {
   }
 
   /// True iff this status represents success.
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
 
   StatusCode code() const { return code_; }
 
@@ -83,32 +89,34 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Accessing the value of an
-/// errored Result is a programming error (checked by assert in debug builds).
+/// errored Result is a programming error (checked by RMGP_DCHECK in
+/// RMGP_DCHECKS builds). Like Status, the type is [[nodiscard]].
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
 
   /// Implicit construction from a non-OK status (failure).
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    RMGP_DCHECK(!status_.ok())
+        << "Result constructed from OK status without value";
   }
 
-  bool ok() const { return status_.ok(); }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   /// The contained value. Must only be called when ok().
   const T& value() const& {
-    assert(ok());
+    RMGP_DCHECK(ok()) << status_.ToString();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    RMGP_DCHECK(ok()) << status_.ToString();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    RMGP_DCHECK(ok()) << status_.ToString();
     return std::move(*value_);
   }
 
@@ -121,6 +129,15 @@ class Result {
   Status status_;
   std::optional<T> value_;
 };
+
+/// Explicitly discards a Status (or Result) from a genuine fire-and-forget
+/// call. This is the only sanctioned way to ignore a fallible API: the
+/// [[nodiscard]] on Status/Result makes a bare call a compile error, and
+/// tools/rmgp_lint can grep these sites for review.
+#define RMGP_IGNORE_STATUS(expr) \
+  do {                           \
+    (void)(expr);                \
+  } while (0)
 
 /// Propagates a non-OK Status from an expression to the caller.
 #define RMGP_RETURN_IF_ERROR(expr)             \

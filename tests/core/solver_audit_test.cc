@@ -1,0 +1,249 @@
+#include "core/solver_audit.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/solver_internal.h"
+#include "graph/coloring.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace {
+
+// The audits exist to catch a corrupted incremental state, so every test
+// here follows the same shape: build a consistent solver state, assert the
+// audit accepts it, then inject one deliberate corruption and assert the
+// audit rejects it. This is the guarantee an RMGP_DCHECKS=ON build adds on
+// top of the regular solver tests.
+
+struct DenseState {
+  testing::OwnedInstance owned;
+  Assignment a;
+  std::vector<double> max_sc;
+  std::vector<double> table;
+  std::vector<ClassId> best;
+};
+
+DenseState MakeDenseState(NodeId n = 30, ClassId k = 4, uint64_t seed = 11) {
+  DenseState s;
+  s.owned = testing::MakeRandomInstance(n, k, 0.25, 0.6, seed);
+  Rng rng(seed + 1);
+  s.a.resize(n);
+  for (auto& c : s.a) c = static_cast<ClassId>(rng.UniformInt(k));
+  s.max_sc = internal::ComputeMaxSocialCosts(s.owned.get());
+  s.table.resize(static_cast<size_t>(n) * k);
+  s.best.resize(n);
+  internal::BuildDenseGlobalTable(s.owned.get(), s.a, s.max_sc,
+                                  /*pool=*/nullptr, s.table.data(),
+                                  s.best.data());
+  return s;
+}
+
+TEST(SolverAuditTest, CleanDenseTablePasses) {
+  DenseState s = MakeDenseState();
+  EXPECT_TRUE(audit::CheckDenseTable(s.owned.get(), s.a, s.max_sc,
+                                     s.table.data(), s.best.data(),
+                                     /*stride=*/1)
+                  .ok());
+}
+
+TEST(SolverAuditTest, CorruptedCellIsDetected) {
+  DenseState s = MakeDenseState();
+  // A single drifted cell — the failure mode of a missed or double-applied
+  // incremental ±w/2 update.
+  s.table[7] += 0.5;
+  const Status st = audit::CheckDenseTable(s.owned.get(), s.a, s.max_sc,
+                                           s.table.data(), s.best.data(), 1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("drifted"), std::string::npos);
+}
+
+TEST(SolverAuditTest, StaleArgminIsDetected) {
+  DenseState s = MakeDenseState();
+  const ClassId k = s.owned.get().num_classes();
+  // Point one cache entry at a non-minimal cell (random real-valued costs
+  // make ties measure-zero, so any other index is wrong).
+  s.best[3] = (s.best[3] + 1) % k;
+  const Status st = audit::CheckDenseTable(s.owned.get(), s.a, s.max_sc,
+                                           s.table.data(), s.best.data(), 1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("stale argmin"), std::string::npos);
+}
+
+TEST(SolverAuditTest, DivergedObjectiveIsDetected) {
+  DenseState s = MakeDenseState();
+  // Move a user without refreshing the table: neighbors' rows (and the
+  // Σ table[v][s_v] identity) go stale, exactly like a lost table update.
+  const ClassId k = s.owned.get().num_classes();
+  s.a[0] = (s.a[0] + 1) % k;
+  // Sample no rows (stride > n) so only the full-sum identity can object.
+  const Status st =
+      audit::CheckDenseTable(s.owned.get(), s.a, s.max_sc, s.table.data(),
+                             s.best.data(), /*stride=*/1000);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("objective"), std::string::npos);
+}
+
+TEST(SolverAuditTest, DenseWorklistCompleteness) {
+  DenseState s = MakeDenseState();
+  const ClassId k = s.owned.get().num_classes();
+  // Collect the genuinely unhappy users.
+  std::vector<uint8_t> queued(s.a.size(), 0);
+  constexpr NodeId kNone = UINT32_MAX;
+  NodeId unhappy = kNone;
+  for (NodeId v = 0; v < s.a.size(); ++v) {
+    const double* row = s.table.data() + static_cast<size_t>(v) * k;
+    if (internal::StrictlyBetter(row[s.best[v]], row[s.a[v]])) {
+      queued[v] = 1;
+      unhappy = v;
+    }
+  }
+  ASSERT_NE(unhappy, kNone)
+      << "fixture needs at least one profitable deviation";
+  EXPECT_TRUE(audit::CheckDenseWorklistComplete(s.owned.get(), s.a,
+                                                s.table.data(), s.best.data(),
+                                                queued)
+                  .ok());
+  // Dropping one unhappy user from the worklist is the lost-wakeup bug.
+  queued[unhappy] = 0;
+  EXPECT_FALSE(audit::CheckDenseWorklistComplete(s.owned.get(), s.a,
+                                                 s.table.data(), s.best.data(),
+                                                 queued)
+                   .ok());
+  // An empty `queued` means "nothing queued" — unacceptable while any user
+  // still wants to move.
+  EXPECT_FALSE(audit::CheckDenseWorklistComplete(s.owned.get(), s.a,
+                                                 s.table.data(), s.best.data(),
+                                                 {})
+                   .ok());
+}
+
+TEST(SolverAuditTest, PotentialMustStrictlyDecrease) {
+  DenseState s = MakeDenseState();
+  const double phi = EvaluatePotential(s.owned.get(), s.a);
+  double out = 0.0;
+  EXPECT_TRUE(
+      audit::CheckPotentialDecreased(s.owned.get(), s.a, phi + 1.0, &out)
+          .ok());
+  EXPECT_DOUBLE_EQ(out, phi);
+  // Equal or increasing potential violates Lemma 2.
+  EXPECT_FALSE(
+      audit::CheckPotentialDecreased(s.owned.get(), s.a, phi, nullptr).ok());
+  EXPECT_FALSE(
+      audit::CheckPotentialDecreased(s.owned.get(), s.a, phi - 1.0, nullptr)
+          .ok());
+}
+
+TEST(SolverAuditTest, ColorGroupIndependence) {
+  auto owned = testing::MakeRandomInstance(20, 3, 0.3, 0.5, 5);
+  const Graph& g = owned.get().graph();
+  Coloring coloring = GreedyColoring(g);
+  EXPECT_TRUE(audit::CheckColorGroupsIndependent(g, coloring).ok());
+  // Merge two groups; with edge probability 0.3 the union almost surely
+  // contains an edge — assert it does, then expect rejection.
+  ASSERT_GE(coloring.num_colors(), 2u);
+  Coloring merged = coloring;
+  merged.groups[0].insert(merged.groups[0].end(), merged.groups[1].begin(),
+                          merged.groups[1].end());
+  merged.groups[1].clear();
+  bool has_inner_edge = false;
+  for (const NodeId u : merged.groups[0]) {
+    for (const Neighbor& nb : g.neighbors(u)) {
+      for (const NodeId v : merged.groups[0]) has_inner_edge |= nb.node == v;
+    }
+  }
+  ASSERT_TRUE(has_inner_edge) << "fixture graph too sparse for this seed";
+  EXPECT_FALSE(audit::CheckColorGroupsIndependent(g, merged).ok());
+}
+
+TEST(SolverAuditTest, ForcedStrategyViolationIsDetected) {
+  internal::ReducedStrategies rs;
+  rs.forced = {internal::ReducedStrategies::kNoForced, 2,
+               internal::ReducedStrategies::kNoForced};
+  Assignment a = {0, 2, 1};
+  EXPECT_TRUE(audit::CheckForcedRespected(rs, a).ok());
+  a[1] = 0;  // an eliminated user deviated
+  EXPECT_FALSE(audit::CheckForcedRespected(rs, a).ok());
+}
+
+struct ReducedState {
+  testing::OwnedInstance owned;
+  Assignment a;
+  std::vector<double> max_sc;
+  internal::ReducedStrategies rs;
+  std::vector<double> values;
+  std::vector<uint32_t> cur_idx;
+  std::vector<uint32_t> best_idx;
+};
+
+// Builds the RMGP_all round-0 state: candidate-restricted cost rows plus
+// cur/best index caches, via the solver's own BestResponseReduced scratch.
+ReducedState MakeReducedState(uint64_t seed = 17) {
+  ReducedState s;
+  const NodeId n = 25;
+  const ClassId k = 5;
+  s.owned = testing::MakeRandomInstance(n, k, 0.2, 0.7, seed);
+  s.max_sc = internal::ComputeMaxSocialCosts(s.owned.get());
+  s.rs = internal::ComputeReducedStrategies(s.owned.get());
+  SolverOptions options;
+  Rng rng(seed + 1);
+  s.a = internal::MakeReducedInitialAssignment(s.owned.get(), options, s.rs,
+                                               &rng);
+  s.values.resize(s.rs.classes.size());
+  s.cur_idx.resize(n);
+  s.best_idx.resize(n);
+  std::vector<double> scratch(k);
+  for (NodeId v = 0; v < n; ++v) {
+    (void)internal::BestResponseReduced(s.owned.get(), s.a, v, s.max_sc, s.rs,
+                                        scratch.data());
+    const auto cands = s.rs.StrategiesOf(v);
+    double* row = s.values.data() + s.rs.offsets[v];
+    for (size_t i = 0; i < cands.size(); ++i) row[i] = scratch[cands[i]];
+    const auto cur = std::find(cands.begin(), cands.end(), s.a[v]);
+    s.cur_idx[v] = static_cast<uint32_t>(cur - cands.begin());
+    s.best_idx[v] = static_cast<uint32_t>(
+        std::min_element(row, row + cands.size()) - row);
+  }
+  return s;
+}
+
+TEST(SolverAuditTest, CleanReducedTablePasses) {
+  ReducedState s = MakeReducedState();
+  EXPECT_TRUE(audit::CheckReducedTable(s.owned.get(), s.a, s.max_sc, s.rs,
+                                       s.values, s.cur_idx, s.best_idx,
+                                       /*stride=*/1)
+                  .ok());
+  EXPECT_TRUE(audit::CheckReducedWorklistComplete(
+                  s.owned.get(), s.a, s.rs, s.values, s.cur_idx, s.best_idx,
+                  std::vector<uint8_t>(s.a.size(), 1))
+                  .ok());
+}
+
+TEST(SolverAuditTest, CorruptedReducedStateIsDetected) {
+  {
+    ReducedState s = MakeReducedState();
+    s.values[s.rs.offsets[4]] += 0.25;  // drifted cell
+    EXPECT_FALSE(audit::CheckReducedTable(s.owned.get(), s.a, s.max_sc, s.rs,
+                                          s.values, s.cur_idx, s.best_idx, 1)
+                     .ok());
+  }
+  {
+    ReducedState s = MakeReducedState();
+    // Desynchronize a cur_idx from the assignment.
+    NodeId v = 0;
+    while (s.rs.StrategiesOf(v).size() < 2) ++v;
+    s.cur_idx[v] =
+        (s.cur_idx[v] + 1) % static_cast<uint32_t>(s.rs.StrategiesOf(v).size());
+    const Status st = audit::CheckReducedTable(
+        s.owned.get(), s.a, s.max_sc, s.rs, s.values, s.cur_idx, s.best_idx, 1);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.ToString().find("cur_idx"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,192 @@
+#include "tools/lint_rules.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rmgp {
+namespace lint {
+namespace {
+
+// Runs the linter on an in-memory fixture and returns the rule ids hit.
+std::vector<std::string> RulesHit(const std::string& path,
+                                  const std::string& content) {
+  std::vector<std::string> rules;
+  for (const Diagnostic& d : LintFile(path, content)) rules.push_back(d.rule);
+  return rules;
+}
+
+// Wraps a body in the include guard LintFile expects for `path`, so header
+// fixtures exercising other rules do not also trip include-guard.
+std::string Header(const std::string& path, const std::string& body) {
+  const std::string g = ExpectedGuard(path);
+  return "#ifndef " + g + "\n#define " + g + "\n" + body + "\n#endif\n";
+}
+
+TEST(LintRulesTest, CleanFilePasses) {
+  EXPECT_TRUE(RulesHit("src/core/x.cc",
+                       "#include \"core/x.h\"\n"
+                       "namespace rmgp {\n"
+                       "int F() { return 1; }\n"
+                       "}  // namespace rmgp\n")
+                  .empty());
+  EXPECT_TRUE(
+      RulesHit("src/core/x.h", Header("src/core/x.h", "int F();")).empty());
+}
+
+TEST(LintRulesTest, NoThrowFlagsLibraryCodeOnly) {
+  const std::string body = "void F() { throw 1; }\n";
+  const auto rules = RulesHit("src/core/x.cc", body);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0], "no-throw");
+  // The diagnostic carries the right location.
+  const auto diags = LintFile("src/core/x.cc", "int a;\n" + body);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_EQ(diags[0].file, "src/core/x.cc");
+  // Tools and tests may throw (gtest internals do).
+  EXPECT_TRUE(RulesHit("tools/x.cc", body).empty());
+  EXPECT_TRUE(RulesHit("tests/core/x.cc", body).empty());
+}
+
+TEST(LintRulesTest, NoThrowIgnoresCommentsStringsAndSubwords) {
+  EXPECT_TRUE(RulesHit("src/core/x.cc", "// may throw on overflow\n").empty());
+  EXPECT_TRUE(
+      RulesHit("src/core/x.cc", "const char* s = \"throw\";\n").empty());
+  EXPECT_TRUE(RulesHit("src/core/x.cc", "int rethrown_count;\n").empty());
+}
+
+TEST(LintRulesTest, NoRandFlagsEveryScope) {
+  // Unseeded/non-reproducible randomness is banned in tests too.
+  for (const char* path : {"src/core/x.cc", "tools/x.cc", "tests/x.cc"}) {
+    EXPECT_EQ(RulesHit(path, "int r = std::rand();\n"),
+              std::vector<std::string>{"no-rand"})
+        << path;
+  }
+  EXPECT_EQ(RulesHit("src/x.cc", "srand(42);\n"),
+            std::vector<std::string>{"no-rand"});
+  EXPECT_EQ(RulesHit("src/x.cc", "std::random_device rd;\n"),
+            std::vector<std::string>{"no-rand"});
+  EXPECT_EQ(RulesHit("src/x.cc", "std::mt19937 gen(7);\n"),
+            std::vector<std::string>{"no-rand"});
+}
+
+TEST(LintRulesTest, NoRandIgnoresTheProjectRng) {
+  EXPECT_TRUE(RulesHit("src/x.cc", "Rng rng(7); rng.Next();\n").empty());
+  // `srand` must match as a call, not as a substring of other identifiers.
+  EXPECT_TRUE(RulesHit("src/x.cc", "int users_and_seeds = srands;\n").empty());
+}
+
+TEST(LintRulesTest, NoBareAssertFlagsLibraryCodeOnly) {
+  const std::string body = "void F(int x) { assert(x > 0); }\n";
+  EXPECT_EQ(RulesHit("src/util/x.cc", body),
+            std::vector<std::string>{"no-bare-assert"});
+  EXPECT_TRUE(RulesHit("tests/util/x.cc", body).empty());
+}
+
+TEST(LintRulesTest, NoBareAssertIgnoresCheckedVariants) {
+  EXPECT_TRUE(
+      RulesHit("src/x.cc", "static_assert(sizeof(int) == 4);\n").empty());
+  EXPECT_TRUE(RulesHit("src/x.cc", "RMGP_CHECK(x > 0);\n").empty());
+  EXPECT_TRUE(RulesHit("src/x.cc", "RMGP_DCHECK(x > 0);\n").empty());
+  EXPECT_TRUE(RulesHit("src/x.cc", "int assertions = 0;\n").empty());
+}
+
+TEST(LintRulesTest, NoStdoutFlagsLibraryCodeOnly) {
+  EXPECT_EQ(RulesHit("src/x.cc", "std::cout << 1;\n"),
+            std::vector<std::string>{"no-stdout"});
+  EXPECT_EQ(RulesHit("src/x.cc", "std::cerr << 1;\n"),
+            std::vector<std::string>{"no-stdout"});
+  EXPECT_EQ(RulesHit("src/x.cc", "printf(\"%d\", 1);\n"),
+            std::vector<std::string>{"no-stdout"});
+  EXPECT_EQ(RulesHit("src/x.cc", "fprintf(stderr, \"x\");\n"),
+            std::vector<std::string>{"no-stdout"});
+  // Tools are command-line programs; printing is their job.
+  EXPECT_TRUE(RulesHit("tools/x.cc", "std::cout << 1;\n").empty());
+}
+
+TEST(LintRulesTest, NoStdoutIgnoresStringFormatting) {
+  // snprintf writes to a buffer, not a stream.
+  EXPECT_TRUE(
+      RulesHit("src/x.cc", "snprintf(buf, sizeof(buf), \"%d\", 1);\n")
+          .empty());
+}
+
+TEST(LintRulesTest, IncludeGuardNaming) {
+  EXPECT_EQ(ExpectedGuard("src/core/solver.h"), "RMGP_CORE_SOLVER_H_");
+  EXPECT_EQ(ExpectedGuard("src/util/thread_pool.h"),
+            "RMGP_UTIL_THREAD_POOL_H_");
+  // Outside src/ the first path segment stays in the guard.
+  EXPECT_EQ(ExpectedGuard("tools/lint_rules.h"), "RMGP_TOOLS_LINT_RULES_H_");
+  EXPECT_EQ(ExpectedGuard("tests/testing/test_util.h"),
+            "RMGP_TESTS_TESTING_TEST_UTIL_H_");
+}
+
+TEST(LintRulesTest, IncludeGuardViolations) {
+  // Wrong guard name.
+  const auto wrong = LintFile(
+      "src/core/x.h", "#ifndef X_H\n#define X_H\nint F();\n#endif\n");
+  ASSERT_EQ(wrong.size(), 1u);
+  EXPECT_EQ(wrong[0].rule, "include-guard");
+  EXPECT_NE(wrong[0].message.find("RMGP_CORE_X_H_"), std::string::npos);
+  // Missing guard entirely.
+  const auto missing = LintFile("src/core/x.h", "int F();\n");
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].rule, "include-guard");
+  EXPECT_EQ(missing[0].line, 1);
+  // Sources are exempt.
+  EXPECT_TRUE(RulesHit("src/core/x.cc", "int F() { return 0; }\n").empty());
+}
+
+TEST(LintRulesTest, LineSuppression) {
+  EXPECT_TRUE(RulesHit("src/x.cc",
+                       "void F() { throw 1; }  // rmgp-lint: allow(no-throw)\n")
+                  .empty());
+  // The marker names a rule; other rules on the same line still fire.
+  EXPECT_EQ(
+      RulesHit("src/x.cc",
+               "void F() { throw (int)std::rand(); }  "
+               "// rmgp-lint: allow(no-throw)\n"),
+      std::vector<std::string>{"no-rand"});
+}
+
+TEST(LintRulesTest, FileSuppression) {
+  EXPECT_TRUE(RulesHit("src/x.cc",
+                       "// rmgp-lint: allow-file(no-stdout)\n"
+                       "void F() { std::cout << 1; }\n"
+                       "void G() { std::cerr << 2; }\n")
+                  .empty());
+  // Suppressing one rule does not blanket the file.
+  EXPECT_EQ(RulesHit("src/x.cc",
+                     "// rmgp-lint: allow-file(no-stdout)\n"
+                     "void F() { std::cout << 1; throw 1; }\n"),
+            std::vector<std::string>{"no-throw"});
+}
+
+TEST(LintRulesTest, StripCommentsAndStrings) {
+  // Stripped regions are blanked with spaces: newlines and columns survive,
+  // so diagnostics keep their line numbers and stay clickable.
+  EXPECT_EQ(StripCommentsAndStrings("a\n// b\nc\n"), "a\n    \nc\n");
+  // Block comments may span lines.
+  EXPECT_EQ(StripCommentsAndStrings("a /* x\ny */ b"), "a     \n     b");
+  // String and char literals are blanked, escapes understood.
+  EXPECT_EQ(StripCommentsAndStrings("f(\"a\\\"b\", 'c')"), "f(      ,    )");
+  // Raw strings ignore embedded quotes and comment markers.
+  EXPECT_EQ(StripCommentsAndStrings("auto s = R\"(// \" throw)\"; x"),
+            "auto s = R              ; x");
+}
+
+TEST(LintRulesTest, FormatDiagnostic) {
+  Diagnostic d;
+  d.file = "src/core/x.cc";
+  d.line = 12;
+  d.rule = "no-throw";
+  d.message = "library code must not throw";
+  EXPECT_EQ(FormatDiagnostic(d),
+            "src/core/x.cc:12: [no-throw] library code must not throw");
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace rmgp

@@ -1,0 +1,93 @@
+#include "util/dcheck.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace rmgp {
+namespace {
+
+// This file is compiled into both CI configurations: the default build
+// (RMGP_DCHECKS off) exercises the compiled-but-dead branch, and the
+// -DRMGP_DCHECKS=ON build exercises the firing branch. The #ifdef below
+// selects the matching expectations, so neither configuration skips the
+// macro family entirely.
+
+TEST(DCheckTest, PassingCheckIsANoOp) {
+  RMGP_DCHECK(2 + 2 == 4) << "arithmetic broke";
+  RMGP_DCHECK_EQ(1, 1);
+  RMGP_DCHECK_NE(1, 2);
+  RMGP_DCHECK_LT(1, 2);
+  RMGP_DCHECK_LE(2, 2);
+  RMGP_DCHECK_GT(2, 1);
+  RMGP_DCHECK_GE(2, 2);
+  RMGP_DCHECK_OK(Status::OK());
+}
+
+#ifdef RMGP_DCHECKS_ENABLED
+
+TEST(DCheckTest, EnabledFlagIsVisible) { EXPECT_TRUE(kDChecksEnabled); }
+
+TEST(DCheckTest, FailingCheckDies) {
+  EXPECT_DEATH({ RMGP_DCHECK(1 == 2) << "impossible"; },
+               "DCheck failed: 1 == 2 impossible");
+  EXPECT_DEATH({ RMGP_DCHECK_EQ(3, 4); }, "DCheck failed");
+  EXPECT_DEATH({ RMGP_DCHECK_GE(1, 2); }, "DCheck failed");
+}
+
+TEST(DCheckTest, FailingStatusDies) {
+  EXPECT_DEATH({ RMGP_DCHECK_OK(Status::InvalidArgument("bad table")); },
+               "DCheck failed: .*bad table");
+}
+
+TEST(DCheckTest, ConditionIsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto probe = [&calls] {
+    ++calls;
+    return true;
+  };
+  RMGP_DCHECK(probe()) << "never printed";
+  EXPECT_EQ(calls, 1);
+}
+
+#else  // !RMGP_DCHECKS_ENABLED
+
+TEST(DCheckTest, DisabledFlagIsVisible) { EXPECT_FALSE(kDChecksEnabled); }
+
+TEST(DCheckTest, FailingCheckIsDeadCode) {
+  // The condition is false, yet nothing fires: the whole check sits in an
+  // unreachable branch.
+  RMGP_DCHECK(1 == 2) << "must not abort";
+  RMGP_DCHECK_EQ(3, 4);
+  RMGP_DCHECK_OK(Status::InvalidArgument("must not abort"));
+}
+
+TEST(DCheckTest, ConditionIsNotEvaluated) {
+  // Expensive audit expressions must cost nothing when the option is off —
+  // neither the condition nor the streamed message may run.
+  int cond_calls = 0;
+  int msg_calls = 0;
+  auto cond = [&cond_calls] {
+    ++cond_calls;
+    return false;
+  };
+  auto msg = [&msg_calls] {
+    ++msg_calls;
+    return "side effect";
+  };
+  RMGP_DCHECK(cond()) << msg();
+  EXPECT_EQ(cond_calls, 0);
+  EXPECT_EQ(msg_calls, 0);
+
+  auto status = [&cond_calls] {
+    ++cond_calls;
+    return Status::InvalidArgument("expensive audit");
+  };
+  RMGP_DCHECK_OK(status());
+  EXPECT_EQ(cond_calls, 0);
+}
+
+#endif  // RMGP_DCHECKS_ENABLED
+
+}  // namespace
+}  // namespace rmgp

@@ -1,0 +1,263 @@
+#include "tools/lint_rules.h"
+
+#include <cctype>
+#include <utility>
+
+namespace rmgp {
+namespace lint {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True iff `token` occurs in `line` delimited by non-word characters.
+bool ContainsWord(std::string_view line, std::string_view token) {
+  for (size_t pos = line.find(token); pos != std::string_view::npos;
+       pos = line.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !IsWordChar(line[end]);
+    if (left_ok && right_ok) return true;
+  }
+  return false;
+}
+
+/// True iff `token` occurs word-delimited and is followed (after optional
+/// whitespace) by '('.
+bool ContainsCall(std::string_view line, std::string_view token) {
+  for (size_t pos = line.find(token); pos != std::string_view::npos;
+       pos = line.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+    size_t end = pos + token.size();
+    while (end < line.size() && (line[end] == ' ' || line[end] == '\t')) ++end;
+    if (left_ok && end < line.size() && line[end] == '(') return true;
+  }
+  return false;
+}
+
+bool LineAllows(std::string_view original_line, std::string_view rule) {
+  const std::string marker = "rmgp-lint: allow(" + std::string(rule) + ")";
+  return original_line.find(marker) != std::string_view::npos;
+}
+
+bool FileAllows(std::string_view original_content, std::string_view rule) {
+  const std::string marker = "rmgp-lint: allow-file(" + std::string(rule) + ")";
+  return original_content.find(marker) != std::string_view::npos;
+}
+
+/// Splits into lines without the trailing newline; keeps empty lines so
+/// indices map 1:1 to line numbers.
+std::vector<std::string_view> SplitLines(std::string_view s) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t nl = s.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(s.substr(start));
+      break;
+    }
+    lines.push_back(s.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(std::string_view content) {
+  std::string out;
+  out.reserve(content.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for kRawString: ")delim\"" terminator
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out.push_back(' ');
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out.push_back(' ');
+        } else if (c == '"' &&
+                   (i == 0 || content[i - 1] != 'R' ||
+                    (i >= 2 && IsWordChar(content[i - 2])))) {
+          state = State::kString;
+          out.push_back(' ');
+        } else if (c == '"') {
+          // Raw string literal R"delim( ... )delim".
+          state = State::kRawString;
+          size_t d = i + 1;
+          while (d < content.size() && content[d] != '(') ++d;
+          raw_delim = ")" + std::string(content.substr(i + 1, d - i - 1)) +
+                      "\"";
+          out.push_back(' ');
+        } else if (c == '\'') {
+          state = State::kChar;
+          out.push_back(' ');
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out.push_back('\n');
+        } else {
+          out.push_back(' ');
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out.append("  ");
+          ++i;
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out.append("  ");
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out.push_back(' ');
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out.append("  ");
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out.push_back(' ');
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case State::kRawString:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t j = 0; j < raw_delim.size(); ++j) out.push_back(' ');
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string ExpectedGuard(std::string_view path) {
+  std::string_view rel = path;
+  if (rel.rfind("src/", 0) == 0) rel.remove_prefix(4);
+  std::string guard = "RMGP_";
+  for (const char c : rel) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      guard.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    } else {
+      guard.push_back('_');
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+std::vector<Diagnostic> LintFile(const std::string& path,
+                                 std::string_view content) {
+  std::vector<Diagnostic> diags;
+  const bool in_library = path.rfind("src/", 0) == 0;
+  const bool is_header = path.size() >= 2 &&
+                         path.compare(path.size() - 2, 2, ".h") == 0;
+
+  const std::string stripped = StripCommentsAndStrings(content);
+  const std::vector<std::string_view> code_lines = SplitLines(stripped);
+  const std::vector<std::string_view> orig_lines = SplitLines(content);
+
+  auto report = [&](int line, const char* rule, std::string message) {
+    if (FileAllows(content, rule)) return;
+    if (line >= 1 && static_cast<size_t>(line) <= orig_lines.size() &&
+        LineAllows(orig_lines[line - 1], rule)) {
+      return;
+    }
+    diags.push_back({path, line, rule, std::move(message)});
+  };
+
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string_view line = code_lines[i];
+    const int lineno = static_cast<int>(i) + 1;
+    if (line.empty()) continue;
+
+    if (in_library && ContainsWord(line, "throw")) {
+      report(lineno, "no-throw",
+             "library code must not throw; return a Status/Result "
+             "(util/status.h) instead");
+    }
+    if (ContainsWord(line, "std::rand") || ContainsCall(line, "srand") ||
+        ContainsWord(line, "std::random_device") ||
+        ContainsWord(line, "std::mt19937")) {
+      report(lineno, "no-rand",
+             "use the seeded, bit-exact rmgp::Rng (util/rng.h); std "
+             "randomness is not reproducible across platforms");
+    }
+    if (in_library && ContainsCall(line, "assert")) {
+      report(lineno, "no-bare-assert",
+             "bare assert() vanishes in Release; use RMGP_CHECK or "
+             "RMGP_DCHECK (util/dcheck.h) with a message");
+    }
+    if (in_library &&
+        (ContainsWord(line, "std::cout") || ContainsWord(line, "std::cerr") ||
+         ContainsCall(line, "printf") || ContainsCall(line, "fprintf"))) {
+      report(lineno, "no-stdout",
+             "library code must not print directly; use RMGP_LOG "
+             "(util/logging.h)");
+    }
+  }
+
+  if (is_header) {
+    const std::string expected = ExpectedGuard(path);
+    int ifndef_line = 0;
+    std::string actual;
+    for (size_t i = 0; i < code_lines.size(); ++i) {
+      std::string_view line = code_lines[i];
+      const size_t pos = line.find("#ifndef");
+      if (pos == std::string_view::npos) continue;
+      std::string_view rest = line.substr(pos + 7);
+      size_t b = 0;
+      while (b < rest.size() && (rest[b] == ' ' || rest[b] == '\t')) ++b;
+      size_t e = b;
+      while (e < rest.size() && IsWordChar(rest[e])) ++e;
+      actual = std::string(rest.substr(b, e - b));
+      ifndef_line = static_cast<int>(i) + 1;
+      break;
+    }
+    if (ifndef_line == 0) {
+      report(1, "include-guard",
+             "header is missing an include guard; expected #ifndef " +
+                 expected);
+    } else if (actual != expected) {
+      report(ifndef_line, "include-guard",
+             "include guard '" + actual + "' should be '" + expected + "'");
+    }
+  }
+
+  return diags;
+}
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
+         d.message;
+}
+
+}  // namespace lint
+}  // namespace rmgp

@@ -1,0 +1,63 @@
+#ifndef RMGP_TOOLS_LINT_RULES_H_
+#define RMGP_TOOLS_LINT_RULES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rmgp {
+namespace lint {
+
+/// Project-idiom lint over the sources in src/ tools/ tests/ (see
+/// tools/rmgp_lint.cc for the walker). Deliberately line-based and
+/// dependency-free: comments and string/char literals are stripped first,
+/// so the rules see only code. Rules, by id:
+///
+///   no-throw        `throw` in library code (src/): the library reports
+///                   failures via Status/Result (util/status.h), never
+///                   exceptions.
+///   no-rand         std::rand/srand/std::random_device/std::mt19937
+///                   anywhere: every randomized component must go through
+///                   the seeded, bit-exact util/rng.h.
+///   no-bare-assert  assert() in src/: disappears in Release; use
+///                   RMGP_CHECK (always on) or RMGP_DCHECK (audit builds,
+///                   util/dcheck.h) so intent is explicit.
+///   no-stdout       std::cout/std::cerr/printf/fprintf in src/: libraries
+///                   log through util/logging.h; direct output belongs to
+///                   tools and tests.
+///   include-guard   headers must guard with RMGP_<PATH>_H_ (the leading
+///                   src/ is dropped: src/core/solver.h ->
+///                   RMGP_CORE_SOLVER_H_).
+///
+/// Suppressions, greppable like RMGP_IGNORE_STATUS:
+///   // rmgp-lint: allow(<rule>)       this line only
+///   // rmgp-lint: allow-file(<rule>)  whole file (place near the top)
+struct Diagnostic {
+  std::string file;     ///< path as passed to LintFile
+  int line = 0;         ///< 1-based
+  std::string rule;     ///< rule id, e.g. "no-throw"
+  std::string message;  ///< human-readable explanation
+};
+
+/// Lints one file. `path` must be repo-root-relative (it selects the scope:
+/// src/ is library code, tools/ and tests/ are not) and is echoed into the
+/// diagnostics. Returns an empty vector for conforming files.
+std::vector<Diagnostic> LintFile(const std::string& path,
+                                 std::string_view content);
+
+/// "path:line: [rule] message" — one line, clickable in editors and CI.
+std::string FormatDiagnostic(const Diagnostic& d);
+
+/// Expected include guard for a header path ("src/core/solver.h" ->
+/// "RMGP_CORE_SOLVER_H_"). Exposed for tests.
+std::string ExpectedGuard(std::string_view path);
+
+/// Returns `content` with //, /*...*/ comments and string/char literals
+/// blanked out (newlines preserved so line numbers survive). Exposed for
+/// tests.
+std::string StripCommentsAndStrings(std::string_view content);
+
+}  // namespace lint
+}  // namespace rmgp
+
+#endif  // RMGP_TOOLS_LINT_RULES_H_

@@ -1,0 +1,99 @@
+// rmgp_lint — project-idiom linter for the RMGP tree.
+//
+// Walks src/ tools/ tests/ under the given repo root (default: the current
+// directory), applies the rules documented in tools/lint_rules.h, prints
+// one "path:line: [rule] message" per violation, and exits non-zero if any
+// were found. Dependency-free by design so it can run as the first CI gate
+// before anything is compiled.
+//
+// Usage:
+//   rmgp_lint [repo_root]
+//   rmgp_lint --help
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint_rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: rmgp_lint [repo_root]\n"
+    "\n"
+    "Lints .h/.cc files under <repo_root>/{src,tools,tests} for project\n"
+    "idioms (see tools/lint_rules.h): no-throw, no-rand, no-bare-assert,\n"
+    "no-stdout, include-guard. Exits 1 if any violation is found.\n"
+    "Suppress with '// rmgp-lint: allow(<rule>)' on the offending line or\n"
+    "'// rmgp-lint: allow-file(<rule>)' anywhere in the file.\n";
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    root = arg;
+  }
+
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    std::fprintf(stderr, "rmgp_lint: not a directory: %s\n", root.c_str());
+    return 2;
+  }
+
+  // Deterministic order: collect, then sort by repo-relative path.
+  std::vector<std::string> files;
+  for (const char* top : {"src", "tools", "tests"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir, ec);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_regular_file(ec) && HasLintableExtension(it->path())) {
+        files.push_back(
+            fs::relative(it->path(), root, ec).generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  size_t violations = 0;
+  for (const std::string& rel : files) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "rmgp_lint: cannot read %s\n", rel.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+    for (const rmgp::lint::Diagnostic& d :
+         rmgp::lint::LintFile(rel, content)) {
+      std::printf("%s\n", rmgp::lint::FormatDiagnostic(d).c_str());
+      ++violations;
+    }
+  }
+
+  if (violations > 0) {
+    std::printf("rmgp_lint: %zu violation%s in %zu files scanned\n",
+                violations, violations == 1 ? "" : "s", files.size());
+    return 1;
+  }
+  std::printf("rmgp_lint: OK (%zu files scanned)\n", files.size());
+  return 0;
+}
