@@ -182,6 +182,10 @@ Result<SolveResult> SolveAll(const Instance& inst,
   std::vector<std::vector<RowUpdate>> update_chunks;
 
   for (uint32_t round = 1; round <= options.max_rounds; ++round) {
+    if (internal::StopRequested(options)) {
+      res.timed_out = true;
+      break;
+    }
     Stopwatch round_sw;
     uint64_t deviations = 0;
     uint64_t examined = 0;

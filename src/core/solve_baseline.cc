@@ -42,6 +42,10 @@ Result<SolveResult> SolveBaseline(const Instance& inst,
       kDChecksEnabled ? EvaluatePotential(inst, res.assignment) : 0.0;
   std::vector<double> scratch(inst.num_classes());
   for (uint32_t round = 1; round <= options.max_rounds; ++round) {
+    if (internal::StopRequested(options)) {
+      res.timed_out = true;
+      break;
+    }
     Stopwatch round_sw;
     uint64_t deviations = 0;
     for (NodeId v : order) {

@@ -87,6 +87,13 @@ Result<SolveResult> SolveBestImprovement(const Instance& inst,
   uint64_t moves = 0;
   uint64_t examined = 0;
   while (!heap.empty()) {
+    // Best-improvement runs one long sweep instead of rounds, so the
+    // anytime check fires every 1024 pops: frequent enough for millisecond
+    // deadlines, rare enough that the clock read never shows in profiles.
+    if ((examined & 1023u) == 0 && internal::StopRequested(options)) {
+      res.timed_out = true;
+      break;
+    }
     const Entry top = heap.top();
     heap.pop();
     ++examined;
@@ -129,7 +136,7 @@ Result<SolveResult> SolveBestImprovement(const Instance& inst,
     }
   }
 
-  res.converged = true;
+  res.converged = !res.timed_out;
   res.rounds = 1;  // single asynchronous sweep; `deviations` = moves
   res.counters.best_response_evals = examined;
   if (options.record_rounds) {

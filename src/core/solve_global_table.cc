@@ -108,6 +108,10 @@ Result<SolveResult> SolveGlobalTable(const Instance& inst,
   // always executes (even onto an empty worklist) so the round count — and
   // the terminal deviation-free round — match the flag-scan loop exactly.
   for (uint32_t round = 1; round <= options.max_rounds; ++round) {
+    if (internal::StopRequested(options)) {
+      res.timed_out = true;
+      break;
+    }
     Stopwatch round_sw;
     uint64_t deviations = 0;
     uint64_t examined = 0;

@@ -76,6 +76,10 @@ Result<SolveResult> SolveIndependentSets(const Instance& inst,
   std::vector<CacheAligned<uint64_t>> dev_slots(pool.num_slots());
 
   for (uint32_t round = 1; round <= options.max_rounds; ++round) {
+    if (internal::StopRequested(options)) {
+      res.timed_out = true;
+      break;
+    }
     Stopwatch round_sw;
     for (CacheAligned<uint64_t>& slot : dev_slots) slot.value = 0;
     for (const std::vector<NodeId>& group : coloring.groups) {

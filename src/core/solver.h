@@ -1,7 +1,10 @@
 #ifndef RMGP_CORE_SOLVER_H_
 #define RMGP_CORE_SOLVER_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/instance.h"
@@ -54,6 +57,17 @@ struct SolverOptions {
   /// Additionally record the potential Φ after every round. Costs one full
   /// objective evaluation per round; enable only on small/medium instances.
   bool record_potential = false;
+
+  /// Anytime semantics: stop cooperatively once `deadline` has passed or
+  /// `cancel_token` is set. Both are checked only at round boundaries
+  /// (every 1024 moves for RMGP_pq's single sweep), so a run that finishes
+  /// without tripping either is bit-identical to one with no deadline at
+  /// all. A tripped run still returns a *valid* assignment — round 0
+  /// always completes — with `SolveResult::timed_out = true`,
+  /// `converged = false`, and the objective of the partial assignment.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  std::shared_ptr<const std::atomic<bool>> cancel_token;
 };
 
 /// Lightweight per-run observability counters. Maintained unconditionally
@@ -119,6 +133,7 @@ struct RoundStats {
 struct SolveResult {
   Assignment assignment;
   bool converged = false;     ///< reached a Nash equilibrium
+  bool timed_out = false;     ///< stopped by deadline/cancel (anytime mode)
   uint32_t rounds = 0;        ///< best-response rounds (excl. round 0)
   CostBreakdown objective;    ///< Equation 1 at the final assignment
   double potential = 0.0;     ///< Φ (Equation 4) at the final assignment

@@ -1,6 +1,8 @@
 #ifndef RMGP_CORE_SOLVER_INTERNAL_H_
 #define RMGP_CORE_SOLVER_INTERNAL_H_
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <span>
 #include <vector>
@@ -22,6 +24,21 @@ inline constexpr double kImprovementEps = 1e-12;
 /// True iff `candidate` is strictly better than `current` beyond tolerance.
 inline bool StrictlyBetter(double candidate, double current) {
   return candidate < current - kImprovementEps * (1.0 + std::abs(current));
+}
+
+/// True iff the run should stop early (anytime mode): the cancel token is
+/// set or the deadline has passed. The token is read first — it is a cheap
+/// relaxed load, while the deadline costs a clock read — and the clock is
+/// only consulted when a deadline was actually set. Solvers call this at
+/// round boundaries only, so completed runs are bit-identical to runs
+/// without a deadline.
+inline bool StopRequested(const SolverOptions& options) {
+  if (options.cancel_token != nullptr &&
+      options.cancel_token->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return options.deadline != std::chrono::steady_clock::time_point::max() &&
+         std::chrono::steady_clock::now() >= options.deadline;
 }
 
 /// Below this many table cells (|V|·k, or Σ|S'_v| for reduced tables) the

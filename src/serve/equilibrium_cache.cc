@@ -1,0 +1,250 @@
+#include "serve/equilibrium_cache.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "core/solver.h"
+
+namespace rmgp {
+namespace serve {
+namespace {
+
+/// Lexicographic (x, y) order. Exact double comparison is intentional:
+/// repeated queries carry bit-identical coordinates, and two events that
+/// differ in the last ulp *are* different classes.
+bool PointLess(const Point& a, const Point& b) {
+  return a.x != b.x ? a.x < b.x : a.y < b.y;
+}
+
+bool PointEq(const Point& a, const Point& b) {
+  return a.x == b.x && a.y == b.y;
+}
+
+/// Indices 0..n-1 sorted by the coordinates they refer to.
+std::vector<uint32_t> SortedOrder(const std::vector<Point>& pts) {
+  std::vector<uint32_t> order(pts.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&pts](uint32_t a, uint32_t b) {
+    return PointLess(pts[a], pts[b]);
+  });
+  return order;
+}
+
+/// For equal multisets: map[i] = index in `to` of the element matched with
+/// `from[i]`. Duplicates pair up in sorted order, which is a bijection.
+std::vector<uint32_t> MapEvents(const std::vector<Point>& from,
+                                const std::vector<Point>& to) {
+  const std::vector<uint32_t> from_order = SortedOrder(from);
+  const std::vector<uint32_t> to_order = SortedOrder(to);
+  std::vector<uint32_t> map(from.size());
+  for (size_t i = 0; i < from.size(); ++i) {
+    map[from_order[i]] = to_order[i];
+  }
+  return map;
+}
+
+}  // namespace
+
+EquilibriumCache::EquilibriumCache(const Graph* graph, const Config& config)
+    : graph_(graph), config_(config) {}
+
+size_t EquilibriumCache::EditDistance(const std::vector<Point>& a,
+                                      const std::vector<Point>& b) {
+  if (a.empty() || b.empty()) return SIZE_MAX;
+  std::vector<Point> sa = a;
+  std::vector<Point> sb = b;
+  std::sort(sa.begin(), sa.end(), PointLess);
+  std::sort(sb.begin(), sb.end(), PointLess);
+  size_t i = 0;
+  size_t j = 0;
+  size_t edits = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (PointEq(sa[i], sb[j])) {
+      ++i;
+      ++j;
+    } else if (PointLess(sa[i], sb[j])) {
+      ++edits;  // only in a: would need RemoveEvent
+      ++i;
+    } else {
+      ++edits;  // only in b: would need AddEvent
+      ++j;
+    }
+  }
+  return edits + (sa.size() - i) + (sb.size() - j);
+}
+
+std::optional<EquilibriumCache::Hit> EquilibriumCache::Lookup(
+    uint64_t version, const std::vector<Point>& events, double alpha,
+    double cost_scale) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+
+  // Drop entries computed under an older session (user moved, graph
+  // mutated): their equilibria — and their games' user snapshots — are
+  // stale.
+  for (size_t e = entries_.size(); e-- > 0;) {
+    if (entries_[e].version != version) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(e));
+      ++stats_.invalidations;
+    }
+  }
+
+  size_t best = SIZE_MAX;
+  size_t best_edits = SIZE_MAX;
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    const Entry& entry = entries_[e];
+    if (entry.alpha != alpha || entry.cost_scale != cost_scale) continue;
+    const size_t edits = EditDistance(entry.game->events(), events);
+    if (edits < best_edits) {
+      best_edits = edits;
+      best = e;
+    }
+  }
+  if (best == SIZE_MAX || best_edits > config_.max_warm_edits) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
+  Entry& entry = entries_[best];
+  if (best_edits > 0) {
+    // Warm patch: add the query's new events, then remove the vanished
+    // ones (additions first so the class count never hits zero). Each
+    // edit re-settles only the perturbed neighborhood.
+    std::vector<Point> game_events = entry.game->events();
+    std::sort(game_events.begin(), game_events.end(), PointLess);
+    std::vector<Point> query_events = events;
+    std::sort(query_events.begin(), query_events.end(), PointLess);
+    std::vector<Point> additions;
+    std::vector<Point> removals;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < game_events.size() && j < query_events.size()) {
+      if (PointEq(game_events[i], query_events[j])) {
+        ++i;
+        ++j;
+      } else if (PointLess(game_events[i], query_events[j])) {
+        removals.push_back(game_events[i++]);
+      } else {
+        additions.push_back(query_events[j++]);
+      }
+    }
+    removals.insert(removals.end(), game_events.begin() + i,
+                    game_events.end());
+    additions.insert(additions.end(), query_events.begin() + j,
+                     query_events.end());
+
+    bool failed = false;
+    for (const Point& p : additions) {
+      if (!entry.game->AddEvent(p).ok()) {
+        failed = true;
+        break;
+      }
+    }
+    // RemoveEvent renumbers by swap-remove, so re-locate each victim by
+    // coordinates after every removal.
+    for (size_t r = 0; !failed && r < removals.size(); ++r) {
+      const std::vector<Point>& cur = entry.game->events();
+      ClassId victim = static_cast<ClassId>(cur.size());
+      for (ClassId p = 0; p < cur.size(); ++p) {
+        if (PointEq(cur[p], removals[r])) {
+          victim = p;
+          break;
+        }
+      }
+      if (victim == cur.size() || !entry.game->RemoveEvent(victim).ok()) {
+        failed = true;
+      }
+    }
+    if (failed) {
+      // The game is in an unknown intermediate state; drop it.
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(best));
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    entry.events = events;
+  }
+
+  // The game's event numbering drifts from the query's (insertion order,
+  // swap-removes); remap the assignment into the query's numbering.
+  const std::vector<uint32_t> map = MapEvents(entry.game->events(), events);
+  const Assignment& game_assignment = entry.game->assignment();
+  Hit hit;
+  hit.warm = best_edits > 0;
+  hit.assignment.resize(game_assignment.size());
+  for (size_t v = 0; v < game_assignment.size(); ++v) {
+    hit.assignment[v] = map[game_assignment[v]];
+  }
+  entry.last_used = ++tick_;
+  if (hit.warm) {
+    ++stats_.warm_hits;
+  } else {
+    ++stats_.exact_hits;
+  }
+  return hit;
+}
+
+void EquilibriumCache::Insert(uint64_t version, const std::vector<Point>& users,
+                              const std::vector<Point>& events, double alpha,
+                              double cost_scale,
+                              const Assignment& assignment) {
+  if (config_.capacity == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& entry : entries_) {
+    if (entry.version == version && entry.alpha == alpha &&
+        entry.cost_scale == cost_scale &&
+        EditDistance(entry.game->events(), events) == 0) {
+      entry.last_used = ++tick_;
+      return;  // already cached
+    }
+  }
+
+  // Warm-started creation: `assignment` is already an equilibrium, so the
+  // game settles immediately — the cost is the O(|V|·k) table build.
+  SolverOptions options;
+  options.init = InitPolicy::kGiven;
+  options.order = OrderPolicy::kNodeId;
+  options.warm_start = assignment;
+  Result<std::unique_ptr<DynamicGame>> game =
+      DynamicGame::Create(graph_, users, events, alpha, cost_scale, options);
+  if (!game.ok()) return;  // cache stays correct, just colder
+
+  if (entries_.size() >= config_.capacity) {
+    size_t lru = 0;
+    for (size_t e = 1; e < entries_.size(); ++e) {
+      if (entries_[e].last_used < entries_[lru].last_used) lru = e;
+    }
+    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(lru));
+    ++stats_.evictions;
+  }
+
+  Entry entry;
+  entry.alpha = alpha;
+  entry.cost_scale = cost_scale;
+  entry.version = version;
+  entry.events = events;
+  entry.game = std::move(game).value();
+  entry.last_used = ++tick_;
+  entries_.push_back(std::move(entry));
+  ++stats_.insertions;
+}
+
+void EquilibriumCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.invalidations += entries_.size();
+  entries_.clear();
+}
+
+EquilibriumCache::Stats EquilibriumCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t EquilibriumCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace serve
+}  // namespace rmgp

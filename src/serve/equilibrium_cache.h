@@ -1,0 +1,110 @@
+#ifndef RMGP_SERVE_EQUILIBRIUM_CACHE_H_
+#define RMGP_SERVE_EQUILIBRIUM_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/dynamic_game.h"
+#include "core/objective.h"
+#include "graph/graph.h"
+#include "spatial/point.h"
+#include "util/status.h"
+
+namespace rmgp {
+namespace serve {
+
+/// Caches converged equilibria keyed by the canonical query signature
+/// (session version, α, CN, event multiset). Two hit modes:
+///
+///   * exact — the query's event multiset matches a cached entry (possibly
+///     in a different order); the cached assignment is remapped to the
+///     query's event numbering and returned without touching a solver.
+///   * warm — the multisets differ by at most `max_warm_edits` events; the
+///     entry's persistent DynamicGame is patched (AddEvent/RemoveEvent),
+///     which re-settles only the perturbed neighborhood (§3.1's "seed the
+///     next execution with the last solution") instead of re-solving from
+///     scratch. The patched entry then *becomes* the entry for the new
+///     signature.
+///
+/// Entries are invalidated lazily: each remembers the session version it
+/// was computed under, and a lookup under a newer version (user moved,
+/// graph mutated) drops it. Eviction is LRU. All methods are thread-safe
+/// behind one mutex — patching a game is milliseconds, so a finer scheme
+/// buys nothing at serving scale.
+class EquilibriumCache {
+ public:
+  struct Config {
+    size_t capacity = 64;        ///< max cached games (0 disables)
+    uint32_t max_warm_edits = 4; ///< max event edits for a warm hit
+  };
+
+  struct Stats {
+    uint64_t lookups = 0;
+    uint64_t exact_hits = 0;
+    uint64_t warm_hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;  ///< entries dropped for stale version
+  };
+
+  struct Hit {
+    Assignment assignment;  ///< remapped to the query's event numbering
+    bool warm = false;      ///< true when the entry was patched, not exact
+  };
+
+  /// `graph` is borrowed and must outlive the cache.
+  EquilibriumCache(const Graph* graph, const Config& config);
+
+  /// Returns the cached equilibrium for the signature, patching a
+  /// near-duplicate entry when possible; nullopt on a miss. Entries cached
+  /// under a different session version are dropped on sight, so a surviving
+  /// entry's DynamicGame always holds the session's current user
+  /// locations. A warm patch that fails internally degrades to a miss.
+  std::optional<Hit> Lookup(uint64_t version, const std::vector<Point>& events,
+                            double alpha, double cost_scale);
+
+  /// Caches a *converged* equilibrium for the signature: builds a
+  /// persistent DynamicGame warm-started from `assignment` (immediate
+  /// settle — the assignment is already a Nash equilibrium). No-op when an
+  /// entry with this signature already exists or capacity is 0.
+  void Insert(uint64_t version, const std::vector<Point>& users,
+              const std::vector<Point>& events, double alpha,
+              double cost_scale, const Assignment& assignment);
+
+  /// Drops every entry (graph topology changed under the session).
+  void Clear();
+
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    double alpha = 0.0;
+    double cost_scale = 1.0;
+    uint64_t version = 0;
+    std::vector<Point> events;  ///< signature order (query order at insert)
+    std::unique_ptr<DynamicGame> game;
+    uint64_t last_used = 0;
+  };
+
+  /// Number of AddEvent/RemoveEvent edits to turn `entry`'s event multiset
+  /// into `events`; SIZE_MAX when either side is empty.
+  static size_t EditDistance(const std::vector<Point>& a,
+                             const std::vector<Point>& b);
+
+  const Graph* graph_;
+  Config config_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  uint64_t tick_ = 0;  // LRU clock
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace rmgp
+
+#endif  // RMGP_SERVE_EQUILIBRIUM_CACHE_H_

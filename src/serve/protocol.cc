@@ -1,0 +1,221 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+namespace rmgp {
+namespace serve {
+namespace {
+
+/// Reads an optional scalar field, keeping `out` untouched when absent.
+/// Returns false (after setting *error) on a type mismatch.
+bool ReadNumber(const Json& obj, std::string_view key, double* out,
+                std::string* error) {
+  const Json* field = obj.Find(key);
+  if (field == nullptr) return true;
+  if (!field->is_number()) {
+    *error = std::string(key) + " must be a number";
+    return false;
+  }
+  *out = field->AsDouble();
+  return true;
+}
+
+bool ReadBool(const Json& obj, std::string_view key, bool* out,
+              std::string* error) {
+  const Json* field = obj.Find(key);
+  if (field == nullptr) return true;
+  if (!field->is_bool()) {
+    *error = std::string(key) + " must be a boolean";
+    return false;
+  }
+  *out = field->AsBool();
+  return true;
+}
+
+/// [x, y] -> Point.
+bool ReadPoint(const Json& value, Point* out, std::string* error) {
+  if (!value.is_array() || value.size() != 2 || !value[0].is_number() ||
+      !value[1].is_number()) {
+    *error = "a point must be a [x, y] number pair";
+    return false;
+  }
+  out->x = value[0].AsDouble();
+  out->y = value[1].AsDouble();
+  return true;
+}
+
+Status ParseSolve(const Json& obj, Request* req) {
+  std::string error;
+  const Json* events = obj.Find("events");
+  if (events == nullptr || !events->is_array() || events->size() == 0) {
+    return Status::InvalidArgument("solve requires a non-empty events array");
+  }
+  req->query.events.reserve(events->size());
+  for (size_t i = 0; i < events->size(); ++i) {
+    Point p;
+    if (!ReadPoint((*events)[i], &p, &error)) {
+      return Status::InvalidArgument(error);
+    }
+    req->query.events.push_back(p);
+  }
+  double seed = static_cast<double>(req->query.seed);
+  if (!ReadNumber(obj, "alpha", &req->query.alpha, &error) ||
+      !ReadNumber(obj, "cost_scale", &req->query.cost_scale, &error) ||
+      !ReadNumber(obj, "deadline_ms", &req->query.deadline_ms, &error) ||
+      !ReadNumber(obj, "seed", &seed, &error) ||
+      !ReadBool(obj, "cache", &req->query.use_cache, &error) ||
+      !ReadBool(obj, "return_assignment", &req->query.return_assignment,
+                &error)) {
+    return Status::InvalidArgument(error);
+  }
+  req->query.seed = static_cast<uint64_t>(seed);
+  if (const Json* solver = obj.Find("solver"); solver != nullptr) {
+    if (!solver->is_string()) {
+      return Status::InvalidArgument("solver must be a string");
+    }
+    req->query.solver = solver->AsString();
+  }
+  return Status::OK();
+}
+
+Status ParseUpdateUser(const Json& obj, Request* req) {
+  std::string error;
+  const Json* user = obj.Find("user");
+  if (user == nullptr || !user->is_number()) {
+    return Status::InvalidArgument("update_user requires a numeric user");
+  }
+  req->user = static_cast<NodeId>(user->AsDouble());
+  const Json* location = obj.Find("location");
+  if (location == nullptr || !ReadPoint(*location, &req->location, &error)) {
+    return Status::InvalidArgument("update_user requires a [x, y] location");
+  }
+  return Status::OK();
+}
+
+Status ParseNearby(const Json& obj, Request* req) {
+  const Json* box = obj.Find("box");
+  if (box == nullptr || !box->is_array() || box->size() != 4 ||
+      !(*box)[0].is_number() || !(*box)[1].is_number() ||
+      !(*box)[2].is_number() || !(*box)[3].is_number()) {
+    return Status::InvalidArgument(
+        "nearby requires box: [min_x, min_y, max_x, max_y]");
+  }
+  req->box.min.x = (*box)[0].AsDouble();
+  req->box.min.y = (*box)[1].AsDouble();
+  req->box.max.x = (*box)[2].AsDouble();
+  req->box.max.y = (*box)[3].AsDouble();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(std::string_view line) {
+  Result<Json> doc = Json::Parse(line);
+  if (!doc.ok()) return doc.status();
+  const Json& obj = doc.value();
+  if (!obj.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  Request req;
+  if (const Json* id = obj.Find("id"); id != nullptr) {
+    if (!id->is_number()) {
+      return Status::InvalidArgument("id must be a number");
+    }
+    req.id = id->AsDouble();
+  }
+
+  const Json* op = obj.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return Status::InvalidArgument("request requires a string op");
+  }
+  const std::string& name = op->AsString();
+  Status parsed = Status::OK();
+  if (name == "solve") {
+    req.op = Request::Op::kSolve;
+    parsed = ParseSolve(obj, &req);
+  } else if (name == "update_user") {
+    req.op = Request::Op::kUpdateUser;
+    parsed = ParseUpdateUser(obj, &req);
+  } else if (name == "nearby") {
+    req.op = Request::Op::kNearby;
+    parsed = ParseNearby(obj, &req);
+  } else if (name == "metrics") {
+    req.op = Request::Op::kMetrics;
+  } else if (name == "quit") {
+    req.op = Request::Op::kQuit;
+  } else {
+    return Status::InvalidArgument("unknown op: " + name);
+  }
+  if (!parsed.ok()) return parsed;
+  return req;
+}
+
+std::string ReadyBanner(const RmgpService& service) {
+  Json banner = Json::Object();
+  banner.Set("status", "ready");
+  banner.Set("protocol", kProtocolName);
+  banner.Set("num_users", service.num_users());
+  banner.Set("version", service.version());
+  return banner.Dump();
+}
+
+std::string SerializeQueryResult(double id, const QueryResult& result) {
+  Json out = Json::Object();
+  out.Set("id", id);
+  out.Set("status", "ok");
+  out.Set("converged", result.converged);
+  out.Set("timed_out", result.timed_out);
+  out.Set("rounds", result.rounds);
+  out.Set("objective", result.objective.total);
+  out.Set("assignment_cost", result.objective.assignment);
+  out.Set("social_cost", result.objective.social);
+  out.Set("cache", CacheOutcomeName(result.cache));
+  out.Set("queue_ms", result.queue_ms);
+  out.Set("solve_ms", result.solve_ms);
+  out.Set("total_ms", result.total_ms);
+  out.Set("session_version", result.session_version);
+  if (!result.assignment.empty()) {
+    Json assignment = Json::Array();
+    for (const ClassId c : result.assignment) assignment.Append(c);
+    out.Set("assignment", std::move(assignment));
+  }
+  return out.Dump();
+}
+
+std::string SerializeCount(double id, size_t count) {
+  Json out = Json::Object();
+  out.Set("id", id);
+  out.Set("status", "ok");
+  out.Set("count", static_cast<uint64_t>(count));
+  return out.Dump();
+}
+
+std::string SerializeAck(double id) {
+  Json out = Json::Object();
+  out.Set("id", id);
+  out.Set("status", "ok");
+  return out.Dump();
+}
+
+std::string SerializeMetrics(double id, Json metrics) {
+  Json out = Json::Object();
+  out.Set("id", id);
+  out.Set("status", "ok");
+  out.Set("metrics", std::move(metrics));
+  return out.Dump();
+}
+
+std::string SerializeFailure(double id, const Status& status) {
+  Json out = Json::Object();
+  out.Set("id", id);
+  out.Set("status", status.code() == StatusCode::kFailedPrecondition
+                        ? "rejected"
+                        : "error");
+  out.Set("code", StatusCodeToString(status.code()));
+  out.Set("message", status.message());
+  return out.Dump();
+}
+
+}  // namespace serve
+}  // namespace rmgp

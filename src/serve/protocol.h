@@ -1,0 +1,69 @@
+#ifndef RMGP_SERVE_PROTOCOL_H_
+#define RMGP_SERVE_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+
+#include "serve/service.h"
+#include "spatial/point.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace rmgp {
+namespace serve {
+
+/// Wire protocol of tools/rmgp_serve: newline-delimited JSON, one request
+/// object per line, one response object per line, correlated by the echoed
+/// client-chosen "id". See README "Serving" for the full field reference.
+///
+///   {"id":1,"op":"solve","events":[[x,y],...],"alpha":0.5,
+///    "solver":"RMGP_gt","deadline_ms":50,"seed":7,"cost_scale":1.0,
+///    "cache":true,"return_assignment":false}
+///   {"id":2,"op":"update_user","user":17,"location":[x,y]}
+///   {"id":3,"op":"nearby","box":[min_x,min_y,max_x,max_y]}
+///   {"id":4,"op":"metrics"}
+///   {"id":5,"op":"quit"}
+inline constexpr const char* kProtocolName = "rmgp-serve/1";
+
+/// A parsed request line.
+struct Request {
+  enum class Op { kSolve, kUpdateUser, kNearby, kMetrics, kQuit };
+
+  double id = 0.0;  ///< echoed verbatim in the response
+  Op op = Op::kSolve;
+  Query query;            // kSolve
+  NodeId user = 0;        // kUpdateUser
+  Point location;         // kUpdateUser
+  BoundingBox box;        // kNearby
+};
+
+/// Parses one request line. InvalidArgument on malformed JSON, unknown op,
+/// or missing/ill-typed fields.
+Result<Request> ParseRequest(std::string_view line);
+
+/// {"status":"ready","protocol":"rmgp-serve/1","num_users":..,...} — the
+/// banner rmgp_serve prints once the session is loaded, so drivers know
+/// the server is accepting requests.
+std::string ReadyBanner(const RmgpService& service);
+
+/// {"id":..,"status":"ok",...} for a completed solve.
+std::string SerializeQueryResult(double id, const QueryResult& result);
+
+/// {"id":..,"status":"ok","count":..} for a nearby count.
+std::string SerializeCount(double id, size_t count);
+
+/// {"id":..,"status":"ok"} for an acknowledged mutation.
+std::string SerializeAck(double id);
+
+/// {"id":..,"status":"ok","metrics":{...}}.
+std::string SerializeMetrics(double id, Json metrics);
+
+/// {"id":..,"status":"rejected"|"error","code":..,"message":..}. A
+/// FailedPrecondition (queue full) maps to "rejected" — load shedding the
+/// client should retry — everything else to "error".
+std::string SerializeFailure(double id, const Status& status);
+
+}  // namespace serve
+}  // namespace rmgp
+
+#endif  // RMGP_SERVE_PROTOCOL_H_

@@ -1,0 +1,61 @@
+// The serving layer's single sanctioned output path: every response line
+// tools/rmgp_serve emits goes through the writer thread below, keeping
+// worker callbacks free of blocking I/O.
+// rmgp-lint: sanctioned-file(no-stdout)
+// rmgp-lint: sanctioned-file(no-blocking-io)
+#include "serve/response_writer.h"
+
+#include <utility>
+
+namespace rmgp {
+namespace serve {
+
+ResponseWriter::ResponseWriter(std::FILE* out)
+    : out_(out), thread_([this] { Loop(); }) {}
+
+ResponseWriter::~ResponseWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+}
+
+void ResponseWriter::Write(std::string line) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(line));
+  }
+  wake_.notify_one();
+}
+
+void ResponseWriter::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this] { return queue_.empty() && !writing_; });
+}
+
+void ResponseWriter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    wake_.wait(lock, [this] { return !queue_.empty() || stop_; });
+    if (queue_.empty() && stop_) break;
+    if (queue_.empty()) continue;
+    std::string line = std::move(queue_.front());
+    queue_.pop_front();
+    writing_ = true;
+    lock.unlock();
+    // I/O happens with the lock released so Write never blocks behind a
+    // slow pipe.
+    std::fwrite(line.data(), 1, line.size(), out_);
+    std::fputc('\n', out_);
+    std::fflush(out_);
+    lock.lock();
+    writing_ = false;
+    if (queue_.empty()) drained_.notify_all();
+  }
+  std::fflush(out_);
+}
+
+}  // namespace serve
+}  // namespace rmgp

@@ -1,0 +1,55 @@
+#ifndef RMGP_SERVE_RESPONSE_WRITER_H_
+#define RMGP_SERVE_RESPONSE_WRITER_H_
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace rmgp {
+namespace serve {
+
+/// Serializes response lines to an output stream from a dedicated writer
+/// thread. Worker callbacks — which must never block on I/O (a stalled
+/// client pipe would wedge the solve pool; see the rmgp_lint
+/// no-blocking-io rule) — just enqueue a string; the writer thread owns
+/// every fwrite/fflush. Lines are emitted in enqueue order, one '\n'
+/// appended each, flushed after every line so drivers see responses
+/// promptly.
+class ResponseWriter {
+ public:
+  /// `out` is borrowed (typically stdout) and must outlive the writer.
+  explicit ResponseWriter(std::FILE* out);
+
+  /// Drains the queue, then joins the writer thread.
+  ~ResponseWriter();
+
+  ResponseWriter(const ResponseWriter&) = delete;
+  ResponseWriter& operator=(const ResponseWriter&) = delete;
+
+  /// Enqueues one response line (without trailing newline). Thread-safe,
+  /// never blocks on the output stream.
+  void Write(std::string line);
+
+  /// Blocks until everything enqueued so far has been written + flushed.
+  void Drain();
+
+ private:
+  void Loop();
+
+  std::FILE* out_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable drained_;
+  std::deque<std::string> queue_;
+  bool writing_ = false;  // Loop is between dequeue and flush
+  bool stop_ = false;
+  std::thread thread_;  // last member: started after state is ready
+};
+
+}  // namespace serve
+}  // namespace rmgp
+
+#endif  // RMGP_SERVE_RESPONSE_WRITER_H_

@@ -1,0 +1,108 @@
+#include "serve/serve_metrics.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace rmgp {
+namespace serve {
+
+LatencyHistogram::LatencyHistogram(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+void LatencyHistogram::Record(double millis) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (window_.size() < capacity_) {
+    window_.push_back(millis);
+  } else {
+    window_[next_] = millis;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++count_;
+  sum_ += millis;
+  max_ = std::max(max_, millis);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  std::vector<double> window;
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ == 0) return snap;
+    window = window_;
+    snap.count = count_;
+    snap.mean = sum_ / static_cast<double>(count_);
+    snap.max = max_;
+  }
+  snap.p50 = Percentile(window, 50.0);
+  snap.p90 = Percentile(window, 90.0);
+  snap.p99 = Percentile(std::move(window), 99.0);
+  return snap;
+}
+
+Json LatencyHistogram::ToJson() const {
+  const Snapshot snap = Snap();
+  Json out = Json::Object();
+  out.Set("count", snap.count);
+  out.Set("mean_ms", snap.mean);
+  out.Set("p50_ms", snap.p50);
+  out.Set("p90_ms", snap.p90);
+  out.Set("p99_ms", snap.p99);
+  out.Set("max_ms", snap.max);
+  return out;
+}
+
+std::atomic<uint64_t>& MetricsRegistry::Counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, value] : counters_) {
+    if (key == name) return *value;
+  }
+  counters_.emplace_back(std::string(name),
+                         std::make_unique<std::atomic<uint64_t>>(0));
+  return *counters_.back().second;
+}
+
+std::atomic<int64_t>& MetricsRegistry::Gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, value] : gauges_) {
+    if (key == name) return *value;
+  }
+  gauges_.emplace_back(std::string(name),
+                       std::make_unique<std::atomic<int64_t>>(0));
+  return *gauges_.back().second;
+}
+
+LatencyHistogram& MetricsRegistry::Histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, value] : histograms_) {
+    if (key == name) return *value;
+  }
+  histograms_.emplace_back(std::string(name),
+                           std::make_unique<LatencyHistogram>());
+  return *histograms_.back().second;
+}
+
+Json MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::Object();
+  for (const auto& [key, value] : counters_) {
+    counters.Set(key, value->load(std::memory_order_relaxed));
+  }
+  Json gauges = Json::Object();
+  for (const auto& [key, value] : gauges_) {
+    gauges.Set(key, static_cast<int64_t>(value->load(
+                        std::memory_order_relaxed)));
+  }
+  Json latency = Json::Object();
+  for (const auto& [key, value] : histograms_) {
+    latency.Set(key, value->ToJson());
+  }
+  Json out = Json::Object();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("latency", std::move(latency));
+  return out;
+}
+
+}  // namespace serve
+}  // namespace rmgp

@@ -1,0 +1,88 @@
+#ifndef RMGP_SERVE_SERVE_METRICS_H_
+#define RMGP_SERVE_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace rmgp {
+namespace serve {
+
+/// Sliding-window latency recorder: keeps the most recent `capacity`
+/// samples in a ring buffer (plus running count/sum/max over *all*
+/// samples) and computes percentile snapshots on demand via
+/// util::Percentile. Recording is a mutex-protected store — cheap next to
+/// the millisecond-scale solves it measures.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(size_t capacity = size_t{1} << 14);
+
+  void Record(double millis);
+
+  struct Snapshot {
+    uint64_t count = 0;   ///< lifetime samples (window may be smaller)
+    double mean = 0.0;    ///< lifetime mean
+    double max = 0.0;     ///< lifetime max
+    double p50 = 0.0;     ///< percentiles over the current window
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+
+  /// Copies the window and sorts it; call at dump frequency, not per query.
+  Snapshot Snap() const;
+
+  /// {"count":..,"mean_ms":..,"p50_ms":..,"p90_ms":..,"p99_ms":..,"max_ms":..}
+  Json ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> window_;  // ring buffer, size <= capacity_
+  size_t capacity_;
+  size_t next_ = 0;     // ring cursor
+  uint64_t count_ = 0;  // lifetime
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named counters, gauges, and latency histograms for the serving layer.
+/// Handles returned by Counter()/Gauge()/Histogram() are stable for the
+/// registry's lifetime, so hot paths resolve a name once and then touch an
+/// atomic. ToJson() emits the whole registry (insertion-ordered) for the
+/// `metrics` endpoint and BENCH_serving.json.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Monotonically increasing event count (requests, hits, errors...).
+  std::atomic<uint64_t>& Counter(std::string_view name);
+
+  /// Instantaneous level (queue depth, cache size...); may go down.
+  std::atomic<int64_t>& Gauge(std::string_view name);
+
+  LatencyHistogram& Histogram(std::string_view name);
+
+  /// {"counters":{...},"gauges":{...},"latency":{name:{count,..},...}}
+  Json ToJson() const;
+
+ private:
+  mutable std::mutex mu_;  // guards the name->slot maps, not the values
+  std::vector<std::pair<std::string, std::unique_ptr<std::atomic<uint64_t>>>>
+      counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<std::atomic<int64_t>>>>
+      gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<LatencyHistogram>>>
+      histograms_;
+};
+
+}  // namespace serve
+}  // namespace rmgp
+
+#endif  // RMGP_SERVE_SERVE_METRICS_H_

@@ -1,0 +1,284 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/cost_provider.h"
+#include "core/instance.h"
+#include "util/dcheck.h"
+
+namespace rmgp {
+namespace serve {
+namespace {
+
+double MillisBetween(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+const char* CacheOutcomeName(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kDisabled: return "disabled";
+    case CacheOutcome::kMiss: return "miss";
+    case CacheOutcome::kExactHit: return "exact_hit";
+    case CacheOutcome::kWarmHit: return "warm_hit";
+  }
+  return "unknown";
+}
+
+RmgpService::RmgpService(Graph graph, std::vector<Point> user_locations,
+                         const ServiceConfig& config)
+    : graph_(std::move(graph)),
+      config_(config),
+      users_(std::move(user_locations)),
+      cache_(&graph_, EquilibriumCache::Config{config.cache_capacity,
+                                               config.max_warm_edits}) {
+  RMGP_DCHECK(users_.size() == graph_.num_nodes())
+      << "user_locations size must match the graph";
+  if (!users_.empty()) {
+    user_index_ = std::make_unique<GridIndex>(users_);
+  }
+  pool_ = std::make_unique<ThreadPool>(
+      std::max<uint32_t>(1, config_.num_workers));
+}
+
+RmgpService::~RmgpService() = default;  // pool_ dies first and drains
+
+SolverOptions RmgpService::MakeSolverOptions(const Query& query,
+                                             uint32_t solver_threads) {
+  SolverOptions options;
+  // Deterministic serving defaults: closest-class init and node-id order
+  // make a query's result a pure function of (session state, query), so
+  // cache hits and fresh solves are comparable and tests can replay
+  // served queries offline.
+  options.init = InitPolicy::kClosestClass;
+  options.order = OrderPolicy::kNodeId;
+  options.seed = query.seed;
+  options.num_threads = std::max<uint32_t>(1, solver_threads);
+  options.record_rounds = false;
+  return options;
+}
+
+Result<SolveResult> RmgpService::RunSolver(const std::string& name,
+                                           const Instance& inst,
+                                           const SolverOptions& options) {
+  if (name == "RMGP_b") return SolveBaseline(inst, options);
+  if (name == "RMGP_se") return SolveStrategyElimination(inst, options);
+  if (name == "RMGP_is") return SolveIndependentSets(inst, options);
+  if (name == "RMGP_gt") return SolveGlobalTable(inst, options);
+  if (name == "RMGP_all") return SolveAll(inst, options);
+  if (name == "RMGP_pq") return SolveBestImprovement(inst, options);
+  return Status::InvalidArgument("unknown solver: " + name);
+}
+
+Status RmgpService::Submit(Query query, Callback done) {
+  metrics_.Counter("solve.requests").fetch_add(1, std::memory_order_relaxed);
+  // Admission control: claim a queue token before enqueueing; give it
+  // back and reject synchronously when the queue (queued + running) is
+  // full. The callback never runs for a rejected query.
+  const size_t occupied = in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (occupied >= config_.queue_capacity) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_.Counter("solve.rejected").fetch_add(1,
+                                                 std::memory_order_relaxed);
+    return Status::FailedPrecondition("request queue full");
+  }
+  metrics_.Gauge("queue.depth")
+      .store(static_cast<int64_t>(occupied + 1), std::memory_order_relaxed);
+
+  const auto submit_time = std::chrono::steady_clock::now();
+  pool_->Submit([this, query = std::move(query), done = std::move(done),
+                 submit_time]() mutable {
+    Result<QueryResult> result = Execute(query, submit_time);
+    const size_t remaining =
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    metrics_.Gauge("queue.depth")
+        .store(static_cast<int64_t>(remaining), std::memory_order_relaxed);
+    if (!result.ok()) {
+      metrics_.Counter("solve.errors").fetch_add(1,
+                                                 std::memory_order_relaxed);
+      if (done) done(result.status(), QueryResult{});
+      return;
+    }
+    if (done) done(Status::OK(), result.value());
+  });
+  return Status::OK();
+}
+
+Result<QueryResult> RmgpService::Solve(const Query& query) {
+  metrics_.Counter("solve.requests").fetch_add(1, std::memory_order_relaxed);
+  Result<QueryResult> result = Execute(query, std::chrono::steady_clock::now());
+  if (!result.ok()) {
+    metrics_.Counter("solve.errors").fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+Result<QueryResult> RmgpService::Execute(
+    const Query& query, std::chrono::steady_clock::time_point submit_time) {
+  const auto start = std::chrono::steady_clock::now();
+  if (query.events.empty()) {
+    return Status::InvalidArgument("query carries no events");
+  }
+
+  QueryResult out;
+  out.queue_ms = MillisBetween(submit_time, start);
+
+  // Snapshot the session: in-flight queries finish against the user
+  // locations they started with even if a check-in lands mid-solve.
+  std::vector<Point> users;
+  {
+    std::shared_lock<std::shared_mutex> lock(session_mu_);
+    users = users_;
+    out.session_version = version_;
+  }
+
+  auto costs =
+      std::make_shared<EuclideanCostProvider>(users, query.events);
+  Result<Instance> inst_or =
+      Instance::Create(&graph_, std::move(costs), query.alpha);
+  if (!inst_or.ok()) return inst_or.status();
+  Instance inst = std::move(inst_or).value();
+  inst.set_cost_scale(query.cost_scale);
+
+  const bool cache_enabled = query.use_cache && config_.cache_capacity > 0;
+  out.cache = cache_enabled ? CacheOutcome::kMiss : CacheOutcome::kDisabled;
+  bool solved = false;
+  if (cache_enabled) {
+    std::optional<EquilibriumCache::Hit> hit = cache_.Lookup(
+        out.session_version, query.events, query.alpha, query.cost_scale);
+    if (hit.has_value()) {
+      out.assignment = std::move(hit->assignment);
+      // Recompute through the same EvaluateObjective a fresh solve ends
+      // with (FinalizeResult), so a hit's objective is bit-comparable.
+      out.objective = EvaluateObjective(inst, out.assignment);
+      out.converged = true;
+      out.cache =
+          hit->warm ? CacheOutcome::kWarmHit : CacheOutcome::kExactHit;
+      solved = true;
+    }
+  }
+
+  if (!solved) {
+    SolverOptions options =
+        MakeSolverOptions(query, config_.solver_threads);
+    if (query.deadline_ms > 0.0) {
+      options.deadline =
+          submit_time + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                query.deadline_ms));
+    }
+    Result<SolveResult> res_or = RunSolver(query.solver, inst, options);
+    if (!res_or.ok()) return res_or.status();
+    SolveResult res = std::move(res_or).value();
+    out.converged = res.converged;
+    out.timed_out = res.timed_out;
+    out.rounds = res.rounds;
+    out.objective = res.objective;
+    if (cache_enabled && res.converged && !res.timed_out) {
+      cache_.Insert(out.session_version, users, query.events, query.alpha,
+                    query.cost_scale, res.assignment);
+    }
+    out.assignment = std::move(res.assignment);
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  out.solve_ms = MillisBetween(start, end);
+  out.total_ms = MillisBetween(submit_time, end);
+
+  metrics_.Counter("solve.completed").fetch_add(1, std::memory_order_relaxed);
+  if (out.timed_out) {
+    metrics_.Counter("solve.timed_out").fetch_add(1,
+                                                  std::memory_order_relaxed);
+  }
+  switch (out.cache) {
+    case CacheOutcome::kExactHit:
+      metrics_.Counter("cache.exact_hits")
+          .fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CacheOutcome::kWarmHit:
+      metrics_.Counter("cache.warm_hits")
+          .fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CacheOutcome::kMiss:
+      metrics_.Counter("cache.misses").fetch_add(1,
+                                                 std::memory_order_relaxed);
+      break;
+    case CacheOutcome::kDisabled:
+      break;
+  }
+  metrics_.Histogram("solve.queue_ms").Record(out.queue_ms);
+  metrics_.Histogram("solve.solve_ms").Record(out.solve_ms);
+  metrics_.Histogram("solve.total_ms").Record(out.total_ms);
+
+  if (!query.return_assignment) {
+    out.assignment.clear();
+    out.assignment.shrink_to_fit();
+  }
+  return out;
+}
+
+Status RmgpService::UpdateUserLocation(NodeId v, const Point& location) {
+  metrics_.Counter("update_user.requests")
+      .fetch_add(1, std::memory_order_relaxed);
+  if (v >= graph_.num_nodes()) {
+    return Status::OutOfRange("user id out of range");
+  }
+  std::unique_lock<std::shared_mutex> lock(session_mu_);
+  users_[v] = location;
+  ++version_;  // cached equilibria for older versions die lazily
+  user_index_ = std::make_unique<GridIndex>(users_);
+  return Status::OK();
+}
+
+size_t RmgpService::CountUsersIn(const BoundingBox& box) const {
+  metrics_.Counter("nearby.requests").fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  if (user_index_ == nullptr) return 0;
+  return user_index_->Range(box).size();
+}
+
+uint64_t RmgpService::version() const {
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  return version_;
+}
+
+Json RmgpService::MetricsJson() const {
+  Json out = metrics_.ToJson();
+
+  const EquilibriumCache::Stats cs = cache_.stats();
+  const uint64_t hits = cs.exact_hits + cs.warm_hits;
+  Json cache = Json::Object();
+  cache.Set("lookups", cs.lookups);
+  cache.Set("exact_hits", cs.exact_hits);
+  cache.Set("warm_hits", cs.warm_hits);
+  cache.Set("misses", cs.misses);
+  cache.Set("hit_rate", cs.lookups == 0 ? 0.0
+                                        : static_cast<double>(hits) /
+                                              static_cast<double>(cs.lookups));
+  cache.Set("insertions", cs.insertions);
+  cache.Set("evictions", cs.evictions);
+  cache.Set("invalidations", cs.invalidations);
+  cache.Set("size", static_cast<uint64_t>(cache_.size()));
+  out.Set("cache", std::move(cache));
+
+  Json queue = Json::Object();
+  queue.Set("depth",
+            static_cast<uint64_t>(in_flight_.load(std::memory_order_relaxed)));
+  queue.Set("capacity", static_cast<uint64_t>(config_.queue_capacity));
+  queue.Set("workers", config_.num_workers);
+  out.Set("queue", std::move(queue));
+
+  Json session = Json::Object();
+  session.Set("version", version());
+  session.Set("num_users", graph_.num_nodes());
+  session.Set("num_edges", graph_.num_edges());
+  out.Set("session", std::move(session));
+  return out;
+}
+
+}  // namespace serve
+}  // namespace rmgp

@@ -1,0 +1,157 @@
+#ifndef RMGP_SERVE_SERVICE_H_
+#define RMGP_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/objective.h"
+#include "core/solver.h"
+#include "graph/graph.h"
+#include "serve/equilibrium_cache.h"
+#include "serve/serve_metrics.h"
+#include "spatial/grid_index.h"
+#include "spatial/point.h"
+#include "util/json.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace rmgp {
+namespace serve {
+
+/// Serving-session knobs.
+struct ServiceConfig {
+  uint32_t num_workers = 4;    ///< query worker threads
+  size_t queue_capacity = 64;  ///< max in-flight queries (queued + running)
+  size_t cache_capacity = 64;  ///< equilibrium cache entries (0 disables)
+  uint32_t max_warm_edits = 4; ///< event edits a warm cache hit may patch
+  uint32_t solver_threads = 2; ///< threads *inside* one solver run; results
+                               ///< never depend on this (see SolverOptions)
+};
+
+/// One partitioning query: the classes P (event locations), the preference
+/// α, the cost normalization CN, and serving controls.
+struct Query {
+  std::vector<Point> events;
+  double alpha = 0.5;
+  double cost_scale = 1.0;
+  std::string solver = "RMGP_gt";  ///< RMGP_b/se/is/gt/all/pq
+  uint64_t seed = 1;
+  double deadline_ms = 0.0;  ///< 0 = no deadline; else anytime semantics
+  bool use_cache = true;
+  bool return_assignment = false;
+};
+
+/// How the equilibrium cache participated in a query.
+enum class CacheOutcome { kDisabled, kMiss, kExactHit, kWarmHit };
+
+const char* CacheOutcomeName(CacheOutcome outcome);
+
+/// Everything a client gets back for one query.
+struct QueryResult {
+  Assignment assignment;  ///< filled iff Query::return_assignment
+  CostBreakdown objective;
+  bool converged = false;
+  bool timed_out = false;  ///< deadline tripped; assignment is the anytime
+                           ///< partial solution (still valid)
+  uint32_t rounds = 0;
+  CacheOutcome cache = CacheOutcome::kDisabled;
+  double queue_ms = 0.0;  ///< submit -> worker pickup
+  double solve_ms = 0.0;  ///< solver (or cache path) alone
+  double total_ms = 0.0;  ///< submit -> completion
+  uint64_t session_version = 0;  ///< session state the query saw
+};
+
+/// A long-lived serving session: one social graph plus the latest user
+/// check-in locations, a bounded query queue feeding a worker pool, the
+/// equilibrium cache, and a metrics registry. Queries are admitted or
+/// rejected synchronously (FailedPrecondition when the queue is full) and
+/// complete asynchronously via callback.
+///
+/// Thread-safety: Submit/Solve/UpdateUserLocation/CountUsersIn/MetricsJson
+/// may be called concurrently. Session mutations (UpdateUserLocation) bump
+/// an internal version; in-flight queries finish against the snapshot they
+/// started with, and cache entries from older versions are dropped lazily.
+class RmgpService {
+ public:
+  /// Called on a worker thread when the query finishes. The status is
+  /// non-OK only for invalid queries (bad α, unknown solver, ...).
+  using Callback = std::function<void(const Status&, const QueryResult&)>;
+
+  /// Takes ownership of the session graph and check-in locations
+  /// (`user_locations.size()` must equal the graph's node count).
+  RmgpService(Graph graph, std::vector<Point> user_locations,
+              const ServiceConfig& config);
+
+  /// Drains in-flight queries.
+  ~RmgpService();
+
+  RmgpService(const RmgpService&) = delete;
+  RmgpService& operator=(const RmgpService&) = delete;
+
+  /// Admits the query into the request queue, or rejects it *now* with
+  /// FailedPrecondition when `queue_capacity` queries are already in
+  /// flight (the callback never runs for a rejected query).
+  Status Submit(Query query, Callback done);
+
+  /// Synchronous convenience: runs the query on the caller's thread with
+  /// the same pipeline (cache, deadline, metrics) but no admission
+  /// control.
+  Result<QueryResult> Solve(const Query& query);
+
+  /// Moves user v to a new check-in location: bumps the session version
+  /// (invalidating cached equilibria) and rebuilds the user index.
+  Status UpdateUserLocation(NodeId v, const Point& location);
+
+  /// Users currently checked in inside `box` (spatial-index endpoint).
+  size_t CountUsersIn(const BoundingBox& box) const;
+
+  NodeId num_users() const { return graph_.num_nodes(); }
+  uint64_t version() const;
+
+  /// Queue + worker + cache + latency metrics as one JSON object.
+  Json MetricsJson() const;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  EquilibriumCache::Stats cache_stats() const { return cache_.stats(); }
+
+  /// The exact SolverOptions a query runs with (deadline aside). Exposed
+  /// so tests can reproduce served results bit-for-bit offline.
+  static SolverOptions MakeSolverOptions(const Query& query,
+                                         uint32_t solver_threads);
+
+  /// Dispatches `name` ("RMGP_b", ..., "RMGP_pq") to the matching solver.
+  static Result<SolveResult> RunSolver(const std::string& name,
+                                       const Instance& inst,
+                                       const SolverOptions& options);
+
+ private:
+  /// Full query pipeline; runs on a worker (Submit) or inline (Solve).
+  Result<QueryResult> Execute(
+      const Query& query, std::chrono::steady_clock::time_point submit_time);
+
+  Graph graph_;
+  ServiceConfig config_;
+
+  mutable std::shared_mutex session_mu_;  // users_, user_index_, version_
+  std::vector<Point> users_;
+  std::unique_ptr<GridIndex> user_index_;
+  uint64_t version_ = 0;
+
+  mutable EquilibriumCache cache_;
+  // mutable: const observers (CountUsersIn, MetricsJson) still count
+  // themselves; the registry is internally synchronized.
+  mutable MetricsRegistry metrics_;
+  std::atomic<size_t> in_flight_{0};  // admission-control token count
+  std::unique_ptr<ThreadPool> pool_;  // last member: dies (drains) first
+};
+
+}  // namespace serve
+}  // namespace rmgp
+
+#endif  // RMGP_SERVE_SERVICE_H_

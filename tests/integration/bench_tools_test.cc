@@ -208,6 +208,83 @@ TEST_F(BenchSuiteTest, SchemaMismatchIsRejected) {
   EXPECT_FALSE(report.ok);
 }
 
+/// A minimal but complete serving document (the shape rmgp_loadgen emits):
+/// one record named "mix" carrying the two gated fields.
+Json ServingDoc(double p99_ms, double hit_rate) {
+  Json latency = Json::Object();
+  latency.Set("p99_ms", p99_ms);
+  Json cache = Json::Object();
+  cache.Set("hit_rate", hit_rate);
+  Json record = Json::Object();
+  record.Set("name", "mix");
+  record.Set("latency_ms", std::move(latency));
+  record.Set("cache", std::move(cache));
+  Json records = Json::Array();
+  records.Append(std::move(record));
+  Json doc = Json::Object();
+  doc.Set("schema", kServingSchema);
+  doc.Set("records", std::move(records));
+  return doc;
+}
+
+TEST(CompareServingTest, IdenticalRunsPass) {
+  const Json doc = ServingDoc(120.0, 0.45);
+  const CompareReport report = CompareBench(doc, doc, CompareOptions());
+  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.regressions.empty());
+}
+
+TEST(CompareServingTest, TailLatencyRegressionIsCaught) {
+  const Json base = ServingDoc(100.0, 0.45);
+  // Default time_threshold is 10%; +25% on p99 must trip the gate, and a
+  // faster candidate must not.
+  const CompareReport slow =
+      CompareBench(base, ServingDoc(125.0, 0.45), CompareOptions());
+  EXPECT_FALSE(slow.ok);
+  ASSERT_EQ(slow.regressions.size(), 1u);
+  EXPECT_EQ(slow.regressions[0].kind, "latency");
+  EXPECT_TRUE(
+      CompareBench(base, ServingDoc(80.0, 0.45), CompareOptions()).ok);
+
+  // --ignore-time (negative threshold) waives the latency gate.
+  CompareOptions ignore_time;
+  ignore_time.time_threshold = -1.0;
+  EXPECT_TRUE(CompareBench(base, ServingDoc(125.0, 0.45), ignore_time).ok);
+}
+
+TEST(CompareServingTest, HitRateRegressionIsCaught) {
+  const Json base = ServingDoc(100.0, 0.45);
+  // The hit-rate gate is absolute points (default 0.05): a drop to 0.30
+  // regresses, a drop within the band does not.
+  const CompareReport dropped =
+      CompareBench(base, ServingDoc(100.0, 0.30), CompareOptions());
+  EXPECT_FALSE(dropped.ok);
+  ASSERT_EQ(dropped.regressions.size(), 1u);
+  EXPECT_EQ(dropped.regressions[0].kind, "hit_rate");
+  EXPECT_TRUE(
+      CompareBench(base, ServingDoc(100.0, 0.42), CompareOptions()).ok);
+}
+
+TEST(CompareServingTest, MissingRecordAndMixedSchemasAreRejected) {
+  Json empty = Json::Object();
+  empty.Set("schema", kServingSchema);
+  empty.Set("records", Json::Array());
+  const CompareReport missing =
+      CompareBench(ServingDoc(100.0, 0.45), empty, CompareOptions());
+  EXPECT_FALSE(missing.ok);
+  ASSERT_EQ(missing.regressions.size(), 1u);
+  EXPECT_EQ(missing.regressions[0].kind, "missing");
+
+  // A serving doc never compares against a solver doc, in either order.
+  Json solver = Json::Object();
+  solver.Set("schema", kBenchSchema);
+  solver.Set("records", Json::Array());
+  EXPECT_FALSE(
+      CompareBench(ServingDoc(100.0, 0.45), solver, CompareOptions()).ok);
+  EXPECT_FALSE(
+      CompareBench(solver, ServingDoc(100.0, 0.45), CompareOptions()).ok);
+}
+
 TEST(BenchMicrobenchTest, RecordsRoundZeroBuildTimings) {
   SuiteConfig config = TinyConfig();
   config.micro_users = 300;

@@ -1,0 +1,166 @@
+// EquilibriumCache tests: hits must hand back *equilibria* (re-validated
+// against the instance they claim to solve), warm patches must re-settle,
+// and session mutations must invalidate stale entries.
+
+#include "serve/equilibrium_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/cost_provider.h"
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/solver.h"
+#include "data/datasets.h"
+
+namespace rmgp {
+namespace serve {
+namespace {
+
+struct Fixture {
+  GeoSocialDataset ds;
+  std::vector<Point> events;
+  Assignment equilibrium;
+  double objective = 0.0;
+
+  explicit Fixture(NodeId users = 300, ClassId k = 6, uint64_t seed = 11) {
+    ds = MakeUnitSquareToy(users, k, 12.0 / users, seed);
+    events.assign(ds.event_pool.begin(), ds.event_pool.begin() + k);
+    const Instance inst = MakeInstance(events);
+    SolverOptions opt;
+    opt.init = InitPolicy::kClosestClass;
+    opt.order = OrderPolicy::kNodeId;
+    auto res = SolveGlobalTable(inst, opt);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    equilibrium = res->assignment;
+    objective = res->objective.total;
+  }
+
+  Instance MakeInstance(const std::vector<Point>& query_events) const {
+    auto costs = std::make_shared<EuclideanCostProvider>(ds.user_locations,
+                                                         query_events);
+    auto inst = Instance::Create(&ds.graph, costs, 0.5);
+    EXPECT_TRUE(inst.ok()) << inst.status().ToString();
+    return std::move(inst).value();
+  }
+};
+
+TEST(EquilibriumCacheTest, ExactHitIsTheCachedEquilibrium) {
+  Fixture f;
+  EquilibriumCache cache(&f.ds.graph, {});
+  cache.Insert(1, f.ds.user_locations, f.events, 0.5, 1.0, f.equilibrium);
+
+  auto hit = cache.Lookup(1, f.events, 0.5, 1.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->warm);
+  EXPECT_EQ(hit->assignment, f.equilibrium);
+
+  // The hit re-validates as a Nash equilibrium of the query's instance.
+  const Instance inst = f.MakeInstance(f.events);
+  EXPECT_TRUE(VerifyEquilibrium(inst, hit->assignment).ok());
+  EXPECT_DOUBLE_EQ(EvaluateObjective(inst, hit->assignment).total,
+                   f.objective);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.exact_hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(EquilibriumCacheTest, PermutedEventOrderStillHitsExactly) {
+  Fixture f;
+  EquilibriumCache cache(&f.ds.graph, {});
+  cache.Insert(1, f.ds.user_locations, f.events, 0.5, 1.0, f.equilibrium);
+
+  std::vector<Point> permuted(f.events.rbegin(), f.events.rend());
+  auto hit = cache.Lookup(1, permuted, 0.5, 1.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->warm);
+
+  // Same equilibrium, renumbered into the query's event order: identical
+  // objective and still a Nash point of the permuted instance.
+  const Instance inst = f.MakeInstance(permuted);
+  EXPECT_TRUE(VerifyEquilibrium(inst, hit->assignment).ok());
+  EXPECT_DOUBLE_EQ(EvaluateObjective(inst, hit->assignment).total,
+                   f.objective);
+}
+
+TEST(EquilibriumCacheTest, WarmHitResettlesToEquilibrium) {
+  Fixture f;
+  EquilibriumCache cache(&f.ds.graph, {});
+  cache.Insert(1, f.ds.user_locations, f.events, 0.5, 1.0, f.equilibrium);
+
+  // Perturb one event: 2 edits (one removal, one addition) — inside the
+  // default warm budget of 4.
+  std::vector<Point> perturbed = f.events;
+  perturbed.back() = {perturbed.back().x * 0.5 + 0.1,
+                      perturbed.back().y * 0.5 + 0.2};
+  auto hit = cache.Lookup(1, perturbed, 0.5, 1.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->warm);
+
+  const Instance inst = f.MakeInstance(perturbed);
+  EXPECT_TRUE(ValidateAssignment(inst, hit->assignment).ok());
+  EXPECT_TRUE(VerifyEquilibrium(inst, hit->assignment).ok());
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.warm_hits, 1u);
+}
+
+TEST(EquilibriumCacheTest, DifferentAlphaOrScaleMisses) {
+  Fixture f;
+  EquilibriumCache cache(&f.ds.graph, {});
+  cache.Insert(1, f.ds.user_locations, f.events, 0.5, 1.0, f.equilibrium);
+  EXPECT_FALSE(cache.Lookup(1, f.events, 0.8, 1.0).has_value());
+  EXPECT_FALSE(cache.Lookup(1, f.events, 0.5, 2.0).has_value());
+}
+
+TEST(EquilibriumCacheTest, NewerSessionVersionInvalidates) {
+  Fixture f;
+  EquilibriumCache cache(&f.ds.graph, {});
+  cache.Insert(1, f.ds.user_locations, f.events, 0.5, 1.0, f.equilibrium);
+  ASSERT_EQ(cache.size(), 1u);
+
+  // A mutated session (user moved -> version bump) must not serve the
+  // stale equilibrium.
+  EXPECT_FALSE(cache.Lookup(2, f.events, 0.5, 1.0).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(EquilibriumCacheTest, LruEvictionHonorsCapacity) {
+  Fixture f;
+  EquilibriumCache::Config config;
+  config.capacity = 2;
+  EquilibriumCache cache(&f.ds.graph, config);
+
+  for (int i = 0; i < 3; ++i) {
+    std::vector<Point> events = f.events;
+    events.front() = {0.1 + 0.2 * i, 0.3};
+    const Instance inst = f.MakeInstance(events);
+    SolverOptions opt;
+    opt.init = InitPolicy::kClosestClass;
+    opt.order = OrderPolicy::kNodeId;
+    auto res = SolveGlobalTable(inst, opt);
+    ASSERT_TRUE(res.ok());
+    cache.Insert(1, f.ds.user_locations, events, 0.5, 1.0, res->assignment);
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(EquilibriumCacheTest, ZeroCapacityDisables) {
+  Fixture f;
+  EquilibriumCache::Config config;
+  config.capacity = 0;
+  EquilibriumCache cache(&f.ds.graph, config);
+  cache.Insert(1, f.ds.user_locations, f.events, 0.5, 1.0, f.equilibrium);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(1, f.events, 0.5, 1.0).has_value());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace rmgp

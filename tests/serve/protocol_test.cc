@@ -1,0 +1,118 @@
+// Wire-protocol tests: request parsing (including defaults and malformed
+// input) and response serialization round-tripping through the JSON
+// parser.
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace rmgp {
+namespace serve {
+namespace {
+
+TEST(ServeProtocolTest, ParsesSolveWithAllFields) {
+  auto req = ParseRequest(
+      R"({"id":7,"op":"solve","events":[[0.1,0.2],[0.3,0.4]],)"
+      R"("alpha":0.8,"cost_scale":2.0,"solver":"RMGP_pq","seed":9,)"
+      R"("deadline_ms":25,"cache":false,"return_assignment":true})");
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->op, Request::Op::kSolve);
+  EXPECT_DOUBLE_EQ(req->id, 7.0);
+  ASSERT_EQ(req->query.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(req->query.events[1].x, 0.3);
+  EXPECT_DOUBLE_EQ(req->query.alpha, 0.8);
+  EXPECT_DOUBLE_EQ(req->query.cost_scale, 2.0);
+  EXPECT_EQ(req->query.solver, "RMGP_pq");
+  EXPECT_EQ(req->query.seed, 9u);
+  EXPECT_DOUBLE_EQ(req->query.deadline_ms, 25.0);
+  EXPECT_FALSE(req->query.use_cache);
+  EXPECT_TRUE(req->query.return_assignment);
+}
+
+TEST(ServeProtocolTest, SolveDefaultsMatchQueryDefaults) {
+  auto req = ParseRequest(R"({"id":1,"op":"solve","events":[[0.5,0.5]]})");
+  ASSERT_TRUE(req.ok());
+  const Query defaults;
+  EXPECT_DOUBLE_EQ(req->query.alpha, defaults.alpha);
+  EXPECT_EQ(req->query.solver, defaults.solver);
+  EXPECT_DOUBLE_EQ(req->query.deadline_ms, defaults.deadline_ms);
+  EXPECT_EQ(req->query.use_cache, defaults.use_cache);
+}
+
+TEST(ServeProtocolTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest(R"({"id":1})").ok());  // no op
+  EXPECT_FALSE(ParseRequest(R"({"id":1,"op":"dance"})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"id":1,"op":"solve"})").ok());  // no events
+  EXPECT_FALSE(
+      ParseRequest(R"({"id":1,"op":"solve","events":[]})").ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"id":1,"op":"solve","events":[[1.0]]})").ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"id":1,"op":"update_user","user":3})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"id":1,"op":"nearby"})").ok());
+}
+
+TEST(ServeProtocolTest, ParsesMutationAndLookupOps) {
+  auto update = ParseRequest(
+      R"({"id":2,"op":"update_user","user":17,"location":[0.25,0.75]})");
+  ASSERT_TRUE(update.ok());
+  EXPECT_EQ(update->op, Request::Op::kUpdateUser);
+  EXPECT_EQ(update->user, 17u);
+  EXPECT_DOUBLE_EQ(update->location.y, 0.75);
+
+  auto nearby = ParseRequest(
+      R"({"id":3,"op":"nearby","box":[0.1,0.2,0.3,0.4]})");
+  ASSERT_TRUE(nearby.ok());
+  EXPECT_EQ(nearby->op, Request::Op::kNearby);
+  EXPECT_DOUBLE_EQ(nearby->box.min.x, 0.1);
+  EXPECT_DOUBLE_EQ(nearby->box.max.y, 0.4);
+
+  EXPECT_EQ(ParseRequest(R"({"id":4,"op":"metrics"})")->op,
+            Request::Op::kMetrics);
+  EXPECT_EQ(ParseRequest(R"({"id":5,"op":"quit"})")->op,
+            Request::Op::kQuit);
+}
+
+TEST(ServeProtocolTest, QueryResultSerializationRoundTrips) {
+  QueryResult result;
+  result.objective.total = 12.5;
+  result.objective.assignment = 7.25;
+  result.objective.social = 5.25;
+  result.converged = true;
+  result.rounds = 4;
+  result.cache = CacheOutcome::kWarmHit;
+  result.solve_ms = 1.5;
+  result.assignment = {0, 1, 1, 0};
+
+  auto doc = Json::Parse(SerializeQueryResult(3.0, result));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const Json& obj = doc.value();
+  EXPECT_EQ(obj.At("status").AsString(), "ok");
+  EXPECT_DOUBLE_EQ(obj.At("id").AsDouble(), 3.0);
+  EXPECT_TRUE(obj.At("converged").AsBool());
+  EXPECT_FALSE(obj.At("timed_out").AsBool());
+  EXPECT_DOUBLE_EQ(obj.At("objective").AsDouble(), 12.5);
+  EXPECT_EQ(obj.At("cache").AsString(), "warm_hit");
+  ASSERT_NE(obj.Find("assignment"), nullptr);
+  EXPECT_EQ(obj.At("assignment").size(), 4u);
+}
+
+TEST(ServeProtocolTest, FailureMapsQueueFullToRejected) {
+  auto rejected = Json::Parse(
+      SerializeFailure(9.0, Status::FailedPrecondition("request queue full")));
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->At("status").AsString(), "rejected");
+
+  auto error = Json::Parse(
+      SerializeFailure(9.0, Status::InvalidArgument("bad alpha")));
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->At("status").AsString(), "error");
+  EXPECT_EQ(error->At("message").AsString(), "bad alpha");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace rmgp

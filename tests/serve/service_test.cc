@@ -1,0 +1,188 @@
+// RmgpService tests: served results must be reproducible offline
+// (bit-identical to a direct solver run with the same options), the
+// bounded queue must shed load instead of stalling, and the metrics dump
+// must stay well-formed.
+
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/cost_provider.h"
+#include "core/instance.h"
+#include "core/objective.h"
+#include "data/datasets.h"
+
+namespace rmgp {
+namespace serve {
+namespace {
+
+struct Session {
+  GeoSocialDataset ds;
+  std::unique_ptr<RmgpService> service;
+
+  explicit Session(const ServiceConfig& config = {}, NodeId users = 500,
+                   uint64_t seed = 21) {
+    ds = MakeUnitSquareToy(users, 4, 10.0 / users, seed);
+    Graph copy = ds.graph;  // the service takes ownership
+    service = std::make_unique<RmgpService>(
+        std::move(copy), ds.user_locations, config);
+  }
+
+  Query MakeQuery(ClassId k = 6) const {
+    Query q;
+    q.events.assign(ds.event_pool.begin(), ds.event_pool.begin() + k);
+    q.return_assignment = true;
+    return q;
+  }
+};
+
+TEST(ServeServiceTest, SolveMatchesDirectSolverBitForBit) {
+  Session s;
+  Query query = s.MakeQuery();
+  query.use_cache = false;
+  auto served = s.service->Solve(query);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  // Reproduce offline with the exact options the service used.
+  auto costs = std::make_shared<EuclideanCostProvider>(s.ds.user_locations,
+                                                       query.events);
+  auto inst = Instance::Create(&s.ds.graph, costs, query.alpha);
+  ASSERT_TRUE(inst.ok());
+  const SolverOptions opt = RmgpService::MakeSolverOptions(query, 2);
+  auto direct = RmgpService::RunSolver(query.solver, *inst, opt);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+  EXPECT_EQ(served->assignment, direct->assignment);
+  EXPECT_EQ(served->objective.total, direct->objective.total);
+  EXPECT_EQ(served->converged, direct->converged);
+  EXPECT_EQ(served->rounds, direct->rounds);
+}
+
+TEST(ServeServiceTest, CacheHitMatchesColdResult) {
+  Session s;
+  Query query = s.MakeQuery();
+  auto cold = s.service->Solve(query);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->cache, CacheOutcome::kMiss);
+
+  auto hot = s.service->Solve(query);
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot->cache, CacheOutcome::kExactHit);
+  EXPECT_EQ(hot->assignment, cold->assignment);
+  EXPECT_EQ(hot->objective.total, cold->objective.total);
+}
+
+TEST(ServeServiceTest, UpdateUserInvalidatesCachedEquilibria) {
+  Session s;
+  Query query = s.MakeQuery();
+  ASSERT_TRUE(s.service->Solve(query).ok());
+
+  const uint64_t version_before = s.service->version();
+  ASSERT_TRUE(s.service->UpdateUserLocation(0, {0.9, 0.9}).ok());
+  EXPECT_GT(s.service->version(), version_before);
+
+  auto after = s.service->Solve(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->cache, CacheOutcome::kMiss);  // stale entry dropped
+  EXPECT_GE(s.service->cache_stats().invalidations, 1u);
+}
+
+TEST(ServeServiceTest, BoundedQueueRejectsOverload) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 2;
+  config.solver_threads = 1;
+  Session s(config, 2000);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int callbacks = 0;
+  int admitted = 0;
+  int rejected = 0;
+  constexpr int kBurst = 16;
+  for (int i = 0; i < kBurst; ++i) {
+    Query query = s.MakeQuery();
+    query.use_cache = false;  // every query pays the full solve
+    query.seed = static_cast<uint64_t>(i + 1);
+    Status status = s.service->Submit(
+        query, [&](const Status& st, const QueryResult&) {
+          std::lock_guard<std::mutex> lock(mu);
+          EXPECT_TRUE(st.ok()) << st.ToString();
+          ++callbacks;
+          cv.notify_all();
+        });
+    if (status.ok()) {
+      ++admitted;
+    } else {
+      EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0) << "burst of " << kBurst
+                         << " never exceeded a queue of 2";
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return callbacks == admitted; });
+  }
+  const Json metrics = s.service->MetricsJson();
+  const Json& counters = metrics.At("counters");
+  EXPECT_DOUBLE_EQ(counters.At("solve.rejected").AsDouble(),
+                   static_cast<double>(rejected));
+}
+
+TEST(ServeServiceTest, ExpiredDeadlineStillAnswers) {
+  Session s(ServiceConfig{}, 2000);
+  Query query = s.MakeQuery();
+  query.use_cache = false;
+  query.deadline_ms = 1e-6;  // effectively already expired at submit
+  auto res = s.service->Solve(query);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->timed_out);
+  EXPECT_FALSE(res->converged);
+  EXPECT_EQ(res->assignment.size(), s.service->num_users());
+}
+
+TEST(ServeServiceTest, MetricsJsonIsWellFormed) {
+  Session s;
+  ASSERT_TRUE(s.service->Solve(s.MakeQuery()).ok());
+  const Json metrics = s.service->MetricsJson();
+  ASSERT_TRUE(metrics.is_object());
+  EXPECT_NE(metrics.Find("counters"), nullptr);
+  EXPECT_NE(metrics.Find("latency"), nullptr);
+  EXPECT_NE(metrics.Find("cache"), nullptr);
+  EXPECT_NE(metrics.Find("queue"), nullptr);
+  const Json& session = metrics.At("session");
+  EXPECT_DOUBLE_EQ(session.At("num_users").AsDouble(),
+                   static_cast<double>(s.service->num_users()));
+  // The dump must round-trip through the JSON writer/parser.
+  auto reparsed = Json::Parse(metrics.Dump());
+  EXPECT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+}
+
+TEST(ServeServiceTest, CountUsersInBox) {
+  Session s;
+  const size_t all =
+      s.service->CountUsersIn({{0.0, 0.0}, {1.0, 1.0}});
+  EXPECT_EQ(all, static_cast<size_t>(s.service->num_users()));
+  const size_t none =
+      s.service->CountUsersIn({{2.0, 2.0}, {3.0, 3.0}});
+  EXPECT_EQ(none, 0u);
+}
+
+TEST(ServeServiceTest, RejectsInvalidQueries) {
+  Session s;
+  Query empty;
+  EXPECT_FALSE(s.service->Solve(empty).ok());  // no events
+  Query bad_solver = s.MakeQuery();
+  bad_solver.solver = "RMGP_nope";
+  EXPECT_FALSE(s.service->Solve(bad_solver).ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace rmgp

@@ -177,6 +177,58 @@ TEST(LintRulesTest, StripCommentsAndStrings) {
             "auto s = R              ; x");
 }
 
+TEST(LintRulesTest, SanctionedFileOnlyWorksOnTheList) {
+  const std::string body =
+      "// rmgp-lint: sanctioned-file(no-stdout)\n"
+      "void F() { fprintf(out, \"x\"); }\n";
+  // The designated files may carry the marker...
+  EXPECT_TRUE(RulesHit("src/util/logging.cc", body).empty());
+  EXPECT_TRUE(RulesHit("src/serve/response_writer.cc", body).empty());
+  // ...anywhere else it suppresses nothing and is itself flagged.
+  const auto elsewhere = LintFile("src/core/x.cc", body);
+  ASSERT_EQ(elsewhere.size(), 2u);
+  EXPECT_EQ(elsewhere[0].rule, "sanctioned-marker");
+  EXPECT_EQ(elsewhere[0].line, 1);
+  EXPECT_EQ(elsewhere[1].rule, "no-stdout");
+}
+
+TEST(LintRulesTest, SanctionedFileIsPerRule) {
+  // response_writer.cc is sanctioned for no-blocking-io; logging.cc is not.
+  const std::string body =
+      "// rmgp-lint: sanctioned-file(no-blocking-io)\n"
+      "void F() { std::fflush(out); }\n";
+  EXPECT_TRUE(RulesHit("src/serve/response_writer.cc", body).empty());
+  EXPECT_EQ(RulesHit("src/util/logging.cc", body),
+            std::vector<std::string>{"sanctioned-marker"});
+}
+
+TEST(LintRulesTest, MarkerInsideStringLiteralIsData) {
+  // A quoted marker is data, not a directive: it neither sanctions (even
+  // on a listed file) nor draws a sanctioned-marker diagnostic. This is
+  // what keeps fixture strings like the ones above lintable.
+  const std::string body =
+      "const char* m = \"rmgp-lint: sanctioned-file(no-stdout)\";\n"
+      "void F() { fprintf(out, \"x\"); }\n";
+  EXPECT_EQ(RulesHit("src/core/x.cc", body),
+            std::vector<std::string>{"no-stdout"});
+  EXPECT_EQ(RulesHit("src/util/logging.cc", body),
+            std::vector<std::string>{"no-stdout"});
+}
+
+TEST(LintRulesTest, NoBlockingIoFlagsServeCodeOnly) {
+  EXPECT_EQ(RulesHit("src/serve/x.cc", "auto* f = fopen(path, \"r\");\n"),
+            std::vector<std::string>{"no-blocking-io"});
+  EXPECT_EQ(RulesHit("src/serve/x.cc",
+                     "std::this_thread::sleep_for(ms);\n"),
+            std::vector<std::string>{"no-blocking-io"});
+  EXPECT_EQ(RulesHit("src/serve/x.cc", "std::ifstream in(path);\n"),
+            std::vector<std::string>{"no-blocking-io"});
+  // fwrite in serve code is both blocking and (via fprintf cousins) the
+  // writer's business; outside src/serve/ the rule stays silent.
+  EXPECT_TRUE(RulesHit("src/graph/io.cc", "fread(buf, 1, n, f);\n").empty());
+  EXPECT_TRUE(RulesHit("tools/x.cc", "fgets(buf, n, stdin);\n").empty());
+}
+
 TEST(LintRulesTest, FormatDiagnostic) {
   Diagnostic d;
   d.file = "src/core/x.cc";

@@ -1,11 +1,18 @@
-// bench_compare — diffs two BENCH_solvers.json files (see bench_runner)
-// and exits non-zero when the candidate regresses: any cell slower than
-// baseline by more than --time-threshold, any objective-quality increase
-// beyond --quality-threshold, or any baseline cell missing entirely.
+// bench_compare — diffs two bench JSON files and exits non-zero when the
+// candidate regresses. Solver suites (BENCH_solvers.json, see
+// bench_runner): any cell slower than baseline by more than
+// --time-threshold, any objective-quality increase beyond
+// --quality-threshold, or any baseline cell missing entirely. Serving
+// runs (BENCH_serving.json, see rmgp_loadgen): p99 latency beyond
+// --time-threshold or a cache-hit-rate drop beyond --hit-rate-threshold.
 //
 // Usage: bench_compare BASELINE.json CANDIDATE.json
 //                      [--time-threshold F] [--quality-threshold F]
-//                      [--ignore-time]
+//                      [--hit-rate-threshold F] [--ignore-time]
+//        bench_compare --check FILE.json
+//
+// --check validates a single file (parseable, known schema, non-empty
+// records) without comparing — the CI smoke gate for fresh bench output.
 //
 // Exit codes: 0 no regression, 1 regression detected, 2 usage/IO error.
 
@@ -25,20 +32,54 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s BASELINE.json CANDIDATE.json"
                " [--time-threshold F] [--quality-threshold F]"
-               " [--ignore-time]\n"
+               " [--hit-rate-threshold F] [--ignore-time]\n"
+               "       %s --check FILE.json\n"
                "  --time-threshold     allowed relative slowdown"
                " (default 0.10 = 10%%)\n"
                "  --quality-threshold  allowed relative objective increase"
                " (default 0.01)\n"
+               "  --hit-rate-threshold allowed absolute cache-hit-rate drop,"
+               " serving docs (default 0.05)\n"
                "  --ignore-time        skip the wall-time gate"
-               " (cross-machine diffs)\n",
-               argv0);
+               " (cross-machine diffs)\n"
+               "  --check              validate one file instead of"
+               " comparing two\n",
+               argv0, argv0);
   std::exit(2);
+}
+
+/// --check: the file must parse, carry a schema bench_compare understands,
+/// and contain a non-empty "records" array.
+int CheckFile(const std::string& path) {
+  auto doc = Json::ReadFile(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "error reading %s: %s\n", path.c_str(),
+                 doc.status().ToString().c_str());
+    return 2;
+  }
+  const Json& root = doc.value();
+  const Json* schema = root.is_object() ? root.Find("schema") : nullptr;
+  const std::string tag =
+      (schema != nullptr && schema->is_string()) ? schema->AsString() : "";
+  if (tag != kBenchSchema && tag != kBenchSchemaV1 && tag != kServingSchema) {
+    std::fprintf(stderr, "%s: unknown schema '%s'\n", path.c_str(),
+                 tag.c_str());
+    return 1;
+  }
+  const Json* records = root.Find("records");
+  if (records == nullptr || !records->is_array() || records->size() == 0) {
+    std::fprintf(stderr, "%s: missing or empty records\n", path.c_str());
+    return 1;
+  }
+  std::printf("OK: %s (%s, %zu records)\n", path.c_str(), tag.c_str(),
+              records->size());
+  return 0;
 }
 
 int Main(int argc, char** argv) {
   std::vector<std::string> paths;
   CompareOptions options;
+  bool check = false;
 
   for (int i = 1; i < argc; ++i) {
     const auto next_double = [&]() -> double {
@@ -52,13 +93,21 @@ int Main(int argc, char** argv) {
       options.time_threshold = next_double();
     } else if (std::strcmp(argv[i], "--quality-threshold") == 0) {
       options.quality_threshold = next_double();
+    } else if (std::strcmp(argv[i], "--hit-rate-threshold") == 0) {
+      options.hit_rate_threshold = next_double();
     } else if (std::strcmp(argv[i], "--ignore-time") == 0) {
       options.time_threshold = -1.0;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
     } else if (argv[i][0] == '-') {
       Usage(argv[0]);
     } else {
       paths.push_back(argv[i]);
     }
+  }
+  if (check) {
+    if (paths.size() != 1) Usage(argv[0]);
+    return CheckFile(paths[0]);
   }
   if (paths.size() != 2) Usage(argv[0]);
 

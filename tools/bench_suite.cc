@@ -100,6 +100,62 @@ std::string RecordKey(const std::string& graph, const std::string& solver,
   return graph + "/" + solver + "/" + Table::Num(alpha, 3);
 }
 
+/// Serving-document diff: records matched by "name", gated on p99 latency
+/// (time_threshold, relative) and cache hit rate (hit_rate_threshold,
+/// absolute points). Wall-clock throughput is reported but never gated —
+/// it is dominated by the machine, not the code.
+CompareReport CompareServing(const Json& baseline, const Json& candidate,
+                             const CompareOptions& options) {
+  CompareReport report;
+  report.ok = true;
+
+  const Json& cand_records = candidate.At("records");
+  const auto find_candidate = [&](const std::string& name) -> const Json* {
+    for (size_t i = 0; i < cand_records.size(); ++i) {
+      const Json& r = cand_records[i];
+      if (r.At("name").AsString() == name) return &r;
+    }
+    return nullptr;
+  };
+
+  Table table({"record", "p99 base", "p99 cand", "hit base", "hit cand",
+               "verdict"});
+  const Json& base_records = baseline.At("records");
+  for (size_t i = 0; i < base_records.size(); ++i) {
+    const Json& b = base_records[i];
+    const std::string name = b.At("name").AsString();
+    const Json* c = find_candidate(name);
+    if (c == nullptr) {
+      report.ok = false;
+      report.regressions.push_back({name, "missing", 0.0, 0.0});
+      table.AddRow({name, "", "", "", "", "MISSING"});
+      continue;
+    }
+    const double bp99 = b.At("latency_ms").At("p99_ms").AsDouble();
+    const double cp99 = c->At("latency_ms").At("p99_ms").AsDouble();
+    const double bhit = b.At("cache").At("hit_rate").AsDouble();
+    const double chit = c->At("cache").At("hit_rate").AsDouble();
+
+    std::string verdict = "ok";
+    if (options.time_threshold >= 0.0 &&
+        cp99 > bp99 * (1.0 + options.time_threshold)) {
+      report.ok = false;
+      report.regressions.push_back({name, "latency", bp99, cp99});
+      verdict = "LATENCY REGRESSION";
+    }
+    if (chit < bhit - options.hit_rate_threshold) {
+      report.ok = false;
+      report.regressions.push_back({name, "hit_rate", bhit, chit});
+      verdict = verdict == "ok" ? "HIT-RATE REGRESSION"
+                                : verdict + " + HIT-RATE";
+    }
+    table.AddRow({name, Table::Num(bp99), Table::Num(cp99), Table::Num(bhit),
+                  Table::Num(chit), verdict});
+  }
+  report.summary = table.ToString();
+  return report;
+}
+
 }  // namespace
 
 SuiteConfig QuickConfig() {
@@ -296,6 +352,13 @@ CompareReport CompareBench(const Json& baseline, const Json& candidate,
     const Json* s = doc.Find("schema");
     return (s != nullptr && s->is_string()) ? s->AsString() : "";
   };
+  // Serving documents take a different comparator; both sides must agree
+  // on the family (diffing a latency run against a solver suite is
+  // meaningless, so it is a schema mismatch).
+  if (schema_of(baseline) == kServingSchema &&
+      schema_of(candidate) == kServingSchema) {
+    return CompareServing(baseline, candidate, options);
+  }
   // /1 files predate the argmin/worklist counters and the microbench
   // section; everything the comparator reads is present in both, so old
   // baselines stay comparable.
@@ -305,10 +368,11 @@ CompareReport CompareBench(const Json& baseline, const Json& candidate,
   if (!known_schema(schema_of(baseline)) ||
       !known_schema(schema_of(candidate))) {
     report.ok = false;
-    report.summary = "schema mismatch: expected " + std::string(kBenchSchema) +
-                     " or " + kBenchSchemaV1 + ", got baseline '" +
-                     schema_of(baseline) + "' / candidate '" +
-                     schema_of(candidate) + "'\n";
+    report.summary = "schema mismatch: expected matching solver schemas (" +
+                     std::string(kBenchSchema) + " or " + kBenchSchemaV1 +
+                     ") or matching serving schemas (" + kServingSchema +
+                     "), got baseline '" + schema_of(baseline) +
+                     "' / candidate '" + schema_of(candidate) + "'\n";
     return report;
   }
 

@@ -21,6 +21,11 @@ namespace bench {
 inline constexpr const char* kBenchSchema = "rmgp-bench-solvers/2";
 inline constexpr const char* kBenchSchemaV1 = "rmgp-bench-solvers/1";
 
+/// Layout tag of BENCH_serving.json, written by tools/rmgp_loadgen.
+/// CompareBench diffs two serving documents on tail latency and cache hit
+/// rate; mixing a serving file with a solver file is a schema mismatch.
+inline constexpr const char* kServingSchema = "rmgp-bench-serving/1";
+
 /// Configuration of the fixed-seed solver suite run by tools/bench_runner:
 /// {BA, WS, ER, planted-partition} × the five SolverKind variants × alphas,
 /// each measured over `reps` repetitions after `warmup` untimed runs.
@@ -116,6 +121,12 @@ struct CompareOptions {
   /// absorbs run-to-run float jitter of the parallel solvers while still
   /// rejecting any real objective regression.
   double quality_threshold = 0.01;
+
+  /// Serving documents only: a record regresses when its cache hit rate
+  /// drops more than this many absolute points below the baseline's
+  /// (0.05 = five points). The serving time gate reuses time_threshold,
+  /// applied to p99 latency.
+  double hit_rate_threshold = 0.05;
 };
 
 /// One detected regression (or missing record).
@@ -132,9 +143,12 @@ struct CompareReport {
   std::string summary;  ///< printable per-cell diff table
 };
 
-/// Diffs two SuiteToJson documents. Fails (ok == false) on schema
-/// mismatch, on any baseline cell missing from the candidate, and on any
-/// time/quality regression beyond the thresholds.
+/// Diffs two bench documents. Both solver suites (SuiteToJson) and serving
+/// runs (kServingSchema, matched by record name, gated on p99 latency and
+/// cache hit rate) are accepted — but baseline and candidate must carry
+/// the same family of schema. Fails (ok == false) on schema mismatch, on
+/// any baseline cell missing from the candidate, and on any regression
+/// beyond the thresholds.
 CompareReport CompareBench(const Json& baseline, const Json& candidate,
                            const CompareOptions& options);
 

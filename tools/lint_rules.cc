@@ -47,6 +47,35 @@ bool FileAllows(std::string_view original_content, std::string_view rule) {
   return original_content.find(marker) != std::string_view::npos;
 }
 
+/// The designated homes of otherwise-forbidden operations. A
+/// sanctioned-file marker works only here; everywhere else it is inert
+/// and flagged (see "sanctioned-marker" in LintFile).
+struct Sanction {
+  const char* rule;
+  const char* path;
+};
+constexpr Sanction kSanctionedFiles[] = {
+    // The logger is the library's one direct-output path.
+    {"no-stdout", "src/util/logging.cc"},
+    // The response writer is the serving layer's one output path; its
+    // writer thread is the one place serving code may touch stdio.
+    {"no-stdout", "src/serve/response_writer.cc"},
+    {"no-blocking-io", "src/serve/response_writer.cc"},
+};
+
+bool IsSanctioned(std::string_view path, std::string_view rule) {
+  for (const Sanction& s : kSanctionedFiles) {
+    if (path == s.path && rule == s.rule) return true;
+  }
+  return false;
+}
+
+bool FileSanctions(std::string_view original_content, std::string_view rule) {
+  const std::string marker =
+      "rmgp-lint: sanctioned-file(" + std::string(rule) + ")";
+  return original_content.find(marker) != std::string_view::npos;
+}
+
 /// Splits into lines without the trailing newline; keeps empty lines so
 /// indices map 1:1 to line numbers.
 std::vector<std::string_view> SplitLines(std::string_view s) {
@@ -64,9 +93,11 @@ std::vector<std::string_view> SplitLines(std::string_view s) {
   return lines;
 }
 
-}  // namespace
-
-std::string StripCommentsAndStrings(std::string_view content) {
+/// Shared blanking machine behind StripCommentsAndStrings (comments and
+/// literals blanked) and BlankStringLiterals (literals blanked, comments
+/// kept — the view lint markers are searched in, so marker text quoted
+/// inside a string literal is data, not a directive).
+std::string Blank(std::string_view content, bool keep_comments) {
   std::string out;
   out.reserve(content.size());
   enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
@@ -80,10 +111,10 @@ std::string StripCommentsAndStrings(std::string_view content) {
       case State::kCode:
         if (c == '/' && next == '/') {
           state = State::kLineComment;
-          out.push_back(' ');
+          out.push_back(keep_comments ? c : ' ');
         } else if (c == '/' && next == '*') {
           state = State::kBlockComment;
-          out.push_back(' ');
+          out.push_back(keep_comments ? c : ' ');
         } else if (c == '"' &&
                    (i == 0 || content[i - 1] != 'R' ||
                     (i >= 2 && IsWordChar(content[i - 2])))) {
@@ -109,16 +140,18 @@ std::string StripCommentsAndStrings(std::string_view content) {
           state = State::kCode;
           out.push_back('\n');
         } else {
-          out.push_back(' ');
+          out.push_back(keep_comments ? c : ' ');
         }
         break;
       case State::kBlockComment:
         if (c == '*' && next == '/') {
           state = State::kCode;
-          out.append("  ");
+          out.append(keep_comments ? "*/" : "  ");
           ++i;
+        } else if (c == '\n') {
+          out.push_back('\n');
         } else {
-          out.push_back(c == '\n' ? '\n' : ' ');
+          out.push_back(keep_comments ? c : ' ');
         }
         break;
       case State::kString:
@@ -157,6 +190,17 @@ std::string StripCommentsAndStrings(std::string_view content) {
   return out;
 }
 
+/// Literals blanked, comments kept: the marker-search view.
+std::string BlankStringLiterals(std::string_view content) {
+  return Blank(content, /*keep_comments=*/true);
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(std::string_view content) {
+  return Blank(content, /*keep_comments=*/false);
+}
+
 std::string ExpectedGuard(std::string_view path) {
   std::string_view rel = path;
   if (rel.rfind("src/", 0) == 0) rel.remove_prefix(4);
@@ -177,21 +221,57 @@ std::vector<Diagnostic> LintFile(const std::string& path,
                                  std::string_view content) {
   std::vector<Diagnostic> diags;
   const bool in_library = path.rfind("src/", 0) == 0;
+  const bool in_serve = path.rfind("src/serve/", 0) == 0;
   const bool is_header = path.size() >= 2 &&
                          path.compare(path.size() - 2, 2, ".h") == 0;
 
   const std::string stripped = StripCommentsAndStrings(content);
   const std::vector<std::string_view> code_lines = SplitLines(stripped);
   const std::vector<std::string_view> orig_lines = SplitLines(content);
+  // Markers are directives in comments; search a view with string
+  // literals blanked so quoted marker text (test fixtures, docs) is data.
+  const std::string marker_view = BlankStringLiterals(content);
+  const std::vector<std::string_view> marker_lines = SplitLines(marker_view);
 
   auto report = [&](int line, const char* rule, std::string message) {
     if (FileAllows(content, rule)) return;
+    if (FileSanctions(marker_view, rule) && IsSanctioned(path, rule)) return;
     if (line >= 1 && static_cast<size_t>(line) <= orig_lines.size() &&
         LineAllows(orig_lines[line - 1], rule)) {
       return;
     }
     diags.push_back({path, line, rule, std::move(message)});
   };
+
+  // A sanctioned-file marker outside the hardcoded list suppresses
+  // nothing — report the marker itself so it cannot masquerade as an
+  // approved exception.
+  static constexpr std::string_view kSanctionPrefix =
+      "rmgp-lint: sanctioned-file(";
+  for (size_t i = 0; i < marker_lines.size(); ++i) {
+    const std::string_view line = marker_lines[i];
+    const size_t pos = line.find(kSanctionPrefix);
+    if (pos == std::string_view::npos) continue;
+    const size_t rule_begin = pos + kSanctionPrefix.size();
+    const size_t rule_end = line.find(')', rule_begin);
+    if (rule_end == std::string_view::npos) continue;
+    const std::string rule(line.substr(rule_begin, rule_end - rule_begin));
+    // Only well-formed rule ids count as markers; this keeps prose (and
+    // this linter's own sources) from matching.
+    bool well_formed = !rule.empty();
+    for (const char c : rule) {
+      if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-') {
+        well_formed = false;
+      }
+    }
+    if (!well_formed) continue;
+    if (!IsSanctioned(path, rule)) {
+      diags.push_back(
+          {path, static_cast<int>(i) + 1, "sanctioned-marker",
+           "'" + rule + "' is not sanctioned for this file; only files on "
+           "the kSanctionedFiles list (lint_rules.cc) may carry this marker"});
+    }
+  }
 
   for (size_t i = 0; i < code_lines.size(); ++i) {
     const std::string_view line = code_lines[i];
@@ -221,6 +301,27 @@ std::vector<Diagnostic> LintFile(const std::string& path,
       report(lineno, "no-stdout",
              "library code must not print directly; use RMGP_LOG "
              "(util/logging.h)");
+    }
+    if (in_serve) {
+      static constexpr std::string_view kBlockingCalls[] = {
+          "fopen",  "fread",  "fwrite", "fgets", "fputs",  "fputc",
+          "fscanf", "popen",  "system", "fflush", "getchar"};
+      static constexpr std::string_view kBlockingWords[] = {
+          "std::ifstream", "std::ofstream", "std::fstream", "std::cin",
+          "sleep_for",     "sleep_until"};
+      bool blocking = false;
+      for (const std::string_view call : kBlockingCalls) {
+        if (ContainsCall(line, call)) blocking = true;
+      }
+      for (const std::string_view word : kBlockingWords) {
+        if (ContainsWord(line, word)) blocking = true;
+      }
+      if (blocking) {
+        report(lineno, "no-blocking-io",
+               "serving code runs in worker-pool callbacks where blocking "
+               "I/O stalls the queue; route output through "
+               "serve::ResponseWriter");
+      }
     }
   }
 

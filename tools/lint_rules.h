@@ -28,10 +28,25 @@ namespace lint {
 ///   include-guard   headers must guard with RMGP_<PATH>_H_ (the leading
 ///                   src/ is dropped: src/core/solver.h ->
 ///                   RMGP_CORE_SOLVER_H_).
+///   no-blocking-io  blocking I/O (stdio calls, fstreams, sleeps) in
+///                   src/serve/: serving code runs inside worker-pool
+///                   callbacks, where a blocked thread stalls the whole
+///                   queue. All output goes through serve::ResponseWriter.
 ///
 /// Suppressions, greppable like RMGP_IGNORE_STATUS:
 ///   // rmgp-lint: allow(<rule>)       this line only
 ///   // rmgp-lint: allow-file(<rule>)  whole file (place near the top)
+///
+/// Sanctioned paths: some rules exist precisely because ONE file is the
+/// designated place for the forbidden operation (the logger for direct
+/// output, the response writer for serving I/O). Those files carry
+///   // rmgp-lint: sanctioned-file(<rule>)
+/// which suppresses the rule — but only in files on the hardcoded
+/// sanctioned list (kSanctionedFiles in lint_rules.cc). Anywhere else the
+/// marker is inert and is itself reported (rule "sanctioned-marker"), so
+/// the annotation documents the design instead of weakening it. Markers
+/// are directives in comments; marker text quoted inside a string
+/// literal is treated as data and ignored.
 struct Diagnostic {
   std::string file;     ///< path as passed to LintFile
   int line = 0;         ///< 1-based

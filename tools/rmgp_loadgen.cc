@@ -1,0 +1,679 @@
+// rmgp_loadgen — fixed-seed load generator for the serving engine. Builds
+// a deterministic query mix (fresh / exact-repeat / near-duplicate, plus a
+// deadline-bounded fraction), drives it either against an in-process
+// RmgpService (default) or a spawned `rmgp_serve` binary over pipes
+// (--server PATH), and emits BENCH_serving.json
+// (schema rmgp-bench-serving/1) with throughput, tail latency, and cache
+// effectiveness. Exits non-zero when any query errored.
+//
+// Usage: rmgp_loadgen [--server PATH] [--queries N] [--duration-s S]
+//                     [--concurrency C | --qps R] [--users N]
+//                     [--edges-per-node M] [--events-per-query K]
+//                     [--pool-events P] [--seed S] [--alpha A]
+//                     [--solver NAME] [--deadline-frac F] [--deadline-ms D]
+//                     [--fresh-frac F] [--repeat-frac F]
+//                     [--workers N] [--queue-capacity N]
+//                     [--cache-capacity N] [--max-warm-edits N]
+//                     [--quick] [--out FILE]
+//
+// Closed loop (default, --concurrency): at most C queries outstanding —
+// with C <= queue capacity the server never sheds load, so a clean run
+// completes every query. Open loop (--qps): queries are released on a
+// fixed schedule regardless of completions; overload shows up as
+// "rejected" counts rather than latency lies (coordinated omission).
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "util/build_info.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace rmgp {
+namespace serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kServingSchema = "rmgp-bench-serving/1";
+
+struct Args {
+  std::string server;  // empty = in-process
+  std::string out = "BENCH_serving.json";
+  uint64_t queries = 1000;
+  double duration_s = 0.0;  // 0 = stop when `queries` sent; else wrap the
+                            // mix until the clock runs out
+  uint32_t concurrency = 8;
+  double qps = 0.0;  // 0 = closed loop
+  NodeId users = 50000;
+  uint32_t edges_per_node = 4;
+  ClassId events_per_query = 16;
+  uint32_t pool_events = 256;
+  uint64_t seed = 42;
+  double alpha = 0.5;
+  std::string solver = "RMGP_gt";
+  double deadline_frac = 0.2;
+  double deadline_ms = 50.0;
+  double fresh_frac = 0.45;
+  double repeat_frac = 0.40;  // remainder = near-duplicate
+  ServiceConfig service;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--server PATH] [--queries N] [--duration-s S]"
+               " [--concurrency C | --qps R] [--users N] [--edges-per-node M]"
+               " [--events-per-query K] [--pool-events P] [--seed S]"
+               " [--alpha A] [--solver NAME] [--deadline-frac F]"
+               " [--deadline-ms D] [--fresh-frac F] [--repeat-frac F]"
+               " [--workers N] [--queue-capacity N] [--cache-capacity N]"
+               " [--max-warm-edits N] [--quick] [--out FILE]\n",
+               argv0);
+  std::exit(2);
+}
+
+/// The deterministic query mix. Every run with the same flags produces the
+/// same sequence, so two loadgen runs are comparable record-for-record.
+std::vector<Query> MakeMix(const Args& args) {
+  Rng rng(args.seed ^ 0x10adULL);
+  std::vector<Point> pool;
+  pool.reserve(args.pool_events);
+  for (uint32_t i = 0; i < args.pool_events; ++i) {
+    pool.push_back({rng.UniformDouble(), rng.UniformDouble()});
+  }
+
+  const auto fresh_events = [&]() {
+    // Distinct pool picks via partial Fisher–Yates over an index vector.
+    std::vector<uint32_t> idx(pool.size());
+    for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::vector<Point> events;
+    events.reserve(args.events_per_query);
+    for (ClassId j = 0; j < args.events_per_query; ++j) {
+      const size_t pick =
+          j + static_cast<size_t>(rng.UniformInt(idx.size() - j));
+      std::swap(idx[j], idx[pick]);
+      events.push_back(pool[idx[j]]);
+    }
+    return events;
+  };
+
+  std::vector<Query> mix;
+  mix.reserve(args.queries);
+  for (uint64_t q = 0; q < args.queries; ++q) {
+    Query query;
+    query.alpha = args.alpha;
+    query.solver = args.solver;
+    query.seed = 1;
+    const double kind = rng.UniformDouble();
+    if (q == 0 || kind < args.fresh_frac) {
+      query.events = fresh_events();
+    } else {
+      // Repeats have temporal locality (a recent-window draw, like real
+      // query streams) so they mostly land on still-cached entries
+      // instead of LRU-evicted ones.
+      const uint64_t lo = q > 32 ? q - 32 : 0;
+      const uint64_t prev = lo + rng.UniformInt(q - lo);
+      query.events = mix[prev].events;
+      if (kind >= args.fresh_frac + args.repeat_frac) {
+        // Near-duplicate: swap one event — 2 edits (one add, one remove),
+        // within the default warm-hit budget.
+        const size_t pos = rng.UniformInt(query.events.size());
+        query.events[pos] = pool[rng.UniformInt(pool.size())];
+      }
+    }
+    if (rng.Bernoulli(args.deadline_frac)) {
+      query.deadline_ms = args.deadline_ms;
+    }
+    mix.push_back(std::move(query));
+  }
+  return mix;
+}
+
+/// Everything the run accumulates, fed by completion callbacks (in-proc)
+/// or the response-reader thread (server mode).
+struct Collector {
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t outstanding = 0;
+  uint64_t sent = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  uint64_t rejected = 0;
+  uint64_t timed_out = 0;
+  uint64_t exact_hits = 0;
+  uint64_t warm_hits = 0;
+  uint64_t misses = 0;
+  uint64_t deadline_queries = 0;
+  double max_deadline_overshoot_ms = 0.0;
+  std::vector<double> latencies_ms;
+
+  void Finish(double latency_ms, const std::string& cache, bool timed,
+              double deadline_ms) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++completed;
+    latencies_ms.push_back(latency_ms);
+    if (cache == "exact_hit") {
+      ++exact_hits;
+    } else if (cache == "warm_hit") {
+      ++warm_hits;
+    } else if (cache == "miss") {
+      ++misses;
+    }
+    if (timed) ++timed_out;
+    if (deadline_ms > 0.0) {
+      ++deadline_queries;
+      max_deadline_overshoot_ms =
+          std::max(max_deadline_overshoot_ms, latency_ms - deadline_ms);
+    }
+    --outstanding;
+    cv.notify_all();
+  }
+
+  void Fail(bool was_rejected) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (was_rejected) {
+      ++rejected;
+    } else {
+      ++errors;
+    }
+    --outstanding;
+    cv.notify_all();
+  }
+
+  void AwaitSlot(uint32_t concurrency) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return outstanding < concurrency; });
+    ++outstanding;
+    ++sent;
+  }
+
+  void ClaimSlot() {  // open loop: no backpressure
+    std::lock_guard<std::mutex> lock(mu);
+    ++outstanding;
+    ++sent;
+  }
+
+  void AwaitAll() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return outstanding == 0; });
+  }
+};
+
+/// Transport over a spawned rmgp_serve: NDJSON on the child's stdin,
+/// responses matched to send timestamps by id on a reader thread.
+class ServerTransport {
+ public:
+  ServerTransport(const Args& args, Collector* collector)
+      : collector_(collector) {
+    int to_child[2];
+    int from_child[2];
+    RMGP_CHECK(pipe(to_child) == 0 && pipe(from_child) == 0);
+    child_ = fork();
+    RMGP_CHECK(child_ >= 0) << "fork failed";
+    if (child_ == 0) {
+      dup2(to_child[0], STDIN_FILENO);
+      dup2(from_child[1], STDOUT_FILENO);
+      close(to_child[0]);
+      close(to_child[1]);
+      close(from_child[0]);
+      close(from_child[1]);
+      std::string users = std::to_string(args.users);
+      std::string epn = std::to_string(args.edges_per_node);
+      std::string seed = std::to_string(args.seed);
+      std::string workers = std::to_string(args.service.num_workers);
+      std::string queue = std::to_string(args.service.queue_capacity);
+      std::string cache = std::to_string(args.service.cache_capacity);
+      std::string edits = std::to_string(args.service.max_warm_edits);
+      const char* argv[] = {args.server.c_str(),
+                            "--users", users.c_str(),
+                            "--edges-per-node", epn.c_str(),
+                            "--seed", seed.c_str(),
+                            "--workers", workers.c_str(),
+                            "--queue-capacity", queue.c_str(),
+                            "--cache-capacity", cache.c_str(),
+                            "--max-warm-edits", edits.c_str(),
+                            nullptr};
+      execv(args.server.c_str(), const_cast<char* const*>(argv));
+      std::perror("execv");
+      _exit(127);
+    }
+    close(to_child[0]);
+    close(from_child[1]);
+    to_child_ = fdopen(to_child[1], "w");
+    from_child_ = fdopen(from_child[0], "r");
+    RMGP_CHECK(to_child_ != nullptr && from_child_ != nullptr);
+    reader_ = std::thread([this] { ReadLoop(); });
+
+    // Block until the session is loaded (the ready banner) so measured
+    // latencies never include server startup.
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_cv_.wait(lock, [this] { return ready_ || reader_done_; });
+    RMGP_CHECK(ready_) << "server exited before becoming ready";
+  }
+
+  ~ServerTransport() {
+    if (to_child_ != nullptr) std::fclose(to_child_);
+    if (reader_.joinable()) reader_.join();
+    if (from_child_ != nullptr) std::fclose(from_child_);
+    int wstatus = 0;
+    waitpid(child_, &wstatus, 0);
+  }
+
+  void Send(uint64_t id, const Query& query) {
+    Json req = Json::Object();
+    req.Set("id", id);
+    req.Set("op", "solve");
+    Json events = Json::Array();
+    for (const Point& p : query.events) {
+      Json pair = Json::Array();
+      pair.Append(p.x);
+      pair.Append(p.y);
+      events.Append(std::move(pair));
+    }
+    req.Set("events", std::move(events));
+    req.Set("alpha", query.alpha);
+    req.Set("solver", query.solver);
+    req.Set("seed", query.seed);
+    if (query.deadline_ms > 0.0) req.Set("deadline_ms", query.deadline_ms);
+    const std::string line = req.Dump();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_[id] = {Clock::now(), query.deadline_ms};
+    }
+    WriteLine(line);
+  }
+
+  /// Requests the server's metrics dump and waits for it.
+  Json FetchMetrics() {
+    Json req = Json::Object();
+    req.Set("id", kMetricsId);
+    req.Set("op", "metrics");
+    WriteLine(req.Dump());
+    std::unique_lock<std::mutex> lock(mu_);
+    metrics_cv_.wait(lock,
+                     [this] { return !metrics_.is_null() || reader_done_; });
+    return metrics_;
+  }
+
+  void Quit() {
+    Json req = Json::Object();
+    req.Set("id", kQuitId);
+    req.Set("op", "quit");
+    WriteLine(req.Dump());
+  }
+
+ private:
+  static constexpr double kMetricsId = -1.0;
+  static constexpr double kQuitId = -2.0;
+
+  struct Pending {
+    Clock::time_point sent_at;
+    double deadline_ms = 0.0;
+  };
+
+  void WriteLine(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    std::fwrite(line.data(), 1, line.size(), to_child_);
+    std::fputc('\n', to_child_);
+    std::fflush(to_child_);
+  }
+
+  void ReadLoop() {
+    char buf[1 << 20];
+    while (std::fgets(buf, sizeof(buf), from_child_) != nullptr) {
+      const auto now = Clock::now();
+      Result<Json> doc = Json::Parse(buf);
+      if (!doc.ok()) continue;
+      const Json& obj = doc.value();
+      if (!obj.is_object()) continue;
+      const Json* status = obj.Find("status");
+      if (status == nullptr || !status->is_string()) continue;
+      if (status->AsString() == "ready") {
+        std::lock_guard<std::mutex> lock(mu_);
+        ready_ = true;
+        ready_cv_.notify_all();
+        continue;
+      }
+      const Json* id_field = obj.Find("id");
+      if (id_field == nullptr || !id_field->is_number()) continue;
+      const double id = id_field->AsDouble();
+      if (id == kMetricsId) {
+        std::lock_guard<std::mutex> lock(mu_);
+        const Json* metrics = obj.Find("metrics");
+        metrics_ = metrics != nullptr ? *metrics : Json::Object();
+        metrics_cv_.notify_all();
+        continue;
+      }
+      if (id == kQuitId) continue;
+
+      Pending pending;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = pending_.find(static_cast<uint64_t>(id));
+        if (it == pending_.end()) continue;
+        pending = it->second;
+        pending_.erase(it);
+      }
+      const double latency_ms =
+          std::chrono::duration<double, std::milli>(now - pending.sent_at)
+              .count();
+      if (status->AsString() == "ok") {
+        const Json* cache = obj.Find("cache");
+        const Json* timed = obj.Find("timed_out");
+        collector_->Finish(
+            latency_ms,
+            cache != nullptr && cache->is_string() ? cache->AsString() : "",
+            timed != nullptr && timed->is_bool() && timed->AsBool(),
+            pending.deadline_ms);
+      } else {
+        collector_->Fail(status->AsString() == "rejected");
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    reader_done_ = true;
+    ready_cv_.notify_all();
+    metrics_cv_.notify_all();
+  }
+
+  Collector* collector_;
+  pid_t child_ = -1;
+  std::FILE* to_child_ = nullptr;
+  std::FILE* from_child_ = nullptr;
+  std::mutex write_mu_;
+  std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::condition_variable metrics_cv_;
+  std::map<uint64_t, Pending> pending_;
+  Json metrics_;
+  bool ready_ = false;
+  bool reader_done_ = false;
+  std::thread reader_;
+};
+
+int Main(int argc, char** argv) {
+  Args args;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto next_str = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    const auto next_u64 = [&]() -> uint64_t {
+      char* end = nullptr;
+      const char* s = next_str();
+      const uint64_t v = std::strtoull(s, &end, 10);
+      if (end == s || *end != '\0') Usage(argv[0]);
+      return v;
+    };
+    const auto next_double = [&]() -> double {
+      char* end = nullptr;
+      const char* s = next_str();
+      const double v = std::strtod(s, &end);
+      if (end == s || *end != '\0') Usage(argv[0]);
+      return v;
+    };
+    if (std::strcmp(argv[i], "--server") == 0) {
+      args.server = next_str();
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      args.out = next_str();
+    } else if (std::strcmp(argv[i], "--queries") == 0) {
+      args.queries = next_u64();
+    } else if (std::strcmp(argv[i], "--duration-s") == 0) {
+      args.duration_s = next_double();
+    } else if (std::strcmp(argv[i], "--concurrency") == 0) {
+      args.concurrency = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--qps") == 0) {
+      args.qps = next_double();
+    } else if (std::strcmp(argv[i], "--users") == 0) {
+      args.users = static_cast<NodeId>(next_u64());
+    } else if (std::strcmp(argv[i], "--edges-per-node") == 0) {
+      args.edges_per_node = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--events-per-query") == 0) {
+      args.events_per_query = static_cast<ClassId>(next_u64());
+    } else if (std::strcmp(argv[i], "--pool-events") == 0) {
+      args.pool_events = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      args.seed = next_u64();
+    } else if (std::strcmp(argv[i], "--alpha") == 0) {
+      args.alpha = next_double();
+    } else if (std::strcmp(argv[i], "--solver") == 0) {
+      args.solver = next_str();
+    } else if (std::strcmp(argv[i], "--deadline-frac") == 0) {
+      args.deadline_frac = next_double();
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      args.deadline_ms = next_double();
+    } else if (std::strcmp(argv[i], "--fresh-frac") == 0) {
+      args.fresh_frac = next_double();
+    } else if (std::strcmp(argv[i], "--repeat-frac") == 0) {
+      args.repeat_frac = next_double();
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      args.service.num_workers = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--queue-capacity") == 0) {
+      args.service.queue_capacity = next_u64();
+    } else if (std::strcmp(argv[i], "--cache-capacity") == 0) {
+      args.service.cache_capacity = next_u64();
+    } else if (std::strcmp(argv[i], "--max-warm-edits") == 0) {
+      args.service.max_warm_edits = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (quick) {
+    // CI smoke preset: a small session that still exercises every path.
+    args.users = std::min<NodeId>(args.users, 5000);
+    args.queries = std::min<uint64_t>(args.queries, 300);
+    args.events_per_query = std::min<ClassId>(args.events_per_query, 8);
+    args.pool_events = std::min<uint32_t>(args.pool_events, 64);
+  }
+  if (args.concurrency == 0 ||
+      args.concurrency > args.service.queue_capacity) {
+    std::fprintf(stderr,
+                 "--concurrency must be in [1, queue capacity %zu]\n",
+                 args.service.queue_capacity);
+    return 2;
+  }
+
+  const std::vector<Query> mix = MakeMix(args);
+  Collector collector;
+
+  std::unique_ptr<ServerTransport> server;
+  std::unique_ptr<RmgpService> service;
+  if (!args.server.empty()) {
+    server = std::make_unique<ServerTransport>(args, &collector);
+  } else {
+    Graph graph = BarabasiAlbert(args.users, args.edges_per_node, args.seed);
+    Rng rng(args.seed ^ 0x5e55101eULL);  // mirror rmgp_serve's session
+    std::vector<Point> users;
+    users.reserve(args.users);
+    for (NodeId v = 0; v < args.users; ++v) {
+      users.push_back({rng.UniformDouble(), rng.UniformDouble()});
+    }
+    service = std::make_unique<RmgpService>(std::move(graph),
+                                            std::move(users), args.service);
+  }
+
+  const auto send_one = [&](uint64_t id, const Query& query) {
+    if (server != nullptr) {
+      server->Send(id, query);
+      return;
+    }
+    const auto sent_at = Clock::now();
+    const double deadline_ms = query.deadline_ms;
+    Status admitted = service->Submit(
+        query, [&collector, sent_at, deadline_ms](const Status& status,
+                                                  const QueryResult& result) {
+          const double latency_ms = std::chrono::duration<double, std::milli>(
+                                        Clock::now() - sent_at)
+                                        .count();
+          if (!status.ok()) {
+            collector.Fail(false);
+            return;
+          }
+          collector.Finish(latency_ms, CacheOutcomeName(result.cache),
+                           result.timed_out, deadline_ms);
+        });
+    if (!admitted.ok()) {
+      collector.Fail(admitted.code() == StatusCode::kFailedPrecondition);
+    }
+  };
+
+  // Drive the mix: closed loop waits for a slot, open loop fires on
+  // schedule. With --duration-s the mix wraps (wrapped sends are exact
+  // repeats, which is what a steady-state cache workload looks like).
+  const auto start = Clock::now();
+  const auto deadline =
+      args.duration_s > 0.0
+          ? start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(args.duration_s))
+          : Clock::time_point::max();
+  uint64_t id = 0;
+  for (uint64_t q = 0;; ++q) {
+    if (args.duration_s > 0.0) {
+      if (Clock::now() >= deadline) break;
+    } else if (q >= mix.size()) {
+      break;
+    }
+    if (args.qps > 0.0) {
+      const auto release =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(
+                          static_cast<double>(q) / args.qps));
+      std::this_thread::sleep_until(release);
+      collector.ClaimSlot();
+    } else {
+      collector.AwaitSlot(args.concurrency);
+    }
+    send_one(++id, mix[q % mix.size()]);
+  }
+  collector.AwaitAll();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  Json server_metrics;
+  if (server != nullptr) {
+    server_metrics = server->FetchMetrics();
+    server->Quit();
+  } else {
+    server_metrics = service->MetricsJson();
+  }
+
+  // ---- BENCH_serving.json ------------------------------------------------
+  Json root = Json::Object();
+  root.Set("schema", kServingSchema);
+
+  Json cfg = Json::Object();
+  cfg.Set("transport", server != nullptr ? "server" : "inproc");
+  cfg.Set("queries", args.queries);
+  cfg.Set("duration_s", args.duration_s);
+  cfg.Set("concurrency", args.concurrency);
+  cfg.Set("qps", args.qps);
+  cfg.Set("users", args.users);
+  cfg.Set("edges_per_node", args.edges_per_node);
+  cfg.Set("events_per_query", args.events_per_query);
+  cfg.Set("pool_events", args.pool_events);
+  cfg.Set("seed", args.seed);
+  cfg.Set("alpha", args.alpha);
+  cfg.Set("solver", args.solver);
+  cfg.Set("deadline_frac", args.deadline_frac);
+  cfg.Set("deadline_ms", args.deadline_ms);
+  cfg.Set("fresh_frac", args.fresh_frac);
+  cfg.Set("repeat_frac", args.repeat_frac);
+  cfg.Set("workers", args.service.num_workers);
+  cfg.Set("queue_capacity", args.service.queue_capacity);
+  cfg.Set("cache_capacity", args.service.cache_capacity);
+  cfg.Set("max_warm_edits", args.service.max_warm_edits);
+  root.Set("config", std::move(cfg));
+
+  const BuildInfo info = GetBuildInfo();
+  Json env = Json::Object();
+  env.Set("git_sha", info.git_sha);
+  env.Set("compiler", info.compiler);
+  env.Set("compiler_flags", info.compiler_flags);
+  env.Set("build_type", info.build_type);
+  env.Set("sanitize", info.sanitize);
+  env.Set("hardware_threads", static_cast<uint64_t>(info.hardware_threads));
+  root.Set("environment", std::move(env));
+
+  const uint64_t hits = collector.exact_hits + collector.warm_hits;
+  const uint64_t looked_up = hits + collector.misses;
+  Json record = Json::Object();
+  record.Set("name", "mix");
+  record.Set("sent", collector.sent);
+  record.Set("completed", collector.completed);
+  record.Set("errors", collector.errors);
+  record.Set("rejected", collector.rejected);
+  record.Set("timed_out", collector.timed_out);
+  Json cache = Json::Object();
+  cache.Set("exact_hits", collector.exact_hits);
+  cache.Set("warm_hits", collector.warm_hits);
+  cache.Set("misses", collector.misses);
+  cache.Set("hit_rate", looked_up == 0 ? 0.0
+                                       : static_cast<double>(hits) /
+                                             static_cast<double>(looked_up));
+  record.Set("cache", std::move(cache));
+  record.Set("throughput_qps",
+             elapsed_s == 0.0
+                 ? 0.0
+                 : static_cast<double>(collector.completed) / elapsed_s);
+  RunningStats latency_stats;
+  for (const double v : collector.latencies_ms) latency_stats.Add(v);
+  Json latency = Json::Object();
+  latency.Set("mean_ms", latency_stats.mean());
+  latency.Set("p50_ms", Percentile(collector.latencies_ms, 50.0));
+  latency.Set("p90_ms", Percentile(collector.latencies_ms, 90.0));
+  latency.Set("p99_ms", Percentile(collector.latencies_ms, 99.0));
+  latency.Set("max_ms", latency_stats.max());
+  record.Set("latency_ms", std::move(latency));
+  Json deadline_stats = Json::Object();
+  deadline_stats.Set("queries", collector.deadline_queries);
+  deadline_stats.Set("max_overshoot_ms", collector.max_deadline_overshoot_ms);
+  record.Set("deadline", std::move(deadline_stats));
+  Json records = Json::Array();
+  records.Append(std::move(record));
+  root.Set("records", std::move(records));
+  root.Set("server_metrics", std::move(server_metrics));
+
+  Status written = root.WriteFile(args.out);
+  if (!written.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", args.out.c_str(),
+                 written.ToString().c_str());
+    return 2;
+  }
+
+  RMGP_LOG(kInfo) << "sent " << collector.sent << ", completed "
+                  << collector.completed << ", errors " << collector.errors
+                  << ", rejected " << collector.rejected << ", cache hit rate "
+                  << (looked_up == 0
+                          ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(looked_up))
+                  << " -> " << args.out;
+  return collector.errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace rmgp
+
+int main(int argc, char** argv) { return rmgp::serve::Main(argc, argv); }

@@ -1,0 +1,174 @@
+// rmgp_serve — long-lived query-serving session over newline-delimited
+// JSON: requests on stdin, responses on stdout (one object per line, see
+// src/serve/protocol.h). Loads a fixed-seed synthetic session at startup,
+// prints a ready banner, then serves until EOF or {"op":"quit"}.
+//
+// Usage: rmgp_serve [--dataset ba|gowalla] [--users N] [--edges-per-node M]
+//                   [--seed S] [--workers N] [--queue-capacity N]
+//                   [--cache-capacity N] [--max-warm-edits N]
+//
+// Responses for solve requests complete asynchronously (worker pool), so
+// response order is NOT request order; clients correlate by "id". All
+// output funnels through serve::ResponseWriter — the sanctioned path —
+// so worker callbacks never block on the client pipe.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/datasets.h"
+#include "graph/generators.h"
+#include "serve/protocol.h"
+#include "serve/response_writer.h"
+#include "serve/service.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace serve {
+namespace {
+
+struct Args {
+  std::string dataset = "ba";
+  NodeId users = 50000;
+  uint32_t edges_per_node = 4;
+  uint64_t seed = 42;
+  ServiceConfig service;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--dataset ba|gowalla] [--users N]"
+               " [--edges-per-node M] [--seed S] [--workers N]"
+               " [--queue-capacity N] [--cache-capacity N]"
+               " [--max-warm-edits N]\n",
+               argv0);
+  std::exit(2);
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const auto next_u64 = [&]() -> uint64_t {
+      if (i + 1 >= argc) Usage(argv[0]);
+      char* end = nullptr;
+      const uint64_t v = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') Usage(argv[0]);
+      return v;
+    };
+    if (std::strcmp(argv[i], "--dataset") == 0) {
+      if (i + 1 >= argc) Usage(argv[0]);
+      args.dataset = argv[++i];
+    } else if (std::strcmp(argv[i], "--users") == 0) {
+      args.users = static_cast<NodeId>(next_u64());
+    } else if (std::strcmp(argv[i], "--edges-per-node") == 0) {
+      args.edges_per_node = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      args.seed = next_u64();
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      args.service.num_workers = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--queue-capacity") == 0) {
+      args.service.queue_capacity = next_u64();
+    } else if (std::strcmp(argv[i], "--cache-capacity") == 0) {
+      args.service.cache_capacity = next_u64();
+    } else if (std::strcmp(argv[i], "--max-warm-edits") == 0) {
+      args.service.max_warm_edits = static_cast<uint32_t>(next_u64());
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  // Fixed-seed session: the same flags always serve the same graph and
+  // check-in locations, so loadgen runs are reproducible end to end.
+  Graph graph;
+  std::vector<Point> users;
+  if (args.dataset == "ba") {
+    graph = BarabasiAlbert(args.users, args.edges_per_node, args.seed);
+    Rng rng(args.seed ^ 0x5e55101eULL);
+    users.reserve(args.users);
+    for (NodeId v = 0; v < args.users; ++v) {
+      users.push_back({rng.UniformDouble(), rng.UniformDouble()});
+    }
+  } else if (args.dataset == "gowalla") {
+    GowallaLikeOptions opt;
+    opt.seed = args.seed;
+    GeoSocialDataset data = MakeGowallaLike(opt);
+    graph = std::move(data.graph);
+    users = std::move(data.user_locations);
+  } else {
+    Usage(argv[0]);
+  }
+
+  RMGP_LOG(kInfo) << "session loaded: " << graph.num_nodes() << " users, "
+                  << graph.num_edges() << " edges (" << args.dataset
+                  << ", seed " << args.seed << ")";
+
+  // Declaration order is load-bearing: the service must be destroyed
+  // (draining in-flight queries, whose callbacks write responses) before
+  // the writer that carries those responses.
+  ResponseWriter writer(stdout);
+  RmgpService service(std::move(graph), std::move(users), args.service);
+  writer.Write(ReadyBanner(service));
+
+  std::string line;
+  line.reserve(1 << 12);
+  char buf[1 << 16];
+  bool quit = false;
+  while (!quit && std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+    line.assign(buf);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+
+    Result<Request> parsed = ParseRequest(line);
+    if (!parsed.ok()) {
+      writer.Write(SerializeFailure(0.0, parsed.status()));
+      continue;
+    }
+    Request req = std::move(parsed).value();
+    switch (req.op) {
+      case Request::Op::kSolve: {
+        const double id = req.id;
+        Status admitted = service.Submit(
+            std::move(req.query),
+            [&writer, id](const Status& status, const QueryResult& result) {
+              writer.Write(status.ok() ? SerializeQueryResult(id, result)
+                                       : SerializeFailure(id, status));
+            });
+        if (!admitted.ok()) writer.Write(SerializeFailure(id, admitted));
+        break;
+      }
+      case Request::Op::kUpdateUser: {
+        Status updated = service.UpdateUserLocation(req.user, req.location);
+        writer.Write(updated.ok() ? SerializeAck(req.id)
+                                  : SerializeFailure(req.id, updated));
+        break;
+      }
+      case Request::Op::kNearby:
+        writer.Write(SerializeCount(req.id, service.CountUsersIn(req.box)));
+        break;
+      case Request::Op::kMetrics:
+        writer.Write(SerializeMetrics(req.id, service.MetricsJson()));
+        break;
+      case Request::Op::kQuit:
+        writer.Write(SerializeAck(req.id));
+        quit = true;
+        break;
+    }
+  }
+
+  // Scope exit: ~RmgpService drains the worker pool (every accepted query
+  // still gets its response written), then ~ResponseWriter flushes the
+  // queue.
+  return 0;
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace rmgp
+
+int main(int argc, char** argv) { return rmgp::serve::Main(argc, argv); }
