@@ -11,10 +11,11 @@ namespace rmgp {
 
 using internal::StrictlyBetter;
 
-DynamicGame::DynamicGame(const Graph* graph, std::vector<Point> users,
-                         std::vector<Point> events, double alpha,
-                         double cost_scale)
-    : graph_(graph),
+DynamicGame::DynamicGame(std::shared_ptr<const Graph> graph,
+                         std::vector<Point> users, std::vector<Point> events,
+                         double alpha, double cost_scale)
+    : graph_owner_(std::move(graph)),
+      graph_(graph_owner_.get()),
       users_(std::move(users)),
       events_(std::move(events)),
       alpha_(alpha),
@@ -22,6 +23,16 @@ DynamicGame::DynamicGame(const Graph* graph, std::vector<Point> users,
 
 Result<std::unique_ptr<DynamicGame>> DynamicGame::Create(
     const Graph* graph, std::vector<Point> user_locations,
+    std::vector<Point> events, double alpha, double cost_scale,
+    const SolverOptions& options) {
+  // Non-owning alias: the caller guarantees the graph outlives the game.
+  return Create(std::shared_ptr<const Graph>(std::shared_ptr<void>(), graph),
+                std::move(user_locations), std::move(events), alpha,
+                cost_scale, options);
+}
+
+Result<std::unique_ptr<DynamicGame>> DynamicGame::Create(
+    std::shared_ptr<const Graph> graph, std::vector<Point> user_locations,
     std::vector<Point> events, double alpha, double cost_scale,
     const SolverOptions& options) {
   if (graph == nullptr) return Status::InvalidArgument("graph is null");
@@ -39,15 +50,15 @@ Result<std::unique_ptr<DynamicGame>> DynamicGame::Create(
   }
 
   std::unique_ptr<DynamicGame> game(
-      new DynamicGame(graph, std::move(user_locations), std::move(events),
-                      alpha, cost_scale));
-  const NodeId n = graph->num_nodes();
+      new DynamicGame(std::move(graph), std::move(user_locations),
+                      std::move(events), alpha, cost_scale));
+  const NodeId n = game->graph_->num_nodes();
   const ClassId k = game->num_events();
   game->capacity_ = std::max<size_t>(k, 8);
   game->table_.assign(static_cast<size_t>(n) * game->capacity_, 0.0);
   game->max_sc_.resize(n);
   for (NodeId v = 0; v < n; ++v) {
-    game->max_sc_[v] = (1.0 - alpha) * 0.5 * graph->weighted_degree(v);
+    game->max_sc_[v] = (1.0 - alpha) * 0.5 * game->graph_->weighted_degree(v);
   }
   game->max_rounds_ = options.max_rounds;
 
@@ -165,6 +176,80 @@ Result<uint64_t> DynamicGame::UpdateUserLocation(NodeId v,
   // depend on v's class, not its location.
   RebuildRow(v);
   RefreshHappiness(v);
+  return Settle();
+}
+
+Result<uint64_t> DynamicGame::ApplyEpoch(const GraphEpochUpdate& update) {
+  if (update.graph == nullptr) {
+    return Status::InvalidArgument("epoch update carries no graph");
+  }
+  const NodeId old_n = graph_->num_nodes();
+  const NodeId new_n = update.graph->num_nodes();
+  if (static_cast<size_t>(new_n) != old_n + update.appended.size()) {
+    return Status::InvalidArgument("appended-user count mismatch");
+  }
+  for (const auto& [v, p] : update.moved) {
+    (void)p;
+    if (v >= old_n) return Status::InvalidArgument("moved user out of range");
+  }
+  for (const NodeId v : update.touched) {
+    if (v >= new_n) {
+      return Status::InvalidArgument("touched vertex out of range");
+    }
+  }
+
+  // Commit point: no failure paths below.
+  graph_owner_ = update.graph;
+  graph_ = graph_owner_.get();
+  for (const auto& [v, p] : update.moved) users_[v] = p;
+  users_.insert(users_.end(), update.appended.begin(), update.appended.end());
+
+  const ClassId k = num_events();
+  if (new_n > old_n) {
+    table_.resize(static_cast<size_t>(new_n) * capacity_, 0.0);
+    max_sc_.resize(new_n, 0.0);
+    happy_.resize(new_n, 0);
+    assignment_.resize(new_n);
+    // Seed appended users at their closest class (max_sc is a per-row
+    // constant, so distance argmin == row argmin for an edgeless seed);
+    // their real rows are built below — every appended id is touched.
+    for (NodeId v = old_n; v < new_n; ++v) {
+      ClassId best = 0;
+      double best_d = DistanceSquared(users_[v], events_[0]);
+      for (ClassId p = 1; p < k; ++p) {
+        const double d = DistanceSquared(users_[v], events_[p]);
+        if (d < best_d) {
+          best_d = d;
+          best = p;
+        }
+      }
+      assignment_[v] = best;
+    }
+  }
+
+  // Only touched vertices' rows change: an edge edit moves the incident
+  // weight term (max_sc) and one credit in each endpoint's row, and a
+  // moved user's assignment-cost column is location-dependent. Third
+  // parties react through ApplySwitch during Settle, if at all.
+  const double social = 1.0 - alpha_;
+  for (const NodeId v : update.touched) {
+    max_sc_[v] = social * 0.5 * graph_->weighted_degree(v);
+  }
+  for (const auto& [v, p] : update.moved) {
+    (void)p;
+    RebuildRow(v);
+  }
+  for (const NodeId v : update.touched) RebuildRow(v);
+  for (const auto& [v, p] : update.moved) {
+    (void)p;
+    RefreshHappiness(v);
+  }
+  // Wake the touched set plus its 1-hop frontier (ISSUE spec: the
+  // worklist incremental re-equilibration starts from).
+  for (const NodeId v : update.touched) {
+    RefreshHappiness(v);
+    for (const Neighbor& nb : graph_->neighbors(v)) happy_[nb.node] = 0;
+  }
   return Settle();
 }
 

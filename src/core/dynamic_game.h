@@ -2,6 +2,8 @@
 #define RMGP_CORE_DYNAMIC_GAME_H_
 
 #include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/instance.h"
@@ -32,6 +34,35 @@ class DynamicGame {
       const Graph* graph, std::vector<Point> user_locations,
       std::vector<Point> events, double alpha, double cost_scale,
       const SolverOptions& options);
+
+  /// Shared-ownership variant: the game keeps the graph version it was
+  /// built on alive, which is what epoch-versioned serving sessions need
+  /// (the session may move to a newer graph while cached games still
+  /// reference the old one until they are patched).
+  static Result<std::unique_ptr<DynamicGame>> Create(
+      std::shared_ptr<const Graph> graph, std::vector<Point> user_locations,
+      std::vector<Point> events, double alpha, double cost_scale,
+      const SolverOptions& options);
+
+  /// One committed mutation epoch: the next graph version plus what
+  /// changed relative to the version this game currently holds.
+  struct GraphEpochUpdate {
+    std::shared_ptr<const Graph> graph;  ///< next version; |V| may grow
+    /// Users whose check-in location changed (old ids, new locations).
+    std::span<const std::pair<NodeId, Point>> moved;
+    /// Locations of appended users, in id order (old_n, old_n+1, ...).
+    std::span<const Point> appended;
+    /// Vertices whose adjacency changed, incl. every appended id, sorted.
+    std::span<const NodeId> touched;
+  };
+
+  /// Migrates the maintained equilibrium onto the next graph version:
+  /// patches moved users' locations, grows per-user state for appended
+  /// users (seeded at their closest class), rebuilds the best-response
+  /// rows of the touched set, wakes the touched set plus its 1-hop
+  /// frontier, and re-settles. Returns the number of users that changed
+  /// class. On error the game is unchanged.
+  Result<uint64_t> ApplyEpoch(const GraphEpochUpdate& update);
 
   /// Moves user v to a new check-in location and restores equilibrium.
   /// Returns the number of users that changed class.
@@ -67,7 +98,7 @@ class DynamicGame {
   uint64_t total_examinations() const { return total_examinations_; }
 
  private:
-  DynamicGame(const Graph* graph, std::vector<Point> users,
+  DynamicGame(std::shared_ptr<const Graph> graph, std::vector<Point> users,
               std::vector<Point> events, double alpha, double cost_scale);
 
   double UserClassCost(NodeId v, ClassId p) const;
@@ -79,7 +110,8 @@ class DynamicGame {
   /// Applies a class switch of v (updates gsv + friends' rows/happiness).
   void ApplySwitch(NodeId v, ClassId to);
 
-  const Graph* graph_;
+  std::shared_ptr<const Graph> graph_owner_;  // may be non-owning (aliased)
+  const Graph* graph_;                        // == graph_owner_.get()
   std::vector<Point> users_;
   std::vector<Point> events_;
   double alpha_;

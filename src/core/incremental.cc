@@ -1,0 +1,199 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/solver_internal.h"
+#include "util/dcheck.h"
+#include "util/stopwatch.h"
+
+namespace rmgp {
+namespace {
+
+using internal::ArgminOnDecrease;
+using internal::ArgminOnIncrease;
+using internal::StrictlyBetter;
+
+constexpr uint32_t kNoRow = UINT32_MAX;
+
+/// Lazily materialized global-table rows: only vertices the worklist
+/// actually examines pay the O(k + deg) row build, and rows stay patched
+/// via the Fig-5 incremental updates afterwards.
+struct LazyTable {
+  explicit LazyTable(const Instance& inst)
+      : inst_(inst),
+        k_(inst.num_classes()),
+        alpha_(inst.alpha()),
+        row_of_(inst.num_users(), kNoRow) {}
+
+  bool has_row(NodeId v) const { return row_of_[v] != kNoRow; }
+
+  double* row(NodeId v) { return rows_.data() + row_of_[v] * k_; }
+
+  ClassId& best(NodeId v) { return best_[row_of_[v]]; }
+
+  /// Builds v's row against the current assignment (same cell formula as
+  /// BuildDenseGlobalTable, so equilibria are bit-comparable).
+  void Materialize(NodeId v, const Assignment& a, const double* max_sc,
+                   SolverCounters* counters) {
+    row_of_[v] = static_cast<uint32_t>(best_.size());
+    rows_.resize(rows_.size() + k_);
+    double* row = rows_.data() + row_of_[v] * k_;
+    inst_.AssignmentCostsFor(v, row);
+    for (ClassId p = 0; p < k_; ++p) row[p] = alpha_ * row[p] + max_sc[v];
+    const double social = 1.0 - alpha_;
+    for (const Neighbor& nb : inst_.graph().neighbors(v)) {
+      row[a[nb.node]] -= social * 0.5 * nb.weight;
+    }
+    ClassId b = 0;
+    for (ClassId p = 1; p < k_; ++p) {
+      if (row[p] < row[b]) b = p;
+    }
+    best_.push_back(b);
+    counters->gt_cells_built += k_;
+  }
+
+  const Instance& inst_;
+  const ClassId k_;
+  const double alpha_;
+  std::vector<uint32_t> row_of_;  // v -> row slot, kNoRow if unbuilt
+  std::vector<double> rows_;      // slot-major, k_ cells per slot
+  std::vector<ClassId> best_;     // per-slot cached argmin
+};
+
+}  // namespace
+
+Result<SolveResult> ReEquilibrate(const Instance& inst,
+                                  const Assignment& previous,
+                                  std::span<const NodeId> touched,
+                                  const SolverOptions& options) {
+  Stopwatch total_sw;
+  const NodeId n = inst.num_users();
+  const ClassId k = inst.num_classes();
+  if (k == 0) return Status::InvalidArgument("instance has no classes");
+  if (options.max_rounds == 0) {
+    return Status::InvalidArgument("max_rounds must be positive");
+  }
+  if (previous.size() > n) {
+    return Status::InvalidArgument("previous assignment larger than |V|");
+  }
+  for (const ClassId p : previous) {
+    if (p >= k) {
+      return Status::InvalidArgument("previous assignment names class " +
+                                     std::to_string(p) + " of " +
+                                     std::to_string(k));
+    }
+  }
+  for (const NodeId v : touched) {
+    if (v >= n) return Status::InvalidArgument("touched vertex out of range");
+  }
+
+  SolveResult res;
+  const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
+
+  // Seed: the previous equilibrium, with appended users at their closest
+  // class (they must appear in `touched`, so they get examined below).
+  Assignment& a = res.assignment;
+  a.assign(previous.begin(), previous.end());
+  a.resize(n);
+  {
+    std::vector<double> cost(k);
+    for (NodeId v = static_cast<NodeId>(previous.size()); v < n; ++v) {
+      inst.AssignmentCostsFor(v, cost.data());
+      a[v] = static_cast<ClassId>(
+          std::min_element(cost.begin(), cost.end()) - cost.begin());
+    }
+  }
+
+  LazyTable table(inst);
+
+  // Worklist: touched ∪ 1-hop frontier, deduplicated, in a deterministic
+  // FIFO. `queued` only marks "waiting in the queue" — a vertex examined
+  // and later perturbed again re-enters.
+  std::vector<NodeId> queue;
+  std::vector<char> queued(n, 0);
+  const auto push = [&](NodeId v) {
+    if (queued[v]) return;
+    queued[v] = 1;
+    queue.push_back(v);
+    ++res.counters.worklist_pushes;
+  };
+  {
+    std::vector<NodeId> seed(touched.begin(), touched.end());
+    std::sort(seed.begin(), seed.end());
+    seed.erase(std::unique(seed.begin(), seed.end()), seed.end());
+    for (const NodeId v : seed) push(v);
+    for (const NodeId v : seed) {
+      for (const Neighbor& nb : inst.graph().neighbors(v)) push(nb.node);
+    }
+  }
+
+  res.init_millis = total_sw.ElapsedMillis();
+
+  // Drain. Each examination reads the (lazily built, incrementally
+  // patched) row of one vertex; a switch patches materialized neighbor
+  // rows and wakes the neighborhood. Termination: switches strictly
+  // decrease Φ (Lemma 2), and between switches the queue only shrinks.
+  const uint64_t exam_cap =
+      static_cast<uint64_t>(options.max_rounds) * std::max<NodeId>(n, 1);
+  const double social = 1.0 - inst.alpha();
+  uint64_t examinations = 0;
+  bool timed_out = false;
+  size_t head = 0;
+  while (head < queue.size()) {
+    if ((examinations & 1023u) == 0 && internal::StopRequested(options)) {
+      timed_out = true;
+      break;
+    }
+    if (examinations >= exam_cap) break;
+    const NodeId v = queue[head++];
+    queued[v] = 0;
+    if (!table.has_row(v)) table.Materialize(v, a, max_sc.data(), &res.counters);
+    ++examinations;
+    ++res.counters.best_response_evals;
+    double* row = table.row(v);
+    const ClassId best = table.best(v);
+    if (!StrictlyBetter(row[best], row[a[v]])) continue;
+
+    const ClassId old = a[v];
+    a[v] = best;
+    for (const Neighbor& nb : inst.graph().neighbors(v)) {
+      const NodeId f = nb.node;
+      if (table.has_row(f)) {
+        double* frow = table.row(f);
+        const double delta = social * 0.5 * nb.weight;
+        frow[best] -= delta;
+        ArgminOnDecrease(frow, best, &table.best(f));
+        frow[old] += delta;
+        if (ArgminOnIncrease(frow, k, old, &table.best(f))) {
+          ++res.counters.argmin_cache_repairs;
+        }
+        res.counters.gt_incremental_updates += 2;
+        if (a[f] == old || StrictlyBetter(frow[table.best(f)], frow[a[f]])) {
+          push(f);
+        }
+      } else {
+        // No row yet: enqueue conservatively; the examination builds the
+        // row against the post-switch assignment, so it is exact.
+        push(f);
+      }
+    }
+  }
+
+  res.timed_out = timed_out;
+  res.converged = !timed_out && head >= queue.size();
+  res.rounds = res.converged || examinations > 0 ? 1 : 0;
+  internal::FinalizeResult(inst, &res);
+  res.total_millis = total_sw.ElapsedMillis();
+
+  if (res.converged) {
+    // The tentpole proof obligation: the incrementally repaired state is
+    // a real equilibrium, indistinguishable in Φ-validity from a cold
+    // solve. Compiled-but-dead unless RMGP_DCHECKS=ON.
+    RMGP_DCHECK_OK(VerifyEquilibrium(inst, a));
+  }
+  return res;
+}
+
+}  // namespace rmgp

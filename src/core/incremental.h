@@ -1,0 +1,48 @@
+#ifndef RMGP_CORE_INCREMENTAL_H_
+#define RMGP_CORE_INCREMENTAL_H_
+
+#include <span>
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/solver.h"
+#include "graph/graph.h"
+
+namespace rmgp {
+
+/// Incremental re-equilibration after a mutation epoch (§3.1's "the
+/// solution of the last execution can be used as the seed of the next
+/// one", extended from moved check-ins to structural churn).
+///
+/// `inst` is the *post-mutation* instance; `previous` is a Nash
+/// equilibrium of the pre-mutation instance (size <= |V| — appended users
+/// are seeded at their closest class); `touched` lists every vertex whose
+/// assignment costs or incident edges changed (the epoch's touched set,
+/// including appended ids).
+///
+/// Best-response dynamics restart from `previous` with the unhappy
+/// worklist initialized to `touched` plus its 1-hop frontier. Because
+/// only touched vertices' best-response rows differ from the seeded
+/// equilibrium's — and everyone else can only become unhappy when a
+/// neighbor switches, which enqueues them — the result is a valid Nash
+/// equilibrium of `inst`, exactly as Φ-valid as a cold solve
+/// (`VerifyEquilibrium` passes with the same tolerance; audited under
+/// RMGP_DCHECKS). Global-table rows are materialized lazily, so the cost
+/// is O(affected neighborhood · k) instead of O(|V|·k).
+///
+/// Counters reported: best_response_evals (worklist examinations),
+/// worklist_pushes, gt_cells_built (lazily materialized cells),
+/// gt_incremental_updates (cell patches on switches),
+/// argmin_cache_repairs.
+///
+/// `options`: seed/init/order are ignored (the seed *is* `previous`);
+/// max_rounds bounds total examinations at max_rounds·|V| (converged =
+/// false when exhausted); deadline/cancel_token give anytime semantics.
+Result<SolveResult> ReEquilibrate(const Instance& inst,
+                                  const Assignment& previous,
+                                  std::span<const NodeId> touched,
+                                  const SolverOptions& options);
+
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_INCREMENTAL_H_

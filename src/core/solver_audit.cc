@@ -17,6 +17,9 @@ namespace {
 constexpr double kCellTol = 1e-7;
 
 bool CellsMatch(double stored, double fresh) {
+  // Exact equality first: excluded-class cells hold +inf on both sides, and
+  // inf - inf is NaN, which would fail the tolerance test below.
+  if (stored == fresh) return true;
   return std::abs(stored - fresh) <= kCellTol * (1.0 + std::abs(fresh));
 }
 

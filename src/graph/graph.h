@@ -88,6 +88,7 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  friend class GraphDelta;  // builds the next version of a mutated graph
 
   std::vector<uint64_t> offsets_;  // size |V|+1
   std::vector<Neighbor> adj_;      // size 2|E|, sorted per node

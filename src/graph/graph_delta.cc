@@ -1,0 +1,185 @@
+#include "graph/graph_delta.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/dcheck.h"
+
+namespace rmgp {
+
+GraphDelta::GraphDelta(const Graph* base) : base_(base) {
+  RMGP_DCHECK(base != nullptr) << "GraphDelta over a null base graph";
+}
+
+Status GraphDelta::CheckEndpoints(NodeId u, NodeId v) const {
+  const NodeId n = num_nodes();
+  if (u >= n || v >= n) {
+    return Status::OutOfRange("edge endpoint out of range: {" +
+                              std::to_string(u) + "," + std::to_string(v) +
+                              "} with |V|=" + std::to_string(n));
+  }
+  return Status::OK();
+}
+
+Weight GraphDelta::BaseWeight(NodeId u, NodeId v) const {
+  const NodeId base_n = base_->num_nodes();
+  if (u >= base_n || v >= base_n) return 0.0;
+  return base_->EdgeWeight(u, v);
+}
+
+Weight GraphDelta::EdgeWeight(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes() || u == v) return 0.0;
+  const auto it = overlay_.find(Key(u, v));
+  if (it != overlay_.end()) return it->second;
+  return BaseWeight(u, v);
+}
+
+void GraphDelta::SetWeight(NodeId u, NodeId v, Weight w) {
+  const auto key = Key(u, v);
+  if (BaseWeight(u, v) == w) {
+    overlay_.erase(key);  // net no-op: the view reverted to the base
+  } else {
+    overlay_[key] = w;
+  }
+}
+
+Status GraphDelta::AddEdge(NodeId u, NodeId v, Weight w) {
+  RMGP_RETURN_IF_ERROR(CheckEndpoints(u, v));
+  if (u == v) return Status::InvalidArgument("self-loops carry no cost");
+  if (w <= 0.0) {
+    return Status::InvalidArgument("edge weight must be positive");
+  }
+  if (EdgeWeight(u, v) > 0.0) {
+    return Status::FailedPrecondition(
+        "edge {" + std::to_string(u) + "," + std::to_string(v) +
+        "} already exists; use reweight_edge");
+  }
+  SetWeight(u, v, w);
+  return Status::OK();
+}
+
+Status GraphDelta::RemoveEdge(NodeId u, NodeId v) {
+  RMGP_RETURN_IF_ERROR(CheckEndpoints(u, v));
+  if (EdgeWeight(u, v) <= 0.0) {
+    return Status::NotFound("no edge {" + std::to_string(u) + "," +
+                            std::to_string(v) + "} to remove");
+  }
+  SetWeight(u, v, 0.0);
+  return Status::OK();
+}
+
+Status GraphDelta::ReweightEdge(NodeId u, NodeId v, Weight w) {
+  RMGP_RETURN_IF_ERROR(CheckEndpoints(u, v));
+  if (w <= 0.0) {
+    return Status::InvalidArgument("edge weight must be positive");
+  }
+  if (EdgeWeight(u, v) <= 0.0) {
+    return Status::NotFound("no edge {" + std::to_string(u) + "," +
+                            std::to_string(v) + "} to reweight");
+  }
+  SetWeight(u, v, w);
+  return Status::OK();
+}
+
+NodeId GraphDelta::AddNode() {
+  ++appended_;
+  return num_nodes() - 1;
+}
+
+Status GraphDelta::RemoveNodeEdges(NodeId v) {
+  RMGP_RETURN_IF_ERROR(CheckEndpoints(v, v));
+  // Incident edges in the view: base neighbors not shadowed by the
+  // overlay, plus overlay additions/reweights touching v. Collect first —
+  // SetWeight mutates overlay_ under our feet otherwise.
+  std::vector<NodeId> incident;
+  if (v < base_->num_nodes()) {
+    for (const Neighbor& nb : base_->neighbors(v)) {
+      if (EdgeWeight(v, nb.node) > 0.0) incident.push_back(nb.node);
+    }
+  }
+  for (const auto& [key, w] : overlay_) {
+    if (w <= 0.0) continue;
+    if (key.first == v && BaseWeight(v, key.second) == 0.0) {
+      incident.push_back(key.second);
+    } else if (key.second == v && BaseWeight(v, key.first) == 0.0) {
+      incident.push_back(key.first);
+    }
+  }
+  for (const NodeId u : incident) SetWeight(v, u, 0.0);
+  return Status::OK();
+}
+
+GraphDelta::BuildResult GraphDelta::Build() const {
+  const NodeId base_n = base_->num_nodes();
+  const NodeId n = num_nodes();
+
+  // Per-touched-vertex delta lists (weight 0 = removal); map iteration
+  // keeps everything deterministic.
+  std::map<NodeId, std::vector<Neighbor>> delta;
+  for (const auto& [key, w] : overlay_) {
+    delta[key.first].push_back({key.second, w});
+    delta[key.second].push_back({key.first, w});
+  }
+  for (auto& [v, list] : delta) {
+    (void)v;
+    std::sort(list.begin(), list.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.node < b.node;
+              });
+  }
+
+  BuildResult out;
+  Graph& g = out.graph;
+  g.offsets_.resize(static_cast<size_t>(n) + 1);
+  g.offsets_[0] = 0;
+  g.adj_.reserve(base_->adj_.size() + 2 * overlay_.size());
+
+  auto it = delta.begin();
+  for (NodeId v = 0; v < n; ++v) {
+    if (it != delta.end() && it->first == v) {
+      // Merge the (sorted) base adjacency with the (sorted) delta list;
+      // delta entries override, removals drop out.
+      std::span<const Neighbor> base_nbrs =
+          v < base_n ? base_->neighbors(v) : std::span<const Neighbor>{};
+      const std::vector<Neighbor>& dl = it->second;
+      size_t bi = 0;
+      size_t di = 0;
+      while (bi < base_nbrs.size() || di < dl.size()) {
+        if (di >= dl.size() ||
+            (bi < base_nbrs.size() && base_nbrs[bi].node < dl[di].node)) {
+          g.adj_.push_back(base_nbrs[bi++]);
+        } else {
+          const Neighbor d = dl[di++];
+          if (bi < base_nbrs.size() && base_nbrs[bi].node == d.node) ++bi;
+          if (d.weight > 0.0) g.adj_.push_back(d);
+        }
+      }
+      ++it;
+    } else if (v < base_n) {
+      const std::span<const Neighbor> nbrs = base_->neighbors(v);
+      g.adj_.insert(g.adj_.end(), nbrs.begin(), nbrs.end());
+    }
+    g.offsets_[v + 1] = g.adj_.size();
+  }
+  RMGP_DCHECK(it == delta.end());
+  RMGP_DCHECK_EQ(g.adj_.size() % 2, 0u);
+
+  // Recompute the total exactly rather than accumulating adjustments —
+  // a session commits many epochs and additive drift would compound.
+  Weight total = 0.0;
+  for (const Neighbor& nb : g.adj_) total += nb.weight;
+  g.total_edge_weight_ = total * 0.5;
+
+  out.touched.reserve(delta.size() + appended_);
+  for (const auto& [v, list] : delta) {
+    (void)list;
+    if (v < base_n) out.touched.push_back(v);
+  }
+  // Appended nodes are always touched, edges or not: they are new players
+  // whose best-response rows do not exist yet. (Delta keys >= base_n are
+  // subsumed by this range, keeping `touched` sorted and unique.)
+  for (NodeId v = base_n; v < n; ++v) out.touched.push_back(v);
+  return out;
+}
+
+}  // namespace rmgp

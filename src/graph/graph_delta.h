@@ -1,0 +1,116 @@
+#ifndef RMGP_GRAPH_GRAPH_DELTA_H_
+#define RMGP_GRAPH_GRAPH_DELTA_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// A validated batch of structural edits (one *epoch* of mutations) against
+/// an immutable base Graph. Edits accumulate as a net-change overlay: an
+/// edge added and removed inside the same epoch cancels out entirely, so
+/// `empty()` is true exactly when committing the batch would reproduce the
+/// base graph — the caller can skip the version bump for a no-op epoch.
+///
+/// Every operation validates against the *current view* (base ⊕ overlay):
+/// adding an edge that exists, or removing/reweighting one that does not,
+/// is an error — the mutation log surfaces these to the client instead of
+/// silently merging them the way GraphBuilder does.
+///
+/// `Build()` produces the next CSR graph plus the set of vertices whose
+/// adjacency (or existence) changed — the seed of incremental
+/// re-equilibration. Untouched vertices' adjacency spans are copied
+/// verbatim; only touched vertices pay a merge.
+///
+/// Not thread-safe; the owner (serve::MutationLog) serializes access.
+class GraphDelta {
+ public:
+  /// `base` is borrowed and must outlive the delta.
+  explicit GraphDelta(const Graph* base);
+
+  /// Adds undirected edge {u,v} with weight w. Errors: endpoint out of
+  /// range, u == v, non-positive weight, edge already present in the view.
+  [[nodiscard]] Status AddEdge(NodeId u, NodeId v, Weight w = 1.0);
+
+  /// Removes edge {u,v}. Errors: endpoint out of range, edge not present
+  /// in the view.
+  [[nodiscard]] Status RemoveEdge(NodeId u, NodeId v);
+
+  /// Sets the weight of existing edge {u,v} to w. Errors: endpoint out of
+  /// range, non-positive weight, edge not present in the view.
+  [[nodiscard]] Status ReweightEdge(NodeId u, NodeId v, Weight w);
+
+  /// Appends a new isolated node and returns its id (= num_nodes()-1
+  /// after the call). Node removal keeps ids stable instead: see
+  /// RemoveNodeEdges.
+  NodeId AddNode();
+
+  /// Drops every edge incident to v (the graph half of removing a user;
+  /// id-stability means the vertex itself stays, isolated). Errors:
+  /// endpoint out of range.
+  [[nodiscard]] Status RemoveNodeEdges(NodeId v);
+
+  /// Weight of {u,v} in the current view (base ⊕ overlay), 0 if absent or
+  /// out of range.
+  [[nodiscard]] Weight EdgeWeight(NodeId u, NodeId v) const;
+
+  [[nodiscard]] bool HasEdge(NodeId u, NodeId v) const {
+    return EdgeWeight(u, v) > 0.0;
+  }
+
+  /// Node count of the view: base nodes plus appends.
+  NodeId num_nodes() const { return base_->num_nodes() + appended_; }
+
+  /// True iff committing now would reproduce the base graph exactly (no
+  /// net edge change and no appended node).
+  bool empty() const { return overlay_.empty() && appended_ == 0; }
+
+  /// Number of edges whose weight differs from the base (removals count).
+  size_t num_edge_changes() const { return overlay_.size(); }
+
+  NodeId num_appended_nodes() const { return appended_; }
+
+  struct BuildResult {
+    Graph graph;
+    /// Sorted unique ids whose adjacency changed, plus every appended
+    /// node (their global-table rows must be built from scratch).
+    std::vector<NodeId> touched;
+  };
+
+  /// Materializes the next graph version. The delta itself is unchanged
+  /// (the owner re-bases by constructing a fresh GraphDelta over the new
+  /// graph).
+  [[nodiscard]] BuildResult Build() const;
+
+ private:
+  /// Canonical overlay key: (min, max).
+  static std::pair<NodeId, NodeId> Key(NodeId u, NodeId v) {
+    return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+  }
+
+  [[nodiscard]] Status CheckEndpoints(NodeId u, NodeId v) const;
+
+  /// Base-graph weight of {u,v}; 0 when either endpoint is appended.
+  Weight BaseWeight(NodeId u, NodeId v) const;
+
+  /// Records "the view weight of {u,v} is now w" (w == 0 removes),
+  /// erasing the overlay entry when w matches the base weight again.
+  void SetWeight(NodeId u, NodeId v, Weight w);
+
+  const Graph* base_;
+  NodeId appended_ = 0;
+  /// Net changes vs. base, keyed canonically. Invariants: a value of 0
+  /// (removal) only ever shadows an existing base edge; a positive value
+  /// always differs from the base weight. std::map keeps iteration
+  /// deterministic for Build().
+  std::map<std::pair<NodeId, NodeId>, Weight> overlay_;
+};
+
+}  // namespace rmgp
+
+#endif  // RMGP_GRAPH_GRAPH_DELTA_H_

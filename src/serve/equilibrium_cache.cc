@@ -47,8 +47,7 @@ std::vector<uint32_t> MapEvents(const std::vector<Point>& from,
 
 }  // namespace
 
-EquilibriumCache::EquilibriumCache(const Graph* graph, const Config& config)
-    : graph_(graph), config_(config) {}
+EquilibriumCache::EquilibriumCache(const Config& config) : config_(config) {}
 
 size_t EquilibriumCache::EditDistance(const std::vector<Point>& a,
                                       const std::vector<Point>& b) {
@@ -81,11 +80,13 @@ std::optional<EquilibriumCache::Hit> EquilibriumCache::Lookup(
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.lookups;
 
-  // Drop entries computed under an older session (user moved, graph
-  // mutated): their equilibria — and their games' user snapshots — are
-  // stale.
+  // Drop entries computed under an *older* session: they missed an epoch
+  // patch, so their equilibria — and their games' user snapshots — are
+  // stale. Entries under a *newer* version belong to the current
+  // generation; an in-flight query pinned to an old snapshot skips them
+  // without dropping them.
   for (size_t e = entries_.size(); e-- > 0;) {
-    if (entries_[e].version != version) {
+    if (entries_[e].version < version) {
       entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(e));
       ++stats_.invalidations;
     }
@@ -95,6 +96,7 @@ std::optional<EquilibriumCache::Hit> EquilibriumCache::Lookup(
   size_t best_edits = SIZE_MAX;
   for (size_t e = 0; e < entries_.size(); ++e) {
     const Entry& entry = entries_[e];
+    if (entry.version != version) continue;
     if (entry.alpha != alpha || entry.cost_scale != cost_scale) continue;
     const size_t edits = EditDistance(entry.game->events(), events);
     if (edits < best_edits) {
@@ -185,7 +187,9 @@ std::optional<EquilibriumCache::Hit> EquilibriumCache::Lookup(
   return hit;
 }
 
-void EquilibriumCache::Insert(uint64_t version, const std::vector<Point>& users,
+void EquilibriumCache::Insert(uint64_t version,
+                              std::shared_ptr<const Graph> graph,
+                              const std::vector<Point>& users,
                               const std::vector<Point>& events, double alpha,
                               double cost_scale,
                               const Assignment& assignment) {
@@ -201,13 +205,15 @@ void EquilibriumCache::Insert(uint64_t version, const std::vector<Point>& users,
   }
 
   // Warm-started creation: `assignment` is already an equilibrium, so the
-  // game settles immediately — the cost is the O(|V|·k) table build.
+  // game settles immediately — the cost is the O(|V|·k) table build. The
+  // game co-owns the graph, so a stale query's version stays alive exactly
+  // as long as its entry does.
   SolverOptions options;
   options.init = InitPolicy::kGiven;
   options.order = OrderPolicy::kNodeId;
   options.warm_start = assignment;
-  Result<std::unique_ptr<DynamicGame>> game =
-      DynamicGame::Create(graph_, users, events, alpha, cost_scale, options);
+  Result<std::unique_ptr<DynamicGame>> game = DynamicGame::Create(
+      std::move(graph), users, events, alpha, cost_scale, options);
   if (!game.ok()) return;  // cache stays correct, just colder
 
   if (entries_.size() >= config_.capacity) {
@@ -228,6 +234,33 @@ void EquilibriumCache::Insert(uint64_t version, const std::vector<Point>& users,
   entry.last_used = ++tick_;
   entries_.push_back(std::move(entry));
   ++stats_.insertions;
+}
+
+EquilibriumCache::PatchResult EquilibriumCache::PatchEpoch(
+    uint64_t new_version, const DynamicGame::GraphEpochUpdate& update) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PatchResult result;
+  for (size_t e = entries_.size(); e-- > 0;) {
+    Entry& entry = entries_[e];
+    if (entry.version >= new_version) continue;  // already current (or ahead)
+    bool ok = false;
+    if (entry.version + 1 == new_version) {
+      // Exactly one epoch behind: carry it forward in place. ApplyEpoch
+      // re-settles only the touched neighborhood, so surviving entries
+      // keep their warm tables.
+      ok = entry.game->ApplyEpoch(update).ok();
+    }
+    if (ok) {
+      entry.version = new_version;
+      ++result.patched;
+      ++stats_.epoch_patched;
+    } else {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(e));
+      ++result.dropped;
+      ++stats_.epoch_dropped;
+    }
+  }
+  return result;
 }
 
 void EquilibriumCache::Clear() {

@@ -29,11 +29,17 @@ namespace serve {
 ///     scratch. The patched entry then *becomes* the entry for the new
 ///     signature.
 ///
-/// Entries are invalidated lazily: each remembers the session version it
-/// was computed under, and a lookup under a newer version (user moved,
-/// graph mutated) drops it. Eviction is LRU. All methods are thread-safe
-/// behind one mutex — patching a game is milliseconds, so a finer scheme
-/// buys nothing at serving scale.
+/// Versioning under churn: each entry remembers the session version it was
+/// computed under and each entry's game co-owns that version's graph, so
+/// old versions stay alive while referenced. An epoch commit calls
+/// PatchEpoch, which carries current-version entries forward through
+/// DynamicGame::ApplyEpoch instead of invalidating them wholesale; entries
+/// that miss the patch train (older versions) are dropped lazily by the
+/// next Lookup. A lookup never touches entries *newer* than its own
+/// version — an in-flight query pinned to an old snapshot must not eat the
+/// current generation's cache. Eviction is LRU. All methods are
+/// thread-safe behind one mutex — patching a game is milliseconds, so a
+/// finer scheme buys nothing at serving scale.
 class EquilibriumCache {
  public:
   struct Config {
@@ -48,7 +54,9 @@ class EquilibriumCache {
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
-    uint64_t invalidations = 0;  ///< entries dropped for stale version
+    uint64_t invalidations = 0;   ///< entries dropped for stale version
+    uint64_t epoch_patched = 0;   ///< entries carried across an epoch
+    uint64_t epoch_dropped = 0;   ///< entries a patch failed to carry
   };
 
   struct Hit {
@@ -56,26 +64,44 @@ class EquilibriumCache {
     bool warm = false;      ///< true when the entry was patched, not exact
   };
 
-  /// `graph` is borrowed and must outlive the cache.
-  EquilibriumCache(const Graph* graph, const Config& config);
+  /// What PatchEpoch did to the resident entries.
+  struct PatchResult {
+    size_t patched = 0;  ///< entries now live at the new version
+    size_t dropped = 0;  ///< entries removed (patch failure or stale)
+  };
+
+  explicit EquilibriumCache(const Config& config);
 
   /// Returns the cached equilibrium for the signature, patching a
   /// near-duplicate entry when possible; nullopt on a miss. Entries cached
-  /// under a different session version are dropped on sight, so a surviving
-  /// entry's DynamicGame always holds the session's current user
-  /// locations. A warm patch that fails internally degrades to a miss.
+  /// under an *older* session version are dropped on sight (they missed an
+  /// epoch patch); entries under a *newer* version are skipped but kept. A
+  /// warm patch that fails internally degrades to a miss.
   std::optional<Hit> Lookup(uint64_t version, const std::vector<Point>& events,
                             double alpha, double cost_scale);
 
   /// Caches a *converged* equilibrium for the signature: builds a
   /// persistent DynamicGame warm-started from `assignment` (immediate
-  /// settle — the assignment is already a Nash equilibrium). No-op when an
-  /// entry with this signature already exists or capacity is 0.
-  void Insert(uint64_t version, const std::vector<Point>& users,
-              const std::vector<Point>& events, double alpha,
-              double cost_scale, const Assignment& assignment);
+  /// settle — the assignment is already a Nash equilibrium). `graph` and
+  /// `users` are the snapshot the query ran against, so a late insert from
+  /// a stale query stays self-consistent (and is reaped at next lookup).
+  /// No-op when an entry with this signature already exists or capacity
+  /// is 0.
+  void Insert(uint64_t version, std::shared_ptr<const Graph> graph,
+              const std::vector<Point>& users, const std::vector<Point>& events,
+              double alpha, double cost_scale, const Assignment& assignment);
 
-  /// Drops every entry (graph topology changed under the session).
+  /// Carries entries across an epoch commit: every entry at
+  /// `new_version - 1` is migrated through DynamicGame::ApplyEpoch (graph
+  /// swap, moved check-ins, appended users, touched re-equilibration) and
+  /// re-tagged `new_version`; entries at even older versions are dropped;
+  /// entries already at or past `new_version` are left alone. An entry
+  /// whose patch fails is dropped — the cache just gets colder, never
+  /// wrong. The spans inside `update` need only outlive this call.
+  PatchResult PatchEpoch(uint64_t new_version,
+                         const DynamicGame::GraphEpochUpdate& update);
+
+  /// Drops every entry (epoch too large to patch within budget).
   void Clear();
 
   Stats stats() const;
@@ -96,7 +122,6 @@ class EquilibriumCache {
   static size_t EditDistance(const std::vector<Point>& a,
                              const std::vector<Point>& b);
 
-  const Graph* graph_;
   Config config_;
   mutable std::mutex mu_;
   std::vector<Entry> entries_;

@@ -1,0 +1,209 @@
+#include "serve/mutation_log.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/dcheck.h"
+
+namespace rmgp {
+namespace serve {
+
+const char* MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kAddUser: return "add_user";
+    case MutationKind::kRemoveUser: return "remove_user";
+    case MutationKind::kAddEdge: return "add_edge";
+    case MutationKind::kRemoveEdge: return "remove_edge";
+    case MutationKind::kReweightEdge: return "reweight_edge";
+    case MutationKind::kMoveUser: return "move_user";
+  }
+  return "unknown";
+}
+
+Result<MutationKind> ParseMutationKind(std::string_view name) {
+  if (name == "add_user") return MutationKind::kAddUser;
+  if (name == "remove_user") return MutationKind::kRemoveUser;
+  if (name == "add_edge") return MutationKind::kAddEdge;
+  if (name == "remove_edge") return MutationKind::kRemoveEdge;
+  if (name == "reweight_edge") return MutationKind::kReweightEdge;
+  if (name == "move_user") return MutationKind::kMoveUser;
+  return Status::InvalidArgument("unknown mutation kind: " +
+                                 std::string(name));
+}
+
+MutationLog::MutationLog(std::shared_ptr<const SessionSnapshot> base)
+    : base_(std::move(base)), delta_(base_->graph.get()) {
+  RMGP_DCHECK(base_ != nullptr);
+  RMGP_DCHECK_EQ(base_->users.size(), base_->graph->num_nodes());
+  RMGP_DCHECK_EQ(base_->active.size(), base_->graph->num_nodes());
+}
+
+bool MutationLog::ActiveInView(NodeId v) const {
+  if (v >= delta_.num_nodes()) return false;
+  if (v >= base_nodes()) {
+    // Appended this epoch; active unless removed again since.
+    return deactivated_.count(v) == 0;
+  }
+  if (reactivated_.count(v) != 0) return true;
+  if (deactivated_.count(v) != 0) return false;
+  return base_->active[v] != 0;
+}
+
+Result<NodeId> MutationLog::Append(const Mutation& m) {
+  switch (m.kind) {
+    case MutationKind::kAddUser: {
+      if (!m.has_user) {
+        const NodeId id = delta_.AddNode();
+        appended_.push_back(m.location);
+        ++pending_ops_;
+        return id;
+      }
+      // Reactivation of a tombstoned user (the "re-add of a removed
+      // user" path): the id and its (edgeless) vertex survive removal.
+      const NodeId v = m.user;
+      if (v >= delta_.num_nodes()) {
+        return Status::OutOfRange("user id out of range");
+      }
+      if (ActiveInView(v)) {
+        return Status::FailedPrecondition(
+            "user " + std::to_string(v) + " is already active");
+      }
+      if (v >= base_nodes()) {
+        // Appended and removed within this epoch; un-remove it.
+        deactivated_.erase(v);
+        appended_[v - base_nodes()] = m.location;
+      } else if (deactivated_.count(v) != 0) {
+        // Removed earlier in this same epoch: nets out to "still active,
+        // possibly moved" — but its edges are already gone from the
+        // delta, which is exactly removal-then-re-add semantics.
+        deactivated_.erase(v);
+        if (base_->users[v].x == m.location.x &&
+            base_->users[v].y == m.location.y) {
+          moves_.erase(v);
+        } else {
+          moves_[v] = m.location;
+        }
+      } else {
+        reactivated_[v] = m.location;
+      }
+      ++pending_ops_;
+      return v;
+    }
+    case MutationKind::kRemoveUser: {
+      const NodeId v = m.user;
+      if (v >= delta_.num_nodes()) {
+        return Status::OutOfRange("user id out of range");
+      }
+      if (!ActiveInView(v)) {
+        return Status::FailedPrecondition(
+            "user " + std::to_string(v) + " is not active");
+      }
+      RMGP_RETURN_IF_ERROR(delta_.RemoveNodeEdges(v));
+      if (v >= base_nodes()) {
+        deactivated_.insert(v);
+      } else if (reactivated_.count(v) != 0) {
+        reactivated_.erase(v);  // back to the base tombstone
+      } else {
+        deactivated_.insert(v);
+        moves_.erase(v);
+      }
+      ++pending_ops_;
+      return v;
+    }
+    case MutationKind::kMoveUser: {
+      const NodeId v = m.user;
+      if (v >= delta_.num_nodes()) {
+        return Status::OutOfRange("user id out of range");
+      }
+      if (!ActiveInView(v)) {
+        return Status::FailedPrecondition(
+            "user " + std::to_string(v) + " is not active");
+      }
+      if (v >= base_nodes()) {
+        appended_[v - base_nodes()] = m.location;
+      } else if (reactivated_.count(v) != 0) {
+        reactivated_[v] = m.location;
+      } else if (base_->users[v].x == m.location.x &&
+                 base_->users[v].y == m.location.y) {
+        moves_.erase(v);  // exact same spot: net no-op
+      } else {
+        moves_[v] = m.location;
+      }
+      ++pending_ops_;
+      return v;
+    }
+    case MutationKind::kAddEdge:
+    case MutationKind::kRemoveEdge:
+    case MutationKind::kReweightEdge: {
+      if (m.u >= delta_.num_nodes() || m.v >= delta_.num_nodes()) {
+        return Status::OutOfRange("edge endpoint out of range");
+      }
+      if (!ActiveInView(m.u) || !ActiveInView(m.v)) {
+        return Status::FailedPrecondition("edge endpoint is not active");
+      }
+      if (m.kind == MutationKind::kAddEdge) {
+        RMGP_RETURN_IF_ERROR(delta_.AddEdge(m.u, m.v, m.weight));
+      } else if (m.kind == MutationKind::kRemoveEdge) {
+        RMGP_RETURN_IF_ERROR(delta_.RemoveEdge(m.u, m.v));
+      } else {
+        RMGP_RETURN_IF_ERROR(delta_.ReweightEdge(m.u, m.v, m.weight));
+      }
+      ++pending_ops_;
+      return std::min(m.u, m.v);
+    }
+  }
+  return Status::InvalidArgument("unknown mutation kind");
+}
+
+std::optional<MutationLog::Epoch> MutationLog::Commit() {
+  const bool clean = delta_.empty() && moves_.empty() &&
+                     reactivated_.empty() && deactivated_.empty();
+  pending_ops_ = 0;
+  if (clean) return std::nullopt;
+
+  GraphDelta::BuildResult built = delta_.Build();
+  const NodeId n = built.graph.num_nodes();
+
+  auto next = std::make_shared<SessionSnapshot>();
+  next->graph = std::make_shared<const Graph>(std::move(built.graph));
+  next->version = base_->version + 1;
+  next->users = base_->users;
+  next->users.insert(next->users.end(), appended_.begin(), appended_.end());
+  next->active = base_->active;
+  next->active.resize(n, 1);
+
+  Epoch epoch;
+  epoch.touched = std::move(built.touched);
+  epoch.appended = std::move(appended_);
+  for (const auto& [v, p] : moves_) {
+    next->users[v] = p;
+    epoch.moved.emplace_back(v, p);
+  }
+  for (const auto& [v, p] : reactivated_) {
+    next->users[v] = p;
+    next->active[v] = 1;
+    epoch.moved.emplace_back(v, p);
+    epoch.reactivated.emplace_back(v, p);
+  }
+  for (const NodeId v : deactivated_) {
+    next->active[v] = 0;
+    epoch.deactivated.push_back(v);
+  }
+  std::sort(epoch.moved.begin(), epoch.moved.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  epoch.net_changes =
+      epoch.touched.size() + epoch.moved.size() + epoch.deactivated.size();
+  epoch.next = next;
+
+  // Re-base onto the committed snapshot.
+  base_ = std::move(next);
+  delta_ = GraphDelta(base_->graph.get());
+  moves_.clear();
+  appended_.clear();
+  reactivated_.clear();
+  deactivated_.clear();
+  return epoch;
+}
+
+}  // namespace serve
+}  // namespace rmgp

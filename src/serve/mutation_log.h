@@ -1,0 +1,128 @@
+#ifndef RMGP_SERVE_MUTATION_LOG_H_
+#define RMGP_SERVE_MUTATION_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_delta.h"
+#include "spatial/point.h"
+#include "util/status.h"
+
+namespace rmgp {
+namespace serve {
+
+/// One immutable version of a serving session: the social graph, the
+/// latest check-in locations, and which users are active (tombstoned
+/// users stay in the graph as isolated vertices so ids never shift).
+/// Snapshots are shared_ptr-held: in-flight queries pin the version they
+/// started against while epoch commits swap in the next one.
+struct SessionSnapshot {
+  std::shared_ptr<const Graph> graph;
+  std::vector<Point> users;  ///< size graph->num_nodes()
+  std::vector<char> active;  ///< size graph->num_nodes(); 0 = tombstoned
+  uint64_t version = 0;
+};
+
+/// The mutation vocabulary of a churn-tolerant session.
+enum class MutationKind : uint8_t {
+  kAddUser,       ///< append a new user, or reactivate a tombstoned one
+  kRemoveUser,    ///< tombstone a user and drop its edges
+  kAddEdge,       ///< new friendship {u,v} with weight
+  kRemoveEdge,    ///< drop friendship {u,v}
+  kReweightEdge,  ///< change the tie strength of {u,v}
+  kMoveUser,      ///< check-in: user moved to a new location
+};
+
+const char* MutationKindName(MutationKind kind);
+
+/// Parses the wire spelling ("add_user", "move_user", ...).
+Result<MutationKind> ParseMutationKind(std::string_view name);
+
+/// One client mutation.
+struct Mutation {
+  MutationKind kind = MutationKind::kMoveUser;
+  NodeId user = 0;        ///< kRemoveUser/kMoveUser/kAddUser-reactivate
+  bool has_user = false;  ///< kAddUser: reactivate `user` vs. append
+  NodeId u = 0;           ///< edge ops
+  NodeId v = 0;
+  Weight weight = 1.0;    ///< kAddEdge/kReweightEdge
+  Point location{};       ///< kAddUser/kMoveUser
+};
+
+/// Validated, epoch-batched mutation log over a SessionSnapshot. Appends
+/// validate each op against the *pending view* (base snapshot ⊕ earlier
+/// pending ops) and reject contradictions — removing a nonexistent edge,
+/// moving a tombstoned user — at enqueue time, so an epoch commit can
+/// never fail. Commit() materializes the next snapshot (graph built via
+/// GraphDelta, spatial/user state patched) and re-bases the log; an epoch
+/// whose edits net to zero returns nullopt and does NOT bump the version.
+///
+/// Not thread-safe; RmgpService serializes access under its session lock.
+class MutationLog {
+ public:
+  explicit MutationLog(std::shared_ptr<const SessionSnapshot> base);
+
+  /// Validates and enqueues. Returns the affected user id (for kAddUser
+  /// appends this is the newly assigned id, already usable in follow-up
+  /// mutations of the same epoch).
+  Result<NodeId> Append(const Mutation& m);
+
+  /// Accepted-but-uncommitted op count (net-cancelling ops still count —
+  /// this drives epoch-size auto-commit, not dirtiness).
+  size_t pending_ops() const { return pending_ops_; }
+
+  /// Everything an epoch commit produces, shaped for the three consumers:
+  /// the service snapshot swap, DynamicGame::ApplyEpoch (graph/moved/
+  /// appended/touched), and the GridIndex patch (moved/appended/
+  /// deactivated/reactivated).
+  struct Epoch {
+    std::shared_ptr<const SessionSnapshot> next;
+    /// Vertices whose adjacency changed, incl. every appended id; sorted.
+    std::vector<NodeId> touched;
+    /// Location changes of existing ids (net moves ∪ reactivations).
+    std::vector<std::pair<NodeId, Point>> moved;
+    /// Locations of appended ids, in id order.
+    std::vector<Point> appended;
+    /// Users tombstoned this epoch.
+    std::vector<NodeId> deactivated;
+    /// Tombstones brought back (subset of `moved` by id).
+    std::vector<std::pair<NodeId, Point>> reactivated;
+    /// Net state changes: |touched| + |moved| + |deactivated|.
+    size_t net_changes = 0;
+  };
+
+  /// Builds the next snapshot (version + 1) from the pending edits and
+  /// re-bases the log onto it. Returns nullopt — and stays on the current
+  /// version — when the pending edits net to zero.
+  std::optional<Epoch> Commit();
+
+  const std::shared_ptr<const SessionSnapshot>& base() const { return base_; }
+
+ private:
+  NodeId base_nodes() const { return base_->graph->num_nodes(); }
+
+  /// Is `v` active in the pending view?
+  bool ActiveInView(NodeId v) const;
+
+  std::shared_ptr<const SessionSnapshot> base_;
+  GraphDelta delta_;  ///< over base_->graph (kept alive by base_)
+  size_t pending_ops_ = 0;
+  /// Net location changes of active base users (exact-same-location moves
+  /// are dropped, so presence here means a real change).
+  std::map<NodeId, Point> moves_;
+  std::vector<Point> appended_;          ///< locations of appended ids
+  std::map<NodeId, Point> reactivated_;  ///< base tombstones coming back
+  std::set<NodeId> deactivated_;         ///< active users removed this epoch
+};
+
+}  // namespace serve
+}  // namespace rmgp
+
+#endif  // RMGP_SERVE_MUTATION_LOG_H_

@@ -107,6 +107,67 @@ Status ParseNearby(const Json& obj, Request* req) {
   return Status::OK();
 }
 
+Status ParseMutate(const Json& obj, Request* req) {
+  std::string error;
+  const Json* kind = obj.Find("kind");
+  if (kind == nullptr || !kind->is_string()) {
+    return Status::InvalidArgument("mutate requires a string kind");
+  }
+  Result<MutationKind> parsed = ParseMutationKind(kind->AsString());
+  if (!parsed.ok()) return parsed.status();
+  Mutation& m = req->mutation;
+  m.kind = parsed.value();
+
+  const Json* user = obj.Find("user");
+  if (user != nullptr) {
+    if (!user->is_number()) {
+      return Status::InvalidArgument("user must be a number");
+    }
+    m.user = static_cast<NodeId>(user->AsDouble());
+    m.has_user = true;
+  }
+  if (const Json* location = obj.Find("location"); location != nullptr) {
+    if (!ReadPoint(*location, &m.location, &error)) {
+      return Status::InvalidArgument(error);
+    }
+  }
+
+  switch (m.kind) {
+    case MutationKind::kRemoveUser:
+    case MutationKind::kMoveUser:
+      if (!m.has_user) {
+        return Status::InvalidArgument(
+            std::string(MutationKindName(m.kind)) +
+            " requires a numeric user");
+      }
+      break;
+    case MutationKind::kAddUser:
+      break;  // user optional: present = reactivate, absent = append
+    case MutationKind::kAddEdge:
+    case MutationKind::kRemoveEdge:
+    case MutationKind::kReweightEdge: {
+      const Json* u = obj.Find("u");
+      const Json* v = obj.Find("v");
+      if (u == nullptr || !u->is_number() || v == nullptr ||
+          !v->is_number()) {
+        return Status::InvalidArgument(
+            std::string(MutationKindName(m.kind)) +
+            " requires numeric u and v");
+      }
+      m.u = static_cast<NodeId>(u->AsDouble());
+      m.v = static_cast<NodeId>(v->AsDouble());
+      if (!ReadNumber(obj, "weight", &m.weight, &error)) {
+        return Status::InvalidArgument(error);
+      }
+      if (m.kind != MutationKind::kRemoveEdge && m.weight <= 0.0) {
+        return Status::InvalidArgument("weight must be positive");
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<Request> ParseRequest(std::string_view line) {
@@ -140,6 +201,11 @@ Result<Request> ParseRequest(std::string_view line) {
   } else if (name == "nearby") {
     req.op = Request::Op::kNearby;
     parsed = ParseNearby(obj, &req);
+  } else if (name == "mutate") {
+    req.op = Request::Op::kMutate;
+    parsed = ParseMutate(obj, &req);
+  } else if (name == "epoch") {
+    req.op = Request::Op::kEpoch;
   } else if (name == "metrics") {
     req.op = Request::Op::kMetrics;
   } else if (name == "quit") {
@@ -195,6 +261,33 @@ std::string SerializeAck(double id) {
   Json out = Json::Object();
   out.Set("id", id);
   out.Set("status", "ok");
+  return out.Dump();
+}
+
+std::string SerializeMutationAck(double id, const MutationAck& ack) {
+  Json out = Json::Object();
+  out.Set("id", id);
+  out.Set("status", "ok");
+  out.Set("user", ack.user);
+  out.Set("pending", static_cast<uint64_t>(ack.pending));
+  out.Set("version", ack.version);
+  out.Set("committed", ack.committed);
+  return out.Dump();
+}
+
+std::string SerializeEpochResult(double id, const EpochResult& epoch) {
+  Json out = Json::Object();
+  out.Set("id", id);
+  out.Set("status", "ok");
+  out.Set("committed", epoch.committed);
+  out.Set("version", epoch.version);
+  out.Set("touched", static_cast<uint64_t>(epoch.touched));
+  out.Set("moved", static_cast<uint64_t>(epoch.moved));
+  out.Set("appended", static_cast<uint64_t>(epoch.appended));
+  out.Set("cache_patched", static_cast<uint64_t>(epoch.cache_patched));
+  out.Set("cache_dropped", static_cast<uint64_t>(epoch.cache_dropped));
+  out.Set("cache_cleared", epoch.cache_cleared);
+  out.Set("commit_ms", epoch.commit_ms);
   return out.Dump();
 }
 

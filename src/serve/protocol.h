@@ -23,11 +23,21 @@ namespace serve {
 ///   {"id":3,"op":"nearby","box":[min_x,min_y,max_x,max_y]}
 ///   {"id":4,"op":"metrics"}
 ///   {"id":5,"op":"quit"}
-inline constexpr const char* kProtocolName = "rmgp-serve/1";
+///   {"id":6,"op":"mutate","kind":"add_edge","u":1,"v":2,"weight":1.5}
+///   {"id":7,"op":"mutate","kind":"move_user","user":3,"location":[x,y]}
+///   {"id":8,"op":"mutate","kind":"add_user","location":[x,y]}
+///   {"id":9,"op":"epoch"}
+///
+/// Mutation kinds: add_user (optional "user" reactivates a removed id),
+/// remove_user, add_edge, remove_edge, reweight_edge, move_user. Mutations
+/// are validated and logged; "epoch" (or the server's --epoch-size
+/// auto-commit) applies them as one batch and bumps the session version.
+inline constexpr const char* kProtocolName = "rmgp-serve/2";
 
 /// A parsed request line.
 struct Request {
-  enum class Op { kSolve, kUpdateUser, kNearby, kMetrics, kQuit };
+  enum class Op { kSolve, kUpdateUser, kNearby, kMetrics, kQuit, kMutate,
+                  kEpoch };
 
   double id = 0.0;  ///< echoed verbatim in the response
   Op op = Op::kSolve;
@@ -35,6 +45,7 @@ struct Request {
   NodeId user = 0;        // kUpdateUser
   Point location;         // kUpdateUser
   BoundingBox box;        // kNearby
+  Mutation mutation;      // kMutate
 };
 
 /// Parses one request line. InvalidArgument on malformed JSON, unknown op,
@@ -54,6 +65,15 @@ std::string SerializeCount(double id, size_t count);
 
 /// {"id":..,"status":"ok"} for an acknowledged mutation.
 std::string SerializeAck(double id);
+
+/// {"id":..,"status":"ok","user":..,"pending":..,"version":..,
+///  "committed":..} for an accepted mutation.
+std::string SerializeMutationAck(double id, const MutationAck& ack);
+
+/// {"id":..,"status":"ok","committed":..,"version":..,"touched":..,
+///  "moved":..,"appended":..,"cache_patched":..,"cache_dropped":..,
+///  "cache_cleared":..,"commit_ms":..} for an epoch commit.
+std::string SerializeEpochResult(double id, const EpochResult& epoch);
 
 /// {"id":..,"status":"ok","metrics":{...}}.
 std::string SerializeMetrics(double id, Json metrics);

@@ -16,6 +16,16 @@ double MillisBetween(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+std::shared_ptr<const SessionSnapshot> MakeSeedSnapshot(
+    Graph graph, std::vector<Point> user_locations) {
+  auto snap = std::make_shared<SessionSnapshot>();
+  snap->graph = std::make_shared<const Graph>(std::move(graph));
+  snap->users = std::move(user_locations);
+  snap->active.assign(snap->graph->num_nodes(), 1);
+  snap->version = 0;
+  return snap;
+}
+
 }  // namespace
 
 const char* CacheOutcomeName(CacheOutcome outcome) {
@@ -30,15 +40,15 @@ const char* CacheOutcomeName(CacheOutcome outcome) {
 
 RmgpService::RmgpService(Graph graph, std::vector<Point> user_locations,
                          const ServiceConfig& config)
-    : graph_(std::move(graph)),
-      config_(config),
-      users_(std::move(user_locations)),
-      cache_(&graph_, EquilibriumCache::Config{config.cache_capacity,
-                                               config.max_warm_edits}) {
-  RMGP_DCHECK(users_.size() == graph_.num_nodes())
+    : config_(config),
+      snapshot_(MakeSeedSnapshot(std::move(graph), std::move(user_locations))),
+      log_(snapshot_),
+      cache_(EquilibriumCache::Config{config.cache_capacity,
+                                      config.max_warm_edits}) {
+  RMGP_DCHECK(snapshot_->users.size() == snapshot_->graph->num_nodes())
       << "user_locations size must match the graph";
-  if (!users_.empty()) {
-    user_index_ = std::make_unique<GridIndex>(users_);
+  if (!snapshot_->users.empty()) {
+    user_index_ = std::make_unique<GridIndex>(snapshot_->users);
   }
   pool_ = std::make_unique<ThreadPool>(
       std::max<uint32_t>(1, config_.num_workers));
@@ -126,19 +136,20 @@ Result<QueryResult> RmgpService::Execute(
   QueryResult out;
   out.queue_ms = MillisBetween(submit_time, start);
 
-  // Snapshot the session: in-flight queries finish against the user
-  // locations they started with even if a check-in lands mid-solve.
-  std::vector<Point> users;
+  // Pin the session snapshot: the query runs against this immutable
+  // version even if an epoch commits mid-solve (the shared_ptr keeps the
+  // old graph and locations alive — no copy).
+  std::shared_ptr<const SessionSnapshot> snap;
   {
     std::shared_lock<std::shared_mutex> lock(session_mu_);
-    users = users_;
-    out.session_version = version_;
+    snap = snapshot_;
   }
+  out.session_version = snap->version;
 
   auto costs =
-      std::make_shared<EuclideanCostProvider>(users, query.events);
+      std::make_shared<EuclideanCostProvider>(snap->users, query.events);
   Result<Instance> inst_or =
-      Instance::Create(&graph_, std::move(costs), query.alpha);
+      Instance::Create(snap->graph.get(), std::move(costs), query.alpha);
   if (!inst_or.ok()) return inst_or.status();
   Instance inst = std::move(inst_or).value();
   inst.set_cost_scale(query.cost_scale);
@@ -179,8 +190,12 @@ Result<QueryResult> RmgpService::Execute(
     out.rounds = res.rounds;
     out.objective = res.objective;
     if (cache_enabled && res.converged && !res.timed_out) {
-      cache_.Insert(out.session_version, users, query.events, query.alpha,
-                    query.cost_scale, res.assignment);
+      // Insert under the query's own snapshot: if an epoch committed while
+      // we solved, the entry is self-consistent but stale and dies at the
+      // next lookup.
+      cache_.Insert(out.session_version, snap->graph, snap->users,
+                    query.events, query.alpha, query.cost_scale,
+                    res.assignment);
     }
     out.assignment = std::move(res.assignment);
   }
@@ -221,16 +236,133 @@ Result<QueryResult> RmgpService::Execute(
   return out;
 }
 
+Result<MutationAck> RmgpService::Mutate(const Mutation& mutation) {
+  metrics_.Counter("mutate.requests").fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> lock(session_mu_);
+  Result<NodeId> id_or = log_.Append(mutation);
+  if (!id_or.ok()) {
+    metrics_.Counter("mutate.rejected").fetch_add(1,
+                                                  std::memory_order_relaxed);
+    return id_or.status();
+  }
+  metrics_.Counter("mutate.accepted").fetch_add(1, std::memory_order_relaxed);
+
+  MutationAck ack;
+  ack.user = id_or.value();
+  ack.pending = log_.pending_ops();
+  ack.version = snapshot_->version;
+  if (config_.epoch_size > 0 && log_.pending_ops() >= config_.epoch_size) {
+    const EpochResult epoch = CommitEpochLocked();
+    ack.committed = true;
+    ack.pending = 0;
+    ack.version = epoch.version;
+  }
+  return ack;
+}
+
+Result<EpochResult> RmgpService::CommitEpoch() {
+  std::unique_lock<std::shared_mutex> lock(session_mu_);
+  return CommitEpochLocked();
+}
+
+EpochResult RmgpService::CommitEpochLocked() {
+  const auto start = std::chrono::steady_clock::now();
+  EpochResult out;
+  out.version = snapshot_->version;
+
+  std::optional<MutationLog::Epoch> epoch = log_.Commit();
+  if (!epoch.has_value()) {
+    // Pending edits netted to zero: same state, same version — cached
+    // equilibria stay exactly valid, so nothing moves.
+    metrics_.Counter("epoch.clean").fetch_add(1, std::memory_order_relaxed);
+    out.commit_ms = MillisBetween(start, std::chrono::steady_clock::now());
+    return out;
+  }
+
+  const std::shared_ptr<const SessionSnapshot>& next = epoch->next;
+
+  // Patch the spatial index in place rather than rebuilding it: O(epoch)
+  // instead of O(|V|).
+  if (user_index_ == nullptr) {
+    if (!next->users.empty()) {
+      user_index_ = std::make_unique<GridIndex>(next->users);
+      for (NodeId v = 0; v < next->active.size(); ++v) {
+        if (!next->active[v]) user_index_->Deactivate(v);
+      }
+    }
+  } else {
+    for (const NodeId v : epoch->deactivated) {
+      user_index_->Deactivate(v);
+    }
+    for (const auto& [v, p] : epoch->reactivated) {
+      user_index_->Reactivate(v, p);
+    }
+    // moved ⊇ reactivated, both sorted by id: skip the ids Reactivate
+    // already filed at their new location.
+    size_t r = 0;
+    for (const auto& [v, p] : epoch->moved) {
+      if (r < epoch->reactivated.size() &&
+          epoch->reactivated[r].first == v) {
+        ++r;
+        continue;
+      }
+      user_index_->Update(v, p);
+    }
+    for (const Point& p : epoch->appended) {
+      user_index_->Append(p);
+    }
+    metrics_.Gauge("index.patch_ops")
+        .store(static_cast<int64_t>(user_index_->patch_ops()),
+               std::memory_order_relaxed);
+  }
+
+  snapshot_ = next;
+  out.committed = true;
+  out.version = next->version;
+  out.touched = epoch->touched.size();
+  out.moved = epoch->moved.size();
+  out.appended = epoch->appended.size();
+
+  // Carry cached equilibria across the version bump. Past the budget the
+  // per-entry ApplyEpoch cost stops beating a cold rebuild, so fall back
+  // to wholesale invalidation.
+  if (epoch->touched.size() + epoch->moved.size() >
+      config_.epoch_patch_budget) {
+    cache_.Clear();
+    out.cache_cleared = true;
+  } else {
+    DynamicGame::GraphEpochUpdate update;
+    update.graph = next->graph;
+    update.moved = epoch->moved;
+    update.appended = epoch->appended;
+    update.touched = epoch->touched;
+    const EquilibriumCache::PatchResult patched =
+        cache_.PatchEpoch(next->version, update);
+    out.cache_patched = patched.patched;
+    out.cache_dropped = patched.dropped;
+  }
+
+  metrics_.Counter("epoch.commits").fetch_add(1, std::memory_order_relaxed);
+  metrics_.Counter("epoch.touched")
+      .fetch_add(epoch->touched.size(), std::memory_order_relaxed);
+  out.commit_ms = MillisBetween(start, std::chrono::steady_clock::now());
+  metrics_.Histogram("epoch.commit_ms").Record(out.commit_ms);
+  return out;
+}
+
 Status RmgpService::UpdateUserLocation(NodeId v, const Point& location) {
   metrics_.Counter("update_user.requests")
       .fetch_add(1, std::memory_order_relaxed);
-  if (v >= graph_.num_nodes()) {
-    return Status::OutOfRange("user id out of range");
-  }
+  Mutation m;
+  m.kind = MutationKind::kMoveUser;
+  m.user = v;
+  m.location = location;
   std::unique_lock<std::shared_mutex> lock(session_mu_);
-  users_[v] = location;
-  ++version_;  // cached equilibria for older versions die lazily
-  user_index_ = std::make_unique<GridIndex>(users_);
+  Result<NodeId> id_or = log_.Append(m);
+  if (!id_or.ok()) return id_or.status();
+  // One-op epoch: commit immediately so the move is visible to the next
+  // query (protocol back-compat with the pre-churn endpoint).
+  CommitEpochLocked();
   return Status::OK();
 }
 
@@ -241,9 +373,19 @@ size_t RmgpService::CountUsersIn(const BoundingBox& box) const {
   return user_index_->Range(box).size();
 }
 
+NodeId RmgpService::num_users() const {
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  return snapshot_->graph->num_nodes();
+}
+
 uint64_t RmgpService::version() const {
   std::shared_lock<std::shared_mutex> lock(session_mu_);
-  return version_;
+  return snapshot_->version;
+}
+
+size_t RmgpService::pending_mutations() const {
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  return log_.pending_ops();
 }
 
 Json RmgpService::MetricsJson() const {
@@ -262,6 +404,8 @@ Json RmgpService::MetricsJson() const {
   cache.Set("insertions", cs.insertions);
   cache.Set("evictions", cs.evictions);
   cache.Set("invalidations", cs.invalidations);
+  cache.Set("epoch_patched", cs.epoch_patched);
+  cache.Set("epoch_dropped", cs.epoch_dropped);
   cache.Set("size", static_cast<uint64_t>(cache_.size()));
   out.Set("cache", std::move(cache));
 
@@ -273,9 +417,17 @@ Json RmgpService::MetricsJson() const {
   out.Set("queue", std::move(queue));
 
   Json session = Json::Object();
-  session.Set("version", version());
-  session.Set("num_users", graph_.num_nodes());
-  session.Set("num_edges", graph_.num_edges());
+  {
+    std::shared_lock<std::shared_mutex> lock(session_mu_);
+    session.Set("version", snapshot_->version);
+    session.Set("num_users", snapshot_->graph->num_nodes());
+    session.Set("num_edges", snapshot_->graph->num_edges());
+    uint64_t active = 0;
+    for (const char a : snapshot_->active) active += a != 0;
+    session.Set("active_users", active);
+    session.Set("pending_mutations",
+                static_cast<uint64_t>(log_.pending_ops()));
+  }
   out.Set("session", std::move(session));
   return out;
 }

@@ -14,6 +14,7 @@
 #include "core/solver.h"
 #include "graph/graph.h"
 #include "serve/equilibrium_cache.h"
+#include "serve/mutation_log.h"
 #include "serve/serve_metrics.h"
 #include "spatial/grid_index.h"
 #include "spatial/point.h"
@@ -32,6 +33,12 @@ struct ServiceConfig {
   uint32_t max_warm_edits = 4; ///< event edits a warm cache hit may patch
   uint32_t solver_threads = 2; ///< threads *inside* one solver run; results
                                ///< never depend on this (see SolverOptions)
+  uint32_t epoch_size = 64;    ///< pending mutations that trigger an
+                               ///< auto-commit (0 = manual commits only)
+  uint32_t epoch_patch_budget = 4096;  ///< max touched vertices an epoch may
+                                       ///< carry and still patch the cache
+                                       ///< in place; beyond it the cache is
+                                       ///< cleared instead
 };
 
 /// One partitioning query: the classes P (event locations), the preference
@@ -67,16 +74,44 @@ struct QueryResult {
   uint64_t session_version = 0;  ///< session state the query saw
 };
 
+/// Receipt for one accepted mutation.
+struct MutationAck {
+  NodeId user = 0;       ///< affected id (newly assigned for appends)
+  size_t pending = 0;    ///< ops waiting in the log after this one
+  uint64_t version = 0;  ///< session version after this call
+  bool committed = false;  ///< true when this op tripped an auto-commit
+};
+
+/// What one epoch commit did.
+struct EpochResult {
+  bool committed = false;  ///< false: pending edits netted to zero
+  uint64_t version = 0;    ///< session version after the call
+  size_t touched = 0;      ///< vertices with adjacency changes
+  size_t moved = 0;        ///< users whose location changed
+  size_t appended = 0;     ///< users added
+  size_t cache_patched = 0;  ///< cache entries carried to the new version
+  size_t cache_dropped = 0;  ///< cache entries a patch failed to carry
+  bool cache_cleared = false;  ///< epoch exceeded the patch budget
+  double commit_ms = 0.0;
+};
+
 /// A long-lived serving session: one social graph plus the latest user
 /// check-in locations, a bounded query queue feeding a worker pool, the
 /// equilibrium cache, and a metrics registry. Queries are admitted or
 /// rejected synchronously (FailedPrecondition when the queue is full) and
 /// complete asynchronously via callback.
 ///
-/// Thread-safety: Submit/Solve/UpdateUserLocation/CountUsersIn/MetricsJson
-/// may be called concurrently. Session mutations (UpdateUserLocation) bump
-/// an internal version; in-flight queries finish against the snapshot they
-/// started with, and cache entries from older versions are dropped lazily.
+/// Churn: mutations (Mutate) enqueue into a validated log and apply in
+/// epochs (CommitEpoch, or automatically every `epoch_size` ops). A commit
+/// builds the next immutable SessionSnapshot, patches the spatial index in
+/// place, and carries cached equilibria forward through
+/// DynamicGame::ApplyEpoch instead of invalidating them — falling back to
+/// a full cache clear past `epoch_patch_budget` touched vertices.
+///
+/// Thread-safety: all public methods may be called concurrently. Queries
+/// pin the snapshot they started against (shared_ptr), so an epoch commit
+/// mid-solve never corrupts a running query; cache entries from older
+/// versions are dropped lazily.
 class RmgpService {
  public:
   /// Called on a worker thread when the query finishes. The status is
@@ -104,17 +139,31 @@ class RmgpService {
   /// control.
   Result<QueryResult> Solve(const Query& query);
 
-  /// Moves user v to a new check-in location: bumps the session version
-  /// (invalidating cached equilibria) and rebuilds the user index.
+  /// Validates and enqueues one mutation; commits an epoch automatically
+  /// once `epoch_size` ops are pending. Invalid ops (removing a missing
+  /// edge, moving a tombstoned user, ...) are rejected here and never
+  /// reach the log.
+  Result<MutationAck> Mutate(const Mutation& mutation);
+
+  /// Applies all pending mutations as one epoch: new graph version, new
+  /// snapshot, spatial index patched, cached equilibria carried forward.
+  /// An epoch whose edits net to zero reports committed=false and does
+  /// NOT bump the session version.
+  Result<EpochResult> CommitEpoch();
+
+  /// Moves user v to a new check-in location (a one-op epoch: enqueue the
+  /// move and commit immediately). Kept for protocol back-compat.
   Status UpdateUserLocation(NodeId v, const Point& location);
 
-  /// Users currently checked in inside `box` (spatial-index endpoint).
+  /// Users currently checked in inside `box` (spatial-index endpoint;
+  /// tombstoned users are not counted).
   size_t CountUsersIn(const BoundingBox& box) const;
 
-  NodeId num_users() const { return graph_.num_nodes(); }
+  NodeId num_users() const;
   uint64_t version() const;
+  size_t pending_mutations() const;
 
-  /// Queue + worker + cache + latency metrics as one JSON object.
+  /// Queue + worker + cache + churn + latency metrics as one JSON object.
   Json MetricsJson() const;
 
   MetricsRegistry& metrics() { return metrics_; }
@@ -135,13 +184,15 @@ class RmgpService {
   Result<QueryResult> Execute(
       const Query& query, std::chrono::steady_clock::time_point submit_time);
 
-  Graph graph_;
+  /// Commit body; caller holds `session_mu_` exclusively.
+  EpochResult CommitEpochLocked();
+
   ServiceConfig config_;
 
-  mutable std::shared_mutex session_mu_;  // users_, user_index_, version_
-  std::vector<Point> users_;
+  mutable std::shared_mutex session_mu_;  // snapshot_, log_, user_index_
+  std::shared_ptr<const SessionSnapshot> snapshot_;
+  MutationLog log_;
   std::unique_ptr<GridIndex> user_index_;
-  uint64_t version_ = 0;
 
   mutable EquilibriumCache cache_;
   // mutable: const observers (CountUsersIn, MetricsJson) still count

@@ -8,7 +8,7 @@
 namespace rmgp {
 
 GridIndex::GridIndex(std::vector<Point> points, uint32_t cells_per_axis)
-    : points_(std::move(points)) {
+    : points_(std::move(points)), active_(points_.size(), 1) {
   RMGP_CHECK(!points_.empty());
   box_ = ComputeBoundingBox(points_);
   nx_ = std::max<uint32_t>(1, cells_per_axis);
@@ -78,6 +78,48 @@ uint32_t GridIndex::Nearest(const Point& q) const {
   }
   RMGP_CHECK_NE(best, UINT32_MAX);
   return best;
+}
+
+void GridIndex::Unfile(uint32_t i) {
+  std::vector<uint32_t>& cell = MutableCellFor(points_[i]);
+  const auto it = std::find(cell.begin(), cell.end(), i);
+  RMGP_CHECK(it != cell.end());
+  cell.erase(it);
+}
+
+void GridIndex::Update(uint32_t i, const Point& p) {
+  RMGP_CHECK_LT(i, points_.size());
+  RMGP_CHECK(active_[i]);
+  Unfile(i);
+  points_[i] = p;
+  MutableCellFor(p).push_back(i);
+  ++patch_ops_;
+}
+
+uint32_t GridIndex::Append(const Point& p) {
+  const uint32_t i = static_cast<uint32_t>(points_.size());
+  points_.push_back(p);
+  active_.push_back(1);
+  MutableCellFor(p).push_back(i);
+  ++patch_ops_;
+  return i;
+}
+
+void GridIndex::Deactivate(uint32_t i) {
+  RMGP_CHECK_LT(i, points_.size());
+  RMGP_CHECK(active_[i]);
+  Unfile(i);
+  active_[i] = 0;
+  ++patch_ops_;
+}
+
+void GridIndex::Reactivate(uint32_t i, const Point& p) {
+  RMGP_CHECK_LT(i, points_.size());
+  RMGP_CHECK(!active_[i]);
+  points_[i] = p;
+  active_[i] = 1;
+  MutableCellFor(p).push_back(i);
+  ++patch_ops_;
 }
 
 std::vector<uint32_t> GridIndex::Range(const BoundingBox& box) const {

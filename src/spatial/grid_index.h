@@ -9,11 +9,13 @@
 
 namespace rmgp {
 
-/// Uniform-grid spatial index over a static set of points (the events of an
-/// LAGP task). Supports nearest-neighbor and axis-aligned range queries.
-/// Used for closest-event initialization and for restricting a game to an
-/// area of interest (§5's decentralized scenario) without scanning all
-/// events.
+/// Uniform-grid spatial index over a set of points (the events of an LAGP
+/// task, or a session's user check-ins). Supports nearest-neighbor and
+/// axis-aligned range queries, and can be *patched* in place when a churn
+/// epoch moves, appends, or tombstones points — O(affected cells) instead
+/// of an O(n) rebuild. The grid geometry is fixed at construction; points
+/// drifting outside the original bounding box clamp into edge cells
+/// (queries stay correct because real coordinates are always re-checked).
 class GridIndex {
  public:
   /// Builds an index over `points` with roughly `cells_per_axis`² cells.
@@ -21,17 +23,47 @@ class GridIndex {
   explicit GridIndex(std::vector<Point> points, uint32_t cells_per_axis = 32);
 
   /// Index of the point nearest to `q` (ties broken by lower index).
+  /// At least one point must be active.
   [[nodiscard]] uint32_t Nearest(const Point& q) const;
 
-  /// Indices of all points inside `box`, ascending.
+  /// Indices of all active points inside `box`, ascending.
   std::vector<uint32_t> Range(const BoundingBox& box) const;
 
-  /// Number of indexed points.
+  /// Moves active point i to `p` (a check-in): re-files it into the new
+  /// cell.
+  void Update(uint32_t i, const Point& p);
+
+  /// Appends a new point and returns its index (= size()-1 after the
+  /// call).
+  uint32_t Append(const Point& p);
+
+  /// Removes point i from the grid (a tombstoned user). Its slot — and
+  /// id — survive for a later Reactivate; queries skip it.
+  void Deactivate(uint32_t i);
+
+  /// Re-inserts previously deactivated point i at location `p`.
+  void Reactivate(uint32_t i, const Point& p);
+
+  bool active(uint32_t i) const { return active_[i] != 0; }
+
+  /// Number of point slots, active or not.
   size_t size() const { return points_.size(); }
+
+  /// Patch operations applied since construction (Update/Append/
+  /// Deactivate/Reactivate) — serving metrics proving the index is
+  /// patched, not rebuilt.
+  uint64_t patch_ops() const { return patch_ops_; }
 
   const std::vector<Point>& points() const { return points_; }
 
  private:
+  std::vector<uint32_t>& MutableCellFor(const Point& p) {
+    return cells_[static_cast<size_t>(CellY(p.y)) * nx_ + CellX(p.x)];
+  }
+
+  /// Erases i from the cell currently holding it.
+  void Unfile(uint32_t i);
+
   uint32_t CellX(double x) const;
   uint32_t CellY(double y) const;
   const std::vector<uint32_t>& Cell(uint32_t cx, uint32_t cy) const {
@@ -39,11 +71,13 @@ class GridIndex {
   }
 
   std::vector<Point> points_;
+  std::vector<char> active_;  // 0 = deactivated (not filed in any cell)
   BoundingBox box_;
   uint32_t nx_ = 1;
   uint32_t ny_ = 1;
   double cell_w_ = 1.0;
   double cell_h_ = 1.0;
+  uint64_t patch_ops_ = 0;
   std::vector<std::vector<uint32_t>> cells_;
 };
 

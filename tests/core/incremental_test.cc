@@ -1,0 +1,217 @@
+// ReEquilibrate tests: incremental re-equilibration after a mutation
+// epoch must produce a *valid Nash equilibrium* of the mutated instance —
+// indistinguishable in Φ-validity from a cold solve — while touching only
+// the affected neighborhood, and DynamicGame::ApplyEpoch must re-settle a
+// live game across a graph version swap.
+
+#include "core/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/cost_provider.h"
+#include "core/dynamic_game.h"
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/solver.h"
+#include "data/datasets.h"
+#include "graph/graph_delta.h"
+
+namespace rmgp {
+namespace {
+
+SolverOptions ServingOptions() {
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  opt.order = OrderPolicy::kNodeId;
+  return opt;
+}
+
+struct ChurnFixture {
+  GeoSocialDataset ds;
+  std::vector<Point> events;
+  Assignment previous;
+
+  explicit ChurnFixture(NodeId users = 800, ClassId k = 6,
+                        uint64_t seed = 33) {
+    ds = MakeUnitSquareToy(users, k, 10.0 / users, seed);
+    events.assign(ds.event_pool.begin(), ds.event_pool.begin() + k);
+    auto inst = MakeInstance(ds.graph, ds.user_locations);
+    auto cold = SolveGlobalTable(inst, ServingOptions());
+    EXPECT_TRUE(cold.ok());
+    EXPECT_TRUE(cold->converged);
+    previous = std::move(cold->assignment);
+  }
+
+  Instance MakeInstance(const Graph& graph,
+                        const std::vector<Point>& users) const {
+    auto costs = std::make_shared<EuclideanCostProvider>(users, events);
+    auto inst = Instance::Create(&graph, costs, 0.5);
+    EXPECT_TRUE(inst.ok()) << inst.status().ToString();
+    return std::move(inst).value();
+  }
+};
+
+TEST(ReEquilibrateTest, EmptyTouchedSetKeepsThePreviousEquilibrium) {
+  ChurnFixture f;
+  const Instance inst = f.MakeInstance(f.ds.graph, f.ds.user_locations);
+  auto res = ReEquilibrate(inst, f.previous, {}, ServingOptions());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->converged);
+  EXPECT_EQ(res->assignment, f.previous);
+  EXPECT_EQ(res->counters.best_response_evals, 0u);
+  EXPECT_EQ(res->counters.gt_cells_built, 0u);
+}
+
+TEST(ReEquilibrateTest, StructuralChurnYieldsAValidEquilibrium) {
+  ChurnFixture f;
+
+  // A small mutation epoch: structural edits around a few vertices plus
+  // two appended users wired into the graph.
+  GraphDelta delta(&f.ds.graph);
+  const auto nbrs = f.ds.graph.neighbors(0);
+  ASSERT_FALSE(nbrs.empty());
+  ASSERT_TRUE(delta.RemoveEdge(0, nbrs[0].node).ok());
+  NodeId stranger = 0;
+  for (NodeId v = 1; v < f.ds.graph.num_nodes(); ++v) {
+    if (!delta.HasEdge(0, v)) {
+      stranger = v;
+      break;
+    }
+  }
+  ASSERT_NE(stranger, 0u);
+  ASSERT_TRUE(delta.AddEdge(0, stranger, 0.8).ok());
+  const NodeId a = delta.AddNode();
+  const NodeId b = delta.AddNode();
+  ASSERT_TRUE(delta.AddEdge(a, 1, 1.5).ok());
+  ASSERT_TRUE(delta.AddEdge(a, b, 0.5).ok());
+  GraphDelta::BuildResult built = delta.Build();
+
+  std::vector<Point> users = f.ds.user_locations;
+  users.push_back({0.42, 0.42});
+  users.push_back({0.84, 0.13});
+
+  const Instance inst = f.MakeInstance(built.graph, users);
+  auto inc = ReEquilibrate(inst, f.previous, built.touched, ServingOptions());
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+  ASSERT_TRUE(inc->converged);
+
+  // The tentpole equivalence: the incremental result and a cold solve are
+  // equally Φ-valid equilibria of the mutated instance.
+  EXPECT_TRUE(VerifyEquilibrium(inst, inc->assignment).ok());
+  auto cold = SolveGlobalTable(inst, ServingOptions());
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(cold->converged);
+  EXPECT_TRUE(VerifyEquilibrium(inst, cold->assignment).ok());
+
+  // And it got there lazily: far fewer table cells than the dense build.
+  const uint64_t dense_cells = static_cast<uint64_t>(inst.num_users()) *
+                               inst.num_classes();
+  EXPECT_LT(inc->counters.gt_cells_built, dense_cells);
+}
+
+TEST(ReEquilibrateTest, MovedUsersOnlyEpochConverges) {
+  ChurnFixture f;
+  std::vector<Point> users = f.ds.user_locations;
+  const std::vector<NodeId> moved = {3, 17, 42};
+  for (const NodeId v : moved) {
+    users[v] = {1.0 - users[v].x, 1.0 - users[v].y};
+  }
+  const Instance inst = f.MakeInstance(f.ds.graph, users);
+  auto inc = ReEquilibrate(inst, f.previous, moved, ServingOptions());
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+  EXPECT_TRUE(inc->converged);
+  EXPECT_TRUE(VerifyEquilibrium(inst, inc->assignment).ok());
+}
+
+TEST(ReEquilibrateTest, RejectsMalformedInputs) {
+  ChurnFixture f(200, 4);
+  const Instance inst = f.MakeInstance(f.ds.graph, f.ds.user_locations);
+
+  Assignment too_big(inst.num_users() + 1, 0);
+  EXPECT_FALSE(ReEquilibrate(inst, too_big, {}, ServingOptions()).ok());
+
+  Assignment bad_class = f.previous;
+  bad_class[0] = inst.num_classes();
+  EXPECT_FALSE(ReEquilibrate(inst, bad_class, {}, ServingOptions()).ok());
+
+  const std::vector<NodeId> oob = {inst.num_users()};
+  EXPECT_FALSE(ReEquilibrate(inst, f.previous, oob, ServingOptions()).ok());
+
+  SolverOptions zero_rounds = ServingOptions();
+  zero_rounds.max_rounds = 0;
+  EXPECT_FALSE(
+      ReEquilibrate(inst, f.previous, {}, zero_rounds).ok());
+}
+
+TEST(ReEquilibrateTest, ExpiredDeadlineGivesAnytimeSemantics) {
+  ChurnFixture f;
+  const Instance inst = f.MakeInstance(f.ds.graph, f.ds.user_locations);
+  // A deliberately bad seed (everyone in class 0) with every vertex
+  // touched: plenty of pending work when the deadline trips.
+  Assignment all_zero(inst.num_users(), 0);
+  std::vector<NodeId> all(inst.num_users());
+  for (NodeId v = 0; v < inst.num_users(); ++v) all[v] = v;
+  SolverOptions opt = ServingOptions();
+  opt.deadline = std::chrono::steady_clock::now() -
+                 std::chrono::milliseconds(1);
+  auto res = ReEquilibrate(inst, all_zero, all, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->timed_out);
+  EXPECT_FALSE(res->converged);
+  EXPECT_EQ(res->assignment.size(), inst.num_users());
+}
+
+TEST(DynamicGameEpochTest, ApplyEpochResettlesAcrossGraphVersions) {
+  ChurnFixture f;
+  auto base_graph = std::make_shared<const Graph>(f.ds.graph);
+  SolverOptions opt = ServingOptions();
+  opt.init = InitPolicy::kGiven;
+  opt.warm_start = f.previous;
+  auto game_or = DynamicGame::Create(base_graph, f.ds.user_locations,
+                                     f.events, 0.5, 1.0, opt);
+  ASSERT_TRUE(game_or.ok()) << game_or.status().ToString();
+  std::unique_ptr<DynamicGame> game = std::move(game_or).value();
+
+  // Epoch: one reweighted edge, one moved user, one appended user.
+  GraphDelta delta(base_graph.get());
+  const auto nbrs = base_graph->neighbors(1);
+  ASSERT_FALSE(nbrs.empty());
+  ASSERT_TRUE(delta.ReweightEdge(1, nbrs[0].node, 5.0).ok());
+  const NodeId fresh = delta.AddNode();
+  ASSERT_TRUE(delta.AddEdge(fresh, 1, 1.0).ok());
+  GraphDelta::BuildResult built = delta.Build();
+  auto next_graph = std::make_shared<const Graph>(std::move(built.graph));
+
+  const std::vector<std::pair<NodeId, Point>> moved = {{2, {0.9, 0.9}}};
+  const std::vector<Point> appended = {{0.33, 0.66}};
+  DynamicGame::GraphEpochUpdate update;
+  update.graph = next_graph;
+  update.moved = moved;
+  update.appended = appended;
+  update.touched = built.touched;
+  auto switches = game->ApplyEpoch(update);
+  ASSERT_TRUE(switches.ok()) << switches.status().ToString();
+
+  // The settled state is an equilibrium of the post-epoch instance.
+  std::vector<Point> users = f.ds.user_locations;
+  users[2] = {0.9, 0.9};
+  users.push_back({0.33, 0.66});
+  auto costs = std::make_shared<EuclideanCostProvider>(users, f.events);
+  auto inst = Instance::Create(next_graph.get(), costs, 0.5);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(game->assignment().size(), users.size());
+  EXPECT_TRUE(VerifyEquilibrium(inst.value(), game->assignment()).ok());
+
+  // Validation: wrong node accounting is rejected, state untouched.
+  DynamicGame::GraphEpochUpdate bad;
+  bad.graph = base_graph;  // old |V| != current |V| with no appends
+  EXPECT_FALSE(game->ApplyEpoch(bad).ok());
+}
+
+}  // namespace
+}  // namespace rmgp

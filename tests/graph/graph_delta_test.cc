@@ -1,0 +1,174 @@
+// GraphDelta tests: the net-overlay invariants (only real changes survive
+// to Build), validation against the *pending view*, and exact agreement
+// between the built graph and an equivalent from-scratch GraphBuilder run.
+
+#include "graph/graph_delta.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rmgp {
+namespace {
+
+Graph MakeSquare() {
+  // 0-1, 1-2, 2-3, 3-0 with distinct weights.
+  GraphBuilder b(4);
+  EXPECT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2, 2.0).ok());
+  EXPECT_TRUE(b.AddEdge(2, 3, 3.0).ok());
+  EXPECT_TRUE(b.AddEdge(3, 0, 4.0).ok());
+  return std::move(b).Build();
+}
+
+TEST(GraphDeltaTest, BuildWithoutChangesReproducesBase) {
+  const Graph base = MakeSquare();
+  GraphDelta delta(&base);
+  EXPECT_TRUE(delta.empty());
+  GraphDelta::BuildResult built = delta.Build();
+  EXPECT_TRUE(built.touched.empty());
+  EXPECT_EQ(built.graph.num_nodes(), base.num_nodes());
+  EXPECT_EQ(built.graph.num_edges(), base.num_edges());
+  EXPECT_DOUBLE_EQ(built.graph.total_edge_weight(), base.total_edge_weight());
+}
+
+TEST(GraphDeltaTest, AddRemoveReweightRoundTrip) {
+  const Graph base = MakeSquare();
+  GraphDelta delta(&base);
+
+  ASSERT_TRUE(delta.AddEdge(0, 2, 5.0).ok());
+  ASSERT_TRUE(delta.RemoveEdge(1, 2).ok());
+  ASSERT_TRUE(delta.ReweightEdge(2, 3, 7.0).ok());
+
+  // The pending view answers before Build.
+  EXPECT_TRUE(delta.HasEdge(0, 2));
+  EXPECT_FALSE(delta.HasEdge(1, 2));
+  EXPECT_DOUBLE_EQ(delta.EdgeWeight(2, 3), 7.0);
+
+  GraphDelta::BuildResult built = delta.Build();
+  EXPECT_EQ(built.graph.num_edges(), base.num_edges());  // +1 -1
+  EXPECT_DOUBLE_EQ(built.graph.EdgeWeight(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(built.graph.EdgeWeight(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(built.graph.EdgeWeight(2, 3), 7.0);
+  EXPECT_DOUBLE_EQ(built.graph.EdgeWeight(0, 1), 1.0);  // untouched
+
+  // touched = every endpoint of a changed edge, sorted unique.
+  EXPECT_EQ(built.touched, (std::vector<NodeId>{0, 1, 2, 3}));
+
+  // total weight recomputed exactly: 1 + 7 + 4 + 5.
+  EXPECT_DOUBLE_EQ(built.graph.total_edge_weight(), 17.0);
+}
+
+TEST(GraphDeltaTest, ValidatesAgainstThePendingView) {
+  const Graph base = MakeSquare();
+  GraphDelta delta(&base);
+
+  // Existing edge: add rejected, reweight fine.
+  EXPECT_EQ(delta.AddEdge(0, 1, 2.0).code(), StatusCode::kFailedPrecondition);
+  // Missing edge: remove and reweight rejected.
+  EXPECT_EQ(delta.RemoveEdge(0, 2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(delta.ReweightEdge(0, 2, 1.0).code(), StatusCode::kNotFound);
+  // Out-of-range, self-loop, non-positive weight.
+  EXPECT_FALSE(delta.AddEdge(0, 9, 1.0).ok());
+  EXPECT_FALSE(delta.AddEdge(1, 1, 1.0).ok());
+  EXPECT_FALSE(delta.AddEdge(0, 2, 0.0).ok());
+
+  // After a pending remove, the edge is re-addable — and after the re-add,
+  // removable again.
+  ASSERT_TRUE(delta.RemoveEdge(0, 1).ok());
+  EXPECT_EQ(delta.RemoveEdge(0, 1).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(delta.AddEdge(0, 1, 9.0).ok());
+  ASSERT_TRUE(delta.RemoveEdge(0, 1).ok());
+}
+
+TEST(GraphDeltaTest, NetNoOpsCancelOut) {
+  const Graph base = MakeSquare();
+  GraphDelta delta(&base);
+
+  // remove + re-add at the base weight = nothing happened.
+  ASSERT_TRUE(delta.RemoveEdge(0, 1).ok());
+  ASSERT_TRUE(delta.AddEdge(0, 1, 1.0).ok());
+  // reweight back to the base weight = nothing happened.
+  ASSERT_TRUE(delta.ReweightEdge(1, 2, 9.0).ok());
+  ASSERT_TRUE(delta.ReweightEdge(1, 2, 2.0).ok());
+  // add + remove of a new edge = nothing happened.
+  ASSERT_TRUE(delta.AddEdge(0, 2, 1.0).ok());
+  ASSERT_TRUE(delta.RemoveEdge(0, 2).ok());
+
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(delta.num_edge_changes(), 0u);
+  EXPECT_TRUE(delta.Build().touched.empty());
+}
+
+TEST(GraphDeltaTest, AddNodeAppendsIsolatedVertices) {
+  const Graph base = MakeSquare();
+  GraphDelta delta(&base);
+  const NodeId a = delta.AddNode();
+  const NodeId b = delta.AddNode();
+  EXPECT_EQ(a, 4u);
+  EXPECT_EQ(b, 5u);
+  EXPECT_EQ(delta.num_nodes(), 6u);
+  // New ids are usable for edges within the same delta.
+  ASSERT_TRUE(delta.AddEdge(a, b, 2.5).ok());
+  ASSERT_TRUE(delta.AddEdge(0, a, 1.5).ok());
+
+  GraphDelta::BuildResult built = delta.Build();
+  EXPECT_EQ(built.graph.num_nodes(), 6u);
+  EXPECT_EQ(built.graph.num_edges(), base.num_edges() + 2);
+  EXPECT_DOUBLE_EQ(built.graph.EdgeWeight(4, 5), 2.5);
+  EXPECT_DOUBLE_EQ(built.graph.EdgeWeight(0, 4), 1.5);
+  // Appended ids are always touched, plus edge endpoints.
+  EXPECT_EQ(built.touched, (std::vector<NodeId>{0, 4, 5}));
+}
+
+TEST(GraphDeltaTest, RemoveNodeEdgesStripsTheWholeNeighborhood) {
+  const Graph base = MakeSquare();
+  GraphDelta delta(&base);
+  ASSERT_TRUE(delta.AddEdge(0, 2, 1.0).ok());  // pending addition, too
+  ASSERT_TRUE(delta.RemoveNodeEdges(0).ok());
+  EXPECT_FALSE(delta.HasEdge(0, 1));
+  EXPECT_FALSE(delta.HasEdge(0, 2));
+  EXPECT_FALSE(delta.HasEdge(0, 3));
+  EXPECT_TRUE(delta.HasEdge(1, 2));  // untouched
+
+  GraphDelta::BuildResult built = delta.Build();
+  EXPECT_EQ(built.graph.degree(0), 0u);
+  EXPECT_EQ(built.graph.num_edges(), 2u);  // 1-2 and 2-3 survive
+}
+
+TEST(GraphDeltaTest, BuildMatchesFromScratchBuilder) {
+  const Graph base = MakeSquare();
+  GraphDelta delta(&base);
+  ASSERT_TRUE(delta.RemoveEdge(3, 0).ok());
+  ASSERT_TRUE(delta.ReweightEdge(0, 1, 0.25).ok());
+  const NodeId n = delta.AddNode();
+  ASSERT_TRUE(delta.AddEdge(n, 2, 6.0).ok());
+  GraphDelta::BuildResult built = delta.Build();
+
+  GraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.25).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 2.0).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 3.0).ok());
+  ASSERT_TRUE(b.AddEdge(2, 4, 6.0).ok());
+  const Graph expected = std::move(b).Build();
+
+  ASSERT_EQ(built.graph.num_nodes(), expected.num_nodes());
+  ASSERT_EQ(built.graph.num_edges(), expected.num_edges());
+  EXPECT_DOUBLE_EQ(built.graph.total_edge_weight(),
+                   expected.total_edge_weight());
+  for (NodeId v = 0; v < expected.num_nodes(); ++v) {
+    auto got = built.graph.neighbors(v);
+    auto want = expected.neighbors(v);
+    ASSERT_EQ(got.size(), want.size()) << "degree mismatch at " << v;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].node, want[i].node);
+      EXPECT_DOUBLE_EQ(got[i].weight, want[i].weight);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rmgp

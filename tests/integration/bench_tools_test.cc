@@ -285,6 +285,89 @@ TEST(CompareServingTest, MissingRecordAndMixedSchemasAreRejected) {
       CompareBench(solver, ServingDoc(100.0, 0.45), CompareOptions()).ok);
 }
 
+/// A minimal churn document: the serving record (renamed "churn_mix") plus
+/// the gated incremental section.
+Json ChurnDoc(double p99_ms, double hit_rate, double speedup,
+              bool both_valid) {
+  Json latency = Json::Object();
+  latency.Set("p99_ms", p99_ms);
+  Json cache = Json::Object();
+  cache.Set("hit_rate", hit_rate);
+  Json record = Json::Object();
+  record.Set("name", "churn_mix");
+  record.Set("latency_ms", std::move(latency));
+  record.Set("cache", std::move(cache));
+  Json records = Json::Array();
+  records.Append(std::move(record));
+  Json doc = Json::Object();
+  doc.Set("schema", kChurnSchema);
+  doc.Set("records", std::move(records));
+  Json inc = Json::Object();
+  inc.Set("cold_ms", 100.0);
+  inc.Set("incremental_ms", 100.0 / speedup);
+  inc.Set("speedup", speedup);
+  inc.Set("both_valid", both_valid);
+  doc.Set("incremental", std::move(inc));
+  return doc;
+}
+
+TEST(CompareChurnTest, IdenticalRunsPass) {
+  const Json doc = ChurnDoc(50.0, 0.4, 8.0, true);
+  const CompareReport report = CompareBench(doc, doc, CompareOptions());
+  EXPECT_TRUE(report.ok) << report.summary;
+}
+
+TEST(CompareChurnTest, SpeedupCollapseIsCaught) {
+  const Json base = ChurnDoc(50.0, 0.4, 8.0, true);
+  // Default speedup_threshold 0.5: dropping to 3x (< 4x) regresses,
+  // dropping to 5x does not, and a negative threshold waives the gate.
+  const CompareReport collapsed =
+      CompareBench(base, ChurnDoc(50.0, 0.4, 3.0, true), CompareOptions());
+  EXPECT_FALSE(collapsed.ok);
+  ASSERT_EQ(collapsed.regressions.size(), 1u);
+  EXPECT_EQ(collapsed.regressions[0].kind, "speedup");
+  EXPECT_TRUE(
+      CompareBench(base, ChurnDoc(50.0, 0.4, 5.0, true), CompareOptions())
+          .ok);
+  CompareOptions waived;
+  waived.speedup_threshold = -1.0;
+  EXPECT_TRUE(
+      CompareBench(base, ChurnDoc(50.0, 0.4, 3.0, true), waived).ok);
+}
+
+TEST(CompareChurnTest, InvalidEquilibriumIsAlwaysARegression) {
+  const Json base = ChurnDoc(50.0, 0.4, 8.0, true);
+  const CompareReport invalid =
+      CompareBench(base, ChurnDoc(50.0, 0.4, 9.0, false), CompareOptions());
+  EXPECT_FALSE(invalid.ok);
+  ASSERT_EQ(invalid.regressions.size(), 1u);
+  EXPECT_EQ(invalid.regressions[0].kind, "validity");
+}
+
+TEST(CompareChurnTest, ServingGatesStillApplyAndSchemasDontMix) {
+  const Json base = ChurnDoc(50.0, 0.4, 8.0, true);
+  // The p99 gate carries over from the serving comparison.
+  const CompareReport slow =
+      CompareBench(base, ChurnDoc(80.0, 0.4, 8.0, true), CompareOptions());
+  EXPECT_FALSE(slow.ok);
+  ASSERT_EQ(slow.regressions.size(), 1u);
+  EXPECT_EQ(slow.regressions[0].kind, "latency");
+
+  // Churn docs never compare against serving docs, in either order.
+  EXPECT_FALSE(
+      CompareBench(base, ServingDoc(50.0, 0.4), CompareOptions()).ok);
+  EXPECT_FALSE(
+      CompareBench(ServingDoc(50.0, 0.4), base, CompareOptions()).ok);
+
+  // A churn doc without the incremental section is a regression, not a
+  // crash.
+  Json stripped = ChurnDoc(50.0, 0.4, 8.0, true);
+  stripped.Set("incremental", Json::Object());
+  const CompareReport missing =
+      CompareBench(base, stripped, CompareOptions());
+  EXPECT_FALSE(missing.ok);
+}
+
 TEST(BenchMicrobenchTest, RecordsRoundZeroBuildTimings) {
   SuiteConfig config = TinyConfig();
   config.micro_users = 300;

@@ -1,6 +1,7 @@
 // EquilibriumCache tests: hits must hand back *equilibria* (re-validated
 // against the instance they claim to solve), warm patches must re-settle,
-// and session mutations must invalidate stale entries.
+// session mutations must invalidate stale entries, and epoch patches must
+// carry entries across versions without breaking equilibrium validity.
 
 #include "serve/equilibrium_cache.h"
 
@@ -8,6 +9,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/cost_provider.h"
@@ -15,6 +17,7 @@
 #include "core/objective.h"
 #include "core/solver.h"
 #include "data/datasets.h"
+#include "graph/graph_delta.h"
 
 namespace rmgp {
 namespace serve {
@@ -39,6 +42,12 @@ struct Fixture {
     objective = res->objective.total;
   }
 
+  /// Non-owning view of the fixture graph (the fixture outlives the cache
+  /// in every test).
+  std::shared_ptr<const Graph> graph() const {
+    return std::shared_ptr<const Graph>(std::shared_ptr<void>(), &ds.graph);
+  }
+
   Instance MakeInstance(const std::vector<Point>& query_events) const {
     auto costs = std::make_shared<EuclideanCostProvider>(ds.user_locations,
                                                          query_events);
@@ -50,8 +59,9 @@ struct Fixture {
 
 TEST(EquilibriumCacheTest, ExactHitIsTheCachedEquilibrium) {
   Fixture f;
-  EquilibriumCache cache(&f.ds.graph, {});
-  cache.Insert(1, f.ds.user_locations, f.events, 0.5, 1.0, f.equilibrium);
+  EquilibriumCache cache({});
+  cache.Insert(1, f.graph(), f.ds.user_locations, f.events, 0.5, 1.0,
+               f.equilibrium);
 
   auto hit = cache.Lookup(1, f.events, 0.5, 1.0);
   ASSERT_TRUE(hit.has_value());
@@ -71,8 +81,9 @@ TEST(EquilibriumCacheTest, ExactHitIsTheCachedEquilibrium) {
 
 TEST(EquilibriumCacheTest, PermutedEventOrderStillHitsExactly) {
   Fixture f;
-  EquilibriumCache cache(&f.ds.graph, {});
-  cache.Insert(1, f.ds.user_locations, f.events, 0.5, 1.0, f.equilibrium);
+  EquilibriumCache cache({});
+  cache.Insert(1, f.graph(), f.ds.user_locations, f.events, 0.5, 1.0,
+               f.equilibrium);
 
   std::vector<Point> permuted(f.events.rbegin(), f.events.rend());
   auto hit = cache.Lookup(1, permuted, 0.5, 1.0);
@@ -89,8 +100,9 @@ TEST(EquilibriumCacheTest, PermutedEventOrderStillHitsExactly) {
 
 TEST(EquilibriumCacheTest, WarmHitResettlesToEquilibrium) {
   Fixture f;
-  EquilibriumCache cache(&f.ds.graph, {});
-  cache.Insert(1, f.ds.user_locations, f.events, 0.5, 1.0, f.equilibrium);
+  EquilibriumCache cache({});
+  cache.Insert(1, f.graph(), f.ds.user_locations, f.events, 0.5, 1.0,
+               f.equilibrium);
 
   // Perturb one event: 2 edits (one removal, one addition) — inside the
   // default warm budget of 4.
@@ -111,30 +123,109 @@ TEST(EquilibriumCacheTest, WarmHitResettlesToEquilibrium) {
 
 TEST(EquilibriumCacheTest, DifferentAlphaOrScaleMisses) {
   Fixture f;
-  EquilibriumCache cache(&f.ds.graph, {});
-  cache.Insert(1, f.ds.user_locations, f.events, 0.5, 1.0, f.equilibrium);
+  EquilibriumCache cache({});
+  cache.Insert(1, f.graph(), f.ds.user_locations, f.events, 0.5, 1.0,
+               f.equilibrium);
   EXPECT_FALSE(cache.Lookup(1, f.events, 0.8, 1.0).has_value());
   EXPECT_FALSE(cache.Lookup(1, f.events, 0.5, 2.0).has_value());
 }
 
 TEST(EquilibriumCacheTest, NewerSessionVersionInvalidates) {
   Fixture f;
-  EquilibriumCache cache(&f.ds.graph, {});
-  cache.Insert(1, f.ds.user_locations, f.events, 0.5, 1.0, f.equilibrium);
+  EquilibriumCache cache({});
+  cache.Insert(1, f.graph(), f.ds.user_locations, f.events, 0.5, 1.0,
+               f.equilibrium);
   ASSERT_EQ(cache.size(), 1u);
 
-  // A mutated session (user moved -> version bump) must not serve the
-  // stale equilibrium.
+  // A mutated session (user moved -> version bump) must not serve an
+  // equilibrium that missed the epoch patch.
   EXPECT_FALSE(cache.Lookup(2, f.events, 0.5, 1.0).has_value());
   EXPECT_EQ(cache.stats().invalidations, 1u);
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(EquilibriumCacheTest, OlderQuerySkipsNewerEntriesWithoutDropping) {
+  Fixture f;
+  EquilibriumCache cache({});
+  cache.Insert(5, f.graph(), f.ds.user_locations, f.events, 0.5, 1.0,
+               f.equilibrium);
+  ASSERT_EQ(cache.size(), 1u);
+
+  // An in-flight query pinned to version 4 must neither hit nor destroy
+  // the current generation's entry.
+  EXPECT_FALSE(cache.Lookup(4, f.events, 0.5, 1.0).has_value());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+
+  // The current generation still hits.
+  EXPECT_TRUE(cache.Lookup(5, f.events, 0.5, 1.0).has_value());
+}
+
+TEST(EquilibriumCacheTest, PatchEpochCarriesEntryToTheNextVersion) {
+  Fixture f;
+  EquilibriumCache cache({});
+  cache.Insert(1, f.graph(), f.ds.user_locations, f.events, 0.5, 1.0,
+               f.equilibrium);
+
+  // One structural mutation epoch: drop vertex 0's first edge and add a
+  // fresh one to a non-neighbor.
+  GraphDelta delta(&f.ds.graph);
+  const auto nbrs = f.ds.graph.neighbors(0);
+  ASSERT_FALSE(nbrs.empty());
+  ASSERT_TRUE(delta.RemoveEdge(0, nbrs[0].node).ok());
+  NodeId stranger = 0;
+  for (NodeId v = 1; v < f.ds.graph.num_nodes(); ++v) {
+    if (!delta.HasEdge(0, v)) {
+      stranger = v;
+      break;
+    }
+  }
+  ASSERT_NE(stranger, 0u);
+  ASSERT_TRUE(delta.AddEdge(0, stranger, 0.7).ok());
+  GraphDelta::BuildResult built = delta.Build();
+  auto new_graph = std::make_shared<const Graph>(std::move(built.graph));
+
+  DynamicGame::GraphEpochUpdate update;
+  update.graph = new_graph;
+  update.touched = built.touched;
+  const auto patched = cache.PatchEpoch(2, update);
+  EXPECT_EQ(patched.patched, 1u);
+  EXPECT_EQ(patched.dropped, 0u);
+  EXPECT_EQ(cache.stats().epoch_patched, 1u);
+
+  // The carried entry hits at the new version and is a Nash equilibrium
+  // of the *mutated* instance.
+  auto hit = cache.Lookup(2, f.events, 0.5, 1.0);
+  ASSERT_TRUE(hit.has_value());
+  auto costs = std::make_shared<EuclideanCostProvider>(f.ds.user_locations,
+                                                       f.events);
+  auto inst = Instance::Create(new_graph.get(), costs, 0.5);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_TRUE(VerifyEquilibrium(inst.value(), hit->assignment).ok());
+}
+
+TEST(EquilibriumCacheTest, PatchEpochDropsEntriesMoreThanOneEpochBehind) {
+  Fixture f;
+  EquilibriumCache cache({});
+  cache.Insert(1, f.graph(), f.ds.user_locations, f.events, 0.5, 1.0,
+               f.equilibrium);
+
+  // Jumping straight to version 3 strands the version-1 entry: it cannot
+  // be patched (the epoch describes 2 -> 3) and must be dropped.
+  DynamicGame::GraphEpochUpdate update;
+  update.graph = f.graph();
+  const auto patched = cache.PatchEpoch(3, update);
+  EXPECT_EQ(patched.patched, 0u);
+  EXPECT_EQ(patched.dropped, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().epoch_dropped, 1u);
 }
 
 TEST(EquilibriumCacheTest, LruEvictionHonorsCapacity) {
   Fixture f;
   EquilibriumCache::Config config;
   config.capacity = 2;
-  EquilibriumCache cache(&f.ds.graph, config);
+  EquilibriumCache cache(config);
 
   for (int i = 0; i < 3; ++i) {
     std::vector<Point> events = f.events;
@@ -145,7 +236,8 @@ TEST(EquilibriumCacheTest, LruEvictionHonorsCapacity) {
     opt.order = OrderPolicy::kNodeId;
     auto res = SolveGlobalTable(inst, opt);
     ASSERT_TRUE(res.ok());
-    cache.Insert(1, f.ds.user_locations, events, 0.5, 1.0, res->assignment);
+    cache.Insert(1, f.graph(), f.ds.user_locations, events, 0.5, 1.0,
+                 res->assignment);
   }
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.stats().evictions, 1u);
@@ -155,8 +247,9 @@ TEST(EquilibriumCacheTest, ZeroCapacityDisables) {
   Fixture f;
   EquilibriumCache::Config config;
   config.capacity = 0;
-  EquilibriumCache cache(&f.ds.graph, config);
-  cache.Insert(1, f.ds.user_locations, f.events, 0.5, 1.0, f.equilibrium);
+  EquilibriumCache cache(config);
+  cache.Insert(1, f.graph(), f.ds.user_locations, f.events, 0.5, 1.0,
+               f.equilibrium);
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.Lookup(1, f.events, 0.5, 1.0).has_value());
 }

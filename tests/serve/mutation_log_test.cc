@@ -1,0 +1,225 @@
+// MutationLog tests: per-op validation against the pending view, the
+// tombstone lifecycle (remove -> re-add), zero-net-change epochs, and the
+// exact shape of what Commit hands to the snapshot/index/game consumers.
+
+#include "serve/mutation_log.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rmgp {
+namespace serve {
+namespace {
+
+std::shared_ptr<const SessionSnapshot> MakeBase() {
+  // 0-1-2-3 path plus 0-3, five users, one of everything to mutate.
+  GraphBuilder b(4);
+  EXPECT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2, 2.0).ok());
+  EXPECT_TRUE(b.AddEdge(2, 3, 3.0).ok());
+  EXPECT_TRUE(b.AddEdge(0, 3, 4.0).ok());
+  auto snap = std::make_shared<SessionSnapshot>();
+  snap->graph = std::make_shared<const Graph>(std::move(b).Build());
+  snap->users = {{0.1, 0.1}, {0.2, 0.2}, {0.3, 0.3}, {0.4, 0.4}};
+  snap->active.assign(4, 1);
+  snap->version = 7;
+  return snap;
+}
+
+Mutation MoveUser(NodeId v, Point p) {
+  Mutation m;
+  m.kind = MutationKind::kMoveUser;
+  m.user = v;
+  m.has_user = true;
+  m.location = p;
+  return m;
+}
+
+Mutation RemoveUser(NodeId v) {
+  Mutation m;
+  m.kind = MutationKind::kRemoveUser;
+  m.user = v;
+  m.has_user = true;
+  return m;
+}
+
+Mutation EdgeOp(MutationKind kind, NodeId u, NodeId v, Weight w = 1.0) {
+  Mutation m;
+  m.kind = kind;
+  m.u = u;
+  m.v = v;
+  m.weight = w;
+  return m;
+}
+
+TEST(MutationLogTest, KindNamesRoundTrip) {
+  for (const MutationKind kind :
+       {MutationKind::kAddUser, MutationKind::kRemoveUser,
+        MutationKind::kAddEdge, MutationKind::kRemoveEdge,
+        MutationKind::kReweightEdge, MutationKind::kMoveUser}) {
+    auto parsed = ParseMutationKind(MutationKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(ParseMutationKind("defenestrate_user").ok());
+}
+
+TEST(MutationLogTest, RemovingANonexistentEdgeIsRejected) {
+  MutationLog log(MakeBase());
+  // (0,2) is not an edge; (0,1) is — but only once.
+  EXPECT_EQ(log.Append(EdgeOp(MutationKind::kRemoveEdge, 0, 2)).status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(log.Append(EdgeOp(MutationKind::kRemoveEdge, 0, 1)).ok());
+  EXPECT_EQ(log.Append(EdgeOp(MutationKind::kRemoveEdge, 0, 1)).status().code(),
+            StatusCode::kNotFound);
+  // Reweighting a pending-removed edge is equally invalid.
+  EXPECT_FALSE(
+      log.Append(EdgeOp(MutationKind::kReweightEdge, 0, 1, 2.0)).ok());
+  // The rejected ops left no trace: only the one valid removal is pending.
+  EXPECT_EQ(log.pending_ops(), 1u);
+}
+
+TEST(MutationLogTest, RemovedUserRejectsOpsAndCanBeReAdded) {
+  MutationLog log(MakeBase());
+  ASSERT_TRUE(log.Append(RemoveUser(1)).ok());
+
+  // A tombstoned user accepts no moves, no repeat removal, no edges.
+  EXPECT_EQ(log.Append(MoveUser(1, {0.5, 0.5})).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(log.Append(RemoveUser(1)).ok());
+  EXPECT_FALSE(log.Append(EdgeOp(MutationKind::kAddEdge, 1, 3)).ok());
+
+  // Re-add: same id comes back, edgeless, at the new location.
+  Mutation readd;
+  readd.kind = MutationKind::kAddUser;
+  readd.user = 1;
+  readd.has_user = true;
+  readd.location = {0.6, 0.6};
+  auto id = log.Append(readd);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(id.value(), 1u);
+  // Re-adding an *active* user is rejected.
+  EXPECT_FALSE(log.Append(readd).ok());
+
+  auto epoch = log.Commit();
+  ASSERT_TRUE(epoch.has_value());
+  const SessionSnapshot& next = *epoch->next;
+  EXPECT_EQ(next.graph->num_nodes(), 4u);
+  EXPECT_EQ(next.graph->degree(1), 0u);  // edges did not come back
+  EXPECT_NE(next.active[1], 0);          // but the user is active again
+  EXPECT_DOUBLE_EQ(next.users[1].x, 0.6);
+}
+
+TEST(MutationLogTest, RemoveThenReAddAcrossEpochsUsesTombstone) {
+  MutationLog log(MakeBase());
+  ASSERT_TRUE(log.Append(RemoveUser(2)).ok());
+  auto first = log.Commit();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->deactivated, (std::vector<NodeId>{2}));
+  EXPECT_EQ(first->next->active[2], 0);
+  EXPECT_EQ(first->next->graph->degree(2), 0u);
+  EXPECT_EQ(first->next->version, 8u);
+
+  // Next epoch: the id revives via the reactivation path.
+  Mutation readd;
+  readd.kind = MutationKind::kAddUser;
+  readd.user = 2;
+  readd.has_user = true;
+  readd.location = {0.9, 0.1};
+  ASSERT_TRUE(log.Append(readd).ok());
+  auto second = log.Commit();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(second->next->active[2], 0);
+  ASSERT_EQ(second->reactivated.size(), 1u);
+  EXPECT_EQ(second->reactivated[0].first, 2u);
+  // Reactivations ride in `moved` so DynamicGame re-seats the user.
+  ASSERT_EQ(second->moved.size(), 1u);
+  EXPECT_EQ(second->moved[0].first, 2u);
+  EXPECT_EQ(second->next->version, 9u);
+}
+
+TEST(MutationLogTest, ZeroNetChangeEpochDoesNotProduceAVersion) {
+  MutationLog log(MakeBase());
+
+  // Four ops that cancel exactly: an edge toggled on+off, a user moved
+  // away and back, a reweight restored to the base weight x2... all noise.
+  ASSERT_TRUE(log.Append(EdgeOp(MutationKind::kAddEdge, 1, 3, 2.0)).ok());
+  ASSERT_TRUE(log.Append(EdgeOp(MutationKind::kRemoveEdge, 1, 3)).ok());
+  ASSERT_TRUE(log.Append(MoveUser(0, {0.7, 0.7})).ok());
+  ASSERT_TRUE(log.Append(MoveUser(0, {0.1, 0.1})).ok());  // back to base
+  ASSERT_TRUE(log.Append(EdgeOp(MutationKind::kReweightEdge, 0, 1, 9.0)).ok());
+  ASSERT_TRUE(log.Append(EdgeOp(MutationKind::kReweightEdge, 0, 1, 1.0)).ok());
+  EXPECT_EQ(log.pending_ops(), 6u);
+
+  EXPECT_FALSE(log.Commit().has_value());
+  EXPECT_EQ(log.pending_ops(), 0u);
+  EXPECT_EQ(log.base()->version, 7u);  // unchanged
+}
+
+TEST(MutationLogTest, AppendedUsersGetDenseIdsUsableImmediately) {
+  MutationLog log(MakeBase());
+  Mutation add;
+  add.kind = MutationKind::kAddUser;
+  add.location = {0.5, 0.5};
+  auto a = log.Append(add);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value(), 4u);
+  add.location = {0.6, 0.5};
+  auto b = log.Append(add);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), 5u);
+
+  // New ids accept edges and moves within the same epoch.
+  ASSERT_TRUE(
+      log.Append(EdgeOp(MutationKind::kAddEdge, a.value(), 0, 1.5)).ok());
+  ASSERT_TRUE(log.Append(MoveUser(b.value(), {0.65, 0.55})).ok());
+
+  auto epoch = log.Commit();
+  ASSERT_TRUE(epoch.has_value());
+  const SessionSnapshot& next = *epoch->next;
+  EXPECT_EQ(next.graph->num_nodes(), 6u);
+  EXPECT_EQ(next.users.size(), 6u);
+  EXPECT_EQ(next.active.size(), 6u);
+  EXPECT_DOUBLE_EQ(next.users[5].x, 0.65);
+  EXPECT_DOUBLE_EQ(next.graph->EdgeWeight(4, 0), 1.5);
+  ASSERT_EQ(epoch->appended.size(), 2u);
+  // Appended ids are in the touched set (they need best-response rows).
+  bool touched_4 = false;
+  for (const NodeId v : epoch->touched) touched_4 |= v == 4;
+  EXPECT_TRUE(touched_4);
+}
+
+TEST(MutationLogTest, CommitRebasesSoEpochsChain) {
+  MutationLog log(MakeBase());
+  ASSERT_TRUE(log.Append(EdgeOp(MutationKind::kRemoveEdge, 0, 1)).ok());
+  auto first = log.Commit();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->next->version, 8u);
+
+  // The same removal is now invalid (the edge is gone in the new base),
+  // while re-adding it is valid.
+  EXPECT_FALSE(log.Append(EdgeOp(MutationKind::kRemoveEdge, 0, 1)).ok());
+  ASSERT_TRUE(log.Append(EdgeOp(MutationKind::kAddEdge, 0, 1, 2.0)).ok());
+  auto second = log.Commit();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->next->version, 9u);
+  EXPECT_DOUBLE_EQ(second->next->graph->EdgeWeight(0, 1), 2.0);
+}
+
+TEST(MutationLogTest, OutOfRangeIdsAreRejectedEverywhere) {
+  MutationLog log(MakeBase());
+  EXPECT_EQ(log.Append(MoveUser(4, {0.5, 0.5})).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_FALSE(log.Append(RemoveUser(99)).ok());
+  EXPECT_FALSE(log.Append(EdgeOp(MutationKind::kAddEdge, 0, 17)).ok());
+  EXPECT_EQ(log.pending_ops(), 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace rmgp

@@ -76,6 +76,86 @@ TEST(ServeProtocolTest, ParsesMutationAndLookupOps) {
             Request::Op::kQuit);
 }
 
+TEST(ServeProtocolTest, ParsesMutateOps) {
+  auto add = ParseRequest(
+      R"({"id":10,"op":"mutate","kind":"add_user","location":[0.5,0.25]})");
+  ASSERT_TRUE(add.ok()) << add.status().ToString();
+  EXPECT_EQ(add->op, Request::Op::kMutate);
+  EXPECT_EQ(add->mutation.kind, MutationKind::kAddUser);
+  EXPECT_FALSE(add->mutation.has_user);
+  EXPECT_DOUBLE_EQ(add->mutation.location.x, 0.5);
+
+  auto readd = ParseRequest(
+      R"({"id":11,"op":"mutate","kind":"add_user","user":3,)"
+      R"("location":[0.1,0.1]})");
+  ASSERT_TRUE(readd.ok());
+  EXPECT_TRUE(readd->mutation.has_user);
+  EXPECT_EQ(readd->mutation.user, 3u);
+
+  auto edge = ParseRequest(
+      R"({"id":12,"op":"mutate","kind":"reweight_edge","u":4,"v":9,)"
+      R"("weight":2.5})");
+  ASSERT_TRUE(edge.ok());
+  EXPECT_EQ(edge->mutation.kind, MutationKind::kReweightEdge);
+  EXPECT_EQ(edge->mutation.u, 4u);
+  EXPECT_EQ(edge->mutation.v, 9u);
+  EXPECT_DOUBLE_EQ(edge->mutation.weight, 2.5);
+
+  auto move = ParseRequest(
+      R"({"id":13,"op":"mutate","kind":"move_user","user":7,)"
+      R"("location":[0.9,0.9]})");
+  ASSERT_TRUE(move.ok());
+  EXPECT_EQ(move->mutation.kind, MutationKind::kMoveUser);
+
+  // Malformed mutations: unknown kind, missing user/endpoints, bad weight.
+  EXPECT_FALSE(ParseRequest(R"({"id":1,"op":"mutate"})").ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"id":1,"op":"mutate","kind":"explode"})").ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"id":1,"op":"mutate","kind":"move_user"})").ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"id":1,"op":"mutate","kind":"add_edge","u":1})").ok());
+  EXPECT_FALSE(ParseRequest(
+                   R"({"id":1,"op":"mutate","kind":"add_edge","u":1,"v":2,)"
+                   R"("weight":-1})")
+                   .ok());
+
+  auto epoch = ParseRequest(R"({"id":14,"op":"epoch"})");
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(epoch->op, Request::Op::kEpoch);
+}
+
+TEST(ServeProtocolTest, MutationAckAndEpochResultSerialize) {
+  MutationAck ack;
+  ack.user = 42;
+  ack.pending = 3;
+  ack.version = 11;
+  ack.committed = false;
+  auto ack_doc = Json::Parse(SerializeMutationAck(6.0, ack));
+  ASSERT_TRUE(ack_doc.ok()) << ack_doc.status().ToString();
+  EXPECT_EQ(ack_doc->At("status").AsString(), "ok");
+  EXPECT_DOUBLE_EQ(ack_doc->At("user").AsDouble(), 42.0);
+  EXPECT_DOUBLE_EQ(ack_doc->At("pending").AsDouble(), 3.0);
+  EXPECT_FALSE(ack_doc->At("committed").AsBool());
+
+  EpochResult ep;
+  ep.committed = true;
+  ep.version = 12;
+  ep.touched = 5;
+  ep.moved = 2;
+  ep.appended = 1;
+  ep.cache_patched = 4;
+  ep.cache_dropped = 1;
+  ep.cache_cleared = false;
+  ep.commit_ms = 0.75;
+  auto ep_doc = Json::Parse(SerializeEpochResult(7.0, ep));
+  ASSERT_TRUE(ep_doc.ok()) << ep_doc.status().ToString();
+  EXPECT_TRUE(ep_doc->At("committed").AsBool());
+  EXPECT_DOUBLE_EQ(ep_doc->At("version").AsDouble(), 12.0);
+  EXPECT_DOUBLE_EQ(ep_doc->At("cache_patched").AsDouble(), 4.0);
+  EXPECT_FALSE(ep_doc->At("cache_cleared").AsBool());
+}
+
 TEST(ServeProtocolTest, QueryResultSerializationRoundTrips) {
   QueryResult result;
   result.objective.total = 12.5;

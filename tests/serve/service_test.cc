@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "core/cost_provider.h"
@@ -77,7 +78,7 @@ TEST(ServeServiceTest, CacheHitMatchesColdResult) {
   EXPECT_EQ(hot->objective.total, cold->objective.total);
 }
 
-TEST(ServeServiceTest, UpdateUserInvalidatesCachedEquilibria) {
+TEST(ServeServiceTest, UpdateUserPatchesCachedEquilibriaThrough) {
   Session s;
   Query query = s.MakeQuery();
   ASSERT_TRUE(s.service->Solve(query).ok());
@@ -86,10 +87,185 @@ TEST(ServeServiceTest, UpdateUserInvalidatesCachedEquilibria) {
   ASSERT_TRUE(s.service->UpdateUserLocation(0, {0.9, 0.9}).ok());
   EXPECT_GT(s.service->version(), version_before);
 
+  // The cached equilibrium is *carried* across the epoch (re-settled for
+  // the moved user), not invalidated: the post-move query still hits.
   auto after = s.service->Solve(query);
-  ASSERT_TRUE(after.ok());
-  EXPECT_EQ(after->cache, CacheOutcome::kMiss);  // stale entry dropped
-  EXPECT_GE(s.service->cache_stats().invalidations, 1u);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->cache, CacheOutcome::kExactHit);
+  EXPECT_TRUE(after->converged);
+  EXPECT_EQ(after->session_version, s.service->version());
+  EXPECT_GE(s.service->cache_stats().epoch_patched, 1u);
+  EXPECT_EQ(s.service->cache_stats().invalidations, 0u);
+}
+
+TEST(ServeServiceTest, MutationsApplyInEpochs) {
+  ServiceConfig config;
+  config.epoch_size = 0;  // manual commits only
+  Session s(config);
+  const uint64_t v0 = s.service->version();
+  const NodeId n0 = s.service->num_users();
+
+  Mutation add;
+  add.kind = MutationKind::kAddUser;
+  add.location = {0.5, 0.5};
+  auto ack = s.service->Mutate(add);
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->user, n0);  // ids are assigned densely
+  EXPECT_EQ(ack->pending, 1u);
+  EXPECT_FALSE(ack->committed);
+
+  Mutation edge;
+  edge.kind = MutationKind::kAddEdge;
+  edge.u = 0;
+  edge.v = ack->user;  // new id usable within the same epoch
+  edge.weight = 2.0;
+  ASSERT_TRUE(s.service->Mutate(edge).ok());
+
+  // Nothing is visible until the epoch commits.
+  EXPECT_EQ(s.service->version(), v0);
+  EXPECT_EQ(s.service->num_users(), n0);
+  EXPECT_EQ(s.service->pending_mutations(), 2u);
+
+  auto epoch = s.service->CommitEpoch();
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_TRUE(epoch->committed);
+  EXPECT_EQ(epoch->version, v0 + 1);
+  EXPECT_EQ(epoch->appended, 1u);
+  EXPECT_EQ(s.service->num_users(), n0 + 1);
+  EXPECT_EQ(s.service->pending_mutations(), 0u);
+
+  // The appended user is findable through the patched spatial index.
+  EXPECT_GE(s.service->CountUsersIn({{0.49, 0.49}, {0.51, 0.51}}), 1u);
+}
+
+TEST(ServeServiceTest, EpochSizeTriggersAutoCommit) {
+  ServiceConfig config;
+  config.epoch_size = 2;
+  Session s(config);
+  const uint64_t v0 = s.service->version();
+
+  Mutation move;
+  move.kind = MutationKind::kMoveUser;
+  move.user = 1;
+  move.location = {0.25, 0.75};
+  auto first = s.service->Mutate(move);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->committed);
+
+  move.user = 2;
+  auto second = s.service->Mutate(move);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->committed);
+  EXPECT_EQ(second->pending, 0u);
+  EXPECT_EQ(s.service->version(), v0 + 1);
+}
+
+TEST(ServeServiceTest, ZeroNetChangeEpochDoesNotBumpVersion) {
+  ServiceConfig config;
+  config.epoch_size = 0;
+  Session s(config);
+  const uint64_t v0 = s.service->version();
+
+  // Pick a pair with no base edge so the add is guaranteed to validate.
+  NodeId stranger = 1;
+  for (NodeId v = 1; v < s.ds.graph.num_nodes(); ++v) {
+    bool adjacent = false;
+    for (const Neighbor& nb : s.ds.graph.neighbors(0)) {
+      if (nb.node == v) {
+        adjacent = true;
+        break;
+      }
+    }
+    if (!adjacent) {
+      stranger = v;
+      break;
+    }
+  }
+
+  // An edge added and removed in the same epoch nets to zero.
+  Mutation add;
+  add.kind = MutationKind::kAddEdge;
+  add.u = 0;
+  add.v = stranger;
+  ASSERT_TRUE(s.service->Mutate(add).ok());
+  Mutation remove;
+  remove.kind = MutationKind::kRemoveEdge;
+  remove.u = 0;
+  remove.v = stranger;
+  ASSERT_TRUE(s.service->Mutate(remove).ok());
+
+  auto epoch = s.service->CommitEpoch();
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_FALSE(epoch->committed);
+  EXPECT_EQ(s.service->version(), v0);
+  EXPECT_EQ(s.service->pending_mutations(), 0u);
+}
+
+TEST(ServeServiceTest, InvalidMutationsAreRejectedAtEnqueue) {
+  Session s;
+  Mutation bad;
+  bad.kind = MutationKind::kRemoveEdge;
+  bad.u = 0;
+  bad.v = s.service->num_users() + 100;  // endpoint out of range
+  auto res = s.service->Mutate(bad);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kOutOfRange);
+
+  Mutation ghost;
+  ghost.kind = MutationKind::kMoveUser;
+  ghost.user = s.service->num_users();  // one past the end
+  EXPECT_FALSE(s.service->Mutate(ghost).ok());
+}
+
+TEST(ServeServiceTest, MutationMidSolveDoesNotCorruptRunningQuery) {
+  // Queries pin their snapshot: interleaving epoch commits (which append
+  // users, changing |V|) with solves must leave every query's assignment
+  // sized for the user count of the version it reports.
+  ServiceConfig config;
+  config.num_workers = 2;
+  config.epoch_size = 0;
+  Session s(config, 1500);
+  const NodeId n0 = s.service->num_users();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int callbacks = 0;
+  std::vector<std::pair<uint64_t, size_t>> seen;  // (version, |assignment|)
+  constexpr int kQueries = 8;
+  int admitted = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    Query q = s.MakeQuery();
+    q.use_cache = false;
+    q.return_assignment = true;
+    Status st = s.service->Submit(
+        q, [&](const Status& status, const QueryResult& r) {
+          std::lock_guard<std::mutex> lock(mu);
+          EXPECT_TRUE(status.ok()) << status.ToString();
+          seen.emplace_back(r.session_version, r.assignment.size());
+          ++callbacks;
+          cv.notify_all();
+        });
+    if (st.ok()) ++admitted;
+
+    // Mutate between submissions: each epoch appends one user.
+    Mutation add;
+    add.kind = MutationKind::kAddUser;
+    add.location = {0.1 + 0.05 * i, 0.2};
+    ASSERT_TRUE(s.service->Mutate(add).ok());
+    auto epoch = s.service->CommitEpoch();
+    ASSERT_TRUE(epoch.ok());
+    EXPECT_TRUE(epoch->committed);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return callbacks == admitted; });
+  }
+  for (const auto& [version, assignment_size] : seen) {
+    // Version v was committed after v epochs of one appended user each.
+    EXPECT_EQ(assignment_size, static_cast<size_t>(n0) + version)
+        << "query at version " << version
+        << " saw a torn snapshot (|assignment| " << assignment_size << ")";
+  }
 }
 
 TEST(ServeServiceTest, BoundedQueueRejectsOverload) {

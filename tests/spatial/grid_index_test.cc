@@ -100,5 +100,83 @@ TEST(GridIndexTest, RangeQueryEmptyBox) {
   EXPECT_TRUE(got.empty());
 }
 
+TEST(GridIndexPatchTest, UpdateMovesAPointAcrossCells) {
+  std::vector<Point> pts{{0, 0}, {5, 5}, {9, 9}};
+  GridIndex idx(pts, 8);
+  idx.Update(0, {8.5, 8.5});
+  EXPECT_EQ(idx.Nearest({8.4, 8.4}), 0u);
+  // The old location no longer answers for point 0.
+  EXPECT_EQ(idx.Nearest({0.1, 0.1}), 1u);
+  EXPECT_DOUBLE_EQ(idx.points()[0].x, 8.5);
+  EXPECT_EQ(idx.patch_ops(), 1u);
+}
+
+TEST(GridIndexPatchTest, UpdateOutsideTheOriginalBoxClampsButStaysCorrect) {
+  std::vector<Point> pts{{0, 0}, {1, 1}};
+  GridIndex idx(pts, 4);
+  idx.Update(1, {50, 50});  // far outside the construction-time box
+  EXPECT_EQ(idx.Nearest({49, 49}), 1u);
+  EXPECT_EQ(idx.Nearest({0.2, 0.2}), 0u);
+}
+
+TEST(GridIndexPatchTest, AppendExtendsTheIndex) {
+  GridIndex idx({{0, 0}, {10, 10}}, 4);
+  const uint32_t i = idx.Append({5, 5});
+  EXPECT_EQ(i, 2u);
+  EXPECT_EQ(idx.size(), 3u);
+  EXPECT_TRUE(idx.active(i));
+  EXPECT_EQ(idx.Nearest({5.1, 4.9}), 2u);
+  auto in_box = idx.Range({{4, 4}, {6, 6}});
+  EXPECT_EQ(in_box, (std::vector<uint32_t>{2}));
+}
+
+TEST(GridIndexPatchTest, DeactivateHidesFromQueriesReactivateRestores) {
+  std::vector<Point> pts{{0, 0}, {5, 5}, {9, 9}};
+  GridIndex idx(pts, 8);
+  idx.Deactivate(1);
+  EXPECT_FALSE(idx.active(1));
+  EXPECT_EQ(idx.size(), 3u);  // slot and id survive
+  EXPECT_NE(idx.Nearest({5, 5}), 1u);
+  EXPECT_TRUE(idx.Range({{4, 4}, {6, 6}}).empty());
+
+  // Reactivation may land somewhere new.
+  idx.Reactivate(1, {1, 1});
+  EXPECT_TRUE(idx.active(1));
+  EXPECT_EQ(idx.Nearest({1.1, 1.1}), 1u);
+  EXPECT_EQ(idx.patch_ops(), 2u);
+}
+
+TEST(GridIndexPatchTest, PatchedIndexMatchesFreshlyBuiltIndex) {
+  Rng rng(7);
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)});
+  }
+  GridIndex patched(pts, 10);
+
+  // A churn epoch: moves, two appends, one tombstone.
+  std::vector<Point> truth = pts;
+  for (int m = 0; m < 40; ++m) {
+    const uint32_t i = static_cast<uint32_t>(rng.UniformInt(200));
+    const Point p{rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)};
+    patched.Update(i, p);
+    truth[i] = p;
+  }
+  truth.push_back({2.5, 2.5});
+  truth.push_back({7.5, 7.5});
+  EXPECT_EQ(patched.Append({2.5, 2.5}), 200u);
+  EXPECT_EQ(patched.Append({7.5, 7.5}), 201u);
+  patched.Deactivate(13);
+
+  GridIndex fresh(truth, 10);
+  fresh.Deactivate(13);
+  for (int q = 0; q < 200; ++q) {
+    const Point query{rng.UniformDouble(-1, 11), rng.UniformDouble(-1, 11)};
+    EXPECT_EQ(patched.Nearest(query), fresh.Nearest(query));
+  }
+  BoundingBox box{{1, 1}, {8, 8}};
+  EXPECT_EQ(patched.Range(box), fresh.Range(box));
+}
+
 }  // namespace
 }  // namespace rmgp

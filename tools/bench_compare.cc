@@ -5,10 +5,14 @@
 // --quality-threshold, or any baseline cell missing entirely. Serving
 // runs (BENCH_serving.json, see rmgp_loadgen): p99 latency beyond
 // --time-threshold or a cache-hit-rate drop beyond --hit-rate-threshold.
+// Churn runs (BENCH_churn.json, rmgp_loadgen --churn): the serving gates
+// plus the incremental-vs-cold speedup shrinking below
+// --speedup-threshold × baseline, or either equilibrium going invalid.
 //
 // Usage: bench_compare BASELINE.json CANDIDATE.json
 //                      [--time-threshold F] [--quality-threshold F]
-//                      [--hit-rate-threshold F] [--ignore-time]
+//                      [--hit-rate-threshold F] [--speedup-threshold F]
+//                      [--ignore-time]
 //        bench_compare --check FILE.json
 //
 // --check validates a single file (parseable, known schema, non-empty
@@ -32,7 +36,8 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s BASELINE.json CANDIDATE.json"
                " [--time-threshold F] [--quality-threshold F]"
-               " [--hit-rate-threshold F] [--ignore-time]\n"
+               " [--hit-rate-threshold F] [--speedup-threshold F]"
+               " [--ignore-time]\n"
                "       %s --check FILE.json\n"
                "  --time-threshold     allowed relative slowdown"
                " (default 0.10 = 10%%)\n"
@@ -40,6 +45,9 @@ void Usage(const char* argv0) {
                " (default 0.01)\n"
                "  --hit-rate-threshold allowed absolute cache-hit-rate drop,"
                " serving docs (default 0.05)\n"
+               "  --speedup-threshold  fraction of the baseline"
+               " incremental-vs-cold speedup the candidate must keep,"
+               " churn docs (default 0.5; negative disables)\n"
                "  --ignore-time        skip the wall-time gate"
                " (cross-machine diffs)\n"
                "  --check              validate one file instead of"
@@ -61,7 +69,8 @@ int CheckFile(const std::string& path) {
   const Json* schema = root.is_object() ? root.Find("schema") : nullptr;
   const std::string tag =
       (schema != nullptr && schema->is_string()) ? schema->AsString() : "";
-  if (tag != kBenchSchema && tag != kBenchSchemaV1 && tag != kServingSchema) {
+  if (tag != kBenchSchema && tag != kBenchSchemaV1 && tag != kServingSchema &&
+      tag != kChurnSchema) {
     std::fprintf(stderr, "%s: unknown schema '%s'\n", path.c_str(),
                  tag.c_str());
     return 1;
@@ -70,6 +79,17 @@ int CheckFile(const std::string& path) {
   if (records == nullptr || !records->is_array() || records->size() == 0) {
     std::fprintf(stderr, "%s: missing or empty records\n", path.c_str());
     return 1;
+  }
+  if (tag == kChurnSchema) {
+    // A churn doc without the incremental section can't be gated — reject
+    // it at the smoke stage instead of failing the compare confusingly.
+    const Json* inc = root.Find("incremental");
+    if (inc == nullptr || !inc->is_object() ||
+        inc->Find("speedup") == nullptr || inc->Find("both_valid") == nullptr) {
+      std::fprintf(stderr, "%s: churn doc missing incremental section\n",
+                   path.c_str());
+      return 1;
+    }
   }
   std::printf("OK: %s (%s, %zu records)\n", path.c_str(), tag.c_str(),
               records->size());
@@ -95,6 +115,8 @@ int Main(int argc, char** argv) {
       options.quality_threshold = next_double();
     } else if (std::strcmp(argv[i], "--hit-rate-threshold") == 0) {
       options.hit_rate_threshold = next_double();
+    } else if (std::strcmp(argv[i], "--speedup-threshold") == 0) {
+      options.speedup_threshold = next_double();
     } else if (std::strcmp(argv[i], "--ignore-time") == 0) {
       options.time_threshold = -1.0;
     } else if (std::strcmp(argv[i], "--check") == 0) {

@@ -156,6 +156,52 @@ CompareReport CompareServing(const Json& baseline, const Json& candidate,
   return report;
 }
 
+/// Churn-document diff: the serving-record gates plus the
+/// incremental-vs-cold speedup gate. A candidate whose incremental result
+/// was not equilibrium-valid (`both_valid` false) always fails — a fast
+/// wrong answer is not a speedup.
+CompareReport CompareChurn(const Json& baseline, const Json& candidate,
+                           const CompareOptions& options) {
+  CompareReport report = CompareServing(baseline, candidate, options);
+
+  const auto incremental_of = [](const Json& doc) -> const Json* {
+    const Json* inc = doc.is_object() ? doc.Find("incremental") : nullptr;
+    if (inc == nullptr || !inc->is_object() ||
+        inc->Find("speedup") == nullptr || inc->Find("both_valid") == nullptr)
+      return nullptr;
+    return inc;
+  };
+  const Json* base_inc = incremental_of(baseline);
+  const Json* cand_inc = incremental_of(candidate);
+  if (base_inc == nullptr || cand_inc == nullptr) {
+    report.ok = false;
+    report.regressions.push_back({"incremental", "missing", 0.0, 0.0});
+    report.summary += "incremental section missing from " +
+                      std::string(base_inc == nullptr ? "baseline"
+                                                      : "candidate") +
+                      "\n";
+    return report;
+  }
+  const double base_speedup = base_inc->At("speedup").AsDouble();
+  const double cand_speedup = cand_inc->At("speedup").AsDouble();
+  const bool cand_valid = cand_inc->At("both_valid").AsBool();
+  if (!cand_valid) {
+    report.ok = false;
+    report.regressions.push_back({"incremental", "validity", 1.0, 0.0});
+  }
+  if (options.speedup_threshold >= 0.0 &&
+      cand_speedup < base_speedup * options.speedup_threshold) {
+    report.ok = false;
+    report.regressions.push_back(
+        {"incremental", "speedup", base_speedup, cand_speedup});
+  }
+  report.summary += "incremental speedup: baseline " +
+                    Table::Num(base_speedup) + "x, candidate " +
+                    Table::Num(cand_speedup) + "x" +
+                    (cand_valid ? "" : " (INVALID equilibrium)") + "\n";
+  return report;
+}
+
 }  // namespace
 
 SuiteConfig QuickConfig() {
@@ -359,6 +405,10 @@ CompareReport CompareBench(const Json& baseline, const Json& candidate,
       schema_of(candidate) == kServingSchema) {
     return CompareServing(baseline, candidate, options);
   }
+  if (schema_of(baseline) == kChurnSchema &&
+      schema_of(candidate) == kChurnSchema) {
+    return CompareChurn(baseline, candidate, options);
+  }
   // /1 files predate the argmin/worklist counters and the microbench
   // section; everything the comparator reads is present in both, so old
   // baselines stay comparable.
@@ -370,7 +420,8 @@ CompareReport CompareBench(const Json& baseline, const Json& candidate,
     report.ok = false;
     report.summary = "schema mismatch: expected matching solver schemas (" +
                      std::string(kBenchSchema) + " or " + kBenchSchemaV1 +
-                     ") or matching serving schemas (" + kServingSchema +
+                     "), matching serving schemas (" + kServingSchema +
+                     "), or matching churn schemas (" + kChurnSchema +
                      "), got baseline '" + schema_of(baseline) +
                      "' / candidate '" + schema_of(candidate) + "'\n";
     return report;

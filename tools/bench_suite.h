@@ -26,6 +26,13 @@ inline constexpr const char* kBenchSchemaV1 = "rmgp-bench-solvers/1";
 /// rate; mixing a serving file with a solver file is a schema mismatch.
 inline constexpr const char* kServingSchema = "rmgp-bench-serving/1";
 
+/// Layout tag of BENCH_churn.json, written by rmgp_loadgen --churn: serving
+/// records measured under a mutation mix, plus an "incremental" section
+/// timing epoch re-equilibration (core/incremental.h) against a cold solve.
+/// CompareBench gates churn documents like serving ones and additionally
+/// gates the incremental-vs-cold speedup (CompareOptions::speedup_threshold).
+inline constexpr const char* kChurnSchema = "rmgp-bench-churn/1";
+
 /// Configuration of the fixed-seed solver suite run by tools/bench_runner:
 /// {BA, WS, ER, planted-partition} × the five SolverKind variants × alphas,
 /// each measured over `reps` repetitions after `warmup` untimed runs.
@@ -127,6 +134,13 @@ struct CompareOptions {
   /// (0.05 = five points). The serving time gate reuses time_threshold,
   /// applied to p99 latency.
   double hit_rate_threshold = 0.05;
+
+  /// Churn documents only: the candidate's incremental-vs-cold speedup may
+  /// shrink to this fraction of the baseline's before it counts as a
+  /// regression (0.5 = the candidate must retain at least half the
+  /// baseline speedup — wall-clock ratios are noisy in CI). Negative
+  /// disables the gate.
+  double speedup_threshold = 0.5;
 };
 
 /// One detected regression (or missing record).

@@ -14,13 +14,23 @@
 //                     [--fresh-frac F] [--repeat-frac F]
 //                     [--workers N] [--queue-capacity N]
 //                     [--cache-capacity N] [--max-warm-edits N]
-//                     [--quick] [--out FILE]
+//                     [--churn] [--mutation-frac F] [--epoch-size N]
+//                     [--epoch-patch-budget N] [--quick] [--out FILE]
 //
 // Closed loop (default, --concurrency): at most C queries outstanding —
 // with C <= queue capacity the server never sheds load, so a clean run
 // completes every query. Open loop (--qps): queries are released on a
 // fixed schedule regardless of completions; overload shows up as
 // "rejected" counts rather than latency lies (coordinated omission).
+//
+// --churn interleaves session mutations (moves, edge churn, user
+// add/remove) with the query stream: before each query slot a persistent
+// Bernoulli(--mutation-frac) draw decides whether to enqueue a mutation,
+// and the server batches them into epochs of --epoch-size. Mutation acks
+// are counted separately and never enter query latency. The artifact
+// switches to schema rmgp-bench-churn/1 and gains an "incremental"
+// section measuring ReEquilibrate vs a cold solve after a ~1% mutation
+// epoch on the same session — the ratio CI gates.
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -33,15 +43,23 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/cost_provider.h"
+#include "core/incremental.h"
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/solver.h"
 #include "graph/generators.h"
+#include "graph/graph_delta.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
+#include "tools/bench_suite.h"
 #include "util/build_info.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -53,8 +71,6 @@ namespace serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-constexpr const char* kServingSchema = "rmgp-bench-serving/1";
 
 struct Args {
   std::string server;  // empty = in-process
@@ -75,6 +91,8 @@ struct Args {
   double deadline_ms = 50.0;
   double fresh_frac = 0.45;
   double repeat_frac = 0.40;  // remainder = near-duplicate
+  bool churn = false;
+  double mutation_frac = 0.2;
   ServiceConfig service;
 };
 
@@ -86,7 +104,9 @@ void Usage(const char* argv0) {
                " [--alpha A] [--solver NAME] [--deadline-frac F]"
                " [--deadline-ms D] [--fresh-frac F] [--repeat-frac F]"
                " [--workers N] [--queue-capacity N] [--cache-capacity N]"
-               " [--max-warm-edits N] [--quick] [--out FILE]\n",
+               " [--max-warm-edits N] [--churn] [--mutation-frac F]"
+               " [--epoch-size N] [--epoch-patch-budget N]"
+               " [--quick] [--out FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -148,6 +168,224 @@ std::vector<Query> MakeMix(const Args& args) {
   return mix;
 }
 
+/// Generates a deterministic stream of *valid* mutations by mirroring the
+/// server's session state client-side: the same Barabási–Albert graph, a
+/// GraphDelta accumulating every edge edit, and an activity map for user
+/// churn. Validity depends only on the combined view (base ⊕ all accepted
+/// ops), which the server's epoch commits do not change — so every op the
+/// oracle emits, the server accepts, even when the run wraps the mix.
+class ChurnOracle {
+ public:
+  explicit ChurnOracle(const Args& args)
+      : base_(BarabasiAlbert(args.users, args.edges_per_node, args.seed)),
+        delta_(&base_),
+        active_(args.users, 1),
+        num_active_(args.users),
+        rng_(args.seed ^ 0xc42a11ULL) {}
+
+  Mutation Next() {
+    for (;;) {
+      const uint64_t r = rng_.UniformInt(100);
+      Mutation m;
+      if (r < 55) {  // check-in: move a random active user
+        m.kind = MutationKind::kMoveUser;
+        m.user = PickActive();
+        m.has_user = true;
+        m.location = RandomPoint();
+        return m;
+      }
+      if (r < 85) {  // edge churn between two active users
+        const NodeId u = PickActive();
+        const NodeId v = PickActive();
+        if (u == v) continue;
+        if (delta_.HasEdge(u, v)) {
+          if (rng_.Bernoulli(0.5)) {
+            if (!delta_.RemoveEdge(u, v).ok()) continue;
+            m.kind = MutationKind::kRemoveEdge;
+          } else {
+            m.weight = rng_.UniformDouble(0.1, 2.0);
+            if (!delta_.ReweightEdge(u, v, m.weight).ok()) continue;
+            m.kind = MutationKind::kReweightEdge;
+          }
+        } else {
+          m.weight = rng_.UniformDouble(0.1, 2.0);
+          if (!delta_.AddEdge(u, v, m.weight).ok()) continue;
+          m.kind = MutationKind::kAddEdge;
+        }
+        m.u = u;
+        m.v = v;
+        return m;
+      }
+      if (r < 93 || num_active_ <= 2) {  // new user: revive or append
+        m.kind = MutationKind::kAddUser;
+        m.location = RandomPoint();
+        if (!tombstones_.empty() && rng_.Bernoulli(0.5)) {
+          const size_t pick = rng_.UniformInt(tombstones_.size());
+          m.user = tombstones_[pick];
+          m.has_user = true;
+          tombstones_[pick] = tombstones_.back();
+          tombstones_.pop_back();
+          active_[m.user] = 1;
+        } else {
+          const NodeId id = delta_.AddNode();
+          RMGP_CHECK(id == active_.size());
+          active_.push_back(1);
+        }
+        ++num_active_;
+        return m;
+      }
+      // Departure: strip the user's edges and tombstone the id.
+      const NodeId v = PickActive();
+      if (!delta_.RemoveNodeEdges(v).ok()) continue;
+      active_[v] = 0;
+      --num_active_;
+      tombstones_.push_back(v);
+      m.kind = MutationKind::kRemoveUser;
+      m.user = v;
+      m.has_user = true;
+      return m;
+    }
+  }
+
+ private:
+  Point RandomPoint() { return {rng_.UniformDouble(), rng_.UniformDouble()}; }
+
+  NodeId PickActive() {
+    for (;;) {
+      const NodeId v = static_cast<NodeId>(rng_.UniformInt(active_.size()));
+      if (active_[v] != 0) return v;
+    }
+  }
+
+  Graph base_;
+  GraphDelta delta_;
+  std::vector<char> active_;
+  std::vector<NodeId> tombstones_;
+  size_t num_active_;
+  Rng rng_;
+};
+
+/// Transport-independent measurement of the tentpole acceptance ratio:
+/// after a ~1% mutation epoch on the session graph, how much faster is
+/// ReEquilibrate (seeded from the pre-epoch equilibrium, worklist from the
+/// touched set) than a cold solve of the mutated instance — with both
+/// results required to be valid equilibria. Reported as the "incremental"
+/// section of the churn artifact; bench_compare gates the speedup.
+Json MeasureIncremental(const Args& args, bool* both_valid) {
+  SolverOptions opt;
+  opt.init = InitPolicy::kClosestClass;
+  opt.order = OrderPolicy::kNodeId;
+
+  Graph base = BarabasiAlbert(args.users, args.edges_per_node, args.seed);
+  Rng urng(args.seed ^ 0x5e55101eULL);  // the session's user layout
+  std::vector<Point> users;
+  users.reserve(args.users);
+  for (NodeId v = 0; v < args.users; ++v) {
+    users.push_back({urng.UniformDouble(), urng.UniformDouble()});
+  }
+  Rng erng(args.seed ^ 0xeeee7ULL);
+  std::vector<Point> events;
+  events.reserve(args.events_per_query);
+  for (ClassId c = 0; c < args.events_per_query; ++c) {
+    events.push_back({erng.UniformDouble(), erng.UniformDouble()});
+  }
+
+  auto costs = std::make_shared<EuclideanCostProvider>(users, events);
+  auto inst = Instance::Create(&base, costs, args.alpha);
+  RMGP_CHECK(inst.ok()) << inst.status().ToString();
+  auto seed_res = SolveGlobalTable(inst.value(), opt);
+  RMGP_CHECK(seed_res.ok()) << seed_res.status().ToString();
+
+  // One epoch touching ~1% of users: moves, edge adds, edge drops and
+  // reweights, in equal thirds.
+  const NodeId edits = std::max<NodeId>(1, args.users / 100);
+  GraphDelta delta(&base);
+  Rng mrng(args.seed ^ 0x3141592ULL);
+  std::vector<Point> moved_users = users;
+  std::vector<NodeId> touched;
+  const auto move_user = [&](NodeId v) {
+    moved_users[v] = {mrng.UniformDouble(), mrng.UniformDouble()};
+    touched.push_back(v);
+  };
+  for (NodeId i = 0; i < edits; ++i) {
+    const NodeId v = static_cast<NodeId>(mrng.UniformInt(args.users));
+    switch (mrng.UniformInt(3)) {
+      case 0:
+        move_user(v);
+        break;
+      case 1: {
+        const NodeId w = static_cast<NodeId>(mrng.UniformInt(args.users));
+        if (w != v && !delta.HasEdge(v, w)) {
+          RMGP_CHECK(delta.AddEdge(v, w, mrng.UniformDouble(0.1, 2.0)).ok());
+        } else {
+          move_user(v);
+        }
+        break;
+      }
+      default: {
+        bool edited = false;
+        for (const auto& nb : base.neighbors(v)) {
+          if (!delta.HasEdge(v, nb.node)) continue;
+          if (mrng.Bernoulli(0.5)) {
+            RMGP_CHECK(delta.RemoveEdge(v, nb.node).ok());
+          } else {
+            RMGP_CHECK(
+                delta.ReweightEdge(v, nb.node, mrng.UniformDouble(0.1, 2.0))
+                    .ok());
+          }
+          edited = true;
+          break;
+        }
+        if (!edited) move_user(v);
+        break;
+      }
+    }
+  }
+  GraphDelta::BuildResult built = delta.Build();
+  touched.insert(touched.end(), built.touched.begin(), built.touched.end());
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  auto moved_costs =
+      std::make_shared<EuclideanCostProvider>(moved_users, events);
+  auto mutated = Instance::Create(&built.graph, moved_costs, args.alpha);
+  RMGP_CHECK(mutated.ok()) << mutated.status().ToString();
+
+  double incremental_ms = 0.0;
+  double cold_ms = 0.0;
+  Assignment incremental_a;
+  Assignment cold_a;
+  constexpr int kReps = 3;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto t0 = Clock::now();
+    auto inc =
+        ReEquilibrate(mutated.value(), seed_res->assignment, touched, opt);
+    const double inc_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    RMGP_CHECK(inc.ok()) << inc.status().ToString();
+    t0 = Clock::now();
+    auto cold = SolveGlobalTable(mutated.value(), opt);
+    const double c_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    RMGP_CHECK(cold.ok()) << cold.status().ToString();
+    if (rep == 0 || inc_ms < incremental_ms) incremental_ms = inc_ms;
+    if (rep == 0 || c_ms < cold_ms) cold_ms = c_ms;
+    incremental_a = std::move(inc->assignment);
+    cold_a = std::move(cold->assignment);
+  }
+  *both_valid = VerifyEquilibrium(mutated.value(), incremental_a).ok() &&
+                VerifyEquilibrium(mutated.value(), cold_a).ok();
+
+  Json out = Json::Object();
+  out.Set("cold_ms", cold_ms);
+  out.Set("incremental_ms", incremental_ms);
+  out.Set("speedup", incremental_ms == 0.0 ? 0.0 : cold_ms / incremental_ms);
+  out.Set("mutations", edits);
+  out.Set("touched", static_cast<uint64_t>(touched.size()));
+  out.Set("both_valid", *both_valid);
+  return out;
+}
+
 /// Everything the run accumulates, fed by completion callbacks (in-proc)
 /// or the response-reader thread (server mode).
 struct Collector {
@@ -163,6 +401,9 @@ struct Collector {
   uint64_t warm_hits = 0;
   uint64_t misses = 0;
   uint64_t deadline_queries = 0;
+  uint64_t mutation_acks = 0;
+  uint64_t mutation_rejected = 0;
+  uint64_t epochs_committed = 0;
   double max_deadline_overshoot_ms = 0.0;
   std::vector<double> latencies_ms;
 
@@ -188,6 +429,31 @@ struct Collector {
     cv.notify_all();
   }
 
+  /// Mutation completion (server mode): releases the slot, never touches
+  /// query latency.
+  void FinishMutation(bool accepted, bool committed) {
+    std::lock_guard<std::mutex> lock(mu);
+    CountMutationLocked(accepted, committed);
+    --outstanding;
+    cv.notify_all();
+  }
+
+  /// Mutation bookkeeping without slot accounting (in-proc mode, where
+  /// Mutate is synchronous and holds no slot).
+  void RecordMutation(bool accepted, bool committed) {
+    std::lock_guard<std::mutex> lock(mu);
+    CountMutationLocked(accepted, committed);
+  }
+
+  void CountMutationLocked(bool accepted, bool committed) {
+    if (accepted) {
+      ++mutation_acks;
+    } else {
+      ++mutation_rejected;
+    }
+    if (committed) ++epochs_committed;
+  }
+
   void Fail(bool was_rejected) {
     std::lock_guard<std::mutex> lock(mu);
     if (was_rejected) {
@@ -204,6 +470,12 @@ struct Collector {
     cv.wait(lock, [&] { return outstanding < concurrency; });
     ++outstanding;
     ++sent;
+  }
+
+  void AwaitMutationSlot(uint32_t concurrency) {  // mutations don't count
+    std::unique_lock<std::mutex> lock(mu);        // toward `sent` queries
+    cv.wait(lock, [&] { return outstanding < concurrency; });
+    ++outstanding;
   }
 
   void ClaimSlot() {  // open loop: no backpressure
@@ -243,6 +515,8 @@ class ServerTransport {
       std::string queue = std::to_string(args.service.queue_capacity);
       std::string cache = std::to_string(args.service.cache_capacity);
       std::string edits = std::to_string(args.service.max_warm_edits);
+      std::string epoch = std::to_string(args.service.epoch_size);
+      std::string budget = std::to_string(args.service.epoch_patch_budget);
       const char* argv[] = {args.server.c_str(),
                             "--users", users.c_str(),
                             "--edges-per-node", epn.c_str(),
@@ -251,6 +525,8 @@ class ServerTransport {
                             "--queue-capacity", queue.c_str(),
                             "--cache-capacity", cache.c_str(),
                             "--max-warm-edits", edits.c_str(),
+                            "--epoch-size", epoch.c_str(),
+                            "--epoch-patch-budget", budget.c_str(),
                             nullptr};
       execv(args.server.c_str(), const_cast<char* const*>(argv));
       std::perror("execv");
@@ -297,9 +573,52 @@ class ServerTransport {
     const std::string line = req.Dump();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      pending_[id] = {Clock::now(), query.deadline_ms};
+      pending_[id] = {Clock::now(), query.deadline_ms, false};
     }
     WriteLine(line);
+  }
+
+  void SendMutation(uint64_t id, const Mutation& m) {
+    Json req = Json::Object();
+    req.Set("id", id);
+    req.Set("op", "mutate");
+    req.Set("kind", MutationKindName(m.kind));
+    if (m.has_user) req.Set("user", m.user);
+    switch (m.kind) {
+      case MutationKind::kAddUser:
+      case MutationKind::kMoveUser: {
+        Json loc = Json::Array();
+        loc.Append(m.location.x);
+        loc.Append(m.location.y);
+        req.Set("location", std::move(loc));
+        break;
+      }
+      case MutationKind::kRemoveUser:
+        break;
+      default:
+        req.Set("u", m.u);
+        req.Set("v", m.v);
+        if (m.kind != MutationKind::kRemoveEdge) req.Set("weight", m.weight);
+        break;
+    }
+    const std::string line = req.Dump();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_[id] = {Clock::now(), 0.0, true};
+    }
+    WriteLine(line);
+  }
+
+  /// Flushes pending mutations with an explicit epoch op and waits for the
+  /// result. Returns whether a version was committed.
+  bool CommitEpochSync() {
+    Json req = Json::Object();
+    req.Set("id", kEpochId);
+    req.Set("op", "epoch");
+    WriteLine(req.Dump());
+    std::unique_lock<std::mutex> lock(mu_);
+    epoch_cv_.wait(lock, [this] { return epoch_done_ || reader_done_; });
+    return epoch_committed_;
   }
 
   /// Requests the server's metrics dump and waits for it.
@@ -324,10 +643,12 @@ class ServerTransport {
  private:
   static constexpr double kMetricsId = -1.0;
   static constexpr double kQuitId = -2.0;
+  static constexpr double kEpochId = -3.0;
 
   struct Pending {
     Clock::time_point sent_at;
     double deadline_ms = 0.0;
+    bool is_mutation = false;
   };
 
   void WriteLine(const std::string& line) {
@@ -364,6 +685,15 @@ class ServerTransport {
         continue;
       }
       if (id == kQuitId) continue;
+      if (id == kEpochId) {
+        std::lock_guard<std::mutex> lock(mu_);
+        const Json* committed = obj.Find("committed");
+        epoch_committed_ = committed != nullptr && committed->is_bool() &&
+                           committed->AsBool();
+        epoch_done_ = true;
+        epoch_cv_.notify_all();
+        continue;
+      }
 
       Pending pending;
       {
@@ -372,6 +702,14 @@ class ServerTransport {
         if (it == pending_.end()) continue;
         pending = it->second;
         pending_.erase(it);
+      }
+      if (pending.is_mutation) {
+        const Json* committed = obj.Find("committed");
+        collector_->FinishMutation(status->AsString() == "ok",
+                                   committed != nullptr &&
+                                       committed->is_bool() &&
+                                       committed->AsBool());
+        continue;
       }
       const double latency_ms =
           std::chrono::duration<double, std::milli>(now - pending.sent_at)
@@ -392,6 +730,7 @@ class ServerTransport {
     reader_done_ = true;
     ready_cv_.notify_all();
     metrics_cv_.notify_all();
+    epoch_cv_.notify_all();
   }
 
   Collector* collector_;
@@ -402,10 +741,13 @@ class ServerTransport {
   std::mutex mu_;
   std::condition_variable ready_cv_;
   std::condition_variable metrics_cv_;
+  std::condition_variable epoch_cv_;
   std::map<uint64_t, Pending> pending_;
   Json metrics_;
   bool ready_ = false;
   bool reader_done_ = false;
+  bool epoch_done_ = false;
+  bool epoch_committed_ = false;
   std::thread reader_;
 };
 
@@ -473,6 +815,14 @@ int Main(int argc, char** argv) {
       args.service.cache_capacity = next_u64();
     } else if (std::strcmp(argv[i], "--max-warm-edits") == 0) {
       args.service.max_warm_edits = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--churn") == 0) {
+      args.churn = true;
+    } else if (std::strcmp(argv[i], "--mutation-frac") == 0) {
+      args.mutation_frac = next_double();
+    } else if (std::strcmp(argv[i], "--epoch-size") == 0) {
+      args.service.epoch_size = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--epoch-patch-budget") == 0) {
+      args.service.epoch_patch_budget = static_cast<uint32_t>(next_u64());
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else {
@@ -496,6 +846,9 @@ int Main(int argc, char** argv) {
 
   const std::vector<Query> mix = MakeMix(args);
   Collector collector;
+  std::unique_ptr<ChurnOracle> oracle;
+  if (args.churn) oracle = std::make_unique<ChurnOracle>(args);
+  Rng churn_rng(args.seed ^ 0x31337ULL);  // persists across duration-wrap
 
   std::unique_ptr<ServerTransport> server;
   std::unique_ptr<RmgpService> service;
@@ -538,6 +891,21 @@ int Main(int argc, char** argv) {
     }
   };
 
+  // Churn: mutation acks occupy a concurrency slot in server mode (the ack
+  // releases it) but are synchronous in-proc; either way they stay out of
+  // the query latency sample.
+  uint64_t id = 0;
+  const auto send_mutation = [&] {
+    const Mutation m = oracle->Next();
+    if (server != nullptr) {
+      collector.AwaitMutationSlot(args.concurrency);
+      server->SendMutation(++id, m);
+      return;
+    }
+    auto ack = service->Mutate(m);
+    collector.RecordMutation(ack.ok(), ack.ok() && ack->committed);
+  };
+
   // Drive the mix: closed loop waits for a slot, open loop fires on
   // schedule. With --duration-s the mix wraps (wrapped sends are exact
   // repeats, which is what a steady-state cache workload looks like).
@@ -547,12 +915,14 @@ int Main(int argc, char** argv) {
           ? start + std::chrono::duration_cast<Clock::duration>(
                         std::chrono::duration<double>(args.duration_s))
           : Clock::time_point::max();
-  uint64_t id = 0;
   for (uint64_t q = 0;; ++q) {
     if (args.duration_s > 0.0) {
       if (Clock::now() >= deadline) break;
     } else if (q >= mix.size()) {
       break;
+    }
+    if (args.churn && churn_rng.Bernoulli(args.mutation_frac)) {
+      send_mutation();
     }
     if (args.qps > 0.0) {
       const auto release =
@@ -570,6 +940,19 @@ int Main(int argc, char** argv) {
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - start).count();
 
+  if (args.churn) {
+    // Flush any sub-epoch tail so every accepted mutation reaches a
+    // committed version before metrics are read.
+    bool committed = false;
+    if (server != nullptr) {
+      committed = server->CommitEpochSync();
+    } else {
+      auto flushed = service->CommitEpoch();
+      committed = flushed.ok() && flushed->committed;
+    }
+    if (committed) ++collector.epochs_committed;
+  }
+
   Json server_metrics;
   if (server != nullptr) {
     server_metrics = server->FetchMetrics();
@@ -578,9 +961,10 @@ int Main(int argc, char** argv) {
     server_metrics = service->MetricsJson();
   }
 
-  // ---- BENCH_serving.json ------------------------------------------------
+  // ---- BENCH_serving.json / BENCH_churn.json -----------------------------
   Json root = Json::Object();
-  root.Set("schema", kServingSchema);
+  root.Set("schema",
+           args.churn ? bench::kChurnSchema : bench::kServingSchema);
 
   Json cfg = Json::Object();
   cfg.Set("transport", server != nullptr ? "server" : "inproc");
@@ -603,6 +987,10 @@ int Main(int argc, char** argv) {
   cfg.Set("queue_capacity", args.service.queue_capacity);
   cfg.Set("cache_capacity", args.service.cache_capacity);
   cfg.Set("max_warm_edits", args.service.max_warm_edits);
+  cfg.Set("churn", args.churn);
+  cfg.Set("mutation_frac", args.mutation_frac);
+  cfg.Set("epoch_size", args.service.epoch_size);
+  cfg.Set("epoch_patch_budget", args.service.epoch_patch_budget);
   root.Set("config", std::move(cfg));
 
   const BuildInfo info = GetBuildInfo();
@@ -618,7 +1006,7 @@ int Main(int argc, char** argv) {
   const uint64_t hits = collector.exact_hits + collector.warm_hits;
   const uint64_t looked_up = hits + collector.misses;
   Json record = Json::Object();
-  record.Set("name", "mix");
+  record.Set("name", args.churn ? "churn_mix" : "mix");
   record.Set("sent", collector.sent);
   record.Set("completed", collector.completed);
   record.Set("errors", collector.errors);
@@ -649,9 +1037,20 @@ int Main(int argc, char** argv) {
   deadline_stats.Set("queries", collector.deadline_queries);
   deadline_stats.Set("max_overshoot_ms", collector.max_deadline_overshoot_ms);
   record.Set("deadline", std::move(deadline_stats));
+  bool incremental_valid = true;
+  if (args.churn) {
+    Json mutation = Json::Object();
+    mutation.Set("acks", collector.mutation_acks);
+    mutation.Set("rejected", collector.mutation_rejected);
+    mutation.Set("epochs_committed", collector.epochs_committed);
+    record.Set("mutation", std::move(mutation));
+  }
   Json records = Json::Array();
   records.Append(std::move(record));
   root.Set("records", std::move(records));
+  if (args.churn) {
+    root.Set("incremental", MeasureIncremental(args, &incremental_valid));
+  }
   root.Set("server_metrics", std::move(server_metrics));
 
   Status written = root.WriteFile(args.out);
@@ -669,7 +1068,15 @@ int Main(int argc, char** argv) {
                           : static_cast<double>(hits) /
                                 static_cast<double>(looked_up))
                   << " -> " << args.out;
-  return collector.errors == 0 ? 0 : 1;
+  if (args.churn) {
+    RMGP_LOG(kInfo) << "churn: " << collector.mutation_acks << " acks, "
+                    << collector.mutation_rejected << " rejected, "
+                    << collector.epochs_committed << " epochs committed";
+  }
+  return collector.errors == 0 && collector.mutation_rejected == 0 &&
+                 incremental_valid
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 // Usage: rmgp_serve [--dataset ba|gowalla] [--users N] [--edges-per-node M]
 //                   [--seed S] [--workers N] [--queue-capacity N]
 //                   [--cache-capacity N] [--max-warm-edits N]
+//                   [--epoch-size N] [--epoch-patch-budget N]
 //
 // Responses for solve requests complete asynchronously (worker pool), so
 // response order is NOT request order; clients correlate by "id". All
@@ -44,7 +45,8 @@ void Usage(const char* argv0) {
                "usage: %s [--dataset ba|gowalla] [--users N]"
                " [--edges-per-node M] [--seed S] [--workers N]"
                " [--queue-capacity N] [--cache-capacity N]"
-               " [--max-warm-edits N]\n",
+               " [--max-warm-edits N] [--epoch-size N]"
+               " [--epoch-patch-budget N]\n",
                argv0);
   std::exit(2);
 }
@@ -76,6 +78,10 @@ int Main(int argc, char** argv) {
       args.service.cache_capacity = next_u64();
     } else if (std::strcmp(argv[i], "--max-warm-edits") == 0) {
       args.service.max_warm_edits = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--epoch-size") == 0) {
+      args.service.epoch_size = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--epoch-patch-budget") == 0) {
+      args.service.epoch_patch_budget = static_cast<uint32_t>(next_u64());
     } else {
       Usage(argv[0]);
     }
@@ -146,6 +152,18 @@ int Main(int argc, char** argv) {
         Status updated = service.UpdateUserLocation(req.user, req.location);
         writer.Write(updated.ok() ? SerializeAck(req.id)
                                   : SerializeFailure(req.id, updated));
+        break;
+      }
+      case Request::Op::kMutate: {
+        Result<MutationAck> ack = service.Mutate(req.mutation);
+        writer.Write(ack.ok() ? SerializeMutationAck(req.id, ack.value())
+                              : SerializeFailure(req.id, ack.status()));
+        break;
+      }
+      case Request::Op::kEpoch: {
+        Result<EpochResult> epoch = service.CommitEpoch();
+        writer.Write(epoch.ok() ? SerializeEpochResult(req.id, epoch.value())
+                                : SerializeFailure(req.id, epoch.status()));
         break;
       }
       case Request::Op::kNearby:
