@@ -53,7 +53,8 @@ void BM_BestResponse(benchmark::State& state) {
   NodeId v = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(internal::BestResponseScratch(
-        *f.inst, f.assignment, v, max_sc, scratch.data()));
+        *f.inst, f.assignment, v, max_sc, kernels::ActiveKernels(),
+        scratch.data()));
     v = (v + 1) % f.inst->num_users();
   }
 }

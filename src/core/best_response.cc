@@ -18,13 +18,12 @@ std::vector<double> ComputeMaxSocialCosts(const Instance& inst) {
 
 BestResponse BestResponseScratch(const Instance& inst, const Assignment& a,
                                  NodeId v, const std::vector<double>& max_sc,
-                                 double* scratch) {
+                                 const kernels::Kernels& kn, double* scratch) {
   const ClassId k = inst.num_classes();
   const double alpha = inst.alpha();
   // Lines 7-8: cost_v[p] = α·c(v,p) + maxSC_v.
   inst.AssignmentCostsFor(v, scratch);
-  const double msc = max_sc[v];
-  for (ClassId p = 0; p < k; ++p) scratch[p] = alpha * scratch[p] + msc;
+  kn.cost_row_d(scratch, k, alpha, max_sc[v]);
   // Lines 9-10: credit back friends' classes.
   const double social_factor = 1.0 - alpha;
   for (const Neighbor& nb : inst.graph().neighbors(v)) {
@@ -33,14 +32,8 @@ BestResponse BestResponseScratch(const Instance& inst, const Assignment& a,
   // Lines 11-13: pick the minimum (lowest class id on ties).
   BestResponse br;
   br.current_cost = scratch[a[v]];
-  br.best_class = 0;
-  br.best_cost = scratch[0];
-  for (ClassId p = 1; p < k; ++p) {
-    if (scratch[p] < br.best_cost) {
-      br.best_cost = scratch[p];
-      br.best_class = p;
-    }
-  }
+  br.best_class = static_cast<ClassId>(kn.argmin_d(scratch, k));
+  br.best_cost = scratch[br.best_class];
   return br;
 }
 

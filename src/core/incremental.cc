@@ -21,8 +21,9 @@ constexpr uint32_t kNoRow = UINT32_MAX;
 /// actually examines pay the O(k + deg) row build, and rows stay patched
 /// via the Fig-5 incremental updates afterwards.
 struct LazyTable {
-  explicit LazyTable(const Instance& inst)
+  LazyTable(const Instance& inst, const kernels::Kernels& kn)
       : inst_(inst),
+        kn_(kn),
         k_(inst.num_classes()),
         alpha_(inst.alpha()),
         row_of_(inst.num_users(), kNoRow) {}
@@ -41,20 +42,17 @@ struct LazyTable {
     rows_.resize(rows_.size() + k_);
     double* row = rows_.data() + row_of_[v] * k_;
     inst_.AssignmentCostsFor(v, row);
-    for (ClassId p = 0; p < k_; ++p) row[p] = alpha_ * row[p] + max_sc[v];
+    kn_.cost_row_d(row, k_, alpha_, max_sc[v]);
     const double social = 1.0 - alpha_;
     for (const Neighbor& nb : inst_.graph().neighbors(v)) {
       row[a[nb.node]] -= social * 0.5 * nb.weight;
     }
-    ClassId b = 0;
-    for (ClassId p = 1; p < k_; ++p) {
-      if (row[p] < row[b]) b = p;
-    }
-    best_.push_back(b);
+    best_.push_back(static_cast<ClassId>(kn_.argmin_d(row, k_)));
     counters->gt_cells_built += k_;
   }
 
   const Instance& inst_;
+  const kernels::Kernels& kn_;
   const ClassId k_;
   const double alpha_;
   std::vector<uint32_t> row_of_;  // v -> row slot, kNoRow if unbuilt
@@ -91,6 +89,7 @@ Result<SolveResult> ReEquilibrate(const Instance& inst,
 
   SolveResult res;
   const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
+  const kernels::Kernels& kn = kernels::ResolveKernels(options.kernels);
 
   // Seed: the previous equilibrium, with appended users at their closest
   // class (they must appear in `touched`, so they get examined below).
@@ -101,12 +100,11 @@ Result<SolveResult> ReEquilibrate(const Instance& inst,
     std::vector<double> cost(k);
     for (NodeId v = static_cast<NodeId>(previous.size()); v < n; ++v) {
       inst.AssignmentCostsFor(v, cost.data());
-      a[v] = static_cast<ClassId>(
-          std::min_element(cost.begin(), cost.end()) - cost.begin());
+      a[v] = static_cast<ClassId>(kn.argmin_d(cost.data(), k));
     }
   }
 
-  LazyTable table(inst);
+  LazyTable table(inst, kn);
 
   // Worklist: touched ∪ 1-hop frontier, deduplicated, in a deterministic
   // FIFO. `queued` only marks "waiting in the queue" — a vertex examined
@@ -166,7 +164,7 @@ Result<SolveResult> ReEquilibrate(const Instance& inst,
         frow[best] -= delta;
         ArgminOnDecrease(frow, best, &table.best(f));
         frow[old] += delta;
-        if (ArgminOnIncrease(frow, k, old, &table.best(f))) {
+        if (ArgminOnIncrease(kn, frow, k, old, &table.best(f))) {
           ++res.counters.argmin_cache_repairs;
         }
         res.counters.gt_incremental_updates += 2;

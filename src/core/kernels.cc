@@ -1,0 +1,82 @@
+#include "core/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "core/kernels_internal.h"
+
+namespace rmgp {
+namespace kernels {
+
+const char* KernelBackendName(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kScalar:
+      return "scalar";
+    case KernelBackend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// The reference loops. These are the exact loops the solvers ran before
+// the kernel split; the wide backends must match them bit for bit.
+
+void CostRowScalarD(double* row, size_t k, double alpha, double base) {
+  for (size_t p = 0; p < k; ++p) row[p] = alpha * row[p] + base;
+}
+
+void CostRowScalarF(float* row, size_t k, float alpha, float base) {
+  for (size_t p = 0; p < k; ++p) row[p] = alpha * row[p] + base;
+}
+
+uint32_t ArgminScalarD(const double* row, size_t k) {
+  uint32_t b = 0;
+  for (uint32_t p = 1; p < k; ++p) {
+    if (row[p] < row[b]) b = p;
+  }
+  return b;
+}
+
+uint32_t ArgminScalarF(const float* row, size_t k) {
+  uint32_t b = 0;
+  for (uint32_t p = 1; p < k; ++p) {
+    if (row[p] < row[b]) b = p;
+  }
+  return b;
+}
+
+}  // namespace
+
+const Kernels& ScalarKernels() {
+  static const Kernels table = {KernelBackend::kScalar, CostRowScalarD,
+                                CostRowScalarF, ArgminScalarD, ArgminScalarF};
+  return table;
+}
+
+const Kernels& SimdKernels() {
+  static const Kernels* table = [] {
+    const Kernels* avx2 = internal::Avx2KernelsOrNull();
+    return avx2 != nullptr ? avx2 : &ScalarKernels();
+  }();
+  return *table;
+}
+
+const Kernels& ActiveKernels() {
+  static const Kernels* table = [] {
+    const char* env = std::getenv("RMGP_KERNELS");
+    if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+      return &ScalarKernels();
+    }
+    return &SimdKernels();
+  }();
+  return *table;
+}
+
+const Kernels& ResolveKernels(KernelPolicy policy) {
+  return policy == KernelPolicy::kScalar ? ScalarKernels() : ActiveKernels();
+}
+
+}  // namespace kernels
+}  // namespace rmgp

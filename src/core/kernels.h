@@ -1,0 +1,64 @@
+#ifndef RMGP_CORE_KERNELS_H_
+#define RMGP_CORE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rmgp {
+namespace kernels {
+
+/// Instruction-set tier of a kernel table. The binary is compiled for the
+/// baseline ISA; the AVX2 tier lives in its own translation unit and is
+/// only selected when cpuid reports support (util/cpu_features.h).
+enum class KernelBackend : uint8_t { kScalar = 0, kAvx2 = 1 };
+
+[[nodiscard]] const char* KernelBackendName(KernelBackend backend);
+
+/// Per-solve kernel selection carried on SolverOptions: kAuto picks the
+/// widest backend the host supports; kScalar forces the reference scalar
+/// loops — the bit-identity reference mode the agreement tests and the
+/// kernels microbench race against.
+enum class KernelPolicy : uint8_t { kAuto = 0, kScalar = 1 };
+
+/// Function table of the hot-row kernels. Every backend of one operation
+/// returns bit-identical results: the cost-row transform is elementwise
+/// IEEE mul+add (never fused — see the -ffp-contract=off note in the root
+/// CMakeLists), and the argmins implement the same lowest-index-on-ties
+/// semantics as the strict `<` left-to-right scan they replace. That
+/// tie-break is load-bearing: the solver audits and the cached-argmin
+/// repair path (internal::ArgminOnIncrease) compare against scalar
+/// recomputation and assume one canonical winner per row.
+struct Kernels {
+  KernelBackend backend = KernelBackend::kScalar;
+
+  /// row[p] = alpha * row[p] + base for p in [0, k): the affine cost-row
+  /// transform of Fig 3 line 7 (alpha-weighted assignment cost plus
+  /// maxSC_v), applied in place before the neighbor credits.
+  void (*cost_row_d)(double* row, size_t k, double alpha, double base);
+  void (*cost_row_f)(float* row, size_t k, float alpha, float base);
+
+  /// Lowest-index argmin of row[0, k); k >= 1. Cells may be +/-infinity;
+  /// NaN is outside the contract.
+  uint32_t (*argmin_d)(const double* row, size_t k);
+  uint32_t (*argmin_f)(const float* row, size_t k);
+};
+
+/// The reference scalar table — always available.
+[[nodiscard]] const Kernels& ScalarKernels();
+
+/// The widest table the host supports: AVX2 when cpuid says so, else the
+/// scalar table.
+[[nodiscard]] const Kernels& SimdKernels();
+
+/// The process-wide default: SimdKernels(), unless the RMGP_KERNELS=scalar
+/// environment variable pins the reference mode (read once at first use).
+[[nodiscard]] const Kernels& ActiveKernels();
+
+/// Maps a per-solve policy to a table: kScalar -> ScalarKernels(),
+/// kAuto -> ActiveKernels().
+[[nodiscard]] const Kernels& ResolveKernels(KernelPolicy policy);
+
+}  // namespace kernels
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_KERNELS_H_

@@ -1,0 +1,239 @@
+// The one translation unit compiled with -mavx2 (see src/core/CMakeLists).
+// Everything here except Avx2KernelsOrNull has internal linkage: inline or
+// weak symbols from an AVX2-compiled TU could otherwise be merged over
+// their baseline-ISA twins by the linker and crash pre-AVX2 hosts.
+//
+// Bit-identity with the scalar reference (core/kernels.cc):
+//   * cost_row is elementwise vmulpd+vaddpd — the same IEEE mul and add the
+//     scalar loop performs, never contracted into an FMA (the project
+//     builds with -ffp-contract=off, and intrinsics are not contracted
+//     anyway).
+//   * argmin keeps per-slot minima with a strict `<` compare, so each
+//     accumulator slot (a lane of one of the chains) holds the earliest
+//     minimum of its index class (slot j of a stride-S sweep sees indices
+//     j, j+S, j+2S, ...). The horizontal reduction then takes the lowest
+//     index among slots attaining the global minimum. If e is the globally
+//     earliest index of the minimum value m, slot e mod S records exactly
+//     (m, e) — an earlier index in that slot with value m would contradict
+//     e's minimality — and every other slot records either a larger value
+//     or a larger index, so the reduction returns e: the same answer as
+//     the scalar left-to-right scan. +/-infinity flows through the
+//     ordinary compares; NaN is outside the contract.
+
+#include "core/kernels_internal.h"
+#include "util/cpu_features.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace rmgp {
+namespace kernels {
+namespace internal {
+namespace {
+
+void CostRowAvx2D(double* row, size_t k, double alpha, double base) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  const __m256d vb = _mm256_set1_pd(base);
+  size_t p = 0;
+  for (; p + 4 <= k; p += 4) {
+    const __m256d v = _mm256_loadu_pd(row + p);
+    _mm256_storeu_pd(row + p, _mm256_add_pd(_mm256_mul_pd(v, va), vb));
+  }
+  for (; p < k; ++p) row[p] = alpha * row[p] + base;
+}
+
+void CostRowAvx2F(float* row, size_t k, float alpha, float base) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  const __m256 vb = _mm256_set1_ps(base);
+  size_t p = 0;
+  for (; p + 8 <= k; p += 8) {
+    const __m256 v = _mm256_loadu_ps(row + p);
+    _mm256_storeu_ps(row + p, _mm256_add_ps(_mm256_mul_ps(v, va), vb));
+  }
+  for (; p < k; ++p) row[p] = alpha * row[p] + base;
+}
+
+uint32_t ArgminAvx2D(const double* row, size_t k) {
+  if (k < 8) {  // too short for the vector ramp-up to pay off
+    uint32_t b = 0;
+    for (uint32_t p = 1; p < k; ++p) {
+      if (row[p] < row[b]) b = p;
+    }
+    return b;
+  }
+  // Long rows run two independent accumulator chains: the cmp→blendv
+  // update of a single chain is a loop-carried dependency (~6 cycles), so
+  // a second chain nearly doubles throughput. Each (chain, lane) slot owns
+  // a disjoint index class mod 8, which keeps the lowest-index argument
+  // above intact — the final reduction just spans 8 slots instead of 4.
+  alignas(32) double vals[8];
+  alignas(32) int64_t idxs[8];
+  int lanes;
+  size_t p;
+  if (k >= 16) {
+    __m256d best0 = _mm256_loadu_pd(row);
+    __m256d best1 = _mm256_loadu_pd(row + 4);
+    __m256i bidx0 = _mm256_setr_epi64x(0, 1, 2, 3);
+    __m256i bidx1 = _mm256_setr_epi64x(4, 5, 6, 7);
+    __m256i idx0 = bidx0;
+    __m256i idx1 = bidx1;
+    const __m256i step = _mm256_set1_epi64x(8);
+    for (p = 8; p + 8 <= k; p += 8) {
+      idx0 = _mm256_add_epi64(idx0, step);
+      idx1 = _mm256_add_epi64(idx1, step);
+      const __m256d v0 = _mm256_loadu_pd(row + p);
+      const __m256d v1 = _mm256_loadu_pd(row + p + 4);
+      const __m256d lt0 = _mm256_cmp_pd(v0, best0, _CMP_LT_OQ);
+      const __m256d lt1 = _mm256_cmp_pd(v1, best1, _CMP_LT_OQ);
+      best0 = _mm256_blendv_pd(best0, v0, lt0);
+      best1 = _mm256_blendv_pd(best1, v1, lt1);
+      bidx0 = _mm256_castpd_si256(_mm256_blendv_pd(
+          _mm256_castsi256_pd(bidx0), _mm256_castsi256_pd(idx0), lt0));
+      bidx1 = _mm256_castpd_si256(_mm256_blendv_pd(
+          _mm256_castsi256_pd(bidx1), _mm256_castsi256_pd(idx1), lt1));
+    }
+    _mm256_store_pd(vals, best0);
+    _mm256_store_pd(vals + 4, best1);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idxs), bidx0);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idxs + 4), bidx1);
+    lanes = 8;
+  } else {
+    __m256d best = _mm256_loadu_pd(row);
+    __m256i best_idx = _mm256_setr_epi64x(0, 1, 2, 3);
+    __m256i idx = best_idx;
+    const __m256i step = _mm256_set1_epi64x(4);
+    for (p = 4; p + 4 <= k; p += 4) {
+      idx = _mm256_add_epi64(idx, step);
+      const __m256d v = _mm256_loadu_pd(row + p);
+      const __m256d lt = _mm256_cmp_pd(v, best, _CMP_LT_OQ);
+      best = _mm256_blendv_pd(best, v, lt);
+      best_idx = _mm256_castpd_si256(_mm256_blendv_pd(
+          _mm256_castsi256_pd(best_idx), _mm256_castsi256_pd(idx), lt));
+    }
+    _mm256_store_pd(vals, best);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idxs), best_idx);
+    lanes = 4;
+  }
+  double bv = vals[0];
+  uint32_t bi = static_cast<uint32_t>(idxs[0]);
+  for (int lane = 1; lane < lanes; ++lane) {
+    const uint32_t li = static_cast<uint32_t>(idxs[lane]);
+    if (vals[lane] < bv || (vals[lane] == bv && li < bi)) {
+      bv = vals[lane];
+      bi = li;
+    }
+  }
+  // Tail indices all exceed the vector indices, so strict `<` preserves
+  // the lowest-index tie-break.
+  for (; p < k; ++p) {
+    if (row[p] < bv) {
+      bv = row[p];
+      bi = static_cast<uint32_t>(p);
+    }
+  }
+  return bi;
+}
+
+uint32_t ArgminAvx2F(const float* row, size_t k) {
+  if (k < 16) {
+    uint32_t b = 0;
+    for (uint32_t p = 1; p < k; ++p) {
+      if (row[p] < row[b]) b = p;
+    }
+    return b;
+  }
+  // Same dual-chain structure as ArgminAvx2D: disjoint index classes mod
+  // 16 per (chain, lane) slot, reduced lexicographically at the end.
+  alignas(32) float vals[16];
+  alignas(32) int32_t idxs[16];
+  int lanes;
+  size_t p;
+  if (k >= 32) {
+    __m256 best0 = _mm256_loadu_ps(row);
+    __m256 best1 = _mm256_loadu_ps(row + 8);
+    __m256i bidx0 = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    __m256i bidx1 = _mm256_setr_epi32(8, 9, 10, 11, 12, 13, 14, 15);
+    __m256i idx0 = bidx0;
+    __m256i idx1 = bidx1;
+    const __m256i step = _mm256_set1_epi32(16);
+    for (p = 16; p + 16 <= k; p += 16) {
+      idx0 = _mm256_add_epi32(idx0, step);
+      idx1 = _mm256_add_epi32(idx1, step);
+      const __m256 v0 = _mm256_loadu_ps(row + p);
+      const __m256 v1 = _mm256_loadu_ps(row + p + 8);
+      const __m256 lt0 = _mm256_cmp_ps(v0, best0, _CMP_LT_OQ);
+      const __m256 lt1 = _mm256_cmp_ps(v1, best1, _CMP_LT_OQ);
+      best0 = _mm256_blendv_ps(best0, v0, lt0);
+      best1 = _mm256_blendv_ps(best1, v1, lt1);
+      bidx0 = _mm256_castps_si256(_mm256_blendv_ps(
+          _mm256_castsi256_ps(bidx0), _mm256_castsi256_ps(idx0), lt0));
+      bidx1 = _mm256_castps_si256(_mm256_blendv_ps(
+          _mm256_castsi256_ps(bidx1), _mm256_castsi256_ps(idx1), lt1));
+    }
+    _mm256_store_ps(vals, best0);
+    _mm256_store_ps(vals + 8, best1);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idxs), bidx0);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idxs + 8), bidx1);
+    lanes = 16;
+  } else {
+    __m256 best = _mm256_loadu_ps(row);
+    __m256i best_idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    __m256i idx = best_idx;
+    const __m256i step = _mm256_set1_epi32(8);
+    for (p = 8; p + 8 <= k; p += 8) {
+      idx = _mm256_add_epi32(idx, step);
+      const __m256 v = _mm256_loadu_ps(row + p);
+      const __m256 lt = _mm256_cmp_ps(v, best, _CMP_LT_OQ);
+      best = _mm256_blendv_ps(best, v, lt);
+      best_idx = _mm256_castps_si256(_mm256_blendv_ps(
+          _mm256_castsi256_ps(best_idx), _mm256_castsi256_ps(idx), lt));
+    }
+    _mm256_store_ps(vals, best);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idxs), best_idx);
+    lanes = 8;
+  }
+  float bv = vals[0];
+  uint32_t bi = static_cast<uint32_t>(idxs[0]);
+  for (int lane = 1; lane < lanes; ++lane) {
+    const uint32_t li = static_cast<uint32_t>(idxs[lane]);
+    if (vals[lane] < bv || (vals[lane] == bv && li < bi)) {
+      bv = vals[lane];
+      bi = li;
+    }
+  }
+  for (; p < k; ++p) {
+    if (row[p] < bv) {
+      bv = row[p];
+      bi = static_cast<uint32_t>(p);
+    }
+  }
+  return bi;
+}
+
+}  // namespace
+
+const Kernels* Avx2KernelsOrNull() {
+  if (!CpuSupportsAvx2()) return nullptr;
+  static const Kernels table = {KernelBackend::kAvx2, CostRowAvx2D,
+                                CostRowAvx2F, ArgminAvx2D, ArgminAvx2F};
+  return &table;
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace rmgp
+
+#else  // !defined(__AVX2__)
+
+namespace rmgp {
+namespace kernels {
+namespace internal {
+
+const Kernels* Avx2KernelsOrNull() { return nullptr; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace rmgp
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,21 @@
+#ifndef RMGP_CORE_KERNELS_INTERNAL_H_
+#define RMGP_CORE_KERNELS_INTERNAL_H_
+
+#include "core/kernels.h"
+
+namespace rmgp {
+namespace kernels {
+namespace internal {
+
+/// The AVX2 kernel table, or nullptr when the build lacks the AVX2
+/// translation unit or the running CPU lacks the instructions. Defined in
+/// kernels_avx2.cc (the only TU compiled with -mavx2); every other symbol
+/// of that TU has internal linkage so no AVX2 code can leak into the
+/// baseline-ISA path via ODR merging.
+[[nodiscard]] const Kernels* Avx2KernelsOrNull();
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_KERNELS_INTERNAL_H_

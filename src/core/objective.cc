@@ -1,6 +1,7 @@
 #include "core/objective.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <string>
 
@@ -91,7 +92,12 @@ Status VerifyEquilibrium(const Instance& inst, const Assignment& a,
   RMGP_RETURN_IF_ERROR(ValidateAssignment(inst, a));
   for (NodeId v = 0; v < inst.num_users(); ++v) {
     const BestResponse br = ComputeBestResponse(inst, a, v);
-    if (br.best_cost < br.current_cost - tolerance) {
+    // Scale-aware margin, the same shape as internal::StrictlyBetter: at
+    // costs around 1e9 an absolute 1e-9 margin is below one ulp, so a
+    // solver-accepted equilibrium would be rejected on rounding noise
+    // alone (and the incremental DCHECKs would oscillate).
+    if (br.best_cost <
+        br.current_cost - tolerance * (1.0 + std::abs(br.current_cost))) {
       return Status::FailedPrecondition(
           "user " + std::to_string(v) + " can deviate from class " +
           std::to_string(a[v]) + " (cost " + std::to_string(br.current_cost) +
@@ -100,6 +106,16 @@ Status VerifyEquilibrium(const Instance& inst, const Assignment& a,
     }
   }
   return Status::OK();
+}
+
+double ObjectiveLowerBound(const Instance& inst) {
+  double c_min_sum = 0.0;
+  std::vector<double> cost(inst.num_classes());
+  for (NodeId v = 0; v < inst.num_users(); ++v) {
+    inst.AssignmentCostsFor(v, cost.data());
+    c_min_sum += *std::min_element(cost.begin(), cost.end());
+  }
+  return inst.alpha() * c_min_sum;
 }
 
 double PriceOfAnarchyBound(const Instance& inst) {

@@ -57,11 +57,20 @@ BestResponse ComputeBestResponse(const Instance& inst, const Assignment& a,
                                  NodeId v);
 
 /// Verifies that `a` is a pure Nash equilibrium: no user can strictly
-/// reduce C_v by a unilateral deviation (beyond a tolerance for
-/// floating-point noise). Returns FailedPrecondition naming the first
-/// profitable deviation otherwise.
+/// reduce C_v by a unilateral deviation beyond a *relative* tolerance —
+/// a deviation counts only when it improves by more than
+/// tolerance * (1 + |current cost|), so instances with costs around 1e9
+/// are judged by the same yardstick as unit-scale ones. Returns
+/// FailedPrecondition naming the first profitable deviation otherwise.
 Status VerifyEquilibrium(const Instance& inst, const Assignment& a,
                          double tolerance = 1e-9);
+
+/// A lower bound on Equation 1 over *all* assignments: every user at its
+/// cheapest class and no cut edges, i.e. α·Σ_v min_p CN·c(v,p). Social
+/// cost is nonnegative, so objective(a) >= bound for every valid a; the
+/// serving layer divides a served objective by this to get a realized
+/// optimality gap (the per-query analogue of EmpiricalPoA).
+[[nodiscard]] double ObjectiveLowerBound(const Instance& inst);
 
 /// The Theorem 2 upper bound on the price of anarchy:
 ///   PoA <= 1 + ((1-α)/α) · (deg_avg · w_avg) / (2 · c_avg),

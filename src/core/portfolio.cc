@@ -1,0 +1,115 @@
+#include "core/portfolio.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace rmgp {
+
+std::vector<SolverOptions> MakePortfolioInstanceOptions(
+    const PortfolioOptions& options) {
+  std::vector<SolverOptions> configs;
+  configs.reserve(options.num_instances);
+  // Seeds for the random racers come from a generator keyed on the template
+  // seed, so the whole portfolio is reproducible from one number and the
+  // first two (deterministic-heuristic) racers never consume draws.
+  Rng rng(options.solver.seed);
+  for (uint32_t i = 0; i < options.num_instances; ++i) {
+    SolverOptions o = options.solver;
+    o.num_threads = 1;
+    o.record_rounds = false;
+    o.record_potential = false;
+    if (i == 0) {
+      o.init = InitPolicy::kClosestClass;  // "+i+o"
+      o.order = OrderPolicy::kDegreeDesc;
+    } else if (i == 1) {
+      o.init = InitPolicy::kClosestClass;  // "+i", id order
+      o.order = OrderPolicy::kNodeId;
+    } else {
+      o.init = InitPolicy::kRandom;
+      o.order = OrderPolicy::kRandom;
+      o.seed = rng.Next();
+    }
+    configs.push_back(std::move(o));
+  }
+  return configs;
+}
+
+Result<PortfolioResult> SolvePortfolio(const Instance& inst,
+                                       const PortfolioOptions& options) {
+  if (options.num_instances == 0) {
+    return Status::InvalidArgument("portfolio needs at least one instance");
+  }
+  const std::vector<SolverOptions> configs =
+      MakePortfolioInstanceOptions(options);
+  const size_t num = configs.size();
+
+  // One slot per racer; slots are written by distinct tasks and read only
+  // after Wait(), so no synchronization beyond the pool's is needed.
+  std::vector<std::optional<Result<SolveResult>>> slots(num);
+  {
+    const size_t workers =
+        options.num_threads > 0 ? options.num_threads : num;
+    ThreadPool pool(workers);
+    for (size_t i = 0; i < num; ++i) {
+      pool.Submit([&inst, &options, &configs, &slots, i] {
+        slots[i].emplace(Solve(options.kind, inst, configs[i]));
+      });
+    }
+    pool.Wait();
+  }
+
+  PortfolioResult out;
+  out.instances.resize(num);
+  out.sample.best = std::numeric_limits<double>::infinity();
+  out.sample.worst = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  size_t winner = num;  // sentinel: no valid instance yet
+  const Status* first_error = nullptr;
+  for (size_t i = 0; i < num; ++i) {
+    PortfolioInstance& rec = out.instances[i];
+    rec.init = configs[i].init;
+    rec.order = configs[i].order;
+    rec.seed = configs[i].seed;
+    const Result<SolveResult>& slot = *slots[i];
+    if (!slot.ok()) {
+      if (first_error == nullptr) first_error = &slot.status();
+      continue;
+    }
+    const SolveResult& r = slot.value();
+    rec.ok = true;
+    rec.converged = r.converged;
+    rec.timed_out = r.timed_out;
+    rec.rounds = r.rounds;
+    rec.best_response_evals = r.counters.best_response_evals;
+    rec.potential = r.potential;
+    rec.objective_total = r.objective.total;
+    rec.total_millis = r.total_millis;
+    sum += r.objective.total;
+    out.sample.best = std::min(out.sample.best, r.objective.total);
+    out.sample.worst = std::max(out.sample.worst, r.objective.total);
+    ++out.sample.num_starts;
+    // Strict < keeps the lowest index on Φ ties, so the winner is
+    // deterministic regardless of completion order.
+    if (winner == num ||
+        r.potential < out.instances[winner].potential) {
+      winner = i;
+    }
+  }
+  if (winner == num) {
+    if (first_error != nullptr) return *first_error;
+    return Status::Internal("no portfolio instance produced a result");
+  }
+  out.sample.mean = sum / static_cast<double>(out.sample.num_starts);
+  out.sample.spread =
+      out.sample.best > 0 ? out.sample.worst / out.sample.best : 0.0;
+  out.winner = winner;
+  out.best = std::move(slots[winner]->value());
+  return out;
+}
+
+}  // namespace rmgp

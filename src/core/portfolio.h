@@ -1,0 +1,97 @@
+#ifndef RMGP_CORE_PORTFOLIO_H_
+#define RMGP_CORE_PORTFOLIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/game_analysis.h"
+#include "core/instance.h"
+#include "core/solver.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// Deadline-racing solver portfolio: P independent solver instances with
+/// diverse initialization heuristics race under one shared deadline /
+/// cancel token, and the lowest-Φ valid assignment at expiry wins.
+///
+/// Rationale: best-response dynamics converge to *some* equilibrium of the
+/// potential game, and which basin a run lands in is decided almost
+/// entirely by the initial assignment and examination order (§3.1's "+i"
+/// and "+o" heuristics). Racing diverse starts therefore buys objective
+/// quality the way multi-start sampling does — but anytime: every instance
+/// is valid after its round 0, so even an expired deadline returns a
+/// usable assignment, just a worse one.
+struct PortfolioOptions {
+  /// Number of racing instances P. Instance 0 runs "+i+o" (closest-class
+  /// init, degree-descending order), instance 1 runs "+i" with node-id
+  /// order, instances 2+ run random init/order with per-instance seeds
+  /// derived from `solver.seed`.
+  uint32_t num_instances = 4;
+
+  /// Solver variant every instance runs (the racers differ in starting
+  /// point, not algorithm).
+  SolverKind kind = SolverKind::kGlobalTable;
+
+  /// Template options. `deadline`, `cancel_token`, `max_rounds` and
+  /// `kernels` are inherited by every instance; `init`, `order`, `seed`,
+  /// `num_threads` and the record flags are overridden per instance (each
+  /// racer is single-threaded — parallelism comes from racing).
+  SolverOptions solver;
+
+  /// Pool width for the race; 0 means one worker per instance. Results
+  /// never depend on this value: instances are mutually independent, so
+  /// only wall time changes with the schedule.
+  uint32_t num_threads = 0;
+};
+
+/// Progress/outcome record of one racer, for observability and for the
+/// serving layer's per-query instance breakdown.
+struct PortfolioInstance {
+  InitPolicy init = InitPolicy::kRandom;
+  OrderPolicy order = OrderPolicy::kRandom;
+  uint64_t seed = 0;
+  bool ok = false;         ///< instance produced a valid assignment
+  bool converged = false;  ///< reached a Nash equilibrium before expiry
+  bool timed_out = false;  ///< stopped by the shared deadline/cancel token
+  uint32_t rounds = 0;
+  uint64_t best_response_evals = 0;
+  double potential = 0.0;        ///< Φ of the instance's final assignment
+  double objective_total = 0.0;  ///< Equation 1 at the final assignment
+  double total_millis = 0.0;
+};
+
+struct PortfolioResult {
+  /// The winning run: lowest Φ among instances that produced a valid
+  /// assignment, lowest instance index on ties.
+  SolveResult best;
+  size_t winner = 0;  ///< index into `instances` of the winning racer
+
+  /// One record per configured instance, in configuration order.
+  std::vector<PortfolioInstance> instances;
+
+  /// Multi-start-style spread statistics over the successful instances'
+  /// objective totals (best/worst/mean/spread), reusable with
+  /// EmpiricalPoA. `best_assignment` is left empty — the winning
+  /// assignment lives in `best.assignment`.
+  EquilibriumSample sample;
+};
+
+/// Expands `options` into the P per-instance SolverOptions described on
+/// PortfolioOptions::num_instances. Deterministic in `options` alone, so
+/// callers (and tests) can predict exactly what each racer runs.
+[[nodiscard]] std::vector<SolverOptions> MakePortfolioInstanceOptions(
+    const PortfolioOptions& options);
+
+/// Races the portfolio and returns the best valid result. With no
+/// deadline every instance converges, the winner is an equilibrium, and
+/// the outcome is a pure function of `options` (thread count included).
+/// With an expired or tight deadline the winner may be a non-converged
+/// but always *valid* assignment. Fails only if every instance failed.
+Result<PortfolioResult> SolvePortfolio(const Instance& inst,
+                                       const PortfolioOptions& options);
+
+}  // namespace rmgp
+
+#endif  // RMGP_CORE_PORTFOLIO_H_

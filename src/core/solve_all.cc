@@ -77,6 +77,7 @@ Result<SolveResult> SolveAll(const Instance& inst,
 
   const NodeId n = inst.num_users();
   const double social_factor = 1.0 - inst.alpha();
+  const kernels::Kernels& kn = kernels::ResolveKernels(options.kernels);
   ThreadPool pool(options.num_threads);
 
   // ---- Round 0: elimination, coloring, initial strategies, reduced GT.
@@ -130,11 +131,7 @@ Result<SolveResult> SolveAll(const Instance& inst,
         const uint32_t ci = CandidateIndex(cands, res.assignment[v]);
         RMGP_CHECK_NE(ci, kNoIdx);
         cur_idx[v] = ci;
-        uint32_t b = 0;
-        for (uint32_t i = 1; i < cands.size(); ++i) {
-          if (row[i] < row[b]) b = i;
-        }
-        best_idx[v] = b;
+        best_idx[v] = kn.argmin_d(row, cands.size());
       }
     });
   }
@@ -261,7 +258,7 @@ Result<SolveResult> SolveAll(const Instance& inst,
           }
           if (u.idx_old != kNoIdx) {
             frow[u.idx_old] += u.delta;
-            if (internal::ArgminOnIncrease(frow, flen, u.idx_old,
+            if (internal::ArgminOnIncrease(kn, frow, flen, u.idx_old,
                                            &best_idx[u.f])) {
               ++res.counters.argmin_cache_repairs;
             }

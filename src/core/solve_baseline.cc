@@ -40,6 +40,7 @@ Result<SolveResult> SolveBaseline(const Instance& inst,
   // Best-response rounds (Fig 3 lines 4-14).
   double audit_phi =
       kDChecksEnabled ? EvaluatePotential(inst, res.assignment) : 0.0;
+  const kernels::Kernels& kn = kernels::ResolveKernels(options.kernels);
   std::vector<double> scratch(inst.num_classes());
   for (uint32_t round = 1; round <= options.max_rounds; ++round) {
     if (internal::StopRequested(options)) {
@@ -49,8 +50,8 @@ Result<SolveResult> SolveBaseline(const Instance& inst,
     Stopwatch round_sw;
     uint64_t deviations = 0;
     for (NodeId v : order) {
-      const BestResponse br =
-          BestResponseScratch(inst, res.assignment, v, max_sc, scratch.data());
+      const BestResponse br = BestResponseScratch(inst, res.assignment, v,
+                                                  max_sc, kn, scratch.data());
       if (StrictlyBetter(br.best_cost, br.current_cost)) {
         res.assignment[v] = br.best_class;
         ++deviations;

@@ -5,6 +5,7 @@
 #include "core/solver.h"
 #include "core/solver_audit.h"
 #include "core/solver_internal.h"
+#include "util/aligned.h"
 #include "util/dcheck.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -37,13 +38,14 @@ Result<SolveResult> SolveBestImprovement(const Instance& inst,
   const NodeId n = inst.num_users();
   const ClassId k = inst.num_classes();
   const double social_factor = 1.0 - inst.alpha();
+  const kernels::Kernels& kn = kernels::ResolveKernels(options.kernels);
 
   Stopwatch init_sw;
   res.assignment = internal::MakeInitialAssignment(inst, options, &rng);
   const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
 
   // Global table as in RMGP_gt, with the per-row argmin cache.
-  std::vector<double> gt(static_cast<size_t>(n) * k);
+  AlignedBuffer<double> gt(static_cast<size_t>(n) * k);
   std::vector<ClassId> best(n);
   res.counters.gt_cells_built = static_cast<uint64_t>(n) * k;
   res.counters.gt_rebuilds = 1;
@@ -53,8 +55,8 @@ Result<SolveResult> SolveBestImprovement(const Instance& inst,
         static_cast<size_t>(n) * k >= internal::kMinCellsForParallelInit) {
       pool = std::make_unique<ThreadPool>(options.num_threads);
     }
-    internal::BuildDenseGlobalTable(inst, res.assignment, max_sc, pool.get(),
-                                    gt.data(), best.data());
+    internal::BuildDenseGlobalTable(inst, res.assignment, max_sc, kn,
+                                    pool.get(), gt.data(), best.data());
     if (pool != nullptr) res.counters.thread_busy_millis = pool->BusyMillis();
   }
 
@@ -113,7 +115,7 @@ Result<SolveResult> SolveBestImprovement(const Instance& inst,
       frow[bv] -= delta;
       internal::ArgminOnDecrease(frow, bv, &best[f]);
       frow[old] += delta;
-      if (internal::ArgminOnIncrease(frow, k, old, &best[f])) {
+      if (internal::ArgminOnIncrease(kn, frow, k, old, &best[f])) {
         ++res.counters.argmin_cache_repairs;
       }
       res.counters.gt_incremental_updates += 2;

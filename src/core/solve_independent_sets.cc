@@ -70,6 +70,7 @@ Result<SolveResult> SolveIndependentSets(const Instance& inst,
 
   ThreadPool pool(options.num_threads);
   const ClassId k = inst.num_classes();
+  const kernels::Kernels& kn = kernels::ResolveKernels(options.kernels);
   // Per-slot deviation tallies, padded to a cache line each: a worker's
   // counter bump must not ping-pong the line holding a neighbor slot's
   // counter (or anything else) while `assignment` writes are in flight.
@@ -96,7 +97,7 @@ Result<SolveResult> SolveIndependentSets(const Instance& inst,
             for (size_t i = begin; i < end; ++i) {
               const NodeId v = group[i];
               const BestResponse br = BestResponseScratch(
-                  inst, res.assignment, v, max_sc, scratch);
+                  inst, res.assignment, v, max_sc, kn, scratch);
               if (StrictlyBetter(br.best_cost, br.current_cost)) {
                 res.assignment[v] = br.best_class;
                 ++local_dev;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "core/kernels.h"
 #include "core/objective.h"
 #include "util/status.h"
 
@@ -68,6 +69,12 @@ struct SolverOptions {
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
   std::shared_ptr<const std::atomic<bool>> cancel_token;
+
+  /// Hot-row kernel selection (core/kernels.h): kAuto uses the widest SIMD
+  /// backend the host supports, kScalar pins the reference loops. Both
+  /// produce bit-identical assignments — this is a verification/bench
+  /// knob, not a quality trade-off.
+  kernels::KernelPolicy kernels = kernels::KernelPolicy::kAuto;
 };
 
 /// Lightweight per-run observability counters. Maintained unconditionally

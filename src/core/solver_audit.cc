@@ -63,7 +63,11 @@ Status CheckDenseTable(const Instance& inst, const Assignment& a,
   std::vector<double> fresh(k);
   for (NodeId v = 0; v < n; v += stride) {
     const double* row = table + static_cast<size_t>(v) * k;
-    (void)internal::BestResponseScratch(inst, a, v, max_sc, fresh.data());
+    // The audit recomputes with the scalar reference kernels on purpose —
+    // it must stay independent of whatever backend built the table.
+    (void)internal::BestResponseScratch(inst, a, v, max_sc,
+                                        kernels::ScalarKernels(),
+                                        fresh.data());
     for (ClassId p = 0; p < k; ++p) {
       if (!CellsMatch(row[p], fresh[p])) {
         return Status::FailedPrecondition(

@@ -31,11 +31,13 @@ Assignment MakeInitialAssignment(const Instance& inst,
       }
       break;
     case InitPolicy::kClosestClass: {
+      // kernels argmin == std::min_element: both keep the first (lowest
+      // index) occurrence of the minimum.
+      const kernels::Kernels& kn = kernels::ResolveKernels(options.kernels);
       std::vector<double> cost(k);
       for (NodeId v = 0; v < n; ++v) {
         inst.AssignmentCostsFor(v, cost.data());
-        a[v] = static_cast<ClassId>(
-            std::min_element(cost.begin(), cost.end()) - cost.begin());
+        a[v] = static_cast<ClassId>(kn.argmin_d(cost.data(), k));
       }
       break;
     }
@@ -177,7 +179,8 @@ ReducedStrategies ComputeReducedStrategies(const Instance& inst,
 
 void BuildDenseGlobalTable(const Instance& inst, const Assignment& a,
                            const std::vector<double>& max_sc,
-                           ThreadPool* pool, double* table, ClassId* best) {
+                           const kernels::Kernels& kn, ThreadPool* pool,
+                           double* table, ClassId* best) {
   const NodeId n = inst.num_users();
   const ClassId k = inst.num_classes();
   const double alpha = inst.alpha();
@@ -186,18 +189,12 @@ void BuildDenseGlobalTable(const Instance& inst, const Assignment& a,
     for (size_t v = row_begin; v < row_end; ++v) {
       double* row = table + v * k;
       inst.AssignmentCostsFor(static_cast<NodeId>(v), row);
-      for (ClassId p = 0; p < k; ++p) {
-        row[p] = alpha * row[p] + max_sc[v];
-      }
+      kn.cost_row_d(row, k, alpha, max_sc[v]);
       for (const Neighbor& nb :
            inst.graph().neighbors(static_cast<NodeId>(v))) {
         row[a[nb.node]] -= social_factor * 0.5 * nb.weight;
       }
-      ClassId b = 0;
-      for (ClassId p = 1; p < k; ++p) {
-        if (row[p] < row[b]) b = p;
-      }
-      best[v] = b;
+      best[v] = static_cast<ClassId>(kn.argmin_d(row, k));
     }
   };
   if (pool != nullptr && pool->num_threads() > 1) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "core/kernels.h"
 #include "core/objective.h"
 #include "core/solver.h"
 #include "util/rng.h"
@@ -58,16 +59,14 @@ inline void ArgminOnDecrease(const double* row, ClassId i, ClassId* best) {
 
 /// Same, after the cell at `i` *increased* (a friend left class i). O(1)
 /// unless the cached best itself got dearer, in which case the row must be
-/// rescanned. Returns true iff a repair scan ran (SolverCounters::
-/// argmin_cache_repairs); `len` is the row length.
-inline bool ArgminOnIncrease(const double* row, ClassId len, ClassId i,
-                             ClassId* best) {
+/// rescanned — with `kn.argmin_d` (core/kernels.h), whose lowest-index
+/// tie-break matches the strict `<` scan this cache replaces. Returns true
+/// iff a repair scan ran (SolverCounters::argmin_cache_repairs); `len` is
+/// the row length.
+inline bool ArgminOnIncrease(const kernels::Kernels& kn, const double* row,
+                             ClassId len, ClassId i, ClassId* best) {
   if (i != *best) return false;
-  ClassId b = 0;
-  for (ClassId p = 1; p < len; ++p) {
-    if (row[p] < row[b]) b = p;
-  }
-  *best = b;
+  *best = static_cast<ClassId>(kn.argmin_d(row, len));
   return true;
 }
 
@@ -116,20 +115,25 @@ ReducedStrategies ComputeReducedStrategies(const Instance& inst,
 /// global table GT[v][p] = C_v(p, π) into `table` and the lowest-index
 /// argmin of each row into `best`. Rows only read `a`, so with a pool they
 /// are built in parallel chunks; per-row arithmetic order is fixed, making
-/// the result bit-identical to the sequential build.
+/// the result bit-identical to the sequential build. The affine row
+/// transform and the row argmin run through `kn` (core/kernels.h) — every
+/// backend is bit-identical, so neither the table nor `best` depends on
+/// the kernel choice.
 void BuildDenseGlobalTable(const Instance& inst, const Assignment& a,
                            const std::vector<double>& max_sc,
-                           ThreadPool* pool, double* table, ClassId* best);
+                           const kernels::Kernels& kn, ThreadPool* pool,
+                           double* table, ClassId* best);
 
 /// Precomputed maxSC_v = (1-α)·½·Σ_f w(v,f) for every user (Fig 3 line 3).
 std::vector<double> ComputeMaxSocialCosts(const Instance& inst);
 
 /// Fig 3 lines 6-13 for one player: computes the per-class costs of user v
 /// into `scratch` (size k) and returns the best class/cost plus the cost of
-/// the current strategy. `max_sc` is the precomputed maxSC_v array.
+/// the current strategy. `max_sc` is the precomputed maxSC_v array; the
+/// dense row transform and argmin run through `kn`.
 BestResponse BestResponseScratch(const Instance& inst, const Assignment& a,
                                  NodeId v, const std::vector<double>& max_sc,
-                                 double* scratch);
+                                 const kernels::Kernels& kn, double* scratch);
 
 /// Same, but restricted to the reduced strategy list of v (§4.1).
 /// `scratch` must have size k; entries outside the list are untouched.

@@ -25,12 +25,13 @@ Result<GameTrace> TraceGame(const Instance& inst,
   const std::vector<double> max_sc = internal::ComputeMaxSocialCosts(inst);
 
   const ClassId k = inst.num_classes();
+  const kernels::Kernels& kn = kernels::ResolveKernels(options.kernels);
   std::vector<double> scratch(k);
   for (uint32_t round = 1; round <= options.max_rounds; ++round) {
     uint64_t deviations = 0;
     for (NodeId v : order) {
       const BestResponse br =
-          BestResponseScratch(inst, res.assignment, v, max_sc,
+          BestResponseScratch(inst, res.assignment, v, max_sc, kn,
                               scratch.data());
       TraceStep step;
       step.round = round;

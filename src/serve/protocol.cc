@@ -64,6 +64,7 @@ Status ParseSolve(const Json& obj, Request* req) {
       !ReadNumber(obj, "deadline_ms", &req->query.deadline_ms, &error) ||
       !ReadNumber(obj, "seed", &seed, &error) ||
       !ReadBool(obj, "cache", &req->query.use_cache, &error) ||
+      !ReadBool(obj, "portfolio", &req->query.portfolio, &error) ||
       !ReadBool(obj, "return_assignment", &req->query.return_assignment,
                 &error)) {
     return Status::InvalidArgument(error);
@@ -236,11 +237,19 @@ std::string SerializeQueryResult(double id, const QueryResult& result) {
   out.Set("objective", result.objective.total);
   out.Set("assignment_cost", result.objective.assignment);
   out.Set("social_cost", result.objective.social);
+  out.Set("potential", result.potential);
   out.Set("cache", CacheOutcomeName(result.cache));
   out.Set("queue_ms", result.queue_ms);
   out.Set("solve_ms", result.solve_ms);
   out.Set("total_ms", result.total_ms);
   out.Set("session_version", result.session_version);
+  out.Set("realized_gap", result.realized_gap);
+  if (result.portfolio_width > 0) {
+    Json portfolio = Json::Object();
+    portfolio.Set("width", result.portfolio_width);
+    portfolio.Set("winner", result.portfolio_winner);
+    out.Set("portfolio", std::move(portfolio));
+  }
   if (!result.assignment.empty()) {
     Json assignment = Json::Array();
     for (const ClassId c : result.assignment) assignment.Append(c);

@@ -18,7 +18,7 @@ namespace serve {
 ///
 ///   {"id":1,"op":"solve","events":[[x,y],...],"alpha":0.5,
 ///    "solver":"RMGP_gt","deadline_ms":50,"seed":7,"cost_scale":1.0,
-///    "cache":true,"return_assignment":false}
+///    "cache":true,"portfolio":false,"return_assignment":false}
 ///   {"id":2,"op":"update_user","user":17,"location":[x,y]}
 ///   {"id":3,"op":"nearby","box":[min_x,min_y,max_x,max_y]}
 ///   {"id":4,"op":"metrics"}

@@ -5,6 +5,7 @@
 
 #include "core/cost_provider.h"
 #include "core/instance.h"
+#include "core/portfolio.h"
 #include "util/dcheck.h"
 
 namespace rmgp {
@@ -14,6 +15,21 @@ namespace {
 double MillisBetween(std::chrono::steady_clock::time_point from,
                      std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Solver name -> SolverKind for the portfolio path. RMGP_pq is absent
+/// from SolverKind (it is an ablation outside the Solve() dispatch), so a
+/// portfolio query naming it is rejected rather than silently remapped.
+Result<SolverKind> SolverKindFromName(const std::string& name) {
+  if (name == "RMGP_b") return SolverKind::kBaseline;
+  if (name == "RMGP_se") return SolverKind::kStrategyElimination;
+  if (name == "RMGP_is") return SolverKind::kIndependentSets;
+  if (name == "RMGP_gt") return SolverKind::kGlobalTable;
+  if (name == "RMGP_all") return SolverKind::kAll;
+  if (name == "RMGP_pq") {
+    return Status::InvalidArgument("portfolio does not support RMGP_pq");
+  }
+  return Status::InvalidArgument("unknown solver: " + name);
 }
 
 std::shared_ptr<const SessionSnapshot> MakeSeedSnapshot(
@@ -154,7 +170,10 @@ Result<QueryResult> RmgpService::Execute(
   Instance inst = std::move(inst_or).value();
   inst.set_cost_scale(query.cost_scale);
 
-  const bool cache_enabled = query.use_cache && config_.cache_capacity > 0;
+  // Portfolio races bypass the cache (see Query::portfolio): hits would
+  // return a single-start equilibrium under a best-of-P label.
+  const bool cache_enabled =
+      query.use_cache && !query.portfolio && config_.cache_capacity > 0;
   out.cache = cache_enabled ? CacheOutcome::kMiss : CacheOutcome::kDisabled;
   bool solved = false;
   if (cache_enabled) {
@@ -165,6 +184,8 @@ Result<QueryResult> RmgpService::Execute(
       // Recompute through the same EvaluateObjective a fresh solve ends
       // with (FinalizeResult), so a hit's objective is bit-comparable.
       out.objective = EvaluateObjective(inst, out.assignment);
+      out.potential =
+          out.objective.assignment + 0.5 * out.objective.social;
       out.converged = true;
       out.cache =
           hit->warm ? CacheOutcome::kWarmHit : CacheOutcome::kExactHit;
@@ -182,13 +203,31 @@ Result<QueryResult> RmgpService::Execute(
                             std::chrono::duration<double, std::milli>(
                                 query.deadline_ms));
     }
-    Result<SolveResult> res_or = RunSolver(query.solver, inst, options);
+    Result<SolveResult> res_or = Status::Internal("unreachable");
+    if (query.portfolio) {
+      Result<SolverKind> kind = SolverKindFromName(query.solver);
+      if (!kind.ok()) return kind.status();
+      PortfolioOptions popt;
+      popt.kind = kind.value();
+      popt.num_instances = std::max<uint32_t>(1, config_.portfolio_width);
+      popt.solver = options;
+      Result<PortfolioResult> race_or = SolvePortfolio(inst, popt);
+      if (!race_or.ok()) return race_or.status();
+      out.portfolio_width = popt.num_instances;
+      out.portfolio_winner = static_cast<uint32_t>(race_or->winner);
+      metrics_.Counter("solve.portfolio")
+          .fetch_add(1, std::memory_order_relaxed);
+      res_or = std::move(race_or->best);
+    } else {
+      res_or = RunSolver(query.solver, inst, options);
+    }
     if (!res_or.ok()) return res_or.status();
     SolveResult res = std::move(res_or).value();
     out.converged = res.converged;
     out.timed_out = res.timed_out;
     out.rounds = res.rounds;
     out.objective = res.objective;
+    out.potential = res.potential;
     if (cache_enabled && res.converged && !res.timed_out) {
       // Insert under the query's own snapshot: if an epoch committed while
       // we solved, the entry is self-consistent but stale and dies at the
@@ -199,6 +238,13 @@ Result<QueryResult> RmgpService::Execute(
     }
     out.assignment = std::move(res.assignment);
   }
+
+  // Realized optimality gap: served objective over the assignment-cost
+  // floor. O(n·k), the same order as one table build — cheap next to the
+  // solve, and it makes quality regressions visible per query instead of
+  // only in offline EmpiricalPoA sweeps.
+  const double floor = ObjectiveLowerBound(inst);
+  out.realized_gap = floor > 0.0 ? out.objective.total / floor : 0.0;
 
   const auto end = std::chrono::steady_clock::now();
   out.solve_ms = MillisBetween(start, end);
@@ -228,6 +274,9 @@ Result<QueryResult> RmgpService::Execute(
   metrics_.Histogram("solve.queue_ms").Record(out.queue_ms);
   metrics_.Histogram("solve.solve_ms").Record(out.solve_ms);
   metrics_.Histogram("solve.total_ms").Record(out.total_ms);
+  if (out.realized_gap > 0.0) {
+    metrics_.Histogram("solve.realized_gap").Record(out.realized_gap);
+  }
 
   if (!query.return_assignment) {
     out.assignment.clear();

@@ -39,6 +39,7 @@ struct ServiceConfig {
                                        ///< carry and still patch the cache
                                        ///< in place; beyond it the cache is
                                        ///< cleared instead
+  uint32_t portfolio_width = 4;  ///< racers launched for Query::portfolio
 };
 
 /// One partitioning query: the classes P (event locations), the preference
@@ -52,6 +53,13 @@ struct Query {
   double deadline_ms = 0.0;  ///< 0 = no deadline; else anytime semantics
   bool use_cache = true;
   bool return_assignment = false;
+
+  /// Race ServiceConfig::portfolio_width diverse-start instances of the
+  /// chosen solver under the query deadline and return the lowest-Φ valid
+  /// assignment (core/portfolio.h). Bypasses the equilibrium cache: a
+  /// cached single-start equilibrium is not comparable to a best-of-P
+  /// race. Not supported for RMGP_pq.
+  bool portfolio = false;
 };
 
 /// How the equilibrium cache participated in a query.
@@ -63,6 +71,8 @@ const char* CacheOutcomeName(CacheOutcome outcome);
 struct QueryResult {
   Assignment assignment;  ///< filled iff Query::return_assignment
   CostBreakdown objective;
+  double potential = 0.0;  ///< Φ (Equation 4) at the served assignment —
+                           ///< the quantity portfolio racing minimizes
   bool converged = false;
   bool timed_out = false;  ///< deadline tripped; assignment is the anytime
                            ///< partial solution (still valid)
@@ -72,6 +82,17 @@ struct QueryResult {
   double solve_ms = 0.0;  ///< solver (or cache path) alone
   double total_ms = 0.0;  ///< submit -> completion
   uint64_t session_version = 0;  ///< session state the query saw
+
+  /// objective.total / ObjectiveLowerBound(instance): how far the served
+  /// assignment sits above the assignment-cost floor (>= 1 up to rounding;
+  /// 0 when the floor is 0). Lower is better; the per-query analogue of
+  /// the EmpiricalPoA spread.
+  double realized_gap = 0.0;
+
+  /// Portfolio racing (Query::portfolio): racers launched and the index
+  /// of the winning instance; width 0 means the query ran single-start.
+  uint32_t portfolio_width = 0;
+  uint32_t portfolio_winner = 0;
 };
 
 /// Receipt for one accepted mutation.

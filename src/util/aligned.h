@@ -1,0 +1,65 @@
+#ifndef RMGP_UTIL_ALIGNED_H_
+#define RMGP_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+#include "util/logging.h"
+
+namespace rmgp {
+
+/// Alignment of SIMD row storage: one cache line, which also satisfies the
+/// 32-byte AVX2 vector alignment and keeps adjacent rows from sharing a
+/// line when the row stride divides evenly.
+inline constexpr size_t kRowAlignBytes = 64;
+
+/// Minimal aligned heap array for the hot-path cost tables. Unlike
+/// std::vector there is no growth path and no allocator indirection: the
+/// base pointer is kRowAlignBytes-aligned so the SIMD kernels
+/// (core/kernels.h) see aligned rows whenever the row stride preserves
+/// alignment. Storage is zero-filled on allocation, matching the
+/// value-initialization of the std::vector buffers it replaces.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivial_v<T>,
+                "AlignedBuffer only holds trivial hot-path element types");
+
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t size) { Reset(size); }
+
+  /// Releases the old storage and allocates `size` zero-filled elements.
+  void Reset(size_t size) {
+    data_.reset();
+    size_ = size;
+    if (size == 0) return;
+    // std::aligned_alloc requires the byte count to be a multiple of the
+    // alignment; round up — the padding is never read.
+    size_t bytes = size * sizeof(T);
+    bytes = (bytes + kRowAlignBytes - 1) / kRowAlignBytes * kRowAlignBytes;
+    T* p = static_cast<T*>(std::aligned_alloc(kRowAlignBytes, bytes));
+    RMGP_CHECK(p != nullptr);
+    std::memset(p, 0, bytes);
+    data_.reset(p);
+  }
+
+  [[nodiscard]] T* data() { return data_.get(); }
+  [[nodiscard]] const T* data() const { return data_.get(); }
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] T& operator[](size_t i) { return data_.get()[i]; }
+  [[nodiscard]] const T& operator[](size_t i) const { return data_.get()[i]; }
+
+ private:
+  struct Deleter {
+    void operator()(T* p) const { std::free(p); }
+  };
+  std::unique_ptr<T, Deleter> data_;
+  size_t size_ = 0;
+};
+
+}  // namespace rmgp
+
+#endif  // RMGP_UTIL_ALIGNED_H_

@@ -1,0 +1,20 @@
+#include "util/cpu_features.h"
+
+namespace rmgp {
+
+bool CpuSupportsAvx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports reads cpuid once and caches; wrapping it in a
+  // local static keeps the answer stable even if the libgcc cache is ever
+  // bypassed.
+  static const bool has_avx2 = __builtin_cpu_supports("avx2") != 0;
+  return has_avx2;
+#else
+  return false;
+#endif
+}
+
+const char* CpuSimdName() { return CpuSupportsAvx2() ? "avx2" : "scalar"; }
+
+}  // namespace rmgp

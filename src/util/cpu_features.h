@@ -1,0 +1,19 @@
+#ifndef RMGP_UTIL_CPU_FEATURES_H_
+#define RMGP_UTIL_CPU_FEATURES_H_
+
+namespace rmgp {
+
+/// True iff the running CPU supports AVX2, detected once via cpuid on
+/// x86-64 (always false elsewhere). The kernels dispatcher
+/// (core/kernels.h) consults this at first use, so binaries compiled with
+/// the baseline ISA still pick up the wide kernels on capable hosts.
+[[nodiscard]] bool CpuSupportsAvx2();
+
+/// Short name of the widest SIMD tier the hot-path kernels can use on this
+/// host: "avx2" or "scalar". Reported in the bench environment metadata so
+/// two BENCH files can be compared with their kernel tiers visible.
+[[nodiscard]] const char* CpuSimdName();
+
+}  // namespace rmgp
+
+#endif  // RMGP_UTIL_CPU_FEATURES_H_

@@ -1,0 +1,191 @@
+// SIMD/scalar kernel agreement: every backend of a kernel must be
+// bit-identical to the scalar reference — same cost-row bytes, same
+// lowest-index argmin on ties and infinities. The solver audits and the
+// cached-argmin repair path assume one canonical winner per row, so a
+// single index of disagreement here is a solver correctness bug, not a
+// rounding nit.
+
+#include "core/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "util/cpu_features.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace kernels {
+namespace {
+
+constexpr double kInfD = std::numeric_limits<double>::infinity();
+constexpr float kInfF = std::numeric_limits<float>::infinity();
+
+/// A row mixing finite cells, +/-infinity (excluded-strategy and
+/// forced-strategy sentinels), and deliberate duplicates (ties).
+std::vector<double> RandomRowD(Rng* rng, size_t k) {
+  std::vector<double> row(k);
+  for (double& x : row) {
+    const double roll = rng->UniformDouble();
+    if (roll < 0.10) {
+      x = kInfD;
+    } else if (roll < 0.15) {
+      x = -kInfD;
+    } else {
+      x = rng->UniformDouble(-1e3, 1e3);
+    }
+  }
+  if (k >= 2) {
+    row[rng->UniformInt(k)] = row[rng->UniformInt(k)];
+  }
+  return row;
+}
+
+std::vector<float> RandomRowF(Rng* rng, size_t k) {
+  std::vector<float> row(k);
+  for (float& x : row) {
+    const double roll = rng->UniformDouble();
+    if (roll < 0.10) {
+      x = kInfF;
+    } else if (roll < 0.15) {
+      x = -kInfF;
+    } else {
+      x = static_cast<float>(rng->UniformDouble(-1e3, 1e3));
+    }
+  }
+  if (k >= 2) {
+    row[rng->UniformInt(k)] = row[rng->UniformInt(k)];
+  }
+  return row;
+}
+
+TEST(KernelsTest, ArgminDoubleAgreesWithScalar) {
+  const Kernels& scalar = ScalarKernels();
+  const Kernels& simd = SimdKernels();
+  Rng rng(101);
+  // k sweeps through every vector-width remainder class, well past the
+  // widest backend's full-vector threshold.
+  for (size_t k = 1; k <= 70; ++k) {
+    for (int rep = 0; rep < 32; ++rep) {
+      const std::vector<double> row = RandomRowD(&rng, k);
+      EXPECT_EQ(simd.argmin_d(row.data(), k), scalar.argmin_d(row.data(), k))
+          << "k=" << k << " rep=" << rep;
+    }
+  }
+}
+
+TEST(KernelsTest, ArgminFloatAgreesWithScalar) {
+  const Kernels& scalar = ScalarKernels();
+  const Kernels& simd = SimdKernels();
+  Rng rng(202);
+  for (size_t k = 1; k <= 70; ++k) {
+    for (int rep = 0; rep < 32; ++rep) {
+      const std::vector<float> row = RandomRowF(&rng, k);
+      EXPECT_EQ(simd.argmin_f(row.data(), k), scalar.argmin_f(row.data(), k))
+          << "k=" << k << " rep=" << rep;
+    }
+  }
+}
+
+TEST(KernelsTest, CostRowDoubleIsBitIdenticalToScalar) {
+  const Kernels& scalar = ScalarKernels();
+  const Kernels& simd = SimdKernels();
+  Rng rng(303);
+  for (size_t k = 1; k <= 70; ++k) {
+    const std::vector<double> base_row = RandomRowD(&rng, k);
+    const double alpha = rng.UniformDouble(0.01, 0.99);
+    const double base = rng.UniformDouble(0.0, 1e3);
+    std::vector<double> a = base_row;
+    std::vector<double> b = base_row;
+    scalar.cost_row_d(a.data(), k, alpha, base);
+    simd.cost_row_d(b.data(), k, alpha, base);
+    // memcmp, not ==: bit identity is the contract (rules out any fused
+    // multiply-add sneaking into either side).
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), k * sizeof(double)), 0)
+        << "k=" << k;
+  }
+}
+
+TEST(KernelsTest, CostRowFloatIsBitIdenticalToScalar) {
+  const Kernels& scalar = ScalarKernels();
+  const Kernels& simd = SimdKernels();
+  Rng rng(404);
+  for (size_t k = 1; k <= 70; ++k) {
+    const std::vector<float> base_row = RandomRowF(&rng, k);
+    const float alpha = static_cast<float>(rng.UniformDouble(0.01, 0.99));
+    const float base = static_cast<float>(rng.UniformDouble(0.0, 1e3));
+    std::vector<float> a = base_row;
+    std::vector<float> b = base_row;
+    scalar.cost_row_f(a.data(), k, alpha, base);
+    simd.cost_row_f(b.data(), k, alpha, base);
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), k * sizeof(float)), 0)
+        << "k=" << k;
+  }
+}
+
+TEST(KernelsTest, TiesPickLowestIndex) {
+  for (const Kernels* kn : {&ScalarKernels(), &SimdKernels()}) {
+    // All-equal row: the canonical winner is index 0.
+    std::vector<double> flat(37, 2.5);
+    EXPECT_EQ(kn->argmin_d(flat.data(), flat.size()), 0u);
+    // Duplicate minimum at 3 and 29 (same and different AVX2 lanes as 3).
+    std::vector<double> dup(33, 10.0);
+    dup[3] = -1.0;
+    dup[29] = -1.0;
+    EXPECT_EQ(kn->argmin_d(dup.data(), dup.size()), 3u);
+    dup[7] = -1.0;  // a third copy, in lane 3's class at width 4
+    EXPECT_EQ(kn->argmin_d(dup.data(), dup.size()), 3u);
+    std::vector<float> dupf(dup.begin(), dup.end());
+    EXPECT_EQ(kn->argmin_f(dupf.data(), dupf.size()), 3u);
+  }
+}
+
+TEST(KernelsTest, InfinityRows) {
+  for (const Kernels* kn : {&ScalarKernels(), &SimdKernels()}) {
+    // All +inf (every strategy excluded): winner is index 0.
+    std::vector<double> all_inf(19, kInfD);
+    EXPECT_EQ(kn->argmin_d(all_inf.data(), all_inf.size()), 0u);
+    // A single -inf dominates everything.
+    std::vector<double> one_low(19, 5.0);
+    one_low[11] = -kInfD;
+    EXPECT_EQ(kn->argmin_d(one_low.data(), one_low.size()), 11u);
+    // First of two -inf wins.
+    one_low[17] = -kInfD;
+    EXPECT_EQ(kn->argmin_d(one_low.data(), one_low.size()), 11u);
+  }
+}
+
+TEST(KernelsTest, SingleElementRow) {
+  for (const Kernels* kn : {&ScalarKernels(), &SimdKernels()}) {
+    const double cell = 3.25;
+    EXPECT_EQ(kn->argmin_d(&cell, 1), 0u);
+    const float cellf = -7.5f;
+    EXPECT_EQ(kn->argmin_f(&cellf, 1), 0u);
+  }
+}
+
+TEST(KernelsTest, PolicyResolution) {
+  EXPECT_EQ(ResolveKernels(KernelPolicy::kScalar).backend,
+            KernelBackend::kScalar);
+  // kAuto resolves to the process default (which may itself be pinned to
+  // scalar via RMGP_KERNELS); either way it is a valid table.
+  const Kernels& active = ResolveKernels(KernelPolicy::kAuto);
+  EXPECT_NE(active.cost_row_d, nullptr);
+  EXPECT_NE(active.argmin_d, nullptr);
+}
+
+TEST(KernelsTest, SimdBackendMatchesCpuid) {
+  if (CpuSupportsAvx2()) {
+    EXPECT_EQ(SimdKernels().backend, KernelBackend::kAvx2);
+  } else {
+    EXPECT_EQ(SimdKernels().backend, KernelBackend::kScalar);
+  }
+  EXPECT_STREQ(KernelBackendName(KernelBackend::kScalar), "scalar");
+  EXPECT_STREQ(KernelBackendName(KernelBackend::kAvx2), "avx2");
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace rmgp

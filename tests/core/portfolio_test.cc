@@ -1,0 +1,152 @@
+#include "core/portfolio.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "testing/test_util.h"
+
+namespace rmgp {
+namespace {
+
+TEST(PortfolioTest, RejectsZeroInstances) {
+  auto owned = testing::MakeRandomInstance(10, 3, 0.3, 0.5, 1);
+  PortfolioOptions opt;
+  opt.num_instances = 0;
+  EXPECT_FALSE(SolvePortfolio(owned.get(), opt).ok());
+}
+
+TEST(PortfolioTest, InstanceConfigsFollowContract) {
+  PortfolioOptions opt;
+  opt.num_instances = 5;
+  opt.solver.seed = 77;
+  opt.solver.num_threads = 8;  // template value: must be overridden to 1
+  const auto configs = MakePortfolioInstanceOptions(opt);
+  ASSERT_EQ(configs.size(), 5u);
+  EXPECT_EQ(configs[0].init, InitPolicy::kClosestClass);
+  EXPECT_EQ(configs[0].order, OrderPolicy::kDegreeDesc);
+  EXPECT_EQ(configs[1].init, InitPolicy::kClosestClass);
+  EXPECT_EQ(configs[1].order, OrderPolicy::kNodeId);
+  for (size_t i = 2; i < configs.size(); ++i) {
+    EXPECT_EQ(configs[i].init, InitPolicy::kRandom);
+    EXPECT_EQ(configs[i].order, OrderPolicy::kRandom);
+  }
+  EXPECT_NE(configs[2].seed, configs[3].seed);
+  EXPECT_NE(configs[3].seed, configs[4].seed);
+  for (const SolverOptions& c : configs) {
+    EXPECT_EQ(c.num_threads, 1u);
+    EXPECT_FALSE(c.record_rounds);
+  }
+  // Deterministic expansion: same options, same configs (seeds included).
+  const auto again = MakePortfolioInstanceOptions(opt);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(configs[i].seed, again[i].seed);
+  }
+}
+
+TEST(PortfolioTest, NoDeadlineWinnerIsEquilibriumWithLowestPotential) {
+  auto owned = testing::MakeRandomInstance(60, 5, 0.15, 0.5, 3);
+  PortfolioOptions opt;
+  opt.num_instances = 4;
+  opt.solver.seed = 5;
+  auto res = SolvePortfolio(owned.get(), opt);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->best.converged);
+  EXPECT_TRUE(VerifyEquilibrium(owned.get(), res->best.assignment).ok());
+  ASSERT_EQ(res->instances.size(), 4u);
+  for (const PortfolioInstance& pi : res->instances) {
+    EXPECT_TRUE(pi.ok);
+    EXPECT_TRUE(pi.converged);
+    EXPECT_FALSE(pi.timed_out);
+    // The winner's Φ lower-bounds every racer's Φ.
+    EXPECT_GE(pi.potential + 1e-9, res->best.potential);
+  }
+  EXPECT_LT(res->winner, res->instances.size());
+  EXPECT_EQ(res->instances[res->winner].potential, res->best.potential);
+  // Sample statistics cover all successful racers.
+  EXPECT_EQ(res->sample.num_starts, 4u);
+  EXPECT_LE(res->sample.best, res->sample.mean + 1e-9);
+  EXPECT_LE(res->sample.mean, res->sample.worst + 1e-9);
+  EXPECT_NEAR(res->best.objective.total,
+              res->instances[res->winner].objective_total, 1e-9);
+}
+
+TEST(PortfolioTest, ResultInvariantToThreadCount) {
+  auto owned = testing::MakeRandomInstance(50, 4, 0.2, 0.5, 9);
+  PortfolioOptions opt;
+  opt.num_instances = 4;
+  opt.solver.seed = 11;
+  Assignment reference;
+  double reference_phi = 0.0;
+  size_t reference_winner = 0;
+  for (const uint32_t threads : {1u, 2u, 8u}) {
+    opt.num_threads = threads;
+    auto res = SolvePortfolio(owned.get(), opt);
+    ASSERT_TRUE(res.ok());
+    if (reference.empty()) {
+      reference = res->best.assignment;
+      reference_phi = res->best.potential;
+      reference_winner = res->winner;
+    } else {
+      // Racers are mutually independent and single-threaded, so the pool
+      // schedule must not leak into the outcome.
+      EXPECT_EQ(res->best.assignment, reference) << "threads=" << threads;
+      EXPECT_EQ(res->best.potential, reference_phi);
+      EXPECT_EQ(res->winner, reference_winner);
+    }
+  }
+}
+
+TEST(PortfolioTest, ExpiredDeadlineStillReturnsValidAssignment) {
+  auto owned = testing::MakeRandomInstance(80, 5, 0.15, 0.5, 21);
+  PortfolioOptions opt;
+  opt.num_instances = 3;
+  opt.solver.seed = 13;
+  opt.solver.deadline =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  auto res = SolvePortfolio(owned.get(), opt);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  // Round 0 always completes, so even a pre-expired deadline yields a
+  // valid (if unconverged) assignment from every racer.
+  EXPECT_TRUE(ValidateAssignment(owned.get(), res->best.assignment).ok());
+  EXPECT_TRUE(res->best.timed_out);
+  EXPECT_FALSE(res->best.converged);
+  for (const PortfolioInstance& pi : res->instances) {
+    EXPECT_TRUE(pi.ok);
+    EXPECT_TRUE(pi.timed_out);
+    EXPECT_GE(pi.potential + 1e-9, res->best.potential);
+  }
+}
+
+TEST(PortfolioTest, CancelTokenStopsRace) {
+  auto owned = testing::MakeRandomInstance(80, 5, 0.15, 0.5, 22);
+  PortfolioOptions opt;
+  opt.num_instances = 3;
+  auto cancel = std::make_shared<std::atomic<bool>>(true);
+  opt.solver.cancel_token = cancel;
+  auto res = SolvePortfolio(owned.get(), opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->best.timed_out);
+  EXPECT_TRUE(ValidateAssignment(owned.get(), res->best.assignment).ok());
+}
+
+TEST(PortfolioTest, MoreInstancesNeverWorse) {
+  auto owned = testing::MakeRandomInstance(50, 4, 0.2, 0.5, 31);
+  PortfolioOptions small;
+  small.num_instances = 1;
+  small.solver.seed = 4;
+  PortfolioOptions large = small;
+  large.num_instances = 6;
+  auto a = SolvePortfolio(owned.get(), small);
+  auto b = SolvePortfolio(owned.get(), large);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Instance 0's configuration is a prefix of the larger portfolio, so
+  // the larger race can only match or beat it.
+  EXPECT_LE(b->best.potential, a->best.potential + 1e-9);
+}
+
+}  // namespace
+}  // namespace rmgp

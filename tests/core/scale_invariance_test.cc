@@ -130,8 +130,58 @@ INSTANTIATE_TEST_SUITE_P(
         std::tuple<double, NormalizationPolicy>>& info) {
       const int a = static_cast<int>(std::get<0>(info.param) * 10);
       const int p = static_cast<int>(std::get<1>(info.param));
-      return "a" + std::to_string(a) + "_p" + std::to_string(p);
+      // Append, not operator+ chaining: GCC 12's -Wrestrict mis-fires on
+      // the inlined rvalue insert.
+      std::string name = "a";
+      name.append(std::to_string(a));
+      name.append("_p");
+      name.append(std::to_string(p));
+      return name;
     });
+
+TEST(ScaleInvarianceTest, VerifyEquilibriumToleranceIsRelative) {
+  // One user, two classes, costs ~1e9 differing by 0.4 (4e-10 relative):
+  // an "improvement" that small is rounding noise at this magnitude and
+  // must not flunk verification — the old absolute 1e-9 margin rejected
+  // it. A percent-scale deviation must still fail.
+  Assignment a{0};
+  auto noise = testing::MakeInstance(1, 2, {}, {1.0e9, 1.0e9 - 0.4}, 0.5);
+  EXPECT_TRUE(VerifyEquilibrium(noise.get(), a).ok());
+  auto real = testing::MakeInstance(1, 2, {}, {1.0e9, 0.99e9}, 0.5);
+  EXPECT_FALSE(VerifyEquilibrium(real.get(), a).ok());
+}
+
+TEST(ScaleInvarianceTest, BillionScaleCostsStillVerifyAsEquilibria) {
+  // Regression for the VerifyEquilibrium tolerance: at costs around 1e9
+  // an *absolute* 1e-9 margin sits below one ulp, so the incremental
+  // solvers' rounding drift (±w/2 patches applied in chronological
+  // rather than neighbor order) made solver-accepted equilibria flunk
+  // verification. The relative margin judges every scale alike.
+  const NodeId n = 40;
+  const ClassId k = 5;
+  Rng rng(17);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(0.2)) {
+        edges.push_back({u, v, rng.UniformDouble(1e8, 1e9)});
+      }
+    }
+  }
+  std::vector<double> costs(static_cast<size_t>(n) * k);
+  for (double& c : costs) c = rng.UniformDouble(1e8, 1e9);
+  auto owned = testing::MakeInstance(n, k, edges, costs, 0.5);
+  for (SolverKind kind : {SolverKind::kBaseline, SolverKind::kGlobalTable,
+                          SolverKind::kAll}) {
+    SolverOptions opt;
+    opt.seed = 6;
+    auto res = Solve(kind, owned.get(), opt);
+    ASSERT_TRUE(res.ok()) << SolverKindName(kind);
+    EXPECT_TRUE(res->converged) << SolverKindName(kind);
+    EXPECT_TRUE(VerifyEquilibrium(owned.get(), res->assignment).ok())
+        << SolverKindName(kind);
+  }
+}
 
 }  // namespace
 }  // namespace rmgp

@@ -38,8 +38,8 @@ DenseState MakeDenseState(NodeId n = 30, ClassId k = 4, uint64_t seed = 11) {
   s.table.resize(static_cast<size_t>(n) * k);
   s.best.resize(n);
   internal::BuildDenseGlobalTable(s.owned.get(), s.a, s.max_sc,
-                                  /*pool=*/nullptr, s.table.data(),
-                                  s.best.data());
+                                  kernels::ScalarKernels(), /*pool=*/nullptr,
+                                  s.table.data(), s.best.data());
   return s;
 }
 

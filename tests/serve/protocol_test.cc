@@ -16,7 +16,8 @@ TEST(ServeProtocolTest, ParsesSolveWithAllFields) {
   auto req = ParseRequest(
       R"({"id":7,"op":"solve","events":[[0.1,0.2],[0.3,0.4]],)"
       R"("alpha":0.8,"cost_scale":2.0,"solver":"RMGP_pq","seed":9,)"
-      R"("deadline_ms":25,"cache":false,"return_assignment":true})");
+      R"("deadline_ms":25,"cache":false,"portfolio":true,)"
+      R"("return_assignment":true})");
   ASSERT_TRUE(req.ok()) << req.status().ToString();
   EXPECT_EQ(req->op, Request::Op::kSolve);
   EXPECT_DOUBLE_EQ(req->id, 7.0);
@@ -28,6 +29,7 @@ TEST(ServeProtocolTest, ParsesSolveWithAllFields) {
   EXPECT_EQ(req->query.seed, 9u);
   EXPECT_DOUBLE_EQ(req->query.deadline_ms, 25.0);
   EXPECT_FALSE(req->query.use_cache);
+  EXPECT_TRUE(req->query.portfolio);
   EXPECT_TRUE(req->query.return_assignment);
 }
 
@@ -39,6 +41,7 @@ TEST(ServeProtocolTest, SolveDefaultsMatchQueryDefaults) {
   EXPECT_EQ(req->query.solver, defaults.solver);
   EXPECT_DOUBLE_EQ(req->query.deadline_ms, defaults.deadline_ms);
   EXPECT_EQ(req->query.use_cache, defaults.use_cache);
+  EXPECT_EQ(req->query.portfolio, defaults.portfolio);
 }
 
 TEST(ServeProtocolTest, RejectsMalformedRequests) {
@@ -161,10 +164,14 @@ TEST(ServeProtocolTest, QueryResultSerializationRoundTrips) {
   result.objective.total = 12.5;
   result.objective.assignment = 7.25;
   result.objective.social = 5.25;
+  result.potential = 9.875;
   result.converged = true;
   result.rounds = 4;
   result.cache = CacheOutcome::kWarmHit;
   result.solve_ms = 1.5;
+  result.realized_gap = 1.25;
+  result.portfolio_width = 4;
+  result.portfolio_winner = 2;
   result.assignment = {0, 1, 1, 0};
 
   auto doc = Json::Parse(SerializeQueryResult(3.0, result));
@@ -176,6 +183,11 @@ TEST(ServeProtocolTest, QueryResultSerializationRoundTrips) {
   EXPECT_FALSE(obj.At("timed_out").AsBool());
   EXPECT_DOUBLE_EQ(obj.At("objective").AsDouble(), 12.5);
   EXPECT_EQ(obj.At("cache").AsString(), "warm_hit");
+  EXPECT_DOUBLE_EQ(obj.At("potential").AsDouble(), 9.875);
+  EXPECT_DOUBLE_EQ(obj.At("realized_gap").AsDouble(), 1.25);
+  ASSERT_NE(obj.Find("portfolio"), nullptr);
+  EXPECT_DOUBLE_EQ(obj.At("portfolio").At("width").AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(obj.At("portfolio").At("winner").AsDouble(), 2.0);
   ASSERT_NE(obj.Find("assignment"), nullptr);
   EXPECT_EQ(obj.At("assignment").size(), 4u);
 }

@@ -359,6 +359,67 @@ TEST(ServeServiceTest, RejectsInvalidQueries) {
   EXPECT_FALSE(s.service->Solve(bad_solver).ok());
 }
 
+TEST(ServeServiceTest, RealizedGapIsReportedAndSane) {
+  Session s;
+  Query query = s.MakeQuery();
+  query.use_cache = false;
+  auto res = s.service->Solve(query);
+  ASSERT_TRUE(res.ok());
+  // The gap divides the served objective by the assignment-cost floor, so
+  // any valid assignment sits at or above 1 (up to rounding).
+  EXPECT_GE(res->realized_gap, 1.0 - 1e-9);
+  EXPECT_EQ(res->portfolio_width, 0u);  // single-start query
+  const Json metrics = s.service->MetricsJson();
+  EXPECT_NE(metrics.At("latency").Find("solve.realized_gap"), nullptr);
+}
+
+TEST(ServeServiceTest, PortfolioQueryNeverWorseThanSingleStart) {
+  ServiceConfig config;
+  config.portfolio_width = 4;
+  Session s(config);
+  Query query = s.MakeQuery();
+  query.use_cache = false;
+  auto single = s.service->Solve(query);
+  ASSERT_TRUE(single.ok());
+
+  query.portfolio = true;
+  auto raced = s.service->Solve(query);
+  ASSERT_TRUE(raced.ok()) << raced.status().ToString();
+  EXPECT_TRUE(raced->converged);
+  EXPECT_EQ(raced->portfolio_width, 4u);
+  EXPECT_LT(raced->portfolio_winner, 4u);
+  EXPECT_EQ(raced->cache, CacheOutcome::kDisabled);
+  // Instance 1 of the portfolio runs exactly the serving defaults
+  // (closest-class init, node-id order), so the best-Φ winner can only
+  // match or beat the single-start potential.
+  EXPECT_LE(raced->potential, single->potential + 1e-9);
+  EXPECT_GE(raced->realized_gap, 1.0 - 1e-9);
+}
+
+TEST(ServeServiceTest, PortfolioUnderDeadlineStillAnswers) {
+  ServiceConfig config;
+  config.portfolio_width = 3;
+  Session s(config, 2000);
+  Query query = s.MakeQuery();
+  query.use_cache = false;
+  query.portfolio = true;
+  query.deadline_ms = 1e-6;  // effectively already expired at submit
+  auto res = s.service->Solve(query);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->timed_out);
+  EXPECT_FALSE(res->converged);
+  EXPECT_EQ(res->assignment.size(), s.service->num_users());
+  EXPECT_GE(res->realized_gap, 1.0 - 1e-9);
+}
+
+TEST(ServeServiceTest, PortfolioRejectsBestImprovement) {
+  Session s;
+  Query query = s.MakeQuery();
+  query.portfolio = true;
+  query.solver = "RMGP_pq";
+  EXPECT_FALSE(s.service->Solve(query).ok());
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace rmgp

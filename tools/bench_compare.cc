@@ -8,10 +8,14 @@
 // Churn runs (BENCH_churn.json, rmgp_loadgen --churn): the serving gates
 // plus the incremental-vs-cold speedup shrinking below
 // --speedup-threshold × baseline, or either equilibrium going invalid.
+// Solver runs with a /3 "kernels" section can additionally be gated with
+// --kernel-speedup-threshold: every SIMD row kernel of the *candidate*
+// must beat the scalar reference by the given absolute factor.
 //
 // Usage: bench_compare BASELINE.json CANDIDATE.json
 //                      [--time-threshold F] [--quality-threshold F]
 //                      [--hit-rate-threshold F] [--speedup-threshold F]
+//                      [--kernel-speedup-threshold F]
 //                      [--ignore-time]
 //        bench_compare --check FILE.json
 //
@@ -37,7 +41,7 @@ void Usage(const char* argv0) {
                "usage: %s BASELINE.json CANDIDATE.json"
                " [--time-threshold F] [--quality-threshold F]"
                " [--hit-rate-threshold F] [--speedup-threshold F]"
-               " [--ignore-time]\n"
+               " [--kernel-speedup-threshold F] [--ignore-time]\n"
                "       %s --check FILE.json\n"
                "  --time-threshold     allowed relative slowdown"
                " (default 0.10 = 10%%)\n"
@@ -48,6 +52,9 @@ void Usage(const char* argv0) {
                "  --speedup-threshold  fraction of the baseline"
                " incremental-vs-cold speedup the candidate must keep,"
                " churn docs (default 0.5; negative disables)\n"
+               "  --kernel-speedup-threshold  absolute scalar/SIMD speedup"
+               " every candidate kernel record must reach, solver docs"
+               " (default -1 = disabled)\n"
                "  --ignore-time        skip the wall-time gate"
                " (cross-machine diffs)\n"
                "  --check              validate one file instead of"
@@ -69,8 +76,8 @@ int CheckFile(const std::string& path) {
   const Json* schema = root.is_object() ? root.Find("schema") : nullptr;
   const std::string tag =
       (schema != nullptr && schema->is_string()) ? schema->AsString() : "";
-  if (tag != kBenchSchema && tag != kBenchSchemaV1 && tag != kServingSchema &&
-      tag != kChurnSchema) {
+  if (tag != kBenchSchema && tag != kBenchSchemaV2 && tag != kBenchSchemaV1 &&
+      tag != kServingSchema && tag != kChurnSchema) {
     std::fprintf(stderr, "%s: unknown schema '%s'\n", path.c_str(),
                  tag.c_str());
     return 1;
@@ -117,6 +124,8 @@ int Main(int argc, char** argv) {
       options.hit_rate_threshold = next_double();
     } else if (std::strcmp(argv[i], "--speedup-threshold") == 0) {
       options.speedup_threshold = next_double();
+    } else if (std::strcmp(argv[i], "--kernel-speedup-threshold") == 0) {
+      options.kernel_speedup_threshold = next_double();
     } else if (std::strcmp(argv[i], "--ignore-time") == 0) {
       options.time_threshold = -1.0;
     } else if (std::strcmp(argv[i], "--check") == 0) {

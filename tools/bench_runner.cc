@@ -99,7 +99,21 @@ int Main(int argc, char** argv) {
     std::printf("%s", mtable.ToString().c_str());
   }
 
-  const Json doc = SuiteToJson(config, records, micro);
+  const std::vector<KernelRecord> kernels = RunKernelsBench(config);
+  if (!kernels.empty()) {
+    Table ktable({"kernel", "backend", "rows", "k", "scalar ns/row",
+                  "simd ns/row", "speedup"});
+    for (const KernelRecord& rec : kernels) {
+      ktable.AddRow({rec.name, rec.backend, Table::Int(rec.rows),
+                     Table::Int(rec.num_classes),
+                     Table::Num(rec.scalar_ns_per_row, 1),
+                     Table::Num(rec.simd_ns_per_row, 1),
+                     Table::Num(rec.speedup, 2)});
+    }
+    std::printf("%s", ktable.ToString().c_str());
+  }
+
+  const Json doc = SuiteToJson(config, records, micro, kernels);
   if (Status s = doc.WriteFile(out_path); !s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 1;

@@ -1,13 +1,16 @@
 #include "tools/bench_suite.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <utility>
 
 #include "core/cost_provider.h"
 #include "core/instance.h"
+#include "core/kernels.h"
 #include "graph/generators.h"
+#include "util/aligned.h"
 #include "util/build_info.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -214,6 +217,7 @@ SuiteConfig QuickConfig() {
   // Small enough for the CI perf-smoke job, large enough (n·k = 128k
   // cells) that the parallel build path actually engages.
   config.micro_users = 2000;
+  config.kernel_rows = 1024;
   return config;
 }
 
@@ -337,9 +341,111 @@ std::vector<MicroRecord> RunMicrobench(const SuiteConfig& config) {
   return micro;
 }
 
+std::vector<KernelRecord> RunKernelsBench(const SuiteConfig& config) {
+  std::vector<KernelRecord> out;
+  if (config.kernel_rows == 0 || config.micro_classes == 0) return out;
+  const size_t rows = config.kernel_rows;
+  const size_t k = config.micro_classes;
+  // Pad the row stride to a full cache line so every row starts aligned —
+  // the same layout the dense global table uses.
+  const size_t stride_d =
+      (k + kRowAlignBytes / sizeof(double) - 1) /
+      (kRowAlignBytes / sizeof(double)) * (kRowAlignBytes / sizeof(double));
+  const size_t stride_f =
+      (k + kRowAlignBytes / sizeof(float) - 1) /
+      (kRowAlignBytes / sizeof(float)) * (kRowAlignBytes / sizeof(float));
+  AlignedBuffer<double> rows_d(rows * stride_d);
+  AlignedBuffer<float> rows_f(rows * stride_f);
+  Rng rng(config.seed + 300);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < k; ++c) {
+      const double v = rng.UniformDouble();
+      rows_d[r * stride_d + c] = v;
+      rows_f[r * stride_f + c] = static_cast<float>(v);
+    }
+  }
+
+  const kernels::Kernels& scalar = kernels::ScalarKernels();
+  const kernels::Kernels& simd = kernels::SimdKernels();
+  using Clock = std::chrono::steady_clock;
+  // alpha = 1, base = 0 makes the in-place row transform the identity, so
+  // repeated timed sweeps act on bit-identical data instead of drifting.
+  constexpr double kAlphaD = 1.0, kBaseD = 0.0;
+  constexpr float kAlphaF = 1.0F, kBaseF = 0.0F;
+  constexpr int kPasses = 5;   // min-of-passes defeats scheduler noise
+  constexpr int kSweeps = 8;   // timed sweeps over all rows per pass
+
+  // Times `body(row_index)` over every row, kSweeps times per pass, and
+  // returns the minimum ns-per-row across passes. The kernels are reached
+  // through function pointers, so calls are opaque to the optimizer and
+  // cannot be hoisted or elided.
+  const auto time_ns_per_row = [&](const auto& body) {
+    double best = 0.0;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      const auto t0 = Clock::now();
+      for (int sweep = 0; sweep < kSweeps; ++sweep) {
+        for (size_t r = 0; r < rows; ++r) body(r);
+      }
+      const double ns =
+          std::chrono::duration<double, std::nano>(Clock::now() - t0)
+              .count() /
+          (static_cast<double>(kSweeps) * static_cast<double>(rows));
+      if (pass == 0 || ns < best) best = ns;
+    }
+    return best;
+  };
+
+  const auto add = [&](const char* name, double scalar_ns, double simd_ns) {
+    KernelRecord rec;
+    rec.name = name;
+    rec.backend = kernels::KernelBackendName(simd.backend);
+    rec.rows = static_cast<uint32_t>(rows);
+    rec.num_classes = static_cast<ClassId>(k);
+    rec.scalar_ns_per_row = scalar_ns;
+    rec.simd_ns_per_row = simd_ns;
+    rec.speedup = simd_ns > 0.0 ? scalar_ns / simd_ns : 0.0;
+    out.push_back(std::move(rec));
+  };
+
+  add("row_build_d",
+      time_ns_per_row([&](size_t r) {
+        scalar.cost_row_d(rows_d.data() + r * stride_d, k, kAlphaD, kBaseD);
+      }),
+      time_ns_per_row([&](size_t r) {
+        simd.cost_row_d(rows_d.data() + r * stride_d, k, kAlphaD, kBaseD);
+      }));
+  // The argmin result feeds an accumulator a later RMGP_CHECK consumes, so
+  // even a hypothetical whole-program optimizer could not drop the loops.
+  uint64_t sink = 0;
+  add("argmin_d",
+      time_ns_per_row([&](size_t r) {
+        sink += scalar.argmin_d(rows_d.data() + r * stride_d, k);
+      }),
+      time_ns_per_row([&](size_t r) {
+        sink += simd.argmin_d(rows_d.data() + r * stride_d, k);
+      }));
+  add("row_build_f",
+      time_ns_per_row([&](size_t r) {
+        scalar.cost_row_f(rows_f.data() + r * stride_f, k, kAlphaF, kBaseF);
+      }),
+      time_ns_per_row([&](size_t r) {
+        simd.cost_row_f(rows_f.data() + r * stride_f, k, kAlphaF, kBaseF);
+      }));
+  add("argmin_f",
+      time_ns_per_row([&](size_t r) {
+        sink += scalar.argmin_f(rows_f.data() + r * stride_f, k);
+      }),
+      time_ns_per_row([&](size_t r) {
+        sink += simd.argmin_f(rows_f.data() + r * stride_f, k);
+      }));
+  RMGP_CHECK(sink < ~uint64_t{0});  // consume the sink
+  return out;
+}
+
 Json SuiteToJson(const SuiteConfig& config,
                  const std::vector<BenchRecord>& records,
-                 const std::vector<MicroRecord>& micro) {
+                 const std::vector<MicroRecord>& micro,
+                 const std::vector<KernelRecord>& kernels) {
   Json root = Json::Object();
   root.Set("schema", kBenchSchema);
 
@@ -353,6 +459,7 @@ Json SuiteToJson(const SuiteConfig& config,
   cfg.Set("num_classes", config.num_classes);
   cfg.Set("micro_users", config.micro_users);
   cfg.Set("micro_classes", config.micro_classes);
+  cfg.Set("kernel_rows", config.kernel_rows);
   Json alphas = Json::Array();
   for (double a : config.alphas) alphas.Append(a);
   cfg.Set("alphas", std::move(alphas));
@@ -385,6 +492,20 @@ Json SuiteToJson(const SuiteConfig& config,
     micros.Append(std::move(j));
   }
   root.Set("microbench", std::move(micros));
+
+  Json kerns = Json::Array();
+  for (const KernelRecord& rec : kernels) {
+    Json j = Json::Object();
+    j.Set("name", rec.name);
+    j.Set("backend", rec.backend);
+    j.Set("rows", rec.rows);
+    j.Set("num_classes", rec.num_classes);
+    j.Set("scalar_ns_per_row", rec.scalar_ns_per_row);
+    j.Set("simd_ns_per_row", rec.simd_ns_per_row);
+    j.Set("speedup", rec.speedup);
+    kerns.Append(std::move(j));
+  }
+  root.Set("kernels", std::move(kerns));
   return root;
 }
 
@@ -410,16 +531,19 @@ CompareReport CompareBench(const Json& baseline, const Json& candidate,
     return CompareChurn(baseline, candidate, options);
   }
   // /1 files predate the argmin/worklist counters and the microbench
-  // section; everything the comparator reads is present in both, so old
-  // baselines stay comparable.
+  // section, /2 files predate the kernels section; everything the
+  // comparator reads unconditionally is present in all three, so old
+  // baselines stay comparable (the kernel gate reads only the candidate).
   const auto known_schema = [](const std::string& schema) {
-    return schema == kBenchSchema || schema == kBenchSchemaV1;
+    return schema == kBenchSchema || schema == kBenchSchemaV2 ||
+           schema == kBenchSchemaV1;
   };
   if (!known_schema(schema_of(baseline)) ||
       !known_schema(schema_of(candidate))) {
     report.ok = false;
     report.summary = "schema mismatch: expected matching solver schemas (" +
-                     std::string(kBenchSchema) + " or " + kBenchSchemaV1 +
+                     std::string(kBenchSchema) + ", " + kBenchSchemaV2 +
+                     " or " + kBenchSchemaV1 +
                      "), matching serving schemas (" + kServingSchema +
                      "), or matching churn schemas (" + kChurnSchema +
                      "), got baseline '" + schema_of(baseline) +
@@ -482,6 +606,33 @@ CompareReport CompareBench(const Json& baseline, const Json& candidate,
                   Table::Num(bo), Table::Num(co), verdict});
   }
   report.summary = table.ToString();
+
+  // Kernel gate (opt-in): every kernel record of the candidate must clear
+  // the absolute speedup floor. Gated on the candidate alone — a baseline
+  // predating /3 must not grandfather a candidate whose SIMD path died.
+  if (options.kernel_speedup_threshold >= 0.0) {
+    const Json* kerns =
+        candidate.is_object() ? candidate.Find("kernels") : nullptr;
+    if (kerns == nullptr || !kerns->is_array() || kerns->size() == 0) {
+      report.ok = false;
+      report.regressions.push_back({"kernels", "missing", 0.0, 0.0});
+      report.summary += "kernels section missing from candidate\n";
+    } else {
+      for (size_t i = 0; i < kerns->size(); ++i) {
+        const Json& rec = (*kerns)[i];
+        const std::string name = rec.At("name").AsString();
+        const double speedup = rec.At("speedup").AsDouble();
+        report.summary += "kernel " + name + ": " + Table::Num(speedup, 2) +
+                          "x (" + rec.At("backend").AsString() + ")\n";
+        if (speedup < options.kernel_speedup_threshold) {
+          report.ok = false;
+          report.regressions.push_back(
+              {name, "kernel_speedup", options.kernel_speedup_threshold,
+               speedup});
+        }
+      }
+    }
+  }
   return report;
 }
 

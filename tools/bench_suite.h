@@ -15,10 +15,13 @@ namespace bench {
 /// Version tag of the BENCH_solvers.json layout. Bump only on breaking
 /// schema changes; bench_compare refuses to diff files whose schema tags
 /// it does not understand. /2 added the argmin_cache_repairs and
-/// worklist_pushes counters plus the "microbench" section; /1 files are
-/// still accepted by CompareBench (the comparator only reads fields both
-/// versions share).
-inline constexpr const char* kBenchSchema = "rmgp-bench-solvers/2";
+/// worklist_pushes counters plus the "microbench" section; /3 added the
+/// "kernels" section (SIMD-vs-scalar row-kernel microbench, see
+/// RunKernelsBench). /1 and /2 files are still accepted by CompareBench
+/// (the comparator only reads fields all versions share; the kernel gate
+/// only fires when explicitly enabled).
+inline constexpr const char* kBenchSchema = "rmgp-bench-solvers/3";
+inline constexpr const char* kBenchSchemaV2 = "rmgp-bench-solvers/2";
 inline constexpr const char* kBenchSchemaV1 = "rmgp-bench-solvers/1";
 
 /// Layout tag of BENCH_serving.json, written by tools/rmgp_loadgen.
@@ -52,6 +55,12 @@ struct SuiteConfig {
   /// build is O(|V|·k) and only dominates at high k. 0 disables.
   NodeId micro_users = 20000;
   ClassId micro_classes = 64;
+
+  /// Rows of the SIMD kernel microbench (RunKernelsBench); each row has
+  /// micro_classes cells. Sized to stay cache-resident (2048 × 64 doubles
+  /// = 1 MiB) — the point is kernel throughput, not DRAM bandwidth. 0
+  /// disables the section.
+  uint32_t kernel_rows = 2048;
 };
 
 /// The --quick preset: n=300, k=8, reps=3 — finishes in seconds.
@@ -107,14 +116,38 @@ struct MicroRecord {
 /// microbench is disabled (micro_users or micro_classes of 0).
 std::vector<MicroRecord> RunMicrobench(const SuiteConfig& config);
 
+/// One row of the SIMD kernel microbench: the scalar reference loop raced
+/// against the widest runtime-dispatched backend (core/kernels.h) over the
+/// same aligned row data. ns-per-row values are the min over 3 passes.
+struct KernelRecord {
+  std::string name;     ///< "row_build_d" | "argmin_d" | "row_build_f"
+                        ///< | "argmin_f"
+  std::string backend;  ///< SIMD table raced against scalar ("avx2" when
+                        ///< the host dispatches AVX2, else "scalar")
+  uint32_t rows = 0;
+  ClassId num_classes = 0;       ///< cells per row (k)
+  double scalar_ns_per_row = 0.0;
+  double simd_ns_per_row = 0.0;
+  double speedup = 0.0;  ///< scalar / simd; ~1.0 when no SIMD backend
+};
+
+/// Races the scalar vs SIMD kernel tables on config.kernel_rows rows of
+/// config.micro_classes cells (cost-row build and lowest-index argmin, in
+/// double and float). Returns empty when disabled (kernel_rows or
+/// micro_classes of 0). On hosts without AVX2 both tables are the scalar
+/// one and every speedup reports ~1.0 — the compare gate is opt-in for
+/// exactly this reason.
+std::vector<KernelRecord> RunKernelsBench(const SuiteConfig& config);
+
 /// Serializes a suite run into the schema-stable layout:
 ///   {"schema": ..., "config": {...}, "environment": {...},
-///    "records": [...], "microbench": [...]}.
+///    "records": [...], "microbench": [...], "kernels": [...]}.
 /// `environment` carries util/build_info.h metadata (git sha, compiler,
 /// flags, build type, hardware threads).
 Json SuiteToJson(const SuiteConfig& config,
                  const std::vector<BenchRecord>& records,
-                 const std::vector<MicroRecord>& micro = {});
+                 const std::vector<MicroRecord>& micro = {},
+                 const std::vector<KernelRecord>& kernels = {});
 
 /// Thresholds for CompareBench.
 struct CompareOptions {
@@ -141,6 +174,13 @@ struct CompareOptions {
   /// baseline speedup — wall-clock ratios are noisy in CI). Negative
   /// disables the gate.
   double speedup_threshold = 0.5;
+
+  /// Solver documents only: every kernel record of the *candidate* must
+  /// show at least this scalar/SIMD speedup (an absolute floor, not a
+  /// baseline ratio — the point is "SIMD still engages", and a host
+  /// without AVX2 legitimately reports ~1.0). Negative (the default)
+  /// disables the gate; CI enables it only on the pinned-ISA cell.
+  double kernel_speedup_threshold = -1.0;
 };
 
 /// One detected regression (or missing record).

@@ -125,8 +125,11 @@ std::string Blank(std::string_view content, bool keep_comments) {
           state = State::kRawString;
           size_t d = i + 1;
           while (d < content.size() && content[d] != '(') ++d;
-          raw_delim = ")" + std::string(content.substr(i + 1, d - i - 1)) +
-                      "\"";
+          // Built by append rather than operator+ chaining: GCC 12's
+          // -Wrestrict mis-fires on the inlined rvalue insert.
+          raw_delim.assign(1, ')');
+          raw_delim.append(content.substr(i + 1, d - i - 1));
+          raw_delim.push_back('"');
           out.push_back(' ');
         } else if (c == '\'') {
           state = State::kChar;

@@ -15,7 +15,9 @@
 //                     [--workers N] [--queue-capacity N]
 //                     [--cache-capacity N] [--max-warm-edits N]
 //                     [--churn] [--mutation-frac F] [--epoch-size N]
-//                     [--epoch-patch-budget N] [--quick] [--out FILE]
+//                     [--epoch-patch-budget N]
+//                     [--portfolio] [--portfolio-width P]
+//                     [--quick] [--out FILE]
 //
 // Closed loop (default, --concurrency): at most C queries outstanding —
 // with C <= queue capacity the server never sheds load, so a clean run
@@ -31,6 +33,14 @@
 // switches to schema rmgp-bench-churn/1 and gains an "incremental"
 // section measuring ReEquilibrate vs a cold solve after a ~1% mutation
 // epoch on the same session — the ratio CI gates.
+//
+// --portfolio marks every query in the mix as a portfolio race
+// (Query::portfolio): the server races --portfolio-width diverse-start
+// solver instances under each query's deadline and serves the lowest-Φ
+// result. The artifact gains a per-record "quality" section (potential Φ
+// and realized-gap percentiles over completed queries) so a portfolio run
+// and a single-start run on the same mix and seed are comparable on
+// solution quality, not just latency.
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -93,6 +103,7 @@ struct Args {
   double repeat_frac = 0.40;  // remainder = near-duplicate
   bool churn = false;
   double mutation_frac = 0.2;
+  bool portfolio = false;
   ServiceConfig service;
 };
 
@@ -106,6 +117,7 @@ void Usage(const char* argv0) {
                " [--workers N] [--queue-capacity N] [--cache-capacity N]"
                " [--max-warm-edits N] [--churn] [--mutation-frac F]"
                " [--epoch-size N] [--epoch-patch-budget N]"
+               " [--portfolio] [--portfolio-width P]"
                " [--quick] [--out FILE]\n",
                argv0);
   std::exit(2);
@@ -143,6 +155,7 @@ std::vector<Query> MakeMix(const Args& args) {
     query.alpha = args.alpha;
     query.solver = args.solver;
     query.seed = 1;
+    query.portfolio = args.portfolio;
     const double kind = rng.UniformDouble();
     if (q == 0 || kind < args.fresh_frac) {
       query.events = fresh_events();
@@ -406,12 +419,16 @@ struct Collector {
   uint64_t epochs_committed = 0;
   double max_deadline_overshoot_ms = 0.0;
   std::vector<double> latencies_ms;
+  std::vector<double> potentials;     // Φ of each completed query
+  std::vector<double> realized_gaps;  // objective / lower bound (>0 only)
 
   void Finish(double latency_ms, const std::string& cache, bool timed,
-              double deadline_ms) {
+              double deadline_ms, double potential, double realized_gap) {
     std::lock_guard<std::mutex> lock(mu);
     ++completed;
     latencies_ms.push_back(latency_ms);
+    potentials.push_back(potential);
+    if (realized_gap > 0.0) realized_gaps.push_back(realized_gap);
     if (cache == "exact_hit") {
       ++exact_hits;
     } else if (cache == "warm_hit") {
@@ -517,6 +534,7 @@ class ServerTransport {
       std::string edits = std::to_string(args.service.max_warm_edits);
       std::string epoch = std::to_string(args.service.epoch_size);
       std::string budget = std::to_string(args.service.epoch_patch_budget);
+      std::string width = std::to_string(args.service.portfolio_width);
       const char* argv[] = {args.server.c_str(),
                             "--users", users.c_str(),
                             "--edges-per-node", epn.c_str(),
@@ -527,6 +545,7 @@ class ServerTransport {
                             "--max-warm-edits", edits.c_str(),
                             "--epoch-size", epoch.c_str(),
                             "--epoch-patch-budget", budget.c_str(),
+                            "--portfolio-width", width.c_str(),
                             nullptr};
       execv(args.server.c_str(), const_cast<char* const*>(argv));
       std::perror("execv");
@@ -569,6 +588,7 @@ class ServerTransport {
     req.Set("alpha", query.alpha);
     req.Set("solver", query.solver);
     req.Set("seed", query.seed);
+    if (query.portfolio) req.Set("portfolio", true);
     if (query.deadline_ms > 0.0) req.Set("deadline_ms", query.deadline_ms);
     const std::string line = req.Dump();
     {
@@ -717,11 +737,15 @@ class ServerTransport {
       if (status->AsString() == "ok") {
         const Json* cache = obj.Find("cache");
         const Json* timed = obj.Find("timed_out");
+        const Json* phi = obj.Find("potential");
+        const Json* gap = obj.Find("realized_gap");
         collector_->Finish(
             latency_ms,
             cache != nullptr && cache->is_string() ? cache->AsString() : "",
             timed != nullptr && timed->is_bool() && timed->AsBool(),
-            pending.deadline_ms);
+            pending.deadline_ms,
+            phi != nullptr && phi->is_number() ? phi->AsDouble() : 0.0,
+            gap != nullptr && gap->is_number() ? gap->AsDouble() : 0.0);
       } else {
         collector_->Fail(status->AsString() == "rejected");
       }
@@ -823,6 +847,10 @@ int Main(int argc, char** argv) {
       args.service.epoch_size = static_cast<uint32_t>(next_u64());
     } else if (std::strcmp(argv[i], "--epoch-patch-budget") == 0) {
       args.service.epoch_patch_budget = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--portfolio") == 0) {
+      args.portfolio = true;
+    } else if (std::strcmp(argv[i], "--portfolio-width") == 0) {
+      args.service.portfolio_width = static_cast<uint32_t>(next_u64());
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else {
@@ -884,7 +912,8 @@ int Main(int argc, char** argv) {
             return;
           }
           collector.Finish(latency_ms, CacheOutcomeName(result.cache),
-                           result.timed_out, deadline_ms);
+                           result.timed_out, deadline_ms, result.potential,
+                           result.realized_gap);
         });
     if (!admitted.ok()) {
       collector.Fail(admitted.code() == StatusCode::kFailedPrecondition);
@@ -991,6 +1020,8 @@ int Main(int argc, char** argv) {
   cfg.Set("mutation_frac", args.mutation_frac);
   cfg.Set("epoch_size", args.service.epoch_size);
   cfg.Set("epoch_patch_budget", args.service.epoch_patch_budget);
+  cfg.Set("portfolio", args.portfolio);
+  cfg.Set("portfolio_width", args.service.portfolio_width);
   root.Set("config", std::move(cfg));
 
   const BuildInfo info = GetBuildInfo();
@@ -1037,6 +1068,35 @@ int Main(int argc, char** argv) {
   deadline_stats.Set("queries", collector.deadline_queries);
   deadline_stats.Set("max_overshoot_ms", collector.max_deadline_overshoot_ms);
   record.Set("deadline", std::move(deadline_stats));
+  // Solution quality over the completed queries: the Φ the server actually
+  // returned and the realized optimality gap (served objective over the
+  // assignment-cost floor). Identical mixes serve identical query
+  // sequences, so a --portfolio run and a single-start run on the same
+  // flags are comparable record-for-record; p99 potential under tight
+  // deadlines is the acceptance number for portfolio racing.
+  {
+    RunningStats phi_stats;
+    for (const double v : collector.potentials) phi_stats.Add(v);
+    Json quality = Json::Object();
+    Json phi = Json::Object();
+    phi.Set("mean", phi_stats.mean());
+    phi.Set("p50", Percentile(collector.potentials, 50.0));
+    phi.Set("p90", Percentile(collector.potentials, 90.0));
+    phi.Set("p99", Percentile(collector.potentials, 99.0));
+    phi.Set("max", phi_stats.max());
+    quality.Set("potential", std::move(phi));
+    RunningStats gap_stats;
+    for (const double v : collector.realized_gaps) gap_stats.Add(v);
+    Json gap = Json::Object();
+    gap.Set("samples",
+            static_cast<uint64_t>(collector.realized_gaps.size()));
+    gap.Set("mean", gap_stats.mean());
+    gap.Set("p50", Percentile(collector.realized_gaps, 50.0));
+    gap.Set("p99", Percentile(collector.realized_gaps, 99.0));
+    gap.Set("max", gap_stats.max());
+    quality.Set("realized_gap", std::move(gap));
+    record.Set("quality", std::move(quality));
+  }
   bool incremental_valid = true;
   if (args.churn) {
     Json mutation = Json::Object();

@@ -7,6 +7,7 @@
 //                   [--seed S] [--workers N] [--queue-capacity N]
 //                   [--cache-capacity N] [--max-warm-edits N]
 //                   [--epoch-size N] [--epoch-patch-budget N]
+//                   [--portfolio-width P]
 //
 // Responses for solve requests complete asynchronously (worker pool), so
 // response order is NOT request order; clients correlate by "id". All
@@ -46,7 +47,7 @@ void Usage(const char* argv0) {
                " [--edges-per-node M] [--seed S] [--workers N]"
                " [--queue-capacity N] [--cache-capacity N]"
                " [--max-warm-edits N] [--epoch-size N]"
-               " [--epoch-patch-budget N]\n",
+               " [--epoch-patch-budget N] [--portfolio-width P]\n",
                argv0);
   std::exit(2);
 }
@@ -82,6 +83,8 @@ int Main(int argc, char** argv) {
       args.service.epoch_size = static_cast<uint32_t>(next_u64());
     } else if (std::strcmp(argv[i], "--epoch-patch-budget") == 0) {
       args.service.epoch_patch_budget = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--portfolio-width") == 0) {
+      args.service.portfolio_width = static_cast<uint32_t>(next_u64());
     } else {
       Usage(argv[0]);
     }
