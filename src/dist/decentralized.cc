@@ -3,238 +3,22 @@
 #include <algorithm>
 #include <limits>
 
-#include "core/solver_internal.h"
 #include "core/subgraph_game.h"
-#include "partition/kway.h"
 #include "graph/coloring.h"
 #include "graph/traversal.h"
 #include "util/logging.h"
-#include "util/rng.h"
 #include "util/stopwatch.h"
 
 namespace rmgp {
 namespace {
 
-using internal::StrictlyBetter;
-
-/// One strategy deviation shipped through the master.
-struct Change {
-  NodeId user;
-  ClassId old_class;
-  ClassId new_class;
-};
-
-/// A simulated slave processing node. It owns the adjacency rows, check-in
-/// data and game state of its local users only; everything it learns about
-/// remote users arrives as strategy changes through the master (Fig 6).
-class Slave {
- public:
-  Slave(const Instance& inst, std::vector<NodeId> local_users,
-        const Coloring& coloring)
-      : inst_(inst), local_users_(std::move(local_users)),
-        coloring_(coloring) {
-    const NodeId n = inst_.num_users();
-    local_index_.assign(n, UINT32_MAX);
-    for (uint32_t i = 0; i < local_users_.size(); ++i) {
-      local_index_[local_users_[i]] = i;
-    }
-    // Reverse index: for any user u, the local users adjacent to u. Built
-    // from the local rows only (a slave never reads remote adjacency).
-    std::vector<uint64_t> count(n + 1, 0);
-    for (NodeId v : local_users_) {
-      for (const Neighbor& nb : inst_.graph().neighbors(v)) {
-        ++count[nb.node + 1];
-      }
-    }
-    for (NodeId u = 0; u < n; ++u) count[u + 1] += count[u];
-    rev_offsets_ = std::move(count);
-    rev_entries_.resize(rev_offsets_[n]);
-    std::vector<uint64_t> cursor(rev_offsets_.begin(),
-                                 rev_offsets_.end() - 1);
-    for (NodeId v : local_users_) {
-      for (const Neighbor& nb : inst_.graph().neighbors(v)) {
-        rev_entries_[cursor[nb.node]++] = {v, nb.weight};
-      }
-    }
-  }
-
-  /// Fig 6 steps 2-5: initialize local players' strategies. Returns the
-  /// local strategic vector to send to the master.
-  std::vector<Change> InitStrategies(const SolverOptions& options) {
-    const double alpha = inst_.alpha();
-    Rng rng(options.seed ^ (0x5151 + local_users_.size()));
-    const ClassId k = inst_.num_classes();
-
-    // Strategy elimination (§4.1) for local users.
-    offsets_.assign(local_users_.size() + 1, 0);
-    candidates_.clear();
-    max_sc_.resize(local_users_.size());
-    std::vector<double> row(k);
-    init_strategy_.resize(local_users_.size());
-    for (uint32_t i = 0; i < local_users_.size(); ++i) {
-      const NodeId v = local_users_[i];
-      inst_.AssignmentCostsFor(v, row.data());
-      const double c_min = *std::min_element(row.begin(), row.end());
-      const double vr =
-          c_min + (1.0 - alpha) / alpha * inst_.HalfIncidentWeight(v);
-      ClassId closest = 0;
-      for (ClassId p = 0; p < k; ++p) {
-        // Same tolerance as the centralized ComputeReducedStrategies so
-        // that DG candidate sets match the centralized ones exactly.
-        if (row[p] <=
-            vr + internal::kImprovementEps * (1.0 + std::abs(vr))) {
-          candidates_.push_back(p);
-        }
-        if (row[p] < row[closest]) closest = p;
-      }
-      offsets_[i + 1] = candidates_.size();
-      max_sc_[i] = (1.0 - alpha) * inst_.HalfIncidentWeight(v);
-      switch (options.init) {
-        case InitPolicy::kClosestClass:
-          init_strategy_[i] = closest;
-          break;
-        case InitPolicy::kGiven: {
-          const ClassId given = options.warm_start[v];
-          const ClassId* begin = candidates_.data() + offsets_[i];
-          const ClassId* end = candidates_.data() + offsets_[i + 1];
-          // A warm-start strategy outside the valid region would switch in
-          // round 1 anyway; snap it to the closest class up-front.
-          init_strategy_[i] =
-              std::binary_search(begin, end, given) ? given : closest;
-          break;
-        }
-        case InitPolicy::kRandom: {
-          const uint64_t span = offsets_[i + 1] - offsets_[i];
-          init_strategy_[i] =
-              candidates_[offsets_[i] + rng.UniformInt(span)];
-          break;
-        }
-      }
-    }
-    std::vector<Change> lsv;
-    lsv.reserve(local_users_.size());
-    for (uint32_t i = 0; i < local_users_.size(); ++i) {
-      lsv.push_back({local_users_[i], 0, init_strategy_[i]});
-    }
-    return lsv;
-  }
-
-  /// Fig 6 steps 10-13: store the GSV and build the reduced global table.
-  void BuildTables(const Assignment& gsv) {
-    gsv_ = gsv;
-    values_.assign(candidates_.size(), 0.0);
-    cur_idx_.assign(local_users_.size(), 0);
-    happy_.assign(local_users_.size(), 1);
-    const double alpha = inst_.alpha();
-    const double social = 1.0 - alpha;
-    for (uint32_t i = 0; i < local_users_.size(); ++i) {
-      const NodeId v = local_users_[i];
-      double* vals = values_.data() + offsets_[i];
-      const size_t count = offsets_[i + 1] - offsets_[i];
-      const ClassId* cands = candidates_.data() + offsets_[i];
-      for (size_t c = 0; c < count; ++c) {
-        vals[c] = alpha * inst_.AssignmentCost(v, cands[c]) + max_sc_[i];
-      }
-      for (const Neighbor& nb : inst_.graph().neighbors(v)) {
-        const size_t ci = FindCandidate(i, gsv_[nb.node]);
-        if (ci != SIZE_MAX) vals[ci] -= social * 0.5 * nb.weight;
-      }
-      const size_t mine = FindCandidate(i, gsv_[v]);
-      RMGP_CHECK_NE(mine, SIZE_MAX);
-      cur_idx_[i] = static_cast<uint32_t>(mine);
-      double best = vals[0];
-      for (size_t c = 1; c < count; ++c) best = std::min(best, vals[c]);
-      happy_[i] = !StrictlyBetter(best, vals[mine]);
-    }
-  }
-
-  /// Fig 6 steps 17-19: best responses of local unhappy users with the
-  /// given color; changes are applied locally (own GSV + local friends'
-  /// table rows) and returned for the master to redistribute.
-  std::vector<Change> ComputeColor(uint32_t color) {
-    std::vector<Change> changes;
-    for (uint32_t i = 0; i < local_users_.size(); ++i) {
-      const NodeId v = local_users_[i];
-      if (coloring_.color[v] != color || happy_[i]) continue;
-      const double* vals = values_.data() + offsets_[i];
-      const size_t count = offsets_[i + 1] - offsets_[i];
-      size_t best = 0;
-      for (size_t c = 1; c < count; ++c) {
-        if (vals[c] < vals[best]) best = c;
-      }
-      happy_[i] = 1;
-      if (!StrictlyBetter(vals[best], vals[cur_idx_[i]])) continue;
-      const ClassId old_class = gsv_[v];
-      const ClassId new_class = candidates_[offsets_[i] + best];
-      gsv_[v] = new_class;
-      cur_idx_[i] = static_cast<uint32_t>(best);
-      changes.push_back({v, old_class, new_class});
-      UpdateLocalFriends(v, old_class, new_class);
-    }
-    return changes;
-  }
-
-  /// Fig 6 steps 22-24: apply changes made on other slaves.
-  void ApplyRemoteChanges(const std::vector<Change>& changes) {
-    for (const Change& ch : changes) {
-      if (local_index_[ch.user] != UINT32_MAX) continue;  // own change
-      gsv_[ch.user] = ch.new_class;
-      UpdateLocalFriends(ch.user, ch.old_class, ch.new_class);
-    }
-  }
-
-  const std::vector<NodeId>& local_users() const { return local_users_; }
-  const Assignment& gsv() const { return gsv_; }
-
- private:
-  size_t FindCandidate(uint32_t local_i, ClassId p) const {
-    const ClassId* begin = candidates_.data() + offsets_[local_i];
-    const ClassId* end = candidates_.data() + offsets_[local_i + 1];
-    const ClassId* it = std::lower_bound(begin, end, p);
-    if (it != end && *it == p) return static_cast<size_t>(it - begin);
-    return SIZE_MAX;
-  }
-
-  void UpdateLocalFriends(NodeId u, ClassId old_class, ClassId new_class) {
-    const double social = 1.0 - inst_.alpha();
-    for (uint64_t r = rev_offsets_[u]; r < rev_offsets_[u + 1]; ++r) {
-      const NodeId f = rev_entries_[r].node;
-      const uint32_t fi = local_index_[f];
-      const double delta = social * 0.5 * rev_entries_[r].weight;
-      const size_t idx_new = FindCandidate(fi, new_class);
-      const size_t idx_old = FindCandidate(fi, old_class);
-      double* frow = values_.data() + offsets_[fi];
-      if (idx_new != SIZE_MAX) frow[idx_new] -= delta;
-      if (idx_old != SIZE_MAX) frow[idx_old] += delta;
-      if (gsv_[f] == old_class ||
-          (idx_new != SIZE_MAX &&
-           StrictlyBetter(frow[idx_new], frow[cur_idx_[fi]]))) {
-        happy_[fi] = 0;
-      }
-    }
-  }
-
-  const Instance& inst_;
-  std::vector<NodeId> local_users_;
-  const Coloring& coloring_;
-  std::vector<uint32_t> local_index_;        // |V| -> local idx or UINT32_MAX
-  std::vector<uint64_t> rev_offsets_;        // |V|+1
-  std::vector<Neighbor> rev_entries_;        // local users adjacent to key
-  std::vector<uint64_t> offsets_;            // reduced lists, local indexing
-  std::vector<ClassId> candidates_;
-  std::vector<double> values_;               // reduced global table
-  std::vector<double> max_sc_;
-  std::vector<uint32_t> cur_idx_;
-  std::vector<char> happy_;
-  std::vector<ClassId> init_strategy_;
-  Assignment gsv_;
-};
-
-std::vector<std::vector<NodeId>> HashPartition(NodeId n, uint32_t slaves) {
-  std::vector<std::vector<NodeId>> parts(slaves);
-  for (NodeId v = 0; v < n; ++v) parts[v % slaves].push_back(v);
-  return parts;
-}
+// The per-slave game state (strategy elimination, reduced tables, per-color
+// best responses) lives in dist/slave_game.h so that the real worker
+// process in src/shard runs the exact code the simulation is validated
+// against. `Slave` and `Change` are kept as local aliases to preserve the
+// Fig 6 vocabulary of the driver below.
+using Change = StrategyChange;
+using Slave = SlaveGame;
 
 }  // namespace
 
@@ -261,21 +45,11 @@ Result<DgResult> RunDecentralizedGame(const Instance& inst,
   // coloring as the centralized algorithms).
   const Coloring coloring = GreedyColoring(inst.graph());
 
-  // Placement of users onto slaves.
-  std::vector<std::vector<NodeId>> parts;
-  if (options.partition == PartitionScheme::kLocality && S > 1 && n > 0) {
-    PartitionOptions popt;
-    popt.num_parts = S;
-    popt.imbalance = 1.1;
-    auto part_result = KWayPartition(inst.graph(), popt);
-    if (!part_result.ok()) return part_result.status();
-    parts.resize(S);
-    for (NodeId v = 0; v < n; ++v) {
-      parts[part_result->part[v]].push_back(v);
-    }
-  } else {
-    parts = HashPartition(n, S);
-  }
+  // Placement of users onto slaves (shared with the real coordinator so
+  // both cut identical shards).
+  auto parts_or = PlaceUsers(inst.graph(), options.partition, S);
+  if (!parts_or.ok()) return parts_or.status();
+  std::vector<std::vector<NodeId>> parts = std::move(parts_or).value();
   std::vector<uint32_t> slave_of(n, 0);
   for (uint32_t s = 0; s < S; ++s) {
     for (NodeId v : parts[s]) slave_of[v] = s;
@@ -284,18 +58,13 @@ Result<DgResult> RunDecentralizedGame(const Instance& inst,
   // (only needed for multicast redistribution).
   std::vector<uint64_t> interest;
   if (options.interest_multicast) {
-    interest.assign(n, 0);
-    for (NodeId v = 0; v < n; ++v) {
-      for (const Neighbor& nb : inst.graph().neighbors(v)) {
-        interest[v] |= uint64_t{1} << slave_of[nb.node];
-      }
-    }
+    interest = BuildInterestMasks(inst.graph(), slave_of);
   }
 
   std::vector<Slave> slaves;
   slaves.reserve(S);
   for (uint32_t s = 0; s < S; ++s) {
-    slaves.emplace_back(inst, std::move(parts[s]), coloring);
+    slaves.emplace_back(inst, std::move(parts[s]), coloring.color);
   }
 
   DgResult res;

@@ -7,6 +7,7 @@
 #include "core/objective.h"
 #include "core/solver.h"
 #include "dist/network.h"
+#include "dist/slave_game.h"  // PartitionScheme, SlaveGame
 #include "util/status.h"
 
 namespace rmgp {
@@ -14,15 +15,9 @@ namespace rmgp {
 /// Options for the decentralized experiments (§5 / §6.4). The social graph
 /// is hash-partitioned over `num_slaves` processing nodes (the paper notes
 /// the partitioning scheme is orthogonal); slaves exchange data only
-/// through the master, whose traffic is charged to `network`.
-/// How users are assigned to slaves. The paper calls the scheme
-/// "orthogonal to our problem"; kLocality lets the ablation check that
-/// claim (it only pays off combined with interest_multicast below).
-enum class PartitionScheme {
-  kHash,      ///< user v lives on slave v mod S (the default)
-  kLocality,  ///< multilevel k-way partition: friends co-located
-};
-
+/// through the master, whose traffic is charged to `network`. The per-slave
+/// game state lives in dist/slave_game.h, shared bit-for-bit with the real
+/// multi-process deployment in src/shard.
 struct DecentralizedOptions {
   uint32_t num_slaves = 2;
   NetworkModel network;

@@ -1,0 +1,224 @@
+#include "dist/slave_game.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/solver_internal.h"
+#include "partition/kway.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace rmgp {
+
+using internal::StrictlyBetter;
+
+SlaveGame::SlaveGame(const Instance& inst, std::vector<NodeId> local_users,
+                     std::vector<uint32_t> colors)
+    : inst_(inst), local_users_(std::move(local_users)),
+      colors_(std::move(colors)) {
+  const NodeId n = inst_.num_users();
+  RMGP_CHECK_EQ(colors_.size(), n);
+  local_index_.assign(n, UINT32_MAX);
+  for (uint32_t i = 0; i < local_users_.size(); ++i) {
+    local_index_[local_users_[i]] = i;
+  }
+  // Reverse index: for any user u, the local users adjacent to u. Built
+  // from the local rows only (a slave never reads remote adjacency).
+  std::vector<uint64_t> count(n + 1, 0);
+  for (NodeId v : local_users_) {
+    for (const Neighbor& nb : inst_.graph().neighbors(v)) {
+      ++count[nb.node + 1];
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) count[u + 1] += count[u];
+  rev_offsets_ = std::move(count);
+  rev_entries_.resize(rev_offsets_[n]);
+  std::vector<uint64_t> cursor(rev_offsets_.begin(), rev_offsets_.end() - 1);
+  for (NodeId v : local_users_) {
+    for (const Neighbor& nb : inst_.graph().neighbors(v)) {
+      rev_entries_[cursor[nb.node]++] = {v, nb.weight};
+    }
+  }
+}
+
+std::vector<StrategyChange> SlaveGame::InitStrategies(
+    const SolverOptions& options) {
+  const double alpha = inst_.alpha();
+  Rng rng(options.seed ^ (0x5151 + local_users_.size()));
+  const ClassId k = inst_.num_classes();
+
+  // Strategy elimination (§4.1) for local users.
+  offsets_.assign(local_users_.size() + 1, 0);
+  candidates_.clear();
+  max_sc_.resize(local_users_.size());
+  std::vector<double> row(k);
+  init_strategy_.resize(local_users_.size());
+  for (uint32_t i = 0; i < local_users_.size(); ++i) {
+    const NodeId v = local_users_[i];
+    inst_.AssignmentCostsFor(v, row.data());
+    const double c_min = *std::min_element(row.begin(), row.end());
+    const double vr =
+        c_min + (1.0 - alpha) / alpha * inst_.HalfIncidentWeight(v);
+    ClassId closest = 0;
+    for (ClassId p = 0; p < k; ++p) {
+      // Same tolerance as the centralized ComputeReducedStrategies so
+      // that DG candidate sets match the centralized ones exactly.
+      if (row[p] <= vr + internal::kImprovementEps * (1.0 + std::abs(vr))) {
+        candidates_.push_back(p);
+      }
+      if (row[p] < row[closest]) closest = p;
+    }
+    offsets_[i + 1] = candidates_.size();
+    max_sc_[i] = (1.0 - alpha) * inst_.HalfIncidentWeight(v);
+    switch (options.init) {
+      case InitPolicy::kClosestClass:
+        init_strategy_[i] = closest;
+        break;
+      case InitPolicy::kGiven: {
+        const ClassId given = options.warm_start[v];
+        const ClassId* begin = candidates_.data() + offsets_[i];
+        const ClassId* end = candidates_.data() + offsets_[i + 1];
+        // A warm-start strategy outside the valid region would switch in
+        // round 1 anyway; snap it to the closest class up-front.
+        init_strategy_[i] =
+            std::binary_search(begin, end, given) ? given : closest;
+        break;
+      }
+      case InitPolicy::kRandom: {
+        const uint64_t span = offsets_[i + 1] - offsets_[i];
+        init_strategy_[i] = candidates_[offsets_[i] + rng.UniformInt(span)];
+        break;
+      }
+    }
+  }
+  std::vector<StrategyChange> lsv;
+  lsv.reserve(local_users_.size());
+  for (uint32_t i = 0; i < local_users_.size(); ++i) {
+    lsv.push_back({local_users_[i], 0, init_strategy_[i]});
+  }
+  return lsv;
+}
+
+void SlaveGame::BuildTables(const Assignment& gsv) {
+  gsv_ = gsv;
+  values_.assign(candidates_.size(), 0.0);
+  cur_idx_.assign(local_users_.size(), 0);
+  happy_.assign(local_users_.size(), 1);
+  const double alpha = inst_.alpha();
+  const double social = 1.0 - alpha;
+  for (uint32_t i = 0; i < local_users_.size(); ++i) {
+    const NodeId v = local_users_[i];
+    double* vals = values_.data() + offsets_[i];
+    const size_t count = offsets_[i + 1] - offsets_[i];
+    const ClassId* cands = candidates_.data() + offsets_[i];
+    for (size_t c = 0; c < count; ++c) {
+      vals[c] = alpha * inst_.AssignmentCost(v, cands[c]) + max_sc_[i];
+    }
+    for (const Neighbor& nb : inst_.graph().neighbors(v)) {
+      const size_t ci = FindCandidate(i, gsv_[nb.node]);
+      if (ci != SIZE_MAX) vals[ci] -= social * 0.5 * nb.weight;
+    }
+    const size_t mine = FindCandidate(i, gsv_[v]);
+    RMGP_CHECK_NE(mine, SIZE_MAX);
+    cur_idx_[i] = static_cast<uint32_t>(mine);
+    double best = vals[0];
+    for (size_t c = 1; c < count; ++c) best = std::min(best, vals[c]);
+    happy_[i] = !StrictlyBetter(best, vals[mine]);
+  }
+}
+
+std::vector<StrategyChange> SlaveGame::ComputeColor(uint32_t color) {
+  std::vector<StrategyChange> changes;
+  for (uint32_t i = 0; i < local_users_.size(); ++i) {
+    const NodeId v = local_users_[i];
+    if (colors_[v] != color || happy_[i]) continue;
+    const double* vals = values_.data() + offsets_[i];
+    const size_t count = offsets_[i + 1] - offsets_[i];
+    size_t best = 0;
+    for (size_t c = 1; c < count; ++c) {
+      if (vals[c] < vals[best]) best = c;
+    }
+    happy_[i] = 1;
+    if (!StrictlyBetter(vals[best], vals[cur_idx_[i]])) continue;
+    const ClassId old_class = gsv_[v];
+    const ClassId new_class = candidates_[offsets_[i] + best];
+    gsv_[v] = new_class;
+    cur_idx_[i] = static_cast<uint32_t>(best);
+    changes.push_back({v, old_class, new_class});
+    UpdateLocalFriends(v, old_class, new_class);
+  }
+  return changes;
+}
+
+void SlaveGame::ApplyRemoteChanges(const std::vector<StrategyChange>& changes) {
+  for (const StrategyChange& ch : changes) {
+    if (local_index_[ch.user] != UINT32_MAX) continue;  // own change
+    gsv_[ch.user] = ch.new_class;
+    UpdateLocalFriends(ch.user, ch.old_class, ch.new_class);
+  }
+}
+
+size_t SlaveGame::FindCandidate(uint32_t local_i, ClassId p) const {
+  const ClassId* begin = candidates_.data() + offsets_[local_i];
+  const ClassId* end = candidates_.data() + offsets_[local_i + 1];
+  const ClassId* it = std::lower_bound(begin, end, p);
+  if (it != end && *it == p) return static_cast<size_t>(it - begin);
+  return SIZE_MAX;
+}
+
+void SlaveGame::UpdateLocalFriends(NodeId u, ClassId old_class,
+                                   ClassId new_class) {
+  const double social = 1.0 - inst_.alpha();
+  for (uint64_t r = rev_offsets_[u]; r < rev_offsets_[u + 1]; ++r) {
+    const NodeId f = rev_entries_[r].node;
+    const uint32_t fi = local_index_[f];
+    const double delta = social * 0.5 * rev_entries_[r].weight;
+    const size_t idx_new = FindCandidate(fi, new_class);
+    const size_t idx_old = FindCandidate(fi, old_class);
+    double* frow = values_.data() + offsets_[fi];
+    if (idx_new != SIZE_MAX) frow[idx_new] -= delta;
+    if (idx_old != SIZE_MAX) frow[idx_old] += delta;
+    if (gsv_[f] == old_class ||
+        (idx_new != SIZE_MAX &&
+         StrictlyBetter(frow[idx_new], frow[cur_idx_[fi]]))) {
+      happy_[fi] = 0;
+    }
+  }
+}
+
+Result<std::vector<std::vector<NodeId>>> PlaceUsers(const Graph& graph,
+                                                    PartitionScheme scheme,
+                                                    uint32_t num_slaves) {
+  if (num_slaves == 0) {
+    return Status::InvalidArgument("need at least one slave");
+  }
+  const NodeId n = graph.num_nodes();
+  std::vector<std::vector<NodeId>> parts(num_slaves);
+  if (scheme == PartitionScheme::kLocality && num_slaves > 1 && n > 0) {
+    PartitionOptions popt;
+    popt.num_parts = num_slaves;
+    popt.imbalance = 1.1;
+    auto part_result = KWayPartition(graph, popt);
+    if (!part_result.ok()) return part_result.status();
+    for (NodeId v = 0; v < n; ++v) {
+      parts[part_result->part[v]].push_back(v);
+    }
+  } else {
+    for (NodeId v = 0; v < n; ++v) parts[v % num_slaves].push_back(v);
+  }
+  return parts;
+}
+
+std::vector<uint64_t> BuildInterestMasks(
+    const Graph& graph, const std::vector<uint32_t>& slave_of) {
+  const NodeId n = graph.num_nodes();
+  std::vector<uint64_t> interest(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Neighbor& nb : graph.neighbors(v)) {
+      interest[v] |= uint64_t{1} << slave_of[nb.node];
+    }
+  }
+  return interest;
+}
+
+}  // namespace rmgp

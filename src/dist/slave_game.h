@@ -1,0 +1,104 @@
+#ifndef RMGP_DIST_SLAVE_GAME_H_
+#define RMGP_DIST_SLAVE_GAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solver.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rmgp {
+
+/// How users are assigned to slaves. The paper calls the scheme
+/// "orthogonal to our problem"; kLocality lets the ablation check that
+/// claim (it only pays off combined with interest multicast).
+enum class PartitionScheme {
+  kHash,      ///< user v lives on slave v mod S (the default)
+  kLocality,  ///< multilevel k-way partition: friends co-located
+};
+
+/// One strategy deviation shipped through the master (Fig 6). On the wire
+/// only (user, new_class) travels — wire::kPerStrategyChange bytes — and
+/// the receiver derives old_class from its own GSV entry, which is current
+/// for every user it hosts a friend of (broadcast keeps all entries
+/// current; multicast delivers *all* changes of a user to every slave
+/// hosting one of its friends, because interest masks are static).
+struct StrategyChange {
+  NodeId user;
+  ClassId old_class;
+  ClassId new_class;
+};
+
+/// The per-slave state and per-color best-response steps of the
+/// decentralized game (DG, Fig 6). This is the exact game logic shared by
+/// the in-process simulation (dist/decentralized.cc) and the real
+/// multi-process deployment (shard/worker.cc): a slave owns the adjacency
+/// rows, check-in data and game state of its local users only; everything
+/// it learns about remote users arrives as strategy changes through the
+/// master.
+class SlaveGame {
+ public:
+  /// `colors` is indexed by global user id; only local users' entries are
+  /// read (a worker process ships local colors and zero-fills the rest).
+  /// The instance must outlive the game.
+  SlaveGame(const Instance& inst, std::vector<NodeId> local_users,
+            std::vector<uint32_t> colors);
+
+  /// Fig 6 steps 2-5: initialize local players' strategies. Returns the
+  /// local strategic vector to send to the master.
+  std::vector<StrategyChange> InitStrategies(const SolverOptions& options);
+
+  /// Fig 6 steps 10-13: store the GSV and build the reduced global table.
+  void BuildTables(const Assignment& gsv);
+
+  /// Fig 6 steps 17-19: best responses of local unhappy users with the
+  /// given color; changes are applied locally (own GSV + local friends'
+  /// table rows) and returned for the master to redistribute.
+  std::vector<StrategyChange> ComputeColor(uint32_t color);
+
+  /// Fig 6 steps 22-24: apply changes made on other slaves (own changes
+  /// are skipped).
+  void ApplyRemoteChanges(const std::vector<StrategyChange>& changes);
+
+  bool IsLocal(NodeId v) const { return local_index_[v] != UINT32_MAX; }
+  const std::vector<NodeId>& local_users() const { return local_users_; }
+  const Assignment& gsv() const { return gsv_; }
+
+ private:
+  size_t FindCandidate(uint32_t local_i, ClassId p) const;
+  void UpdateLocalFriends(NodeId u, ClassId old_class, ClassId new_class);
+
+  const Instance& inst_;
+  std::vector<NodeId> local_users_;
+  std::vector<uint32_t> colors_;             // |V|, local entries meaningful
+  std::vector<uint32_t> local_index_;        // |V| -> local idx or UINT32_MAX
+  std::vector<uint64_t> rev_offsets_;        // |V|+1
+  std::vector<Neighbor> rev_entries_;        // local users adjacent to key
+  std::vector<uint64_t> offsets_;            // reduced lists, local indexing
+  std::vector<ClassId> candidates_;
+  std::vector<double> values_;               // reduced global table
+  std::vector<double> max_sc_;
+  std::vector<uint32_t> cur_idx_;
+  std::vector<char> happy_;
+  std::vector<ClassId> init_strategy_;
+  Assignment gsv_;
+};
+
+/// Placement of users onto slaves — shared by the simulation and the real
+/// coordinator so both cut identical shards from identical inputs. kHash
+/// places user v on slave v mod S; kLocality runs the mini-METIS k-way
+/// partition (num_parts = S, imbalance 1.1, default seed).
+Result<std::vector<std::vector<NodeId>>> PlaceUsers(const Graph& graph,
+                                                    PartitionScheme scheme,
+                                                    uint32_t num_slaves);
+
+/// Interest masks for multicast redistribution: bit s of mask[v] is set
+/// when slave s hosts at least one friend of v. Requires num_slaves <= 64.
+std::vector<uint64_t> BuildInterestMasks(const Graph& graph,
+                                         const std::vector<uint32_t>& slave_of);
+
+}  // namespace rmgp
+
+#endif  // RMGP_DIST_SLAVE_GAME_H_

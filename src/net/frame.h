@@ -1,0 +1,99 @@
+#ifndef RMGP_NET_FRAME_H_
+#define RMGP_NET_FRAME_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace rmgp {
+namespace net {
+
+/// Length-prefixed binary framing: every message on the wire is
+///
+///   [u32 payload_len][u32 type][payload_len bytes]
+///
+/// all little-endian. The 8-byte header is the only transport overhead;
+/// payload encodings reuse the per-entry sizes of dist/network.h's wire::
+/// constants (see shard/messages.h), so the measured TrafficStats line up
+/// with what the simulation used to charge.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Upper bound on a single payload — a corrupted length prefix must not
+/// drive a multi-gigabyte allocation.
+inline constexpr uint32_t kMaxFramePayload = uint32_t{1} << 30;
+
+/// A decoded frame: the message type plus its raw payload.
+struct Frame {
+  uint32_t type = 0;
+  std::string payload;
+};
+
+// ---- Little-endian scalar append/read helpers. All fixed-width message
+// encoding in net/shard goes through these, so the wire format is
+// host-endianness independent.
+
+inline void PutU32(std::string& out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  out.append(b, 4);
+}
+
+inline void PutU64(std::string& out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+inline void PutF64(std::string& out, double v) {
+  // Doubles travel as their IEEE-754 bit pattern: the sharded game must
+  // reproduce the in-process game's Φ bit-for-bit, so no narrowing.
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+/// Bounds-checked sequential reader over a received payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool U32(uint32_t* out) {
+    if (pos_ + 4 > data_.size()) return false;
+    const unsigned char* p =
+        reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+    *out = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    pos_ += 4;
+    return true;
+  }
+
+  bool U64(uint64_t* out) {
+    uint32_t lo = 0, hi = 0;
+    if (!U32(&lo) || !U32(&hi)) return false;
+    *out = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+    return true;
+  }
+
+  bool F64(double* out) {
+    uint64_t bits = 0;
+    if (!U64(&bits)) return false;
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace net
+}  // namespace rmgp
+
+#endif  // RMGP_NET_FRAME_H_

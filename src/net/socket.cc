@@ -1,0 +1,303 @@
+// The transport layer's single sanctioned syscall path: every socket
+// operation in the sharded deployment — bind/listen/accept on the
+// coordinator, connect on the workers, poll-driven send/recv everywhere —
+// funnels through this translation unit. src/net and src/shard fall under
+// rmgp_lint's no-blocking-io rule; only this file may touch the
+// primitives, and every one of them runs on a non-blocking fd under an
+// explicit poll() deadline, so nothing here can block indefinitely.
+// rmgp-lint: sanctioned-file(no-blocking-io)
+
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+namespace rmgp {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  if (left < 0) return 0;
+  if (left > INT32_MAX) return INT32_MAX;
+  return static_cast<int>(left);
+}
+
+Status MakeNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void TuneStream(int fd) {
+  // Round-trip latency dominates the per-color protocol; never batch the
+  // small command/ack frames behind Nagle.
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Polls `fd` for `events` until the deadline. OK = ready, DeadlineExceeded
+/// = timed out, Unavailable = hangup/error on the fd.
+Status PollFor(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = poll(&p, 1, RemainingMs(deadline));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("poll: ") + std::strerror(errno));
+    }
+    if (rc == 0) return Status::DeadlineExceeded("socket wait timed out");
+    if (p.revents & (events | POLLHUP | POLLERR)) return Status::OK();
+  }
+}
+
+sockaddr_in LoopbackAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void SleepMs(int ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(ms);
+  for (;;) {
+    const int left = RemainingMs(deadline);
+    if (left <= 0) return;
+    if (poll(nullptr, 0, left) == 0) return;  // retried only on EINTR
+  }
+}
+
+// ---- Connection
+
+Connection::~Connection() { Close(); }
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      recv_buf_(std::move(other.recv_buf_)),
+      sent_(other.sent_),
+      received_(other.received_) {}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    recv_buf_ = std::move(other.recv_buf_);
+    sent_ = other.sent_;
+    received_ = other.received_;
+  }
+  return *this;
+}
+
+void Connection::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Connection> Connection::Dial(const std::string& host, uint16_t port,
+                                    int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Internal(std::string("socket: ") + std::strerror(errno));
+    }
+    Connection conn(fd);
+    if (Status s = MakeNonBlocking(fd); !s.ok()) return s;
+    sockaddr_in addr = LoopbackAddr(host, port);
+    int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno == EINPROGRESS) {
+      if (Status s = PollFor(fd, POLLOUT, deadline); !s.ok()) return s;
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        err = errno;
+      }
+      rc = err == 0 ? 0 : -1;
+      errno = err;
+    }
+    if (rc == 0) {
+      TuneStream(fd);
+      return conn;
+    }
+    // The listener may still be coming up (worker launched before the
+    // coordinator finished binding): back off briefly and retry refused
+    // connections until the deadline.
+    if (errno != ECONNREFUSED || RemainingMs(deadline) == 0) {
+      return Status::Unavailable(std::string("connect ") + host + ": " +
+                                 std::strerror(errno));
+    }
+    conn.Close();
+    SleepMs(RemainingMs(deadline) < 20 ? RemainingMs(deadline) : 20);
+  }
+}
+
+Status Connection::SendFrame(uint32_t type, const std::string& payload,
+                             int timeout_ms) {
+  if (fd_ < 0) return Status::Unavailable("connection closed");
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  std::string buf;
+  buf.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(buf, static_cast<uint32_t>(payload.size()));
+  PutU32(buf, type);
+  buf.append(payload);
+
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n =
+        send(fd_, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (Status s = PollFor(fd_, POLLOUT, deadline); !s.ok()) return s;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Unavailable(std::string("send: ") +
+                               (n == 0 ? "peer closed" : std::strerror(errno)));
+  }
+  sent_.Add(buf.size());
+  return Status::OK();
+}
+
+Result<Frame> Connection::ReadFrame(int timeout_ms) {
+  if (fd_ < 0) return Status::Unavailable("connection closed");
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    // Frame complete in the buffer?
+    if (recv_buf_.size() >= kFrameHeaderBytes) {
+      Reader r(recv_buf_);
+      uint32_t len = 0, type = 0;
+      (void)r.U32(&len);
+      (void)r.U32(&type);
+      if (len > kMaxFramePayload) {
+        return Status::Internal("oversized frame on the wire");
+      }
+      const size_t total = kFrameHeaderBytes + len;
+      if (recv_buf_.size() >= total) {
+        Frame frame;
+        frame.type = type;
+        frame.payload = recv_buf_.substr(kFrameHeaderBytes, len);
+        recv_buf_.erase(0, total);
+        received_.Add(total);
+        return frame;
+      }
+    }
+    char chunk[64 * 1024];
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      recv_buf_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable("peer closed the connection");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (Status s = PollFor(fd_, POLLIN, deadline); !s.ok()) return s;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+// ---- Listener
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(other.port_) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Listener> Listener::Bind(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  Listener listener;
+  listener.fd_ = fd;
+  int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr("127.0.0.1", port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::Unavailable(std::string("bind: ") + std::strerror(errno));
+  }
+  if (listen(fd, 64) != 0) {
+    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::Internal(std::string("getsockname: ") +
+                            std::strerror(errno));
+  }
+  listener.port_ = ntohs(addr.sin_port);
+  if (Status s = MakeNonBlocking(fd); !s.ok()) return s;
+  return listener;
+}
+
+Result<Connection> Listener::Accept(int timeout_ms) {
+  if (fd_ < 0) return Status::Unavailable("listener closed");
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      Connection conn(fd);
+      if (Status s = MakeNonBlocking(fd); !s.ok()) return s;
+      TuneStream(fd);
+      return conn;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (Status s = PollFor(fd_, POLLIN, deadline); !s.ok()) return s;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("accept: ") + std::strerror(errno));
+  }
+}
+
+}  // namespace net
+}  // namespace rmgp

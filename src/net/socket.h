@@ -1,0 +1,98 @@
+#ifndef RMGP_NET_SOCKET_H_
+#define RMGP_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dist/network.h"  // TrafficStats
+#include "net/frame.h"
+#include "util/status.h"
+
+namespace rmgp {
+namespace net {
+
+/// A connected stream socket carrying length-prefixed frames (net/frame.h).
+/// The fd is non-blocking; every operation is poll-driven with an explicit
+/// millisecond deadline, so callers never block indefinitely and a peer
+/// death surfaces as a Status instead of a hang:
+///
+///   - DeadlineExceeded: the deadline passed (peer alive but slow/idle)
+///   - Unavailable: the peer closed or reset the connection
+///
+/// Traffic is measured at the frame layer (payload + 8-byte header per
+/// frame, one message per frame) into dist::TrafficStats, replacing the
+/// simulation's modeled byte accounting with numbers from the wire.
+///
+/// Not thread-safe: one Connection belongs to one thread at a time.
+class Connection {
+ public:
+  Connection() = default;
+  ~Connection();
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Connects to host:port, retrying refused connections until the
+  /// deadline (the listener may still be coming up).
+  static Result<Connection> Dial(const std::string& host, uint16_t port,
+                                 int timeout_ms);
+
+  /// Writes one frame and flushes the send buffer fully.
+  Status SendFrame(uint32_t type, const std::string& payload, int timeout_ms);
+
+  /// Reads the next complete frame.
+  Result<Frame> ReadFrame(int timeout_ms);
+
+  bool open() const { return fd_ >= 0; }
+  void Close();
+
+  const TrafficStats& sent() const { return sent_; }
+  const TrafficStats& received() const { return received_; }
+
+ private:
+  friend class Listener;
+  explicit Connection(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string recv_buf_;  // bytes received but not yet framed
+  TrafficStats sent_;
+  TrafficStats received_;
+};
+
+/// A listening TCP socket bound to 127.0.0.1 (the deployment target is
+/// coordinator + N workers on one host; bind-all stays out of scope).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens; port 0 picks an ephemeral port (see port()).
+  static Result<Listener> Bind(uint16_t port);
+
+  uint16_t port() const { return port_; }
+  bool open() const { return fd_ >= 0; }
+
+  /// Accepts one connection (DeadlineExceeded if none arrives in time).
+  Result<Connection> Accept(int timeout_ms);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Sleeps the calling thread for `ms` without std::this_thread (blocked by
+/// the project's no-blocking-io lint outside sanctioned files); backoff
+/// loops in src/net and src/shard route through here.
+void SleepMs(int ms);
+
+}  // namespace net
+}  // namespace rmgp
+
+#endif  // RMGP_NET_SOCKET_H_

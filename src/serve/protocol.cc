@@ -65,6 +65,7 @@ Status ParseSolve(const Json& obj, Request* req) {
       !ReadNumber(obj, "seed", &seed, &error) ||
       !ReadBool(obj, "cache", &req->query.use_cache, &error) ||
       !ReadBool(obj, "portfolio", &req->query.portfolio, &error) ||
+      !ReadBool(obj, "dist", &req->query.dist, &error) ||
       !ReadBool(obj, "return_assignment", &req->query.return_assignment,
                 &error)) {
     return Status::InvalidArgument(error);
@@ -224,6 +225,9 @@ std::string ReadyBanner(const RmgpService& service) {
   banner.Set("protocol", kProtocolName);
   banner.Set("num_users", service.num_users());
   banner.Set("version", service.version());
+  if (service.dist_port() != 0) {
+    banner.Set("dist_port", static_cast<uint64_t>(service.dist_port()));
+  }
   return banner.Dump();
 }
 
@@ -249,6 +253,14 @@ std::string SerializeQueryResult(double id, const QueryResult& result) {
     portfolio.Set("width", result.portfolio_width);
     portfolio.Set("winner", result.portfolio_winner);
     out.Set("portfolio", std::move(portfolio));
+  }
+  if (result.dist_workers > 0) {
+    Json dist = Json::Object();
+    dist.Set("workers", result.dist_workers);
+    dist.Set("bytes", result.dist_bytes);
+    dist.Set("messages", result.dist_messages);
+    dist.Set("recoveries", result.dist_recoveries);
+    out.Set("dist", std::move(dist));
   }
   if (!result.assignment.empty()) {
     Json assignment = Json::Array();

@@ -18,7 +18,8 @@ namespace serve {
 ///
 ///   {"id":1,"op":"solve","events":[[x,y],...],"alpha":0.5,
 ///    "solver":"RMGP_gt","deadline_ms":50,"seed":7,"cost_scale":1.0,
-///    "cache":true,"portfolio":false,"return_assignment":false}
+///    "cache":true,"portfolio":false,"dist":false,
+///    "return_assignment":false}
 ///   {"id":2,"op":"update_user","user":17,"location":[x,y]}
 ///   {"id":3,"op":"nearby","box":[min_x,min_y,max_x,max_y]}
 ///   {"id":4,"op":"metrics"}
@@ -32,7 +33,13 @@ namespace serve {
 /// remove_user, add_edge, remove_edge, reweight_edge, move_user. Mutations
 /// are validated and logged; "epoch" (or the server's --epoch-size
 /// auto-commit) applies them as one batch and bumps the session version.
-inline constexpr const char* kProtocolName = "rmgp-serve/2";
+///
+/// "dist":true routes the solve to the sharded worker fleet (the server
+/// must run with --dist-workers); the response carries a "dist" object
+/// with measured transport traffic:
+///   {"id":1,...,"dist":{"workers":4,"bytes":...,"messages":...,
+///    "recoveries":0}}
+inline constexpr const char* kProtocolName = "rmgp-serve/3";
 
 /// A parsed request line.
 struct Request {
@@ -52,7 +59,7 @@ struct Request {
 /// or missing/ill-typed fields.
 Result<Request> ParseRequest(std::string_view line);
 
-/// {"status":"ready","protocol":"rmgp-serve/1","num_users":..,...} — the
+/// {"status":"ready","protocol":"rmgp-serve/3","num_users":..,...} — the
 /// banner rmgp_serve prints once the session is loaded, so drivers know
 /// the server is accepting requests.
 std::string ReadyBanner(const RmgpService& service);

@@ -104,5 +104,14 @@ Json MetricsRegistry::ToJson() const {
   return out;
 }
 
+void RecordTraffic(MetricsRegistry& metrics, std::string_view prefix,
+                   const TrafficStats& traffic) {
+  std::string name(prefix);
+  metrics.Counter(name + ".bytes")
+      .fetch_add(traffic.bytes, std::memory_order_relaxed);
+  metrics.Counter(name + ".messages")
+      .fetch_add(traffic.messages, std::memory_order_relaxed);
+}
+
 }  // namespace serve
 }  // namespace rmgp

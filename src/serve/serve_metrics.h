@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "dist/network.h"
 #include "util/json.h"
 
 namespace rmgp {
@@ -81,6 +82,14 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, std::unique_ptr<LatencyHistogram>>>
       histograms_;
 };
+
+/// Folds one transport measurement into `<prefix>.bytes` /
+/// `<prefix>.messages` counters. Both the in-process simulation
+/// (dist::RunDecentralizedGame's modeled accounting) and the real sharded
+/// transport report through this, so the two deployments are compared on
+/// the same counters.
+void RecordTraffic(MetricsRegistry& metrics, std::string_view prefix,
+                   const TrafficStats& traffic);
 
 }  // namespace serve
 }  // namespace rmgp

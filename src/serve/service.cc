@@ -66,11 +66,27 @@ RmgpService::RmgpService(Graph graph, std::vector<Point> user_locations,
   if (!snapshot_->users.empty()) {
     user_index_ = std::make_unique<GridIndex>(snapshot_->users);
   }
+  if (config_.dist_workers > 0) {
+    shard::CoordinatorConfig dist;
+    dist.partition = config_.dist_partition;
+    dist.interest_multicast = config_.dist_multicast;
+    dist.io_timeout_ms = config_.dist_timeout_ms;
+    coordinator_ = std::make_unique<shard::ShardCoordinator>(dist);
+    if (Status st = coordinator_->Listen(config_.dist_port); !st.ok()) {
+      RMGP_LOG(kError) << "dist coordinator bind failed: " << st.ToString();
+      coordinator_.reset();  // dist queries will fail; local serving works
+    }
+  }
   pool_ = std::make_unique<ThreadPool>(
       std::max<uint32_t>(1, config_.num_workers));
 }
 
-RmgpService::~RmgpService() = default;  // pool_ dies first and drains
+RmgpService::~RmgpService() {
+  pool_.reset();  // drain in-flight queries before touching the fleet
+  if (coordinator_ != nullptr) {
+    RMGP_IGNORE_STATUS(coordinator_->Shutdown());
+  }
+}
 
 SolverOptions RmgpService::MakeSolverOptions(const Query& query,
                                              uint32_t solver_threads) {
@@ -101,6 +117,11 @@ Result<SolveResult> RmgpService::RunSolver(const std::string& name,
 
 Status RmgpService::Submit(Query query, Callback done) {
   metrics_.Counter("solve.requests").fetch_add(1, std::memory_order_relaxed);
+  if (!admitting_.load(std::memory_order_acquire)) {
+    metrics_.Counter("solve.rejected").fetch_add(1,
+                                                 std::memory_order_relaxed);
+    return Status::Unavailable("server is draining");
+  }
   // Admission control: claim a queue token before enqueueing; give it
   // back and reject synchronously when the queue (queued + running) is
   // full. The callback never runs for a rejected query.
@@ -118,17 +139,25 @@ Status RmgpService::Submit(Query query, Callback done) {
   pool_->Submit([this, query = std::move(query), done = std::move(done),
                  submit_time]() mutable {
     Result<QueryResult> result = Execute(query, submit_time);
-    const size_t remaining =
-        in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
-    metrics_.Gauge("queue.depth")
-        .store(static_cast<int64_t>(remaining), std::memory_order_relaxed);
     if (!result.ok()) {
       metrics_.Counter("solve.errors").fetch_add(1,
                                                  std::memory_order_relaxed);
       if (done) done(result.status(), QueryResult{});
-      return;
+    } else {
+      if (done) done(Status::OK(), result.value());
     }
-    if (done) done(Status::OK(), result.value());
+    // Release the queue token only after the callback: Drain() promises
+    // that every admitted query's callback has finished when it returns.
+    const size_t remaining =
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    metrics_.Gauge("queue.depth")
+        .store(static_cast<int64_t>(remaining), std::memory_order_relaxed);
+    if (remaining == 0) {
+      // Notify under the lock so a drainer between its predicate check
+      // and wait cannot miss the signal.
+      std::lock_guard<std::mutex> drain_lock(drain_mu_);
+      drain_cv_.notify_all();
+    }
   });
   return Status::OK();
 }
@@ -161,6 +190,10 @@ Result<QueryResult> RmgpService::Execute(
     snap = snapshot_;
   }
   out.session_version = snap->version;
+
+  if (query.dist) {
+    return ExecuteDist(query, snap, std::move(out));
+  }
 
   auto costs =
       std::make_shared<EuclideanCostProvider>(snap->users, query.events);
@@ -283,6 +316,103 @@ Result<QueryResult> RmgpService::Execute(
     out.assignment.shrink_to_fit();
   }
   return out;
+}
+
+Result<QueryResult> RmgpService::ExecuteDist(
+    const Query& query, const std::shared_ptr<const SessionSnapshot>& snap,
+    QueryResult out) {
+  if (coordinator_ == nullptr) {
+    return Status::FailedPrecondition(
+        "dist query but the service has no worker fleet (dist_workers=0)");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  // The coordinator is a single state machine over N sockets; queries take
+  // their turn. Parallel dist queries would interleave frames of different
+  // rounds on the same connections.
+  std::lock_guard<std::mutex> lock(dist_mu_);
+  if (!dist_session_shipped_ || dist_version_shipped_ != snap->version) {
+    RMGP_RETURN_IF_ERROR(
+        coordinator_->LoadSession(snap->graph, snap->users, snap->version));
+    dist_session_shipped_ = true;
+    dist_version_shipped_ = snap->version;
+    metrics_.Counter("dist.sessions_shipped")
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  SolverOptions options = MakeSolverOptions(query, config_.solver_threads);
+  Result<DgResult> res_or = coordinator_->Solve(query.events, query.alpha,
+                                                query.cost_scale, options);
+  if (!res_or.ok()) {
+    metrics_.Counter("dist.errors").fetch_add(1, std::memory_order_relaxed);
+    return res_or.status();
+  }
+  DgResult res = std::move(res_or).value();
+
+  // The dist path bypasses the equilibrium cache: its result is already
+  // bit-identical to the in-process coloring-synchronous game, but the
+  // fleet owns the authoritative state and re-running is the cheap case.
+  out.cache = CacheOutcome::kDisabled;
+  out.converged = res.converged;
+  out.rounds = res.rounds;
+  out.objective = res.objective;
+  out.potential = out.objective.assignment + 0.5 * out.objective.social;
+  out.assignment = std::move(res.assignment);
+  out.dist_workers = coordinator_->live_workers();
+  out.dist_bytes = res.traffic.bytes;
+  out.dist_messages = res.traffic.messages;
+  out.dist_recoveries = coordinator_->recovery_stats().recoveries;
+
+  // Same counters the simulation's accounting feeds in rmgp_loadgen:
+  // measured transport and modeled transport are directly comparable.
+  RecordTraffic(metrics_, "dist", res.traffic);
+  metrics_.Counter("dist.queries").fetch_add(1, std::memory_order_relaxed);
+  metrics_.Gauge("dist.live_workers")
+      .store(out.dist_workers, std::memory_order_relaxed);
+  metrics_.Gauge("dist.recoveries")
+      .store(static_cast<int64_t>(out.dist_recoveries),
+             std::memory_order_relaxed);
+  for (const DgRoundStats& rs : res.round_stats) {
+    metrics_.Histogram("dist.round_ms").Record(rs.seconds * 1e3);
+    metrics_.Histogram("dist.round_bytes")
+        .Record(static_cast<double>(rs.bytes));
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  out.solve_ms = MillisBetween(start, end);
+  out.total_ms = out.queue_ms + out.solve_ms;
+  metrics_.Counter("solve.completed").fetch_add(1, std::memory_order_relaxed);
+  metrics_.Histogram("solve.queue_ms").Record(out.queue_ms);
+  metrics_.Histogram("solve.solve_ms").Record(out.solve_ms);
+  metrics_.Histogram("solve.total_ms").Record(out.total_ms);
+
+  if (!query.return_assignment) {
+    out.assignment.clear();
+    out.assignment.shrink_to_fit();
+  }
+  return out;
+}
+
+uint16_t RmgpService::dist_port() const {
+  return coordinator_ == nullptr ? 0 : coordinator_->port();
+}
+
+Status RmgpService::WaitForDistWorkers(int timeout_ms) {
+  if (coordinator_ == nullptr) {
+    return Status::FailedPrecondition("service has no dist coordinator");
+  }
+  std::lock_guard<std::mutex> lock(dist_mu_);
+  return coordinator_->AwaitWorkers(config_.dist_workers, timeout_ms);
+}
+
+void RmgpService::StopAdmitting() {
+  admitting_.store(false, std::memory_order_release);
+}
+
+void RmgpService::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 Result<MutationAck> RmgpService::Mutate(const Mutation& mutation) {
@@ -478,6 +608,21 @@ Json RmgpService::MetricsJson() const {
                 static_cast<uint64_t>(log_.pending_ops()));
   }
   out.Set("session", std::move(session));
+
+  if (coordinator_ != nullptr) {
+    Json dist = Json::Object();
+    dist.Set("workers", config_.dist_workers);
+    dist.Set("live_workers",
+             static_cast<uint64_t>(coordinator_->live_workers()));
+    const shard::RecoveryStats& rs = coordinator_->recovery_stats();
+    dist.Set("recoveries", rs.recoveries);
+    dist.Set("workers_lost", rs.workers_lost);
+    dist.Set("last_recovery_ms", rs.last_recovery_ms);
+    const TrafficStats traffic = coordinator_->traffic();
+    dist.Set("bytes", traffic.bytes);
+    dist.Set("messages", traffic.messages);
+    out.Set("dist", std::move(dist));
+  }
   return out;
 }
 

@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "serve/equilibrium_cache.h"
 #include "serve/mutation_log.h"
 #include "serve/serve_metrics.h"
+#include "shard/coordinator.h"
 #include "spatial/grid_index.h"
 #include "spatial/point.h"
 #include "util/json.h"
@@ -40,6 +43,16 @@ struct ServiceConfig {
                                        ///< in place; beyond it the cache is
                                        ///< cleared instead
   uint32_t portfolio_width = 4;  ///< racers launched for Query::portfolio
+
+  /// Sharded deployment: when > 0 the service embeds a shard::ShardCoordinator
+  /// and serves Query::dist queries over that many real worker processes
+  /// (tools/rmgp_worker) instead of in-process. Workers connect to
+  /// dist_port (0 = ephemeral, see RmgpService::dist_port()).
+  uint32_t dist_workers = 0;
+  uint16_t dist_port = 0;
+  PartitionScheme dist_partition = PartitionScheme::kHash;
+  bool dist_multicast = false;   ///< interest multicast on the real transport
+  int dist_timeout_ms = 30000;   ///< per-frame I/O / heartbeat deadline
 };
 
 /// One partitioning query: the classes P (event locations), the preference
@@ -60,6 +73,11 @@ struct Query {
   /// cached single-start equilibrium is not comparable to a best-of-P
   /// race. Not supported for RMGP_pq.
   bool portfolio = false;
+
+  /// Run the query on the sharded worker fleet (ServiceConfig::dist_workers)
+  /// instead of in-process. Bypasses the equilibrium cache and the solver
+  /// name; the decentralized game is coloring-synchronous RMGP_all.
+  bool dist = false;
 };
 
 /// How the equilibrium cache participated in a query.
@@ -93,6 +111,13 @@ struct QueryResult {
   /// of the winning instance; width 0 means the query ran single-start.
   uint32_t portfolio_width = 0;
   uint32_t portfolio_winner = 0;
+
+  /// Sharded execution (Query::dist): workers the query ran on (0 = the
+  /// query ran in-process) and measured wire traffic + recoveries.
+  uint32_t dist_workers = 0;
+  uint64_t dist_bytes = 0;
+  uint64_t dist_messages = 0;
+  uint64_t dist_recoveries = 0;
 };
 
 /// Receipt for one accepted mutation.
@@ -140,11 +165,13 @@ class RmgpService {
   using Callback = std::function<void(const Status&, const QueryResult&)>;
 
   /// Takes ownership of the session graph and check-in locations
-  /// (`user_locations.size()` must equal the graph's node count).
+  /// (`user_locations.size()` must equal the graph's node count). With
+  /// ServiceConfig::dist_workers > 0 also binds the coordinator socket
+  /// (see dist_port()); workers are awaited via WaitForDistWorkers().
   RmgpService(Graph graph, std::vector<Point> user_locations,
               const ServiceConfig& config);
 
-  /// Drains in-flight queries.
+  /// Drains in-flight queries and shuts the worker fleet down.
   ~RmgpService();
 
   RmgpService(const RmgpService&) = delete;
@@ -184,6 +211,23 @@ class RmgpService {
   uint64_t version() const;
   size_t pending_mutations() const;
 
+  /// Port the embedded coordinator listens on (0 when the service was not
+  /// configured with dist workers, or the bind failed).
+  uint16_t dist_port() const;
+
+  /// Blocks until ServiceConfig::dist_workers workers have connected and
+  /// handshaked. Must complete before the first Query::dist query.
+  Status WaitForDistWorkers(int timeout_ms);
+
+  /// Graceful-shutdown half 1: stop admitting. Submit() rejects every new
+  /// query with Unavailable from here on; in-flight queries keep running.
+  void StopAdmitting();
+
+  /// Graceful-shutdown half 2: blocks until every admitted query has
+  /// completed (callbacks included). Call StopAdmitting() first or this
+  /// may never return under sustained load.
+  void Drain();
+
   /// Queue + worker + cache + churn + latency metrics as one JSON object.
   Json MetricsJson() const;
 
@@ -205,6 +249,12 @@ class RmgpService {
   Result<QueryResult> Execute(
       const Query& query, std::chrono::steady_clock::time_point submit_time);
 
+  /// Sharded-path body of Execute: ships the pinned snapshot to the fleet
+  /// when its version changed, then drives one distributed query.
+  Result<QueryResult> ExecuteDist(
+      const Query& query, const std::shared_ptr<const SessionSnapshot>& snap,
+      QueryResult out);
+
   /// Commit body; caller holds `session_mu_` exclusively.
   EpochResult CommitEpochLocked();
 
@@ -220,6 +270,17 @@ class RmgpService {
   // themselves; the registry is internally synchronized.
   mutable MetricsRegistry metrics_;
   std::atomic<size_t> in_flight_{0};  // admission-control token count
+  std::atomic<bool> admitting_{true};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;  // signalled when in_flight_ hits 0
+
+  // Sharded deployment (ServiceConfig::dist_workers > 0). The coordinator
+  // is single-threaded by design; dist queries serialize on dist_mu_.
+  std::mutex dist_mu_;
+  std::unique_ptr<shard::ShardCoordinator> coordinator_;
+  bool dist_session_shipped_ = false;   // guarded by dist_mu_
+  uint64_t dist_version_shipped_ = 0;   // guarded by dist_mu_
+
   std::unique_ptr<ThreadPool> pool_;  // last member: dies (drains) first
 };
 

@@ -1,0 +1,491 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/cost_provider.h"
+#include "core/objective.h"
+#include "util/dcheck.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace rmgp {
+namespace shard {
+
+ShardCoordinator::ShardCoordinator(CoordinatorConfig config)
+    : config_(config) {}
+
+Status ShardCoordinator::Listen(uint16_t port) {
+  RMGP_ASSIGN_OR_RETURN(listener_, net::Listener::Bind(port));
+  return Status::OK();
+}
+
+Status ShardCoordinator::AwaitWorkers(uint32_t count, int timeout_ms) {
+  if (!listener_.open()) {
+    return Status::FailedPrecondition("coordinator is not listening");
+  }
+  if (config_.interest_multicast && slots_.size() + count > 64) {
+    return Status::InvalidArgument(
+        "interest_multicast supports at most 64 workers");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    auto conn_or = listener_.Accept(timeout_ms);
+    if (!conn_or.ok()) return conn_or.status();
+    net::Connection conn = std::move(conn_or).value();
+    auto hello = conn.ReadFrame(config_.io_timeout_ms);
+    if (!hello.ok()) return hello.status();
+    if (hello->type != kHello) {
+      return Status::Internal("expected kHello from worker");
+    }
+    auto magic = DecodeAck(hello->payload);
+    if (!magic.ok()) return magic.status();
+    if (magic.value() != kProtocolMagic) {
+      return Status::InvalidArgument("worker protocol magic mismatch");
+    }
+    const uint32_t slot = static_cast<uint32_t>(slots_.size());
+    RMGP_RETURN_IF_ERROR(
+        conn.SendFrame(kWelcome, EncodeAck(slot), config_.io_timeout_ms));
+    WorkerSlot ws;
+    ws.conn = std::move(conn);
+    ws.alive = true;
+    slots_.push_back(std::move(ws));
+  }
+  return Status::OK();
+}
+
+uint32_t ShardCoordinator::live_workers() const {
+  uint32_t live = 0;
+  for (const WorkerSlot& slot : slots_) live += slot.alive ? 1 : 0;
+  return live;
+}
+
+TrafficStats ShardCoordinator::traffic() const {
+  TrafficStats total = closed_traffic_;
+  for (const WorkerSlot& slot : slots_) {
+    if (!slot.conn.open()) continue;
+    total.Merge(slot.conn.sent());
+    total.Merge(slot.conn.received());
+  }
+  return total;
+}
+
+void ShardCoordinator::MarkDead(uint32_t slot, const Status& cause) {
+  WorkerSlot& ws = slots_[slot];
+  if (!ws.alive) return;
+  RMGP_LOG(kWarning) << "worker " << slot << " died: " << cause.ToString();
+  ws.alive = false;
+  closed_traffic_.Merge(ws.conn.sent());
+  closed_traffic_.Merge(ws.conn.received());
+  ws.conn.Close();
+  ++recovery_.workers_lost;
+}
+
+Status ShardCoordinator::LoadSession(std::shared_ptr<const Graph> graph,
+                                     std::vector<Point> users,
+                                     uint64_t version) {
+  if (graph == nullptr || users.size() != graph->num_nodes()) {
+    return Status::InvalidArgument("session graph/locations mismatch");
+  }
+  const uint32_t live = live_workers();
+  if (live == 0) {
+    return Status::FailedPrecondition("no live workers to shard over");
+  }
+  graph_ = std::move(graph);
+  users_ = std::move(users);
+  version_ = version;
+  session_loaded_ = false;
+  snapshot_.clear();
+
+  // Same offline precomputation as the simulation: greedy coloring for the
+  // color-synchronous rounds, PlaceUsers for the shard cut (kLocality
+  // dogfoods the src/partition mini-METIS).
+  coloring_ = GreedyColoring(*graph_);
+  auto parts_or = PlaceUsers(*graph_, config_.partition, live);
+  if (!parts_or.ok()) return parts_or.status();
+  std::vector<std::vector<NodeId>> parts = std::move(parts_or).value();
+
+  // Hand the i-th part to the i-th live slot. Dead slots keep empty user
+  // lists; a recovery after LoadSession re-balances from here.
+  uint32_t next_part = 0;
+  for (WorkerSlot& slot : slots_) {
+    slot.users.clear();
+    if (slot.alive) slot.users = std::move(parts[next_part++]);
+  }
+  slot_of_.assign(graph_->num_nodes(), 0);
+  for (uint32_t s = 0; s < slots_.size(); ++s) {
+    for (const NodeId v : slots_[s].users) slot_of_[v] = s;
+  }
+  interest_ = config_.interest_multicast
+                  ? BuildInterestMasks(*graph_, slot_of_)
+                  : std::vector<uint64_t>();
+
+  for (uint32_t s = 0; s < slots_.size(); ++s) {
+    if (!slots_[s].alive) continue;
+    if (Status st = ShipShard(s); !st.ok()) {
+      MarkDead(s, st);
+      return st;
+    }
+  }
+  session_loaded_ = true;
+  return Status::OK();
+}
+
+Status ShardCoordinator::ShipShard(uint32_t slot) {
+  WorkerSlot& ws = slots_[slot];
+  ShardPayload payload;
+  payload.session_version = version_;
+  payload.n = graph_->num_nodes();
+  payload.num_colors = coloring_.num_colors();
+  payload.local_users = ws.users;
+  std::sort(payload.local_users.begin(), payload.local_users.end());
+  payload.local_colors.reserve(payload.local_users.size());
+  payload.locations.reserve(payload.local_users.size());
+  for (const NodeId v : payload.local_users) {
+    payload.local_colors.push_back(coloring_.color[v]);
+    payload.locations.push_back(users_[v]);
+  }
+  // Owned adjacency rows. Each local-local edge must reach the worker's
+  // GraphBuilder exactly once (the builder sums duplicates); local-remote
+  // edges appear in exactly one of the two rows we iterate, so they are
+  // emitted unconditionally.
+  for (const NodeId v : payload.local_users) {
+    for (const Neighbor& nb : graph_->neighbors(v)) {
+      if (slot_of_[nb.node] == slot && nb.node < v) {
+        continue;  // local-local edge, already emitted from the lower row
+      }
+      payload.edges.push_back({v, nb.node, nb.weight});
+    }
+  }
+  RMGP_RETURN_IF_ERROR(ws.conn.SendFrame(kLoadShard, EncodeShard(payload),
+                                         config_.io_timeout_ms));
+  auto ack = ws.conn.ReadFrame(config_.io_timeout_ms);
+  if (!ack.ok()) return ack.status();
+  if (ack->type != kAck) {
+    return Status::Internal("expected shard ack, got frame type " +
+                            std::to_string(ack->type));
+  }
+  return Status::OK();
+}
+
+void ShardCoordinator::Resync() {
+  for (uint32_t s = 0; s < slots_.size(); ++s) {
+    if (!slots_[s].alive) continue;
+    Status st = slots_[s].conn.SendFrame(kPing, EncodeCommand(kPing, seq_),
+                                         config_.io_timeout_ms);
+    if (!st.ok()) {
+      MarkDead(s, st);
+      continue;
+    }
+    // Discard everything queued ahead of the pong. The worker serves
+    // requests one at a time in arrival order, so at most a handful of
+    // replies to already-sent requests can precede it; the cap only
+    // guards against a malfunctioning peer flooding the stream.
+    for (int drained = 0; drained < 1024; ++drained) {
+      auto frame = slots_[s].conn.ReadFrame(config_.io_timeout_ms);
+      if (!frame.ok()) {
+        MarkDead(s, frame.status());
+        break;
+      }
+      if (frame->type == kPong) break;
+    }
+  }
+}
+
+Status ShardCoordinator::Recover() {
+  Stopwatch sw;
+  const uint32_t live = live_workers();
+  // Quorum: fewer than half the original workers alive fails the query
+  // (not the session — the caller can still solve locally or retry after
+  // workers rejoin).
+  if (live == 0 || live * 2 < slots_.size()) {
+    return Status::Unavailable(
+        "quorum lost: " + std::to_string(live) + " of " +
+        std::to_string(slots_.size()) + " workers alive");
+  }
+
+  // Re-assign every dead slot's users to the least-loaded live worker.
+  std::vector<uint32_t> reshipped;
+  for (uint32_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].alive || slots_[s].users.empty()) continue;
+    uint32_t target = UINT32_MAX;
+    for (uint32_t t = 0; t < slots_.size(); ++t) {
+      if (!slots_[t].alive) continue;
+      if (target == UINT32_MAX ||
+          slots_[t].users.size() < slots_[target].users.size()) {
+        target = t;
+      }
+    }
+    for (const NodeId v : slots_[s].users) slot_of_[v] = target;
+    slots_[target].users.insert(slots_[target].users.end(),
+                                slots_[s].users.begin(),
+                                slots_[s].users.end());
+    slots_[s].users.clear();
+    if (std::find(reshipped.begin(), reshipped.end(), target) ==
+        reshipped.end()) {
+      reshipped.push_back(target);
+    }
+  }
+  if (config_.interest_multicast) {
+    interest_ = BuildInterestMasks(*graph_, slot_of_);
+  }
+  for (const uint32_t s : reshipped) {
+    if (Status st = ShipShard(s); !st.ok()) {
+      MarkDead(s, st);
+      return Recover();  // cascade: the merge target died too
+    }
+  }
+  ++recovery_.recoveries;
+  recovery_.last_recovery_ms = sw.ElapsedMillis();
+  return Status::OK();
+}
+
+std::string ShardCoordinator::BundleFor(
+    uint32_t slot, const std::vector<StrategyChange>& changes) const {
+  std::vector<WireChange> bundle;
+  for (const StrategyChange& ch : changes) {
+    if (slot_of_[ch.user] == slot) continue;  // its own change
+    if (config_.interest_multicast &&
+        ((interest_[ch.user] >> slot) & 1) == 0) {
+      continue;  // no friend of ch.user lives on this worker
+    }
+    bundle.push_back({ch.user, ch.new_class});
+  }
+  return EncodeWireChanges(bundle);
+}
+
+Result<DgResult> ShardCoordinator::Solve(const std::vector<Point>& events,
+                                         double alpha, double cost_scale,
+                                         const SolverOptions& solver) {
+  if (!session_loaded_) {
+    return Status::FailedPrecondition("no session loaded");
+  }
+  if (events.empty()) {
+    return Status::InvalidArgument("query carries no events");
+  }
+
+  auto costs = std::make_shared<EuclideanCostProvider>(users_, events);
+  auto inst_or = Instance::Create(graph_.get(), std::move(costs), alpha);
+  if (!inst_or.ok()) return inst_or.status();
+  Instance inst = std::move(inst_or).value();
+  inst.set_cost_scale(cost_scale);
+
+  // Liveness probe + stale-frame drain before committing to the round
+  // protocol, so deaths between queries are absorbed up-front instead of
+  // burning an attempt.
+  Resync();
+  if (live_workers() < slots_.size()) {
+    RMGP_RETURN_IF_ERROR(Recover());
+  }
+
+  // Replay loop: a worker death mid-attempt marks the slot dead; recovery
+  // reassigns its shard and the attempt restarts from the last equilibrium
+  // snapshot (warm start), preserving convergence without restarting the
+  // session.
+  Assignment warm;  // empty = cold start
+  for (uint32_t attempt = 0; attempt <= config_.max_recoveries; ++attempt) {
+    Result<DgResult> result = RunAttempt(inst, events, solver, warm);
+    if (result.ok()) {
+#ifdef RMGP_DCHECKS_ENABLED
+      if (result->converged) {
+        RMGP_DCHECK_OK(VerifyEquilibrium(inst, result->assignment));
+      }
+#endif
+      return result;
+    }
+    const StatusCode code = result.status().code();
+    if (code != StatusCode::kUnavailable &&
+        code != StatusCode::kDeadlineExceeded) {
+      return result.status();
+    }
+    // A mid-round death leaves survivors with unread in-flight replies;
+    // drain them to a quiescent state before re-sharding and replaying.
+    Resync();
+    RMGP_RETURN_IF_ERROR(Recover());
+    warm = snapshot_;  // replay from the last completed round
+  }
+  return Status::Unavailable("recovery budget exhausted");
+}
+
+Result<DgResult> ShardCoordinator::RunAttempt(
+    const Instance& inst, const std::vector<Point>& events,
+    const SolverOptions& solver, const Assignment& warm) {
+  const NodeId n = graph_->num_nodes();
+  ++seq_;
+  DgResult res;
+  Stopwatch total_sw;
+  const TrafficStats query_base = traffic();
+
+  // Per-slot send/read with death detection folded in.
+  const auto send_to = [&](uint32_t s, uint32_t type,
+                           const std::string& payload) -> Status {
+    Status st = slots_[s].conn.SendFrame(type, payload, config_.io_timeout_ms);
+    if (!st.ok()) MarkDead(s, st);
+    return st;
+  };
+  const auto read_from = [&](uint32_t s,
+                             uint32_t expect) -> Result<net::Frame> {
+    auto frame = slots_[s].conn.ReadFrame(config_.io_timeout_ms);
+    if (!frame.ok()) {
+      MarkDead(s, frame.status());
+      return frame.status();
+    }
+    if (frame->type == kError) {
+      Status st = Status::Internal("worker " + std::to_string(s) +
+                                   " reported: " + frame->payload);
+      MarkDead(s, st);
+      return st;
+    }
+    if (frame->type != expect) {
+      Status st = Status::Internal(
+          "worker " + std::to_string(s) + ": expected frame type " +
+          std::to_string(expect) + ", got " + std::to_string(frame->type));
+      MarkDead(s, st);
+      return st;
+    }
+    return frame;
+  };
+
+  // ---- Round 0: initialization handshake (Fig 6 lines 1-13).
+  DgRoundStats round0;
+  {
+    Stopwatch sw;
+    const TrafficStats base = traffic();
+    QueryInitPayload init;
+    init.seq = seq_;
+    init.alpha = inst.alpha();
+    init.cost_scale = inst.cost_scale();
+    init.seed = solver.seed;
+    init.init = static_cast<uint32_t>(solver.init);
+    init.events = events;
+    for (uint32_t s = 0; s < slots_.size(); ++s) {
+      if (!slots_[s].alive) continue;
+      init.warm = !warm.empty();
+      init.warm_local.clear();
+      if (init.warm) {
+        init.warm_local.reserve(slots_[s].users.size());
+        std::vector<NodeId> sorted = slots_[s].users;
+        std::sort(sorted.begin(), sorted.end());
+        for (const NodeId v : sorted) init.warm_local.push_back(warm[v]);
+      }
+      RMGP_RETURN_IF_ERROR(send_to(s, kQueryInit, EncodeQueryInit(init)));
+    }
+    Assignment master_gsv(n, 0);
+    for (uint32_t s = 0; s < slots_.size(); ++s) {
+      if (!slots_[s].alive) continue;
+      RMGP_ASSIGN_OR_RETURN(net::Frame lsv, read_from(s, kLsv));
+      RMGP_ASSIGN_OR_RETURN(std::vector<WireChange> entries,
+                            DecodeChanges(lsv.payload));
+      for (const WireChange& ch : entries) {
+        if (ch.user >= n) {
+          return Status::Internal("worker sent out-of-range user");
+        }
+        master_gsv[ch.user] = ch.new_class;
+      }
+    }
+    const std::string gsv_payload = EncodeGsv(master_gsv);
+    for (uint32_t s = 0; s < slots_.size(); ++s) {
+      if (!slots_[s].alive) continue;
+      RMGP_RETURN_IF_ERROR(send_to(s, kGsv, gsv_payload));
+    }
+    for (uint32_t s = 0; s < slots_.size(); ++s) {
+      if (!slots_[s].alive) continue;
+      RMGP_RETURN_IF_ERROR(read_from(s, kAck).status());
+    }
+    snapshot_ = master_gsv;
+    res.assignment = std::move(master_gsv);
+
+    const TrafficStats now = traffic();
+    round0.round = 0;
+    round0.seconds = sw.ElapsedSeconds();
+    round0.compute_seconds = round0.seconds;  // measured wall, no split
+    round0.bytes = now.bytes - base.bytes;
+    round0.messages = now.messages - base.messages;
+  }
+  res.round_stats.push_back(round0);
+
+  // ---- Game rounds (Fig 6 lines 14-25).
+  Assignment& master_gsv = res.assignment;
+  std::vector<StrategyChange> all_changes;  // reused across color steps
+  for (uint32_t round = 1; round <= solver.max_rounds; ++round) {
+    Stopwatch sw;
+    const TrafficStats base = traffic();
+    uint64_t round_changes = 0;
+    for (uint32_t color = 0; color < coloring_.num_colors(); ++color) {
+      for (uint32_t s = 0; s < slots_.size(); ++s) {
+        if (!slots_[s].alive) continue;
+        RMGP_RETURN_IF_ERROR(
+            send_to(s, kComputeColor, EncodeCommand(color, seq_)));
+      }
+      all_changes.clear();
+      for (uint32_t s = 0; s < slots_.size(); ++s) {
+        if (!slots_[s].alive) continue;
+        RMGP_ASSIGN_OR_RETURN(net::Frame reply, read_from(s, kChanges));
+        RMGP_ASSIGN_OR_RETURN(std::vector<WireChange> entries,
+                              DecodeChanges(reply.payload));
+        for (const WireChange& ch : entries) {
+          if (ch.user >= n) {
+            return Status::Internal("worker sent out-of-range user");
+          }
+          all_changes.push_back(
+              {ch.user, master_gsv[ch.user], ch.new_class});
+        }
+      }
+      for (const StrategyChange& ch : all_changes) {
+        master_gsv[ch.user] = ch.new_class;
+      }
+      round_changes += all_changes.size();
+      // Redistribute, then barrier on acks so every worker finishes the
+      // color step before the next one starts (the color-synchronous
+      // schedule is what keeps this identical to the centralized game).
+      for (uint32_t s = 0; s < slots_.size(); ++s) {
+        if (!slots_[s].alive) continue;
+        RMGP_RETURN_IF_ERROR(
+            send_to(s, kApplyChanges, BundleFor(s, all_changes)));
+      }
+      for (uint32_t s = 0; s < slots_.size(); ++s) {
+        if (!slots_[s].alive) continue;
+        RMGP_RETURN_IF_ERROR(read_from(s, kAck).status());
+      }
+    }
+
+    DgRoundStats rs;
+    rs.round = round;
+    rs.deviations = round_changes;
+    rs.seconds = sw.ElapsedSeconds();
+    rs.compute_seconds = rs.seconds;
+    const TrafficStats now = traffic();
+    rs.bytes = now.bytes - base.bytes;
+    rs.messages = now.messages - base.messages;
+    res.round_stats.push_back(rs);
+    res.rounds = round;
+    snapshot_ = master_gsv;  // completed round = new recovery point
+    if (round_changes == 0) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  res.objective = EvaluateObjective(inst, res.assignment);
+  res.simulated_seconds = total_sw.ElapsedSeconds();  // measured, not modeled
+  const TrafficStats now = traffic();
+  res.traffic.bytes = now.bytes - query_base.bytes;
+  res.traffic.messages = now.messages - query_base.messages;
+  return res;
+}
+
+Status ShardCoordinator::Shutdown() {
+  for (WorkerSlot& slot : slots_) {
+    if (!slot.alive) continue;
+    RMGP_IGNORE_STATUS(slot.conn.SendFrame(kShutdown, EncodeAck(0),
+                                           config_.io_timeout_ms));
+    closed_traffic_.Merge(slot.conn.sent());
+    closed_traffic_.Merge(slot.conn.received());
+    slot.conn.Close();
+    slot.alive = false;
+  }
+  listener_.Close();
+  return Status::OK();
+}
+
+}  // namespace shard
+}  // namespace rmgp

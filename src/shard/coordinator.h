@@ -1,0 +1,149 @@
+#ifndef RMGP_SHARD_COORDINATOR_H_
+#define RMGP_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solver.h"
+#include "dist/decentralized.h"  // DgResult / DgRoundStats
+#include "dist/network.h"
+#include "dist/slave_game.h"
+#include "graph/coloring.h"
+#include "graph/graph.h"
+#include "net/socket.h"
+#include "shard/messages.h"
+#include "spatial/point.h"
+#include "util/status.h"
+
+namespace rmgp {
+namespace shard {
+
+struct CoordinatorConfig {
+  /// Placement of users onto workers — the session graph is cut with the
+  /// same PlaceUsers the simulation uses (kLocality dogfoods the
+  /// src/partition mini-METIS).
+  PartitionScheme partition = PartitionScheme::kHash;
+  /// Ship a strategy change only to workers hosting a friend of the
+  /// changed user (identical game outcome; collapses change traffic when
+  /// combined with kLocality). Requires at most 64 workers.
+  bool interest_multicast = false;
+  /// Per-frame I/O deadline. A worker that misses it mid-round is treated
+  /// as dead — this doubles as the heartbeat timeout.
+  int io_timeout_ms = 30000;
+  /// Recovery attempts per query before the query fails outright.
+  uint32_t max_recoveries = 8;
+};
+
+/// Liveness/failure telemetry for one coordinator (ISSUE 8 state machine:
+/// detect -> reassign -> replay-from-snapshot, or fail the round when
+/// quorum is lost).
+struct RecoveryStats {
+  uint64_t recoveries = 0;      ///< successful reassign+replay cycles
+  double last_recovery_ms = 0;  ///< reassign + re-ship wall time
+  uint32_t workers_lost = 0;    ///< total worker deaths observed
+};
+
+/// The master of the decentralized game (Fig 6) over real sockets: owns
+/// the listener, the worker connections, the session partition, and the
+/// authoritative global strategy vector. Embedded in RmgpService for
+/// dist-mode queries; usable standalone from tools and tests.
+///
+/// Not thread-safe: serialize calls externally (RmgpService holds a mutex
+/// around the coordinator).
+class ShardCoordinator {
+ public:
+  explicit ShardCoordinator(CoordinatorConfig config);
+
+  /// Binds the coordinator socket (port 0 = ephemeral; see port()).
+  Status Listen(uint16_t port);
+  uint16_t port() const { return listener_.port(); }
+
+  /// Accepts and handshakes `count` workers (waits up to timeout_ms).
+  Status AwaitWorkers(uint32_t count, int timeout_ms);
+
+  /// Cuts the session graph into one shard per live worker (PlaceUsers +
+  /// GreedyColoring, both identical to the in-process simulation) and
+  /// ships the shards. Must be re-called when the session changes.
+  Status LoadSession(std::shared_ptr<const Graph> graph,
+                     std::vector<Point> users, uint64_t version);
+
+  /// Runs one distributed query: round-0 handshake (init + GSV), then
+  /// synchronized per-color best-response rounds until no deviations.
+  /// Converged results are bit-identical to RunDecentralizedGame (and so
+  /// to the centralized coloring-synchronous game) on the same inputs.
+  /// Worker death mid-query triggers recovery: the dead shard is
+  /// re-assigned to the least-loaded live worker and the query replays
+  /// from the last equilibrium snapshot; when quorum is lost (fewer than
+  /// half the original workers alive) the query fails with Unavailable —
+  /// the session itself stays usable.
+  Result<DgResult> Solve(const std::vector<Point>& events, double alpha,
+                         double cost_scale, const SolverOptions& solver);
+
+  /// Measured lifetime wire traffic (both directions, framing included).
+  TrafficStats traffic() const;
+
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(slots_.size());
+  }
+  uint32_t live_workers() const;
+  uint64_t session_version() const { return version_; }
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+
+  /// Sends kShutdown to every live worker and closes all connections.
+  Status Shutdown();
+
+ private:
+  struct WorkerSlot {
+    net::Connection conn;
+    std::vector<NodeId> users;
+    bool alive = false;
+  };
+
+  Status ShipShard(uint32_t slot);
+  /// Ping-drain barrier: pings every live worker and discards stale frames
+  /// until the matching pong arrives. Workers reply strictly in request
+  /// order, so after this returns every connection is quiescent — the only
+  /// safe state to start (or replay) an attempt from. Workers that fail
+  /// the barrier are marked dead.
+  void Resync();
+  /// Marks `slot` dead, folding its traffic counters into the total.
+  void MarkDead(uint32_t slot, const Status& cause);
+  /// Reassigns every dead slot's users to the least-loaded live worker and
+  /// re-ships the merged shards. Unavailable when quorum is lost.
+  Status Recover();
+  Result<DgResult> RunAttempt(const Instance& inst,
+                              const std::vector<Point>& events,
+                              const SolverOptions& solver,
+                              const Assignment& warm);
+  /// Bundle for `slot`: every change it must learn about (not its own;
+  /// interest-filtered under multicast).
+  std::string BundleFor(uint32_t slot,
+                        const std::vector<StrategyChange>& changes) const;
+
+  CoordinatorConfig config_;
+  net::Listener listener_;
+  std::vector<WorkerSlot> slots_;
+  TrafficStats closed_traffic_;  ///< from connections already closed
+
+  // ---- Session state (LoadSession).
+  std::shared_ptr<const Graph> graph_;
+  std::vector<Point> users_;
+  uint64_t version_ = 0;
+  bool session_loaded_ = false;
+  Coloring coloring_;
+  std::vector<uint32_t> slot_of_;     ///< user -> owning slot index
+  std::vector<uint64_t> interest_;    ///< multicast masks (bit = slot)
+
+  // ---- Query state.
+  uint64_t seq_ = 0;
+  Assignment snapshot_;  ///< GSV after the last completed round
+  RecoveryStats recovery_;
+};
+
+}  // namespace shard
+}  // namespace rmgp
+
+#endif  // RMGP_SHARD_COORDINATOR_H_

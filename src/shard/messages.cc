@@ -1,0 +1,218 @@
+#include "shard/messages.h"
+
+#include "net/frame.h"
+
+namespace rmgp {
+namespace shard {
+
+using net::PutF64;
+using net::PutU32;
+using net::PutU64;
+using net::Reader;
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated ") + what +
+                                 " payload");
+}
+
+}  // namespace
+
+std::string EncodeShard(const ShardPayload& shard) {
+  std::string out;
+  const size_t num_local = shard.local_users.size();
+  out.reserve(40 + num_local * 24 + shard.edges.size() * 16);
+  PutU64(out, shard.session_version);
+  PutU32(out, shard.n);
+  PutU32(out, shard.num_colors);
+  PutU32(out, static_cast<uint32_t>(num_local));
+  PutU32(out, static_cast<uint32_t>(shard.edges.size()));
+  for (const NodeId v : shard.local_users) PutU32(out, v);
+  for (const uint32_t c : shard.local_colors) PutU32(out, c);
+  for (const Edge& e : shard.edges) {
+    PutU32(out, e.u);
+    PutU32(out, e.v);
+    PutF64(out, e.weight);
+  }
+  for (const Point& p : shard.locations) {
+    PutF64(out, p.x);
+    PutF64(out, p.y);
+  }
+  return out;
+}
+
+Result<ShardPayload> DecodeShard(std::string_view payload) {
+  Reader r(payload);
+  ShardPayload shard;
+  uint32_t num_local = 0, num_edges = 0;
+  if (!r.U64(&shard.session_version) || !r.U32(&shard.n) ||
+      !r.U32(&shard.num_colors) || !r.U32(&num_local) || !r.U32(&num_edges)) {
+    return Truncated("shard header");
+  }
+  shard.local_users.resize(num_local);
+  for (uint32_t i = 0; i < num_local; ++i) {
+    if (!r.U32(&shard.local_users[i])) return Truncated("shard users");
+  }
+  shard.local_colors.resize(num_local);
+  for (uint32_t i = 0; i < num_local; ++i) {
+    if (!r.U32(&shard.local_colors[i])) return Truncated("shard colors");
+  }
+  shard.edges.resize(num_edges);
+  for (uint32_t i = 0; i < num_edges; ++i) {
+    Edge& e = shard.edges[i];
+    if (!r.U32(&e.u) || !r.U32(&e.v) || !r.F64(&e.weight)) {
+      return Truncated("shard edges");
+    }
+  }
+  shard.locations.resize(num_local);
+  for (uint32_t i = 0; i < num_local; ++i) {
+    Point& p = shard.locations[i];
+    if (!r.F64(&p.x) || !r.F64(&p.y)) return Truncated("shard locations");
+  }
+  if (!r.done()) {
+    return Status::InvalidArgument("trailing bytes in shard payload");
+  }
+  return shard;
+}
+
+std::string EncodeQueryInit(const QueryInitPayload& query) {
+  std::string out;
+  out.reserve(48 + query.events.size() * wire::kPerEvent +
+              query.warm_local.size() * wire::kPerStrategyEntry);
+  PutU64(out, query.seq);
+  PutF64(out, query.alpha);
+  PutF64(out, query.cost_scale);
+  PutU64(out, query.seed);
+  PutU32(out, query.init);
+  PutU32(out, static_cast<uint32_t>(query.events.size()));
+  PutU32(out, query.warm ? 1 : 0);
+  PutU32(out, static_cast<uint32_t>(query.warm_local.size()));
+  for (uint32_t p = 0; p < query.events.size(); ++p) {
+    // wire::kPerEvent = 20: event id + two f64 coordinates.
+    PutU32(out, p);
+    PutF64(out, query.events[p].x);
+    PutF64(out, query.events[p].y);
+  }
+  for (const ClassId c : query.warm_local) PutU32(out, c);
+  return out;
+}
+
+Result<QueryInitPayload> DecodeQueryInit(std::string_view payload) {
+  Reader r(payload);
+  QueryInitPayload query;
+  uint32_t num_events = 0, warm = 0, num_warm = 0;
+  if (!r.U64(&query.seq) || !r.F64(&query.alpha) ||
+      !r.F64(&query.cost_scale) || !r.U64(&query.seed) ||
+      !r.U32(&query.init) || !r.U32(&num_events) || !r.U32(&warm) ||
+      !r.U32(&num_warm)) {
+    return Truncated("query header");
+  }
+  query.warm = warm != 0;
+  query.events.resize(num_events);
+  for (uint32_t i = 0; i < num_events; ++i) {
+    uint32_t id = 0;
+    Point& p = query.events[i];
+    if (!r.U32(&id) || !r.F64(&p.x) || !r.F64(&p.y)) {
+      return Truncated("query events");
+    }
+    if (id != i) return Status::InvalidArgument("event ids out of order");
+  }
+  query.warm_local.resize(num_warm);
+  for (uint32_t i = 0; i < num_warm; ++i) {
+    if (!r.U32(&query.warm_local[i])) return Truncated("query warm start");
+  }
+  if (!r.done()) {
+    return Status::InvalidArgument("trailing bytes in query payload");
+  }
+  return query;
+}
+
+std::string EncodeChanges(const std::vector<StrategyChange>& changes) {
+  std::string out;
+  out.reserve(changes.size() * wire::kPerStrategyChange);
+  for (const StrategyChange& ch : changes) {
+    PutU32(out, ch.user);
+    PutU32(out, ch.new_class);
+  }
+  return out;
+}
+
+std::string EncodeWireChanges(const std::vector<WireChange>& changes) {
+  std::string out;
+  out.reserve(changes.size() * wire::kPerStrategyChange);
+  for (const WireChange& ch : changes) {
+    PutU32(out, ch.user);
+    PutU32(out, ch.new_class);
+  }
+  return out;
+}
+
+Result<std::vector<WireChange>> DecodeChanges(std::string_view payload) {
+  if (payload.size() % wire::kPerStrategyChange != 0) {
+    return Status::InvalidArgument("changes payload not a multiple of 8");
+  }
+  Reader r(payload);
+  std::vector<WireChange> changes(payload.size() / wire::kPerStrategyChange);
+  for (WireChange& ch : changes) {
+    if (!r.U32(&ch.user) || !r.U32(&ch.new_class)) {
+      return Truncated("changes");
+    }
+  }
+  return changes;
+}
+
+std::string EncodeGsv(const Assignment& gsv) {
+  std::string out;
+  out.reserve(gsv.size() * wire::kPerStrategyEntry);
+  for (const ClassId c : gsv) PutU32(out, c);
+  return out;
+}
+
+Result<Assignment> DecodeGsv(std::string_view payload) {
+  if (payload.size() % wire::kPerStrategyEntry != 0) {
+    return Status::InvalidArgument("gsv payload not a multiple of 4");
+  }
+  Reader r(payload);
+  Assignment gsv(payload.size() / wire::kPerStrategyEntry);
+  for (ClassId& c : gsv) {
+    if (!r.U32(&c)) return Truncated("gsv");
+  }
+  return gsv;
+}
+
+std::string EncodeCommand(uint64_t opcode, uint64_t arg) {
+  std::string out;
+  out.reserve(wire::kCommand);
+  PutU64(out, opcode);
+  PutU64(out, arg);
+  return out;
+}
+
+Result<std::pair<uint64_t, uint64_t>> DecodeCommand(std::string_view payload) {
+  Reader r(payload);
+  uint64_t opcode = 0, arg = 0;
+  if (!r.U64(&opcode) || !r.U64(&arg) || !r.done()) {
+    return Status::InvalidArgument("malformed command payload");
+  }
+  return std::make_pair(opcode, arg);
+}
+
+std::string EncodeAck(uint64_t value) {
+  std::string out;
+  out.reserve(wire::kAck);
+  PutU64(out, value);
+  return out;
+}
+
+Result<uint64_t> DecodeAck(std::string_view payload) {
+  Reader r(payload);
+  uint64_t value = 0;
+  if (!r.U64(&value) || !r.done()) {
+    return Status::InvalidArgument("malformed ack payload");
+  }
+  return value;
+}
+
+}  // namespace shard
+}  // namespace rmgp

@@ -1,0 +1,114 @@
+#ifndef RMGP_SHARD_MESSAGES_H_
+#define RMGP_SHARD_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/solver.h"
+#include "dist/network.h"
+#include "dist/slave_game.h"
+#include "graph/graph.h"
+#include "spatial/point.h"
+#include "util/status.h"
+
+namespace rmgp {
+namespace shard {
+
+/// Message types carried in the net/frame.h type field. One coordinator
+/// (the master of Fig 6, embedded in RmgpService) drives N workers over a
+/// star topology; workers never talk to each other — with direct exchange
+/// the simulation halves the hop count, but over a star the relay through
+/// the coordinator is the only path (identical game outcome either way).
+enum MsgType : uint32_t {
+  kHello = 1,     ///< worker -> coordinator: protocol magic
+  kWelcome,       ///< coordinator -> worker: assigned worker id
+  kLoadShard,     ///< coordinator -> worker: shard payload; reply kAck
+  kQueryInit,     ///< coordinator -> worker: query + init policy; reply kLsv
+  kLsv,           ///< worker -> coordinator: local strategic vector
+  kGsv,           ///< coordinator -> worker: full GSV; reply kAck
+  kComputeColor,  ///< coordinator -> worker: color step; reply kChanges
+  kChanges,       ///< worker -> coordinator: this color's local deviations
+  kApplyChanges,  ///< coordinator -> worker: remote deviations; reply kAck
+  kAck,           ///< 8-byte acknowledgement (wire::kAck)
+  kPing,          ///< coordinator -> worker: liveness probe; reply kPong
+  kPong,          ///< worker -> coordinator
+  kShutdown,      ///< coordinator -> worker: exit cleanly, no reply
+  kError,         ///< worker -> coordinator: human-readable failure
+};
+
+inline constexpr uint64_t kProtocolMagic = 0x3150474d52ull;  // "RMGP1"
+
+/// A strategy change as it travels: (user, new_class), exactly
+/// wire::kPerStrategyChange bytes. The receiver derives old_class from its
+/// own GSV entry (see StrategyChange in dist/slave_game.h for why that is
+/// always current).
+struct WireChange {
+  NodeId user;
+  ClassId new_class;
+};
+
+/// Everything a worker needs to own a shard: its users, their colors,
+/// their adjacency rows, and their check-in locations.
+///
+/// Encoding note — the one deviation from the wire:: sizes: the
+/// simulation charged f32 coordinates/weights (kPerEdge = kPerLocation =
+/// 12), but the sharded game must reproduce the in-process game's Φ
+/// bit-for-bit, so bulk shard payloads carry f64 (16 bytes per edge, 16
+/// per location). Per-query traffic (strategy entries, changes, events,
+/// commands, acks) matches wire:: exactly.
+struct ShardPayload {
+  uint64_t session_version = 0;
+  NodeId n = 0;           ///< total users in the session (GSV length)
+  uint32_t num_colors = 0;
+  std::vector<NodeId> local_users;      ///< ascending
+  std::vector<uint32_t> local_colors;   ///< parallel to local_users
+  std::vector<Edge> edges;              ///< owned rows, each edge once
+  std::vector<Point> locations;         ///< parallel to local_users
+};
+
+std::string EncodeShard(const ShardPayload& shard);
+Result<ShardPayload> DecodeShard(std::string_view payload);
+
+/// Fig 6 round 0: the query broadcast. Events travel as
+/// wire::kPerEvent = 20 bytes each (u32 id + two f64 coordinates); a warm
+/// start (recovery replay) adds wire::kPerStrategyEntry bytes per local
+/// user.
+struct QueryInitPayload {
+  uint64_t seq = 0;
+  double alpha = 0.5;
+  double cost_scale = 1.0;
+  uint64_t seed = 1;
+  uint32_t init = 0;  ///< InitPolicy as uint32
+  std::vector<Point> events;
+  bool warm = false;
+  std::vector<ClassId> warm_local;  ///< parallel to the shard's local_users
+};
+
+std::string EncodeQueryInit(const QueryInitPayload& query);
+Result<QueryInitPayload> DecodeQueryInit(std::string_view payload);
+
+/// Strategy changes: wire::kPerStrategyChange bytes each, count implied by
+/// the frame length.
+std::string EncodeChanges(const std::vector<StrategyChange>& changes);
+std::string EncodeWireChanges(const std::vector<WireChange>& changes);
+Result<std::vector<WireChange>> DecodeChanges(std::string_view payload);
+
+/// The full GSV: wire::kPerStrategyEntry bytes per user.
+std::string EncodeGsv(const Assignment& gsv);
+Result<Assignment> DecodeGsv(std::string_view payload);
+
+/// Control command: wire::kCommand = 16 bytes (opcode + argument).
+std::string EncodeCommand(uint64_t opcode, uint64_t arg);
+Result<std::pair<uint64_t, uint64_t>> DecodeCommand(std::string_view payload);
+
+/// Acknowledgement: wire::kAck = 8 bytes.
+std::string EncodeAck(uint64_t value);
+Result<uint64_t> DecodeAck(std::string_view payload);
+
+}  // namespace shard
+}  // namespace rmgp
+
+#endif  // RMGP_SHARD_MESSAGES_H_

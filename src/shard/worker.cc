@@ -1,0 +1,218 @@
+#include "shard/worker.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rmgp {
+namespace shard {
+
+ShardWorker::ShardWorker(ShardWorkerOptions options)
+    : options_(std::move(options)) {}
+
+Status ShardWorker::Run() {
+  auto conn_or =
+      net::Connection::Dial(options_.host, options_.port,
+                            options_.dial_timeout_ms);
+  if (!conn_or.ok()) return conn_or.status();
+  net::Connection conn = std::move(conn_or).value();
+
+  RMGP_RETURN_IF_ERROR(conn.SendFrame(kHello, EncodeAck(kProtocolMagic),
+                                      options_.io_timeout_ms));
+  auto welcome = conn.ReadFrame(options_.io_timeout_ms);
+  if (!welcome.ok()) return welcome.status();
+  if (welcome->type != kWelcome) {
+    return Status::Internal("expected kWelcome from the coordinator");
+  }
+  auto id_or = DecodeAck(welcome->payload);
+  if (!id_or.ok()) return id_or.status();
+  worker_id_ = static_cast<uint32_t>(id_or.value());
+
+  for (;;) {
+    if (options_.stop != nullptr &&
+        options_.stop->load(std::memory_order_relaxed)) {
+      break;  // SIGTERM et al.: exit 0 without waiting for the coordinator
+    }
+    auto frame_or = conn.ReadFrame(options_.poll_interval_ms);
+    if (!frame_or.ok()) {
+      const StatusCode code = frame_or.status().code();
+      if (code == StatusCode::kDeadlineExceeded) continue;  // idle poll
+      if (code == StatusCode::kUnavailable) break;  // coordinator gone
+      return frame_or.status();
+    }
+    const net::Frame& frame = frame_or.value();
+    Status handled = Status::OK();
+    switch (frame.type) {
+      case kLoadShard:
+        handled = HandleLoadShard(conn, frame.payload);
+        break;
+      case kQueryInit:
+        handled = HandleQueryInit(conn, frame.payload);
+        break;
+      case kGsv:
+        handled = HandleGsv(conn, frame.payload);
+        break;
+      case kComputeColor:
+        handled = HandleComputeColor(conn, frame.payload);
+        break;
+      case kApplyChanges:
+        handled = HandleApplyChanges(conn, frame.payload);
+        break;
+      case kPing:
+        handled = conn.SendFrame(kPong, EncodeAck(worker_id_),
+                                 options_.io_timeout_ms);
+        break;
+      case kShutdown:
+        sent_ = conn.sent();
+        received_ = conn.received();
+        return Status::OK();
+      default:
+        handled = Status::Internal("unexpected frame type " +
+                                   std::to_string(frame.type));
+    }
+    if (!handled.ok()) {
+      // Best-effort error report before giving up; the coordinator treats
+      // any wire failure as worker death anyway.
+      RMGP_IGNORE_STATUS(
+          conn.SendFrame(kError, handled.ToString(), options_.io_timeout_ms));
+      return handled;
+    }
+  }
+  sent_ = conn.sent();
+  received_ = conn.received();
+  return Status::OK();
+}
+
+Status ShardWorker::HandleLoadShard(net::Connection& conn,
+                                    const std::string& payload) {
+  auto shard_or = DecodeShard(payload);
+  if (!shard_or.ok()) return shard_or.status();
+  shard_ = std::move(shard_or).value();
+  if (shard_.local_colors.size() != shard_.local_users.size() ||
+      shard_.locations.size() != shard_.local_users.size()) {
+    return Status::InvalidArgument("inconsistent shard payload");
+  }
+
+  // Rebuild the local view: a full-|V| id space whose adjacency holds only
+  // this shard's rows. Remote users pick up spurious reverse rows (CSR
+  // stores each edge at both endpoints) — harmless, because the game only
+  // ever iterates local users' rows.
+  GraphBuilder builder(shard_.n);
+  for (const Edge& e : shard_.edges) {
+    RMGP_RETURN_IF_ERROR(builder.AddEdge(e.u, e.v, e.weight));
+  }
+  graph_ = std::make_unique<Graph>(std::move(builder).Build());
+  points_.assign(shard_.n, Point{0.0, 0.0});
+  colors_.assign(shard_.n, 0);
+  for (size_t i = 0; i < shard_.local_users.size(); ++i) {
+    const NodeId v = shard_.local_users[i];
+    if (v >= shard_.n) return Status::InvalidArgument("shard user out of range");
+    points_[v] = shard_.locations[i];
+    colors_[v] = shard_.local_colors[i];
+  }
+  // Dangling per-query state from a previous session would reference the
+  // old graph; drop it before acking.
+  game_.reset();
+  inst_.reset();
+  costs_.reset();
+  return conn.SendFrame(kAck, EncodeAck(shard_.session_version),
+                        options_.io_timeout_ms);
+}
+
+Status ShardWorker::HandleQueryInit(net::Connection& conn,
+                                    const std::string& payload) {
+  if (graph_ == nullptr) {
+    return Status::FailedPrecondition("query before shard load");
+  }
+  auto query_or = DecodeQueryInit(payload);
+  if (!query_or.ok()) return query_or.status();
+  QueryInitPayload query = std::move(query_or).value();
+
+  costs_ = std::make_shared<EuclideanCostProvider>(points_, query.events);
+  auto inst_or = Instance::Create(graph_.get(), costs_, query.alpha);
+  if (!inst_or.ok()) return inst_or.status();
+  inst_ = std::make_unique<Instance>(std::move(inst_or).value());
+  inst_->set_cost_scale(query.cost_scale);
+
+  SolverOptions options;
+  options.init = static_cast<InitPolicy>(query.init);
+  options.seed = query.seed;
+  if (query.warm) {
+    if (query.warm_local.size() != shard_.local_users.size()) {
+      return Status::InvalidArgument("warm start size mismatch");
+    }
+    options.init = InitPolicy::kGiven;
+    // Only local entries are ever read by InitStrategies; scatter the
+    // shipped per-local warm classes into a full-size vector.
+    options.warm_start.assign(shard_.n, 0);
+    for (size_t i = 0; i < shard_.local_users.size(); ++i) {
+      options.warm_start[shard_.local_users[i]] = query.warm_local[i];
+    }
+  }
+
+  game_ = std::make_unique<SlaveGame>(*inst_, shard_.local_users, colors_);
+  const std::vector<StrategyChange> lsv = game_->InitStrategies(options);
+  ++queries_served_;
+  color_commands_ = 0;
+  return conn.SendFrame(kLsv, EncodeChanges(lsv), options_.io_timeout_ms);
+}
+
+Status ShardWorker::HandleGsv(net::Connection& conn,
+                              const std::string& payload) {
+  if (game_ == nullptr) {
+    return Status::FailedPrecondition("gsv before query init");
+  }
+  auto gsv_or = DecodeGsv(payload);
+  if (!gsv_or.ok()) return gsv_or.status();
+  if (gsv_or->size() != shard_.n) {
+    return Status::InvalidArgument("gsv size mismatch");
+  }
+  game_->BuildTables(gsv_or.value());
+  return conn.SendFrame(kAck, EncodeAck(0), options_.io_timeout_ms);
+}
+
+Status ShardWorker::HandleComputeColor(net::Connection& conn,
+                                       const std::string& payload) {
+  if (game_ == nullptr) {
+    return Status::FailedPrecondition("color step before query init");
+  }
+  if (options_.max_color_commands > 0 &&
+      color_commands_ >= options_.max_color_commands) {
+    // Injected crash: vanish mid-round exactly the way a killed process
+    // would, so the coordinator's failure path sees a dropped connection.
+    conn.Close();
+    return Status::Unavailable("injected worker failure");
+  }
+  ++color_commands_;
+  auto cmd = DecodeCommand(payload);
+  if (!cmd.ok()) return cmd.status();
+  const uint32_t color = static_cast<uint32_t>(cmd->first);
+  const std::vector<StrategyChange> changes = game_->ComputeColor(color);
+  return conn.SendFrame(kChanges, EncodeChanges(changes),
+                        options_.io_timeout_ms);
+}
+
+Status ShardWorker::HandleApplyChanges(net::Connection& conn,
+                                       const std::string& payload) {
+  if (game_ == nullptr) {
+    return Status::FailedPrecondition("apply before query init");
+  }
+  auto wire_or = DecodeChanges(payload);
+  if (!wire_or.ok()) return wire_or.status();
+  std::vector<StrategyChange> changes;
+  changes.reserve(wire_or->size());
+  const Assignment& gsv = game_->gsv();
+  for (const WireChange& ch : wire_or.value()) {
+    if (ch.user >= shard_.n) {
+      return Status::InvalidArgument("change user out of range");
+    }
+    // old_class = our current view of the user; current for every user we
+    // host a friend of (see StrategyChange in dist/slave_game.h).
+    changes.push_back({ch.user, gsv[ch.user], ch.new_class});
+  }
+  game_->ApplyRemoteChanges(changes);
+  return conn.SendFrame(kAck, EncodeAck(0), options_.io_timeout_ms);
+}
+
+}  // namespace shard
+}  // namespace rmgp

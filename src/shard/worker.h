@@ -1,0 +1,90 @@
+#ifndef RMGP_SHARD_WORKER_H_
+#define RMGP_SHARD_WORKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cost_provider.h"
+#include "core/instance.h"
+#include "dist/slave_game.h"
+#include "graph/graph.h"
+#include "net/socket.h"
+#include "shard/messages.h"
+#include "spatial/point.h"
+#include "util/status.h"
+
+namespace rmgp {
+namespace shard {
+
+struct ShardWorkerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int dial_timeout_ms = 10000;
+  /// Cadence of the idle poll loop — how often the stop flag is checked
+  /// while waiting for the next coordinator frame.
+  int poll_interval_ms = 200;
+  /// Per-frame I/O deadline for replies back to the coordinator.
+  int io_timeout_ms = 30000;
+  /// Failure injection for the recovery tests: the worker drops its
+  /// connection without warning right before serving this many
+  /// kComputeColor commands (0 = never).
+  uint64_t max_color_commands = 0;
+  /// External shutdown request (SIGTERM handler in tools/rmgp_worker sets
+  /// it); checked every poll interval. May be null.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+/// One worker process of the sharded deployment: connects to the
+/// coordinator, receives a shard of the session graph (kLoadShard),
+/// reconstructs local state, and then plays the decentralized game's
+/// per-color best-response steps (dist/slave_game.h — the exact logic the
+/// in-process simulation runs) on command. Single-threaded and
+/// socket-driven; exits cleanly on kShutdown, coordinator disconnect, or
+/// the stop flag.
+class ShardWorker {
+ public:
+  explicit ShardWorker(ShardWorkerOptions options);
+
+  /// Dials, handshakes, and serves until shutdown. Returns OK on a clean
+  /// exit (kShutdown frame, coordinator EOF, or stop flag), an error
+  /// Status otherwise.
+  Status Run();
+
+  uint32_t worker_id() const { return worker_id_; }
+  uint64_t queries_served() const { return queries_served_; }
+  const TrafficStats& sent() const { return sent_; }
+  const TrafficStats& received() const { return received_; }
+
+ private:
+  Status HandleLoadShard(net::Connection& conn, const std::string& payload);
+  Status HandleQueryInit(net::Connection& conn, const std::string& payload);
+  Status HandleGsv(net::Connection& conn, const std::string& payload);
+  Status HandleComputeColor(net::Connection& conn, const std::string& payload);
+  Status HandleApplyChanges(net::Connection& conn, const std::string& payload);
+
+  ShardWorkerOptions options_;
+  uint32_t worker_id_ = 0;
+  uint64_t queries_served_ = 0;
+  uint64_t color_commands_ = 0;
+  TrafficStats sent_;
+  TrafficStats received_;
+
+  // ---- Shard state (rebuilt on every kLoadShard).
+  ShardPayload shard_;
+  std::unique_ptr<Graph> graph_;     ///< full-|V| id space, local rows only
+  std::vector<Point> points_;        ///< |V|; zeros for remote users
+  std::vector<uint32_t> colors_;     ///< |V|; zeros for remote users
+
+  // ---- Per-query state (rebuilt on every kQueryInit).
+  std::shared_ptr<const CostProvider> costs_;
+  std::unique_ptr<Instance> inst_;
+  std::unique_ptr<SlaveGame> game_;
+};
+
+}  // namespace shard
+}  // namespace rmgp
+
+#endif  // RMGP_SHARD_WORKER_H_

@@ -21,6 +21,8 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kUnimplemented,
+  kUnavailable,        ///< a peer/resource is gone (e.g. worker death)
+  kDeadlineExceeded,   ///< an explicit wait deadline passed
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -66,6 +68,12 @@ class [[nodiscard]] Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff this status represents success.
@@ -146,13 +154,22 @@ class [[nodiscard]] Result {
     if (!_rmgp_st.ok()) return _rmgp_st;       \
   } while (0)
 
+// Two-level paste so __LINE__ expands before concatenation; a direct
+// `##__LINE__` would paste the literal token and collide when the macro is
+// used twice in one scope.
+#define RMGP_INTERNAL_CONCAT_(a, b) a##b
+#define RMGP_INTERNAL_CONCAT(a, b) RMGP_INTERNAL_CONCAT_(a, b)
+
+#define RMGP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
 /// Evaluates a Result expression; on error returns its Status, otherwise
 /// assigns the value to `lhs`.
-#define RMGP_ASSIGN_OR_RETURN(lhs, rexpr)      \
-  auto _rmgp_result_##__LINE__ = (rexpr);      \
-  if (!_rmgp_result_##__LINE__.ok())           \
-    return _rmgp_result_##__LINE__.status();   \
-  lhs = std::move(_rmgp_result_##__LINE__).value()
+#define RMGP_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  RMGP_ASSIGN_OR_RETURN_IMPL(                                          \
+      RMGP_INTERNAL_CONCAT(_rmgp_result_, __LINE__), lhs, rexpr)
 
 }  // namespace rmgp
 

@@ -1,0 +1,152 @@
+#include "net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "net/frame.h"
+
+namespace rmgp {
+namespace net {
+namespace {
+
+// Binds an ephemeral listener and dials it, returning both ends.
+std::pair<Connection, Connection> LoopbackPair(Listener& listener) {
+  auto bound = Listener::Bind(0);
+  RMGP_CHECK(bound.ok()) << bound.status().ToString();
+  listener = std::move(bound).value();
+  auto client = Connection::Dial("127.0.0.1", listener.port(), 2000);
+  RMGP_CHECK(client.ok()) << client.status().ToString();
+  auto server = listener.Accept(2000);
+  RMGP_CHECK(server.ok()) << server.status().ToString();
+  return {std::move(client).value(), std::move(server).value()};
+}
+
+TEST(FrameCodecTest, PutAndReadRoundTrip) {
+  std::string buf;
+  PutU32(buf, 0xdeadbeefu);
+  PutU64(buf, 0x0123456789abcdefull);
+  PutF64(buf, -2.5);
+  Reader r(buf);
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  double f64 = 0;
+  ASSERT_TRUE(r.U32(&u32));
+  ASSERT_TRUE(r.U64(&u64));
+  ASSERT_TRUE(r.F64(&f64));
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_EQ(f64, -2.5);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(FrameCodecTest, ReaderRejectsTruncatedInput) {
+  std::string buf;
+  PutU32(buf, 7);
+  Reader r(buf);
+  uint64_t u64 = 0;
+  EXPECT_FALSE(r.U64(&u64));  // only 4 bytes available
+}
+
+TEST(SocketTest, EphemeralPortIsAssigned) {
+  auto listener = Listener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  EXPECT_GT(listener->port(), 0);
+}
+
+TEST(SocketTest, FrameRoundTripOverLoopback) {
+  Listener listener;
+  auto [client, server] = LoopbackPair(listener);
+
+  ASSERT_TRUE(client.SendFrame(42, "hello shard", 2000).ok());
+  auto frame = server.ReadFrame(2000);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, 42u);
+  EXPECT_EQ(frame->payload, "hello shard");
+
+  // And the reverse direction on the same pair.
+  ASSERT_TRUE(server.SendFrame(7, "", 2000).ok());
+  auto back = client.ReadFrame(2000);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->type, 7u);
+  EXPECT_TRUE(back->payload.empty());
+}
+
+TEST(SocketTest, LargeFrameSurvivesChunkedTransfer) {
+  Listener listener;
+  auto [client, server] = LoopbackPair(listener);
+  // Well past the socket buffer, so both the send loop and the chunked
+  // receive path run more than once.
+  std::string big(4 << 20, 'x');
+  for (size_t i = 0; i < big.size(); i += 997) big[i] = 'y';
+
+  std::thread sender([&] {
+    Status st = client.SendFrame(1, big, 10000);
+    RMGP_CHECK(st.ok()) << st.ToString();
+  });
+  auto frame = server.ReadFrame(10000);
+  sender.join();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->payload, big);
+}
+
+TEST(SocketTest, ReadTimesOutWithDeadlineExceeded) {
+  Listener listener;
+  auto [client, server] = LoopbackPair(listener);
+  auto frame = server.ReadFrame(50);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDeadlineExceeded);
+  // The connection is still usable afterwards.
+  ASSERT_TRUE(client.SendFrame(3, "late", 2000).ok());
+  auto late = server.ReadFrame(2000);
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late->payload, "late");
+}
+
+TEST(SocketTest, PeerCloseSurfacesAsUnavailable) {
+  Listener listener;
+  auto [client, server] = LoopbackPair(listener);
+  client.Close();
+  auto frame = server.ReadFrame(2000);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SocketTest, DialRefusedPortTimesOut) {
+  // Grab a free port, then close the listener so nothing accepts.
+  auto listener = Listener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  const uint16_t port = listener->port();
+  listener->Close();
+  auto conn = Connection::Dial("127.0.0.1", port, 200);
+  EXPECT_FALSE(conn.ok());
+}
+
+TEST(SocketTest, TrafficCountsFramedBytesBothWays) {
+  Listener listener;
+  auto [client, server] = LoopbackPair(listener);
+  const std::string payload(100, 'z');
+  ASSERT_TRUE(client.SendFrame(1, payload, 2000).ok());
+  ASSERT_TRUE(server.ReadFrame(2000).ok());
+
+  // Measured at the frame layer: payload + 8-byte header, one message.
+  EXPECT_EQ(client.sent().bytes, payload.size() + kFrameHeaderBytes);
+  EXPECT_EQ(client.sent().messages, 1u);
+  EXPECT_EQ(server.received().bytes, payload.size() + kFrameHeaderBytes);
+  EXPECT_EQ(server.received().messages, 1u);
+  EXPECT_EQ(server.sent().bytes, 0u);
+  EXPECT_EQ(client.received().messages, 0u);
+}
+
+TEST(SocketTest, ClosedConnectionRefusesIo) {
+  Connection conn;  // never connected
+  EXPECT_EQ(conn.SendFrame(1, "x", 100).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(conn.ReadFrame(100).status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(conn.open());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace rmgp

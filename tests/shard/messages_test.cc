@@ -1,0 +1,133 @@
+#include "shard/messages.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/network.h"
+
+namespace rmgp {
+namespace shard {
+namespace {
+
+TEST(MessagesTest, ShardPayloadRoundTrips) {
+  ShardPayload shard;
+  shard.session_version = 42;
+  shard.n = 10;
+  shard.num_colors = 3;
+  shard.local_users = {1, 4, 7};
+  shard.local_colors = {0, 2, 1};
+  shard.edges = {{1, 4, 0.5}, {4, 9, 1.25}, {7, 0, 0.125}};
+  shard.locations = {{0.1, 0.2}, {3.5, -4.5}, {1e9, -1e-9}};
+
+  auto decoded = DecodeShard(EncodeShard(shard));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->session_version, 42u);
+  EXPECT_EQ(decoded->n, 10u);
+  EXPECT_EQ(decoded->num_colors, 3u);
+  EXPECT_EQ(decoded->local_users, shard.local_users);
+  EXPECT_EQ(decoded->local_colors, shard.local_colors);
+  ASSERT_EQ(decoded->edges.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded->edges[i].u, shard.edges[i].u);
+    EXPECT_EQ(decoded->edges[i].v, shard.edges[i].v);
+    EXPECT_EQ(decoded->edges[i].weight, shard.edges[i].weight);  // bit-exact
+  }
+  ASSERT_EQ(decoded->locations.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded->locations[i].x, shard.locations[i].x);
+    EXPECT_EQ(decoded->locations[i].y, shard.locations[i].y);
+  }
+}
+
+TEST(MessagesTest, ShardDecodeRejectsTruncation) {
+  ShardPayload shard;
+  shard.n = 5;
+  shard.local_users = {0, 1};
+  shard.local_colors = {0, 0};
+  shard.locations = {{0, 0}, {1, 1}};
+  const std::string enc = EncodeShard(shard);
+  for (const size_t cut : {size_t{3}, size_t{17}, enc.size() - 1}) {
+    EXPECT_FALSE(DecodeShard(std::string_view(enc).substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+  EXPECT_FALSE(DecodeShard(enc + "x").ok()) << "trailing byte";
+}
+
+TEST(MessagesTest, QueryInitRoundTripsWithWarmStart) {
+  QueryInitPayload query;
+  query.seq = 7;
+  query.alpha = 0.625;
+  query.cost_scale = 2.5;
+  query.seed = 123456789;
+  query.init = 2;
+  query.events = {{1.5, -2.5}, {0.0, 9.75}};
+  query.warm = true;
+  query.warm_local = {3, 0, 1};
+
+  auto decoded = DecodeQueryInit(EncodeQueryInit(query));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->seq, 7u);
+  EXPECT_EQ(decoded->alpha, 0.625);
+  EXPECT_EQ(decoded->cost_scale, 2.5);
+  EXPECT_EQ(decoded->seed, 123456789u);
+  EXPECT_EQ(decoded->init, 2u);
+  ASSERT_EQ(decoded->events.size(), 2u);
+  EXPECT_EQ(decoded->events[1].y, 9.75);
+  EXPECT_TRUE(decoded->warm);
+  EXPECT_EQ(decoded->warm_local, query.warm_local);
+}
+
+TEST(MessagesTest, QueryInitMatchesWireEventSize) {
+  QueryInitPayload base;
+  const size_t empty = EncodeQueryInit(base).size();
+  base.events.push_back({1.0, 2.0});
+  EXPECT_EQ(EncodeQueryInit(base).size() - empty, wire::kPerEvent);
+}
+
+TEST(MessagesTest, ChangesMatchWireSizeAndRoundTrip) {
+  std::vector<StrategyChange> changes = {{3, 0, 2}, {9, 1, 0}};
+  const std::string enc = EncodeChanges(changes);
+  EXPECT_EQ(enc.size(), 2 * wire::kPerStrategyChange);
+
+  auto decoded = DecodeChanges(enc);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 2u);
+  // Only (user, new_class) travels; old_class is derived at the receiver.
+  EXPECT_EQ((*decoded)[0].user, 3u);
+  EXPECT_EQ((*decoded)[0].new_class, 2u);
+  EXPECT_EQ((*decoded)[1].user, 9u);
+  EXPECT_EQ((*decoded)[1].new_class, 0u);
+
+  EXPECT_EQ(EncodeWireChanges(decoded.value()), enc);
+  EXPECT_FALSE(DecodeChanges(std::string_view(enc).substr(0, 5)).ok());
+}
+
+TEST(MessagesTest, GsvMatchesWireSizeAndRoundTrip) {
+  const Assignment gsv = {0, 3, 1, 2, 2};
+  const std::string enc = EncodeGsv(gsv);
+  EXPECT_EQ(enc.size(), gsv.size() * wire::kPerStrategyEntry);
+  auto decoded = DecodeGsv(enc);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), gsv);
+  EXPECT_FALSE(DecodeGsv(std::string_view(enc).substr(0, 6)).ok());
+}
+
+TEST(MessagesTest, CommandAndAckMatchWireSizes) {
+  const std::string cmd = EncodeCommand(5, 77);
+  EXPECT_EQ(cmd.size(), wire::kCommand);
+  auto decoded = DecodeCommand(cmd);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->first, 5u);
+  EXPECT_EQ(decoded->second, 77u);
+  EXPECT_FALSE(DecodeCommand(cmd + "y").ok());
+
+  const std::string ack = EncodeAck(kProtocolMagic);
+  EXPECT_EQ(ack.size(), wire::kAck);
+  auto value = DecodeAck(ack);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), kProtocolMagic);
+  EXPECT_FALSE(DecodeAck(std::string_view(ack).substr(0, 7)).ok());
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace rmgp

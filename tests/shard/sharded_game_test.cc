@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/cost_provider.h"
+#include "core/objective.h"
+#include "dist/decentralized.h"
+#include "graph/graph.h"
+#include "shard/coordinator.h"
+#include "shard/worker.h"
+#include "spatial/point.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace shard {
+namespace {
+
+/// A random social session: ER graph plus user/event check-in locations,
+/// the inputs both the in-process simulation and the sharded deployment
+/// consume.
+struct Session {
+  std::shared_ptr<Graph> graph;
+  std::vector<Point> users;
+  std::vector<Point> events;
+
+  Instance MakeInstance(double alpha) const {
+    auto costs = std::make_shared<EuclideanCostProvider>(users, events);
+    auto inst = Instance::Create(graph.get(), std::move(costs), alpha);
+    RMGP_CHECK(inst.ok()) << inst.status().ToString();
+    return std::move(inst).value();
+  }
+};
+
+Session MakeSession(NodeId n, ClassId k, double edge_prob, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(edge_prob)) {
+        RMGP_CHECK(b.AddEdge(u, v, rng.UniformDouble(0.1, 1.0)).ok());
+      }
+    }
+  }
+  Session s;
+  s.graph = std::make_shared<Graph>(std::move(b).Build());
+  s.users.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    s.users.push_back({rng.UniformDouble(0.0, 10.0),
+                       rng.UniformDouble(0.0, 10.0)});
+  }
+  s.events.reserve(k);
+  for (ClassId p = 0; p < k; ++p) {
+    s.events.push_back({rng.UniformDouble(0.0, 10.0),
+                        rng.UniformDouble(0.0, 10.0)});
+  }
+  return s;
+}
+
+SolverOptions BaseSolver() {
+  SolverOptions solver;
+  solver.init = InitPolicy::kClosestClass;
+  solver.order = OrderPolicy::kNodeId;
+  return solver;
+}
+
+/// Coordinator + N real worker threads over loopback TCP — the in-process
+/// stand-in for the multi-process deployment (same code on both sides of
+/// the sockets as tools/rmgp_worker runs).
+class Cluster {
+ public:
+  /// kill_after > 0 injects a failure: worker 0 drops its connection right
+  /// before serving its kill_after-th kComputeColor command.
+  Cluster(uint32_t num_workers, CoordinatorConfig config,
+          uint64_t kill_after = 0)
+      : coordinator_(config) {
+    RMGP_CHECK(coordinator_.Listen(0).ok());
+    const uint16_t port = coordinator_.port();
+    worker_status_.resize(num_workers);
+    for (uint32_t i = 0; i < num_workers; ++i) {
+      ShardWorkerOptions opts;
+      opts.port = port;
+      opts.poll_interval_ms = 20;
+      opts.io_timeout_ms = 10000;
+      if (i == 0) opts.max_color_commands = kill_after;
+      threads_.emplace_back([this, i, opts] {
+        ShardWorker worker(opts);
+        worker_status_[i] = worker.Run();
+      });
+    }
+    RMGP_CHECK(coordinator_.AwaitWorkers(num_workers, 10000).ok());
+  }
+
+  ~Cluster() {
+    RMGP_IGNORE_STATUS(coordinator_.Shutdown());
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ShardCoordinator& coordinator() { return coordinator_; }
+  const Status& worker_status(uint32_t i) const { return worker_status_[i]; }
+
+ private:
+  ShardCoordinator coordinator_;
+  std::vector<std::thread> threads_;
+  std::vector<Status> worker_status_;
+};
+
+/// Runs the same session through the in-process simulation and through a
+/// real cluster, asserting bit-identical assignments and Φ.
+void ExpectMatchesSimulation(uint32_t num_workers, PartitionScheme scheme,
+                             bool direct_exchange, bool interest_multicast,
+                             uint64_t seed) {
+  SCOPED_TRACE(::testing::Message()
+               << num_workers << " workers, scheme="
+               << (scheme == PartitionScheme::kHash ? "hash" : "locality")
+               << ", direct=" << direct_exchange
+               << ", multicast=" << interest_multicast << ", seed=" << seed);
+  Session session = MakeSession(120, 4, 0.06, seed);
+  const double alpha = 0.5;
+  Instance inst = session.MakeInstance(alpha);
+
+  DecentralizedOptions sim;
+  sim.num_slaves = num_workers;
+  sim.partition = scheme;
+  sim.direct_exchange = direct_exchange;
+  sim.interest_multicast = interest_multicast;
+  sim.solver = BaseSolver();
+  auto simulated = RunDecentralizedGame(inst, sim);
+  ASSERT_TRUE(simulated.ok()) << simulated.status().ToString();
+  ASSERT_TRUE(simulated->converged);
+
+  CoordinatorConfig config;
+  config.partition = scheme;
+  config.interest_multicast = interest_multicast;
+  Cluster cluster(num_workers, config);
+  ASSERT_TRUE(cluster.coordinator()
+                  .LoadSession(session.graph, session.users, 1)
+                  .ok());
+  auto real = cluster.coordinator().Solve(session.events, alpha, 1.0,
+                                          BaseSolver());
+  ASSERT_TRUE(real.ok()) << real.status().ToString();
+  EXPECT_TRUE(real->converged);
+
+  // The acceptance bar: same equilibrium, same Φ, and it audits.
+  EXPECT_EQ(real->assignment, simulated->assignment);
+  EXPECT_EQ(real->objective.total, simulated->objective.total);
+  EXPECT_TRUE(VerifyEquilibrium(inst, real->assignment).ok());
+
+  // Real traffic is measured, not modeled, and every round reports it.
+  EXPECT_GT(real->traffic.bytes, 0u);
+  EXPECT_GT(real->traffic.messages, 0u);
+  ASSERT_GE(real->round_stats.size(), 2u);
+  EXPECT_GT(real->round_stats[0].bytes, 0u);
+  EXPECT_GT(real->simulated_seconds, 0.0);
+}
+
+TEST(ShardedGameTest, TwoWorkersMatchSimulationAcrossModes) {
+  ExpectMatchesSimulation(2, PartitionScheme::kHash, true, false, 101);
+  ExpectMatchesSimulation(2, PartitionScheme::kHash, false, true, 102);
+  ExpectMatchesSimulation(2, PartitionScheme::kLocality, true, false, 103);
+  ExpectMatchesSimulation(2, PartitionScheme::kLocality, false, true, 104);
+}
+
+TEST(ShardedGameTest, FourWorkersMatchSimulationAcrossModes) {
+  ExpectMatchesSimulation(4, PartitionScheme::kHash, true, false, 201);
+  ExpectMatchesSimulation(4, PartitionScheme::kHash, false, true, 202);
+  ExpectMatchesSimulation(4, PartitionScheme::kLocality, true, false, 203);
+  ExpectMatchesSimulation(4, PartitionScheme::kLocality, false, true, 204);
+}
+
+TEST(ShardedGameTest, RepeatQueriesReuseTheShippedSession) {
+  Session session = MakeSession(80, 3, 0.08, 301);
+  Cluster cluster(2, CoordinatorConfig{});
+  ASSERT_TRUE(cluster.coordinator()
+                  .LoadSession(session.graph, session.users, 1)
+                  .ok());
+  auto first = cluster.coordinator().Solve(session.events, 0.5, 1.0,
+                                           BaseSolver());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // A different query against the same session — no re-ship needed.
+  std::vector<Point> other_events = {{1.0, 1.0}, {9.0, 9.0}, {5.0, 2.0}};
+  auto second = cluster.coordinator().Solve(other_events, 0.5, 1.0,
+                                            BaseSolver());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  Instance inst = session.MakeInstance(0.5);
+  auto costs = std::make_shared<EuclideanCostProvider>(session.users,
+                                                       other_events);
+  auto other_inst = Instance::Create(session.graph.get(), costs, 0.5);
+  ASSERT_TRUE(other_inst.ok());
+  EXPECT_TRUE(VerifyEquilibrium(other_inst.value(), second->assignment).ok());
+}
+
+TEST(ShardedGameTest, SolveWithoutSessionFails) {
+  Cluster cluster(2, CoordinatorConfig{});
+  auto res = cluster.coordinator().Solve({{0, 0}}, 0.5, 1.0, BaseSolver());
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardedRecoveryTest, WorkerDeathRecoversAndMatchesSimulation) {
+  // Worker 0 vanishes mid-round; the coordinator must re-assign its shard,
+  // replay from the last snapshot, and still reach a verified equilibrium
+  // — without failing the session.
+  Session session = MakeSession(100, 4, 0.08, 401);
+  const double alpha = 0.5;
+  Instance inst = session.MakeInstance(alpha);
+
+  CoordinatorConfig config;
+  Cluster cluster(4, config, /*kill_after=*/3);
+  ASSERT_TRUE(cluster.coordinator()
+                  .LoadSession(session.graph, session.users, 1)
+                  .ok());
+  auto res = cluster.coordinator().Solve(session.events, alpha, 1.0,
+                                         BaseSolver());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->converged);
+  EXPECT_TRUE(VerifyEquilibrium(inst, res->assignment).ok());
+
+  const RecoveryStats& recovery = cluster.coordinator().recovery_stats();
+  EXPECT_GE(recovery.recoveries, 1u);
+  EXPECT_GE(recovery.workers_lost, 1u);
+  EXPECT_GT(recovery.last_recovery_ms, 0.0);
+  EXPECT_EQ(cluster.coordinator().live_workers(), 3u);
+
+  // The session survives: a follow-up query on the 3 remaining workers
+  // still produces a valid equilibrium.
+  std::vector<Point> other_events = {{2.0, 2.0}, {8.0, 3.0}};
+  auto followup = cluster.coordinator().Solve(other_events, alpha, 1.0,
+                                              BaseSolver());
+  ASSERT_TRUE(followup.ok()) << followup.status().ToString();
+  auto costs = std::make_shared<EuclideanCostProvider>(session.users,
+                                                       other_events);
+  auto other_inst = Instance::Create(session.graph.get(), costs, alpha);
+  ASSERT_TRUE(other_inst.ok());
+  EXPECT_TRUE(
+      VerifyEquilibrium(other_inst.value(), followup->assignment).ok());
+}
+
+TEST(ShardedRecoveryTest, QuorumLossFailsTheQueryNotTheCoordinator) {
+  // 2-worker cluster, worker 0 killed: 1 of 2 alive keeps quorum
+  // (live*2 >= original), so the query must still succeed on the survivor.
+  Session session = MakeSession(60, 3, 0.1, 402);
+  Cluster cluster(2, CoordinatorConfig{}, /*kill_after=*/2);
+  ASSERT_TRUE(cluster.coordinator()
+                  .LoadSession(session.graph, session.users, 1)
+                  .ok());
+  auto res = cluster.coordinator().Solve(session.events, 0.5, 1.0,
+                                         BaseSolver());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(cluster.coordinator().live_workers(), 1u);
+  Instance inst = session.MakeInstance(0.5);
+  EXPECT_TRUE(VerifyEquilibrium(inst, res->assignment).ok());
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace rmgp

@@ -224,9 +224,38 @@ TEST(LintRulesTest, NoBlockingIoFlagsServeCodeOnly) {
   EXPECT_EQ(RulesHit("src/serve/x.cc", "std::ifstream in(path);\n"),
             std::vector<std::string>{"no-blocking-io"});
   // fwrite in serve code is both blocking and (via fprintf cousins) the
-  // writer's business; outside src/serve/ the rule stays silent.
+  // writer's business; outside the real-time layers the rule stays silent.
   EXPECT_TRUE(RulesHit("src/graph/io.cc", "fread(buf, 1, n, f);\n").empty());
   EXPECT_TRUE(RulesHit("tools/x.cc", "fgets(buf, n, stdin);\n").empty());
+}
+
+TEST(LintRulesTest, NoBlockingIoCoversNetAndShard) {
+  // The sharded deployment's layers are real-time code too.
+  EXPECT_EQ(RulesHit("src/net/frame.cc", "std::ifstream in(path);\n"),
+            std::vector<std::string>{"no-blocking-io"});
+  EXPECT_EQ(RulesHit("src/shard/worker.cc",
+                     "std::this_thread::sleep_for(ms);\n"),
+            std::vector<std::string>{"no-blocking-io"});
+  // Raw socket syscalls are blocking-io tokens in the real-time layers...
+  EXPECT_EQ(RulesHit("src/shard/coordinator.cc", "poll(&p, 1, ms);\n"),
+            std::vector<std::string>{"no-blocking-io"});
+  EXPECT_EQ(RulesHit("src/net/frame.cc", "send(fd, buf, n, 0);\n"),
+            std::vector<std::string>{"no-blocking-io"});
+  EXPECT_EQ(RulesHit("src/serve/x.cc", "connect(fd, addr, len);\n"),
+            std::vector<std::string>{"no-blocking-io"});
+  // ...except in their sanctioned home, the socket wrapper.
+  const std::string socket_body =
+      "// rmgp-lint: sanctioned-file(no-blocking-io)\n"
+      "void F() { recv(fd, buf, n, 0); accept(fd, nullptr, nullptr); }\n";
+  EXPECT_TRUE(RulesHit("src/net/socket.cc", socket_body).empty());
+  // The marker does not travel: the same body elsewhere is flagged.
+  EXPECT_EQ(RulesHit("src/shard/worker.cc", socket_body),
+            (std::vector<std::string>{"sanctioned-marker", "no-blocking-io"}));
+  // Capitalized wrapper methods (net::Connection::Send etc.) never match
+  // the lowercase syscall tokens.
+  EXPECT_TRUE(
+      RulesHit("src/shard/worker.cc", "conn.Send(frame); conn.Poll(ms);\n")
+          .empty());
 }
 
 TEST(LintRulesTest, FormatDiagnostic) {

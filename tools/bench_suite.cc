@@ -205,6 +205,94 @@ CompareReport CompareChurn(const Json& baseline, const Json& candidate,
   return report;
 }
 
+/// Dist-document diff: records matched by name, gated on p99 latency
+/// (time_threshold, relative) and bytes per query (fixed 10% slack — the
+/// wire protocol is deterministic for a fixed mix, the slack only absorbs
+/// recovery-path retransfers). Two absolute gates on the *candidate*:
+/// equivalence.phi_match (the sharded run must reproduce the in-process
+/// simulation's Φ bit for bit) and recovery.converged (a worker kill must
+/// re-converge, not fail the session).
+CompareReport CompareDist(const Json& baseline, const Json& candidate,
+                          const CompareOptions& options) {
+  CompareReport report;
+  report.ok = true;
+
+  const Json& cand_records = candidate.At("records");
+  const auto find_candidate = [&](const std::string& name) -> const Json* {
+    for (size_t i = 0; i < cand_records.size(); ++i) {
+      const Json& r = cand_records[i];
+      if (r.At("name").AsString() == name) return &r;
+    }
+    return nullptr;
+  };
+
+  Table table({"record", "p99 base", "p99 cand", "B/query base",
+               "B/query cand", "verdict"});
+  const Json& base_records = baseline.At("records");
+  for (size_t i = 0; i < base_records.size(); ++i) {
+    const Json& b = base_records[i];
+    const std::string name = b.At("name").AsString();
+    const Json* c = find_candidate(name);
+    if (c == nullptr) {
+      report.ok = false;
+      report.regressions.push_back({name, "missing", 0.0, 0.0});
+      table.AddRow({name, "", "", "", "", "MISSING"});
+      continue;
+    }
+    const double bp99 = b.At("latency_ms").At("p99_ms").AsDouble();
+    const double cp99 = c->At("latency_ms").At("p99_ms").AsDouble();
+    const double bbytes = b.At("traffic").At("bytes_per_query").AsDouble();
+    const double cbytes = c->At("traffic").At("bytes_per_query").AsDouble();
+
+    std::string verdict = "ok";
+    if (options.time_threshold >= 0.0 &&
+        cp99 > bp99 * (1.0 + options.time_threshold)) {
+      report.ok = false;
+      report.regressions.push_back({name, "latency", bp99, cp99});
+      verdict = "LATENCY REGRESSION";
+    }
+    if (cbytes > bbytes * 1.10) {
+      report.ok = false;
+      report.regressions.push_back({name, "traffic", bbytes, cbytes});
+      verdict = verdict == "ok" ? "TRAFFIC REGRESSION" : verdict + " + TRAFFIC";
+    }
+    table.AddRow({name, Table::Num(bp99), Table::Num(cp99), Table::Num(bbytes),
+                  Table::Num(cbytes), verdict});
+  }
+  report.summary = table.ToString();
+
+  const Json* equivalence = candidate.is_object()
+                                ? candidate.Find("equivalence")
+                                : nullptr;
+  if (equivalence == nullptr || !equivalence->is_object() ||
+      equivalence->Find("phi_match") == nullptr ||
+      !equivalence->At("phi_match").AsBool()) {
+    report.ok = false;
+    report.regressions.push_back({"equivalence", "phi_match", 1.0, 0.0});
+    report.summary += "equivalence: sharded Φ does not match the in-process "
+                      "simulation\n";
+  } else {
+    report.summary += "equivalence: phi match ok (" +
+                      Table::Num(equivalence->At("phi_dist").AsDouble()) +
+                      ")\n";
+  }
+  const Json* recovery = candidate.is_object()
+                             ? candidate.Find("recovery")
+                             : nullptr;
+  if (recovery == nullptr || !recovery->is_object() ||
+      recovery->Find("converged") == nullptr ||
+      !recovery->At("converged").AsBool()) {
+    report.ok = false;
+    report.regressions.push_back({"recovery", "converged", 1.0, 0.0});
+    report.summary += "recovery: worker-kill query did not re-converge\n";
+  } else {
+    report.summary += "recovery: re-converged in " +
+                      Table::Num(recovery->At("recovery_ms").AsDouble()) +
+                      " ms\n";
+  }
+  return report;
+}
+
 }  // namespace
 
 SuiteConfig QuickConfig() {
@@ -530,6 +618,10 @@ CompareReport CompareBench(const Json& baseline, const Json& candidate,
       schema_of(candidate) == kChurnSchema) {
     return CompareChurn(baseline, candidate, options);
   }
+  if (schema_of(baseline) == kDistSchema &&
+      schema_of(candidate) == kDistSchema) {
+    return CompareDist(baseline, candidate, options);
+  }
   // /1 files predate the argmin/worklist counters and the microbench
   // section, /2 files predate the kernels section; everything the
   // comparator reads unconditionally is present in all three, so old
@@ -545,7 +637,8 @@ CompareReport CompareBench(const Json& baseline, const Json& candidate,
                      std::string(kBenchSchema) + ", " + kBenchSchemaV2 +
                      " or " + kBenchSchemaV1 +
                      "), matching serving schemas (" + kServingSchema +
-                     "), or matching churn schemas (" + kChurnSchema +
+                     "), matching churn schemas (" + kChurnSchema +
+                     "), or matching dist schemas (" + kDistSchema +
                      "), got baseline '" + schema_of(baseline) +
                      "' / candidate '" + schema_of(candidate) + "'\n";
     return report;

@@ -36,6 +36,16 @@ inline constexpr const char* kServingSchema = "rmgp-bench-serving/1";
 /// gates the incremental-vs-cold speedup (CompareOptions::speedup_threshold).
 inline constexpr const char* kChurnSchema = "rmgp-bench-churn/1";
 
+/// Layout tag of BENCH_dist.json, written by rmgp_loadgen --dist: the query
+/// mix driven over a real multi-process worker fleet (shard coordinator +
+/// rmgp_worker over TCP), with measured per-round wall time and wire
+/// traffic, an "equivalence" section (Φ of the sharded run vs the
+/// in-process simulation — must match bit for bit), and a "recovery"
+/// section (a worker killed mid-session, re-convergence latency).
+/// CompareBench gates p99 latency, bytes per query, phi_match, and
+/// recovery convergence.
+inline constexpr const char* kDistSchema = "rmgp-bench-dist/1";
+
 /// Configuration of the fixed-seed solver suite run by tools/bench_runner:
 /// {BA, WS, ER, planted-partition} × the five SolverKind variants × alphas,
 /// each measured over `reps` repetitions after `warmup` untimed runs.

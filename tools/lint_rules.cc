@@ -61,6 +61,10 @@ constexpr Sanction kSanctionedFiles[] = {
     // writer thread is the one place serving code may touch stdio.
     {"no-stdout", "src/serve/response_writer.cc"},
     {"no-blocking-io", "src/serve/response_writer.cc"},
+    // The socket wrapper is the one place that may issue raw socket
+    // syscalls (poll/connect/send/recv/accept); everything above it uses
+    // net::Connection / net::Listener.
+    {"no-blocking-io", "src/net/socket.cc"},
 };
 
 bool IsSanctioned(std::string_view path, std::string_view rule) {
@@ -224,7 +228,12 @@ std::vector<Diagnostic> LintFile(const std::string& path,
                                  std::string_view content) {
   std::vector<Diagnostic> diags;
   const bool in_library = path.rfind("src/", 0) == 0;
-  const bool in_serve = path.rfind("src/serve/", 0) == 0;
+  // The real-time layers: serving callbacks plus the sharded deployment's
+  // transport and round protocol, all of which run on latency-critical
+  // threads (worker pool, coordinator round loop, worker command loop).
+  const bool in_realtime = path.rfind("src/serve/", 0) == 0 ||
+                           path.rfind("src/net/", 0) == 0 ||
+                           path.rfind("src/shard/", 0) == 0;
   const bool is_header = path.size() >= 2 &&
                          path.compare(path.size() - 2, 2, ".h") == 0;
 
@@ -305,10 +314,15 @@ std::vector<Diagnostic> LintFile(const std::string& path,
              "library code must not print directly; use RMGP_LOG "
              "(util/logging.h)");
     }
-    if (in_serve) {
+    if (in_realtime) {
       static constexpr std::string_view kBlockingCalls[] = {
-          "fopen",  "fread",  "fwrite", "fgets", "fputs",  "fputc",
-          "fscanf", "popen",  "system", "fflush", "getchar"};
+          "fopen",  "fread",  "fwrite", "fgets",  "fputs",  "fputc",
+          "fscanf", "popen",  "system", "fflush", "getchar",
+          // Raw socket syscalls: every descriptor in the sharded
+          // deployment must go through net::Connection / net::Listener
+          // (non-blocking, deadline-bounded); src/net/socket.cc is their
+          // sanctioned home.
+          "accept", "connect", "recv",   "send",  "poll",   "select"};
       static constexpr std::string_view kBlockingWords[] = {
           "std::ifstream", "std::ofstream", "std::fstream", "std::cin",
           "sleep_for",     "sleep_until"};
@@ -321,9 +335,10 @@ std::vector<Diagnostic> LintFile(const std::string& path,
       }
       if (blocking) {
         report(lineno, "no-blocking-io",
-               "serving code runs in worker-pool callbacks where blocking "
-               "I/O stalls the queue; route output through "
-               "serve::ResponseWriter");
+               "real-time code (serve/net/shard) runs on latency-critical "
+               "threads where blocking I/O stalls the queue or a game "
+               "round; route output through serve::ResponseWriter and "
+               "socket I/O through net::Connection");
       }
     }
   }

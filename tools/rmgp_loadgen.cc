@@ -17,6 +17,7 @@
 //                     [--churn] [--mutation-frac F] [--epoch-size N]
 //                     [--epoch-patch-budget N]
 //                     [--portfolio] [--portfolio-width P]
+//                     [--dist] [--dist-workers N]
 //                     [--quick] [--out FILE]
 //
 // Closed loop (default, --concurrency): at most C queries outstanding —
@@ -33,6 +34,17 @@
 // switches to schema rmgp-bench-churn/1 and gains an "incremental"
 // section measuring ReEquilibrate vs a cold solve after a ~1% mutation
 // epoch on the same session — the ratio CI gates.
+//
+// --dist drives the mix over a REAL multi-process deployment: the load
+// generator embeds the shard coordinator, forks --dist-workers rmgp_worker
+// processes (binary next to rmgp_loadgen), ships the session over loopback
+// TCP, and runs every query as a synchronized decentralized game. Queries
+// are serial (the coordinator is one state machine over N sockets) and the
+// artifact switches to schema rmgp-bench-dist/1: measured per-round wall
+// time and wire traffic, an "equivalence" section (Φ vs the in-process
+// simulation — gated bit-for-bit by bench_compare), and a "recovery"
+// section (one worker SIGKILLed mid-session; the follow-up query must
+// re-converge on the survivors).
 //
 // --portfolio marks every query in the mix as a portfolio race
 // (Query::portfolio): the server races --portfolio-width diverse-start
@@ -60,15 +72,19 @@
 #include <utility>
 #include <vector>
 
+#include <csignal>
+
 #include "core/cost_provider.h"
 #include "core/incremental.h"
 #include "core/instance.h"
 #include "core/objective.h"
 #include "core/solver.h"
+#include "dist/decentralized.h"
 #include "graph/generators.h"
 #include "graph/graph_delta.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
+#include "shard/coordinator.h"
 #include "tools/bench_suite.h"
 #include "util/build_info.h"
 #include "util/json.h"
@@ -104,6 +120,8 @@ struct Args {
   bool churn = false;
   double mutation_frac = 0.2;
   bool portfolio = false;
+  bool dist = false;
+  uint32_t dist_workers = 2;
   ServiceConfig service;
 };
 
@@ -118,6 +136,7 @@ void Usage(const char* argv0) {
                " [--max-warm-edits N] [--churn] [--mutation-frac F]"
                " [--epoch-size N] [--epoch-patch-budget N]"
                " [--portfolio] [--portfolio-width P]"
+               " [--dist] [--dist-workers N]"
                " [--quick] [--out FILE]\n",
                argv0);
   std::exit(2);
@@ -775,6 +794,272 @@ class ServerTransport {
   std::thread reader_;
 };
 
+/// Path of the rmgp_worker binary: next to this executable.
+std::string WorkerBinaryPath() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "rmgp_worker";
+  buf[n] = '\0';
+  std::string path(buf);
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return "rmgp_worker";
+  return path.substr(0, slash + 1) + "rmgp_worker";
+}
+
+/// The --dist mode: the query mix over a real forked worker fleet.
+int RunDist(const Args& args, const std::vector<Query>& mix) {
+  // The same fixed-seed session the in-process mode serves.
+  Graph graph = BarabasiAlbert(args.users, args.edges_per_node, args.seed);
+  auto shared_graph = std::make_shared<Graph>(std::move(graph));
+  Rng rng(args.seed ^ 0x5e55101eULL);
+  std::vector<Point> users;
+  users.reserve(args.users);
+  for (NodeId v = 0; v < args.users; ++v) {
+    users.push_back({rng.UniformDouble(), rng.UniformDouble()});
+  }
+
+  shard::ShardCoordinator coordinator{shard::CoordinatorConfig{}};
+  if (Status st = coordinator.Listen(0); !st.ok()) {
+    std::fprintf(stderr, "coordinator bind failed: %s\n",
+                 st.ToString().c_str());
+    return 2;
+  }
+  const std::string worker_bin = WorkerBinaryPath();
+  const std::string port_str = std::to_string(coordinator.port());
+  std::vector<pid_t> worker_pids;
+  for (uint32_t i = 0; i < args.dist_workers; ++i) {
+    const pid_t pid = fork();
+    RMGP_CHECK(pid >= 0) << "fork failed";
+    if (pid == 0) {
+      execl(worker_bin.c_str(), "rmgp_worker", "--port", port_str.c_str(),
+            static_cast<char*>(nullptr));
+      std::fprintf(stderr, "exec %s failed\n", worker_bin.c_str());
+      _exit(127);
+    }
+    worker_pids.push_back(pid);
+  }
+  const auto reap_fleet = [&] {
+    RMGP_IGNORE_STATUS(coordinator.Shutdown());
+    for (const pid_t pid : worker_pids) {
+      int wstatus = 0;
+      waitpid(pid, &wstatus, 0);
+    }
+  };
+  if (Status st = coordinator.AwaitWorkers(args.dist_workers, 15000);
+      !st.ok()) {
+    std::fprintf(stderr, "fleet never assembled: %s\n",
+                 st.ToString().c_str());
+    reap_fleet();
+    return 2;
+  }
+  if (Status st = coordinator.LoadSession(shared_graph, users, 1);
+      !st.ok()) {
+    std::fprintf(stderr, "session ship failed: %s\n", st.ToString().c_str());
+    reap_fleet();
+    return 2;
+  }
+
+  SolverOptions solver;
+  solver.init = InitPolicy::kClosestClass;
+  solver.order = OrderPolicy::kNodeId;
+  solver.seed = 1;
+
+  // Drive the mix serially (the coordinator is one state machine over N
+  // sockets). --duration-s wraps the mix until the clock runs out.
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  std::vector<double> latencies_ms;
+  std::vector<double> rounds_per_query;
+  uint64_t total_bytes = 0;
+  uint64_t total_messages = 0;
+  Json round_ms = Json::Array();        // per-round profile of query 0
+  Json round_bytes = Json::Array();
+  Json round_messages = Json::Array();
+  double phi_dist = 0.0;
+  Assignment first_assignment;
+  const auto start = Clock::now();
+  const auto deadline =
+      args.duration_s > 0.0
+          ? start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(args.duration_s))
+          : Clock::time_point::max();
+  for (uint64_t q = 0;; ++q) {
+    if (args.duration_s > 0.0) {
+      if (Clock::now() >= deadline) break;
+    } else if (q >= mix.size()) {
+      break;
+    }
+    const Query& query = mix[q % mix.size()];
+    const auto t0 = Clock::now();
+    auto res = coordinator.Solve(query.events, query.alpha, query.cost_scale,
+                                 solver);
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    if (!res.ok()) {
+      std::fprintf(stderr, "dist query %llu failed: %s\n",
+                   static_cast<unsigned long long>(q),
+                   res.status().ToString().c_str());
+      ++errors;
+      continue;
+    }
+    ++completed;
+    latencies_ms.push_back(ms);
+    rounds_per_query.push_back(static_cast<double>(res->rounds));
+    total_bytes += res->traffic.bytes;
+    total_messages += res->traffic.messages;
+    if (q == 0) {
+      phi_dist = res->objective.total;
+      first_assignment = res->assignment;
+      for (const DgRoundStats& rs : res->round_stats) {
+        round_ms.Append(rs.seconds * 1e3);
+        round_bytes.Append(rs.bytes);
+        round_messages.Append(rs.messages);
+      }
+    }
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // Equivalence probe: the first query replayed through the in-process
+  // simulation (dist/decentralized.h) must land on the same Φ bit for bit.
+  auto costs = std::make_shared<EuclideanCostProvider>(users, mix[0].events);
+  auto inst = Instance::Create(shared_graph.get(), costs, mix[0].alpha);
+  RMGP_CHECK(inst.ok()) << inst.status().ToString();
+  DecentralizedOptions sim;
+  sim.num_slaves = args.dist_workers;
+  sim.solver = solver;
+  auto simulated = RunDecentralizedGame(inst.value(), sim);
+  RMGP_CHECK(simulated.ok()) << simulated.status().ToString();
+  const double phi_sim = simulated->objective.total;
+  const bool phi_match = completed > 0 && phi_sim == phi_dist;
+  // The deployed equilibrium must also audit as a true equilibrium (no
+  // user can improve by deviating) — from-scratch, not via the solver.
+  const bool audit_valid =
+      completed > 0 &&
+      VerifyEquilibrium(inst.value(), first_assignment).ok();
+
+  // Recovery probe: SIGKILL one worker, then query again. The coordinator
+  // must detect the death, re-assign the shard, replay from the last
+  // equilibrium snapshot, and converge on the survivors.
+  kill(worker_pids[0], SIGKILL);
+  const auto r0 = Clock::now();
+  auto recovered = coordinator.Solve(mix[0].events, mix[0].alpha,
+                                     mix[0].cost_scale, solver);
+  const double recovery_query_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - r0).count();
+  const bool recovery_converged = recovered.ok() && recovered->converged;
+  if (recovery_converged && phi_match) {
+    // The re-assigned fleet must still land on the same equilibrium.
+    RMGP_CHECK(recovered->objective.total == phi_dist)
+        << "post-recovery Φ diverged";
+  }
+  reap_fleet();
+
+  // ---- BENCH_dist.json ---------------------------------------------------
+  Json root = Json::Object();
+  root.Set("schema", bench::kDistSchema);
+
+  Json cfg = Json::Object();
+  cfg.Set("transport", "shard");
+  cfg.Set("dist_workers", args.dist_workers);
+  cfg.Set("queries", args.queries);
+  cfg.Set("duration_s", args.duration_s);
+  cfg.Set("users", args.users);
+  cfg.Set("edges_per_node", args.edges_per_node);
+  cfg.Set("events_per_query", args.events_per_query);
+  cfg.Set("pool_events", args.pool_events);
+  cfg.Set("seed", args.seed);
+  cfg.Set("alpha", args.alpha);
+  root.Set("config", std::move(cfg));
+
+  const BuildInfo info = GetBuildInfo();
+  Json env = Json::Object();
+  env.Set("git_sha", info.git_sha);
+  env.Set("compiler", info.compiler);
+  env.Set("compiler_flags", info.compiler_flags);
+  env.Set("build_type", info.build_type);
+  env.Set("sanitize", info.sanitize);
+  env.Set("hardware_threads", static_cast<uint64_t>(info.hardware_threads));
+  root.Set("environment", std::move(env));
+
+  Json record = Json::Object();
+  record.Set("name", "dist_mix");
+  record.Set("sent", completed + errors);
+  record.Set("completed", completed);
+  record.Set("errors", errors);
+  record.Set("throughput_qps",
+             elapsed_s == 0.0 ? 0.0
+                              : static_cast<double>(completed) / elapsed_s);
+  RunningStats latency_stats;
+  for (const double v : latencies_ms) latency_stats.Add(v);
+  Json latency = Json::Object();
+  latency.Set("mean_ms", latency_stats.mean());
+  latency.Set("p50_ms", Percentile(latencies_ms, 50.0));
+  latency.Set("p90_ms", Percentile(latencies_ms, 90.0));
+  latency.Set("p99_ms", Percentile(latencies_ms, 99.0));
+  latency.Set("max_ms", latency_stats.max());
+  record.Set("latency_ms", std::move(latency));
+  RunningStats round_stats;
+  for (const double v : rounds_per_query) round_stats.Add(v);
+  Json rounds = Json::Object();
+  rounds.Set("mean", round_stats.mean());
+  rounds.Set("max", round_stats.max());
+  record.Set("rounds", std::move(rounds));
+  double total_rounds = 0.0;
+  for (const double v : rounds_per_query) total_rounds += v;
+  Json traffic = Json::Object();
+  traffic.Set("bytes", total_bytes);
+  traffic.Set("messages", total_messages);
+  traffic.Set("bytes_per_query",
+              completed == 0 ? 0.0
+                             : static_cast<double>(total_bytes) /
+                                   static_cast<double>(completed));
+  traffic.Set("bytes_per_round",
+              total_rounds == 0.0
+                  ? 0.0
+                  : static_cast<double>(total_bytes) / total_rounds);
+  record.Set("traffic", std::move(traffic));
+  Json records = Json::Array();
+  records.Append(std::move(record));
+  root.Set("records", std::move(records));
+
+  Json dist = Json::Object();
+  dist.Set("round_ms", std::move(round_ms));
+  dist.Set("round_bytes", std::move(round_bytes));
+  dist.Set("round_messages", std::move(round_messages));
+  root.Set("dist", std::move(dist));
+
+  Json equivalence = Json::Object();
+  equivalence.Set("phi_sim", phi_sim);
+  equivalence.Set("phi_dist", phi_dist);
+  equivalence.Set("phi_match", phi_match);
+  equivalence.Set("audit_valid", audit_valid);
+  root.Set("equivalence", std::move(equivalence));
+
+  const shard::RecoveryStats& rstats = coordinator.recovery_stats();
+  Json recovery = Json::Object();
+  recovery.Set("converged", recovery_converged);
+  recovery.Set("recovery_ms", rstats.last_recovery_ms);
+  recovery.Set("query_ms", recovery_query_ms);
+  recovery.Set("recoveries", rstats.recoveries);
+  recovery.Set("workers_lost", rstats.workers_lost);
+  root.Set("recovery", std::move(recovery));
+
+  Status written = root.WriteFile(args.out);
+  if (!written.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", args.out.c_str(),
+                 written.ToString().c_str());
+    return 2;
+  }
+  RMGP_LOG(kInfo) << "dist: " << completed << " queries on "
+                  << args.dist_workers << " workers, " << total_bytes
+                  << "B, phi_match=" << phi_match << ", audit="
+                  << audit_valid << ", recovery=" << recovery_converged
+                  << " -> " << args.out;
+  return errors == 0 && phi_match && audit_valid && recovery_converged ? 0
+                                                                       : 1;
+}
+
 int Main(int argc, char** argv) {
   Args args;
   bool quick = false;
@@ -851,6 +1136,10 @@ int Main(int argc, char** argv) {
       args.portfolio = true;
     } else if (std::strcmp(argv[i], "--portfolio-width") == 0) {
       args.service.portfolio_width = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--dist") == 0) {
+      args.dist = true;
+    } else if (std::strcmp(argv[i], "--dist-workers") == 0) {
+      args.dist_workers = static_cast<uint32_t>(next_u64());
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else {
@@ -863,6 +1152,14 @@ int Main(int argc, char** argv) {
     args.queries = std::min<uint64_t>(args.queries, 300);
     args.events_per_query = std::min<ClassId>(args.events_per_query, 8);
     args.pool_events = std::min<uint32_t>(args.pool_events, 64);
+    // Dist queries are serial full solves over the fleet; keep the smoke
+    // run to a handful.
+    if (args.dist) args.queries = std::min<uint64_t>(args.queries, 12);
+  }
+  if (args.dist) {
+    if (args.dist_workers == 0) Usage(argv[0]);
+    if (args.out == "BENCH_serving.json") args.out = "BENCH_dist.json";
+    return RunDist(args, MakeMix(args));
   }
   if (args.concurrency == 0 ||
       args.concurrency > args.service.queue_capacity) {

@@ -8,12 +8,31 @@
 //                   [--cache-capacity N] [--max-warm-edits N]
 //                   [--epoch-size N] [--epoch-patch-budget N]
 //                   [--portfolio-width P]
+//                   [--dist-workers N] [--dist-port P] [--dist-spawn]
+//                   [--dist-partition hash|locality] [--dist-multicast]
+//                   [--dist-timeout-ms N]
 //
 // Responses for solve requests complete asynchronously (worker pool), so
 // response order is NOT request order; clients correlate by "id". All
 // output funnels through serve::ResponseWriter — the sanctioned path —
 // so worker callbacks never block on the client pipe.
+//
+// Sharded deployment: --dist-workers N embeds the shard coordinator and
+// serves {"op":"solve","dist":true} queries on a fleet of rmgp_worker
+// processes. --dist-spawn forks them itself (same host, binary next to
+// rmgp_serve); otherwise start them externally against the port in the
+// ready banner's "dist_port". The server waits for the fleet handshake
+// before serving.
+//
+// Graceful shutdown: stdin EOF, {"op":"quit"}, or SIGTERM stop admission
+// (new solves are rejected with Unavailable), drain every in-flight
+// query, flush the response writer, and exit 0.
 
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,11 +52,16 @@ namespace rmgp {
 namespace serve {
 namespace {
 
+volatile std::sig_atomic_t g_sigterm = 0;
+
+void OnSigterm(int) { g_sigterm = 1; }
+
 struct Args {
   std::string dataset = "ba";
   NodeId users = 50000;
   uint32_t edges_per_node = 4;
   uint64_t seed = 42;
+  bool dist_spawn = false;
   ServiceConfig service;
 };
 
@@ -47,9 +71,36 @@ void Usage(const char* argv0) {
                " [--edges-per-node M] [--seed S] [--workers N]"
                " [--queue-capacity N] [--cache-capacity N]"
                " [--max-warm-edits N] [--epoch-size N]"
-               " [--epoch-patch-budget N] [--portfolio-width P]\n",
+               " [--epoch-patch-budget N] [--portfolio-width P]"
+               " [--dist-workers N] [--dist-port P] [--dist-spawn]"
+               " [--dist-partition hash|locality] [--dist-multicast]"
+               " [--dist-timeout-ms N]\n",
                argv0);
   std::exit(2);
+}
+
+/// Path of the rmgp_worker binary: next to this executable.
+std::string WorkerBinaryPath() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "rmgp_worker";
+  buf[n] = '\0';
+  std::string path(buf);
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return "rmgp_worker";
+  return path.substr(0, slash + 1) + "rmgp_worker";
+}
+
+/// Forks one rmgp_worker aimed at the coordinator port. Returns the pid,
+/// or -1 when the fork failed.
+pid_t SpawnWorker(const std::string& binary, uint16_t port) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  const std::string port_str = std::to_string(port);
+  execl(binary.c_str(), "rmgp_worker", "--port", port_str.c_str(),
+        static_cast<char*>(nullptr));
+  std::fprintf(stderr, "exec %s failed\n", binary.c_str());
+  _exit(127);
 }
 
 int Main(int argc, char** argv) {
@@ -85,6 +136,26 @@ int Main(int argc, char** argv) {
       args.service.epoch_patch_budget = static_cast<uint32_t>(next_u64());
     } else if (std::strcmp(argv[i], "--portfolio-width") == 0) {
       args.service.portfolio_width = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--dist-workers") == 0) {
+      args.service.dist_workers = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--dist-port") == 0) {
+      args.service.dist_port = static_cast<uint16_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--dist-spawn") == 0) {
+      args.dist_spawn = true;
+    } else if (std::strcmp(argv[i], "--dist-partition") == 0) {
+      if (i + 1 >= argc) Usage(argv[0]);
+      const char* scheme = argv[++i];
+      if (std::strcmp(scheme, "hash") == 0) {
+        args.service.dist_partition = PartitionScheme::kHash;
+      } else if (std::strcmp(scheme, "locality") == 0) {
+        args.service.dist_partition = PartitionScheme::kLocality;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--dist-multicast") == 0) {
+      args.service.dist_multicast = true;
+    } else if (std::strcmp(argv[i], "--dist-timeout-ms") == 0) {
+      args.service.dist_timeout_ms = static_cast<int>(next_u64());
     } else {
       Usage(argv[0]);
     }
@@ -115,18 +186,54 @@ int Main(int argc, char** argv) {
                   << graph.num_edges() << " edges (" << args.dataset
                   << ", seed " << args.seed << ")";
 
+  // No SA_RESTART: SIGTERM must interrupt the blocking stdin read so the
+  // loop below falls through to the drain path.
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnSigterm;
+  sigaction(SIGTERM, &sa, nullptr);
+
   // Declaration order is load-bearing: the service must be destroyed
   // (draining in-flight queries, whose callbacks write responses) before
   // the writer that carries those responses.
   ResponseWriter writer(stdout);
   RmgpService service(std::move(graph), std::move(users), args.service);
+
+  // Bring the worker fleet up before serving: spawn locally when asked,
+  // then block until all of them have handshaked.
+  std::vector<pid_t> worker_pids;
+  if (args.service.dist_workers > 0) {
+    if (service.dist_port() == 0) {
+      RMGP_LOG(kError) << "dist coordinator failed to bind";
+      return 1;
+    }
+    if (args.dist_spawn) {
+      const std::string binary = WorkerBinaryPath();
+      for (uint32_t i = 0; i < args.service.dist_workers; ++i) {
+        const pid_t pid = SpawnWorker(binary, service.dist_port());
+        if (pid < 0) {
+          RMGP_LOG(kError) << "fork failed for worker " << i;
+          return 1;
+        }
+        worker_pids.push_back(pid);
+      }
+    }
+    RMGP_LOG(kInfo) << "awaiting " << args.service.dist_workers
+                    << " workers on port " << service.dist_port();
+    if (Status st = service.WaitForDistWorkers(args.service.dist_timeout_ms);
+        !st.ok()) {
+      RMGP_LOG(kError) << "worker fleet never assembled: " << st.ToString();
+      return 1;
+    }
+  }
   writer.Write(ReadyBanner(service));
 
   std::string line;
   line.reserve(1 << 12);
   char buf[1 << 16];
   bool quit = false;
-  while (!quit && std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+  while (!quit && g_sigterm == 0 &&
+         std::fgets(buf, sizeof(buf), stdin) != nullptr) {
     line.assign(buf);
     while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
       line.pop_back();
@@ -182,9 +289,25 @@ int Main(int argc, char** argv) {
     }
   }
 
-  // Scope exit: ~RmgpService drains the worker pool (every accepted query
-  // still gets its response written), then ~ResponseWriter flushes the
-  // queue.
+  // Graceful shutdown (stdin EOF, quit op, or SIGTERM): reject new work,
+  // let every admitted query finish and write its response, then release
+  // the fleet (~RmgpService) and flush the writer (~ResponseWriter).
+  if (g_sigterm != 0) {
+    RMGP_LOG(kInfo) << "SIGTERM: draining";
+  }
+  service.StopAdmitting();
+  service.Drain();
+  writer.Drain();
+
+  if (!worker_pids.empty()) {
+    // ~RmgpService has not run yet, so tell the fleet to exit and reap.
+    // StopAdmitting() guarantees no query is using the coordinator now.
+    for (const pid_t pid : worker_pids) kill(pid, SIGTERM);
+    for (const pid_t pid : worker_pids) {
+      int wstatus = 0;
+      waitpid(pid, &wstatus, 0);
+    }
+  }
   return 0;
 }
 

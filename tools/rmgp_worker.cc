@@ -1,0 +1,96 @@
+// rmgp_worker — one shard-owning worker process of the sharded
+// deployment. Dials the coordinator (rmgp_serve --dist-workers, or any
+// shard::ShardCoordinator), receives its shard of the session graph, and
+// serves per-color best-response commands until the coordinator shuts the
+// fleet down.
+//
+// Usage: rmgp_worker --port P [--host H] [--poll-interval-ms N]
+//                    [--io-timeout-ms N] [--max-color-commands N]
+//
+// Graceful shutdown: SIGTERM (and SIGINT) set a stop flag the worker
+// checks every poll interval; the in-flight command finishes, the
+// connection closes, and the process exits 0. --max-color-commands is the
+// failure-injection knob the recovery tests and bench harness use: the
+// worker drops its connection without warning right before serving that
+// many kComputeColor commands.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <string>
+
+#include "shard/worker.h"
+#include "util/logging.h"
+
+namespace rmgp {
+namespace shard {
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P [--host H] [--poll-interval-ms N]"
+               " [--io-timeout-ms N] [--max-color-commands N]\n",
+               argv0);
+  std::exit(2);
+}
+
+int Main(int argc, char** argv) {
+  ShardWorkerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const auto next_u64 = [&]() -> uint64_t {
+      if (i + 1 >= argc) Usage(argv[0]);
+      char* end = nullptr;
+      const uint64_t v = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') Usage(argv[0]);
+      return v;
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      options.port = static_cast<uint16_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      if (i + 1 >= argc) Usage(argv[0]);
+      options.host = argv[++i];
+    } else if (std::strcmp(argv[i], "--poll-interval-ms") == 0) {
+      options.poll_interval_ms = static_cast<int>(next_u64());
+    } else if (std::strcmp(argv[i], "--io-timeout-ms") == 0) {
+      options.io_timeout_ms = static_cast<int>(next_u64());
+    } else if (std::strcmp(argv[i], "--max-color-commands") == 0) {
+      options.max_color_commands = next_u64();
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (options.port == 0) Usage(argv[0]);
+  options.stop = &g_stop;
+
+  // No SA_RESTART: a signal mid-poll wakes the wait so the stop flag is
+  // seen within one poll interval rather than one io timeout.
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  ShardWorker worker(options);
+  const Status status = worker.Run();
+  if (!status.ok()) {
+    RMGP_LOG(kError) << "worker exited: " << status.ToString();
+    return 1;
+  }
+  RMGP_LOG(kInfo) << "worker " << worker.worker_id() << " done: "
+                  << worker.queries_served() << " queries, "
+                  << worker.sent().bytes << "B out, "
+                  << worker.received().bytes << "B in";
+  return 0;
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace rmgp
+
+int main(int argc, char** argv) { return rmgp::shard::Main(argc, argv); }
