@@ -1,0 +1,144 @@
+// Standalone fuzz driver for toolchains without libFuzzer (gcc). Replays
+// every corpus file passed on the command line (files or directories),
+// then runs a bounded, deterministic mutation loop over the corpus with
+// rmgp::Rng — byte flips, truncations, splices, and havoc stacks. This is
+// not coverage-guided; it exists so the fuzz targets build, link, and
+// smoke-run everywhere, while clang CI cells run the same targets under
+// real libFuzzer. Exit code 0 = no crash (sanitizers abort the process on
+// a finding, exactly like libFuzzer).
+//
+// Usage: fuzz_target [-runs=N] [-max_len=N] [corpus_file_or_dir]...
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "util/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+using Input = std::vector<uint8_t>;
+
+bool ReadFile(const std::string& path, Input* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->insert(out->end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+void CollectCorpus(const std::string& path, std::vector<Input>* corpus) {
+  struct stat st{};
+  if (stat(path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "driver: cannot stat %s\n", path.c_str());
+    return;
+  }
+  if (S_ISDIR(st.st_mode)) {
+    DIR* dir = opendir(path.c_str());
+    if (dir == nullptr) return;
+    std::vector<std::string> entries;
+    while (dirent* e = readdir(dir)) {
+      if (e->d_name[0] == '.') continue;
+      entries.push_back(path + "/" + e->d_name);
+    }
+    closedir(dir);
+    // Sort for a deterministic replay order regardless of readdir order.
+    std::sort(entries.begin(), entries.end());
+    for (const std::string& entry : entries) CollectCorpus(entry, corpus);
+    return;
+  }
+  Input data;
+  if (ReadFile(path, &data)) corpus->push_back(std::move(data));
+}
+
+Input Mutate(const Input& seed, rmgp::Rng& rng, size_t max_len) {
+  Input out = seed;
+  const uint64_t stack = 1 + rng.UniformInt(4);
+  for (uint64_t s = 0; s < stack; ++s) {
+    switch (rng.UniformInt(5)) {
+      case 0:  // flip a byte
+        if (!out.empty()) {
+          out[rng.UniformInt(out.size())] ^=
+              static_cast<uint8_t>(1 + rng.UniformInt(255));
+        }
+        break;
+      case 1:  // truncate
+        if (!out.empty()) out.resize(rng.UniformInt(out.size() + 1));
+        break;
+      case 2: {  // insert a random byte
+        const size_t pos = rng.UniformInt(out.size() + 1);
+        out.insert(out.begin() + static_cast<ptrdiff_t>(pos),
+                   static_cast<uint8_t>(rng.UniformInt(256)));
+        break;
+      }
+      case 3: {  // overwrite a run with a single value
+        if (out.empty()) break;
+        const size_t pos = rng.UniformInt(out.size());
+        const size_t len = 1 + rng.UniformInt(out.size() - pos);
+        std::memset(out.data() + pos,
+                    static_cast<int>(rng.UniformInt(256)), len);
+        break;
+      }
+      case 4: {  // duplicate a slice to the end (grows structure counts)
+        if (out.empty()) break;
+        const size_t pos = rng.UniformInt(out.size());
+        const size_t len = 1 + rng.UniformInt(out.size() - pos);
+        out.insert(out.end(), out.begin() + static_cast<ptrdiff_t>(pos),
+                   out.begin() + static_cast<ptrdiff_t>(pos + len));
+        break;
+      }
+    }
+  }
+  if (out.size() > max_len) out.resize(max_len);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t runs = 20000;
+  size_t max_len = 4096;
+  std::vector<Input> corpus;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-runs=", 6) == 0) {
+      runs = std::strtoull(arg + 6, nullptr, 10);
+    } else if (std::strncmp(arg, "-max_len=", 9) == 0) {
+      max_len = std::strtoull(arg + 9, nullptr, 10);
+    } else if (arg[0] == '-') {
+      // Ignore unknown libFuzzer-style flags so CI can pass the same
+      // command line to both drivers.
+    } else {
+      CollectCorpus(arg, &corpus);
+    }
+  }
+
+  std::fprintf(stderr, "driver: %zu corpus inputs, %llu mutation runs\n",
+               corpus.size(), static_cast<unsigned long long>(runs));
+  for (const Input& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  if (corpus.empty()) corpus.push_back(Input{});
+
+  rmgp::Rng rng(0xf0220fu);  // fixed seed: deterministic smoke run
+  for (uint64_t i = 0; i < runs; ++i) {
+    const Input& seed = corpus[rng.UniformInt(corpus.size())];
+    const Input mutated = Mutate(seed, rng, max_len);
+    LLVMFuzzerTestOneInput(mutated.data(), mutated.size());
+  }
+  std::fprintf(stderr, "driver: done, no crashes\n");
+  return 0;
+}

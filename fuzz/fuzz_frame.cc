@@ -1,0 +1,78 @@
+// Fuzz target: net::TryExtractFrame — the framing state machine shared
+// with Connection::ReadFrame. The input is treated as a byte stream that
+// arrives in fuzzer-chosen chunks (first byte picks the chunk size), so
+// partial headers, split payloads, and pipelined frames are all hit. The
+// extractor must never report a frame whose consumed bytes disagree with
+// the header, and incremental delivery must yield the same frames as
+// one-shot delivery.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace {
+
+struct Extracted {
+  std::vector<rmgp::net::Frame> frames;
+  bool corrupt = false;
+};
+
+Extracted Drain(std::string& buf) {
+  using rmgp::net::ExtractResult;
+  Extracted out;
+  for (;;) {
+    rmgp::net::Frame frame;
+    size_t consumed = 0;
+    switch (rmgp::net::TryExtractFrame(buf, &frame, &consumed)) {
+      case ExtractResult::kFrame:
+        if (consumed != rmgp::net::kFrameHeaderBytes + frame.payload.size()) {
+          __builtin_trap();
+        }
+        out.frames.push_back(std::move(frame));
+        continue;
+      case ExtractResult::kCorrupt:
+        out.corrupt = true;
+        return out;
+      case ExtractResult::kNeedMore:
+        return out;
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const size_t chunk = static_cast<size_t>(data[0]) + 1;
+  const char* bytes = reinterpret_cast<const char*>(data) + 1;
+  const size_t n = size - 1;
+
+  // Incremental delivery in `chunk`-byte slices.
+  std::string buf;
+  Extracted incremental;
+  for (size_t off = 0; off < n && !incremental.corrupt; off += chunk) {
+    const size_t take = off + chunk < n ? chunk : n - off;
+    buf.append(bytes + off, take);
+    Extracted step = Drain(buf);
+    for (auto& f : step.frames) incremental.frames.push_back(std::move(f));
+    incremental.corrupt = step.corrupt;
+  }
+
+  // One-shot delivery of the same stream must agree frame-for-frame.
+  std::string whole(bytes, n);
+  Extracted oneshot = Drain(whole);
+  if (incremental.corrupt != oneshot.corrupt ||
+      incremental.frames.size() != oneshot.frames.size()) {
+    __builtin_trap();
+  }
+  for (size_t i = 0; i < oneshot.frames.size(); ++i) {
+    if (incremental.frames[i].type != oneshot.frames[i].type ||
+        incremental.frames[i].payload != oneshot.frames[i].payload) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

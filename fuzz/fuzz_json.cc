@@ -1,0 +1,22 @@
+// Fuzz target: util::Json::Parse over arbitrary bytes. The parser is the
+// first thing every NDJSON request touches (rmgp-serve/3 reads untrusted
+// stdin), so it must reject any input with a clean Status — never crash,
+// never read out of bounds, never recurse past the depth limit.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "util/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = rmgp::Json::Parse(text);
+  if (parsed.ok()) {
+    // A successful parse must serialize and re-parse to a valid document
+    // (Dump/Parse closure — exercises the writer on fuzzer-found shapes).
+    auto again = rmgp::Json::Parse(parsed->Dump());
+    if (!again.ok()) __builtin_trap();
+  }
+  return 0;
+}

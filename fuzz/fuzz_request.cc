@@ -1,0 +1,18 @@
+// Fuzz target: serve::ParseRequest over arbitrary bytes — the full
+// rmgp-serve/3 NDJSON request path (JSON parse + schema validation +
+// checked numeric conversions). Any input must either produce a valid
+// Request or a clean InvalidArgument; this target found the unchecked
+// double->unsigned casts that used to make negative/NaN/huge ids UB.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "serve/protocol.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view line(reinterpret_cast<const char*>(data), size);
+  auto req = rmgp::serve::ParseRequest(line);
+  (void)req;
+  return 0;
+}

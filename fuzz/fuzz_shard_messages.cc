@@ -1,0 +1,53 @@
+// Fuzz target: the shard:: wire decoders — everything a coordinator or
+// worker deserializes off a TCP frame payload. The first input byte
+// selects the decoder; the rest is the payload. This target found the
+// count-trust bug where DecodeShard/DecodeQueryInit resized vectors from
+// a hostile header before validating a single payload byte.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "shard/messages.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const std::string_view payload(reinterpret_cast<const char*>(data) + 1,
+                                 size - 1);
+  using namespace rmgp::shard;
+  switch (data[0] % 6) {
+    case 0: {
+      auto shard = DecodeShard(payload);
+      if (shard.ok()) {
+        // Decode/encode closure: a payload the decoder accepts must
+        // re-encode to the identical byte string.
+        if (EncodeShard(*shard) != payload) __builtin_trap();
+      }
+      break;
+    }
+    case 1: {
+      auto query = DecodeQueryInit(payload);
+      if (query.ok()) {
+        // The warm flag normalizes (any nonzero u32 -> 1), so exact byte
+        // closure holds only from the second encode onward.
+        const std::string enc = EncodeQueryInit(*query);
+        auto again = DecodeQueryInit(enc);
+        if (!again.ok() || EncodeQueryInit(*again) != enc) __builtin_trap();
+      }
+      break;
+    }
+    case 2:
+      (void)DecodeChanges(payload);
+      break;
+    case 3:
+      (void)DecodeGsv(payload);
+      break;
+    case 4:
+      (void)DecodeCommand(payload);
+      break;
+    case 5:
+      (void)DecodeAck(payload);
+      break;
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Thread-safety negative-compile gate.
+#
+# Each tests/negative_compile/bad_*.cc encodes one locking violation
+# (guarded field without the lock, RMGP_REQUIRES not held, lock-order
+# inversion) and must FAIL to compile under clang's
+#   -Wthread-safety -Wthread-safety-beta -Werror
+# while good_*.cc (the same shapes, locked correctly) must compile. This
+# is what keeps the annotation macros honest: if someone hollows out
+# RMGP_GUARDED_BY, the bad fixtures start compiling and this gate fails.
+#
+# Under non-clang compilers the annotations expand to nothing, so every
+# fixture compiles; the script then only checks that the fixtures are
+# valid C++ (a cheap guard against bit-rotted fixtures) and reports SKIP
+# for the rejection checks.
+#
+# Usage: negative_compile.sh [CXX] [REPO_ROOT]
+
+set -u
+
+CXX="${1:-clang++}"
+ROOT="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
+FIXTURES="$ROOT/tests/negative_compile"
+COMMON=(-std=c++20 -fsyntax-only -I "$ROOT/src")
+
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+  echo "negative_compile: $CXX is not clang — thread-safety analysis" \
+       "unavailable; checking the fixtures still parse (SKIP rejections)"
+  status=0
+  for f in "$FIXTURES"/*.cc; do
+    if "$CXX" "${COMMON[@]}" "$f"; then
+      echo "ok (parses): ${f##*/}"
+    else
+      echo "FAIL (fixture bit-rot): ${f##*/} is no longer valid C++"
+      status=1
+    fi
+  done
+  exit "$status"
+fi
+
+TSA=("${COMMON[@]}" -Wthread-safety -Wthread-safety-beta -Werror)
+status=0
+
+for f in "$FIXTURES"/bad_*.cc; do
+  if "$CXX" "${TSA[@]}" "$f" 2>/dev/null; then
+    echo "FAIL: ${f##*/} compiled cleanly; expected a thread-safety error"
+    status=1
+  else
+    echo "ok (rejected): ${f##*/}"
+  fi
+done
+
+for f in "$FIXTURES"/good_*.cc; do
+  if "$CXX" "${TSA[@]}" "$f"; then
+    echo "ok (accepted): ${f##*/}"
+  else
+    echo "FAIL: ${f##*/} must compile under the analysis"
+    status=1
+  fi
+done
+
+exit "$status"

@@ -29,6 +29,43 @@ struct Frame {
   std::string payload;
 };
 
+/// Outcome of one TryExtractFrame step over a receive buffer.
+enum class ExtractResult {
+  kFrame,     ///< one complete frame extracted and consumed from the buffer
+  kNeedMore,  ///< header or payload still incomplete; buffer untouched
+  kCorrupt,   ///< length prefix exceeds kMaxFramePayload; tear the
+              ///< connection down (the stream cannot be resynchronized)
+};
+
+/// Pure incremental frame extraction: the whole framing state machine with
+/// no socket attached, so Connection::ReadFrame and the fuzzer exercise
+/// the identical code. On kFrame the decoded frame is in *frame, the
+/// consumed byte count (header + payload) is added to *consumed when
+/// given, and those bytes are erased from `buf`; any other result leaves
+/// `buf` unchanged. Never allocates more than the declared payload length,
+/// which is bounded by kMaxFramePayload.
+inline ExtractResult TryExtractFrame(std::string& buf, Frame* frame,
+                                     size_t* consumed = nullptr) {
+  if (buf.size() < kFrameHeaderBytes) return ExtractResult::kNeedMore;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(buf.data());
+  const uint32_t len = static_cast<uint32_t>(p[0]) |
+                       (static_cast<uint32_t>(p[1]) << 8) |
+                       (static_cast<uint32_t>(p[2]) << 16) |
+                       (static_cast<uint32_t>(p[3]) << 24);
+  const uint32_t type = static_cast<uint32_t>(p[4]) |
+                        (static_cast<uint32_t>(p[5]) << 8) |
+                        (static_cast<uint32_t>(p[6]) << 16) |
+                        (static_cast<uint32_t>(p[7]) << 24);
+  if (len > kMaxFramePayload) return ExtractResult::kCorrupt;
+  const size_t total = kFrameHeaderBytes + len;
+  if (buf.size() < total) return ExtractResult::kNeedMore;
+  frame->type = type;
+  frame->payload = buf.substr(kFrameHeaderBytes, len);
+  buf.erase(0, total);
+  if (consumed != nullptr) *consumed += total;
+  return ExtractResult::kFrame;
+}
+
 // ---- Little-endian scalar append/read helpers. All fixed-width message
 // encoding in net/shard goes through these, so the wire format is
 // host-endianness independent.

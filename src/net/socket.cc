@@ -194,23 +194,16 @@ Result<Frame> Connection::ReadFrame(int timeout_ms) {
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {
     // Frame complete in the buffer?
-    if (recv_buf_.size() >= kFrameHeaderBytes) {
-      Reader r(recv_buf_);
-      uint32_t len = 0, type = 0;
-      (void)r.U32(&len);
-      (void)r.U32(&type);
-      if (len > kMaxFramePayload) {
-        return Status::Internal("oversized frame on the wire");
-      }
-      const size_t total = kFrameHeaderBytes + len;
-      if (recv_buf_.size() >= total) {
-        Frame frame;
-        frame.type = type;
-        frame.payload = recv_buf_.substr(kFrameHeaderBytes, len);
-        recv_buf_.erase(0, total);
-        received_.Add(total);
+    Frame frame;
+    size_t consumed = 0;
+    switch (TryExtractFrame(recv_buf_, &frame, &consumed)) {
+      case ExtractResult::kFrame:
+        received_.Add(consumed);
         return frame;
-      }
+      case ExtractResult::kCorrupt:
+        return Status::Internal("oversized frame on the wire");
+      case ExtractResult::kNeedMore:
+        break;
     }
     char chunk[64 * 1024];
     const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);

@@ -77,7 +77,7 @@ size_t EquilibriumCache::EditDistance(const std::vector<Point>& a,
 std::optional<EquilibriumCache::Hit> EquilibriumCache::Lookup(
     uint64_t version, const std::vector<Point>& events, double alpha,
     double cost_scale) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++stats_.lookups;
 
   // Drop entries computed under an *older* session: they missed an epoch
@@ -194,7 +194,7 @@ void EquilibriumCache::Insert(uint64_t version,
                               double cost_scale,
                               const Assignment& assignment) {
   if (config_.capacity == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (Entry& entry : entries_) {
     if (entry.version == version && entry.alpha == alpha &&
         entry.cost_scale == cost_scale &&
@@ -238,7 +238,7 @@ void EquilibriumCache::Insert(uint64_t version,
 
 EquilibriumCache::PatchResult EquilibriumCache::PatchEpoch(
     uint64_t new_version, const DynamicGame::GraphEpochUpdate& update) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   PatchResult result;
   for (size_t e = entries_.size(); e-- > 0;) {
     Entry& entry = entries_[e];
@@ -264,18 +264,18 @@ EquilibriumCache::PatchResult EquilibriumCache::PatchEpoch(
 }
 
 void EquilibriumCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   stats_.invalidations += entries_.size();
   entries_.clear();
 }
 
 EquilibriumCache::Stats EquilibriumCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
 size_t EquilibriumCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return entries_.size();
 }
 

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -11,6 +10,7 @@
 #include "core/objective.h"
 #include "graph/graph.h"
 #include "spatial/point.h"
+#include "util/annotated_mutex.h"
 #include "util/status.h"
 
 namespace rmgp {
@@ -122,11 +122,11 @@ class EquilibriumCache {
   static size_t EditDistance(const std::vector<Point>& a,
                              const std::vector<Point>& b);
 
-  Config config_;
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
-  uint64_t tick_ = 0;  // LRU clock
-  Stats stats_;
+  const Config config_;
+  mutable util::Mutex mu_;
+  std::vector<Entry> entries_ RMGP_GUARDED_BY(mu_);
+  uint64_t tick_ RMGP_GUARDED_BY(mu_) = 0;  // LRU clock
+  Stats stats_ RMGP_GUARDED_BY(mu_);
 };
 
 }  // namespace serve

@@ -1,10 +1,29 @@
 #include "serve/protocol.h"
 
+#include <cmath>
 #include <utility>
 
 namespace rmgp {
 namespace serve {
 namespace {
+
+/// Checked double -> unsigned conversion. JSON numbers arrive as doubles,
+/// and static_cast of a negative, fractional, NaN, or out-of-range value
+/// to an unsigned type is undefined behavior, not truncation (found by
+/// fuzzing the request parser under UBSan). `limit` is exclusive.
+bool ToUnsigned(double d, double limit, uint64_t* out) {
+  if (!(d >= 0.0) || d >= limit || d != std::floor(d)) return false;
+  *out = static_cast<uint64_t>(d);
+  return true;
+}
+
+/// NodeId-valued field: rejects anything but an integer in [0, 2^32).
+bool ToNodeId(double d, NodeId* out) {
+  uint64_t wide = 0;
+  if (!ToUnsigned(d, 4294967296.0, &wide)) return false;
+  *out = static_cast<NodeId>(wide);
+  return true;
+}
 
 /// Reads an optional scalar field, keeping `out` untouched when absent.
 /// Returns false (after setting *error) on a type mismatch.
@@ -70,7 +89,9 @@ Status ParseSolve(const Json& obj, Request* req) {
                 &error)) {
     return Status::InvalidArgument(error);
   }
-  req->query.seed = static_cast<uint64_t>(seed);
+  if (!ToUnsigned(seed, std::ldexp(1.0, 64), &req->query.seed)) {
+    return Status::InvalidArgument("seed must be an integer in [0, 2^64)");
+  }
   if (const Json* solver = obj.Find("solver"); solver != nullptr) {
     if (!solver->is_string()) {
       return Status::InvalidArgument("solver must be a string");
@@ -83,10 +104,11 @@ Status ParseSolve(const Json& obj, Request* req) {
 Status ParseUpdateUser(const Json& obj, Request* req) {
   std::string error;
   const Json* user = obj.Find("user");
-  if (user == nullptr || !user->is_number()) {
-    return Status::InvalidArgument("update_user requires a numeric user");
+  if (user == nullptr || !user->is_number() ||
+      !ToNodeId(user->AsDouble(), &req->user)) {
+    return Status::InvalidArgument(
+        "update_user requires an integer user id");
   }
-  req->user = static_cast<NodeId>(user->AsDouble());
   const Json* location = obj.Find("location");
   if (location == nullptr || !ReadPoint(*location, &req->location, &error)) {
     return Status::InvalidArgument("update_user requires a [x, y] location");
@@ -122,10 +144,9 @@ Status ParseMutate(const Json& obj, Request* req) {
 
   const Json* user = obj.Find("user");
   if (user != nullptr) {
-    if (!user->is_number()) {
-      return Status::InvalidArgument("user must be a number");
+    if (!user->is_number() || !ToNodeId(user->AsDouble(), &m.user)) {
+      return Status::InvalidArgument("user must be an integer id");
     }
-    m.user = static_cast<NodeId>(user->AsDouble());
     m.has_user = true;
   }
   if (const Json* location = obj.Find("location"); location != nullptr) {
@@ -151,13 +172,12 @@ Status ParseMutate(const Json& obj, Request* req) {
       const Json* u = obj.Find("u");
       const Json* v = obj.Find("v");
       if (u == nullptr || !u->is_number() || v == nullptr ||
-          !v->is_number()) {
+          !v->is_number() || !ToNodeId(u->AsDouble(), &m.u) ||
+          !ToNodeId(v->AsDouble(), &m.v)) {
         return Status::InvalidArgument(
             std::string(MutationKindName(m.kind)) +
-            " requires numeric u and v");
+            " requires integer u and v ids");
       }
-      m.u = static_cast<NodeId>(u->AsDouble());
-      m.v = static_cast<NodeId>(v->AsDouble());
       if (!ReadNumber(obj, "weight", &m.weight, &error)) {
         return Status::InvalidArgument(error);
       }

@@ -15,44 +15,47 @@ ResponseWriter::ResponseWriter(std::FILE* out)
 
 ResponseWriter::~ResponseWriter() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stop_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   thread_.join();
 }
 
 void ResponseWriter::Write(std::string line) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     queue_.push_back(std::move(line));
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 void ResponseWriter::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_.wait(lock, [this] { return queue_.empty() && !writing_; });
+  util::MutexLock lock(mu_);
+  while (!queue_.empty() || writing_) drained_.Wait(mu_);
 }
 
 void ResponseWriter::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    wake_.wait(lock, [this] { return !queue_.empty() || stop_; });
-    if (queue_.empty() && stop_) break;
-    if (queue_.empty()) continue;
-    std::string line = std::move(queue_.front());
-    queue_.pop_front();
-    writing_ = true;
-    lock.unlock();
+    std::string line;
+    {
+      util::MutexLock lock(mu_);
+      while (queue_.empty() && !stop_) wake_.Wait(mu_);
+      if (queue_.empty()) break;  // stop_ set and nothing left to write
+      line = std::move(queue_.front());
+      queue_.pop_front();
+      writing_ = true;
+    }
     // I/O happens with the lock released so Write never blocks behind a
     // slow pipe.
     std::fwrite(line.data(), 1, line.size(), out_);
     std::fputc('\n', out_);
     std::fflush(out_);
-    lock.lock();
-    writing_ = false;
-    if (queue_.empty()) drained_.notify_all();
+    {
+      util::MutexLock lock(mu_);
+      writing_ = false;
+      if (queue_.empty()) drained_.NotifyAll();
+    }
   }
   std::fflush(out_);
 }

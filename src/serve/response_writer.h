@@ -1,12 +1,12 @@
 #ifndef RMGP_SERVE_RESPONSE_WRITER_H_
 #define RMGP_SERVE_RESPONSE_WRITER_H_
 
-#include <condition_variable>
 #include <cstdio>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "util/annotated_mutex.h"
 
 namespace rmgp {
 namespace serve {
@@ -39,14 +39,17 @@ class ResponseWriter {
  private:
   void Loop();
 
-  std::FILE* out_;
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::condition_variable drained_;
-  std::deque<std::string> queue_;
-  bool writing_ = false;  // Loop is between dequeue and flush
-  bool stop_ = false;
-  std::thread thread_;  // last member: started after state is ready
+  // Written by the writer thread only (and the constructor); unguarded.
+  std::FILE* out_;  // rmgp-lint: allow(no-unannotated-shared-field)
+  util::Mutex mu_;
+  util::CondVar wake_;
+  util::CondVar drained_;
+  std::deque<std::string> queue_ RMGP_GUARDED_BY(mu_);
+  // Loop is between dequeue and flush
+  bool writing_ RMGP_GUARDED_BY(mu_) = false;
+  bool stop_ RMGP_GUARDED_BY(mu_) = false;
+  // last member: started after state is ready
+  std::thread thread_;  // rmgp-lint: allow(no-unannotated-shared-field)
 };
 
 }  // namespace serve

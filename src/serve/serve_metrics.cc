@@ -11,7 +11,7 @@ LatencyHistogram::LatencyHistogram(size_t capacity)
     : capacity_(std::max<size_t>(capacity, 1)) {}
 
 void LatencyHistogram::Record(double millis) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (window_.size() < capacity_) {
     window_.push_back(millis);
   } else {
@@ -27,7 +27,7 @@ LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
   std::vector<double> window;
   Snapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (count_ == 0) return snap;
     window = window_;
     snap.count = count_;
@@ -53,7 +53,7 @@ Json LatencyHistogram::ToJson() const {
 }
 
 std::atomic<uint64_t>& MetricsRegistry::Counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [key, value] : counters_) {
     if (key == name) return *value;
   }
@@ -63,7 +63,7 @@ std::atomic<uint64_t>& MetricsRegistry::Counter(std::string_view name) {
 }
 
 std::atomic<int64_t>& MetricsRegistry::Gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [key, value] : gauges_) {
     if (key == name) return *value;
   }
@@ -73,7 +73,7 @@ std::atomic<int64_t>& MetricsRegistry::Gauge(std::string_view name) {
 }
 
 LatencyHistogram& MetricsRegistry::Histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [key, value] : histograms_) {
     if (key == name) return *value;
   }
@@ -83,7 +83,7 @@ LatencyHistogram& MetricsRegistry::Histogram(std::string_view name) {
 }
 
 Json MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Json counters = Json::Object();
   for (const auto& [key, value] : counters_) {
     counters.Set(key, value->load(std::memory_order_relaxed));

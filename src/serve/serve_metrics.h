@@ -4,12 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "dist/network.h"
+#include "util/annotated_mutex.h"
 #include "util/json.h"
 
 namespace rmgp {
@@ -42,13 +42,14 @@ class LatencyHistogram {
   Json ToJson() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> window_;  // ring buffer, size <= capacity_
-  size_t capacity_;
-  size_t next_ = 0;     // ring cursor
-  uint64_t count_ = 0;  // lifetime
-  double sum_ = 0.0;
-  double max_ = 0.0;
+  mutable util::Mutex mu_;
+  // ring buffer, size <= capacity_
+  std::vector<double> window_ RMGP_GUARDED_BY(mu_);
+  const size_t capacity_;
+  size_t next_ RMGP_GUARDED_BY(mu_) = 0;      // ring cursor
+  uint64_t count_ RMGP_GUARDED_BY(mu_) = 0;   // lifetime
+  double sum_ RMGP_GUARDED_BY(mu_) = 0.0;
+  double max_ RMGP_GUARDED_BY(mu_) = 0.0;
 };
 
 /// Named counters, gauges, and latency histograms for the serving layer.
@@ -74,13 +75,13 @@ class MetricsRegistry {
   Json ToJson() const;
 
  private:
-  mutable std::mutex mu_;  // guards the name->slot maps, not the values
+  mutable util::Mutex mu_;  // guards the name->slot maps, not the values
   std::vector<std::pair<std::string, std::unique_ptr<std::atomic<uint64_t>>>>
-      counters_;
+      counters_ RMGP_GUARDED_BY(mu_);
   std::vector<std::pair<std::string, std::unique_ptr<std::atomic<int64_t>>>>
-      gauges_;
+      gauges_ RMGP_GUARDED_BY(mu_);
   std::vector<std::pair<std::string, std::unique_ptr<LatencyHistogram>>>
-      histograms_;
+      histograms_ RMGP_GUARDED_BY(mu_);
 };
 
 /// Folds one transport measurement into `<prefix>.bytes` /

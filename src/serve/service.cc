@@ -155,8 +155,8 @@ Status RmgpService::Submit(Query query, Callback done) {
     if (remaining == 0) {
       // Notify under the lock so a drainer between its predicate check
       // and wait cannot miss the signal.
-      std::lock_guard<std::mutex> drain_lock(drain_mu_);
-      drain_cv_.notify_all();
+      util::MutexLock drain_lock(drain_mu_);
+      drain_cv_.NotifyAll();
     }
   });
   return Status::OK();
@@ -186,7 +186,7 @@ Result<QueryResult> RmgpService::Execute(
   // old graph and locations alive — no copy).
   std::shared_ptr<const SessionSnapshot> snap;
   {
-    std::shared_lock<std::shared_mutex> lock(session_mu_);
+    util::ReaderMutexLock lock(session_mu_);
     snap = snapshot_;
   }
   out.session_version = snap->version;
@@ -321,15 +321,15 @@ Result<QueryResult> RmgpService::Execute(
 Result<QueryResult> RmgpService::ExecuteDist(
     const Query& query, const std::shared_ptr<const SessionSnapshot>& snap,
     QueryResult out) {
-  if (coordinator_ == nullptr) {
-    return Status::FailedPrecondition(
-        "dist query but the service has no worker fleet (dist_workers=0)");
-  }
   const auto start = std::chrono::steady_clock::now();
   // The coordinator is a single state machine over N sockets; queries take
   // their turn. Parallel dist queries would interleave frames of different
   // rounds on the same connections.
-  std::lock_guard<std::mutex> lock(dist_mu_);
+  util::MutexLock lock(dist_mu_);
+  if (coordinator_ == nullptr) {
+    return Status::FailedPrecondition(
+        "dist query but the service has no worker fleet (dist_workers=0)");
+  }
   if (!dist_session_shipped_ || dist_version_shipped_ != snap->version) {
     RMGP_RETURN_IF_ERROR(
         coordinator_->LoadSession(snap->graph, snap->users, snap->version));
@@ -393,14 +393,18 @@ Result<QueryResult> RmgpService::ExecuteDist(
 }
 
 uint16_t RmgpService::dist_port() const {
+  // Lock even for this read: the coordinator mutates its socket state
+  // under dist_mu_, and reading port() against a concurrent LoadSession
+  // was a (benign-looking) race TSan could trip on.
+  util::MutexLock lock(dist_mu_);
   return coordinator_ == nullptr ? 0 : coordinator_->port();
 }
 
 Status RmgpService::WaitForDistWorkers(int timeout_ms) {
+  util::MutexLock lock(dist_mu_);
   if (coordinator_ == nullptr) {
     return Status::FailedPrecondition("service has no dist coordinator");
   }
-  std::lock_guard<std::mutex> lock(dist_mu_);
   return coordinator_->AwaitWorkers(config_.dist_workers, timeout_ms);
 }
 
@@ -409,15 +413,15 @@ void RmgpService::StopAdmitting() {
 }
 
 void RmgpService::Drain() {
-  std::unique_lock<std::mutex> lock(drain_mu_);
-  drain_cv_.wait(lock, [&] {
-    return in_flight_.load(std::memory_order_acquire) == 0;
-  });
+  util::MutexLock lock(drain_mu_);
+  while (in_flight_.load(std::memory_order_acquire) != 0) {
+    drain_cv_.Wait(drain_mu_);
+  }
 }
 
 Result<MutationAck> RmgpService::Mutate(const Mutation& mutation) {
   metrics_.Counter("mutate.requests").fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::shared_mutex> lock(session_mu_);
+  util::WriterMutexLock lock(session_mu_);
   Result<NodeId> id_or = log_.Append(mutation);
   if (!id_or.ok()) {
     metrics_.Counter("mutate.rejected").fetch_add(1,
@@ -440,7 +444,7 @@ Result<MutationAck> RmgpService::Mutate(const Mutation& mutation) {
 }
 
 Result<EpochResult> RmgpService::CommitEpoch() {
-  std::unique_lock<std::shared_mutex> lock(session_mu_);
+  util::WriterMutexLock lock(session_mu_);
   return CommitEpochLocked();
 }
 
@@ -536,7 +540,7 @@ Status RmgpService::UpdateUserLocation(NodeId v, const Point& location) {
   m.kind = MutationKind::kMoveUser;
   m.user = v;
   m.location = location;
-  std::unique_lock<std::shared_mutex> lock(session_mu_);
+  util::WriterMutexLock lock(session_mu_);
   Result<NodeId> id_or = log_.Append(m);
   if (!id_or.ok()) return id_or.status();
   // One-op epoch: commit immediately so the move is visible to the next
@@ -547,23 +551,23 @@ Status RmgpService::UpdateUserLocation(NodeId v, const Point& location) {
 
 size_t RmgpService::CountUsersIn(const BoundingBox& box) const {
   metrics_.Counter("nearby.requests").fetch_add(1, std::memory_order_relaxed);
-  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  util::ReaderMutexLock lock(session_mu_);
   if (user_index_ == nullptr) return 0;
   return user_index_->Range(box).size();
 }
 
 NodeId RmgpService::num_users() const {
-  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  util::ReaderMutexLock lock(session_mu_);
   return snapshot_->graph->num_nodes();
 }
 
 uint64_t RmgpService::version() const {
-  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  util::ReaderMutexLock lock(session_mu_);
   return snapshot_->version;
 }
 
 size_t RmgpService::pending_mutations() const {
-  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  util::ReaderMutexLock lock(session_mu_);
   return log_.pending_ops();
 }
 
@@ -597,7 +601,7 @@ Json RmgpService::MetricsJson() const {
 
   Json session = Json::Object();
   {
-    std::shared_lock<std::shared_mutex> lock(session_mu_);
+    util::ReaderMutexLock lock(session_mu_);
     session.Set("version", snapshot_->version);
     session.Set("num_users", snapshot_->graph->num_nodes());
     session.Set("num_edges", snapshot_->graph->num_edges());
@@ -609,19 +613,27 @@ Json RmgpService::MetricsJson() const {
   }
   out.Set("session", std::move(session));
 
-  if (coordinator_ != nullptr) {
-    Json dist = Json::Object();
-    dist.Set("workers", config_.dist_workers);
-    dist.Set("live_workers",
-             static_cast<uint64_t>(coordinator_->live_workers()));
-    const shard::RecoveryStats& rs = coordinator_->recovery_stats();
-    dist.Set("recoveries", rs.recoveries);
-    dist.Set("workers_lost", rs.workers_lost);
-    dist.Set("last_recovery_ms", rs.last_recovery_ms);
-    const TrafficStats traffic = coordinator_->traffic();
-    dist.Set("bytes", traffic.bytes);
-    dist.Set("messages", traffic.messages);
-    out.Set("dist", std::move(dist));
+  {
+    // Pre-analysis these reads raced a concurrent dist query: the
+    // coordinator mutates live_workers / recovery_stats / traffic inside
+    // Solve(), which runs under dist_mu_ — so the metrics endpoint must
+    // hold it too (it was the "metrics read without the lock" bug the
+    // annotations flagged).
+    util::MutexLock lock(dist_mu_);
+    if (coordinator_ != nullptr) {
+      Json dist = Json::Object();
+      dist.Set("workers", config_.dist_workers);
+      dist.Set("live_workers",
+               static_cast<uint64_t>(coordinator_->live_workers()));
+      const shard::RecoveryStats& rs = coordinator_->recovery_stats();
+      dist.Set("recoveries", rs.recoveries);
+      dist.Set("workers_lost", rs.workers_lost);
+      dist.Set("last_recovery_ms", rs.last_recovery_ms);
+      const TrafficStats traffic = coordinator_->traffic();
+      dist.Set("bytes", traffic.bytes);
+      dist.Set("messages", traffic.messages);
+      out.Set("dist", std::move(dist));
+    }
   }
   return out;
 }

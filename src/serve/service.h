@@ -3,12 +3,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +18,7 @@
 #include "shard/coordinator.h"
 #include "spatial/grid_index.h"
 #include "spatial/point.h"
+#include "util/annotated_mutex.h"
 #include "util/json.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -256,32 +254,44 @@ class RmgpService {
       QueryResult out);
 
   /// Commit body; caller holds `session_mu_` exclusively.
-  EpochResult CommitEpochLocked();
+  EpochResult CommitEpochLocked() RMGP_REQUIRES(session_mu_);
 
-  ServiceConfig config_;
+  const ServiceConfig config_;
 
-  mutable std::shared_mutex session_mu_;  // snapshot_, log_, user_index_
-  std::shared_ptr<const SessionSnapshot> snapshot_;
-  MutationLog log_;
-  std::unique_ptr<GridIndex> user_index_;
+  // Lock hierarchy (see DESIGN.md "Locking discipline"): session_mu_
+  // before dist_mu_ before drain_mu_. No public path nests them today —
+  // every method takes one, copies what it needs, and releases before the
+  // next — but the declared order means a future nesting that inverts it
+  // is rejected at compile time on the clang cells.
+  mutable util::SharedMutex session_mu_
+      RMGP_ACQUIRED_BEFORE(dist_mu_, drain_mu_);  // snapshot_, log_, index
+  std::shared_ptr<const SessionSnapshot> snapshot_
+      RMGP_GUARDED_BY(session_mu_);
+  MutationLog log_ RMGP_GUARDED_BY(session_mu_);
+  std::unique_ptr<GridIndex> user_index_ RMGP_GUARDED_BY(session_mu_);
 
-  mutable EquilibriumCache cache_;
+  // Internally synchronized behind their own mutexes (leaves of the
+  // hierarchy; they never call back into the service).
+  mutable EquilibriumCache cache_;  // rmgp-lint: allow(no-unannotated-shared-field)
   // mutable: const observers (CountUsersIn, MetricsJson) still count
   // themselves; the registry is internally synchronized.
-  mutable MetricsRegistry metrics_;
+  mutable MetricsRegistry metrics_;  // rmgp-lint: allow(no-unannotated-shared-field)
   std::atomic<size_t> in_flight_{0};  // admission-control token count
   std::atomic<bool> admitting_{true};
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;  // signalled when in_flight_ hits 0
+  util::Mutex drain_mu_;
+  util::CondVar drain_cv_;  // signalled when in_flight_ hits 0
 
   // Sharded deployment (ServiceConfig::dist_workers > 0). The coordinator
-  // is single-threaded by design; dist queries serialize on dist_mu_.
-  std::mutex dist_mu_;
-  std::unique_ptr<shard::ShardCoordinator> coordinator_;
-  bool dist_session_shipped_ = false;   // guarded by dist_mu_
-  uint64_t dist_version_shipped_ = 0;   // guarded by dist_mu_
+  // is single-threaded by design; dist queries serialize on dist_mu_,
+  // which guards both the pointer and the coordinator state behind it.
+  mutable util::Mutex dist_mu_ RMGP_ACQUIRED_BEFORE(drain_mu_);
+  std::unique_ptr<shard::ShardCoordinator> coordinator_
+      RMGP_GUARDED_BY(dist_mu_) RMGP_PT_GUARDED_BY(dist_mu_);
+  bool dist_session_shipped_ RMGP_GUARDED_BY(dist_mu_) = false;
+  uint64_t dist_version_shipped_ RMGP_GUARDED_BY(dist_mu_) = 0;
 
-  std::unique_ptr<ThreadPool> pool_;  // last member: dies (drains) first
+  // last member: dies (drains) first
+  std::unique_ptr<ThreadPool> pool_;  // rmgp-lint: allow(no-unannotated-shared-field)
 };
 
 }  // namespace serve

@@ -50,6 +50,14 @@ Result<ShardPayload> DecodeShard(std::string_view payload) {
       !r.U32(&shard.num_colors) || !r.U32(&num_local) || !r.U32(&num_edges)) {
     return Truncated("shard header");
   }
+  // Validate the declared counts against the bytes actually present BEFORE
+  // any resize: a hostile header claiming 4 billion edges must fail here,
+  // not drive a ~64 GB allocation. Exact match also covers trailing bytes.
+  const uint64_t need = uint64_t{num_local} * 24 + uint64_t{num_edges} * 16;
+  if (r.remaining() != need) {
+    return Status::InvalidArgument(
+        "shard payload size does not match its counts");
+  }
   shard.local_users.resize(num_local);
   for (uint32_t i = 0; i < num_local; ++i) {
     if (!r.U32(&shard.local_users[i])) return Truncated("shard users");
@@ -109,6 +117,13 @@ Result<QueryInitPayload> DecodeQueryInit(std::string_view payload) {
     return Truncated("query header");
   }
   query.warm = warm != 0;
+  // Same count-vs-bytes validation as DecodeShard, before any allocation.
+  const uint64_t need = uint64_t{num_events} * wire::kPerEvent +
+                        uint64_t{num_warm} * wire::kPerStrategyEntry;
+  if (r.remaining() != need) {
+    return Status::InvalidArgument(
+        "query payload size does not match its counts");
+  }
   query.events.resize(num_events);
   for (uint32_t i = 0; i < num_events; ++i) {
     uint32_t id = 0;

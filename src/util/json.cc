@@ -139,6 +139,10 @@ class Parser {
     char* end = nullptr;
     const double v = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) return Error("malformed number");
+    // Literals like 1e400 overflow strtod to infinity; a Json holding a
+    // non-finite double would fatally CHECK in Dump (found by fuzzing), so
+    // reject them at the parse boundary like any other malformed input.
+    if (!std::isfinite(v)) return Error("number out of double range");
     *out = Json(v);
     return Status::OK();
   }

@@ -6,13 +6,14 @@
 // rmgp-lint: sanctioned-file(no-stdout)
 
 #include <atomic>
-#include <mutex>
+
+#include "util/annotated_mutex.h"
 
 namespace rmgp {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mu;
+util::Mutex g_log_mu;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -46,14 +47,14 @@ void LogMessage(LogLevel level, const char* file, int line,
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(g_log_mu);
+  util::MutexLock lock(g_log_mu);
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line,
                msg.c_str());
 }
 
 void FatalMessage(const char* file, int line, const std::string& msg) {
   {
-    std::lock_guard<std::mutex> lock(g_log_mu);
+    util::MutexLock lock(g_log_mu);
     std::fprintf(stderr, "[FATAL %s:%d] %s\n", file, line, msg.c_str());
   }
   std::abort();

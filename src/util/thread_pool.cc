@@ -5,6 +5,8 @@
 
 namespace rmgp {
 
+using util::MutexLock;
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   busy_nanos_ = std::make_unique<std::atomic<uint64_t>[]>(num_threads);
@@ -20,25 +22,25 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
@@ -58,16 +60,18 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   op->chunks_total = chunks;
   op->next.store(begin, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     op_ = op;
   }
-  task_available_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  op_done_.wait(lock, [&] {
-    return op->chunks_done.load(std::memory_order_acquire) ==
-           op->chunks_total;
-  });
-  op_.reset();
+  task_available_.NotifyAll();
+  {
+    MutexLock lock(mu_);
+    while (op->chunks_done.load(std::memory_order_acquire) !=
+           op->chunks_total) {
+      op_done_.Wait(mu_);
+    }
+    op_.reset();
+  }
 }
 
 void ThreadPool::ParallelFor(size_t n,
@@ -90,8 +94,8 @@ void ThreadPool::RunOpChunks(ParallelOp* op, size_t slot) {
         op->chunks_total) {
       // Last chunk: wake the caller blocked in ParallelFor. Taking the
       // lock orders the notify after the caller entered its wait.
-      std::lock_guard<std::mutex> lock(mu_);
-      op_done_.notify_all();
+      MutexLock lock(mu_);
+      op_done_.NotifyAll();
     }
   }
 }
@@ -119,12 +123,12 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     std::shared_ptr<ParallelOp> op;
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock, [this] {
-        return shutting_down_ || !tasks_.empty() ||
+      MutexLock lock(mu_);
+      while (!(shutting_down_ || !tasks_.empty() ||
                (op_ != nullptr &&
-                op_->next.load(std::memory_order_relaxed) < op_->end);
-      });
+                op_->next.load(std::memory_order_relaxed) < op_->end))) {
+        task_available_.Wait(mu_);
+      }
       if (op_ != nullptr &&
           op_->next.load(std::memory_order_relaxed) < op_->end) {
         op = op_;  // keep the op alive past the caller's return
@@ -149,8 +153,8 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     busy_nanos_[worker_index].fetch_add(static_cast<uint64_t>(nanos),
                                         std::memory_order_relaxed);
     if (op == nullptr) {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(mu_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

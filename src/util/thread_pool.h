@@ -2,15 +2,15 @@
 #define RMGP_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/annotated_mutex.h"
 
 namespace rmgp {
 
@@ -126,17 +126,23 @@ class ThreadPool {
   /// Claims and runs chunks of `op` until the range is exhausted.
   void RunOpChunks(ParallelOp* op, size_t slot);
 
-  std::vector<std::thread> workers_;
-  std::vector<ScratchArena> arenas_;  // num_slots() entries, never resized
+  // workers_ and arenas_ are written only during construction and then
+  // read-only (arenas_ slots are single-thread-owned by contract); both
+  // are deliberately unguarded.
+  std::vector<std::thread> workers_;  // rmgp-lint: allow(no-unannotated-shared-field)
+  // num_slots() entries, never resized
+  std::vector<ScratchArena> arenas_;  // rmgp-lint: allow(no-unannotated-shared-field)
   std::unique_ptr<std::atomic<uint64_t>[]> busy_nanos_;  // one per worker
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::condition_variable op_done_;
-  std::shared_ptr<ParallelOp> op_;  // non-null while a ParallelFor runs
-  size_t in_flight_ = 0;            // queued + running Submit tasks
-  bool shutting_down_ = false;
+  util::Mutex mu_;
+  std::queue<std::function<void()>> tasks_ RMGP_GUARDED_BY(mu_);
+  util::CondVar task_available_;
+  util::CondVar all_done_;
+  util::CondVar op_done_;
+  // Non-null while a ParallelFor runs. The ParallelOp payload itself is
+  // all-atomic, so only the pointer needs the guard.
+  std::shared_ptr<ParallelOp> op_ RMGP_GUARDED_BY(mu_);
+  size_t in_flight_ RMGP_GUARDED_BY(mu_) = 0;  // queued + running Submits
+  bool shutting_down_ RMGP_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rmgp

@@ -1,0 +1,24 @@
+// Negative-compile fixture (scripts/negative_compile.sh): reading a
+// RMGP_GUARDED_BY field without holding its mutex must be rejected by
+// clang's -Wthread-safety -Werror. If this file ever compiles under the
+// thread-safety cell, the annotation macros have been hollowed out.
+
+#include "util/annotated_mutex.h"
+
+namespace {
+
+struct Counter {
+  rmgp::util::Mutex mu;
+  int value RMGP_GUARDED_BY(mu) = 0;
+
+  int Read() {
+    return value;  // BAD: no lock held
+  }
+};
+
+int Use() {
+  Counter c;
+  return c.Read();
+}
+
+}  // namespace

@@ -1,0 +1,26 @@
+// Negative-compile fixture (scripts/negative_compile.sh): acquiring
+// mutexes against their declared RMGP_ACQUIRED_BEFORE order must be
+// rejected by clang's -Wthread-safety-beta -Werror (the ordering checks
+// live behind the beta flag; see the root CMakeLists). This mirrors the
+// service hierarchy session_mu_ -> dist_mu_ -> drain_mu_.
+
+#include "util/annotated_mutex.h"
+
+namespace {
+
+struct Service {
+  rmgp::util::Mutex session_mu RMGP_ACQUIRED_BEFORE(dist_mu);
+  rmgp::util::Mutex dist_mu;
+
+  void Inverted() {
+    rmgp::util::MutexLock dist_lock(dist_mu);
+    rmgp::util::MutexLock session_lock(session_mu);  // BAD: inverts order
+  }
+};
+
+void Use() {
+  Service s;
+  s.Inverted();
+}
+
+}  // namespace

@@ -1,0 +1,25 @@
+// Negative-compile fixture (scripts/negative_compile.sh): calling an
+// RMGP_REQUIRES method without holding the named mutex must be rejected
+// by clang's -Wthread-safety -Werror.
+
+#include "util/annotated_mutex.h"
+
+namespace {
+
+struct Session {
+  rmgp::util::Mutex mu;
+  int epoch RMGP_GUARDED_BY(mu) = 0;
+
+  void CommitLocked() RMGP_REQUIRES(mu) { ++epoch; }
+
+  void Commit() {
+    CommitLocked();  // BAD: caller does not hold mu
+  }
+};
+
+void Use() {
+  Session s;
+  s.Commit();
+}
+
+}  // namespace

@@ -1,0 +1,38 @@
+// Positive control for scripts/negative_compile.sh: the same shapes as
+// the bad_*.cc fixtures with the locking done right. Must compile cleanly
+// under clang -Wthread-safety -Wthread-safety-beta -Werror — if it stops
+// compiling, the script's failure expectations are meaningless.
+
+#include "util/annotated_mutex.h"
+
+namespace {
+
+struct Service {
+  rmgp::util::Mutex session_mu RMGP_ACQUIRED_BEFORE(dist_mu);
+  rmgp::util::Mutex dist_mu;
+  int epoch RMGP_GUARDED_BY(session_mu) = 0;
+  int shipped RMGP_GUARDED_BY(dist_mu) = 0;
+  rmgp::util::CondVar cv;
+
+  void CommitLocked() RMGP_REQUIRES(session_mu) { ++epoch; }
+
+  void Commit() {
+    rmgp::util::MutexLock session_lock(session_mu);
+    CommitLocked();
+    rmgp::util::MutexLock dist_lock(dist_mu);  // declared order
+    ++shipped;
+  }
+
+  void AwaitEpoch(int target) {
+    rmgp::util::MutexLock lock(session_mu);
+    while (epoch < target) cv.Wait(session_mu);
+  }
+};
+
+void Use() {
+  Service s;
+  s.Commit();
+  s.AwaitEpoch(1);
+}
+
+}  // namespace

@@ -5,6 +5,7 @@
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "net/frame.h"
 
@@ -48,6 +49,57 @@ TEST(FrameCodecTest, ReaderRejectsTruncatedInput) {
   Reader r(buf);
   uint64_t u64 = 0;
   EXPECT_FALSE(r.U64(&u64));  // only 4 bytes available
+}
+
+TEST(FrameCodecTest, TryExtractFrameWalksPartialAndPipelinedInput) {
+  // Build two back-to-back frames, then feed the stream byte by byte: the
+  // extractor must report kNeedMore (leaving the buffer untouched) until each
+  // frame completes, then consume exactly header + payload.
+  std::string stream;
+  PutU32(stream, 5);
+  PutU32(stream, 11);
+  stream += "hello";
+  PutU32(stream, 0);
+  PutU32(stream, 22);
+
+  std::string buf;
+  Frame frame;
+  size_t consumed = 0;
+  std::vector<Frame> got;
+  for (const char c : stream) {
+    buf.push_back(c);
+    const size_t before = buf.size();
+    switch (TryExtractFrame(buf, &frame, &consumed)) {
+      case ExtractResult::kFrame:
+        got.push_back(frame);
+        break;
+      case ExtractResult::kNeedMore:
+        EXPECT_EQ(buf.size(), before);
+        break;
+      case ExtractResult::kCorrupt:
+        FAIL() << "well-formed stream reported corrupt";
+    }
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].type, 11u);
+  EXPECT_EQ(got[0].payload, "hello");
+  EXPECT_EQ(got[1].type, 22u);
+  EXPECT_EQ(got[1].payload, "");
+  EXPECT_EQ(consumed, stream.size());
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(FrameCodecTest, TryExtractFrameFlagsOversizedLengthPrefix) {
+  std::string buf;
+  PutU32(buf, kMaxFramePayload + 1);
+  PutU32(buf, 1);
+  Frame frame;
+  EXPECT_EQ(TryExtractFrame(buf, &frame), ExtractResult::kCorrupt);
+  // At the limit it is merely incomplete, not corrupt.
+  std::string ok;
+  PutU32(ok, kMaxFramePayload);
+  PutU32(ok, 1);
+  EXPECT_EQ(TryExtractFrame(ok, &frame), ExtractResult::kNeedMore);
 }
 
 TEST(SocketTest, EphemeralPortIsAssigned) {

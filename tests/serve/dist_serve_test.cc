@@ -115,6 +115,33 @@ TEST(DistServeTest, SecondQueryReusesTheShippedSession) {
   EXPECT_EQ(s.service->metrics().Counter("dist.sessions_shipped").load(), 1u);
 }
 
+TEST(DistServeTest, MetricsDumpRacingDistQueriesIsClean) {
+  // Regression test (run under TSan in CI): MetricsJson() and dist_port()
+  // used to read coordinator state (live_workers, recovery_stats, traffic,
+  // port) without dist_mu_ while a dist query mutated it inside Solve().
+  // The thread-safety annotations flagged the unlocked reads; both now
+  // take dist_mu_. This test drives the exact interleaving.
+  DistSession s(2);
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Json metrics = s.service->MetricsJson();
+      EXPECT_TRUE(metrics.is_object());
+      EXPECT_NE(s.service->dist_port(), 0);
+    }
+  });
+  for (int i = 0; i < 4; ++i) {
+    auto res = s.service->Solve(s.MakeQuery(3 + (i % 2)));
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_TRUE(res->converged);
+  }
+  stop.store(true);
+  scraper.join();
+  const Json metrics = s.service->MetricsJson();
+  EXPECT_TRUE(metrics.At("dist").is_object());
+  EXPECT_DOUBLE_EQ(metrics.At("dist").At("live_workers").AsDouble(), 2.0);
+}
+
 TEST(DistServeTest, DistQueryWithoutFleetFails) {
   GeoSocialDataset ds = MakeUnitSquareToy(50, 3, 0.2, 5);
   RmgpService service(std::move(ds.graph), ds.user_locations, {});

@@ -58,6 +58,43 @@ TEST(ServeProtocolTest, RejectsMalformedRequests) {
   EXPECT_FALSE(ParseRequest(R"({"id":1,"op":"nearby"})").ok());
 }
 
+TEST(ServeProtocolTest, RejectsNonIntegralIds) {
+  // Regression (found by fuzzing): ids and seeds arrive as JSON doubles and
+  // used to be cast straight to unsigned — UB for negative, fractional, NaN,
+  // or out-of-range values. Each hostile value must now parse-fail cleanly.
+  const char* kBadUsers[] = {"-1", "3.5", "1e300", "4294967296"};
+  for (const char* bad : kBadUsers) {
+    const std::string update = std::string(R"({"id":1,"op":"update_user")") +
+                               R"(,"user":)" + bad +
+                               R"(,"location":[0.1,0.2]})";
+    EXPECT_FALSE(ParseRequest(update).ok()) << update;
+    const std::string move = std::string(R"({"id":1,"op":"mutate")") +
+                             R"(,"kind":"move_user","user":)" + bad +
+                             R"(,"location":[0.1,0.2]})";
+    EXPECT_FALSE(ParseRequest(move).ok()) << move;
+    const std::string edge = std::string(R"({"id":1,"op":"mutate")") +
+                             R"(,"kind":"add_edge","u":)" + bad +
+                             R"(,"v":2,"weight":1.0})";
+    EXPECT_FALSE(ParseRequest(edge).ok()) << edge;
+  }
+  // Seeds span the full u64 range but must still be non-negative integers.
+  EXPECT_FALSE(ParseRequest(
+                   R"({"id":1,"op":"solve","events":[[0.1,0.2]],"seed":-7})")
+                   .ok());
+  EXPECT_FALSE(ParseRequest(
+                   R"({"id":1,"op":"solve","events":[[0.1,0.2]],"seed":0.5})")
+                   .ok());
+  EXPECT_FALSE(
+      ParseRequest(
+          R"({"id":1,"op":"solve","events":[[0.1,0.2]],"seed":1e300})")
+          .ok());
+  // The largest exactly-representable seed below 2^64 still parses.
+  auto ok = ParseRequest(
+      R"({"id":1,"op":"solve","events":[[0.1,0.2]],"seed":9007199254740992})");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->query.seed, 9007199254740992u);
+}
+
 TEST(ServeProtocolTest, ParsesMutationAndLookupOps) {
   auto update = ParseRequest(
       R"({"id":2,"op":"update_user","user":17,"location":[0.25,0.75]})");

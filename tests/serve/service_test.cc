@@ -7,9 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -17,6 +15,7 @@
 #include "core/instance.h"
 #include "core/objective.h"
 #include "data/datasets.h"
+#include "util/annotated_mutex.h"
 
 namespace rmgp {
 namespace serve {
@@ -227,8 +226,8 @@ TEST(ServeServiceTest, MutationMidSolveDoesNotCorruptRunningQuery) {
   Session s(config, 1500);
   const NodeId n0 = s.service->num_users();
 
-  std::mutex mu;
-  std::condition_variable cv;
+  util::Mutex mu;
+  util::CondVar cv;
   int callbacks = 0;
   std::vector<std::pair<uint64_t, size_t>> seen;  // (version, |assignment|)
   constexpr int kQueries = 8;
@@ -239,11 +238,11 @@ TEST(ServeServiceTest, MutationMidSolveDoesNotCorruptRunningQuery) {
     q.return_assignment = true;
     Status st = s.service->Submit(
         q, [&](const Status& status, const QueryResult& r) {
-          std::lock_guard<std::mutex> lock(mu);
+          util::MutexLock lock(mu);
           EXPECT_TRUE(status.ok()) << status.ToString();
           seen.emplace_back(r.session_version, r.assignment.size());
           ++callbacks;
-          cv.notify_all();
+          cv.NotifyAll();
         });
     if (st.ok()) ++admitted;
 
@@ -257,8 +256,8 @@ TEST(ServeServiceTest, MutationMidSolveDoesNotCorruptRunningQuery) {
     EXPECT_TRUE(epoch->committed);
   }
   {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return callbacks == admitted; });
+    util::MutexLock lock(mu);
+    while (callbacks != admitted) cv.Wait(mu);
   }
   for (const auto& [version, assignment_size] : seen) {
     // Version v was committed after v epochs of one appended user each.
@@ -275,8 +274,8 @@ TEST(ServeServiceTest, BoundedQueueRejectsOverload) {
   config.solver_threads = 1;
   Session s(config, 2000);
 
-  std::mutex mu;
-  std::condition_variable cv;
+  util::Mutex mu;
+  util::CondVar cv;
   int callbacks = 0;
   int admitted = 0;
   int rejected = 0;
@@ -287,10 +286,10 @@ TEST(ServeServiceTest, BoundedQueueRejectsOverload) {
     query.seed = static_cast<uint64_t>(i + 1);
     Status status = s.service->Submit(
         query, [&](const Status& st, const QueryResult&) {
-          std::lock_guard<std::mutex> lock(mu);
+          util::MutexLock lock(mu);
           EXPECT_TRUE(st.ok()) << st.ToString();
           ++callbacks;
-          cv.notify_all();
+          cv.NotifyAll();
         });
     if (status.ok()) {
       ++admitted;
@@ -302,8 +301,8 @@ TEST(ServeServiceTest, BoundedQueueRejectsOverload) {
   EXPECT_GT(rejected, 0) << "burst of " << kBurst
                          << " never exceeded a queue of 2";
   {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return callbacks == admitted; });
+    util::MutexLock lock(mu);
+    while (callbacks != admitted) cv.Wait(mu);
   }
   const Json metrics = s.service->MetricsJson();
   const Json& counters = metrics.At("counters");

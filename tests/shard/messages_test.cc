@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "dist/network.h"
+#include "net/frame.h"
 
 namespace rmgp {
 namespace shard {
@@ -50,6 +51,40 @@ TEST(MessagesTest, ShardDecodeRejectsTruncation) {
         << "cut at " << cut;
   }
   EXPECT_FALSE(DecodeShard(enc + "x").ok()) << "trailing byte";
+}
+
+TEST(MessagesTest, HostileCountsRejectedBeforeAllocation) {
+  // Regression (found by fuzzing): a 24-byte shard header claiming 4 billion
+  // edges used to drive a ~64 GB resize before any byte of the payload was
+  // validated. Both decoders now require the declared counts to match the
+  // bytes actually present, so these fail fast with no allocation.
+  std::string shard;
+  net::PutU64(shard, 1);           // session_version
+  net::PutU32(shard, 10);          // n
+  net::PutU32(shard, 3);           // num_colors
+  net::PutU32(shard, 0xffffffff);  // num_local: 4 Gi users...
+  net::PutU32(shard, 0xffffffff);  // num_edges: ...and 4 Gi edges
+  EXPECT_FALSE(DecodeShard(shard).ok());
+
+  std::string query;
+  net::PutU64(query, 1);           // seq
+  net::PutF64(query, 0.5);         // alpha
+  net::PutF64(query, 1.0);         // cost_scale
+  net::PutU64(query, 7);           // seed
+  net::PutU32(query, 0);           // init
+  net::PutU32(query, 0xffffffff);  // num_events
+  net::PutU32(query, 1);           // warm
+  net::PutU32(query, 0xffffffff);  // num_warm
+  EXPECT_FALSE(DecodeQueryInit(query).ok());
+
+  // Sanity: honest zero counts with an exactly-empty body still decode.
+  std::string empty;
+  net::PutU64(empty, 1);
+  net::PutU32(empty, 0);
+  net::PutU32(empty, 0);
+  net::PutU32(empty, 0);
+  net::PutU32(empty, 0);
+  EXPECT_TRUE(DecodeShard(empty).ok());
 }
 
 TEST(MessagesTest, QueryInitRoundTripsWithWarmStart) {

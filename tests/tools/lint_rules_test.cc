@@ -258,6 +258,121 @@ TEST(LintRulesTest, NoBlockingIoCoversNetAndShard) {
           .empty());
 }
 
+TEST(LintRulesTest, NoRawMutexFlagsEveryScope) {
+  // Raw std:: synchronization is invisible to Clang Thread Safety
+  // Analysis, so the rule covers library, tools, and tests alike.
+  EXPECT_EQ(RulesHit("src/core/x.cc", "std::mutex mu;\n"),
+            std::vector<std::string>{"no-raw-mutex"});
+  EXPECT_EQ(RulesHit("tools/x.cc", "std::lock_guard<std::mutex> l(mu);\n"),
+            std::vector<std::string>{"no-raw-mutex"});
+  EXPECT_EQ(RulesHit("tests/core/x.cc", "std::condition_variable cv;\n"),
+            std::vector<std::string>{"no-raw-mutex"});
+  EXPECT_EQ(RulesHit("src/core/x.cc", "std::shared_mutex mu;\n"),
+            std::vector<std::string>{"no-raw-mutex"});
+  EXPECT_EQ(RulesHit("src/core/x.cc", "std::scoped_lock l(a, b);\n"),
+            std::vector<std::string>{"no-raw-mutex"});
+  // The annotated wrappers themselves are clean.
+  EXPECT_TRUE(RulesHit("src/core/x.cc",
+                       "util::Mutex mu;\nutil::MutexLock lock(mu);\n"
+                       "util::CondVar cv;\n")
+                  .empty());
+}
+
+TEST(LintRulesTest, NoRawMutexIgnoresCommentsStringsAndSubwords) {
+  EXPECT_TRUE(
+      RulesHit("src/core/x.cc", "// prefer util::Mutex over std::mutex\n")
+          .empty());
+  EXPECT_TRUE(RulesHit("src/core/x.cc",
+                       "const char* m = \"std::mutex is banned\";\n")
+                  .empty());
+  // my_std::mutex_like or similar word extensions never match.
+  EXPECT_TRUE(
+      RulesHit("src/core/x.cc", "int std__mutex = 0; f(xstd::mutexy);\n")
+          .empty());
+}
+
+TEST(LintRulesTest, NoRawMutexSanctionsOnlyTheAnnotatedHeader) {
+  const std::string body = Header(
+      "src/util/annotated_mutex.h",
+      "// rmgp-lint: sanctioned-file(no-raw-mutex)\n"
+      "class Mutex { std::mutex mu_; };\n"
+      "class CondVar { std::condition_variable cv_; };\n");
+  EXPECT_TRUE(RulesHit("src/util/annotated_mutex.h", body).empty());
+  // The same marker anywhere else suppresses nothing and is flagged.
+  const auto elsewhere = RulesHit(
+      "src/core/x.h", Header("src/core/x.h",
+                             "// rmgp-lint: sanctioned-file(no-raw-mutex)\n"
+                             "std::mutex mu_;\n"));
+  EXPECT_EQ(elsewhere, (std::vector<std::string>{"sanctioned-marker",
+                                                 "no-raw-mutex"}));
+}
+
+TEST(LintRulesTest, UnannotatedSharedFieldHeuristic) {
+  // A library header that uses the annotated mutex and declares a member
+  // with no guard annotation gets flagged...
+  const std::string unannotated = Header(
+      "src/serve/x.h",
+      "#include \"util/annotated_mutex.h\"\n"
+      "class X {\n"
+      "  util::Mutex mu_;\n"
+      "  std::deque<std::string> queue_;\n"
+      "};\n");
+  EXPECT_EQ(RulesHit("src/serve/x.h", unannotated),
+            std::vector<std::string>{"no-unannotated-shared-field"});
+
+  // ...while guarded, atomic, const, and lock members are all exempt.
+  const std::string annotated = Header(
+      "src/serve/x.h",
+      "#include \"util/annotated_mutex.h\"\n"
+      "class X {\n"
+      "  util::Mutex mu_;\n"
+      "  util::CondVar cv_;\n"
+      "  std::deque<std::string> queue_ RMGP_GUARDED_BY(mu_);\n"
+      "  bool stop_ RMGP_GUARDED_BY(mu_) = false;\n"
+      "  std::atomic<size_t> in_flight_{0};\n"
+      "  const Config config_;\n"
+      "  static constexpr int kMax_ = 3;\n"
+      "};\n");
+  EXPECT_TRUE(RulesHit("src/serve/x.h", annotated).empty());
+}
+
+TEST(LintRulesTest, UnannotatedSharedFieldScopeAndSuppression) {
+  // Headers that never pull in the annotated mutex are out of scope: they
+  // hold no locks, so the heuristic has nothing to say.
+  EXPECT_TRUE(RulesHit("src/core/x.h",
+                       Header("src/core/x.h",
+                              "class X { int count_; double sum_; };\n"))
+                  .empty());
+  // So are .cc files (tools/rmgp_loadgen.cc's collectors read their fields
+  // only after every producer quiesced) and tests.
+  EXPECT_TRUE(RulesHit("tools/x.cc",
+                       "#include \"util/annotated_mutex.h\"\n"
+                       "struct C { util::Mutex mu; int hits_; };\n")
+                  .empty());
+  // An allow marker with the confinement argument silences one line.
+  const std::string confined = Header(
+      "src/serve/x.h",
+      "#include \"util/annotated_mutex.h\"\n"
+      "class X {\n"
+      "  util::Mutex mu_;\n"
+      "  // Writer-thread-confined, never touched under mu_.\n"
+      "  std::thread thread_;  // rmgp-lint: allow(no-unannotated-shared-field)\n"
+      "};\n");
+  EXPECT_TRUE(RulesHit("src/serve/x.h", confined).empty());
+  // Inline bodies (returns, assignments, arrow stores) are not
+  // declarations and never match.
+  const std::string bodies = Header(
+      "src/serve/x.h",
+      "#include \"util/annotated_mutex.h\"\n"
+      "class X {\n"
+      "  util::Mutex mu_;\n"
+      "  int count_ RMGP_GUARDED_BY(mu_) = 0;\n"
+      "  int count() { return count_; }\n"
+      "  void Set(X* o) { o->count_ = 1; }\n"
+      "};\n");
+  EXPECT_TRUE(RulesHit("src/serve/x.h", bodies).empty());
+}
+
 TEST(LintRulesTest, FormatDiagnostic) {
   Diagnostic d;
   d.file = "src/core/x.cc";

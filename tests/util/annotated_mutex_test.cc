@@ -1,0 +1,153 @@
+#include "util/annotated_mutex.h"
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace rmgp {
+namespace {
+
+using util::CondVar;
+using util::Mutex;
+using util::MutexLock;
+using util::ReaderMutexLock;
+using util::SharedMutex;
+using util::WriterMutexLock;
+
+TEST(AnnotatedMutexTest, MutexLockExcludesConcurrentIncrements) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(AnnotatedMutexTest, TryLockFailsWhileHeldAndSucceedsAfter) {
+  Mutex mu;
+  mu.Lock();
+  std::atomic<int> observed{-1};
+  std::thread other([&] { observed.store(mu.TryLock() ? 1 : 0); });
+  other.join();
+  EXPECT_EQ(observed.load(), 0);
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(AnnotatedMutexTest, CondVarWaitObservesNotifiedPredicate) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int seen = 0;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    seen = 1;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyAll();
+  waiter.join();
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(AnnotatedMutexTest, CondVarHandsOffOwnershipAcrossManyWaiters) {
+  Mutex mu;
+  CondVar cv;
+  int turn = 0;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        MutexLock lock(mu);
+        while (turn % kThreads != t) cv.Wait(mu);
+        ++turn;
+        cv.NotifyAll();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(turn, kThreads * kRounds);
+}
+
+TEST(AnnotatedMutexTest, SharedMutexAllowsConcurrentReaders) {
+  SharedMutex mu;
+  int value = 42;
+  std::atomic<int> readers_inside{0};
+  std::atomic<int> max_concurrent{0};
+  constexpr int kReaders = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      ReaderMutexLock lock(mu);
+      const int inside = readers_inside.fetch_add(1) + 1;
+      int prev = max_concurrent.load();
+      while (inside > prev && !max_concurrent.compare_exchange_weak(prev, inside)) {
+      }
+      EXPECT_EQ(value, 42);
+      readers_inside.fetch_sub(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  // At least one pair of readers should have overlapped; the lock must not
+  // have serialized them all (this is probabilistic but kReaders=6 threads
+  // each holding the lock across two atomic ops makes overlap near-certain;
+  // assert only that nothing deadlocked and the value was stable).
+  EXPECT_GE(max_concurrent.load(), 1);
+}
+
+TEST(AnnotatedMutexTest, WriterExcludesReadersAndWriters) {
+  SharedMutex mu;
+  int counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 2);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        WriterMutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        ReaderMutexLock lock(mu);
+        const int snapshot = counter;
+        EXPECT_GE(snapshot, 0);
+        EXPECT_LE(snapshot, kThreads * kIters);
+      }
+    });
+  }
+  for (int t = 0; t < kThreads; ++t) threads[static_cast<size_t>(t)].join();
+  stop.store(true);
+  threads[kThreads].join();
+  threads[kThreads + 1].join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+}  // namespace
+}  // namespace rmgp

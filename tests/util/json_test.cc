@@ -60,6 +60,19 @@ TEST(JsonTest, RejectsLoneSurrogate) {
   EXPECT_FALSE(Json::Parse("\"\\udc00\"").ok());
 }
 
+TEST(JsonTest, RejectsNumbersOverflowingToInfinity) {
+  // Regression (found by fuzzing): 1e400 overflows strtod to +inf, and a
+  // Json holding a non-finite double fatally CHECKs in Dump. The parser
+  // must reject the literal instead.
+  EXPECT_FALSE(Json::Parse("1e400").ok());
+  EXPECT_FALSE(Json::Parse("-1e400").ok());
+  EXPECT_FALSE(Json::Parse("[1,2,1e999]").ok());
+  // The largest finite double still parses.
+  auto max = Json::Parse("1.7976931348623157e308");
+  ASSERT_TRUE(max.ok());
+  EXPECT_DOUBLE_EQ(max->AsDouble(), 1.7976931348623157e308);
+}
+
 TEST(JsonTest, ObjectPreservesInsertionOrder) {
   Json obj = Json::Object();
   obj.Set("zebra", 1);

@@ -65,7 +65,52 @@ constexpr Sanction kSanctionedFiles[] = {
     // syscalls (poll/connect/send/recv/accept); everything above it uses
     // net::Connection / net::Listener.
     {"no-blocking-io", "src/net/socket.cc"},
+    // The annotated wrappers are the one place std:: synchronization
+    // primitives may appear; everything else locks through util::Mutex so
+    // Clang Thread Safety Analysis covers it.
+    {"no-raw-mutex", "src/util/annotated_mutex.h"},
 };
+
+/// Heuristic member-declaration detector for no-unannotated-shared-field:
+/// an identifier ending in '_' that is preceded by type-ish context (a
+/// word character, '>', '*', or '&') and followed by ';', '=', '{', or
+/// '['. Catches `std::deque<std::string> queue_;` and `bool stop_ = false;`
+/// while ignoring assignments (`stop_ = true;` starts the statement),
+/// ctor-init lists (`stop_(false)`), and uses (`queue_.pop_front()`).
+bool DeclaresTrailingUnderscoreMember(std::string_view line) {
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (!IsWordChar(line[i])) continue;
+    size_t end = i;
+    while (end < line.size() && IsWordChar(line[end])) ++end;
+    const std::string_view token = line.substr(i, end - i);
+    if (token.size() >= 2 && token.back() == '_') {
+      size_t prev = i;
+      while (prev > 0 && (line[prev - 1] == ' ' || line[prev - 1] == '\t')) {
+        --prev;
+      }
+      // '>' counts as type context (std::vector<int> v_;) unless it closes
+      // an arrow dereference (p->v_ = x;).
+      const bool arrow = prev >= 2 && line[prev - 1] == '>' &&
+                         line[prev - 2] == '-';
+      const bool typed =
+          prev > 0 && !arrow &&
+          (IsWordChar(line[prev - 1]) || line[prev - 1] == '>' ||
+           line[prev - 1] == '*' || line[prev - 1] == '&');
+      size_t after = end;
+      while (after < line.size() &&
+             (line[after] == ' ' || line[after] == '\t')) {
+        ++after;
+      }
+      const bool terminated =
+          after < line.size() &&
+          (line[after] == ';' || line[after] == '=' || line[after] == '{' ||
+           line[after] == '[');
+      if (typed && terminated) return true;
+    }
+    i = end;
+  }
+  return false;
+}
 
 bool IsSanctioned(std::string_view path, std::string_view rule) {
   for (const Sanction& s : kSanctionedFiles) {
@@ -236,6 +281,13 @@ std::vector<Diagnostic> LintFile(const std::string& path,
                            path.rfind("src/shard/", 0) == 0;
   const bool is_header = path.size() >= 2 &&
                          path.compare(path.size() - 2, 2, ".h") == 0;
+  // Headers that opted into the annotation discipline: library headers
+  // that pull in util/annotated_mutex.h (the include path is a string
+  // literal, so search the raw content). The defining header itself is the
+  // sanctioned implementation site and exempt.
+  const bool annotated_header =
+      in_library && is_header && path != "src/util/annotated_mutex.h" &&
+      content.find("util/annotated_mutex.h") != std::string_view::npos;
 
   const std::string stripped = StripCommentsAndStrings(content);
   const std::vector<std::string_view> code_lines = SplitLines(stripped);
@@ -313,6 +365,47 @@ std::vector<Diagnostic> LintFile(const std::string& path,
       report(lineno, "no-stdout",
              "library code must not print directly; use RMGP_LOG "
              "(util/logging.h)");
+    }
+    if (annotated_header && DeclaresTrailingUnderscoreMember(line)) {
+      // A member is presumed shared unless the line shows it is guarded
+      // (RMGP_GUARDED_BY / RMGP_PT_GUARDED_BY), is itself a lock or
+      // condition variable, is atomic, or is immutable. Anything else
+      // needs an allow marker stating the confinement argument.
+      static constexpr std::string_view kExemptWords[] = {
+          "Mutex", "CondVar", "RMGP_GUARDED_BY", "RMGP_PT_GUARDED_BY",
+          "const", "constexpr", "static", "using", "typedef", "friend",
+          // Inline-body statements, not declarations.
+          "return", "delete"};
+      bool exempt = ContainsWord(line, "std::atomic");
+      for (const std::string_view word : kExemptWords) {
+        if (ContainsWord(line, word)) exempt = true;
+      }
+      if (!exempt) {
+        report(lineno, "no-unannotated-shared-field",
+               "member of a lock-holding class has no RMGP_GUARDED_BY; "
+               "annotate its guard, make it atomic/const, or add "
+               "'rmgp-lint: allow(no-unannotated-shared-field)' with the "
+               "confinement argument (see util/annotated_mutex.h)");
+      }
+    }
+    {
+      static constexpr std::string_view kRawSync[] = {
+          "std::mutex",         "std::recursive_mutex",
+          "std::timed_mutex",   "std::shared_mutex",
+          "std::shared_timed_mutex",
+          "std::lock_guard",    "std::unique_lock",
+          "std::shared_lock",   "std::scoped_lock",
+          "std::condition_variable", "std::condition_variable_any"};
+      for (const std::string_view token : kRawSync) {
+        if (ContainsWord(line, token)) {
+          report(lineno, "no-raw-mutex",
+                 "lock through the annotated util::Mutex family "
+                 "(util/annotated_mutex.h) so Clang Thread Safety Analysis "
+                 "sees it; raw std:: primitives are invisible to the "
+                 "checker");
+          break;
+        }
+      }
     }
     if (in_realtime) {
       static constexpr std::string_view kBlockingCalls[] = {

@@ -32,6 +32,19 @@ namespace lint {
 ///                   src/serve/: serving code runs inside worker-pool
 ///                   callbacks, where a blocked thread stalls the whole
 ///                   queue. All output goes through serve::ResponseWriter.
+///   no-raw-mutex    std::mutex/std::condition_variable/lock_guard/etc.
+///                   anywhere: all synchronization goes through the
+///                   annotated util::Mutex family (util/annotated_mutex.h)
+///                   so Clang Thread Safety Analysis sees every lock. That
+///                   header is the one sanctioned implementation site.
+///   no-unannotated-shared-field
+///                   heuristic, headers under src/ that use
+///                   util/annotated_mutex.h: a trailing-underscore member
+///                   declared alongside a Mutex should either carry
+///                   RMGP_GUARDED_BY / RMGP_PT_GUARDED_BY, be atomic or
+///                   immutable (const/constexpr), or say why not with an
+///                   allow marker. Keeps new shared state from silently
+///                   escaping the analysis.
 ///
 /// Suppressions, greppable like RMGP_IGNORE_STATUS:
 ///   // rmgp-lint: allow(<rule>)       this line only

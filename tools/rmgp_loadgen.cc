@@ -60,13 +60,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -86,6 +84,7 @@
 #include "serve/service.h"
 #include "shard/coordinator.h"
 #include "tools/bench_suite.h"
+#include "util/annotated_mutex.h"
 #include "util/build_info.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -421,8 +420,10 @@ Json MeasureIncremental(const Args& args, bool* both_valid) {
 /// Everything the run accumulates, fed by completion callbacks (in-proc)
 /// or the response-reader thread (server mode).
 struct Collector {
-  std::mutex mu;
-  std::condition_variable cv;
+  // Fields are read without the lock only after AwaitAll() returned and
+  // every producer thread is quiescent (the single-threaded report path).
+  util::Mutex mu;
+  util::CondVar cv;
   uint64_t outstanding = 0;
   uint64_t sent = 0;
   uint64_t completed = 0;
@@ -443,7 +444,7 @@ struct Collector {
 
   void Finish(double latency_ms, const std::string& cache, bool timed,
               double deadline_ms, double potential, double realized_gap) {
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     ++completed;
     latencies_ms.push_back(latency_ms);
     potentials.push_back(potential);
@@ -462,22 +463,22 @@ struct Collector {
           std::max(max_deadline_overshoot_ms, latency_ms - deadline_ms);
     }
     --outstanding;
-    cv.notify_all();
+    cv.NotifyAll();
   }
 
   /// Mutation completion (server mode): releases the slot, never touches
   /// query latency.
   void FinishMutation(bool accepted, bool committed) {
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     CountMutationLocked(accepted, committed);
     --outstanding;
-    cv.notify_all();
+    cv.NotifyAll();
   }
 
   /// Mutation bookkeeping without slot accounting (in-proc mode, where
   /// Mutate is synchronous and holds no slot).
   void RecordMutation(bool accepted, bool committed) {
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     CountMutationLocked(accepted, committed);
   }
 
@@ -491,38 +492,38 @@ struct Collector {
   }
 
   void Fail(bool was_rejected) {
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     if (was_rejected) {
       ++rejected;
     } else {
       ++errors;
     }
     --outstanding;
-    cv.notify_all();
+    cv.NotifyAll();
   }
 
   void AwaitSlot(uint32_t concurrency) {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return outstanding < concurrency; });
+    util::MutexLock lock(mu);
+    while (outstanding >= concurrency) cv.Wait(mu);
     ++outstanding;
     ++sent;
   }
 
   void AwaitMutationSlot(uint32_t concurrency) {  // mutations don't count
-    std::unique_lock<std::mutex> lock(mu);        // toward `sent` queries
-    cv.wait(lock, [&] { return outstanding < concurrency; });
+    util::MutexLock lock(mu);                     // toward `sent` queries
+    while (outstanding >= concurrency) cv.Wait(mu);
     ++outstanding;
   }
 
   void ClaimSlot() {  // open loop: no backpressure
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     ++outstanding;
     ++sent;
   }
 
   void AwaitAll() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return outstanding == 0; });
+    util::MutexLock lock(mu);
+    while (outstanding != 0) cv.Wait(mu);
   }
 };
 
@@ -579,8 +580,8 @@ class ServerTransport {
 
     // Block until the session is loaded (the ready banner) so measured
     // latencies never include server startup.
-    std::unique_lock<std::mutex> lock(mu_);
-    ready_cv_.wait(lock, [this] { return ready_ || reader_done_; });
+    util::MutexLock lock(mu_);
+    while (!ready_ && !reader_done_) ready_cv_.Wait(mu_);
     RMGP_CHECK(ready_) << "server exited before becoming ready";
   }
 
@@ -611,7 +612,7 @@ class ServerTransport {
     if (query.deadline_ms > 0.0) req.Set("deadline_ms", query.deadline_ms);
     const std::string line = req.Dump();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       pending_[id] = {Clock::now(), query.deadline_ms, false};
     }
     WriteLine(line);
@@ -642,7 +643,7 @@ class ServerTransport {
     }
     const std::string line = req.Dump();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       pending_[id] = {Clock::now(), 0.0, true};
     }
     WriteLine(line);
@@ -655,8 +656,8 @@ class ServerTransport {
     req.Set("id", kEpochId);
     req.Set("op", "epoch");
     WriteLine(req.Dump());
-    std::unique_lock<std::mutex> lock(mu_);
-    epoch_cv_.wait(lock, [this] { return epoch_done_ || reader_done_; });
+    util::MutexLock lock(mu_);
+    while (!epoch_done_ && !reader_done_) epoch_cv_.Wait(mu_);
     return epoch_committed_;
   }
 
@@ -666,9 +667,8 @@ class ServerTransport {
     req.Set("id", kMetricsId);
     req.Set("op", "metrics");
     WriteLine(req.Dump());
-    std::unique_lock<std::mutex> lock(mu_);
-    metrics_cv_.wait(lock,
-                     [this] { return !metrics_.is_null() || reader_done_; });
+    util::MutexLock lock(mu_);
+    while (metrics_.is_null() && !reader_done_) metrics_cv_.Wait(mu_);
     return metrics_;
   }
 
@@ -691,7 +691,7 @@ class ServerTransport {
   };
 
   void WriteLine(const std::string& line) {
-    std::lock_guard<std::mutex> lock(write_mu_);
+    util::MutexLock lock(write_mu_);
     std::fwrite(line.data(), 1, line.size(), to_child_);
     std::fputc('\n', to_child_);
     std::fflush(to_child_);
@@ -708,35 +708,35 @@ class ServerTransport {
       const Json* status = obj.Find("status");
       if (status == nullptr || !status->is_string()) continue;
       if (status->AsString() == "ready") {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         ready_ = true;
-        ready_cv_.notify_all();
+        ready_cv_.NotifyAll();
         continue;
       }
       const Json* id_field = obj.Find("id");
       if (id_field == nullptr || !id_field->is_number()) continue;
       const double id = id_field->AsDouble();
       if (id == kMetricsId) {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         const Json* metrics = obj.Find("metrics");
         metrics_ = metrics != nullptr ? *metrics : Json::Object();
-        metrics_cv_.notify_all();
+        metrics_cv_.NotifyAll();
         continue;
       }
       if (id == kQuitId) continue;
       if (id == kEpochId) {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         const Json* committed = obj.Find("committed");
         epoch_committed_ = committed != nullptr && committed->is_bool() &&
                            committed->AsBool();
         epoch_done_ = true;
-        epoch_cv_.notify_all();
+        epoch_cv_.NotifyAll();
         continue;
       }
 
       Pending pending;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         auto it = pending_.find(static_cast<uint64_t>(id));
         if (it == pending_.end()) continue;
         pending = it->second;
@@ -769,28 +769,28 @@ class ServerTransport {
         collector_->Fail(status->AsString() == "rejected");
       }
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     reader_done_ = true;
-    ready_cv_.notify_all();
-    metrics_cv_.notify_all();
-    epoch_cv_.notify_all();
+    ready_cv_.NotifyAll();
+    metrics_cv_.NotifyAll();
+    epoch_cv_.NotifyAll();
   }
 
   Collector* collector_;
   pid_t child_ = -1;
   std::FILE* to_child_ = nullptr;
   std::FILE* from_child_ = nullptr;
-  std::mutex write_mu_;
-  std::mutex mu_;
-  std::condition_variable ready_cv_;
-  std::condition_variable metrics_cv_;
-  std::condition_variable epoch_cv_;
-  std::map<uint64_t, Pending> pending_;
-  Json metrics_;
-  bool ready_ = false;
-  bool reader_done_ = false;
-  bool epoch_done_ = false;
-  bool epoch_committed_ = false;
+  util::Mutex write_mu_;
+  util::Mutex mu_;
+  util::CondVar ready_cv_;
+  util::CondVar metrics_cv_;
+  util::CondVar epoch_cv_;
+  std::map<uint64_t, Pending> pending_ RMGP_GUARDED_BY(mu_);
+  Json metrics_ RMGP_GUARDED_BY(mu_);
+  bool ready_ RMGP_GUARDED_BY(mu_) = false;
+  bool reader_done_ RMGP_GUARDED_BY(mu_) = false;
+  bool epoch_done_ RMGP_GUARDED_BY(mu_) = false;
+  bool epoch_committed_ RMGP_GUARDED_BY(mu_) = false;
   std::thread reader_;
 };
 
