@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 namespace rmgp {
@@ -53,8 +54,8 @@ Status GraphBuilder::AddEdge(NodeId u, NodeId v, Weight w) {
         "edge endpoint out of range: {" + std::to_string(u) + "," +
         std::to_string(v) + "} with |V|=" + std::to_string(num_nodes_));
   }
-  if (w <= 0.0) {
-    return Status::InvalidArgument("edge weight must be positive");
+  if (!std::isfinite(w) || w <= 0.0) {
+    return Status::InvalidArgument("edge weight must be positive and finite");
   }
   if (u == v) return Status::OK();  // self-loops carry no social cost
   if (u > v) std::swap(u, v);
@@ -78,30 +79,32 @@ Graph GraphBuilder::Build() && {
   }
 
   Graph g;
-  g.offsets_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  g.offsets_own_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
   for (const Edge& e : merged) {
-    ++g.offsets_[e.u + 1];
-    ++g.offsets_[e.v + 1];
+    ++g.offsets_own_[e.u + 1];
+    ++g.offsets_own_[e.v + 1];
     g.total_edge_weight_ += e.weight;
   }
-  for (size_t i = 1; i < g.offsets_.size(); ++i) {
-    g.offsets_[i] += g.offsets_[i - 1];
+  for (size_t i = 1; i < g.offsets_own_.size(); ++i) {
+    g.offsets_own_[i] += g.offsets_own_[i - 1];
   }
-  g.adj_.resize(merged.size() * 2);
-  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  g.adj_own_.resize(merged.size() * 2);
+  std::vector<uint64_t> cursor(g.offsets_own_.begin(),
+                               g.offsets_own_.end() - 1);
   for (const Edge& e : merged) {
-    g.adj_[cursor[e.u]++] = {e.v, e.weight};
-    g.adj_[cursor[e.v]++] = {e.u, e.weight};
+    g.adj_own_[cursor[e.u]++] = {e.v, e.weight};
+    g.adj_own_[cursor[e.v]++] = {e.u, e.weight};
   }
   // Per-node lists are already sorted for the lower endpoint ordering, but
   // entries for the higher endpoint interleave; sort each list.
   for (NodeId v = 0; v < num_nodes_; ++v) {
-    std::sort(g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]),
-              g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]),
+    std::sort(g.adj_own_.begin() + static_cast<ptrdiff_t>(g.offsets_own_[v]),
+              g.adj_own_.begin() + static_cast<ptrdiff_t>(g.offsets_own_[v + 1]),
               [](const Neighbor& a, const Neighbor& b) {
                 return a.node < b.node;
               });
   }
+  g.SealOwned();
   return g;
 }
 

@@ -2,7 +2,9 @@
 #define RMGP_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -18,6 +20,11 @@ using NodeId = uint32_t;
 using Weight = double;
 
 /// One endpoint of an adjacency entry: the neighbor and the edge weight.
+///
+/// The layout is part of the on-disk container format (src/store): a mapped
+/// adjacency section is reinterpreted as a Neighbor array, so the padding
+/// between `node` and `weight` is written as explicit zero bytes and the
+/// layout is pinned by static_asserts in store/format.h.
 struct Neighbor {
   NodeId node;
   Weight weight;
@@ -39,15 +46,73 @@ class GraphBuilder;
 /// row) form. Each undirected edge {u,v} is stored twice, once in each
 /// adjacency list, so `degree(v)` and neighbor iteration are O(1)/O(deg).
 ///
+/// Storage-agnostic: the accessors read through spans that point either at
+/// vectors owned by this Graph (kInRam — the GraphBuilder / GraphDelta
+/// path) or at external read-only memory kept alive by `backing_` (kMapped
+/// — an mmap'ed .rmgp container section, see src/store/container.h). The
+/// solvers, GraphDelta overlays, the spatial index build and the shard
+/// cutter all consume this API and never observe which backend is under it.
+///
 /// Construction goes through GraphBuilder, which validates endpoints,
-/// merges duplicate edges and drops self-loops.
+/// merges duplicate edges and drops self-loops, or through
+/// Graph::FromExternalParts for pre-validated storage backends.
 class Graph {
  public:
   /// Empty graph with zero nodes.
   Graph() = default;
 
+  Graph(const Graph& other) { CopyFrom(other); }
+  Graph& operator=(const Graph& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Graph(Graph&& other) noexcept { MoveFrom(std::move(other)); }
+  Graph& operator=(Graph&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
+  /// Wraps externally owned CSR arrays (e.g. sections of an mmap'ed
+  /// container) without copying. `backing` keeps the memory alive for the
+  /// lifetime of this Graph and all its copies. The caller must have
+  /// validated the CSR invariants (offsets monotone, offsets.size() ==
+  /// num_nodes+1, offsets.back() == adj.size(), per-node lists sorted by
+  /// neighbor id) — src/store/container.cc is the sanctioned caller and
+  /// validates before wrapping.
+  static Graph FromExternalParts(std::span<const uint64_t> offsets,
+                                 std::span<const Neighbor> adj,
+                                 Weight total_edge_weight,
+                                 std::shared_ptr<const void> backing) {
+    Graph g;
+    g.offsets_ = offsets;
+    g.adj_ = adj;
+    g.total_edge_weight_ = total_edge_weight;
+    g.backing_ = std::move(backing);
+    return g;
+  }
+
+  /// Adopts pre-validated owned CSR arrays (offsets.size() == num_nodes+1,
+  /// offsets.back() == adj.size(), per-node lists sorted by neighbor id).
+  /// Used by storage backends that decode a container into RAM.
+  static Graph FromOwnedParts(std::vector<uint64_t> offsets,
+                              std::vector<Neighbor> adj,
+                              Weight total_edge_weight) {
+    Graph g;
+    g.offsets_own_ = std::move(offsets);
+    g.adj_own_ = std::move(adj);
+    g.total_edge_weight_ = total_edge_weight;
+    g.SealOwned();
+    return g;
+  }
+
+  /// True iff the CSR arrays live in external storage (mmap) rather than
+  /// vectors owned by this Graph.
+  bool is_external() const { return backing_ != nullptr; }
+
   /// Number of nodes |V|.
-  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+  NodeId num_nodes() const {
+    return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
 
   /// Number of undirected edges |E|.
   uint64_t num_edges() const { return adj_.size() / 2; }
@@ -61,6 +126,14 @@ class Graph {
   std::span<const Neighbor> neighbors(NodeId v) const {
     return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
   }
+
+  /// The raw CSR offsets array (|V|+1 entries); offsets()[v]..offsets()[v+1]
+  /// index into adjacency(). Exposed for storage backends (src/store) and
+  /// whole-graph serializers.
+  std::span<const uint64_t> offsets() const { return offsets_; }
+
+  /// The raw adjacency array (2|E| entries, per-node sorted by neighbor).
+  std::span<const Neighbor> adjacency() const { return adj_; }
 
   /// Sum of weights of edges incident to v (the paper's 2·W_v).
   Weight weighted_degree(NodeId v) const;
@@ -81,7 +154,9 @@ class Graph {
   [[nodiscard]] Weight EdgeWeight(NodeId u, NodeId v) const;
 
   /// True iff {u,v} is an edge. O(log deg(u)).
-  [[nodiscard]] bool HasEdge(NodeId u, NodeId v) const { return EdgeWeight(u, v) > 0.0; }
+  [[nodiscard]] bool HasEdge(NodeId u, NodeId v) const {
+    return EdgeWeight(u, v) > 0.0;
+  }
 
   /// All undirected edges, each reported once with u < v, ordered by (u,v).
   std::vector<Edge> CollectEdges() const;
@@ -90,9 +165,48 @@ class Graph {
   friend class GraphBuilder;
   friend class GraphDelta;  // builds the next version of a mutated graph
 
-  std::vector<uint64_t> offsets_;  // size |V|+1
-  std::vector<Neighbor> adj_;      // size 2|E|, sorted per node
+  /// Points the access spans at the owned vectors. Every friend that
+  /// mutates offsets_own_ / adj_own_ must call this before the Graph is
+  /// read (vector growth relocates the buffers the spans alias).
+  void SealOwned() {
+    offsets_ = offsets_own_;
+    adj_ = adj_own_;
+    backing_ = nullptr;
+  }
+
+  void CopyFrom(const Graph& other) {
+    offsets_own_ = other.offsets_own_;
+    adj_own_ = other.adj_own_;
+    total_edge_weight_ = other.total_edge_weight_;
+    backing_ = other.backing_;
+    if (backing_ != nullptr) {
+      offsets_ = other.offsets_;
+      adj_ = other.adj_;
+    } else {
+      SealOwned();
+    }
+  }
+
+  void MoveFrom(Graph&& other) noexcept {
+    // Moving a vector transfers its heap buffer, so spans into the owned
+    // storage stay valid across the move.
+    offsets_own_ = std::move(other.offsets_own_);
+    adj_own_ = std::move(other.adj_own_);
+    offsets_ = other.offsets_;
+    adj_ = other.adj_;
+    total_edge_weight_ = other.total_edge_weight_;
+    backing_ = std::move(other.backing_);
+    other.offsets_ = {};
+    other.adj_ = {};
+    other.total_edge_weight_ = 0.0;
+  }
+
+  std::vector<uint64_t> offsets_own_;  // size |V|+1 when owned
+  std::vector<Neighbor> adj_own_;      // size 2|E| when owned
+  std::span<const uint64_t> offsets_;  // the arrays the accessors read
+  std::span<const Neighbor> adj_;
   Weight total_edge_weight_ = 0.0;
+  std::shared_ptr<const void> backing_;  // keeps external storage alive
 };
 
 /// Mutable accumulator of edges that produces an immutable CSR Graph.
@@ -107,7 +221,7 @@ class GraphBuilder {
 
   /// Adds undirected edge {u,v} with weight w. Self-loops are ignored;
   /// duplicate edges have their weights summed. Returns InvalidArgument for
-  /// out-of-range endpoints or non-positive weight.
+  /// out-of-range endpoints or a weight that is not positive and finite.
   Status AddEdge(NodeId u, NodeId v, Weight w = 1.0);
 
   /// Number of nodes the builder was created with.

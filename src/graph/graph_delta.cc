@@ -130,9 +130,12 @@ GraphDelta::BuildResult GraphDelta::Build() const {
 
   BuildResult out;
   Graph& g = out.graph;
-  g.offsets_.resize(static_cast<size_t>(n) + 1);
-  g.offsets_[0] = 0;
-  g.adj_.reserve(base_->adj_.size() + 2 * overlay_.size());
+  g.offsets_own_.resize(static_cast<size_t>(n) + 1);
+  g.offsets_own_[0] = 0;
+  // Works identically over an in-RAM and an mmap'ed base: untouched
+  // adjacency is copied verbatim out of whichever storage backs the base
+  // into the owned vectors of the next version.
+  g.adj_own_.reserve(base_->num_edges() * 2 + 2 * overlay_.size());
 
   auto it = delta.begin();
   for (NodeId v = 0; v < n; ++v) {
@@ -147,28 +150,29 @@ GraphDelta::BuildResult GraphDelta::Build() const {
       while (bi < base_nbrs.size() || di < dl.size()) {
         if (di >= dl.size() ||
             (bi < base_nbrs.size() && base_nbrs[bi].node < dl[di].node)) {
-          g.adj_.push_back(base_nbrs[bi++]);
+          g.adj_own_.push_back(base_nbrs[bi++]);
         } else {
           const Neighbor d = dl[di++];
           if (bi < base_nbrs.size() && base_nbrs[bi].node == d.node) ++bi;
-          if (d.weight > 0.0) g.adj_.push_back(d);
+          if (d.weight > 0.0) g.adj_own_.push_back(d);
         }
       }
       ++it;
     } else if (v < base_n) {
       const std::span<const Neighbor> nbrs = base_->neighbors(v);
-      g.adj_.insert(g.adj_.end(), nbrs.begin(), nbrs.end());
+      g.adj_own_.insert(g.adj_own_.end(), nbrs.begin(), nbrs.end());
     }
-    g.offsets_[v + 1] = g.adj_.size();
+    g.offsets_own_[v + 1] = g.adj_own_.size();
   }
   RMGP_DCHECK(it == delta.end());
-  RMGP_DCHECK_EQ(g.adj_.size() % 2, 0u);
+  RMGP_DCHECK_EQ(g.adj_own_.size() % 2, 0u);
 
   // Recompute the total exactly rather than accumulating adjustments —
   // a session commits many epochs and additive drift would compound.
   Weight total = 0.0;
-  for (const Neighbor& nb : g.adj_) total += nb.weight;
+  for (const Neighbor& nb : g.adj_own_) total += nb.weight;
   g.total_edge_weight_ = total * 0.5;
+  g.SealOwned();
 
   out.touched.reserve(delta.size() + appended_);
   for (const auto& [v, list] : delta) {

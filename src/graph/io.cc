@@ -1,64 +1,200 @@
 #include "graph/io.h"
 
 #include <algorithm>
-#include <fstream>
-#include <sstream>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace rmgp {
 
-Status WriteEdgeList(const Graph& g, const std::string& path) {
-  std::ofstream f(path);
-  if (!f) return Status::IOError("cannot open " + path + " for writing");
-  f.precision(17);  // round-trip exact for doubles
-  f << "# nodes " << g.num_nodes() << " edges " << g.num_edges() << "\n";
-  for (const Edge& e : g.CollectEdges()) {
-    f << e.u << ' ' << e.v << ' ' << e.weight << "\n";
+namespace {
+
+/// Node ids must leave room for |V| = max_id + 1 in NodeId.
+constexpr uint64_t kMaxNodeId = 0xFFFFFFFEull;
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+const char* SkipSpace(const char* p, const char* end) {
+  while (p < end && IsSpace(*p)) ++p;
+  return p;
+}
+
+/// Parses one whitespace-delimited u64 token. Advances *p past the token on
+/// success; returns false on a missing/malformed/overflowing token.
+bool ParseU64(const char** p, const char* end, uint64_t* out) {
+  const char* q = SkipSpace(*p, end);
+  if (q >= end) return false;
+  const auto [next, ec] = std::from_chars(q, end, *out);
+  if (ec != std::errc() || next == q) return false;
+  if (next < end && !IsSpace(*next)) return false;
+  *p = next;
+  return true;
+}
+
+/// Parses one whitespace-delimited double token.
+bool ParseDouble(const char** p, const char* end, double* out) {
+  const char* q = SkipSpace(*p, end);
+  if (q >= end) return false;
+  const auto [next, ec] = std::from_chars(q, end, *out);
+  if (ec != std::errc() || next == q) return false;
+  if (next < end && !IsSpace(*next)) return false;
+  *p = next;
+  return true;
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("seek failed for " + path);
   }
-  if (!f) return Status::IOError("write failed for " + path);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("tell failed for " + path);
+  }
+  std::rewind(f);
+  out->resize(static_cast<size_t>(size));
+  const size_t got = size > 0 ? std::fread(out->data(), 1, out->size(), f) : 0;
+  std::fclose(f);
+  if (got != out->size()) return Status::IOError("short read for " + path);
+  return Status::OK();
+}
+
+Status MalformedAt(const std::string& path, size_t line_no, const char* what) {
+  return Status::InvalidArgument(std::string(what) + " at " + path + ":" +
+                                 std::to_string(line_no));
+}
+
+}  // namespace
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  char line[96];
+  int len = std::snprintf(line, sizeof(line), "# nodes %u edges %llu\n",
+                          g.num_nodes(),
+                          static_cast<unsigned long long>(g.num_edges()));
+  bool ok = len > 0 && std::fwrite(line, 1, static_cast<size_t>(len), f) ==
+                           static_cast<size_t>(len);
+  for (NodeId u = 0; ok && u < g.num_nodes(); ++u) {
+    for (const Neighbor& nb : g.neighbors(u)) {
+      if (u >= nb.node) continue;  // report each edge once, u < v
+      // %.17g round-trips doubles exactly, matching the reader's
+      // from_chars.
+      len = std::snprintf(line, sizeof(line), "%u %u %.17g\n", u, nb.node,
+                          nb.weight);
+      if (len <= 0 || std::fwrite(line, 1, static_cast<size_t>(len), f) !=
+                          static_cast<size_t>(len)) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) return Status::IOError("write failed for " + path);
   return Status::OK();
 }
 
 Result<Graph> ReadEdgeList(const std::string& path) {
-  std::ifstream f(path);
-  if (!f) return Status::IOError("cannot open " + path);
-  std::string line;
-  NodeId declared_nodes = 0;
-  bool have_declared = false;
+  // One read + a manual pointer-walking tokenizer: the previous
+  // istringstream-per-line reader spent 3x the whole parse-and-build time
+  // on stream setup and locale-aware numeric parsing alone (see
+  // EXPERIMENTS.md "Edge-list parse").
+  std::string content;
+  RMGP_RETURN_IF_ERROR(ReadWholeFile(path, &content));
+
   struct RawEdge {
     NodeId u, v;
     Weight w;
   };
   std::vector<RawEdge> edges;
-  NodeId max_id = 0;
+  NodeId declared_nodes = 0;
+  bool have_declared = false;
+  uint64_t max_id = 0;
   size_t line_no = 0;
-  while (std::getline(f, line)) {
+
+  const char* p = content.data();
+  const char* const file_end = p + content.size();
+  while (p < file_end) {
     ++line_no;
-    if (line.empty()) continue;
-    if (line[0] == '#' || line[0] == '%') {
-      std::istringstream hs(line);
-      std::string hash, word;
-      uint64_t n = 0;
-      if (hs >> hash >> word >> n && word == "nodes") {
-        declared_nodes = static_cast<NodeId>(n);
-        have_declared = true;
+    const char* eol = static_cast<const char*>(
+        memchr(p, '\n', static_cast<size_t>(file_end - p)));
+    const char* const end = eol != nullptr ? eol : file_end;
+    const char* cur = SkipSpace(p, end);
+    p = eol != nullptr ? eol + 1 : file_end;
+    if (cur >= end) continue;  // blank line
+
+    if (*cur == '#' || *cur == '%') {
+      // Comment, or the "# nodes <n> edges <m>" header: the marker must be
+      // a standalone token followed by the word "nodes" and a count.
+      const char marker = *cur;
+      ++cur;
+      if (cur < end && !IsSpace(*cur)) continue;  // "#foo": plain comment
+      cur = SkipSpace(cur, end);
+      static constexpr std::string_view kNodes = "nodes";
+      if (static_cast<size_t>(end - cur) < kNodes.size() ||
+          std::string_view(cur, kNodes.size()) != kNodes) {
+        continue;
       }
+      cur += kNodes.size();
+      if (cur < end && !IsSpace(*cur)) continue;
+      uint64_t n = 0;
+      if (!ParseU64(&cur, end, &n)) continue;
+      if (have_declared) {
+        return MalformedAt(path, line_no,
+                           "duplicate node-count header (earlier header "
+                           "already declared the graph size)");
+      }
+      if (n > kMaxNodeId + 1) {
+        return MalformedAt(path, line_no, "declared node count overflows "
+                                          "the 32-bit NodeId space");
+      }
+      (void)marker;
+      declared_nodes = static_cast<NodeId>(n);
+      have_declared = true;
       continue;
     }
-    std::istringstream ls(line);
-    uint64_t u, v;
-    double w = 1.0;
-    if (!(ls >> u >> v)) {
-      return Status::IOError("malformed edge at " + path + ":" +
-                             std::to_string(line_no));
+
+    uint64_t u = 0, v = 0;
+    if (!ParseU64(&cur, end, &u) || !ParseU64(&cur, end, &v)) {
+      return MalformedAt(path, line_no, "malformed edge");
     }
-    ls >> w;  // optional
+    if (u > kMaxNodeId || v > kMaxNodeId) {
+      return MalformedAt(path, line_no,
+                         "node id overflows the 32-bit NodeId space");
+    }
+    double w = 1.0;
+    const char* after_v = SkipSpace(cur, end);
+    if (after_v < end) {
+      if (!ParseDouble(&cur, end, &w)) {
+        return MalformedAt(path, line_no, "malformed edge weight");
+      }
+      if (SkipSpace(cur, end) < end) {
+        return MalformedAt(path, line_no, "trailing garbage after edge");
+      }
+    }
+    if (!std::isfinite(w) || w <= 0.0) {
+      return MalformedAt(path, line_no,
+                         "edge weight must be positive and finite");
+    }
     if (u == v) continue;
     edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v), w});
-    max_id = std::max(max_id, static_cast<NodeId>(std::max(u, v)));
+    max_id = std::max(max_id, std::max(u, v));
   }
-  NodeId n = have_declared ? declared_nodes
-                           : (edges.empty() ? 0 : max_id + 1);
+
+  const NodeId n = have_declared
+                       ? declared_nodes
+                       : (edges.empty() ? 0 : static_cast<NodeId>(max_id) + 1);
   GraphBuilder b(n);
   for (const RawEdge& e : edges) {
     Status s = b.AddEdge(e.u, e.v, e.w);

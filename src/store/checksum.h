@@ -1,0 +1,24 @@
+#ifndef RMGP_STORE_CHECKSUM_H_
+#define RMGP_STORE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rmgp {
+namespace store {
+
+/// CRC-32C (Castagnoli) over `size` bytes, seeded with `seed` so large
+/// sections can be checksummed in streaming chunks:
+///
+///   uint32_t crc = 0;
+///   for (chunk : chunks) crc = Crc32c(chunk.data, chunk.size, crc);
+///
+/// Software slice-by-8 implementation — no SSE4.2 dependency; checksums are
+/// only computed at pack time and in --verify / fuzz paths, never on the
+/// mmap fast path.
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace store
+}  // namespace rmgp
+
+#endif  // RMGP_STORE_CHECKSUM_H_

@@ -1,0 +1,301 @@
+#include "store/compressed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "store/varint.h"
+
+namespace rmgp {
+namespace store {
+
+namespace {
+
+/// Validates that `old_of_new` is a permutation of [0, n) and returns the
+/// inverse mapping.
+Result<std::vector<uint32_t>> InvertPermutation(
+    NodeId n, std::span<const uint32_t> old_of_new) {
+  if (old_of_new.size() != n) {
+    return Status::InvalidArgument("permutation has " +
+                                   std::to_string(old_of_new.size()) +
+                                   " entries, want " + std::to_string(n));
+  }
+  constexpr uint32_t kUnset = 0xFFFFFFFFu;
+  std::vector<uint32_t> new_of_old(n, kUnset);
+  for (NodeId r = 0; r < n; ++r) {
+    const uint32_t old_id = old_of_new[r];
+    if (old_id >= n) {
+      return Status::InvalidArgument("permutation entry out of range");
+    }
+    if (new_of_old[old_id] != kUnset) {
+      return Status::InvalidArgument("permutation entry repeated");
+    }
+    new_of_old[old_id] = r;
+  }
+  return new_of_old;
+}
+
+uint64_t NumSkipBlocks(NodeId n) {
+  return (static_cast<uint64_t>(n) + kSkipStride - 1) / kSkipStride + 1;
+}
+
+/// Decodes relabeled node r's list at *p: varint(degree), varint(first),
+/// varint(delta)... Appends the strictly increasing relabeled neighbor ids
+/// to `out`. Shared by the full decoder and the random-access view.
+Status DecodeOneList(NodeId n, NodeId r, const uint8_t** p,
+                     const uint8_t* end, std::vector<uint32_t>* out) {
+  uint64_t deg = 0;
+  if (!DecodeVarint(p, end, &deg)) {
+    return Status::InvalidArgument("compressed adjacency: bad degree varint");
+  }
+  if (deg >= n && deg != 0) {
+    // Distinct non-self neighbors cap the degree at n-1.
+    return Status::InvalidArgument("compressed adjacency: degree " +
+                                   std::to_string(deg) + " out of range");
+  }
+  uint64_t prev = 0;
+  for (uint64_t k = 0; k < deg; ++k) {
+    uint64_t raw = 0;
+    if (!DecodeVarint(p, end, &raw)) {
+      return Status::InvalidArgument(
+          "compressed adjacency: bad neighbor varint");
+    }
+    // First entry is the id itself; the rest are gaps (id - prev >= 1).
+    // Bounding the gap by n before adding rules out uint64 wraparound
+    // sneaking a non-increasing id past the range check below.
+    if (k != 0 && (raw == 0 || raw >= n)) {
+      return Status::InvalidArgument(
+          "compressed adjacency: neighbor list not strictly increasing");
+    }
+    const uint64_t id = k == 0 ? raw : prev + raw;
+    if (id >= n) {
+      return Status::InvalidArgument(
+          "compressed adjacency: neighbor id out of range");
+    }
+    if (id == r) {
+      return Status::InvalidArgument("compressed adjacency: self-loop");
+    }
+    out->push_back(static_cast<uint32_t>(id));
+    prev = id;
+  }
+  return Status::OK();
+}
+
+Status CheckWeight(double w) {
+  if (!std::isfinite(w) || w <= 0.0) {
+    return Status::InvalidArgument(
+        "compressed adjacency: edge weight must be positive and finite");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+CompressedSections EncodeCompressed(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  const uint64_t two_m = g.adjacency().size();
+
+  CompressedSections out;
+  out.unit_weights = true;
+  for (const Neighbor& nb : g.adjacency()) {
+    if (nb.weight != 1.0) {
+      out.unit_weights = false;
+      break;
+    }
+  }
+
+  // Degree-descending relabel, ties broken by old id for determinism.
+  out.old_of_new.resize(n);
+  std::iota(out.old_of_new.begin(), out.old_of_new.end(), 0u);
+  std::stable_sort(out.old_of_new.begin(), out.old_of_new.end(),
+                   [&g](uint32_t a, uint32_t b) {
+                     return g.degree(a) > g.degree(b);
+                   });
+  std::vector<uint32_t> new_of_old(n);
+  for (NodeId r = 0; r < n; ++r) new_of_old[out.old_of_new[r]] = r;
+
+  out.adj.reserve(two_m + n);  // one-byte gaps dominate after relabeling
+  if (!out.unit_weights) out.weights.reserve(two_m);
+  out.skip.reserve(NumSkipBlocks(n));
+
+  // (relabeled neighbor id, weight), sorted by relabeled id per node.
+  std::vector<std::pair<uint32_t, double>> list;
+  uint64_t entries = 0;
+  for (NodeId r = 0; r < n; ++r) {
+    if (r % kSkipStride == 0) {
+      out.skip.push_back({out.adj.size(), entries});
+    }
+    const NodeId old_id = out.old_of_new[r];
+    list.clear();
+    for (const Neighbor& nb : g.neighbors(old_id)) {
+      list.emplace_back(new_of_old[nb.node], nb.weight);
+    }
+    std::sort(list.begin(), list.end());
+    AppendVarint(list.size(), &out.adj);
+    uint32_t prev = 0;
+    for (size_t k = 0; k < list.size(); ++k) {
+      const uint32_t id = list[k].first;
+      AppendVarint(k == 0 ? id : id - prev, &out.adj);
+      prev = id;
+      if (!out.unit_weights) out.weights.push_back(list[k].second);
+      ++entries;
+    }
+  }
+  out.skip.push_back({out.adj.size(), entries});  // end sentinel
+  return out;
+}
+
+Result<Graph> DecodeCompressedGraph(NodeId n, uint64_t m,
+                                    double total_edge_weight,
+                                    std::span<const uint32_t> old_of_new,
+                                    std::span<const SkipBlock> skip,
+                                    std::span<const uint8_t> adj,
+                                    std::span<const double> weights,
+                                    bool unit_weights) {
+  RMGP_ASSIGN_OR_RETURN(std::vector<uint32_t> new_of_old,
+                        InvertPermutation(n, old_of_new));
+  if (skip.size() != NumSkipBlocks(n)) {
+    return Status::InvalidArgument("skip block table has wrong size");
+  }
+  const uint64_t two_m = m * 2;
+  if (m > UINT64_MAX / 2 || (!unit_weights && weights.size() != two_m)) {
+    return Status::InvalidArgument("weight stream has wrong size");
+  }
+
+  // Single pass over the stream: validate, collect relabeled neighbor ids
+  // (stream order == weight-stream order) and per-old-id degrees.
+  std::vector<uint32_t> nbr_new;
+  nbr_new.reserve(two_m);
+  std::vector<uint64_t> offsets(static_cast<size_t>(n) + 1, 0);
+  std::vector<uint64_t> list_start(n);
+  const uint8_t* p = adj.data();
+  const uint8_t* const end = adj.data() + adj.size();
+  for (NodeId r = 0; r < n; ++r) {
+    if (r % kSkipStride == 0) {
+      const SkipBlock& sb = skip[r / kSkipStride];
+      if (sb.byte_offset != static_cast<uint64_t>(p - adj.data()) ||
+          sb.entry_offset != nbr_new.size()) {
+        return Status::InvalidArgument(
+            "skip block disagrees with the adjacency stream");
+      }
+    }
+    list_start[r] = nbr_new.size();
+    RMGP_RETURN_IF_ERROR(DecodeOneList(n, r, &p, end, &nbr_new));
+    if (nbr_new.size() > two_m) {
+      return Status::InvalidArgument(
+          "compressed adjacency: more entries than the header declares");
+    }
+    offsets[old_of_new[r]] = nbr_new.size() - list_start[r];
+  }
+  if (p != end) {
+    return Status::InvalidArgument(
+        "compressed adjacency: trailing bytes after the last list");
+  }
+  if (nbr_new.size() != two_m) {
+    return Status::InvalidArgument(
+        "compressed adjacency: entry count disagrees with the header");
+  }
+  const SkipBlock& sentinel = skip[skip.size() - 1];
+  if (sentinel.byte_offset != adj.size() || sentinel.entry_offset != two_m) {
+    return Status::InvalidArgument("skip block sentinel is wrong");
+  }
+
+  // offsets currently holds per-old-id degrees (shifted by nothing);
+  // exclusive prefix sum turns it into CSR offsets.
+  uint64_t acc = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const uint64_t deg = offsets[v];
+    offsets[v] = acc;
+    acc += deg;
+  }
+  offsets[n] = acc;
+
+  std::vector<Neighbor> csr(two_m);
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (NodeId r = 0; r < n; ++r) {
+    const NodeId old_id = old_of_new[r];
+    const uint64_t start = list_start[r];
+    const uint64_t stop = r + 1 < n ? list_start[r + 1] : two_m;
+    for (uint64_t k = start; k < stop; ++k) {
+      const double w = unit_weights ? 1.0 : weights[k];
+      RMGP_RETURN_IF_ERROR(CheckWeight(w));
+      csr[cursor[old_id]++] = {old_of_new[nbr_new[k]], w};
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    std::sort(csr.begin() + static_cast<int64_t>(offsets[v]),
+              csr.begin() + static_cast<int64_t>(offsets[v + 1]),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.node < b.node;
+              });
+  }
+
+  return Graph::FromOwnedParts(std::move(offsets), std::move(csr),
+                               total_edge_weight);
+}
+
+Result<CompressedAdjacencyView> CompressedAdjacencyView::Create(
+    NodeId n, uint64_t m, std::span<const uint32_t> old_of_new,
+    std::span<const SkipBlock> skip, std::span<const uint8_t> adj,
+    std::span<const double> weights, bool unit_weights) {
+  CompressedAdjacencyView view;
+  RMGP_ASSIGN_OR_RETURN(view.new_of_old_, InvertPermutation(n, old_of_new));
+  if (skip.size() != NumSkipBlocks(n)) {
+    return Status::InvalidArgument("skip block table has wrong size");
+  }
+  if (m > UINT64_MAX / 2 || (!unit_weights && weights.size() != m * 2)) {
+    return Status::InvalidArgument("weight stream has wrong size");
+  }
+  view.n_ = n;
+  view.m_ = m;
+  view.old_of_new_ = old_of_new;
+  view.skip_ = skip;
+  view.adj_ = adj;
+  view.weights_ = weights;
+  view.unit_weights_ = unit_weights;
+  return view;
+}
+
+Status CompressedAdjacencyView::Neighbors(NodeId v,
+                                          std::vector<Neighbor>* out) const {
+  out->clear();
+  if (v >= n_) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  const NodeId r = new_of_old_[v];
+  const SkipBlock& sb = skip_[r / kSkipStride];
+  if (sb.byte_offset > adj_.size() || sb.entry_offset > m_ * 2) {
+    return Status::InvalidArgument("skip block out of range");
+  }
+  const uint8_t* p = adj_.data() + sb.byte_offset;
+  const uint8_t* const end = adj_.data() + adj_.size();
+  uint64_t entry = sb.entry_offset;
+  std::vector<uint32_t> ids;
+  // Decode (and discard) the lists between the block start and r.
+  for (NodeId s = r / kSkipStride * kSkipStride; s <= r; ++s) {
+    ids.clear();
+    RMGP_RETURN_IF_ERROR(DecodeOneList(n_, s, &p, end, &ids));
+    if (s < r) {
+      entry += ids.size();
+      continue;
+    }
+    if (!unit_weights_ && entry + ids.size() > weights_.size()) {
+      return Status::InvalidArgument("weight stream too short");
+    }
+    out->reserve(ids.size());
+    for (size_t k = 0; k < ids.size(); ++k) {
+      const double w = unit_weights_ ? 1.0 : weights_[entry + k];
+      RMGP_RETURN_IF_ERROR(CheckWeight(w));
+      out->push_back({old_of_new_[ids[k]], w});
+    }
+  }
+  std::sort(out->begin(), out->end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.node < b.node;
+            });
+  return Status::OK();
+}
+
+}  // namespace store
+}  // namespace rmgp

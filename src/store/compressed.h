@@ -1,0 +1,89 @@
+#ifndef RMGP_STORE_COMPRESSED_H_
+#define RMGP_STORE_COMPRESSED_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "store/format.h"
+#include "util/status.h"
+
+namespace rmgp {
+namespace store {
+
+/// The compressed adjacency representation (container sections 3-6).
+///
+/// Nodes are relabeled in degree-descending order (ties by old id) so hub
+/// lists — the bulk of a social graph's edges — reference small, dense ids
+/// that delta-encode into one or two bytes. Per relabeled node r the
+/// stream carries varint(degree) followed by the neighbor list as strictly
+/// increasing relabeled ids: varint(first), then varint(id - prev) for the
+/// rest. A SkipBlock every kSkipStride nodes gives random access without
+/// decoding the whole stream. Weights travel as a parallel f64 stream in
+/// the same order (omitted entirely when every weight is 1.0).
+struct CompressedSections {
+  std::vector<uint32_t> old_of_new;  ///< kPermutation: old id of node r
+  std::vector<SkipBlock> skip;       ///< kSkipBlocks (incl. end sentinel)
+  std::vector<uint8_t> adj;          ///< kCompressedAdj byte stream
+  std::vector<double> weights;       ///< kWeights; empty iff unit_weights
+  bool unit_weights = false;
+};
+
+/// Encodes `g` into the compressed sections. Deterministic: the relabel
+/// order and stream layout depend only on the graph.
+CompressedSections EncodeCompressed(const Graph& g);
+
+/// Decodes compressed sections back into an owned in-RAM Graph carrying
+/// original node ids, bit-identical to the graph that was encoded. All
+/// spans point at untrusted storage: the decoder validates the permutation,
+/// every varint, id bounds, strict monotonicity, self-loop freedom, weight
+/// finiteness, skip-block cross-consistency and exact stream/entry counts,
+/// and returns InvalidArgument instead of reading out of bounds.
+///
+/// `n`/`m`/`total_edge_weight` come from the (already checksummed)
+/// container header; span sizes are pre-checked by the container reader but
+/// re-checked here so the function is safe to call with arbitrary spans.
+Result<Graph> DecodeCompressedGraph(NodeId n, uint64_t m,
+                                    double total_edge_weight,
+                                    std::span<const uint32_t> old_of_new,
+                                    std::span<const SkipBlock> skip,
+                                    std::span<const uint8_t> adj,
+                                    std::span<const double> weights,
+                                    bool unit_weights);
+
+/// Random access into a compressed adjacency without materializing the
+/// whole graph: seeks via the skip blocks, then decodes at most
+/// kSkipStride lists. Used by the decode-throughput bench and by tests to
+/// cross-check per-node decode against the full decode; hostile-input safe
+/// like DecodeCompressedGraph.
+class CompressedAdjacencyView {
+ public:
+  /// Validates sizes and that `old_of_new` is a permutation (O(n)).
+  /// The spans must outlive the view.
+  static Result<CompressedAdjacencyView> Create(
+      NodeId n, uint64_t m, std::span<const uint32_t> old_of_new,
+      std::span<const SkipBlock> skip, std::span<const uint8_t> adj,
+      std::span<const double> weights, bool unit_weights);
+
+  /// Decodes the neighbor list of *original* node id `v` (sorted by
+  /// original neighbor id) into `out`, replacing its contents.
+  Status Neighbors(NodeId v, std::vector<Neighbor>* out) const;
+
+  NodeId num_nodes() const { return n_; }
+
+ private:
+  NodeId n_ = 0;
+  uint64_t m_ = 0;
+  std::span<const uint32_t> old_of_new_;
+  std::span<const SkipBlock> skip_;
+  std::span<const uint8_t> adj_;
+  std::span<const double> weights_;
+  bool unit_weights_ = false;
+  std::vector<uint32_t> new_of_old_;
+};
+
+}  // namespace store
+}  // namespace rmgp
+
+#endif  // RMGP_STORE_COMPRESSED_H_

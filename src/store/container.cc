@@ -1,0 +1,566 @@
+#include "store/container.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "store/checksum.h"
+#include "store/compressed.h"
+
+namespace rmgp {
+namespace store {
+
+namespace {
+
+/// Largest |E| the format accepts: 2|E| Neighbor records must fit a
+/// uint64 byte count with room to spare. Far beyond any mappable file.
+constexpr uint64_t kMaxEdges = uint64_t{1} << 57;
+
+const char* SectionKindName(uint32_t kind) {
+  switch (static_cast<SectionKind>(kind)) {
+    case SectionKind::kOffsets:
+      return "offsets";
+    case SectionKind::kAdjacency:
+      return "adjacency";
+    case SectionKind::kPermutation:
+      return "permutation";
+    case SectionKind::kSkipBlocks:
+      return "skip-blocks";
+    case SectionKind::kCompressedAdj:
+      return "compressed-adjacency";
+    case SectionKind::kWeights:
+      return "weights";
+  }
+  return "unknown";
+}
+
+bool IsKnownKind(uint32_t kind) {
+  return kind >= static_cast<uint32_t>(SectionKind::kOffsets) &&
+         kind <= static_cast<uint32_t>(SectionKind::kWeights);
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Buffered, CRC-tracking file writer. The first write error latches into
+/// `status` and turns the remaining operations into no-ops, so call sites
+/// stay linear and check once at the end.
+class FileWriter {
+ public:
+  explicit FileWriter(const std::string& path) : path_(path) {
+    f_ = std::fopen(path.c_str(), "wb");
+    if (f_ == nullptr) {
+      status_ = Status::IOError("cannot create " + path);
+    }
+  }
+  ~FileWriter() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  void Write(const void* data, size_t size) {
+    if (!status_.ok() || size == 0) return;
+    if (std::fwrite(data, 1, size, f_) != size) {
+      status_ = Status::IOError("short write to " + path_);
+      return;
+    }
+    section_crc_ = Crc32c(data, size, section_crc_);
+    pos_ += size;
+  }
+
+  /// Zero-fills up to `offset` (the next section boundary).
+  void PadTo(uint64_t offset) {
+    static constexpr char kZeros[kSectionAlign] = {};
+    while (status_.ok() && pos_ < offset) {
+      const uint64_t chunk =
+          std::min<uint64_t>(offset - pos_, sizeof(kZeros));
+      if (std::fwrite(kZeros, 1, chunk, f_) != chunk) {
+        status_ = Status::IOError("short write to " + path_);
+        return;
+      }
+      pos_ += chunk;
+    }
+  }
+
+  void BeginSection() { section_crc_ = 0; }
+  uint32_t section_crc() const { return section_crc_; }
+  uint64_t pos() const { return pos_; }
+
+  Status Seek(uint64_t offset) {
+    RMGP_RETURN_IF_ERROR(status_);
+    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
+      status_ = Status::IOError("cannot seek in " + path_);
+    }
+    pos_ = offset;
+    return status_;
+  }
+
+  Status Close() {
+    RMGP_RETURN_IF_ERROR(status_);
+    const int rc = std::fclose(f_);
+    f_ = nullptr;
+    if (rc != 0) return Status::IOError("cannot finish writing " + path_);
+    return Status::OK();
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  Status status_;
+  uint64_t pos_ = 0;
+  uint32_t section_crc_ = 0;
+};
+
+/// Streams the adjacency span as on-disk records ({u32 node, u32 zero,
+/// f64 weight}) in bounded chunks. Field-by-field assembly, not a raw
+/// fwrite of the Neighbor array: the struct's padding bytes are
+/// indeterminate in memory and must be zero on disk for the checksum and
+/// byte-for-byte reproducibility.
+void WriteAdjacency(std::span<const Neighbor> adj, FileWriter* w) {
+  constexpr size_t kChunkEntries = 4096;
+  uint8_t buf[kChunkEntries * sizeof(Neighbor)];
+  size_t i = 0;
+  while (i < adj.size()) {
+    const size_t count = std::min(kChunkEntries, adj.size() - i);
+    uint8_t* p = buf;
+    for (size_t k = 0; k < count; ++k, ++i, p += sizeof(Neighbor)) {
+      std::memcpy(p, &adj[i].node, sizeof(uint32_t));
+      std::memset(p + sizeof(uint32_t), 0, sizeof(uint32_t));
+      std::memcpy(p + sizeof(uint64_t), &adj[i].weight, sizeof(double));
+    }
+    w->Write(buf, count * sizeof(Neighbor));
+  }
+}
+
+}  // namespace
+
+Status WriteContainer(const Graph& g, const std::string& path,
+                      const PackOptions& options) {
+  const NodeId n = g.num_nodes();
+  const uint64_t m = g.num_edges();
+  if (m > kMaxEdges) {
+    return Status::InvalidArgument("graph too large for the container format");
+  }
+
+  CompressedSections comp;
+  if (options.compress) comp = EncodeCompressed(g);
+
+  // Plan the section layout.
+  struct PlannedSection {
+    SectionKind kind;
+    const void* raw;  ///< contiguous payload, or nullptr for adjacency
+    uint64_t byte_size;
+  };
+  std::vector<PlannedSection> plan;
+  if (options.compress) {
+    plan.push_back({SectionKind::kPermutation, comp.old_of_new.data(),
+                    comp.old_of_new.size() * sizeof(uint32_t)});
+    plan.push_back({SectionKind::kSkipBlocks, comp.skip.data(),
+                    comp.skip.size() * sizeof(SkipBlock)});
+    plan.push_back(
+        {SectionKind::kCompressedAdj, comp.adj.data(), comp.adj.size()});
+    if (!comp.unit_weights) {
+      plan.push_back({SectionKind::kWeights, comp.weights.data(),
+                      comp.weights.size() * sizeof(double)});
+    }
+  } else {
+    // A default-constructed Graph has an empty offsets span; the container
+    // always carries the canonical n+1 = 1 entries for n = 0.
+    static constexpr uint64_t kZeroOffset[1] = {0};
+    const bool empty = g.offsets().empty();
+    plan.push_back({SectionKind::kOffsets,
+                    empty ? kZeroOffset : g.offsets().data(),
+                    (empty ? 1 : g.offsets().size()) * sizeof(uint64_t)});
+    plan.push_back(
+        {SectionKind::kAdjacency, nullptr, g.adjacency().size_bytes()});
+  }
+
+  ContainerHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kFormatVersion;
+  header.endian = kEndianMark;
+  header.flags = options.compress
+                     ? (kFlagCompressed |
+                        (comp.unit_weights ? kFlagUnitWeights : 0u))
+                     : 0u;
+  header.section_count = static_cast<uint32_t>(plan.size());
+  header.num_nodes = n;
+  header.num_edges = m;
+  header.total_edge_weight = g.total_edge_weight();
+  header.header_crc = Crc32c(&header, kHeaderCrcBytes);
+
+  const uint64_t table_offset = sizeof(ContainerHeader);
+  const uint64_t data_start =
+      AlignUp(table_offset + plan.size() * sizeof(SectionDesc));
+
+  FileWriter w(path);
+  w.Write(&header, sizeof(header));
+  // Placeholder table: payload offsets are known now but CRCs only after
+  // streaming the payloads, so the real table is written by the seek-back
+  // below.
+  std::vector<SectionDesc> table(plan.size(), SectionDesc{});
+  w.Write(table.data(), table.size() * sizeof(SectionDesc));
+
+  uint64_t offset = data_start;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    w.PadTo(offset);
+    w.BeginSection();
+    if (plan[i].kind == SectionKind::kAdjacency) {
+      WriteAdjacency(g.adjacency(), &w);
+    } else {
+      w.Write(plan[i].raw, plan[i].byte_size);
+    }
+    table[i] = {static_cast<uint32_t>(plan[i].kind), 0, offset,
+                plan[i].byte_size, w.section_crc()};
+    offset = AlignUp(offset + plan[i].byte_size);
+  }
+  RMGP_RETURN_IF_ERROR(w.Seek(table_offset));
+  w.Write(table.data(), table.size() * sizeof(SectionDesc));
+  RMGP_RETURN_IF_ERROR(w.status());
+  return w.Close();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Full structural validation of a loaded graph's payload: every neighbor
+/// id in bounds, per-node lists strictly sorted, weights positive and
+/// finite, adjacency symmetric with matching mirror weights.
+Status DeepValidateGraph(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    NodeId prev = 0;
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      const Neighbor& nb = nbrs[k];
+      if (nb.node >= n) {
+        return Status::InvalidArgument("adjacency: neighbor id out of range");
+      }
+      if (nb.node == v) {
+        return Status::InvalidArgument("adjacency: self-loop");
+      }
+      if (k > 0 && nb.node <= prev) {
+        return Status::InvalidArgument(
+            "adjacency: neighbor list not strictly increasing");
+      }
+      prev = nb.node;
+      if (!std::isfinite(nb.weight) || nb.weight <= 0.0) {
+        return Status::InvalidArgument(
+            "adjacency: edge weight must be positive and finite");
+      }
+      if (g.EdgeWeight(nb.node, v) != nb.weight) {
+        return Status::InvalidArgument(
+            "adjacency: edge {u,v} has no matching mirror entry");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Container> Container::Parse(const uint8_t* base, size_t size,
+                                   const OpenOptions& options,
+                                   std::shared_ptr<const MappedFile> mapping) {
+  if (reinterpret_cast<uintptr_t>(base) % alignof(uint64_t) != 0) {
+    return Status::InvalidArgument("container buffer must be 8-byte aligned");
+  }
+  if (size < sizeof(ContainerHeader)) {
+    return Status::InvalidArgument("container truncated: no header");
+  }
+  ContainerHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a .rmgp container (bad magic)");
+  }
+  if (header.version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported container version " +
+                                   std::to_string(header.version));
+  }
+  if (header.endian != kEndianMark) {
+    return Status::InvalidArgument(
+        "container written with a different byte order");
+  }
+  if (Crc32c(base, kHeaderCrcBytes) != header.header_crc) {
+    return Status::InvalidArgument("container header checksum mismatch");
+  }
+  if ((header.flags & ~kKnownFlags) != 0) {
+    return Status::InvalidArgument("container carries unknown flags");
+  }
+  const bool compressed = (header.flags & kFlagCompressed) != 0;
+  const bool unit_weights = (header.flags & kFlagUnitWeights) != 0;
+  if (unit_weights && !compressed) {
+    return Status::InvalidArgument(
+        "unit-weights flag is only meaningful for compressed containers");
+  }
+  if (header.section_count > kMaxSections) {
+    return Status::InvalidArgument("container section table too large");
+  }
+  if (header.num_nodes > uint64_t{0xFFFFFFFF}) {
+    return Status::InvalidArgument(
+        "container node count overflows the 32-bit NodeId space");
+  }
+  if (header.num_edges > kMaxEdges) {
+    return Status::InvalidArgument("container edge count out of range");
+  }
+  if (!std::isfinite(header.total_edge_weight) ||
+      header.total_edge_weight < 0.0) {
+    return Status::InvalidArgument(
+        "container total edge weight must be finite and non-negative");
+  }
+  const NodeId n = static_cast<NodeId>(header.num_nodes);
+  const uint64_t two_m = header.num_edges * 2;
+
+  const uint64_t table_bytes =
+      uint64_t{header.section_count} * sizeof(SectionDesc);
+  if (sizeof(ContainerHeader) + table_bytes > size) {
+    return Status::InvalidArgument("container truncated: no section table");
+  }
+  const uint64_t data_start = AlignUp(sizeof(ContainerHeader) + table_bytes);
+
+  Container c;
+  c.base_ = base;
+  c.size_ = size;
+  c.header_ = header;
+  c.mapping_ = std::move(mapping);
+  c.sections_.reserve(header.section_count);
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    SectionDesc desc;
+    std::memcpy(&desc, base + sizeof(ContainerHeader) + i * sizeof(desc),
+                sizeof(desc));
+    const char* name = SectionKindName(desc.kind);
+    if (desc.file_offset % kSectionAlign != 0) {
+      return Status::InvalidArgument(std::string("section ") + name +
+                                     " is misaligned");
+    }
+    if (desc.file_offset < data_start || desc.file_offset > size ||
+        desc.byte_size > size - desc.file_offset) {
+      return Status::InvalidArgument(std::string("section ") + name +
+                                     " lies outside the file");
+    }
+    if (IsKnownKind(desc.kind)) {
+      for (const auto& prev : c.sections_) {
+        if (static_cast<uint32_t>(prev.kind) == desc.kind) {
+          return Status::InvalidArgument(std::string("duplicate section ") +
+                                         name);
+        }
+      }
+    }
+    c.sections_.push_back({static_cast<SectionKind>(desc.kind),
+                           base + desc.file_offset, desc.byte_size,
+                           desc.crc});
+  }
+
+  // Required sections and exact payload sizes per layout.
+  const auto require = [&c](SectionKind kind,
+                            uint64_t want_size) -> Status {
+    const uint8_t* data = c.SectionData(kind);
+    if (data == nullptr) {
+      return Status::InvalidArgument(
+          std::string("container is missing the ") +
+          SectionKindName(static_cast<uint32_t>(kind)) + " section");
+    }
+    if (c.SectionSize(kind) != want_size) {
+      return Status::InvalidArgument(
+          std::string("section ") +
+          SectionKindName(static_cast<uint32_t>(kind)) + " has " +
+          std::to_string(c.SectionSize(kind)) + " bytes, want " +
+          std::to_string(want_size));
+    }
+    return Status::OK();
+  };
+  const auto forbid = [&c](SectionKind kind) -> Status {
+    if (c.SectionData(kind) != nullptr) {
+      return Status::InvalidArgument(
+          std::string("section ") +
+          SectionKindName(static_cast<uint32_t>(kind)) +
+          " does not belong in this layout");
+    }
+    return Status::OK();
+  };
+  const uint64_t skip_blocks =
+      (uint64_t{n} + kSkipStride - 1) / kSkipStride + 1;
+  if (compressed) {
+    RMGP_RETURN_IF_ERROR(require(SectionKind::kPermutation,
+                                 uint64_t{n} * sizeof(uint32_t)));
+    RMGP_RETURN_IF_ERROR(
+        require(SectionKind::kSkipBlocks, skip_blocks * sizeof(SkipBlock)));
+    if (c.SectionData(SectionKind::kCompressedAdj) == nullptr) {
+      return Status::InvalidArgument(
+          "container is missing the compressed-adjacency section");
+    }
+    if (unit_weights) {
+      RMGP_RETURN_IF_ERROR(forbid(SectionKind::kWeights));
+    } else {
+      RMGP_RETURN_IF_ERROR(
+          require(SectionKind::kWeights, two_m * sizeof(double)));
+    }
+    RMGP_RETURN_IF_ERROR(forbid(SectionKind::kOffsets));
+    RMGP_RETURN_IF_ERROR(forbid(SectionKind::kAdjacency));
+
+    // Cheap skip-table sanity: monotone, first at zero, sentinel at the
+    // stream end. The per-block cross-check against the actual stream
+    // happens in Decode().
+    const auto* skip = reinterpret_cast<const SkipBlock*>(
+        c.SectionData(SectionKind::kSkipBlocks));
+    const uint64_t adj_bytes = c.SectionSize(SectionKind::kCompressedAdj);
+    if (skip[0].byte_offset != 0 || skip[0].entry_offset != 0) {
+      return Status::InvalidArgument("skip block table must start at zero");
+    }
+    for (uint64_t i = 1; i < skip_blocks; ++i) {
+      if (skip[i].byte_offset < skip[i - 1].byte_offset ||
+          skip[i].entry_offset < skip[i - 1].entry_offset) {
+        return Status::InvalidArgument("skip block table is not monotone");
+      }
+    }
+    if (skip[skip_blocks - 1].byte_offset != adj_bytes ||
+        skip[skip_blocks - 1].entry_offset != two_m) {
+      return Status::InvalidArgument("skip block sentinel is wrong");
+    }
+  } else {
+    RMGP_RETURN_IF_ERROR(require(
+        SectionKind::kOffsets, (uint64_t{n} + 1) * sizeof(uint64_t)));
+    RMGP_RETURN_IF_ERROR(
+        require(SectionKind::kAdjacency, two_m * sizeof(Neighbor)));
+    RMGP_RETURN_IF_ERROR(forbid(SectionKind::kPermutation));
+    RMGP_RETURN_IF_ERROR(forbid(SectionKind::kSkipBlocks));
+    RMGP_RETURN_IF_ERROR(forbid(SectionKind::kCompressedAdj));
+    RMGP_RETURN_IF_ERROR(forbid(SectionKind::kWeights));
+
+    // Offsets monotonicity is the memory-safety contract of the mapped
+    // spans (neighbors(v) indexes adjacency through it), so it is always
+    // validated — O(|V|) on pages the loader touches anyway.
+    const auto* offs = reinterpret_cast<const uint64_t*>(
+        c.SectionData(SectionKind::kOffsets));
+    if (offs[0] != 0) {
+      return Status::InvalidArgument("CSR offsets must start at zero");
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (offs[v + 1] < offs[v]) {
+        return Status::InvalidArgument("CSR offsets are not monotone");
+      }
+    }
+    if (offs[n] != two_m) {
+      return Status::InvalidArgument(
+          "CSR offsets disagree with the header edge count");
+    }
+  }
+
+  if (options.verify_checksums) {
+    RMGP_RETURN_IF_ERROR(c.VerifyChecksums());
+  }
+  if (options.deep_validate) {
+    RMGP_ASSIGN_OR_RETURN(Graph g, c.Decode());
+    RMGP_RETURN_IF_ERROR(DeepValidateGraph(g));
+  }
+  return c;
+}
+
+Result<Container> Container::Open(const std::string& path,
+                                  const OpenOptions& options) {
+  RMGP_ASSIGN_OR_RETURN(MappedFile mf, MappedFile::Open(path));
+  auto mapping = std::make_shared<const MappedFile>(std::move(mf));
+  const uint8_t* base = mapping->data();
+  const size_t size = mapping->size();
+  return Parse(base, size, options, std::move(mapping));
+}
+
+Result<Container> Container::FromBuffer(const uint8_t* data, size_t size,
+                                        const OpenOptions& options) {
+  return Parse(data, size, options, nullptr);
+}
+
+const uint8_t* Container::SectionData(SectionKind kind) const {
+  for (const auto& s : sections_) {
+    if (s.kind == kind) return s.data;
+  }
+  return nullptr;
+}
+
+uint64_t Container::SectionSize(SectionKind kind) const {
+  for (const auto& s : sections_) {
+    if (s.kind == kind) return s.size;
+  }
+  return 0;
+}
+
+Status Container::VerifyChecksums() const {
+  for (const auto& s : sections_) {
+    if (Crc32c(s.data, s.size) != s.crc) {
+      return Status::IOError(
+          std::string("section ") +
+          SectionKindName(static_cast<uint32_t>(s.kind)) +
+          " checksum mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Graph> Container::LoadMapped() const {
+  if (compressed()) {
+    return Status::FailedPrecondition(
+        "compressed containers cannot be mapped zero-copy; use Decode()");
+  }
+  const auto* offs =
+      reinterpret_cast<const uint64_t*>(SectionData(SectionKind::kOffsets));
+  const auto* adj =
+      reinterpret_cast<const Neighbor*>(SectionData(SectionKind::kAdjacency));
+  std::span<const uint64_t> off_span(offs, header_.num_nodes + 1);
+  std::span<const Neighbor> adj_span(adj, header_.num_edges * 2);
+  std::shared_ptr<const void> backing;
+  if (mapping_ != nullptr) {
+    backing = std::shared_ptr<const void>(mapping_, mapping_->data());
+  } else {
+    // FromBuffer path: the caller owns the bytes and guarantees lifetime;
+    // a non-owning token keeps Graph::is_external() (and copy semantics)
+    // on the external-storage path.
+    backing = std::shared_ptr<const void>(base_, [](const void*) {});
+  }
+  return Graph::FromExternalParts(off_span, adj_span,
+                                  header_.total_edge_weight,
+                                  std::move(backing));
+}
+
+Result<Graph> Container::Decode() const {
+  if (!compressed()) {
+    RMGP_ASSIGN_OR_RETURN(Graph mapped, LoadMapped());
+    std::vector<uint64_t> offs(mapped.offsets().begin(),
+                               mapped.offsets().end());
+    std::vector<Neighbor> adj(mapped.adjacency().begin(),
+                              mapped.adjacency().end());
+    return Graph::FromOwnedParts(std::move(offs), std::move(adj),
+                                 header_.total_edge_weight);
+  }
+  const NodeId n = num_nodes();
+  std::span<const uint32_t> perm(
+      reinterpret_cast<const uint32_t*>(
+          SectionData(SectionKind::kPermutation)),
+      n);
+  std::span<const SkipBlock> skip(
+      reinterpret_cast<const SkipBlock*>(
+          SectionData(SectionKind::kSkipBlocks)),
+      SectionSize(SectionKind::kSkipBlocks) / sizeof(SkipBlock));
+  std::span<const uint8_t> adj(SectionData(SectionKind::kCompressedAdj),
+                               SectionSize(SectionKind::kCompressedAdj));
+  std::span<const double> weights;
+  if (!unit_weights()) {
+    weights = std::span<const double>(
+        reinterpret_cast<const double*>(SectionData(SectionKind::kWeights)),
+        header_.num_edges * 2);
+  }
+  return DecodeCompressedGraph(n, header_.num_edges,
+                               header_.total_edge_weight, perm, skip, adj,
+                               weights, unit_weights());
+}
+
+}  // namespace store
+}  // namespace rmgp

@@ -1,0 +1,119 @@
+#ifndef RMGP_STORE_CONTAINER_H_
+#define RMGP_STORE_CONTAINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "store/format.h"
+#include "store/mapped_file.h"
+#include "util/status.h"
+
+namespace rmgp {
+namespace store {
+
+/// Options for WriteContainer.
+struct PackOptions {
+  /// Store adjacency delta+varint compressed over degree-descending
+  /// relabeled ids (smaller file, decode on load) instead of as raw CSR
+  /// sections (larger file, zero-parse mmap load).
+  bool compress = false;
+};
+
+/// Writes `g` as a .rmgp container at `path`. Sections are checksummed and
+/// 64-byte aligned; the plain layout round-trips Graph bit-identically
+/// through LoadMapped, the compressed layout through Decode.
+Status WriteContainer(const Graph& g, const std::string& path,
+                      const PackOptions& options = {});
+
+/// Options for Container::Open / Container::FromBuffer.
+struct OpenOptions {
+  /// Recompute the CRC-32C of every section payload and compare against
+  /// the table. Touches every page — off by default so the mmap load stays
+  /// zero-parse; rmgp_pack --verify and the fuzz harness turn it on.
+  bool verify_checksums = false;
+
+  /// Full structural validation beyond the always-on header/table/offsets
+  /// checks: every adjacency entry in bounds, per-node lists strictly
+  /// sorted, weights positive and finite, compressed streams decoded and
+  /// cross-checked against their skip blocks, adjacency symmetric. Also a
+  /// full data scan — same opt-in sites as verify_checksums.
+  bool deep_validate = false;
+};
+
+/// A parsed and validated .rmgp container. Open() maps the file and keeps
+/// the mapping alive through any Graph loaded from it; FromBuffer() parses
+/// a caller-owned byte buffer (fuzzing, tests) that must outlive the
+/// Container and anything loaded from it.
+///
+/// Validation always performed (cheap, O(sections) + O(|V|) on the offsets
+/// array): magic/version/endianness/flags, header CRC, section table
+/// bounds and alignment, required-section presence and exact sizes, CSR
+/// offsets monotone and consistent with the header's edge count, skip
+/// blocks monotone and in bounds. The adjacency payload itself is trusted
+/// by default (the zero-parse contract; see OpenOptions).
+class Container {
+ public:
+  static Result<Container> Open(const std::string& path,
+                                const OpenOptions& options = {});
+
+  /// Parses a container image in memory. `data` must be 8-byte aligned
+  /// (section payloads are reinterpreted as uint64/Neighbor arrays) and
+  /// outlive the Container and every Graph loaded from it.
+  static Result<Container> FromBuffer(const uint8_t* data, size_t size,
+                                      const OpenOptions& options = {});
+
+  NodeId num_nodes() const { return static_cast<NodeId>(header_.num_nodes); }
+  uint64_t num_edges() const { return header_.num_edges; }
+  double total_edge_weight() const { return header_.total_edge_weight; }
+  uint32_t flags() const { return header_.flags; }
+  bool compressed() const { return (header_.flags & kFlagCompressed) != 0; }
+  bool unit_weights() const {
+    return (header_.flags & kFlagUnitWeights) != 0;
+  }
+  uint64_t file_size() const { return size_; }
+
+  /// Payload pointer / size of the section of the given kind; nullptr / 0
+  /// when the container does not carry it.
+  const uint8_t* SectionData(SectionKind kind) const;
+  uint64_t SectionSize(SectionKind kind) const;
+
+  /// Recomputes every section checksum. IOError with the section kind in
+  /// the message on the first mismatch.
+  Status VerifyChecksums() const;
+
+  /// Zero-copy Graph whose CSR spans alias the mapped offsets/adjacency
+  /// sections. Plain containers only (FailedPrecondition for compressed).
+  /// The returned Graph (and its copies) share ownership of the mapping.
+  Result<Graph> LoadMapped() const;
+
+  /// Decodes the container into an owned in-RAM Graph: a verbatim copy for
+  /// plain containers, a full delta+varint decode (with hostile-input
+  /// validation) for compressed ones.
+  Result<Graph> Decode() const;
+
+ private:
+  static Result<Container> Parse(const uint8_t* base, size_t size,
+                                 const OpenOptions& options,
+                                 std::shared_ptr<const MappedFile> mapping);
+
+  struct ParsedSection {
+    SectionKind kind;
+    const uint8_t* data;
+    uint64_t size;
+    uint64_t crc;
+  };
+
+  const uint8_t* base_ = nullptr;
+  size_t size_ = 0;
+  ContainerHeader header_{};
+  std::vector<ParsedSection> sections_;
+  std::shared_ptr<const MappedFile> mapping_;  // null for FromBuffer
+};
+
+}  // namespace store
+}  // namespace rmgp
+
+#endif  // RMGP_STORE_CONTAINER_H_

@@ -1,0 +1,128 @@
+#ifndef RMGP_STORE_FORMAT_H_
+#define RMGP_STORE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace rmgp {
+namespace store {
+
+// On-disk layout of the .rmgp graph container (DESIGN.md §11).
+//
+//   [ContainerHeader: 64 bytes]
+//   [SectionDesc * section_count: 32 bytes each]
+//   [padding to 64]
+//   [section payloads, each 64-byte aligned, in table order]
+//
+// All integers are little-endian host integers; the `endian` field makes a
+// byte-swapped reader fail loudly instead of misparsing. Sections are
+// 64-byte aligned so a mapped offsets/adjacency section can be handed to
+// the solvers' SIMD row kernels without a fixup copy, and so no section
+// shares a cache line with the previous one's tail.
+
+/// File magic: "RMGPGRF" + format generation.
+inline constexpr char kMagic[8] = {'R', 'M', 'G', 'P', 'G', 'R', 'F', '1'};
+
+/// Container format version. Readers reject versions they do not know;
+/// adding new optional section kinds does NOT bump this (unknown kinds are
+/// skipped), changing the meaning of existing fields does.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Value of ContainerHeader::endian as written by the native writer.
+inline constexpr uint32_t kEndianMark = 0x01020304u;
+
+/// Section payload alignment within the file.
+inline constexpr uint64_t kSectionAlign = 64;
+
+/// Hard cap on the section table: a hostile header cannot make the reader
+/// allocate or scan an unbounded table. Far above any legitimate layout
+/// (plain containers carry 2 sections, compressed ones 3-4).
+inline constexpr uint32_t kMaxSections = 64;
+
+/// ContainerHeader::flags bits.
+enum ContainerFlags : uint32_t {
+  /// Adjacency is stored delta+varint compressed over degree-relabeled ids
+  /// (sections kPermutation/kSkipBlocks/kCompressedAdj[+kWeights]) instead
+  /// of as a raw Neighbor array (sections kOffsets/kAdjacency).
+  kFlagCompressed = 1u << 0,
+  /// Every edge weight is exactly 1.0 and the kWeights section is omitted
+  /// (only meaningful together with kFlagCompressed).
+  kFlagUnitWeights = 1u << 1,
+};
+inline constexpr uint32_t kKnownFlags = kFlagCompressed | kFlagUnitWeights;
+
+/// Section kinds. Unknown kinds are skipped by readers (forward compat:
+/// a newer writer may append e.g. a degree-histogram section).
+enum class SectionKind : uint32_t {
+  kOffsets = 1,        ///< uint64[num_nodes+1] CSR offsets
+  kAdjacency = 2,      ///< Neighbor[2*num_edges], padding bytes zeroed
+  kPermutation = 3,    ///< uint32[num_nodes]: old id of relabeled node r
+  kSkipBlocks = 4,     ///< SkipBlock[ceil(n/kSkipStride)+1]
+  kCompressedAdj = 5,  ///< concatenated per-node varint(degree) + deltas
+  kWeights = 6,        ///< double[2*num_edges] in relabeled stream order
+};
+
+/// Fixed stride of the compressed adjacency skip blocks: one SkipBlock per
+/// kSkipStride relabeled nodes. Random access decodes at most
+/// kSkipStride-1 lists past the block start.
+inline constexpr uint32_t kSkipStride = 64;
+
+/// One skip block: where relabeled node (i * kSkipStride)'s encoded list
+/// starts, both as a byte offset into kCompressedAdj and as an entry index
+/// into the weight stream. The final block is the end sentinel (total
+/// bytes / total entries).
+struct SkipBlock {
+  uint64_t byte_offset;
+  uint64_t entry_offset;
+};
+static_assert(sizeof(SkipBlock) == 16);
+
+/// The 64-byte container header.
+struct ContainerHeader {
+  char magic[8];             //  0: kMagic
+  uint32_t version;          //  8: kFormatVersion
+  uint32_t endian;           // 12: kEndianMark
+  uint32_t flags;            // 16: ContainerFlags
+  uint32_t section_count;    // 20: entries in the section table
+  uint64_t num_nodes;        // 24: |V|
+  uint64_t num_edges;        // 32: |E| (undirected; adjacency holds 2|E|)
+  double total_edge_weight;  // 40: bit pattern of Graph::total_edge_weight
+  uint64_t reserved0;        // 48: zero
+  uint32_t reserved1;        // 56: zero
+  uint32_t header_crc;       // 60: CRC-32C of bytes [0, 60)
+};
+static_assert(sizeof(ContainerHeader) == 64);
+static_assert(offsetof(ContainerHeader, header_crc) == 60);
+
+/// Number of header bytes covered by header_crc.
+inline constexpr size_t kHeaderCrcBytes = offsetof(ContainerHeader, header_crc);
+
+/// One section table entry.
+struct SectionDesc {
+  uint32_t kind;         ///< SectionKind (raw: unknown kinds are skipped)
+  uint32_t reserved;     ///< zero
+  uint64_t file_offset;  ///< from file start; kSectionAlign-aligned
+  uint64_t byte_size;    ///< payload bytes (excludes alignment padding)
+  uint64_t crc;          ///< CRC-32C of the payload in the low 32 bits
+};
+static_assert(sizeof(SectionDesc) == 32);
+
+// The mapped loader reinterprets the kAdjacency section as a Neighbor
+// array, so the in-memory layout is part of the format. The writer emits
+// {u32 node, u32 zero, f64 weight} records to match.
+static_assert(sizeof(Neighbor) == 16);
+static_assert(offsetof(Neighbor, node) == 0);
+static_assert(offsetof(Neighbor, weight) == 8);
+static_assert(alignof(Neighbor) <= kSectionAlign);
+
+/// Rounds a file offset up to the next section boundary.
+constexpr uint64_t AlignUp(uint64_t offset) {
+  return (offset + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+}
+
+}  // namespace store
+}  // namespace rmgp
+
+#endif  // RMGP_STORE_FORMAT_H_

@@ -1,0 +1,56 @@
+#include "store/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rmgp {
+namespace store {
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat " + path + ": " + std::strerror(err));
+  }
+  MappedFile mf;
+  mf.size_ = static_cast<size_t>(st.st_size);
+  if (mf.size_ > 0) {
+    // MAP_SHARED so the page cache backs every process mapping this
+    // container with the same physical pages; PROT_READ keeps the graph
+    // immutable (a stray write faults instead of corrupting the file).
+    void* p = ::mmap(nullptr, mf.size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (p == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IOError("cannot mmap " + path + ": " +
+                             std::strerror(err));
+    }
+    mf.data_ = p;
+  }
+  // The mapping holds its own reference to the file; the descriptor is not
+  // needed afterwards.
+  ::close(fd);
+  return mf;
+}
+
+void MappedFile::Unmap() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace store
+}  // namespace rmgp

@@ -1,0 +1,56 @@
+#ifndef RMGP_STORE_MAPPED_FILE_H_
+#define RMGP_STORE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace rmgp {
+namespace store {
+
+/// Read-only, shared (MAP_SHARED) memory mapping of a whole file. Pages
+/// are faulted lazily by the kernel and shared across every process that
+/// maps the same container — the mechanism behind "one copy of the session
+/// graph serves rmgp_serve and all rmgp_worker processes".
+///
+/// Movable, not copyable; the mapping is released on destruction. A
+/// zero-length file maps to {data() == nullptr, size() == 0}.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Unmap(); }
+
+  MappedFile(MappedFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      Unmap();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. IOError on open/stat/map failure.
+  static Result<MappedFile> Open(const std::string& path);
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(data_); }
+  size_t size() const { return size_; }
+
+ private:
+  void Unmap();
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace store
+}  // namespace rmgp
+
+#endif  // RMGP_STORE_MAPPED_FILE_H_

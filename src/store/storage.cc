@@ -1,0 +1,128 @@
+#include "store/storage.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "graph/io.h"
+#include "store/container.h"
+#include "store/format.h"
+
+namespace rmgp {
+namespace store {
+
+namespace {
+
+uint64_t FileBytes(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+uint64_t OwnedCsrBytes(const Graph& g) {
+  return g.offsets().size() * sizeof(uint64_t) +
+         g.adjacency().size() * sizeof(Neighbor);
+}
+
+}  // namespace
+
+const char* StorageBackendName(StorageBackend backend) {
+  switch (backend) {
+    case StorageBackend::kAuto:
+      return "auto";
+    case StorageBackend::kInRam:
+      return "ram";
+    case StorageBackend::kMapped:
+      return "mmap";
+    case StorageBackend::kCompressed:
+      return "compressed";
+  }
+  return "unknown";
+}
+
+Result<StorageBackend> ParseStorageBackend(const std::string& name) {
+  if (name == "auto") return StorageBackend::kAuto;
+  if (name == "ram") return StorageBackend::kInRam;
+  if (name == "mmap") return StorageBackend::kMapped;
+  if (name == "compressed") return StorageBackend::kCompressed;
+  return Status::InvalidArgument(
+      "unknown storage backend '" + name +
+      "' (want auto, ram, mmap or compressed)");
+}
+
+bool HasContainerMagic(const uint8_t* data, size_t size) {
+  return size >= sizeof(kMagic) &&
+         std::memcmp(data, kMagic, sizeof(kMagic)) == 0;
+}
+
+bool IsContainerFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  uint8_t head[sizeof(kMagic)];
+  const size_t got = std::fread(head, 1, sizeof(head), f);
+  std::fclose(f);
+  return HasContainerMagic(head, got);
+}
+
+Result<StoredGraph> LoadGraph(const std::string& path,
+                              const LoadOptions& options) {
+  StoredGraph out;
+  out.file_bytes = FileBytes(path);
+
+  if (!IsContainerFile(path)) {
+    if (options.backend != StorageBackend::kAuto &&
+        options.backend != StorageBackend::kInRam) {
+      return Status::InvalidArgument(
+          std::string(StorageBackendName(options.backend)) +
+          " backend needs a .rmgp container, but " + path +
+          " is not one (pack it with rmgp_pack)");
+    }
+    RMGP_ASSIGN_OR_RETURN(out.graph, ReadEdgeList(path));
+    out.backend = StorageBackend::kInRam;
+    out.heap_bytes = OwnedCsrBytes(out.graph);
+    return out;
+  }
+
+  OpenOptions open_options;
+  open_options.verify_checksums = options.verify_checksums;
+  open_options.deep_validate = options.deep_validate;
+  RMGP_ASSIGN_OR_RETURN(Container c, Container::Open(path, open_options));
+
+  StorageBackend backend = options.backend;
+  if (backend == StorageBackend::kAuto) {
+    backend = c.compressed() ? StorageBackend::kCompressed
+                             : StorageBackend::kMapped;
+  }
+  switch (backend) {
+    case StorageBackend::kMapped: {
+      RMGP_ASSIGN_OR_RETURN(out.graph, c.LoadMapped());
+      out.backend = StorageBackend::kMapped;
+      out.heap_bytes = 0;
+      return out;
+    }
+    case StorageBackend::kCompressed: {
+      if (!c.compressed()) {
+        return Status::InvalidArgument(
+            path + " is a plain container, not a compressed one");
+      }
+      RMGP_ASSIGN_OR_RETURN(out.graph, c.Decode());
+      out.backend = StorageBackend::kCompressed;
+      out.heap_bytes = OwnedCsrBytes(out.graph);
+      return out;
+    }
+    case StorageBackend::kInRam: {
+      RMGP_ASSIGN_OR_RETURN(out.graph, c.Decode());
+      out.backend = StorageBackend::kInRam;
+      out.heap_bytes = OwnedCsrBytes(out.graph);
+      return out;
+    }
+    case StorageBackend::kAuto:
+      break;  // resolved above
+  }
+  return Status::Internal("unreachable storage backend");
+}
+
+}  // namespace store
+}  // namespace rmgp

@@ -1,0 +1,73 @@
+#ifndef RMGP_STORE_STORAGE_H_
+#define RMGP_STORE_STORAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rmgp {
+namespace store {
+
+/// How LoadGraph materializes the session graph.
+enum class StorageBackend {
+  /// Pick from the file: plain containers map (kMapped), compressed ones
+  /// decode (kCompressed), edge lists parse (kInRam).
+  kAuto,
+  /// Owned CSR vectors in this process's heap: parse an edge list, copy a
+  /// plain container's sections, or decode a compressed one.
+  kInRam,
+  /// Zero-copy spans over the mmap'ed plain container; pages are shared
+  /// read-only with every other process mapping the same file. Errors for
+  /// edge lists and compressed containers.
+  kMapped,
+  /// Decode the compressed container into owned CSR vectors. Errors for
+  /// edge lists and plain containers.
+  kCompressed,
+};
+
+const char* StorageBackendName(StorageBackend backend);
+
+/// Parses "auto" / "ram" / "mmap" / "compressed" (the --graph-backend
+/// flag vocabulary).
+Result<StorageBackend> ParseStorageBackend(const std::string& name);
+
+struct LoadOptions {
+  StorageBackend backend = StorageBackend::kAuto;
+  /// See store::OpenOptions: both force a full data scan and are only
+  /// meaningful for containers.
+  bool verify_checksums = false;
+  bool deep_validate = false;
+};
+
+/// A loaded session graph plus where it lives.
+struct StoredGraph {
+  Graph graph;
+  /// The backend actually used (kAuto resolved).
+  StorageBackend backend = StorageBackend::kInRam;
+  /// On-disk size of the source file.
+  uint64_t file_bytes = 0;
+  /// Bytes of owned CSR arrays in this process's heap; 0 for kMapped,
+  /// where the footprint is the (shared, page-cache backed) file itself.
+  uint64_t heap_bytes = 0;
+};
+
+/// True iff `data` starts with the .rmgp container magic.
+bool HasContainerMagic(const uint8_t* data, size_t size);
+
+/// True iff the file at `path` is a .rmgp container (by magic; false for
+/// unreadable or short files).
+bool IsContainerFile(const std::string& path);
+
+/// Loads a session graph from `path` — a .rmgp container or a whitespace
+/// edge list, auto-detected by magic. This is the single entry point the
+/// tools (rmgp_serve --graph-file, rmgp_loadgen, rmgp_pack) go through, so
+/// every solver runs storage-agnostic.
+Result<StoredGraph> LoadGraph(const std::string& path,
+                              const LoadOptions& options = {});
+
+}  // namespace store
+}  // namespace rmgp
+
+#endif  // RMGP_STORE_STORAGE_H_

@@ -1,0 +1,62 @@
+#ifndef RMGP_STORE_VARINT_H_
+#define RMGP_STORE_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rmgp {
+namespace store {
+
+/// LEB128 varint codec used by the compressed adjacency sections. The
+/// decoder is hostile-input safe: it never reads past `end`, rejects
+/// over-long encodings (more than 10 bytes) and 64-bit overflow, and
+/// reports how many bytes it consumed — the fuzz_store harness drives it
+/// directly.
+
+/// Appends the LEB128 encoding of `value` (1-10 bytes).
+inline void AppendVarint(uint64_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80u) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+/// Decodes one varint from [*p, end). On success advances *p past the
+/// encoding and returns true; on truncated/over-long/overflowing input
+/// returns false with *p unchanged.
+inline bool DecodeVarint(const uint8_t** p, const uint8_t* end,
+                         uint64_t* value) {
+  const uint8_t* q = *p;
+  uint64_t v = 0;
+  for (uint32_t shift = 0; shift < 64; shift += 7) {
+    if (q >= end) return false;
+    const uint8_t byte = *q++;
+    const uint64_t payload = byte & 0x7Fu;
+    // The 10th byte may only carry the final bit of a 64-bit value.
+    if (shift == 63 && payload > 1) return false;
+    v |= payload << shift;
+    if ((byte & 0x80u) == 0) {
+      *p = q;
+      *value = v;
+      return true;
+    }
+  }
+  return false;  // 10 continuation bytes: over-long
+}
+
+/// Number of bytes AppendVarint would emit for `value`.
+inline size_t VarintSize(uint64_t value) {
+  size_t n = 1;
+  while (value >= 0x80u) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace store
+}  // namespace rmgp
+
+#endif  // RMGP_STORE_VARINT_H_

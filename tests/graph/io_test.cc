@@ -89,6 +89,80 @@ TEST(GraphIoTest, WriteToBadPathFails) {
             StatusCode::kIOError);
 }
 
+void WriteText(const std::string& path, const std::string& body) {
+  std::ofstream f(path);
+  f << body;
+}
+
+Result<Graph> ReadText(const std::string& name, const std::string& body) {
+  const std::string path = TempPath(name);
+  WriteText(path, body);
+  auto loaded = ReadEdgeList(path);
+  std::remove(path.c_str());
+  return loaded;
+}
+
+TEST(GraphIoTest, RejectsNodeIdOverflow) {
+  // 0xFFFFFFFF itself is out: |V| = max_id + 1 must fit in NodeId.
+  auto r = ReadText("overflow.edges", "0 4294967295\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("NodeId"), std::string::npos);
+  EXPECT_FALSE(ReadText("overflow2.edges", "0 18446744073709551615\n").ok());
+}
+
+TEST(GraphIoTest, RejectsDeclaredNodeCountOverflow) {
+  EXPECT_FALSE(ReadText("hdr_overflow.edges",
+                        "# nodes 4294967296 edges 0\n")
+                   .ok());
+}
+
+TEST(GraphIoTest, RejectsNonFiniteAndNonPositiveWeights) {
+  for (const char* bad :
+       {"0 1 nan\n", "0 1 inf\n", "0 1 -inf\n", "0 1 0\n", "0 1 -2.5\n"}) {
+    auto r = ReadText("badw.edges", bad);
+    ASSERT_FALSE(r.ok()) << "accepted: " << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(GraphIoTest, RejectsDuplicateHeader) {
+  auto r = ReadText("twohdr.edges",
+                    "# nodes 4 edges 1\n0 1\n# nodes 9 edges 1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsTrailingGarbageAfterWeight) {
+  EXPECT_FALSE(ReadText("trail.edges", "0 1 2.0 surprise\n").ok());
+}
+
+TEST(GraphIoTest, RejectsNegativeNodeIds) {
+  EXPECT_FALSE(ReadText("negid.edges", "-1 2\n").ok());
+}
+
+TEST(GraphIoTest, ErrorsNameTheOffendingLine) {
+  auto r = ReadText("lineinfo.edges", "0 1\n1 2\nbroken here\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find(":3"), std::string::npos);
+}
+
+TEST(GraphIoTest, ToleratesCommentsBlanksAndCrLf) {
+  auto r = ReadText("mixed.edges",
+                    "#free-form comment\r\n\r\n% other style\n"
+                    "# nodes 5 edges 2\r\n0 1\r\n2 3 1.5\r\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_nodes(), 5u);
+  EXPECT_EQ(r->num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(r->EdgeWeight(2, 3), 1.5);
+}
+
+TEST(GraphIoTest, LastLineWithoutNewlineParses) {
+  auto r = ReadText("noeol.edges", "0 1\n1 2 0.5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(r->EdgeWeight(1, 2), 0.5);
+}
+
 TEST(GraphIoTest, EmptyGraphRoundTrips) {
   GraphBuilder b(0);
   Graph g = std::move(b).Build();

@@ -1,0 +1,62 @@
+#include "store/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace rmgp {
+namespace store {
+namespace {
+
+TEST(Crc32cTest, MatchesKnownVectors) {
+  // RFC 3720 B.4 / the canonical CRC-32C check value.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  const std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  const std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, StreamingSeedMatchesOneShot) {
+  std::string data;
+  for (int i = 0; i < 1000; ++i) data += static_cast<char>(i * 31);
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (const size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                             size_t{500}, data.size()}) {
+    const uint32_t first = Crc32c(data.data(), split);
+    const uint32_t chained =
+        Crc32c(data.data() + split, data.size() - split, first);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::vector<uint8_t> data(64);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  const uint32_t clean = Crc32c(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= 1u << bit;
+      EXPECT_NE(Crc32c(data.data(), data.size()), clean);
+      data[byte] ^= 1u << bit;
+    }
+  }
+}
+
+TEST(Crc32cTest, UnalignedInputMatchesAligned) {
+  std::vector<uint8_t> buf(128);
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<uint8_t>(i);
+  const uint32_t base = Crc32c(buf.data(), 64);
+  for (size_t shift = 1; shift < 8; ++shift) {
+    std::vector<uint8_t> storage(64 + 8);
+    std::memcpy(storage.data() + shift, buf.data(), 64);
+    EXPECT_EQ(Crc32c(storage.data() + shift, 64), base);
+  }
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace rmgp

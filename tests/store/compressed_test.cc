@@ -1,0 +1,149 @@
+#include "store/compressed.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "graph/generators.h"
+#include "store/varint.h"
+
+namespace rmgp {
+namespace store {
+namespace {
+
+Result<Graph> DecodeSections(const Graph& original,
+                             const CompressedSections& s) {
+  return DecodeCompressedGraph(
+      original.num_nodes(), original.num_edges(),
+      original.total_edge_weight(), s.old_of_new, s.skip, s.adj, s.weights,
+      s.unit_weights);
+}
+
+TEST(CompressedCodecTest, RoundTripsUnitAndWeightedGraphs) {
+  const Graph unit = BarabasiAlbert(2000, 5, 31);
+  const Graph weighted = RandomizeWeights(unit, 0.25, 4.0, 37);
+  for (const Graph* g : {&unit, &weighted}) {
+    const CompressedSections s = EncodeCompressed(*g);
+    EXPECT_EQ(s.unit_weights, g == &unit);
+    auto back = DecodeSections(*g, s);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ASSERT_EQ(back->num_nodes(), g->num_nodes());
+    ASSERT_EQ(back->num_edges(), g->num_edges());
+    EXPECT_EQ(back->total_edge_weight(), g->total_edge_weight());
+    for (NodeId v = 0; v < g->num_nodes(); ++v) {
+      const auto a = g->neighbors(v);
+      const auto b = back->neighbors(v);
+      ASSERT_EQ(a.size(), b.size()) << "node " << v;
+      for (size_t k = 0; k < a.size(); ++k) {
+        EXPECT_EQ(a[k].node, b[k].node);
+        EXPECT_EQ(a[k].weight, b[k].weight);
+      }
+    }
+  }
+}
+
+TEST(CompressedCodecTest, RelabelingPutsHubsFirst) {
+  const Graph g = BarabasiAlbert(1000, 4, 41);
+  const CompressedSections s = EncodeCompressed(g);
+  for (size_t r = 1; r < s.old_of_new.size(); ++r) {
+    EXPECT_GE(g.degree(s.old_of_new[r - 1]), g.degree(s.old_of_new[r]))
+        << "relabel order must be degree-descending";
+  }
+}
+
+TEST(CompressedCodecTest, ViewMatchesFullDecodeOnEveryNode) {
+  const Graph g =
+      RandomizeWeights(WattsStrogatz(700, 6, 0.3, 43), 0.5, 1.5, 47);
+  const CompressedSections s = EncodeCompressed(g);
+  auto view = CompressedAdjacencyView::Create(
+      g.num_nodes(), g.num_edges(), s.old_of_new, s.skip, s.adj, s.weights,
+      s.unit_weights);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  std::vector<Neighbor> nbrs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_TRUE(view->Neighbors(v, &nbrs).ok()) << "node " << v;
+    const auto want = g.neighbors(v);
+    ASSERT_EQ(nbrs.size(), want.size()) << "node " << v;
+    for (size_t k = 0; k < want.size(); ++k) {
+      EXPECT_EQ(nbrs[k].node, want[k].node);
+      EXPECT_EQ(nbrs[k].weight, want[k].weight);
+    }
+  }
+}
+
+TEST(CompressedCodecTest, RejectsCorruptPermutation) {
+  const Graph g = BarabasiAlbert(100, 3, 53);
+  CompressedSections s = EncodeCompressed(g);
+  s.old_of_new[3] = s.old_of_new[5];  // repeated entry
+  EXPECT_FALSE(DecodeSections(g, s).ok());
+  s = EncodeCompressed(g);
+  s.old_of_new[0] = 100;  // out of range
+  EXPECT_FALSE(DecodeSections(g, s).ok());
+}
+
+TEST(CompressedCodecTest, RejectsTruncatedStream) {
+  const Graph g = BarabasiAlbert(100, 3, 59);
+  CompressedSections s = EncodeCompressed(g);
+  s.adj.pop_back();
+  EXPECT_FALSE(DecodeSections(g, s).ok());
+}
+
+TEST(CompressedCodecTest, RejectsTrailingStreamGarbage) {
+  const Graph g = BarabasiAlbert(100, 3, 61);
+  CompressedSections s = EncodeCompressed(g);
+  s.adj.push_back(0x00);
+  EXPECT_FALSE(DecodeSections(g, s).ok());
+}
+
+TEST(CompressedCodecTest, RejectsStaleSkipBlocks) {
+  const Graph g = BarabasiAlbert(500, 3, 67);
+  CompressedSections s = EncodeCompressed(g);
+  ASSERT_GT(s.skip.size(), 2u);
+  s.skip[1].byte_offset += 1;
+  EXPECT_FALSE(DecodeSections(g, s).ok());
+}
+
+TEST(CompressedCodecTest, RejectsNonFiniteWeights) {
+  const Graph g =
+      RandomizeWeights(BarabasiAlbert(100, 3, 71), 0.5, 1.5, 73);
+  CompressedSections s = EncodeCompressed(g);
+  ASSERT_FALSE(s.unit_weights);
+  s.weights[0] = -1.0;
+  EXPECT_FALSE(DecodeSections(g, s).ok());
+  s.weights[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(DecodeSections(g, s).ok());
+}
+
+TEST(CompressedCodecTest, RejectsSelfLoopInStream) {
+  // Hand-craft a 2-node stream where node 0 lists itself.
+  std::vector<uint32_t> perm = {0, 1};
+  std::vector<uint8_t> adj;
+  AppendVarint(1, &adj);  // degree of relabeled node 0
+  AppendVarint(0, &adj);  // neighbor 0 == self
+  AppendVarint(1, &adj);  // degree of relabeled node 1
+  AppendVarint(0, &adj);  // neighbor 0
+  std::vector<SkipBlock> skip = {{0, 0}, {adj.size(), 2}};
+  auto r = DecodeCompressedGraph(2, 1, 1.0, perm, skip, adj, {}, true);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("self-loop"), std::string::npos);
+}
+
+TEST(CompressedCodecTest, AcceptsHandCraftedValidStream) {
+  // 2 nodes, 1 unit edge: node 0 lists 1, node 1 lists 0.
+  std::vector<uint32_t> perm = {0, 1};
+  std::vector<uint8_t> adj;
+  AppendVarint(1, &adj);
+  AppendVarint(1, &adj);  // node 0 → neighbor 1
+  AppendVarint(1, &adj);
+  AppendVarint(0, &adj);  // node 1 → neighbor 0
+  std::vector<SkipBlock> skip = {{0, 0}, {adj.size(), 2}};
+  auto r = DecodeCompressedGraph(2, 1, 1.0, perm, skip, adj, {}, true);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_edges(), 1u);
+  EXPECT_EQ(r->EdgeWeight(0, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace rmgp

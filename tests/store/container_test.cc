@@ -1,0 +1,492 @@
+// Container format round-trip and hostile-input tests: every bench
+// generator topology must survive edge-list → container → Graph (plain
+// and compressed) bit-identically, and every class of corruption —
+// truncation, bit flips, hostile headers and tables — must be rejected
+// with a Status, never a crash or an out-of-bounds read.
+
+#include "store/container.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "store/checksum.h"
+#include "store/format.h"
+#include "store/storage.h"
+
+namespace rmgp {
+namespace store {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Bit-identical graph equality: structure, weight bit patterns, and the
+/// header-carried total edge weight.
+void ExpectBitIdentical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.total_edge_weight(), b.total_edge_weight());
+  ASSERT_EQ(a.offsets().size(), b.offsets().size());
+  for (size_t i = 0; i < a.offsets().size(); ++i) {
+    ASSERT_EQ(a.offsets()[i], b.offsets()[i]) << "offset " << i;
+  }
+  for (size_t i = 0; i < a.adjacency().size(); ++i) {
+    ASSERT_EQ(a.adjacency()[i].node, b.adjacency()[i].node) << "entry " << i;
+    ASSERT_EQ(a.adjacency()[i].weight, b.adjacency()[i].weight)
+        << "entry " << i;
+  }
+}
+
+/// Reads the container file into an 8-byte-aligned buffer for FromBuffer
+/// corruption tests.
+std::vector<uint64_t> ReadFileAligned(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint64_t> buf((static_cast<size_t>(size) + 7) / 8 + 1, 0);
+  EXPECT_EQ(std::fread(buf.data(), 1, static_cast<size_t>(size), f),
+            static_cast<size_t>(size));
+  std::fclose(f);
+  buf.back() = static_cast<uint64_t>(size);  // smuggle the byte size
+  return buf;
+}
+
+size_t AlignedSize(const std::vector<uint64_t>& buf) {
+  return static_cast<size_t>(buf.back());
+}
+
+const uint8_t* AlignedData(const std::vector<uint64_t>& buf) {
+  return reinterpret_cast<const uint8_t*>(buf.data());
+}
+
+struct TopologyCase {
+  const char* name;
+  Graph graph;
+};
+
+std::vector<TopologyCase> BenchTopologies() {
+  std::vector<TopologyCase> cases;
+  cases.push_back({"ba-small", BarabasiAlbert(200, 3, 7)});
+  cases.push_back({"ba-mid", BarabasiAlbert(5000, 4, 11)});
+  cases.push_back({"ws", WattsStrogatz(1000, 6, 0.2, 13)});
+  cases.push_back({"er", ErdosRenyi(800, 0.01, 17)});
+  cases.push_back(
+      {"planted", PlantedPartition(600, 6, 0.05, 0.005, 19, nullptr)});
+  cases.push_back({"weighted-ba",
+                   RandomizeWeights(BarabasiAlbert(500, 3, 23), 0.1, 2.0,
+                                    29)});
+  cases.push_back({"star-weighted", [] {
+                     GraphBuilder b(64);
+                     for (NodeId v = 1; v < 64; ++v) {
+                       EXPECT_TRUE(b.AddEdge(0, v, 0.25 * v).ok());
+                     }
+                     return std::move(b).Build();
+                   }()});
+  return cases;
+}
+
+TEST(ContainerRoundTrip, PlainBitIdenticalAcrossBenchTopologies) {
+  for (auto& tc : BenchTopologies()) {
+    SCOPED_TRACE(tc.name);
+    const std::string path = TempPath(std::string("plain_") + tc.name);
+    ASSERT_TRUE(WriteContainer(tc.graph, path, {}).ok());
+
+    OpenOptions open;
+    open.verify_checksums = true;
+    open.deep_validate = true;
+    auto c = Container::Open(path, open);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    EXPECT_FALSE(c->compressed());
+    EXPECT_EQ(c->num_nodes(), tc.graph.num_nodes());
+    EXPECT_EQ(c->num_edges(), tc.graph.num_edges());
+
+    auto mapped = c->LoadMapped();
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    EXPECT_TRUE(mapped->is_external());
+    ExpectBitIdentical(tc.graph, *mapped);
+
+    auto decoded = c->Decode();
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_FALSE(decoded->is_external());
+    ExpectBitIdentical(tc.graph, *decoded);
+  }
+}
+
+TEST(ContainerRoundTrip, CompressedBitIdenticalAcrossBenchTopologies) {
+  for (auto& tc : BenchTopologies()) {
+    SCOPED_TRACE(tc.name);
+    const std::string path = TempPath(std::string("comp_") + tc.name);
+    PackOptions pack;
+    pack.compress = true;
+    ASSERT_TRUE(WriteContainer(tc.graph, path, pack).ok());
+
+    OpenOptions open;
+    open.verify_checksums = true;
+    auto c = Container::Open(path, open);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    EXPECT_TRUE(c->compressed());
+    auto decoded = c->Decode();
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ExpectBitIdentical(tc.graph, *decoded);
+
+    EXPECT_EQ(c->LoadMapped().status().code(),
+              StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(ContainerRoundTrip, CompressedIsSmallerThanPlainOnSocialGraphs) {
+  const Graph g = BarabasiAlbert(20000, 8, 3);
+  const std::string plain = TempPath("size_plain.rmgp");
+  const std::string comp = TempPath("size_comp.rmgp");
+  ASSERT_TRUE(WriteContainer(g, plain, {}).ok());
+  PackOptions pack;
+  pack.compress = true;
+  ASSERT_TRUE(WriteContainer(g, comp, pack).ok());
+  auto cp = Container::Open(plain, {});
+  auto cc = Container::Open(comp, {});
+  ASSERT_TRUE(cp.ok());
+  ASSERT_TRUE(cc.ok());
+  // Unit-weight social graph: the varint stream should be several times
+  // smaller than the 16-byte-per-entry raw adjacency.
+  EXPECT_LT(cc->file_size() * 3, cp->file_size());
+}
+
+TEST(ContainerRoundTrip, EmptyGraph) {
+  for (const bool compress : {false, true}) {
+    SCOPED_TRACE(compress ? "compressed" : "plain");
+    const std::string path = TempPath("empty.rmgp");
+    const Graph empty;
+    PackOptions pack;
+    pack.compress = compress;
+    ASSERT_TRUE(WriteContainer(empty, path, pack).ok());
+    OpenOptions open;
+    open.verify_checksums = true;
+    open.deep_validate = true;
+    auto c = Container::Open(path, open);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    EXPECT_EQ(c->num_nodes(), 0u);
+    EXPECT_EQ(c->num_edges(), 0u);
+    auto back = c->Decode();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->num_nodes(), 0u);
+    EXPECT_EQ(back->num_edges(), 0u);
+  }
+}
+
+TEST(ContainerRoundTrip, SingleNodeGraph) {
+  GraphBuilder b(1);
+  const Graph g = std::move(b).Build();
+  for (const bool compress : {false, true}) {
+    SCOPED_TRACE(compress ? "compressed" : "plain");
+    const std::string path = TempPath("single.rmgp");
+    PackOptions pack;
+    pack.compress = compress;
+    ASSERT_TRUE(WriteContainer(g, path, pack).ok());
+    auto c = Container::Open(path, {});
+    ASSERT_TRUE(c.ok());
+    auto back = c->Decode();
+    ASSERT_TRUE(back.ok());
+    ExpectBitIdentical(g, *back);
+    EXPECT_EQ(back->num_nodes(), 1u);
+    EXPECT_EQ(back->degree(0), 0u);
+  }
+}
+
+TEST(ContainerRoundTrip, IsolatedTrailingVertices) {
+  // Nodes 5..9 have no edges; the offsets tail must survive the trip.
+  GraphBuilder b(10);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 1.5).ok());
+  ASSERT_TRUE(b.AddEdge(3, 4, 2.5).ok());
+  const Graph g = std::move(b).Build();
+  for (const bool compress : {false, true}) {
+    SCOPED_TRACE(compress ? "compressed" : "plain");
+    const std::string path = TempPath("isolated.rmgp");
+    PackOptions pack;
+    pack.compress = compress;
+    ASSERT_TRUE(WriteContainer(g, path, pack).ok());
+    OpenOptions open;
+    open.deep_validate = true;
+    auto c = Container::Open(path, open);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    auto back = c->Decode();
+    ASSERT_TRUE(back.ok());
+    ExpectBitIdentical(g, *back);
+    EXPECT_EQ(back->num_nodes(), 10u);
+    EXPECT_EQ(back->degree(9), 0u);
+  }
+}
+
+TEST(ContainerRoundTrip, EdgeListToContainerToGraphBitIdentical) {
+  // The satellite #2 pipeline: edge list → container → Graph must equal
+  // the directly parsed graph, including for graphs with trailing
+  // isolated vertices (the header's node count carries them).
+  GraphBuilder b(8);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 0.125).ok());
+  const Graph g = std::move(b).Build();
+  const std::string text = TempPath("pipe.txt");
+  const std::string bin = TempPath("pipe.rmgp");
+  ASSERT_TRUE(WriteEdgeList(g, text).ok());
+  auto parsed = ReadEdgeList(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(WriteContainer(*parsed, bin, {}).ok());
+  auto c = Container::Open(bin, {});
+  ASSERT_TRUE(c.ok());
+  auto mapped = c->LoadMapped();
+  ASSERT_TRUE(mapped.ok());
+  ExpectBitIdentical(g, *mapped);
+}
+
+TEST(ContainerRoundTrip, MappedGraphCopyAndMoveShareTheMapping) {
+  const Graph g = BarabasiAlbert(300, 3, 5);
+  const std::string path = TempPath("copymove.rmgp");
+  ASSERT_TRUE(WriteContainer(g, path, {}).ok());
+  Graph outlives;
+  {
+    auto c = Container::Open(path, {});
+    ASSERT_TRUE(c.ok());
+    auto mapped = c->LoadMapped();
+    ASSERT_TRUE(mapped.ok());
+    Graph copy = *mapped;           // copy shares the mapping
+    EXPECT_TRUE(copy.is_external());
+    ExpectBitIdentical(g, copy);
+    outlives = std::move(copy);     // move transfers it
+    // The Container (and its reference to the mapping) dies here; the
+    // Graph's shared backing must keep the pages mapped.
+  }
+  EXPECT_TRUE(outlives.is_external());
+  ExpectBitIdentical(g, outlives);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile input
+// ---------------------------------------------------------------------------
+
+class ContainerHostileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = BarabasiAlbert(400, 3, 9);
+    path_ = TempPath("hostile.rmgp");
+    ASSERT_TRUE(WriteContainer(graph_, path_, {}).ok());
+    buf_ = ReadFileAligned(path_);
+    size_ = AlignedSize(buf_);
+  }
+
+  /// Opens the (possibly corrupted) in-memory image with full validation.
+  Status OpenBuffer() {
+    OpenOptions open;
+    open.verify_checksums = true;
+    open.deep_validate = true;
+    auto c = Container::FromBuffer(AlignedData(buf_), size_, open);
+    return c.ok() ? Status::OK() : c.status();
+  }
+
+  uint8_t* Byte(size_t i) {
+    return reinterpret_cast<uint8_t*>(buf_.data()) + i;
+  }
+
+  Graph graph_;
+  std::string path_;
+  std::vector<uint64_t> buf_;
+  size_t size_ = 0;
+};
+
+TEST_F(ContainerHostileTest, AcceptsTheCleanImage) {
+  EXPECT_TRUE(OpenBuffer().ok());
+}
+
+TEST_F(ContainerHostileTest, RejectsEveryTruncation) {
+  // Every prefix of the file must fail cleanly (the fuzz harness covers
+  // the same property on arbitrary images).
+  for (size_t cut : {size_t{0}, size_t{1}, size_t{7}, size_t{63},
+                     sizeof(ContainerHeader) - 1, sizeof(ContainerHeader),
+                     sizeof(ContainerHeader) + sizeof(SectionDesc),
+                     size_ / 2, size_ - 1}) {
+    OpenOptions open;
+    open.verify_checksums = true;
+    auto c = Container::FromBuffer(AlignedData(buf_), cut, open);
+    EXPECT_FALSE(c.ok()) << "cut at " << cut;
+  }
+}
+
+TEST_F(ContainerHostileTest, RejectsBadMagic) {
+  (*Byte(0)) ^= 0xFF;
+  const Status st = OpenBuffer();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("magic"), std::string::npos);
+}
+
+TEST_F(ContainerHostileTest, RejectsUnknownVersion) {
+  ContainerHeader h;
+  std::memcpy(&h, Byte(0), sizeof(h));
+  h.version = 99;
+  h.header_crc = Crc32c(&h, kHeaderCrcBytes);
+  std::memcpy(Byte(0), &h, sizeof(h));
+  EXPECT_NE(OpenBuffer().message().find("version"), std::string::npos);
+}
+
+TEST_F(ContainerHostileTest, RejectsForeignEndianness) {
+  ContainerHeader h;
+  std::memcpy(&h, Byte(0), sizeof(h));
+  h.endian = 0x04030201u;
+  h.header_crc = Crc32c(&h, kHeaderCrcBytes);
+  std::memcpy(Byte(0), &h, sizeof(h));
+  EXPECT_NE(OpenBuffer().message().find("byte order"), std::string::npos);
+}
+
+TEST_F(ContainerHostileTest, RejectsHeaderCrcMismatch) {
+  // Flip a header byte without fixing the CRC.
+  (*Byte(24)) ^= 0x01;  // num_nodes low byte
+  EXPECT_NE(OpenBuffer().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(ContainerHostileTest, RejectsUnknownFlags) {
+  ContainerHeader h;
+  std::memcpy(&h, Byte(0), sizeof(h));
+  h.flags |= 1u << 31;
+  h.header_crc = Crc32c(&h, kHeaderCrcBytes);
+  std::memcpy(Byte(0), &h, sizeof(h));
+  EXPECT_NE(OpenBuffer().message().find("flags"), std::string::npos);
+}
+
+TEST_F(ContainerHostileTest, RejectsOversizedSectionTable) {
+  ContainerHeader h;
+  std::memcpy(&h, Byte(0), sizeof(h));
+  h.section_count = kMaxSections + 1;
+  h.header_crc = Crc32c(&h, kHeaderCrcBytes);
+  std::memcpy(Byte(0), &h, sizeof(h));
+  EXPECT_NE(OpenBuffer().message().find("table"), std::string::npos);
+}
+
+TEST_F(ContainerHostileTest, RejectsNodeCountOverflowingNodeId) {
+  ContainerHeader h;
+  std::memcpy(&h, Byte(0), sizeof(h));
+  h.num_nodes = uint64_t{1} << 33;
+  h.header_crc = Crc32c(&h, kHeaderCrcBytes);
+  std::memcpy(Byte(0), &h, sizeof(h));
+  EXPECT_NE(OpenBuffer().message().find("NodeId"), std::string::npos);
+}
+
+TEST_F(ContainerHostileTest, RejectsSectionOutsideTheFile) {
+  SectionDesc d;
+  std::memcpy(&d, Byte(sizeof(ContainerHeader)), sizeof(d));
+  d.file_offset = AlignUp(size_ + kSectionAlign);
+  std::memcpy(Byte(sizeof(ContainerHeader)), &d, sizeof(d));
+  EXPECT_NE(OpenBuffer().message().find("outside"), std::string::npos);
+}
+
+TEST_F(ContainerHostileTest, RejectsMisalignedSection) {
+  SectionDesc d;
+  std::memcpy(&d, Byte(sizeof(ContainerHeader)), sizeof(d));
+  d.file_offset += 8;
+  std::memcpy(Byte(sizeof(ContainerHeader)), &d, sizeof(d));
+  EXPECT_NE(OpenBuffer().message().find("misaligned"), std::string::npos);
+}
+
+TEST_F(ContainerHostileTest, RejectsDuplicateSections) {
+  // Point the second section's kind at the first's.
+  SectionDesc d;
+  std::memcpy(&d, Byte(sizeof(ContainerHeader) + sizeof(d)), sizeof(d));
+  d.kind = static_cast<uint32_t>(SectionKind::kOffsets);
+  std::memcpy(Byte(sizeof(ContainerHeader) + sizeof(d)), &d, sizeof(d));
+  EXPECT_NE(OpenBuffer().message().find("duplicate"), std::string::npos);
+}
+
+TEST_F(ContainerHostileTest, PayloadBitFlipsAreCaughtByChecksums) {
+  // Flip one bit in each section's payload; the default open (no
+  // checksum pass) stays memory-safe, the verifying open must fail.
+  for (const size_t at : {uint64_t{128}, size_ - 16}) {
+    SCOPED_TRACE(at);
+    (*Byte(at)) ^= 0x10;
+    auto lax = Container::FromBuffer(AlignedData(buf_), size_, {});
+    if (lax.ok()) {
+      // Still parseable — the corruption is in payload, not structure.
+      OpenOptions verify;
+      verify.verify_checksums = true;
+      auto strict = Container::FromBuffer(AlignedData(buf_), size_, verify);
+      EXPECT_FALSE(strict.ok());
+      EXPECT_NE(strict.status().message().find("checksum"),
+                std::string::npos);
+    }
+    (*Byte(at)) ^= 0x10;
+  }
+}
+
+TEST_F(ContainerHostileTest, RejectsNonMonotoneOffsets) {
+  // Corrupt the offsets payload and fix up its checksum so only the
+  // always-on monotonicity scan can catch it.
+  SectionDesc d;
+  std::memcpy(&d, Byte(sizeof(ContainerHeader)), sizeof(d));
+  ASSERT_EQ(d.kind, static_cast<uint32_t>(SectionKind::kOffsets));
+  uint64_t bad = uint64_t{1} << 60;
+  std::memcpy(Byte(d.file_offset + 8 * 10), &bad, sizeof(bad));
+  d.crc = Crc32c(Byte(d.file_offset), d.byte_size);
+  std::memcpy(Byte(sizeof(ContainerHeader)), &d, sizeof(d));
+  auto c = Container::FromBuffer(AlignedData(buf_), size_, {});
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.status().message().find("monotone"), std::string::npos);
+}
+
+TEST_F(ContainerHostileTest, DeepValidateCatchesOutOfRangeNeighborIds) {
+  // Corrupt one adjacency node id (beyond num_nodes), fix the checksum:
+  // the default open trusts the payload, deep validation must not.
+  SectionDesc d;
+  std::memcpy(&d, Byte(sizeof(ContainerHeader) + sizeof(d)), sizeof(d));
+  ASSERT_EQ(d.kind, static_cast<uint32_t>(SectionKind::kAdjacency));
+  uint32_t bad = 0xFFFFFF00u;
+  std::memcpy(Byte(d.file_offset), &bad, sizeof(bad));
+  d.crc = Crc32c(Byte(d.file_offset), d.byte_size);
+  std::memcpy(Byte(sizeof(ContainerHeader) + sizeof(d)), &d, sizeof(d));
+
+  auto lax = Container::FromBuffer(AlignedData(buf_), size_, {});
+  EXPECT_TRUE(lax.ok()) << "structural checks alone accept payload bytes";
+  OpenOptions deep;
+  deep.deep_validate = true;
+  auto strict = Container::FromBuffer(AlignedData(buf_), size_, deep);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("out of range"),
+            std::string::npos);
+}
+
+TEST_F(ContainerHostileTest, RejectsMisalignedBuffer) {
+  std::vector<uint8_t> raw(size_ + 1);
+  std::memcpy(raw.data() + 1, AlignedData(buf_), size_);
+  auto c = Container::FromBuffer(raw.data() + 1, size_, {});
+  // Either the +1 pointer happens to be 8-aligned (vector base 7 mod 8 —
+  // impossible: operator new is 16-aligned) or it must be rejected.
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.status().message().find("aligned"), std::string::npos);
+}
+
+TEST(ContainerOpenTest, RejectsMissingFile) {
+  auto c = Container::Open(TempPath("does_not_exist.rmgp"), {});
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kIOError);
+}
+
+TEST(ContainerOpenTest, RejectsNonContainerFile) {
+  const std::string path = TempPath("not_a_container.txt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const std::string text(4096, 'x');
+  ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), f), text.size());
+  std::fclose(f);
+  auto c = Container::Open(path, {});
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.status().message().find("magic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace rmgp

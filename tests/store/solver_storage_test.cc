@@ -1,0 +1,125 @@
+// Storage-agnosticism gate: all six solver variants must produce
+// bit-identical results (assignment, Φ, objective) whether the session
+// graph lives in owned CSR vectors (kInRam), in an mmap'ed plain container
+// (kMapped), or was decoded from a compressed container — the tentpole
+// acceptance criterion of the binary graph store.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solver.h"
+#include "graph/generators.h"
+#include "store/container.h"
+#include "store/storage.h"
+#include "util/rng.h"
+
+namespace rmgp {
+namespace store {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+struct NamedSolve {
+  const char* name;
+  Result<SolveResult> (*run)(const Instance&, const SolverOptions&);
+};
+
+constexpr NamedSolve kSolvers[] = {
+    {"RMGP_b", SolveBaseline},
+    {"RMGP_se", SolveStrategyElimination},
+    {"RMGP_is", SolveIndependentSets},
+    {"RMGP_gt", SolveGlobalTable},
+    {"RMGP_all", SolveAll},
+    {"RMGP_pq", SolveBestImprovement},
+};
+
+class SolverStorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    in_ram_ = RandomizeWeights(BarabasiAlbert(600, 4, 101), 0.25, 2.0, 103);
+    const std::string plain = TempPath("solver_plain.rmgp");
+    const std::string comp = TempPath("solver_comp.rmgp");
+    ASSERT_TRUE(WriteContainer(in_ram_, plain, {}).ok());
+    PackOptions pack;
+    pack.compress = true;
+    ASSERT_TRUE(WriteContainer(in_ram_, comp, pack).ok());
+
+    LoadOptions mapped;
+    mapped.backend = StorageBackend::kMapped;
+    auto m = LoadGraph(plain, mapped);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    mapped_ = std::move(m->graph);
+    ASSERT_TRUE(mapped_.is_external());
+
+    auto c = LoadGraph(comp, {});
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    decoded_ = std::move(c->graph);
+
+    const NodeId n = in_ram_.num_nodes();
+    const ClassId k = 12;
+    Rng rng(107);
+    std::vector<double> costs(static_cast<size_t>(n) * k);
+    for (double& cst : costs) cst = rng.UniformDouble(0.0, 2.0);
+    costs_ = std::make_shared<DenseCostMatrix>(n, k, std::move(costs));
+  }
+
+  Result<SolveResult> RunOn(const Graph& g, const NamedSolve& solver) const {
+    auto inst = Instance::Create(&g, costs_, 0.5);
+    if (!inst.ok()) return inst.status();
+    SolverOptions opt;
+    opt.init = InitPolicy::kClosestClass;
+    opt.order = OrderPolicy::kNodeId;
+    return solver.run(*inst, opt);
+  }
+
+  Graph in_ram_, mapped_, decoded_;
+  std::shared_ptr<const CostProvider> costs_;
+};
+
+TEST_F(SolverStorageTest, AllSixSolversBitIdenticalAcrossBackends) {
+  for (const NamedSolve& solver : kSolvers) {
+    SCOPED_TRACE(solver.name);
+    auto ram = RunOn(in_ram_, solver);
+    ASSERT_TRUE(ram.ok()) << ram.status().ToString();
+    ASSERT_TRUE(ram->converged);
+
+    for (const Graph* g : {&mapped_, &decoded_}) {
+      auto other = RunOn(*g, solver);
+      ASSERT_TRUE(other.ok()) << other.status().ToString();
+      EXPECT_TRUE(other->converged);
+      // Φ and the objective must match to the last bit — same arithmetic
+      // over the same values, only the storage differs.
+      EXPECT_EQ(other->potential, ram->potential);
+      EXPECT_EQ(other->objective.total, ram->objective.total);
+      EXPECT_EQ(other->rounds, ram->rounds);
+      ASSERT_EQ(other->assignment.size(), ram->assignment.size());
+      for (size_t v = 0; v < ram->assignment.size(); ++v) {
+        ASSERT_EQ(other->assignment[v], ram->assignment[v]) << "user " << v;
+      }
+    }
+  }
+}
+
+TEST_F(SolverStorageTest, WeightedDegreeAndEdgeLookupsMatch) {
+  for (const Graph* g : {&mapped_, &decoded_}) {
+    for (NodeId v = 0; v < in_ram_.num_nodes(); v += 37) {
+      EXPECT_EQ(g->weighted_degree(v), in_ram_.weighted_degree(v));
+      EXPECT_EQ(g->degree(v), in_ram_.degree(v));
+      for (const Neighbor& nb : in_ram_.neighbors(v)) {
+        EXPECT_EQ(g->EdgeWeight(v, nb.node), nb.weight);
+      }
+    }
+    EXPECT_EQ(g->max_degree(), in_ram_.max_degree());
+    EXPECT_EQ(g->average_degree(), in_ram_.average_degree());
+  }
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace rmgp

@@ -1,0 +1,134 @@
+#include "store/storage.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "store/container.h"
+
+namespace rmgp {
+namespace store {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = RandomizeWeights(BarabasiAlbert(800, 4, 77), 0.5, 1.5, 79);
+    text_ = TempPath("storage.txt");
+    plain_ = TempPath("storage_plain.rmgp");
+    comp_ = TempPath("storage_comp.rmgp");
+    ASSERT_TRUE(WriteEdgeList(graph_, text_).ok());
+    ASSERT_TRUE(WriteContainer(graph_, plain_, {}).ok());
+    PackOptions pack;
+    pack.compress = true;
+    ASSERT_TRUE(WriteContainer(graph_, comp_, pack).ok());
+  }
+
+  void ExpectSameGraph(const Graph& got) {
+    ASSERT_EQ(got.num_nodes(), graph_.num_nodes());
+    ASSERT_EQ(got.num_edges(), graph_.num_edges());
+    EXPECT_EQ(got.total_edge_weight(), graph_.total_edge_weight());
+    for (NodeId v = 0; v < graph_.num_nodes(); v += 97) {
+      const auto a = graph_.neighbors(v);
+      const auto b = got.neighbors(v);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t k = 0; k < a.size(); ++k) {
+        EXPECT_EQ(a[k].node, b[k].node);
+        EXPECT_EQ(a[k].weight, b[k].weight);
+      }
+    }
+  }
+
+  Graph graph_;
+  std::string text_, plain_, comp_;
+};
+
+TEST_F(StorageTest, DetectsContainers) {
+  EXPECT_TRUE(IsContainerFile(plain_));
+  EXPECT_TRUE(IsContainerFile(comp_));
+  EXPECT_FALSE(IsContainerFile(text_));
+  EXPECT_FALSE(IsContainerFile(TempPath("missing.rmgp")));
+}
+
+TEST_F(StorageTest, AutoPicksTheNaturalBackendPerFile) {
+  auto t = LoadGraph(text_, {});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->backend, StorageBackend::kInRam);
+  EXPECT_GT(t->heap_bytes, 0u);
+  ExpectSameGraph(t->graph);
+
+  auto p = LoadGraph(plain_, {});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->backend, StorageBackend::kMapped);
+  EXPECT_EQ(p->heap_bytes, 0u);
+  EXPECT_TRUE(p->graph.is_external());
+  ExpectSameGraph(p->graph);
+
+  auto c = LoadGraph(comp_, {});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->backend, StorageBackend::kCompressed);
+  EXPECT_GT(c->heap_bytes, 0u);
+  ExpectSameGraph(c->graph);
+}
+
+TEST_F(StorageTest, ExplicitBackendsWork) {
+  LoadOptions ram;
+  ram.backend = StorageBackend::kInRam;
+  for (const std::string& path : {text_, plain_, comp_}) {
+    auto r = LoadGraph(path, ram);
+    ASSERT_TRUE(r.ok()) << path << ": " << r.status().ToString();
+    EXPECT_FALSE(r->graph.is_external());
+    ExpectSameGraph(r->graph);
+  }
+
+  LoadOptions mmap_backend;
+  mmap_backend.backend = StorageBackend::kMapped;
+  auto m = LoadGraph(plain_, mmap_backend);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->graph.is_external());
+  ExpectSameGraph(m->graph);
+}
+
+TEST_F(StorageTest, MismatchedBackendsErrorWithContext) {
+  LoadOptions mmap_backend;
+  mmap_backend.backend = StorageBackend::kMapped;
+  EXPECT_FALSE(LoadGraph(text_, mmap_backend).ok());
+  EXPECT_EQ(LoadGraph(comp_, mmap_backend).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  LoadOptions comp_backend;
+  comp_backend.backend = StorageBackend::kCompressed;
+  EXPECT_FALSE(LoadGraph(text_, comp_backend).ok());
+  EXPECT_FALSE(LoadGraph(plain_, comp_backend).ok());
+}
+
+TEST_F(StorageTest, VerifyAndDeepValidateOptionsPass) {
+  LoadOptions strict;
+  strict.verify_checksums = true;
+  strict.deep_validate = true;
+  for (const std::string& path : {plain_, comp_}) {
+    auto r = LoadGraph(path, strict);
+    EXPECT_TRUE(r.ok()) << path << ": " << r.status().ToString();
+  }
+}
+
+TEST(StorageBackendTest, NamesRoundTripThroughParse) {
+  for (const StorageBackend b :
+       {StorageBackend::kAuto, StorageBackend::kInRam,
+        StorageBackend::kMapped, StorageBackend::kCompressed}) {
+    auto parsed = ParseStorageBackend(StorageBackendName(b));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(ParseStorageBackend("tape").ok());
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace rmgp

@@ -1,0 +1,95 @@
+#include "store/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rmgp {
+namespace store {
+namespace {
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            16383,
+                            16384,
+                            (uint64_t{1} << 32) - 1,
+                            uint64_t{1} << 32,
+                            (uint64_t{1} << 63) - 1,
+                            uint64_t{1} << 63,
+                            std::numeric_limits<uint64_t>::max()};
+  for (const uint64_t v : cases) {
+    std::vector<uint8_t> buf;
+    AppendVarint(v, &buf);
+    EXPECT_EQ(buf.size(), VarintSize(v));
+    const uint8_t* p = buf.data();
+    uint64_t back = 0;
+    ASSERT_TRUE(DecodeVarint(&p, buf.data() + buf.size(), &back)) << v;
+    EXPECT_EQ(back, v);
+    EXPECT_EQ(p, buf.data() + buf.size());
+  }
+}
+
+TEST(VarintTest, RoundTripsDenseRange) {
+  std::vector<uint8_t> buf;
+  for (uint64_t v = 0; v < 4096; ++v) AppendVarint(v, &buf);
+  const uint8_t* p = buf.data();
+  const uint8_t* end = buf.data() + buf.size();
+  for (uint64_t v = 0; v < 4096; ++v) {
+    uint64_t back = 0;
+    ASSERT_TRUE(DecodeVarint(&p, end, &back));
+    EXPECT_EQ(back, v);
+  }
+  EXPECT_EQ(p, end);
+}
+
+TEST(VarintTest, RejectsTruncatedInput) {
+  std::vector<uint8_t> buf;
+  AppendVarint(std::numeric_limits<uint64_t>::max(), &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    const uint8_t* p = buf.data();
+    uint64_t v = 0;
+    EXPECT_FALSE(DecodeVarint(&p, buf.data() + cut, &v)) << cut;
+    EXPECT_EQ(p, buf.data()) << "p must not advance on failure";
+  }
+  const uint8_t* p = buf.data();
+  uint64_t v = 0;
+  EXPECT_FALSE(DecodeVarint(&p, p, &v));  // empty input
+}
+
+TEST(VarintTest, RejectsOverlongEncoding) {
+  // 10 continuation bytes never terminate a 64-bit value.
+  std::vector<uint8_t> buf(11, 0x80);
+  buf.back() = 0x00;
+  const uint8_t* p = buf.data();
+  uint64_t v = 0;
+  EXPECT_FALSE(DecodeVarint(&p, buf.data() + buf.size(), &v));
+  EXPECT_EQ(p, buf.data());
+}
+
+TEST(VarintTest, RejectsSixtyFourBitOverflow) {
+  // 2^64 encodes as 9 max-payload bytes plus a 10th byte of 2.
+  std::vector<uint8_t> buf(9, 0xFF);
+  buf.push_back(0x02);
+  const uint8_t* p = buf.data();
+  uint64_t v = 0;
+  EXPECT_FALSE(DecodeVarint(&p, buf.data() + buf.size(), &v));
+  EXPECT_EQ(p, buf.data());
+}
+
+TEST(VarintTest, AcceptsMaxValueTenByteForm) {
+  std::vector<uint8_t> buf(9, 0xFF);
+  buf.push_back(0x01);
+  const uint8_t* p = buf.data();
+  uint64_t v = 0;
+  ASSERT_TRUE(DecodeVarint(&p, buf.data() + buf.size(), &v));
+  EXPECT_EQ(v, std::numeric_limits<uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace rmgp

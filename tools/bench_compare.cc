@@ -8,6 +8,9 @@
 // Churn runs (BENCH_churn.json, rmgp_loadgen --churn): the serving gates
 // plus the incremental-vs-cold speedup shrinking below
 // --speedup-threshold × baseline, or either equilibrium going invalid.
+// Store runs (BENCH_store.json, bench_runner --store): the mmap-vs-parse
+// speedup shrinking below --speedup-threshold × baseline, or the
+// compression ratio collapsing (below 80% of baseline, or ≤ 1.0).
 // Solver runs with a /3 "kernels" section can additionally be gated with
 // --kernel-speedup-threshold: every SIMD row kernel of the *candidate*
 // must beat the scalar reference by the given absolute factor.
@@ -77,7 +80,8 @@ int CheckFile(const std::string& path) {
   const std::string tag =
       (schema != nullptr && schema->is_string()) ? schema->AsString() : "";
   if (tag != kBenchSchema && tag != kBenchSchemaV2 && tag != kBenchSchemaV1 &&
-      tag != kServingSchema && tag != kChurnSchema) {
+      tag != kServingSchema && tag != kChurnSchema && tag != kDistSchema &&
+      tag != kStoreSchema) {
     std::fprintf(stderr, "%s: unknown schema '%s'\n", path.c_str(),
                  tag.c_str());
     return 1;

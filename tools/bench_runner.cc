@@ -23,20 +23,65 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--quick] [--out FILE] [--reps N] [--warmup N]"
                " [--threads N] [--seed N]\n"
+               "       %s --store [--quick] [--out FILE] [--reps N]"
+               " [--seed N] [--users N]\n"
                "  --quick    small suite (n=300, k=8, 3 reps) for CI smoke\n"
-               "  --out      output path (default BENCH_solvers.json)\n"
+               "  --out      output path (default BENCH_solvers.json, or\n"
+               "             BENCH_store.json with --store)\n"
                "  --reps     timed repetitions per configuration\n"
                "  --warmup   untimed warm-up runs per configuration\n"
                "  --threads  worker threads for RMGP_is / RMGP_all\n"
-               "  --seed     base seed of the whole suite\n",
-               argv0);
+               "  --seed     base seed of the whole suite\n"
+               "  --store    run the graph-storage bench instead of the\n"
+               "             solver suite (text parse vs mmap vs compressed"
+               " decode)\n"
+               "  --users    graph size of the --store bench\n",
+               argv0, argv0);
   std::exit(2);
+}
+
+/// --store mode: the storage bench (text parse vs zero-parse mmap vs
+/// compressed decode) writing the rmgp-bench-store/1 document.
+int StoreMain(const StoreConfig& config, const std::string& out_path) {
+  auto result = RunStoreBench(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  Table table({"path", "file MB", "heap MB", "load ms (min)",
+               "load ms (mean)", "scan ms (min)", "Medges/s"});
+  for (const StoreRecord& r : result->records) {
+    table.AddRow({r.name,
+                  Table::Num(static_cast<double>(r.file_bytes) / 1e6, 1),
+                  Table::Num(static_cast<double>(r.heap_bytes) / 1e6, 1),
+                  Table::Num(r.load_ms_min), Table::Num(r.load_ms_mean),
+                  Table::Num(r.scan_ms_min),
+                  Table::Num(r.load_medges_per_sec, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("mmap-vs-parse speedup: %.1fx, compression ratio: %.2fx\n",
+              result->mmap_speedup, result->compression_ratio);
+
+  const Json doc = StoreToJson(config, result.value());
+  if (Status s = doc.WriteFile(out_path); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("(json: %s, %zu records)\n", out_path.c_str(),
+              result->records.size());
+  return 0;
 }
 
 int Main(int argc, char** argv) {
   SuiteConfig config;
-  std::string out_path = "BENCH_solvers.json";
+  std::string out_path;
   bool reps_given = false, warmup_given = false;
+  bool store = false, quick = false;
+  uint32_t reps_arg = 0;
+  uint64_t seed_arg = 0;
+  bool seed_given = false;
+  NodeId users_arg = 0;
 
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
@@ -44,6 +89,7 @@ int Main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
       const uint32_t reps = config.reps, warmup = config.warmup;
       config = QuickConfig();
       if (reps_given) config.reps = reps;
@@ -51,7 +97,8 @@ int Main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out_path = next();
     } else if (std::strcmp(argv[i], "--reps") == 0) {
-      config.reps = static_cast<uint32_t>(std::atoi(next()));
+      reps_arg = static_cast<uint32_t>(std::atoi(next()));
+      config.reps = reps_arg;
       reps_given = true;
     } else if (std::strcmp(argv[i], "--warmup") == 0) {
       config.warmup = static_cast<uint32_t>(std::atoi(next()));
@@ -59,11 +106,29 @@ int Main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       config.num_threads = static_cast<uint32_t>(std::atoi(next()));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      config.seed = static_cast<uint64_t>(std::atoll(next()));
+      seed_arg = static_cast<uint64_t>(std::atoll(next()));
+      config.seed = seed_arg;
+      seed_given = true;
+    } else if (std::strcmp(argv[i], "--store") == 0) {
+      store = true;
+    } else if (std::strcmp(argv[i], "--users") == 0) {
+      users_arg = static_cast<NodeId>(std::atoll(next()));
     } else {
       Usage(argv[0]);
     }
   }
+
+  if (store) {
+    StoreConfig store_config;
+    if (quick) store_config = QuickStoreConfig();
+    if (reps_given) store_config.reps = reps_arg;
+    if (seed_given) store_config.seed = seed_arg;
+    if (users_arg > 0) store_config.num_users = users_arg;
+    if (store_config.reps == 0) Usage(argv[0]);
+    return StoreMain(store_config,
+                     out_path.empty() ? "BENCH_store.json" : out_path);
+  }
+  if (out_path.empty()) out_path = "BENCH_solvers.json";
   if (config.reps == 0) Usage(argv[0]);
 
   const std::vector<BenchRecord> records = RunSuite(config);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <utility>
 
@@ -10,6 +11,9 @@
 #include "core/instance.h"
 #include "core/kernels.h"
 #include "graph/generators.h"
+#include "graph/io.h"
+#include "store/container.h"
+#include "store/storage.h"
 #include "util/aligned.h"
 #include "util/build_info.h"
 #include "util/logging.h"
@@ -293,6 +297,95 @@ CompareReport CompareDist(const Json& baseline, const Json& candidate,
   return report;
 }
 
+/// Store-document diff: records matched by name, wall times gated only
+/// through ratios (both sides of a ratio move with the host machine, the
+/// quotient does not). Gates: the candidate must keep at least
+/// speedup_threshold × the baseline's mmap-vs-parse speedup, its
+/// compression ratio may shrink to 80% of the baseline's, and — as an
+/// absolute invariant — the compressed container must actually be smaller
+/// than the plain one.
+CompareReport CompareStore(const Json& baseline, const Json& candidate,
+                           const CompareOptions& options) {
+  CompareReport report;
+  report.ok = true;
+
+  const Json& cand_records = candidate.At("records");
+  const auto find_candidate = [&](const std::string& name) -> const Json* {
+    for (size_t i = 0; i < cand_records.size(); ++i) {
+      const Json& r = cand_records[i];
+      if (r.At("name").AsString() == name) return &r;
+    }
+    return nullptr;
+  };
+
+  Table table({"record", "bytes base", "bytes cand", "load ms base",
+               "load ms cand", "verdict"});
+  const Json& base_records = baseline.At("records");
+  for (size_t i = 0; i < base_records.size(); ++i) {
+    const Json& b = base_records[i];
+    const std::string name = b.At("name").AsString();
+    const Json* c = find_candidate(name);
+    if (c == nullptr) {
+      report.ok = false;
+      report.regressions.push_back({name, "missing", 0.0, 0.0});
+      table.AddRow({name, "", "", "", "", "MISSING"});
+      continue;
+    }
+    table.AddRow({name, Table::Num(b.At("file_bytes").AsDouble(), 0),
+                  Table::Num(c->At("file_bytes").AsDouble(), 0),
+                  Table::Num(b.At("load_ms_min").AsDouble()),
+                  Table::Num(c->At("load_ms_min").AsDouble()), "ok"});
+  }
+  report.summary = table.ToString();
+
+  const auto ratios_of = [](const Json& doc) -> const Json* {
+    const Json* r = doc.is_object() ? doc.Find("ratios") : nullptr;
+    if (r == nullptr || !r->is_object() ||
+        r->Find("mmap_speedup") == nullptr ||
+        r->Find("compression_ratio") == nullptr) {
+      return nullptr;
+    }
+    return r;
+  };
+  const Json* base_ratios = ratios_of(baseline);
+  const Json* cand_ratios = ratios_of(candidate);
+  if (base_ratios == nullptr || cand_ratios == nullptr) {
+    report.ok = false;
+    report.regressions.push_back({"ratios", "missing", 0.0, 0.0});
+    report.summary += "ratios section missing from " +
+                      std::string(base_ratios == nullptr ? "baseline"
+                                                         : "candidate") +
+                      "\n";
+    return report;
+  }
+  const double base_speedup = base_ratios->At("mmap_speedup").AsDouble();
+  const double cand_speedup = cand_ratios->At("mmap_speedup").AsDouble();
+  const double base_comp = base_ratios->At("compression_ratio").AsDouble();
+  const double cand_comp = cand_ratios->At("compression_ratio").AsDouble();
+  if (options.speedup_threshold >= 0.0 &&
+      cand_speedup < base_speedup * options.speedup_threshold) {
+    report.ok = false;
+    report.regressions.push_back(
+        {"mmap_speedup", "speedup", base_speedup, cand_speedup});
+  }
+  if (cand_comp < base_comp * 0.80) {
+    report.ok = false;
+    report.regressions.push_back(
+        {"compression_ratio", "footprint", base_comp, cand_comp});
+  }
+  if (cand_comp <= 1.0) {
+    report.ok = false;
+    report.regressions.push_back(
+        {"compression_ratio", "footprint", 1.0, cand_comp});
+  }
+  report.summary += "mmap-vs-parse speedup: baseline " +
+                    Table::Num(base_speedup, 1) + "x, candidate " +
+                    Table::Num(cand_speedup, 1) + "x\n" +
+                    "compression ratio: baseline " + Table::Num(base_comp, 2) +
+                    "x, candidate " + Table::Num(cand_comp, 2) + "x\n";
+  return report;
+}
+
 }  // namespace
 
 SuiteConfig QuickConfig() {
@@ -530,6 +623,155 @@ std::vector<KernelRecord> RunKernelsBench(const SuiteConfig& config) {
   return out;
 }
 
+StoreConfig QuickStoreConfig() {
+  StoreConfig config;
+  config.quick = true;
+  config.num_users = 50000;
+  return config;
+}
+
+Result<StoreBenchResult> RunStoreBench(const StoreConfig& config) {
+  using Clock = std::chrono::steady_clock;
+  const auto ms_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  };
+
+  const Graph graph = RandomizeWeights(
+      BarabasiAlbert(config.num_users, config.edges_per_node,
+                     config.seed + 1),
+      0.1, 1.0, config.seed + 2);
+
+  const std::string stem = config.scratch_dir + "/rmgp_store_bench_" +
+                           std::to_string(config.seed);
+  const std::string text_path = stem + ".edges";
+  const std::string plain_path = stem + ".rmgp";
+  const std::string comp_path = stem + ".z.rmgp";
+  RMGP_RETURN_IF_ERROR(WriteEdgeList(graph, text_path));
+  RMGP_RETURN_IF_ERROR(store::WriteContainer(graph, plain_path, {}));
+  store::PackOptions pack;
+  pack.compress = true;
+  RMGP_RETURN_IF_ERROR(store::WriteContainer(graph, comp_path, pack));
+
+  struct Path {
+    const char* name;
+    const std::string* file;
+    store::StorageBackend backend;
+  };
+  const Path kPaths[] = {
+      {"text", &text_path, store::StorageBackend::kInRam},
+      {"mmap", &plain_path, store::StorageBackend::kMapped},
+      {"compressed", &comp_path, store::StorageBackend::kCompressed},
+  };
+
+  StoreBenchResult result;
+  const uint32_t reps = config.reps == 0 ? 1 : config.reps;
+  for (const Path& path : kPaths) {
+    StoreRecord rec;
+    rec.name = path.name;
+    RunningStats load_ms;
+    double scan_best = 0.0;
+    for (uint32_t rep = 0; rep < reps; ++rep) {
+      store::LoadOptions load;
+      load.backend = path.backend;
+      const auto t0 = Clock::now();
+      auto stored = store::LoadGraph(*path.file, load);
+      const double ms = ms_since(t0);
+      if (!stored.ok()) return stored.status();
+      load_ms.Add(ms);
+
+      // Full adjacency sweep: for the mmap path this is where the page
+      // faults actually land, so load + scan together is the honest
+      // time-to-first-full-traversal comparison across backends.
+      const auto s0 = Clock::now();
+      double weight_sum = 0.0;
+      const Graph& g = stored->graph;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        for (const Neighbor& nb : g.neighbors(v)) weight_sum += nb.weight;
+      }
+      const double scan = ms_since(s0);
+      RMGP_CHECK(weight_sum >= 0.0);  // consume the sweep
+      if (rep == 0 || scan < scan_best) scan_best = scan;
+
+      if (rep + 1 == reps) {
+        rec.num_users = g.num_nodes();
+        rec.num_edges = g.num_edges();
+        rec.file_bytes = stored->file_bytes;
+        rec.heap_bytes = stored->heap_bytes;
+      }
+    }
+    rec.load_ms_min = load_ms.min();
+    rec.load_ms_mean = load_ms.mean();
+    rec.scan_ms_min = scan_best;
+    rec.load_medges_per_sec =
+        load_ms.min() > 0.0
+            ? static_cast<double>(rec.num_edges) / (load_ms.min() * 1e3)
+            : 0.0;
+    result.records.push_back(std::move(rec));
+  }
+  std::remove(text_path.c_str());
+  std::remove(plain_path.c_str());
+  std::remove(comp_path.c_str());
+
+  const StoreRecord& text = result.records[0];
+  const StoreRecord& mapped = result.records[1];
+  const StoreRecord& compressed = result.records[2];
+  result.mmap_speedup = mapped.load_ms_min > 0.0
+                            ? text.load_ms_min / mapped.load_ms_min
+                            : 0.0;
+  result.compression_ratio =
+      compressed.file_bytes > 0
+          ? static_cast<double>(mapped.file_bytes) /
+                static_cast<double>(compressed.file_bytes)
+          : 0.0;
+  return result;
+}
+
+Json StoreToJson(const StoreConfig& config, const StoreBenchResult& result) {
+  Json root = Json::Object();
+  root.Set("schema", kStoreSchema);
+
+  Json cfg = Json::Object();
+  cfg.Set("quick", config.quick);
+  cfg.Set("num_users", config.num_users);
+  cfg.Set("edges_per_node", config.edges_per_node);
+  cfg.Set("seed", config.seed);
+  cfg.Set("reps", config.reps);
+  root.Set("config", std::move(cfg));
+
+  const BuildInfo info = GetBuildInfo();
+  Json env = Json::Object();
+  env.Set("git_sha", info.git_sha);
+  env.Set("compiler", info.compiler);
+  env.Set("compiler_flags", info.compiler_flags);
+  env.Set("build_type", info.build_type);
+  env.Set("sanitize", info.sanitize);
+  env.Set("hardware_threads", static_cast<uint64_t>(info.hardware_threads));
+  root.Set("environment", std::move(env));
+
+  Json recs = Json::Array();
+  for (const StoreRecord& r : result.records) {
+    Json j = Json::Object();
+    j.Set("name", r.name);
+    j.Set("num_users", r.num_users);
+    j.Set("num_edges", r.num_edges);
+    j.Set("file_bytes", r.file_bytes);
+    j.Set("heap_bytes", r.heap_bytes);
+    j.Set("load_ms_min", r.load_ms_min);
+    j.Set("load_ms_mean", r.load_ms_mean);
+    j.Set("scan_ms_min", r.scan_ms_min);
+    j.Set("load_medges_per_sec", r.load_medges_per_sec);
+    recs.Append(std::move(j));
+  }
+  root.Set("records", std::move(recs));
+
+  Json ratios = Json::Object();
+  ratios.Set("mmap_speedup", result.mmap_speedup);
+  ratios.Set("compression_ratio", result.compression_ratio);
+  root.Set("ratios", std::move(ratios));
+  return root;
+}
+
 Json SuiteToJson(const SuiteConfig& config,
                  const std::vector<BenchRecord>& records,
                  const std::vector<MicroRecord>& micro,
@@ -618,6 +860,10 @@ CompareReport CompareBench(const Json& baseline, const Json& candidate,
       schema_of(candidate) == kChurnSchema) {
     return CompareChurn(baseline, candidate, options);
   }
+  if (schema_of(baseline) == kStoreSchema &&
+      schema_of(candidate) == kStoreSchema) {
+    return CompareStore(baseline, candidate, options);
+  }
   if (schema_of(baseline) == kDistSchema &&
       schema_of(candidate) == kDistSchema) {
     return CompareDist(baseline, candidate, options);
@@ -638,6 +884,7 @@ CompareReport CompareBench(const Json& baseline, const Json& candidate,
                      " or " + kBenchSchemaV1 +
                      "), matching serving schemas (" + kServingSchema +
                      "), matching churn schemas (" + kChurnSchema +
+                     "), matching store schemas (" + kStoreSchema +
                      "), or matching dist schemas (" + kDistSchema +
                      "), got baseline '" + schema_of(baseline) +
                      "' / candidate '" + schema_of(candidate) + "'\n";

@@ -36,6 +36,15 @@ inline constexpr const char* kServingSchema = "rmgp-bench-serving/1";
 /// gates the incremental-vs-cold speedup (CompareOptions::speedup_threshold).
 inline constexpr const char* kChurnSchema = "rmgp-bench-churn/1";
 
+/// Layout tag of BENCH_store.json, written by bench_runner --store: the
+/// graph-storage bench (src/store/). One record per load path — "text"
+/// (edge-list parse), "mmap" (zero-parse container map), "compressed"
+/// (delta+varint decode) — with file footprint, load time, and a
+/// full-adjacency scan time, plus document-level ratios (mmap speedup
+/// over parse, plain/compressed footprint ratio). CompareBench gates the
+/// ratios, which are machine-portable, rather than raw wall times.
+inline constexpr const char* kStoreSchema = "rmgp-bench-store/1";
+
 /// Layout tag of BENCH_dist.json, written by rmgp_loadgen --dist: the query
 /// mix driven over a real multi-process worker fleet (shard coordinator +
 /// rmgp_worker over TCP), with measured per-round wall time and wire
@@ -149,6 +158,55 @@ struct KernelRecord {
 /// exactly this reason.
 std::vector<KernelRecord> RunKernelsBench(const SuiteConfig& config);
 
+/// Configuration of the storage bench (bench_runner --store): one BA
+/// graph with randomized weights written as a text edge list, a plain
+/// container, and a compressed container, then loaded back through every
+/// path, `reps` times each (min-of-reps is the reported statistic).
+struct StoreConfig {
+  bool quick = false;
+  NodeId num_users = 1000000;  ///< the acceptance-scale default
+  uint32_t edges_per_node = 8;
+  uint64_t seed = 42;
+  uint32_t reps = 3;
+  std::string scratch_dir = "/tmp";  ///< where the bench files live
+};
+
+/// The --quick preset: n = 50000 — seconds, not minutes, for CI smoke.
+StoreConfig QuickStoreConfig();
+
+/// One load path of the storage bench.
+struct StoreRecord {
+  std::string name;  ///< "text" | "mmap" | "compressed"
+  NodeId num_users = 0;
+  uint64_t num_edges = 0;
+  uint64_t file_bytes = 0;  ///< on-disk footprint of this representation
+  uint64_t heap_bytes = 0;  ///< owned CSR bytes after load (0 for mmap)
+  double load_ms_min = 0.0;
+  double load_ms_mean = 0.0;
+  double scan_ms_min = 0.0;  ///< full neighbor sweep on the loaded graph
+  double load_medges_per_sec = 0.0;  ///< edges / load time (decode rate)
+};
+
+struct StoreBenchResult {
+  std::vector<StoreRecord> records;
+  /// text load_ms_min / mmap load_ms_min — the zero-parse win. The
+  /// machine-portable gate: both numerator and denominator move with the
+  /// host, the ratio does not.
+  double mmap_speedup = 0.0;
+  /// plain container bytes / compressed container bytes.
+  double compression_ratio = 0.0;
+};
+
+/// Runs the storage bench: generates the graph, writes the three
+/// representations into config.scratch_dir, measures every load path, and
+/// removes the files. IO or codec failures surface as a Status.
+Result<StoreBenchResult> RunStoreBench(const StoreConfig& config);
+
+/// Serializes a storage bench run:
+///   {"schema": kStoreSchema, "config": {...}, "environment": {...},
+///    "records": [...], "ratios": {...}}.
+Json StoreToJson(const StoreConfig& config, const StoreBenchResult& result);
+
 /// Serializes a suite run into the schema-stable layout:
 ///   {"schema": ..., "config": {...}, "environment": {...},
 ///    "records": [...], "microbench": [...], "kernels": [...]}.
@@ -178,11 +236,11 @@ struct CompareOptions {
   /// applied to p99 latency.
   double hit_rate_threshold = 0.05;
 
-  /// Churn documents only: the candidate's incremental-vs-cold speedup may
-  /// shrink to this fraction of the baseline's before it counts as a
-  /// regression (0.5 = the candidate must retain at least half the
-  /// baseline speedup — wall-clock ratios are noisy in CI). Negative
-  /// disables the gate.
+  /// Churn and store documents: the candidate's headline speedup
+  /// (incremental-vs-cold for churn, mmap-vs-parse for store) may shrink
+  /// to this fraction of the baseline's before it counts as a regression
+  /// (0.5 = the candidate must retain at least half the baseline speedup —
+  /// wall-clock ratios are noisy in CI). Negative disables the gate.
   double speedup_threshold = 0.5;
 
   /// Solver documents only: every kernel record of the *candidate* must

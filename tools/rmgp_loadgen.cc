@@ -83,6 +83,7 @@
 #include "serve/protocol.h"
 #include "serve/service.h"
 #include "shard/coordinator.h"
+#include "store/storage.h"
 #include "tools/bench_suite.h"
 #include "util/annotated_mutex.h"
 #include "util/build_info.h"
@@ -121,8 +122,23 @@ struct Args {
   bool portfolio = false;
   bool dist = false;
   uint32_t dist_workers = 2;
+  std::string graph_file;  // .rmgp container or edge list; overrides BA
+  store::StorageBackend graph_backend = store::StorageBackend::kAuto;
+  /// Loaded once in main() when --graph-file is set; every mode's session
+  /// graph (service, churn oracle, dist fleet) copies from here so they
+  /// all agree on the base graph.
+  std::shared_ptr<const Graph> session_graph;
   ServiceConfig service;
 };
+
+/// The session graph each mode shares: the --graph-file load when given,
+/// otherwise the fixed-seed Barabási–Albert graph that mirrors
+/// rmgp_serve's default session. Copies of a mapped graph alias the same
+/// mapping, so this is cheap for the mmap backend.
+Graph SessionGraph(const Args& args) {
+  if (args.session_graph != nullptr) return *args.session_graph;
+  return BarabasiAlbert(args.users, args.edges_per_node, args.seed);
+}
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
@@ -136,6 +152,8 @@ void Usage(const char* argv0) {
                " [--epoch-size N] [--epoch-patch-budget N]"
                " [--portfolio] [--portfolio-width P]"
                " [--dist] [--dist-workers N]"
+               " [--graph-file PATH]"
+               " [--graph-backend auto|ram|mmap|compressed]"
                " [--quick] [--out FILE]\n",
                argv0);
   std::exit(2);
@@ -208,10 +226,10 @@ std::vector<Query> MakeMix(const Args& args) {
 class ChurnOracle {
  public:
   explicit ChurnOracle(const Args& args)
-      : base_(BarabasiAlbert(args.users, args.edges_per_node, args.seed)),
+      : base_(SessionGraph(args)),
         delta_(&base_),
-        active_(args.users, 1),
-        num_active_(args.users),
+        active_(base_.num_nodes(), 1),
+        num_active_(base_.num_nodes()),
         rng_(args.seed ^ 0xc42a11ULL) {}
 
   Mutation Next() {
@@ -307,11 +325,11 @@ Json MeasureIncremental(const Args& args, bool* both_valid) {
   opt.init = InitPolicy::kClosestClass;
   opt.order = OrderPolicy::kNodeId;
 
-  Graph base = BarabasiAlbert(args.users, args.edges_per_node, args.seed);
+  Graph base = SessionGraph(args);
   Rng urng(args.seed ^ 0x5e55101eULL);  // the session's user layout
   std::vector<Point> users;
-  users.reserve(args.users);
-  for (NodeId v = 0; v < args.users; ++v) {
+  users.reserve(base.num_nodes());
+  for (NodeId v = 0; v < base.num_nodes(); ++v) {
     users.push_back({urng.UniformDouble(), urng.UniformDouble()});
   }
   Rng erng(args.seed ^ 0xeeee7ULL);
@@ -555,19 +573,27 @@ class ServerTransport {
       std::string epoch = std::to_string(args.service.epoch_size);
       std::string budget = std::to_string(args.service.epoch_patch_budget);
       std::string width = std::to_string(args.service.portfolio_width);
-      const char* argv[] = {args.server.c_str(),
-                            "--users", users.c_str(),
-                            "--edges-per-node", epn.c_str(),
-                            "--seed", seed.c_str(),
-                            "--workers", workers.c_str(),
-                            "--queue-capacity", queue.c_str(),
-                            "--cache-capacity", cache.c_str(),
-                            "--max-warm-edits", edits.c_str(),
-                            "--epoch-size", epoch.c_str(),
-                            "--epoch-patch-budget", budget.c_str(),
-                            "--portfolio-width", width.c_str(),
-                            nullptr};
-      execv(args.server.c_str(), const_cast<char* const*>(argv));
+      std::vector<const char*> argv = {args.server.c_str(),
+                                       "--users", users.c_str(),
+                                       "--edges-per-node", epn.c_str(),
+                                       "--seed", seed.c_str(),
+                                       "--workers", workers.c_str(),
+                                       "--queue-capacity", queue.c_str(),
+                                       "--cache-capacity", cache.c_str(),
+                                       "--max-warm-edits", edits.c_str(),
+                                       "--epoch-size", epoch.c_str(),
+                                       "--epoch-patch-budget", budget.c_str(),
+                                       "--portfolio-width", width.c_str()};
+      // The server must load the same session graph the client-side
+      // oracle did, so --graph-file travels with it.
+      if (!args.graph_file.empty()) {
+        argv.push_back("--graph-file");
+        argv.push_back(args.graph_file.c_str());
+        argv.push_back("--graph-backend");
+        argv.push_back(store::StorageBackendName(args.graph_backend));
+      }
+      argv.push_back(nullptr);
+      execv(args.server.c_str(), const_cast<char* const*>(argv.data()));
       std::perror("execv");
       _exit(127);
     }
@@ -809,12 +835,12 @@ std::string WorkerBinaryPath() {
 /// The --dist mode: the query mix over a real forked worker fleet.
 int RunDist(const Args& args, const std::vector<Query>& mix) {
   // The same fixed-seed session the in-process mode serves.
-  Graph graph = BarabasiAlbert(args.users, args.edges_per_node, args.seed);
+  Graph graph = SessionGraph(args);
   auto shared_graph = std::make_shared<Graph>(std::move(graph));
   Rng rng(args.seed ^ 0x5e55101eULL);
   std::vector<Point> users;
-  users.reserve(args.users);
-  for (NodeId v = 0; v < args.users; ++v) {
+  users.reserve(shared_graph->num_nodes());
+  for (NodeId v = 0; v < shared_graph->num_nodes(); ++v) {
     users.push_back({rng.UniformDouble(), rng.UniformDouble()});
   }
 
@@ -1140,15 +1166,39 @@ int Main(int argc, char** argv) {
       args.dist = true;
     } else if (std::strcmp(argv[i], "--dist-workers") == 0) {
       args.dist_workers = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--graph-file") == 0) {
+      args.graph_file = next_str();
+    } else if (std::strcmp(argv[i], "--graph-backend") == 0) {
+      auto backend = store::ParseStorageBackend(next_str());
+      if (!backend.ok()) Usage(argv[0]);
+      args.graph_backend = *backend;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else {
       Usage(argv[0]);
     }
   }
+  if (!args.graph_file.empty()) {
+    store::LoadOptions load;
+    load.backend = args.graph_backend;
+    auto loaded = store::LoadGraph(args.graph_file, load);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", args.graph_file.c_str(),
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    args.session_graph =
+        std::make_shared<const Graph>(std::move(loaded->graph));
+    // Keep every users-sized loop (locations, mutation targets, the query
+    // mix) consistent with the externally loaded session.
+    args.users = args.session_graph->num_nodes();
+  }
   if (quick) {
     // CI smoke preset: a small session that still exercises every path.
-    args.users = std::min<NodeId>(args.users, 5000);
+    // An externally loaded graph keeps its size — the file is the session.
+    if (args.session_graph == nullptr) {
+      args.users = std::min<NodeId>(args.users, 5000);
+    }
     args.queries = std::min<uint64_t>(args.queries, 300);
     args.events_per_query = std::min<ClassId>(args.events_per_query, 8);
     args.pool_events = std::min<uint32_t>(args.pool_events, 64);
@@ -1180,11 +1230,11 @@ int Main(int argc, char** argv) {
   if (!args.server.empty()) {
     server = std::make_unique<ServerTransport>(args, &collector);
   } else {
-    Graph graph = BarabasiAlbert(args.users, args.edges_per_node, args.seed);
+    Graph graph = SessionGraph(args);
     Rng rng(args.seed ^ 0x5e55101eULL);  // mirror rmgp_serve's session
     std::vector<Point> users;
-    users.reserve(args.users);
-    for (NodeId v = 0; v < args.users; ++v) {
+    users.reserve(graph.num_nodes());
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
       users.push_back({rng.UniformDouble(), rng.UniformDouble()});
     }
     service = std::make_unique<RmgpService>(std::move(graph),

@@ -1,0 +1,276 @@
+// rmgp_pack — converter and inspector for .rmgp graph containers
+// (src/store, DESIGN.md §11).
+//
+// Usage:
+//   rmgp_pack pack <in> <out.rmgp> [--compress] [--verify]
+//       Packs an edge list (or re-packs a container) into a container.
+//       --compress stores the delta+varint adjacency; --verify re-opens
+//       the result with checksums + deep validation and checks the graph
+//       round-trips bit-identically.
+//   rmgp_pack unpack <in.rmgp> <out.txt>
+//       Writes the container's graph back out as a whitespace edge list.
+//   rmgp_pack info <in.rmgp>
+//       Prints the header and section table.
+//   rmgp_pack verify <in.rmgp>
+//       Full checksum + structural validation; exit 0 iff clean.
+//   rmgp_pack gen --kind ba|ws|er|planted --users N [--edges-per-node M]
+//                 [--seed S] [--weighted] [--compress] <out.rmgp>
+//       Packs a fixed-seed synthetic session graph directly (the CI
+//       store-smoke and bench paths use this to avoid a text detour).
+//
+// Exit codes: 0 ok, 1 operation failed, 2 bad usage.
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "store/container.h"
+#include "store/format.h"
+#include "store/storage.h"
+#include "util/status.h"
+
+namespace rmgp {
+namespace store {
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rmgp_pack pack <in> <out.rmgp> [--compress] [--verify]\n"
+      "       rmgp_pack unpack <in.rmgp> <out.txt>\n"
+      "       rmgp_pack info <in.rmgp>\n"
+      "       rmgp_pack verify <in.rmgp>\n"
+      "       rmgp_pack gen --kind ba|ws|er|planted --users N"
+      " [--edges-per-node M] [--seed S] [--weighted] [--compress]"
+      " <out.rmgp>\n");
+  std::exit(2);
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "rmgp_pack: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+/// Bit-identical CSR equality (offsets, neighbor ids, weight bit patterns,
+/// total edge weight) — the pack --verify round-trip gate.
+bool BitIdentical(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  if (a.total_edge_weight() != b.total_edge_weight()) return false;
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    if (na.size() != nb.size()) return false;
+    for (size_t k = 0; k < na.size(); ++k) {
+      if (na[k].node != nb[k].node || na[k].weight != nb[k].weight) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int CmdPack(const std::string& in, const std::string& out, bool compress,
+            bool verify) {
+  auto loaded = LoadGraph(in, {});
+  if (!loaded.ok()) return Fail(loaded.status());
+  const Graph& g = loaded->graph;
+
+  PackOptions pack;
+  pack.compress = compress;
+  if (Status st = WriteContainer(g, out, pack); !st.ok()) return Fail(st);
+
+  if (verify) {
+    OpenOptions open;
+    open.verify_checksums = true;
+    open.deep_validate = true;
+    auto c = Container::Open(out, open);
+    if (!c.ok()) return Fail(c.status());
+    auto back = c->Decode();
+    if (!back.ok()) return Fail(back.status());
+    if (!BitIdentical(g, *back)) {
+      return Fail(Status::Internal(
+          "packed graph does not round-trip bit-identically"));
+    }
+  }
+  struct stat st;
+  const uint64_t out_bytes =
+      ::stat(out.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size) : 0;
+  std::printf("%s: %u nodes, %llu edges, %llu bytes%s%s\n", out.c_str(),
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()),
+              static_cast<unsigned long long>(out_bytes),
+              compress ? " (compressed)" : "", verify ? " (verified)" : "");
+  return 0;
+}
+
+int CmdUnpack(const std::string& in, const std::string& out) {
+  LoadOptions load;
+  load.backend = StorageBackend::kInRam;
+  auto loaded = LoadGraph(in, load);
+  if (!loaded.ok()) return Fail(loaded.status());
+  if (Status st = WriteEdgeList(loaded->graph, out); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("%s: %u nodes, %llu edges\n", out.c_str(),
+              loaded->graph.num_nodes(),
+              static_cast<unsigned long long>(loaded->graph.num_edges()));
+  return 0;
+}
+
+int CmdInfo(const std::string& in) {
+  auto c = Container::Open(in, {});
+  if (!c.ok()) return Fail(c.status());
+  std::printf("%s: rmgp container v%u\n", in.c_str(), kFormatVersion);
+  std::printf("  nodes:   %u\n", c->num_nodes());
+  std::printf("  edges:   %llu\n",
+              static_cast<unsigned long long>(c->num_edges()));
+  std::printf("  weight:  %.17g\n", c->total_edge_weight());
+  std::printf("  layout:  %s%s\n", c->compressed() ? "compressed" : "plain",
+              c->unit_weights() ? " (unit weights)" : "");
+  std::printf("  size:    %llu bytes\n",
+              static_cast<unsigned long long>(c->file_size()));
+  struct Row {
+    SectionKind kind;
+    const char* name;
+  };
+  static constexpr Row kRows[] = {
+      {SectionKind::kOffsets, "offsets"},
+      {SectionKind::kAdjacency, "adjacency"},
+      {SectionKind::kPermutation, "permutation"},
+      {SectionKind::kSkipBlocks, "skip-blocks"},
+      {SectionKind::kCompressedAdj, "compressed-adjacency"},
+      {SectionKind::kWeights, "weights"},
+  };
+  for (const Row& row : kRows) {
+    if (c->SectionData(row.kind) != nullptr) {
+      std::printf("  section %-20s %llu bytes\n", row.name,
+                  static_cast<unsigned long long>(c->SectionSize(row.kind)));
+    }
+  }
+  return 0;
+}
+
+int CmdVerify(const std::string& in) {
+  OpenOptions open;
+  open.verify_checksums = true;
+  open.deep_validate = true;
+  auto c = Container::Open(in, open);
+  if (!c.ok()) return Fail(c.status());
+  std::printf("%s: OK (%u nodes, %llu edges, %s)\n", in.c_str(),
+              c->num_nodes(),
+              static_cast<unsigned long long>(c->num_edges()),
+              c->compressed() ? "compressed" : "plain");
+  return 0;
+}
+
+int CmdGen(int argc, char** argv) {
+  std::string kind = "ba";
+  NodeId users = 50000;
+  uint32_t edges_per_node = 4;
+  uint64_t seed = 42;
+  bool weighted = false;
+  bool compress = false;
+  std::string out;
+  for (int i = 0; i < argc; ++i) {
+    const auto next_u64 = [&]() -> uint64_t {
+      if (i + 1 >= argc) Usage();
+      char* end = nullptr;
+      const uint64_t v = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') Usage();
+      return v;
+    };
+    if (std::strcmp(argv[i], "--kind") == 0) {
+      if (i + 1 >= argc) Usage();
+      kind = argv[++i];
+    } else if (std::strcmp(argv[i], "--users") == 0) {
+      users = static_cast<NodeId>(next_u64());
+    } else if (std::strcmp(argv[i], "--edges-per-node") == 0) {
+      edges_per_node = static_cast<uint32_t>(next_u64());
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = next_u64();
+    } else if (std::strcmp(argv[i], "--weighted") == 0) {
+      weighted = true;
+    } else if (std::strcmp(argv[i], "--compress") == 0) {
+      compress = true;
+    } else if (argv[i][0] == '-') {
+      Usage();
+    } else if (out.empty()) {
+      out = argv[i];
+    } else {
+      Usage();
+    }
+  }
+  if (out.empty()) Usage();
+
+  Graph g;
+  if (kind == "ba") {
+    g = BarabasiAlbert(users, edges_per_node, seed);
+  } else if (kind == "ws") {
+    g = WattsStrogatz(users, edges_per_node * 2, 0.1, seed);
+  } else if (kind == "er") {
+    g = ErdosRenyiM(users, uint64_t{users} * edges_per_node, seed);
+  } else if (kind == "planted") {
+    g = PlantedPartition(users, 8, 0.02, 0.002, seed, nullptr);
+  } else {
+    Usage();
+  }
+  if (weighted) g = RandomizeWeights(g, 0.1, 2.0, seed ^ 0x77ULL);
+
+  PackOptions pack;
+  pack.compress = compress;
+  if (Status st = WriteContainer(g, out, pack); !st.ok()) return Fail(st);
+  std::printf("%s: %u nodes, %llu edges%s\n", out.c_str(), g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()),
+              compress ? " (compressed)" : "");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) Usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "gen") return CmdGen(argc - 2, argv + 2);
+
+  std::vector<std::string> paths;
+  bool compress = false;
+  bool verify = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compress") == 0) {
+      compress = true;
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    } else if (argv[i][0] == '-') {
+      Usage();
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+
+  if (cmd == "pack" && paths.size() == 2) {
+    return CmdPack(paths[0], paths[1], compress, verify);
+  }
+  if (cmd == "unpack" && paths.size() == 2 && !compress && !verify) {
+    return CmdUnpack(paths[0], paths[1]);
+  }
+  if (cmd == "info" && paths.size() == 1 && !compress && !verify) {
+    return CmdInfo(paths[0]);
+  }
+  if (cmd == "verify" && paths.size() == 1 && !compress && !verify) {
+    return CmdVerify(paths[0]);
+  }
+  Usage();
+  return 2;
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace rmgp
+
+int main(int argc, char** argv) { return rmgp::store::Main(argc, argv); }

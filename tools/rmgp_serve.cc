@@ -45,6 +45,7 @@
 #include "serve/protocol.h"
 #include "serve/response_writer.h"
 #include "serve/service.h"
+#include "store/storage.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -61,6 +62,8 @@ struct Args {
   NodeId users = 50000;
   uint32_t edges_per_node = 4;
   uint64_t seed = 42;
+  std::string graph_file;  // .rmgp container or edge list; overrides dataset
+  store::StorageBackend graph_backend = store::StorageBackend::kAuto;
   bool dist_spawn = false;
   ServiceConfig service;
 };
@@ -68,6 +71,7 @@ struct Args {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--dataset ba|gowalla] [--users N]"
+               " [--graph-file PATH] [--graph-backend auto|ram|mmap|compressed]"
                " [--edges-per-node M] [--seed S] [--workers N]"
                " [--queue-capacity N] [--cache-capacity N]"
                " [--max-warm-edits N] [--epoch-size N]"
@@ -116,6 +120,14 @@ int Main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--dataset") == 0) {
       if (i + 1 >= argc) Usage(argv[0]);
       args.dataset = argv[++i];
+    } else if (std::strcmp(argv[i], "--graph-file") == 0) {
+      if (i + 1 >= argc) Usage(argv[0]);
+      args.graph_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--graph-backend") == 0) {
+      if (i + 1 >= argc) Usage(argv[0]);
+      auto backend = store::ParseStorageBackend(argv[++i]);
+      if (!backend.ok()) Usage(argv[0]);
+      args.graph_backend = *backend;
     } else if (std::strcmp(argv[i], "--users") == 0) {
       args.users = static_cast<NodeId>(next_u64());
     } else if (std::strcmp(argv[i], "--edges-per-node") == 0) {
@@ -165,7 +177,29 @@ int Main(int argc, char** argv) {
   // check-in locations, so loadgen runs are reproducible end to end.
   Graph graph;
   std::vector<Point> users;
-  if (args.dataset == "ba") {
+  if (!args.graph_file.empty()) {
+    // External session graph (.rmgp container or edge list). Check-in
+    // locations stay synthetic (seeded), so the session remains
+    // reproducible for loadgen.
+    store::LoadOptions load;
+    load.backend = args.graph_backend;
+    auto loaded = store::LoadGraph(args.graph_file, load);
+    if (!loaded.ok()) {
+      RMGP_LOG(kError) << "cannot load " << args.graph_file << ": "
+                       << loaded.status().ToString();
+      return 1;
+    }
+    graph = std::move(loaded->graph);
+    RMGP_LOG(kInfo) << "graph storage: "
+                    << store::StorageBackendName(loaded->backend) << ", "
+                    << loaded->file_bytes << " file bytes, "
+                    << loaded->heap_bytes << " heap bytes";
+    Rng rng(args.seed ^ 0x5e55101eULL);
+    users.reserve(graph.num_nodes());
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      users.push_back({rng.UniformDouble(), rng.UniformDouble()});
+    }
+  } else if (args.dataset == "ba") {
     graph = BarabasiAlbert(args.users, args.edges_per_node, args.seed);
     Rng rng(args.seed ^ 0x5e55101eULL);
     users.reserve(args.users);
@@ -183,7 +217,9 @@ int Main(int argc, char** argv) {
   }
 
   RMGP_LOG(kInfo) << "session loaded: " << graph.num_nodes() << " users, "
-                  << graph.num_edges() << " edges (" << args.dataset
+                  << graph.num_edges() << " edges ("
+                  << (args.graph_file.empty() ? args.dataset
+                                              : args.graph_file)
                   << ", seed " << args.seed << ")";
 
   // No SA_RESTART: SIGTERM must interrupt the blocking stdin read so the
